@@ -1,0 +1,49 @@
+//! Stage-1 ingest throughput (§5.7): the deployment sustains 4–6.5 M flow
+//! records/second on one box; this bench measures our per-flow ingest cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ipd::{IpdEngine, IpdParams};
+use ipd_bench::{flow_batch, scaled_factor};
+
+fn bench_ingest(c: &mut Criterion) {
+    let flows = flow_batch(3, 30_000);
+    let params = IpdParams {
+        ncidr_factor_v4: scaled_factor(30_000),
+        ncidr_factor_v6: 1e-6,
+        ..IpdParams::default()
+    };
+
+    let mut g = c.benchmark_group("ingest");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+
+    g.bench_function("cold_trie", |b| {
+        b.iter_batched(
+            || IpdEngine::new(params.clone()).unwrap(),
+            |mut engine| {
+                for f in &flows {
+                    engine.ingest(f);
+                }
+                engine
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("warm_trie", |b| {
+        // Pre-classify, then measure steady-state ingest into a built trie.
+        let mut engine = IpdEngine::new(params.clone()).unwrap();
+        for f in &flows {
+            engine.ingest(f);
+        }
+        engine.tick(flows.last().map(|f| f.ts + 60).unwrap_or(60));
+        b.iter(|| {
+            for f in &flows {
+                engine.ingest(f);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

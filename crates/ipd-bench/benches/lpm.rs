@@ -1,0 +1,49 @@
+//! LPM trie performance: the validation path (§5.1) does one lookup per
+//! flow against a table of all classified IPD ranges.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipd_lpm::{Addr, LpmTrie, Prefix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_table(n: usize, rng: &mut StdRng) -> LpmTrie<u32> {
+    let mut t = LpmTrie::new();
+    while t.len() < n {
+        let len = rng.random_range(12..=28);
+        let p = Prefix::of(Addr::v4(rng.random()), len);
+        t.insert(p, rng.random());
+    }
+    t
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let table = build_table(50_000, &mut rng);
+    let addrs: Vec<Addr> = (0..10_000).map(|_| Addr::v4(rng.random())).collect();
+
+    let mut g = c.benchmark_group("lpm");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lookup_50k_table", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &a in &addrs {
+                hits += table.lookup(a).is_some() as usize;
+            }
+            hits
+        })
+    });
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("insert_1k", |b| {
+        b.iter(|| {
+            let mut t: LpmTrie<u32> = LpmTrie::new();
+            for i in 0..1000u32 {
+                t.insert(Prefix::of(Addr::v4(i.rotate_left(16)), 24), i);
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lpm);
+criterion_main!(benches);

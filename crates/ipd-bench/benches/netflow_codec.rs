@@ -1,0 +1,71 @@
+//! Flow export codec throughput: the deployment's 30 cores of flow readers
+//! (§5.7) are dominated by datagram decode; this measures our per-record
+//! encode/decode cost for both protocols.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipd_bench::flow_batch;
+use ipd_netflow::ipfix::{IpfixDecoder, IpfixExporter};
+use ipd_netflow::v5::V5Exporter;
+use ipd_netflow::Collector;
+
+fn bench_codecs(c: &mut Criterion) {
+    let all = flow_batch(1, 30_000);
+    // NetFlow v5 is IPv4-only; IPFIX carries the mixed stream.
+    let flows: Vec<_> = all
+        .iter()
+        .filter(|f| f.src.af() == ipd_lpm::Af::V4)
+        .cloned()
+        .collect();
+    let mut g = c.benchmark_group("netflow_codec");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+
+    g.bench_function("v5_encode", |b| {
+        b.iter(|| {
+            let mut exp = V5Exporter::new(1, 0, 1000, 0);
+            exp.encode(1000, &flows).unwrap()
+        })
+    });
+
+    let grams: Vec<Bytes> = {
+        let mut exp = V5Exporter::new(1, 0, 1000, 0);
+        exp.encode(1000, &flows).unwrap()
+    };
+    g.bench_function("v5_decode", |b| {
+        b.iter(|| {
+            let mut col = Collector::new();
+            let mut out = Vec::with_capacity(flows.len());
+            for gm in &grams {
+                col.feed(gm, 1, &mut out).unwrap();
+            }
+            out
+        })
+    });
+
+    g.throughput(Throughput::Elements(all.len() as u64));
+    g.bench_function("ipfix_encode", |b| {
+        b.iter(|| {
+            let mut exp = IpfixExporter::new(1, 1024);
+            exp.encode(1000, &all)
+        })
+    });
+
+    let igram: Vec<Bytes> = {
+        let mut exp = IpfixExporter::new(1, 1024);
+        exp.encode(1000, &all)
+    };
+    g.bench_function("ipfix_decode", |b| {
+        b.iter(|| {
+            let mut dec = IpfixDecoder::new();
+            let mut n = 0usize;
+            for gm in &igram {
+                n += dec.decode(gm, 1).unwrap().records.len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Stage-2 tick runtime vs `cidr_max` (Fig 20): "both IPD iteration time and
+//! average memory usage increase exponentially with higher cidr_max values".
+//! This is the ablation bench behind that figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd::{IpdEngine, IpdParams};
+use ipd_bench::{flow_batch, scaled_factor};
+
+fn bench_tick(c: &mut Criterion) {
+    let flows = flow_batch(5, 30_000);
+    let last_ts = flows.last().map(|f| f.ts).unwrap_or(0);
+
+    let mut g = c.benchmark_group("tick_vs_cidr_max");
+    for cidr_max in [20u8, 24, 28] {
+        let params = IpdParams {
+            cidr_max_v4: cidr_max,
+            ncidr_factor_v4: scaled_factor(30_000),
+            ncidr_factor_v6: 1e-6,
+            ..IpdParams::default()
+        };
+        // Build the trie once; measure the sweep.
+        let mut engine = IpdEngine::new(params).unwrap();
+        let mut bucket = flows.first().map(|f| f.ts / 60).unwrap_or(0);
+        for f in &flows {
+            if f.ts / 60 > bucket {
+                bucket = f.ts / 60;
+                engine.tick(bucket * 60);
+            }
+            engine.ingest(f);
+        }
+        println!(
+            "  [state] cidr_max=/{cidr_max}: {} ranges, ~{} KiB",
+            engine.range_count(),
+            engine.state_bytes_estimate() / 1024
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sweep", format!("/{cidr_max}")),
+            &cidr_max,
+            |b, _| {
+                // Tick at a fixed instant just after the last sample: the
+                // sweep is idempotent there (nothing expires or decays), so
+                // every iteration measures the same live trie.
+                let now = last_ts + 1;
+                b.iter(|| engine.tick(now))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared fixtures for the IPD benchmarks: a pre-generated world and flow
+//! batches so individual benches measure the system under test, not the
+//! generator.
+
+use ipd_netflow::FlowRecord;
+use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
+
+/// Deterministic flow batch: `minutes` of traffic at `flows_per_minute`.
+pub fn flow_batch(minutes: u64, flows_per_minute: u64) -> Vec<FlowRecord> {
+    let world = World::generate(WorldConfig::default(), 42);
+    let mut sim = FlowSim::new(
+        world,
+        SimConfig { flows_per_minute, seed: 7, ..SimConfig::default() },
+    );
+    let mut out = Vec::new();
+    for _ in 0..minutes {
+        out.extend(sim.next_minute().flows.into_iter().map(|lf| lf.flow));
+    }
+    out
+}
+
+/// The paper-scaled `n_cidr` factor for a given flow rate (factor 64 at
+/// ~32 M flows/min).
+pub fn scaled_factor(flows_per_minute: u64) -> f64 {
+    64.0 / 32.0e6 * flows_per_minute as f64
+}

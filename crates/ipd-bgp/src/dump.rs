@@ -1,0 +1,200 @@
+//! Text table-dump codec.
+//!
+//! The paper's evaluation consumes "periodic BGP table dumps" (§4). We use a
+//! pipe-separated line format closely resembling `bgpdump -m` output of MRT
+//! TABLE_DUMP_V2 files:
+//!
+//! ```text
+//! TABLE_DUMP2|<unix_ts>|B|<router>|<ifindex>|<prefix>|<as_path space-sep>|<local_pref>
+//! ```
+//!
+//! One line per (prefix, route). Parsing rebuilds a [`Rib`] with identical
+//! best-path results (selection is deterministic given the route attributes).
+
+use std::fmt::Write as _;
+
+use ipd_lpm::Prefix;
+use ipd_topology::IngressPoint;
+
+use crate::rib::Rib;
+use crate::route::Route;
+
+/// Errors from [`parse_dump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DumpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dump parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for DumpParseError {}
+
+/// Serialize the RIB as a table dump taken at `ts` (unix seconds).
+pub fn write_dump(rib: &Rib, ts: u64) -> String {
+    let mut out = String::new();
+    for (prefix, entry) in rib.iter() {
+        for route in entry.routes() {
+            let path = route
+                .as_path
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            writeln!(
+                out,
+                "TABLE_DUMP2|{ts}|B|{router}|{ifx}|{prefix}|{path}|{pref}",
+                router = route.next_hop.router,
+                ifx = route.next_hop.ifindex,
+                pref = route.local_pref,
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+/// Parse a table dump back into a RIB. Blank lines and `#` comments are
+/// skipped. Returns the RIB and the dump timestamp of the first record.
+pub fn parse_dump(text: &str) -> Result<(Rib, Option<u64>), DumpParseError> {
+    let mut rib = Rib::new();
+    let mut first_ts = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() != 8 {
+            return Err(DumpParseError {
+                line: lineno,
+                reason: format!("expected 8 fields, got {}", fields.len()),
+            });
+        }
+        if fields[0] != "TABLE_DUMP2" || fields[2] != "B" {
+            return Err(DumpParseError { line: lineno, reason: "bad record type".into() });
+        }
+        let err = |what: &str| DumpParseError { line: lineno, reason: what.to_string() };
+        let ts: u64 = fields[1].parse().map_err(|_| err("bad timestamp"))?;
+        first_ts.get_or_insert(ts);
+        let router: u32 = fields[3].parse().map_err(|_| err("bad router id"))?;
+        let ifindex: u16 = fields[4].parse().map_err(|_| err("bad ifindex"))?;
+        let prefix: Prefix =
+            fields[5].parse().map_err(|e| err(&format!("bad prefix: {e}")))?;
+        let as_path = if fields[6].is_empty() {
+            Vec::new()
+        } else {
+            fields[6]
+                .split(' ')
+                .map(|s| s.parse::<u32>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| err("bad AS path"))?
+        };
+        let local_pref: u32 = fields[7].parse().map_err(|_| err("bad local pref"))?;
+        rib.announce(
+            prefix,
+            Route { next_hop: IngressPoint::new(router, ifindex), link: 0, as_path, local_pref },
+        );
+    }
+    Ok((rib, first_ts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_lpm::Addr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.announce(
+            p("10.0.0.0/8"),
+            Route {
+                next_hop: IngressPoint::new(3, 2),
+                link: 0,
+                as_path: vec![100, 64500],
+                local_pref: 100,
+            },
+        );
+        rib.announce(
+            p("10.0.0.0/8"),
+            Route {
+                next_hop: IngressPoint::new(1, 1),
+                link: 0,
+                as_path: vec![200, 300, 64500],
+                local_pref: 100,
+            },
+        );
+        rib.announce(
+            p("2001:db8::/32"),
+            Route { next_hop: IngressPoint::new(7, 4), link: 0, as_path: vec![], local_pref: 50 },
+        );
+        rib
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rib = sample_rib();
+        let text = write_dump(&rib, 1_600_000_000);
+        let (back, ts) = parse_dump(&text).unwrap();
+        assert_eq!(ts, Some(1_600_000_000));
+        assert_eq!(back.prefix_count(), rib.prefix_count());
+        // Best-path decisions survive.
+        let addr: Addr = Addr::v4(0x0A01_0101);
+        assert_eq!(
+            back.best(addr).unwrap().1.next_hop,
+            rib.best(addr).unwrap().1.next_hop
+        );
+        // Empty AS path survives.
+        assert!(back.entry(p("2001:db8::/32")).unwrap().best().unwrap().as_path.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (rib, ts) = parse_dump("# a comment\n\n").unwrap();
+        assert_eq!(rib.prefix_count(), 0);
+        assert_eq!(ts, None);
+    }
+
+    #[test]
+    fn field_count_error_carries_line() {
+        let err = parse_dump("TABLE_DUMP2|1|B|1|1|10.0.0.0/8|100").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("8 fields"));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let base = "TABLE_DUMP2|1|B|1|1|10.0.0.0/8|100|100";
+        assert!(parse_dump(base).is_ok());
+        for bad in [
+            "TABLE_DUMP9|1|B|1|1|10.0.0.0/8|100|100",
+            "TABLE_DUMP2|x|B|1|1|10.0.0.0/8|100|100",
+            "TABLE_DUMP2|1|B|x|1|10.0.0.0/8|100|100",
+            "TABLE_DUMP2|1|B|1|x|10.0.0.0/8|100|100",
+            "TABLE_DUMP2|1|B|1|1|10.0.0.0-8|100|100",
+            "TABLE_DUMP2|1|B|1|1|10.0.0.0/8|1 x 3|100",
+            "TABLE_DUMP2|1|B|1|1|10.0.0.0/8|100|x",
+        ] {
+            assert!(parse_dump(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn multiline_dump_shape() {
+        let text = write_dump(&sample_rib(), 42);
+        // 2 routes for 10/8 + 1 route for the v6 prefix.
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with("TABLE_DUMP2|42|B|")));
+    }
+}

@@ -1,0 +1,29 @@
+//! BGP substrate for the IPD reproduction.
+//!
+//! The paper uses BGP data in three places, all of which this crate serves:
+//!
+//! * **Fig 3** — the number of *possible* ingress points per prefix is the
+//!   number of distinct next-hop routers in the BGP table ([`stats`]).
+//! * **§5.5 (path asymmetry)** — "We compare IPD ingress routers with egress
+//!   routers from historical BGP table dumps": the RIB's best route gives the
+//!   egress router for a destination prefix ([`Rib::best`]).
+//! * **§5.6 (peering violations)** — "We monitor the ingress of prefixes of
+//!   16 tier-1 ISPs (from daily BGP dumps)": origin-AS attribution of the
+//!   address space ([`Rib::origin_of`]).
+//!
+//! And, crucially, the paper's central negative result — *BGP cannot be used
+//! for ingress point detection* — requires an actual RIB to demonstrate
+//! against, which `ipd-eval` does.
+//!
+//! The RIB models multiple routes per prefix with standard best-path
+//! selection (local-pref, then AS-path length, then lowest router id) and a
+//! text table-dump codec resembling `bgpdump -m` output.
+
+mod dump;
+mod rib;
+mod route;
+pub mod stats;
+
+pub use dump::{parse_dump, write_dump, DumpParseError};
+pub use rib::Rib;
+pub use route::{RibEntry, Route};

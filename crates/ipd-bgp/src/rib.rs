@@ -1,0 +1,175 @@
+//! The routing information base.
+
+use ipd_lpm::{Addr, LpmTrie, Prefix};
+use ipd_topology::IngressPoint;
+
+use crate::route::{RibEntry, Route};
+
+/// A BGP RIB: prefixes with one or more routes each, over an LPM trie.
+#[derive(Debug, Default)]
+pub struct Rib {
+    trie: LpmTrie<RibEntry>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Announce (insert or update) a route for `prefix`.
+    pub fn announce(&mut self, prefix: Prefix, route: Route) {
+        // LpmTrie has no entry API; emulate with remove + insert to keep the
+        // trie code minimal. Announcement rate is not a bottleneck here.
+        let mut entry = self.trie.remove(prefix).unwrap_or_default();
+        entry.upsert(route);
+        self.trie.insert(prefix, entry);
+    }
+
+    /// Withdraw the route for `prefix` via `next_hop`. Removes the prefix
+    /// entirely when its last route goes. Returns whether a route was removed.
+    pub fn withdraw(&mut self, prefix: Prefix, next_hop: IngressPoint) -> bool {
+        match self.trie.remove(prefix) {
+            None => false,
+            Some(mut entry) => {
+                let removed = entry.withdraw(next_hop);
+                if !entry.is_empty() {
+                    self.trie.insert(prefix, entry);
+                }
+                removed
+            }
+        }
+    }
+
+    /// The RIB entry exactly at `prefix`.
+    pub fn entry(&self, prefix: Prefix) -> Option<&RibEntry> {
+        self.trie.exact(prefix)
+    }
+
+    /// Longest-prefix match for an address: the covering prefix and its entry.
+    pub fn match_addr(&self, addr: Addr) -> Option<(Prefix, &RibEntry)> {
+        self.trie.lookup(addr)
+    }
+
+    /// Longest-prefix match for a prefix key (§5.5 needs to relate IPD ranges
+    /// to their covering BGP prefix).
+    pub fn match_prefix(&self, prefix: Prefix) -> Option<(Prefix, &RibEntry)> {
+        self.trie.lookup_prefix(prefix)
+    }
+
+    /// Best route for a destination address — this is the *egress* router BGP
+    /// would pick, the quantity compared against IPD ingress in §5.5.
+    pub fn best(&self, addr: Addr) -> Option<(Prefix, &Route)> {
+        self.match_addr(addr).and_then(|(p, e)| e.best().map(|r| (p, r)))
+    }
+
+    /// Origin AS of the best route covering `addr`.
+    pub fn origin_of(&self, addr: Addr) -> Option<u32> {
+        self.best(addr).and_then(|(_, r)| r.origin_as())
+    }
+
+    /// Iterate over `(prefix, entry)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &RibEntry)> + '_ {
+        self.trie.iter()
+    }
+
+    /// All prefixes originated by `asn` (by best route).
+    pub fn prefixes_of_origin(&self, asn: u32) -> Vec<Prefix> {
+        self.iter()
+            .filter(|(_, e)| e.best().and_then(Route::origin_as) == Some(asn))
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse::<std::net::IpAddr>().unwrap().into()
+    }
+
+    fn route(router: u32, path: &[u32]) -> Route {
+        Route {
+            next_hop: IngressPoint::new(router, 1),
+            link: 0,
+            as_path: path.to_vec(),
+            local_pref: 100,
+        }
+    }
+
+    #[test]
+    fn announce_and_lookup() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(1, &[100]));
+        rib.announce(p("10.1.0.0/16"), route(2, &[200, 300]));
+        assert_eq!(rib.prefix_count(), 2);
+        let (pre, r) = rib.best(a("10.1.2.3")).unwrap();
+        assert_eq!(pre, p("10.1.0.0/16"));
+        assert_eq!(r.next_hop.router, 2);
+        assert_eq!(rib.best(a("10.9.0.1")).unwrap().1.next_hop.router, 1);
+        assert_eq!(rib.origin_of(a("10.1.2.3")), Some(300));
+        assert!(rib.best(a("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn multiple_routes_same_prefix() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(5, &[100, 300]));
+        rib.announce(p("10.0.0.0/8"), route(2, &[100]));
+        assert_eq!(rib.prefix_count(), 1);
+        let e = rib.entry(p("10.0.0.0/8")).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.best().unwrap().next_hop.router, 2);
+    }
+
+    #[test]
+    fn withdraw_last_route_removes_prefix() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(1, &[100]));
+        assert!(rib.withdraw(p("10.0.0.0/8"), IngressPoint::new(1, 1)));
+        assert_eq!(rib.prefix_count(), 0);
+        assert!(!rib.withdraw(p("10.0.0.0/8"), IngressPoint::new(1, 1)));
+    }
+
+    #[test]
+    fn withdraw_keeps_other_routes() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(1, &[100]));
+        rib.announce(p("10.0.0.0/8"), route(2, &[100, 200]));
+        assert!(rib.withdraw(p("10.0.0.0/8"), IngressPoint::new(1, 1)));
+        assert_eq!(rib.entry(p("10.0.0.0/8")).unwrap().best().unwrap().next_hop.router, 2);
+    }
+
+    #[test]
+    fn match_prefix_finds_covering_bgp_prefix() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(1, &[100]));
+        // An IPD range more specific than the BGP prefix (the 91% case).
+        let (covering, _) = rib.match_prefix(p("10.2.3.0/28")).unwrap();
+        assert_eq!(covering, p("10.0.0.0/8"));
+        // A less specific IPD range matches nothing.
+        assert!(rib.match_prefix(p("0.0.0.0/4")).is_none());
+    }
+
+    #[test]
+    fn prefixes_of_origin() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), route(1, &[100, 64500]));
+        rib.announce(p("20.0.0.0/8"), route(1, &[200, 64500]));
+        rib.announce(p("30.0.0.0/8"), route(1, &[300]));
+        let mut got = rib.prefixes_of_origin(64500);
+        got.sort();
+        assert_eq!(got, vec![p("10.0.0.0/8"), p("20.0.0.0/8")]);
+    }
+}

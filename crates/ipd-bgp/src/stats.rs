@@ -1,0 +1,176 @@
+//! RIB statistics used by the paper's figures.
+//!
+//! * Fig 3 (dotted lines): distribution of the number of next-hop routers per
+//!   prefix — "only 20% of the prefixes have only one next-hop router, while
+//!   60% have more than five possible routes".
+//! * Fig 9 (gray bars): distribution of BGP prefix lengths — "announcements
+//!   of /24 prefixes in BGP constitute over 50% of the total".
+
+use std::collections::BTreeMap;
+
+use ipd_lpm::{Af, Prefix};
+
+use crate::rib::Rib;
+
+/// Histogram of next-hop router counts: `counts[k]` = number of prefixes with
+/// exactly `k` distinct next-hop routers. Optionally restricted to prefixes
+/// originated by the given ASes.
+pub fn next_hop_count_histogram(rib: &Rib, origin_filter: Option<&[u32]>) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for (_, entry) in rib.iter() {
+        if let Some(filter) = origin_filter {
+            let origin = entry.best().and_then(|r| r.origin_as());
+            if !origin.is_some_and(|o| filter.contains(&o)) {
+                continue;
+            }
+        }
+        *hist.entry(entry.next_hop_router_count()).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Empirical CDF over a count histogram: returns `(k, P(X <= k))` pairs.
+pub fn histogram_cdf(hist: &BTreeMap<usize, usize>) -> Vec<(usize, f64)> {
+    let total: usize = hist.values().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0usize;
+    hist.iter()
+        .map(|(&k, &n)| {
+            acc += n;
+            (k, acc as f64 / total as f64)
+        })
+        .collect()
+}
+
+/// Distribution of prefix lengths for one family: `dist[len]` = share of
+/// prefixes with that mask (sums to 1.0 unless the RIB is empty).
+pub fn mask_distribution(rib: &Rib, af: Af) -> BTreeMap<u8, f64> {
+    let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (prefix, _) in rib.iter() {
+        if prefix.af() == af {
+            *counts.entry(prefix.len()).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(len, n)| (len, n as f64 / total.max(1) as f64))
+        .collect()
+}
+
+/// Share of prefixes (of family `af`) whose best route originates from each
+/// AS — used to pick the "TOP5/TOP20 by traffic" AS sets in the evaluation.
+pub fn origin_share(rib: &Rib, af: Af) -> BTreeMap<u32, f64> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (prefix, entry) in rib.iter() {
+        if prefix.af() != af {
+            continue;
+        }
+        if let Some(origin) = entry.best().and_then(|r| r.origin_as()) {
+            *counts.entry(origin).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(asn, n)| (asn, n as f64 / total.max(1) as f64))
+        .collect()
+}
+
+/// Weighted address-space coverage per mask length (each prefix weighted by
+/// its address count) — the "mapped address space" series of Fig 11/12 needs
+/// the same computation on IPD output, so it lives here for reuse on any
+/// prefix iterator.
+pub fn address_space_by_mask<'a, I>(prefixes: I) -> BTreeMap<u8, f64>
+where
+    I: IntoIterator<Item = &'a Prefix>,
+{
+    let mut out: BTreeMap<u8, f64> = BTreeMap::new();
+    for p in prefixes {
+        *out.entry(p.len()).or_insert(0.0) += p.num_addrs();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Route;
+    use ipd_topology::IngressPoint;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(router: u32, origin: u32) -> Route {
+        Route {
+            next_hop: IngressPoint::new(router, 1),
+            link: 0,
+            as_path: vec![origin],
+            local_pref: 100,
+        }
+    }
+
+    fn sample_rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/24"), route(1, 64500));
+        rib.announce(p("10.0.1.0/24"), route(1, 64500));
+        rib.announce(p("10.0.1.0/24"), route(2, 64500));
+        rib.announce(p("10.0.2.0/23"), route(1, 64501));
+        rib.announce(p("10.0.2.0/23"), route(2, 64501));
+        rib.announce(p("10.0.2.0/23"), route(3, 64501));
+        rib
+    }
+
+    #[test]
+    fn next_hop_histogram() {
+        let rib = sample_rib();
+        let h = next_hop_count_histogram(&rib, None);
+        assert_eq!(h.get(&1), Some(&1));
+        assert_eq!(h.get(&2), Some(&1));
+        assert_eq!(h.get(&3), Some(&1));
+        let filtered = next_hop_count_histogram(&rib, Some(&[64500]));
+        assert_eq!(filtered.values().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let rib = sample_rib();
+        let cdf = histogram_cdf(&next_hop_count_histogram(&rib, None));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(histogram_cdf(&BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn mask_distribution_sums_to_one() {
+        let rib = sample_rib();
+        let d = mask_distribution(&rib, Af::V4);
+        assert!((d.values().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((d[&24] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((d[&23] - 1.0 / 3.0).abs() < 1e-9);
+        assert!(mask_distribution(&rib, Af::V6).is_empty());
+    }
+
+    #[test]
+    fn origin_share_by_prefix_count() {
+        let rib = sample_rib();
+        let s = origin_share(&rib, Af::V4);
+        assert!((s[&64500] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s[&64501] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn address_space_weighting() {
+        let prefixes = [p("10.0.0.0/24"), p("10.1.0.0/24"), p("10.2.0.0/23")];
+        let w = address_space_by_mask(prefixes.iter());
+        assert_eq!(w[&24], 512.0);
+        assert_eq!(w[&23], 512.0);
+    }
+}

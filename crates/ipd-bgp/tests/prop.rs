@@ -1,0 +1,152 @@
+//! Property-based tests: the RIB against a naive model, and dump round-trips.
+
+use std::collections::HashMap;
+
+use ipd_bgp::{parse_dump, write_dump, Rib, Route};
+use ipd_lpm::{Addr, Prefix};
+use ipd_topology::IngressPoint;
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    // Cluster prefixes into 10.0.0.0/8 so overlaps actually happen.
+    (any::<u32>(), 8u8..=28).prop_map(|(bits, len)| {
+        Prefix::of(Addr::v4(0x0A00_0000 | (bits & 0x00FF_FFFF)), len)
+    })
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    (1u32..8, 1u16..4, proptest::collection::vec(1u32..100, 1..4), 50u32..200).prop_map(
+        |(router, ifx, as_path, local_pref)| Route {
+            next_hop: IngressPoint::new(router, ifx),
+            link: 0,
+            as_path,
+            local_pref,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Announce(Prefix, Route),
+    Withdraw(Prefix, u32, u16),
+    Lookup(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (arb_prefix(), arb_route()).prop_map(|(p, r)| Op::Announce(p, r)),
+        1 => (arb_prefix(), 1u32..8, 1u16..4).prop_map(|(p, r, i)| Op::Withdraw(p, r, i)),
+        2 => any::<u32>().prop_map(|bits| Op::Lookup(0x0A00_0000 | (bits & 0x00FF_FFFF))),
+    ]
+}
+
+/// Naive model: map prefix → routes; lookups by linear scan + the same
+/// best-path ordering.
+#[derive(Default)]
+struct Model {
+    routes: HashMap<Prefix, Vec<Route>>,
+}
+
+impl Model {
+    fn announce(&mut self, p: Prefix, r: Route) {
+        let v = self.routes.entry(p).or_default();
+        v.retain(|x| x.next_hop != r.next_hop);
+        v.push(r);
+    }
+
+    fn withdraw(&mut self, p: Prefix, nh: IngressPoint) {
+        if let Some(v) = self.routes.get_mut(&p) {
+            v.retain(|x| x.next_hop != nh);
+            if v.is_empty() {
+                self.routes.remove(&p);
+            }
+        }
+    }
+
+    fn best(&self, a: Addr) -> Option<(Prefix, IngressPoint)> {
+        let (p, v) = self
+            .routes
+            .iter()
+            .filter(|(p, _)| p.contains(a))
+            .max_by_key(|(p, _)| p.len())?;
+        let best = v
+            .iter()
+            .min_by(|x, y| {
+                y.local_pref
+                    .cmp(&x.local_pref)
+                    .then(x.as_path.len().cmp(&y.as_path.len()))
+                    .then(x.next_hop.cmp(&y.next_hop))
+            })?;
+        Some((*p, best.next_hop))
+    }
+}
+
+proptest! {
+    /// RIB agrees with the naive model on every lookup.
+    #[test]
+    fn rib_matches_model(ops in proptest::collection::vec(arb_op(), 1..150)) {
+        let mut rib = Rib::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Announce(p, r) => {
+                    rib.announce(p, r.clone());
+                    model.announce(p, r);
+                }
+                Op::Withdraw(p, router, ifx) => {
+                    let nh = IngressPoint::new(router, ifx);
+                    rib.withdraw(p, nh);
+                    model.withdraw(p, nh);
+                }
+                Op::Lookup(bits) => {
+                    let a = Addr::v4(bits);
+                    let got = rib.best(a).map(|(p, r)| (p, r.next_hop));
+                    prop_assert_eq!(got, model.best(a));
+                }
+            }
+            prop_assert_eq!(rib.prefix_count(), model.routes.len());
+        }
+    }
+
+    /// A RIB survives the dump → parse round-trip with identical best paths.
+    #[test]
+    fn dump_roundtrip_preserves_best_paths(
+        entries in proptest::collection::vec((arb_prefix(), arb_route()), 1..80),
+        probes in proptest::collection::vec(any::<u32>(), 20),
+    ) {
+        let mut rib = Rib::new();
+        for (p, r) in &entries {
+            rib.announce(*p, r.clone());
+        }
+        let text = write_dump(&rib, 777);
+        let (back, ts) = parse_dump(&text).unwrap();
+        prop_assert_eq!(ts, Some(777));
+        prop_assert_eq!(back.prefix_count(), rib.prefix_count());
+        for bits in probes {
+            let a = Addr::v4(0x0A00_0000 | (bits & 0x00FF_FFFF));
+            prop_assert_eq!(
+                back.best(a).map(|(p, r)| (p, r.next_hop, r.local_pref)),
+                rib.best(a).map(|(p, r)| (p, r.next_hop, r.local_pref))
+            );
+        }
+    }
+
+    /// The parser never panics on mutated dumps (errors are fine).
+    #[test]
+    fn parser_survives_mutation(
+        entries in proptest::collection::vec((arb_prefix(), arb_route()), 1..20),
+        cut in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let mut rib = Rib::new();
+        for (p, r) in &entries {
+            rib.announce(*p, r.clone());
+        }
+        let mut text = write_dump(&rib, 1).into_bytes();
+        if !text.is_empty() {
+            let i = cut % text.len();
+            text[i] = flip;
+        }
+        let _ = parse_dump(&String::from_utf8_lossy(&text));
+    }
+}

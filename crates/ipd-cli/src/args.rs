@@ -1,0 +1,119 @@
+//! A small, dependency-free argument parser: `--key value` pairs and flags
+//! after a subcommand.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: subcommand + options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse errors with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = match iter.next() {
+            Some(c) if !c.starts_with('-') => c,
+            Some(c) => return Err(ArgError(format!("expected a subcommand, got {c:?}"))),
+            None => return Err(ArgError("missing subcommand".into())),
+        };
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {arg:?}")));
+            };
+            // A flag if the next token is absent or another option.
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    if options.insert(key.to_string(), value).is_some() {
+                        return Err(ArgError(format!("--{key} given twice")));
+                    }
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Args { command, options, flags })
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
+            }
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn subcommand_options_flags() {
+        let a = parse(&["run", "--trace", "t.ipdt", "--q", "0.9", "--verbose"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("trace"), Some("t.ipdt"));
+        assert_eq!(a.get_or::<f64>("q", 0.95).unwrap(), 0.9);
+        assert_eq!(a.get_or::<u64>("minutes", 25).unwrap(), 25);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--oops"]).is_err());
+        assert!(parse(&["run", "stray"]).is_err());
+        assert!(parse(&["run", "--a", "1", "--a", "2"]).is_err());
+        let a = parse(&["run", "--q", "zap"]).unwrap();
+        assert!(a.get_or::<f64>("q", 1.0).is_err());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["simulate", "--seed", "7", "--quiet"]).unwrap();
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.flag("quiet"));
+    }
+}

@@ -1,0 +1,263 @@
+//! `ipd-tool` — command-line front end for the IPD reproduction.
+//!
+//! ```text
+//! ipd-tool simulate --minutes 30 --flows-per-minute 20000 --seed 42 \
+//!          --out trace.ipdt [--bgp-dump rib.txt]
+//! ipd-tool run      --trace trace.ipdt [--q 0.95] [--cidr-max 28] \
+//!          [--factor <auto>] [--table3 out.txt]
+//! ipd-tool lookup   --trace trace.ipdt --addr 22.1.2.3 [--addr ...]
+//! ipd-tool info     --trace trace.ipdt
+//! ```
+//!
+//! `simulate` generates the synthetic tier-1 world and records its flow
+//! stream to a trace file; `run` replays any trace through the engine and
+//! prints the classification summary (optionally the full Table-3 output);
+//! `lookup` resolves addresses against the final LPM table; `info` shows
+//! trace statistics.
+
+mod args;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use ipd::output::default_ingress_format;
+use ipd::pipeline::{run_offline, PipelineOutput};
+use ipd::{IpdEngine, IpdParams, Snapshot};
+use ipd_bgp::write_dump;
+use ipd_lpm::Addr;
+use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
+use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
+
+const USAGE: &str = "usage: ipd-tool <simulate|run|lookup|info> [--options]
+  simulate --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
+  run      --trace FILE [--q Q] [--cidr-max N] [--factor F] [--table3 FILE]
+  lookup   --trace FILE --addr A [--addr B ...]   (repeat via comma list)
+  info     --trace FILE";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ipd-tool: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "simulate" => simulate(&args),
+        "run" => run(&args),
+        "lookup" => lookup(&args),
+        "info" => info(&args),
+        other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let out = args.require("out")?;
+    let minutes: u64 = args.get_or("minutes", 30)?;
+    let flows_per_minute: u64 = args.get_or("flows-per-minute", 20_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let quiet = args.flag("quiet");
+
+    let world = World::generate(WorldConfig::default(), seed);
+    if !quiet {
+        eprintln!(
+            "world: {} ASes, {} routers, {} links, {} BGP prefixes",
+            world.ases.len(),
+            world.topology.routers().len(),
+            world.topology.links().len(),
+            world.rib.prefix_count()
+        );
+    }
+    if let Some(path) = args.get("bgp-dump") {
+        std::fs::write(path, write_dump(&world.rib, world.config.epoch))?;
+        eprintln!("wrote BGP table dump to {path}");
+    }
+    let mut sim =
+        FlowSim::new(world, SimConfig { flows_per_minute, seed, ..SimConfig::default() });
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(out)?))?;
+    for m in 0..minutes {
+        for lf in sim.next_minute().flows {
+            writer.write(&lf.flow)?;
+        }
+        if m % 10 == 9 {
+            eprintln!("  {}/{} minutes, {} flows", m + 1, minutes, writer.count());
+        }
+    }
+    let n = writer.count();
+    writer.finish()?.flush()?;
+    eprintln!("wrote {n} flows over {minutes} minutes to {out}");
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>> {
+    let reader = TraceReader::new(BufReader::new(File::open(path)?))?;
+    let mut flows = Vec::new();
+    for r in reader {
+        flows.push(r?);
+    }
+    Ok(flows)
+}
+
+fn engine_over(
+    args: &Args,
+    flows: &[FlowRecord],
+) -> Result<(IpdEngine, Option<Snapshot>), Box<dyn std::error::Error>> {
+    // Auto-scale the n_cidr factor to the trace's flow rate unless given.
+    let span_secs = match (flows.first(), flows.last()) {
+        (Some(a), Some(b)) => b.ts.saturating_sub(a.ts).max(60),
+        _ => 60,
+    };
+    let rate_per_min = flows.len() as f64 / (span_secs as f64 / 60.0);
+    let auto_factor = (64.0 / 32.0e6 * rate_per_min).max(1e-4);
+    let params = IpdParams {
+        q: args.get_or("q", 0.95)?,
+        cidr_max_v4: args.get_or("cidr-max", 28)?,
+        ncidr_factor_v4: args.get_or("factor", auto_factor)?,
+        ncidr_factor_v6: (rate_per_min * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    eprintln!(
+        "running IPD over {} flows (~{:.0} flows/min), q={}, cidr_max=/{}, n_cidr factor={:.4}",
+        flows.len(),
+        rate_per_min,
+        params.q,
+        params.cidr_max_v4,
+        params.ncidr_factor_v4
+    );
+    let mut engine = IpdEngine::new(params)?;
+    let mut last_snapshot = None;
+    run_offline(&mut engine, flows.iter().cloned(), 5, |o| {
+        if let PipelineOutput::Snapshot(s) = o {
+            last_snapshot = Some(s);
+        }
+    });
+    Ok((engine, last_snapshot))
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let flows = load_trace(args.require("trace")?)?;
+    let (engine, snapshot) = engine_over(args, &flows)?;
+    let snapshot = snapshot.ok_or("trace produced no snapshots (empty?)")?;
+    let stats = engine.stats();
+    println!("flows ingested:     {}", stats.flows_ingested);
+    println!("stage-2 cycles:     {}", stats.ticks);
+    println!("splits/joins:       {}/{}", stats.splits, stats.joins);
+    println!("classifications:    {}", stats.classifications);
+    println!("drops:              {}", stats.drops);
+    println!("live ranges:        {}", engine.range_count());
+    println!("classified ranges:  {}", engine.classified_count());
+    println!("state estimate:     {} KiB", engine.state_bytes_estimate() / 1024);
+    if let Some(path) = args.get("table3") {
+        std::fs::write(path, snapshot.to_table3(&default_ingress_format))?;
+        println!("wrote Table-3 output ({} ranges) to {path}", snapshot.records.len());
+    } else {
+        println!("\ntop classified ranges by samples:");
+        let mut classified: Vec<_> = snapshot.classified().collect();
+        classified.sort_by(|a, b| b.sample_count.partial_cmp(&a.sample_count).expect("finite"));
+        for r in classified.iter().take(10) {
+            println!("  {}", r.table3_line(&default_ingress_format));
+        }
+    }
+    Ok(())
+}
+
+fn lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let flows = load_trace(args.require("trace")?)?;
+    let addrs: Vec<Addr> = args
+        .require("addr")?
+        .split(',')
+        .map(|s| s.trim().parse::<std::net::IpAddr>().map(Addr::from))
+        .collect::<Result<_, _>>()?;
+    let (_, snapshot) = engine_over(args, &flows)?;
+    let table = snapshot.ok_or("trace produced no snapshots (empty?)")?.lpm_table();
+    for addr in addrs {
+        match table.lookup(addr) {
+            Some((range, ingress)) => println!("{addr:<18} {range:<20} {ingress}"),
+            None => println!("{addr:<18} (not classified)"),
+        }
+    }
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let flows = load_trace(args.require("trace")?)?;
+    if flows.is_empty() {
+        println!("empty trace");
+        return Ok(());
+    }
+    let (first, last) = (flows.first().expect("non-empty"), flows.last().expect("non-empty"));
+    let routers: std::collections::HashSet<u32> = flows.iter().map(|f| f.router).collect();
+    let srcs: std::collections::HashSet<u128> =
+        flows.iter().map(|f| f.src.masked(24).bits()).collect();
+    println!("records:        {}", flows.len());
+    println!("time span:      {} .. {} ({} s)", first.ts, last.ts, last.ts - first.ts);
+    println!("border routers: {}", routers.len());
+    println!("distinct /24s:  {}", srcs.len());
+    println!(
+        "total volume:   {:.1} M packets, {:.1} GB (sampled)",
+        flows.iter().map(|f| f.packets as f64).sum::<f64>() / 1e6,
+        flows.iter().map(|f| f.bytes as f64).sum::<f64>() / 1e9
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ipd-tool-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_then_run_and_lookup() {
+        let trace = tmp("smoke.ipdt");
+        let bgp = tmp("smoke-rib.txt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "7",
+            "--out",
+            &trace,
+            "--bgp-dump",
+            &bgp,
+        ]))
+        .expect("simulate");
+        assert!(std::fs::metadata(&trace).expect("trace file").len() > 1000);
+        let dump = std::fs::read_to_string(&bgp).expect("bgp dump");
+        assert!(dump.starts_with("TABLE_DUMP2|"));
+
+        let table3 = tmp("smoke-table3.txt");
+        run_cli(argv(&["run", "--trace", &trace, "--table3", &table3])).expect("run");
+        let t3 = std::fs::read_to_string(&table3).expect("table3 output");
+        assert!(!t3.is_empty());
+
+        run_cli(argv(&["lookup", "--trace", &trace, "--addr", "22.0.0.1,23.0.0.1"]))
+            .expect("lookup");
+        run_cli(argv(&["info", "--trace", &trace])).expect("info");
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run_cli(argv(&["frobnicate"])).is_err());
+        assert!(run_cli(argv(&["run"])).is_err(), "missing --trace");
+        assert!(run_cli(argv(&["run", "--trace", "/does/not/exist.ipdt"])).is_err());
+    }
+}

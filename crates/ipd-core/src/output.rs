@@ -1,0 +1,340 @@
+//! IPD output records — the shape of the paper's raw output (Table 3) —
+//! and the LPM lookup-table export used for validation (§5.1).
+
+use ipd_lpm::{LpmTrie, Prefix};
+use ipd_topology::IngressPoint;
+
+use crate::ingress::{IngressRegistry, LogicalIngress};
+use crate::params::IpdParams;
+use crate::range::RangeState;
+
+/// One output row, mirroring Table 3 of the paper:
+/// `timestamp, ip(version), s_ingress, s_ipcount, n_cidr, range, ingress(all shares)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpdRangeRecord {
+    /// Snapshot timestamp.
+    pub ts: u64,
+    /// The IPD range.
+    pub range: Prefix,
+    /// Whether the range currently has an assigned ingress.
+    pub classified: bool,
+    /// The assigned ingress (classified), or the current best candidate
+    /// (monitored, if any traffic was seen).
+    pub ingress: Option<LogicalIngress>,
+    /// `s_ingress`: share of the dominant/assigned ingress, 0..=1.
+    pub confidence: f64,
+    /// `s_ipcount`: total samples accumulated in the range.
+    pub sample_count: f64,
+    /// `n_cidr`: the minimum-sample threshold for this range size.
+    pub n_cidr: f64,
+    /// When the range was classified (classified ranges only).
+    pub since: Option<u64>,
+    /// All ingress points with their accumulated weights, descending —
+    /// Table 3: "in parentheses, *all* ingress points and their traffic
+    /// share are shown".
+    pub shares: Vec<(IngressPoint, f64)>,
+}
+
+impl IpdRangeRecord {
+    pub(crate) fn from_state(
+        ts: u64,
+        range: Prefix,
+        state: &RangeState,
+        params: &IpdParams,
+        registry: &IngressRegistry,
+    ) -> Self {
+        let n_cidr = params.n_cidr(range.af(), range.len());
+        match state {
+            RangeState::Monitoring(m) => {
+                let (total, per) = m.totals();
+                let mut shares: Vec<(IngressPoint, f64)> =
+                    per.iter().map(|(&id, &w)| (registry.resolve(id), w)).collect();
+                shares.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite weights").then(a.0.cmp(&b.0))
+                });
+                let (ingress, confidence) = match shares.first() {
+                    Some(&(p, w)) if total > 0.0 => {
+                        (Some(LogicalIngress::Link(p)), w / total)
+                    }
+                    _ => (None, 0.0),
+                };
+                IpdRangeRecord {
+                    ts,
+                    range,
+                    classified: false,
+                    ingress,
+                    confidence,
+                    sample_count: total,
+                    n_cidr,
+                    since: None,
+                    shares,
+                }
+            }
+            RangeState::Classified(c) => {
+                let mut shares: Vec<(IngressPoint, f64)> =
+                    c.counts.iter().map(|(&id, &w)| (registry.resolve(id), w)).collect();
+                shares.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite weights").then(a.0.cmp(&b.0))
+                });
+                IpdRangeRecord {
+                    ts,
+                    range,
+                    classified: true,
+                    ingress: Some(c.ingress.clone()),
+                    confidence: c.member_share(),
+                    sample_count: c.total,
+                    n_cidr,
+                    since: Some(c.since),
+                    shares,
+                }
+            }
+        }
+    }
+
+    /// Render one Table-3-style line. `fmt_ingress` maps an ingress point to
+    /// its display form; pass `Topology::format_ingress` for the paper's
+    /// `C2-R2.4` labels, or [`default_ingress_format`] without a topology.
+    pub fn table3_line<F: Fn(IngressPoint) -> String>(&self, fmt_ingress: &F) -> String {
+        let af = self.range.af();
+        let ingress = match &self.ingress {
+            None => "-".to_string(),
+            Some(LogicalIngress::Link(p)) => fmt_ingress(*p),
+            Some(LogicalIngress::Bundle(b)) => {
+                let parts: Vec<String> = b
+                    .ifindexes
+                    .iter()
+                    .map(|&i| fmt_ingress(IngressPoint::new(b.router, i)))
+                    .collect();
+                format!("bundle[{}]", parts.join("+"))
+            }
+        };
+        let details: Vec<String> = self
+            .shares
+            .iter()
+            .map(|(p, w)| format!("{}={}", fmt_ingress(*p), *w as u64))
+            .collect();
+        format!(
+            "{}\t{}\t{:.3}\t{}\t{}\t{}\t{}({})",
+            self.ts,
+            af,
+            self.confidence,
+            self.sample_count as u64,
+            self.n_cidr.ceil() as u64,
+            self.range,
+            ingress,
+            details.join(",")
+        )
+    }
+}
+
+/// Topology-free ingress formatting: `R30.1`.
+pub fn default_ingress_format(p: IngressPoint) -> String {
+    format!("R{}.{}", p.router, p.ifindex)
+}
+
+/// A full engine snapshot at one timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Snapshot timestamp.
+    pub ts: u64,
+    /// All live ranges, in address order.
+    pub records: Vec<IpdRangeRecord>,
+}
+
+impl Snapshot {
+    /// Only the classified ranges.
+    pub fn classified(&self) -> impl Iterator<Item = &IpdRangeRecord> {
+        self.records.iter().filter(|r| r.classified)
+    }
+
+    /// Build the Longest-Prefix-Match lookup table the paper validates with
+    /// (§5.1: "we create a LPM lookup table from the IPD output that maps
+    /// each IPD prefix to its corresponding ingress router and interface").
+    pub fn lpm_table(&self) -> LpmTrie<LogicalIngress> {
+        self.classified()
+            .filter_map(|r| r.ingress.clone().map(|i| (r.range, i)))
+            .collect()
+    }
+
+    /// Render the whole snapshot as Table-3 lines (classified and monitored).
+    pub fn to_table3<F: Fn(IngressPoint) -> String>(&self, fmt_ingress: &F) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.table3_line(fmt_ingress));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Differences between two snapshots — what an operator dashboard renders
+/// (§5.8: IPD "can easily reveal" route changes "e.g., via dashboards").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Ranges classified in `after` but not in `before`.
+    pub appeared: Vec<(Prefix, LogicalIngress)>,
+    /// Ranges classified in `before` but gone (or declassified) in `after`.
+    pub disappeared: Vec<(Prefix, LogicalIngress)>,
+    /// Ranges classified in both but with a different ingress:
+    /// `(range, before, after)`.
+    pub moved: Vec<(Prefix, LogicalIngress, LogicalIngress)>,
+    /// Ranges classified identically in both.
+    pub unchanged: usize,
+}
+
+impl SnapshotDiff {
+    /// Compare the classified populations of two snapshots by exact range.
+    pub fn between(before: &Snapshot, after: &Snapshot) -> SnapshotDiff {
+        let mut old: std::collections::HashMap<Prefix, &LogicalIngress> = before
+            .classified()
+            .filter_map(|r| r.ingress.as_ref().map(|i| (r.range, i)))
+            .collect();
+        let mut diff = SnapshotDiff::default();
+        for r in after.classified() {
+            let Some(new_ing) = r.ingress.as_ref() else { continue };
+            match old.remove(&r.range) {
+                None => diff.appeared.push((r.range, new_ing.clone())),
+                Some(old_ing) if old_ing == new_ing => diff.unchanged += 1,
+                Some(old_ing) => {
+                    diff.moved.push((r.range, old_ing.clone(), new_ing.clone()));
+                }
+            }
+        }
+        diff.disappeared = old.into_iter().map(|(p, i)| (p, i.clone())).collect();
+        diff.appeared.sort_by_key(|(p, _)| *p);
+        diff.disappeared.sort_by_key(|(p, _)| *p);
+        diff.moved.sort_by_key(|(p, _, _)| *p);
+        diff
+    }
+
+    /// Total number of changes.
+    pub fn change_count(&self) -> usize {
+        self.appeared.len() + self.disappeared.len() + self.moved.len()
+    }
+
+    /// True when the snapshots' classified populations are identical.
+    pub fn is_empty(&self) -> bool {
+        self.change_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::IpdEngine;
+    use crate::params::IpdParams;
+    use ipd_lpm::Addr;
+
+    fn engine_with_split_space() -> IpdEngine {
+        let params =
+            IpdParams { ncidr_factor_v4: 0.01, ..IpdParams::default() };
+        let mut e = IpdEngine::new(params).unwrap();
+        // n_cidr: /0 needs ~656 samples, /1 needs ~464 — 600 per half works.
+        for i in 0..600u32 {
+            e.ingest_parts(30, Addr::v4(i * 1024), IngressPoint::new(1, 1), 1.0);
+            e.ingest_parts(30, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(2, 4), 1.0);
+        }
+        e.tick(60); // split
+        e.tick(61); // classify halves
+        e
+    }
+
+    #[test]
+    fn snapshot_lpm_table_matches_classifications() {
+        let e = engine_with_split_space();
+        let snap = e.snapshot(61);
+        let lpm = snap.lpm_table();
+        assert_eq!(lpm.len(), 2);
+        let (p, ing) = lpm.lookup(Addr::v4(0x0100_0000)).unwrap();
+        assert_eq!(p.to_string(), "0.0.0.0/1");
+        assert!(ing.is_link(IngressPoint::new(1, 1)));
+        let (_, ing) = lpm.lookup(Addr::v4(0x9000_0000)).unwrap();
+        assert!(ing.is_link(IngressPoint::new(2, 4)));
+    }
+
+    #[test]
+    fn table3_line_shape() {
+        let e = engine_with_split_space();
+        let snap = e.snapshot(61);
+        let text = snap.to_table3(&default_ingress_format);
+        let first = text.lines().next().unwrap();
+        // ts, af, confidence, count, ncidr, range, ingress(details)
+        let fields: Vec<&str> = first.split('\t').collect();
+        assert_eq!(fields.len(), 7, "line: {first}");
+        assert_eq!(fields[0], "61");
+        assert_eq!(fields[1], "4");
+        assert!(fields[2].parse::<f64>().unwrap() >= 0.95);
+        assert!(fields[6].starts_with("R1.1(R1.1="), "field: {}", fields[6]);
+    }
+
+    #[test]
+    fn monitored_record_reports_best_candidate() {
+        let params = IpdParams::default(); // huge thresholds: nothing classifies
+        let mut e = IpdEngine::new(params).unwrap();
+        e.ingest_parts(30, Addr::v4(1), IngressPoint::new(1, 1), 3.0);
+        e.ingest_parts(30, Addr::v4(2), IngressPoint::new(2, 1), 1.0);
+        let snap = e.snapshot(30);
+        assert_eq!(snap.records.len(), 1);
+        let r = &snap.records[0];
+        assert!(!r.classified);
+        assert_eq!(r.sample_count, 4.0);
+        assert!((r.confidence - 0.75).abs() < 1e-9);
+        assert!(r.ingress.as_ref().unwrap().is_link(IngressPoint::new(1, 1)));
+        assert!(r.since.is_none());
+        // Empty engine → empty snapshot.
+        let empty = IpdEngine::new(IpdParams::default()).unwrap().snapshot(0);
+        assert!(empty.records.is_empty());
+    }
+
+    #[test]
+    fn snapshot_diff_tracks_changes() {
+        let e = engine_with_split_space();
+        let before = e.snapshot(61);
+        // Identical snapshots: no changes.
+        let same = SnapshotDiff::between(&before, &before);
+        assert!(same.is_empty());
+        assert_eq!(same.unchanged, 2);
+
+        // Shift the high half to a new ingress and let IPD react: the first
+        // tick invalidates (dominant share diluted), fresh traffic then
+        // re-learns the new ingress.
+        let mut e = engine_with_split_space();
+        for i in 0..3000u32 {
+            e.ingest_parts(120, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(9, 9), 1.0);
+        }
+        e.tick(180); // invalidation (resets per-IP state)
+        for i in 0..3000u32 {
+            e.ingest_parts(185, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(9, 9), 1.0);
+        }
+        e.tick(240); // re-classification from fresh state
+        let after = e.snapshot(240);
+        let diff = SnapshotDiff::between(&before, &after);
+        assert!(!diff.is_empty());
+        let total_refs = diff.unchanged + diff.moved.len() + diff.disappeared.len();
+        assert_eq!(total_refs, before.classified().count());
+        // The low half is untouched.
+        assert!(diff.unchanged >= 1);
+        // The high half either moved to R9.9 or went through a
+        // disappear/appear cycle at finer granularity.
+        let high_moved = diff
+            .moved
+            .iter()
+            .any(|(_, _, new)| new.is_link(IngressPoint::new(9, 9)))
+            || diff
+                .appeared
+                .iter()
+                .any(|(_, ing)| ing.is_link(IngressPoint::new(9, 9)));
+        assert!(high_moved, "diff: {diff:?}");
+    }
+
+    #[test]
+    fn shares_are_descending() {
+        let e = engine_with_split_space();
+        let snap = e.snapshot(61);
+        for r in &snap.records {
+            for w in r.shares.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Per-range state and the classify/split/bundle decision.
+
+use std::collections::HashMap;
+
+use ipd_topology::Bundle;
+
+use crate::ingress::{IngressId, IngressRegistry, LogicalIngress};
+
+/// Counter map: per-ingress accumulated weight (flows or bytes).
+pub(crate) type CountMap = HashMap<IngressId, f64>;
+
+/// State of one leaf range in the IPD trie.
+#[derive(Debug, Clone)]
+pub(crate) enum RangeState {
+    /// Not yet classified: full per-(masked) source IP state is kept so that
+    /// expiry can be exact and splits can redistribute it (the paper:
+    /// "maintaining state only for ranges lacking a definitive ingress").
+    Monitoring(MonitorState),
+    /// Classified: "all state is removed for efficiency reasons, and only
+    /// the total number of samples, the counters for the respective
+    /// ingresses, and the last timestamp are retained."
+    Classified(ClassifiedState),
+}
+
+impl RangeState {
+    pub(crate) fn empty() -> Self {
+        RangeState::Monitoring(MonitorState::default())
+    }
+
+    /// Most recent sample timestamp in this range, if any.
+    pub(crate) fn last_ts(&self) -> Option<u64> {
+        match self {
+            RangeState::Monitoring(m) => m.ips.values().map(|s| s.last_ts).max(),
+            RangeState::Classified(c) => Some(c.last_ts),
+        }
+    }
+}
+
+/// Per masked-source-IP observation state.
+#[derive(Debug, Clone)]
+pub(crate) struct IpState {
+    pub(crate) last_ts: u64,
+    pub(crate) counts: CountMap,
+}
+
+/// Unclassified-range state: one entry per masked source IP.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MonitorState {
+    pub(crate) ips: HashMap<u128, IpState>,
+}
+
+impl MonitorState {
+    /// Record one sample.
+    pub(crate) fn add(&mut self, masked_ip: u128, ts: u64, id: IngressId, weight: f64) {
+        let entry = self
+            .ips
+            .entry(masked_ip)
+            .or_insert_with(|| IpState { last_ts: ts, counts: CountMap::new() });
+        entry.last_ts = entry.last_ts.max(ts);
+        *entry.counts.entry(id).or_insert(0.0) += weight;
+    }
+
+    /// Remove per-IP state older than `e` seconds. Returns how many IPs were
+    /// expired.
+    pub(crate) fn expire(&mut self, now: u64, e_secs: u64) -> usize {
+        let before = self.ips.len();
+        self.ips.retain(|_, s| s.last_ts + e_secs >= now);
+        before - self.ips.len()
+    }
+
+    /// Aggregate totals: overall weight and per-ingress weight.
+    pub(crate) fn totals(&self) -> (f64, CountMap) {
+        let mut total = 0.0;
+        let mut per_ingress = CountMap::new();
+        for s in self.ips.values() {
+            for (&id, &w) in &s.counts {
+                total += w;
+                *per_ingress.entry(id).or_insert(0.0) += w;
+            }
+        }
+        (total, per_ingress)
+    }
+
+    /// True when no per-IP state remains.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// Split the state into (bit = 0, bit = 1) halves according to address
+    /// bit `depth` (0-based from the MSB of the family width `width`).
+    pub(crate) fn split(self, width: u8, depth: u8) -> (MonitorState, MonitorState) {
+        let mut left = MonitorState::default();
+        let mut right = MonitorState::default();
+        let shift = width - 1 - depth;
+        for (ip, st) in self.ips {
+            if (ip >> shift) & 1 == 0 {
+                left.ips.insert(ip, st);
+            } else {
+                right.ips.insert(ip, st);
+            }
+        }
+        (left, right)
+    }
+}
+
+/// Classified-range state.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassifiedState {
+    /// The assigned logical ingress.
+    pub(crate) ingress: LogicalIngress,
+    /// Interned ids belonging to the ingress (one for a link, several for a
+    /// bundle) — kept sorted for cheap membership tests.
+    pub(crate) member_ids: Vec<IngressId>,
+    /// Per-ingress counters (all ingresses, members and strays).
+    pub(crate) counts: CountMap,
+    /// Total weight (`s_ipcount` in Table 3).
+    pub(crate) total: f64,
+    /// Last sample timestamp.
+    pub(crate) last_ts: u64,
+    /// When this range was classified.
+    pub(crate) since: u64,
+}
+
+impl ClassifiedState {
+    /// Record one sample.
+    pub(crate) fn add(&mut self, ts: u64, id: IngressId, weight: f64) {
+        *self.counts.entry(id).or_insert(0.0) += weight;
+        self.total += weight;
+        self.last_ts = self.last_ts.max(ts);
+    }
+
+    /// Share of the traffic entering through member ingresses — the paper's
+    /// `s_ingress` confidence for a classified range.
+    pub(crate) fn member_share(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let member: f64 = self
+            .member_ids
+            .iter()
+            .filter_map(|id| self.counts.get(id))
+            .sum();
+        member / self.total
+    }
+
+    /// Multiply every counter by `factor` (the Table 1 decay).
+    pub(crate) fn decay(&mut self, factor: f64) {
+        for w in self.counts.values_mut() {
+            *w *= factor;
+        }
+        self.total *= factor;
+    }
+}
+
+/// Outcome of evaluating an unclassified range that met its `n_cidr`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Decision {
+    /// One logical ingress dominates: classify.
+    Classify(LogicalIngress, Vec<IngressId>),
+    /// Ambiguous and below `cidr_max`: split into the two children.
+    Split,
+    /// Ambiguous at `cidr_max` (and bundling did not help): keep monitoring.
+    Wait,
+}
+
+/// The classification decision of Algorithm 1, lines 9–15.
+///
+/// * A single ingress with share ≥ `q` classifies as a link at any depth.
+/// * Below `cidr_max`, anything ambiguous splits.
+/// * At `cidr_max` ranges cannot split, so we attempt router-level
+///   *bundling*: if one router's interfaces jointly hold share ≥ `q`, the
+///   interfaces carrying at least `bundle_member_min_share` of that router's
+///   weight form a [`Bundle`]. Otherwise the range stays monitored.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide(
+    per_ingress: &CountMap,
+    total: f64,
+    q: f64,
+    at_cidr_max: bool,
+    enable_bundles: bool,
+    bundle_member_min_share: f64,
+    registry: &IngressRegistry,
+) -> Decision {
+    if total <= 0.0 {
+        return Decision::Wait;
+    }
+    // Single dominant link? Ties break toward the lower id so the decision
+    // is deterministic (HashMap iteration order is randomly seeded).
+    if let Some((&best_id, &best_w)) = per_ingress.iter().max_by(|a, b| {
+        a.1.partial_cmp(b.1).expect("weights are finite").then(b.0.cmp(a.0))
+    }) {
+        if best_w / total >= q {
+            let point = registry.resolve(best_id);
+            return Decision::Classify(LogicalIngress::Link(point), vec![best_id]);
+        }
+    }
+    if !at_cidr_max {
+        return Decision::Split;
+    }
+    if enable_bundles {
+        // Group by router.
+        let mut per_router: HashMap<u32, f64> = HashMap::new();
+        for (&id, &w) in per_ingress {
+            *per_router.entry(registry.resolve(id).router).or_insert(0.0) += w;
+        }
+        if let Some((&router, &router_w)) = per_router.iter().max_by(|a, b| {
+            a.1.partial_cmp(b.1).expect("weights are finite").then(b.0.cmp(a.0))
+        }) {
+            if router_w / total >= q {
+                let mut member_ids: Vec<IngressId> = per_ingress
+                    .iter()
+                    .filter(|(&id, &w)| {
+                        registry.resolve(id).router == router
+                            && w >= bundle_member_min_share * router_w
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                member_ids.sort_unstable();
+                // Re-check: dropping sub-threshold members must not push the
+                // member share below q.
+                let member_w: f64 =
+                    member_ids.iter().filter_map(|id| per_ingress.get(id)).sum();
+                if member_w / total >= q {
+                    if member_ids.len() == 1 {
+                        let point = registry.resolve(member_ids[0]);
+                        return Decision::Classify(LogicalIngress::Link(point), member_ids);
+                    }
+                    let ifindexes =
+                        member_ids.iter().map(|&id| registry.resolve(id).ifindex).collect();
+                    return Decision::Classify(
+                        LogicalIngress::Bundle(Bundle::new(router, ifindexes)),
+                        member_ids,
+                    );
+                }
+            }
+        }
+    }
+    Decision::Wait
+}
+
+/// Does this counter distribution look like *router-level load balancing*
+/// (§5.8)? True when at least two distinct routers each carry ≥ 25 % of the
+/// range's traffic and together carry ≥ `q` — the signature of a neighbor
+/// hashing flows across two of our routers, which IPD deliberately does not
+/// classify but can cheaply flag.
+pub(crate) fn looks_load_balanced(
+    per_ingress: &CountMap,
+    total: f64,
+    q: f64,
+    registry: &IngressRegistry,
+) -> bool {
+    if total <= 0.0 {
+        return false;
+    }
+    let mut per_router: HashMap<u32, f64> = HashMap::new();
+    for (&id, &w) in per_ingress {
+        *per_router.entry(registry.resolve(id).router).or_insert(0.0) += w;
+    }
+    let mut majors: Vec<f64> = per_router
+        .values()
+        .copied()
+        .filter(|w| *w / total >= 0.25)
+        .collect();
+    if majors.len() < 2 {
+        return false;
+    }
+    majors.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+    majors.iter().take(3).sum::<f64>() / total >= q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_topology::IngressPoint;
+
+    fn registry_with(points: &[(u32, u16)]) -> (IngressRegistry, Vec<IngressId>) {
+        let mut reg = IngressRegistry::new();
+        let ids = points.iter().map(|&(r, i)| reg.intern(IngressPoint::new(r, i))).collect();
+        (reg, ids)
+    }
+
+    #[test]
+    fn monitor_add_expire_totals() {
+        let (_, ids) = registry_with(&[(1, 1), (1, 2)]);
+        let mut m = MonitorState::default();
+        m.add(100, 10, ids[0], 1.0);
+        m.add(100, 12, ids[0], 1.0);
+        m.add(200, 50, ids[1], 3.0);
+        let (total, per) = m.totals();
+        assert_eq!(total, 5.0);
+        assert_eq!(per[&ids[0]], 2.0);
+        assert_eq!(per[&ids[1]], 3.0);
+        assert_eq!(m.last_ts_for_test(), 50);
+        // IP 100 was last seen at 12 (12+120 < 170: expired at now=170);
+        // IP 200 at 50 (50+120 = 170 >= 170: kept, then expired at 200).
+        assert_eq!(m.expire(170, 120), 1);
+        assert_eq!(m.ips.len(), 1);
+        assert_eq!(m.expire(200, 120), 1);
+        assert!(m.is_empty());
+    }
+
+    impl MonitorState {
+        fn last_ts_for_test(&self) -> u64 {
+            self.ips.values().map(|s| s.last_ts).max().unwrap()
+        }
+    }
+
+    #[test]
+    fn monitor_split_partitions_by_bit() {
+        let (_, ids) = registry_with(&[(1, 1)]);
+        let mut m = MonitorState::default();
+        // IPv4 (width 32), splitting at depth 8 (bit index 8 from MSB).
+        let low = 0x0A00_0001u128; // 10.0.0.1  -> bit 8 = 0
+        let high = 0x0A80_0001u128; // 10.128.0.1 -> bit 8 = 1
+        m.add(low, 1, ids[0], 1.0);
+        m.add(high, 1, ids[0], 2.0);
+        let (l, r) = m.split(32, 8);
+        assert_eq!(l.ips.len(), 1);
+        assert!(l.ips.contains_key(&low));
+        assert_eq!(r.ips.len(), 1);
+        assert!(r.ips.contains_key(&high));
+    }
+
+    #[test]
+    fn classified_share_and_decay() {
+        let (_, ids) = registry_with(&[(1, 1), (2, 1)]);
+        let mut c = ClassifiedState {
+            ingress: LogicalIngress::Link(IngressPoint::new(1, 1)),
+            member_ids: vec![ids[0]],
+            counts: CountMap::new(),
+            total: 0.0,
+            last_ts: 0,
+            since: 0,
+        };
+        for _ in 0..95 {
+            c.add(10, ids[0], 1.0);
+        }
+        for _ in 0..5 {
+            c.add(11, ids[1], 1.0);
+        }
+        assert!((c.member_share() - 0.95).abs() < 1e-9);
+        assert_eq!(c.last_ts, 11);
+        c.decay(0.5);
+        assert!((c.total - 50.0).abs() < 1e-9);
+        assert!((c.member_share() - 0.95).abs() < 1e-9, "decay keeps shares");
+    }
+
+    #[test]
+    fn decide_single_dominant_link() {
+        let (reg, ids) = registry_with(&[(1, 1), (2, 1)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 96.0);
+        per.insert(ids[1], 4.0);
+        let d = decide(&per, 100.0, 0.95, false, true, 0.05, &reg);
+        assert_eq!(
+            d,
+            Decision::Classify(LogicalIngress::Link(IngressPoint::new(1, 1)), vec![ids[0]])
+        );
+    }
+
+    #[test]
+    fn decide_ambiguous_splits_below_max() {
+        let (reg, ids) = registry_with(&[(1, 1), (2, 1)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 60.0);
+        per.insert(ids[1], 40.0);
+        assert_eq!(decide(&per, 100.0, 0.95, false, true, 0.05, &reg), Decision::Split);
+    }
+
+    #[test]
+    fn decide_bundles_at_cidr_max() {
+        // Two interfaces of router 5 share the traffic evenly.
+        let (reg, ids) = registry_with(&[(5, 1), (5, 2), (6, 1)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 49.0);
+        per.insert(ids[1], 48.0);
+        per.insert(ids[2], 3.0);
+        match decide(&per, 100.0, 0.95, true, true, 0.05, &reg) {
+            Decision::Classify(LogicalIngress::Bundle(b), members) => {
+                assert_eq!(b, Bundle::new(5, vec![1, 2]));
+                assert_eq!(members.len(), 2);
+            }
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decide_no_bundle_when_disabled_or_across_routers() {
+        let (reg, ids) = registry_with(&[(5, 1), (5, 2)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 50.0);
+        per.insert(ids[1], 50.0);
+        // Disabled: waits.
+        assert_eq!(decide(&per, 100.0, 0.95, true, false, 0.05, &reg), Decision::Wait);
+        // Across two routers: no bundle possible.
+        let (reg2, ids2) = registry_with(&[(5, 1), (6, 1)]);
+        let mut per2 = CountMap::new();
+        per2.insert(ids2[0], 50.0);
+        per2.insert(ids2[1], 50.0);
+        assert_eq!(decide(&per2, 100.0, 0.95, true, true, 0.05, &reg2), Decision::Wait);
+    }
+
+    #[test]
+    fn decide_bundle_collapses_to_link_when_one_member_survives() {
+        // Second interface is below the member threshold, first holds ≥ q alone.
+        let (reg, ids) = registry_with(&[(5, 1), (5, 2)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 96.0);
+        per.insert(ids[1], 4.0);
+        // Single-link rule fires first anyway at 96%.
+        match decide(&per, 100.0, 0.95, true, true, 0.25, &reg) {
+            Decision::Classify(LogicalIngress::Link(p), _) => {
+                assert_eq!(p, IngressPoint::new(5, 1));
+            }
+            other => panic!("expected link, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decide_empty_waits() {
+        let (reg, _) = registry_with(&[]);
+        assert_eq!(decide(&CountMap::new(), 0.0, 0.95, false, true, 0.05, &reg), Decision::Wait);
+    }
+
+    #[test]
+    fn bundle_members_below_threshold_are_excluded() {
+        // Router 5 dominates via three interfaces: 60/35/1 (+4 stray).
+        // With member_min_share 0.05, the 1%-interface is excluded but the
+        // remaining two still hold ≥ q... 95/100 exactly.
+        let (reg, ids) = registry_with(&[(5, 1), (5, 2), (5, 3), (6, 1)]);
+        let mut per = CountMap::new();
+        per.insert(ids[0], 60.0);
+        per.insert(ids[1], 35.0);
+        per.insert(ids[2], 1.0);
+        per.insert(ids[3], 4.0);
+        match decide(&per, 100.0, 0.95, true, true, 0.05, &reg) {
+            Decision::Classify(LogicalIngress::Bundle(b), members) => {
+                assert_eq!(b, Bundle::new(5, vec![1, 2]));
+                assert_eq!(members.len(), 2);
+            }
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+}

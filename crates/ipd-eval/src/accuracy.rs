@@ -1,0 +1,250 @@
+//! Accuracy validation and the miss taxonomy (§5.1, Figs 6–8).
+
+use std::collections::{BTreeMap, HashSet};
+
+use ipd::{IpdEngine, LogicalIngress};
+use ipd_lpm::LpmTrie;
+use ipd_topology::IngressPoint;
+use ipd_traffic::{MinuteBatch, World};
+
+use crate::harness::RunVisitor;
+
+/// The three miss types of §5.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MissType {
+    /// Traffic enters through a different interface on the same router.
+    Interface,
+    /// Traffic enters through another router within the same PoP.
+    Router,
+    /// Traffic enters at a different geolocation.
+    Pop,
+    /// No classified IPD range covered the flow at all.
+    Unmatched,
+}
+
+/// Per-bin accuracy accumulators for one flow group (ALL / TOP20 / TOP5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroupBin {
+    /// Flows in the group this bin.
+    pub total: u64,
+    /// Flows whose LPM-predicted ingress matched the actual one.
+    pub correct: u64,
+    /// Flows covered by some classified IPD range (matched or not).
+    pub covered: u64,
+}
+
+impl GroupBin {
+    /// Accuracy = correct / total (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// One 5-minute validation bin.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyBin {
+    /// Bin start (unix seconds).
+    pub ts: u64,
+    /// ALL flows.
+    pub all: GroupBin,
+    /// TOP20-AS flows.
+    pub top20: GroupBin,
+    /// TOP5-AS flows.
+    pub top5: GroupBin,
+    /// Total bytes (for the Fig 6 volume shade).
+    pub bytes: f64,
+    /// Misses per TOP5 AS rank and type, this bin (Fig 8 time series).
+    pub misses_by_as: BTreeMap<(usize, MissType), u64>,
+}
+
+/// Streaming validator: reproduces the §5.1 methodology over a run.
+#[derive(Debug, Default)]
+pub struct ValidationVisitor {
+    /// Completed bins in time order.
+    pub bins: Vec<AccuracyBin>,
+    current: Option<AccuracyBin>,
+    bin_secs: u64,
+    /// Distinct miss source IPs per TOP5 AS rank and type (Fig 7 right).
+    pub miss_srcs: BTreeMap<(usize, MissType), HashSet<u128>>,
+    /// Total misses per TOP5 AS rank and type (Fig 7 left).
+    pub miss_counts: BTreeMap<(usize, MissType), u64>,
+}
+
+impl ValidationVisitor {
+    /// A validator with the paper's 5-minute bins.
+    pub fn new() -> Self {
+        ValidationVisitor { bin_secs: 300, ..Default::default() }
+    }
+
+    /// Finish the open bin (call after the run).
+    pub fn finish(&mut self) {
+        if let Some(bin) = self.current.take() {
+            self.bins.push(bin);
+        }
+    }
+
+    /// Mean accuracy over all bins for (all, top20, top5).
+    pub fn mean_accuracy(&self) -> (f64, f64, f64) {
+        let avg = |f: &dyn Fn(&AccuracyBin) -> GroupBin| {
+            let (mut c, mut t) = (0u64, 0u64);
+            for b in &self.bins {
+                let g = f(b);
+                c += g.correct;
+                t += g.total;
+            }
+            if t == 0 {
+                0.0
+            } else {
+                c as f64 / t as f64
+            }
+        };
+        (avg(&|b| b.all), avg(&|b| b.top20), avg(&|b| b.top5))
+    }
+
+    fn classify_miss(
+        world: &World,
+        predicted: &LogicalIngress,
+        actual: IngressPoint,
+    ) -> MissType {
+        if predicted.router() == actual.router {
+            MissType::Interface
+        } else if world
+            .topology
+            .same_pop(IngressPoint::new(predicted.router(), 0), actual)
+        {
+            MissType::Router
+        } else {
+            MissType::Pop
+        }
+    }
+}
+
+impl RunVisitor for ValidationVisitor {
+    fn on_minute(
+        &mut self,
+        batch: &MinuteBatch,
+        world: &World,
+        lpm: &LpmTrie<LogicalIngress>,
+        _engine: &IpdEngine,
+    ) {
+        for lf in &batch.flows {
+            let bin_ts = lf.flow.ts / self.bin_secs * self.bin_secs;
+            let rotate = match &self.current {
+                Some(b) => b.ts != bin_ts,
+                None => true,
+            };
+            if rotate {
+                if let Some(b) = self.current.take() {
+                    self.bins.push(b);
+                }
+                self.current = Some(AccuracyBin { ts: bin_ts, ..Default::default() });
+            }
+            let bin = self.current.as_mut().expect("rotated above");
+
+            let actual = IngressPoint::new(lf.flow.router, lf.flow.input_if);
+            let hit = lpm.lookup(lf.flow.src);
+            let correct = hit.as_ref().is_some_and(|(_, ing)| ing.matches(actual));
+
+            let groups: [(bool, &mut GroupBin); 3] = [
+                (true, &mut bin.all),
+                (lf.as_idx < 20, &mut bin.top20),
+                (lf.as_idx < 5, &mut bin.top5),
+            ];
+            for (member, g) in groups {
+                if member {
+                    g.total += 1;
+                    g.covered += hit.is_some() as u64;
+                    g.correct += correct as u64;
+                }
+            }
+            bin.bytes += lf.flow.bytes as f64;
+
+            if !correct && lf.as_idx < 5 {
+                let miss = match &hit {
+                    None => MissType::Unmatched,
+                    Some((_, ing)) => Self::classify_miss(world, ing, actual),
+                };
+                *bin.misses_by_as.entry((lf.as_idx, miss)).or_insert(0) += 1;
+                *self.miss_counts.entry((lf.as_idx, miss)).or_insert(0) += 1;
+                self.miss_srcs
+                    .entry((lf.as_idx, miss))
+                    .or_default()
+                    .insert(lf.flow.src.bits());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run, EvalConfig};
+
+    fn quick_run(minutes: u64) -> ValidationVisitor {
+        let cfg = EvalConfig::quick(minutes, 6000);
+        let mut v = ValidationVisitor::new();
+        run(&cfg, &mut v);
+        v.finish();
+        v
+    }
+
+    #[test]
+    fn accuracy_climbs_once_ranges_classify() {
+        let v = quick_run(30);
+        assert!(v.bins.len() >= 5, "bins {}", v.bins.len());
+        // First bin: no LPM table yet → zero accuracy.
+        assert_eq!(v.bins[0].all.correct, 0);
+        // Late bins must be decently accurate — the engine has seen traffic
+        // and classifies the heavy hitters.
+        let late = &v.bins[v.bins.len() - 2];
+        assert!(
+            late.all.accuracy() > 0.5,
+            "late accuracy {} (covered {}/{})",
+            late.all.accuracy(),
+            late.all.covered,
+            late.all.total
+        );
+        // TOP5 accuracy ≥ ALL accuracy (heavier prefixes classify sooner).
+        let (all, _top20, top5) = v.mean_accuracy();
+        assert!(top5 >= all - 0.02, "top5 {top5} vs all {all}");
+    }
+
+    #[test]
+    fn group_nesting_is_consistent() {
+        let v = quick_run(12);
+        for b in &v.bins {
+            assert!(b.top5.total <= b.top20.total);
+            assert!(b.top20.total <= b.all.total);
+            assert!(b.all.correct <= b.all.covered);
+            assert!(b.all.covered <= b.all.total);
+            assert!(b.bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn misses_are_recorded_with_types() {
+        let v = quick_run(20);
+        // There will be *some* misses (noise + dynamics).
+        let total: u64 = v.miss_counts.values().sum();
+        assert!(total > 0, "expected some misses");
+        for ((rank, _), srcs) in &v.miss_srcs {
+            assert!(*rank < 5);
+            assert!(!srcs.is_empty());
+        }
+        // Distinct sources never exceed raw counts.
+        for (k, srcs) in &v.miss_srcs {
+            assert!(srcs.len() as u64 <= v.miss_counts[k]);
+        }
+    }
+
+    #[test]
+    fn group_bin_accuracy_math() {
+        let g = GroupBin { total: 10, correct: 9, covered: 10 };
+        assert!((g.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(GroupBin::default().accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Network-size distribution by hour of day (§5.3.2/§5.3.3, Figs 11–12).
+//!
+//! Two stacked series per hour: (i) mapped IP address space per mask group
+//! and (ii) number of IPD prefixes per mask group — normalized to their
+//! respective maxima, as the paper plots them.
+
+use std::collections::BTreeMap;
+
+use ipd::{IpdEngine, Snapshot};
+use ipd_lpm::Af;
+use ipd_traffic::World;
+
+use crate::harness::RunVisitor;
+
+/// Mask grouping used in the paper's legends (≤/13, /14–/21 buckets, …, /28).
+pub fn mask_group(len: u8) -> &'static str {
+    match len {
+        0..=13 => "<=13",
+        14..=17 => "14-17",
+        18..=21 => "18-21",
+        22..=24 => "22-24",
+        25..=26 => "25-26",
+        _ => "27-28",
+    }
+}
+
+/// All group labels in display order.
+pub const MASK_GROUPS: [&str; 6] = ["<=13", "14-17", "18-21", "22-24", "25-26", "27-28"];
+
+/// Per-hour aggregation of the classified range population.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HourPoint {
+    /// Hour of day (0–23).
+    pub hour: u64,
+    /// Mapped address count per mask group.
+    pub space: BTreeMap<&'static str, f64>,
+    /// Classified prefix count per mask group.
+    pub prefixes: BTreeMap<&'static str, f64>,
+    /// Snapshots aggregated into this hour.
+    pub samples: u32,
+}
+
+impl HourPoint {
+    /// Total mapped space.
+    pub fn total_space(&self) -> f64 {
+        self.space.values().sum()
+    }
+
+    /// Total prefixes.
+    pub fn total_prefixes(&self) -> f64 {
+        self.prefixes.values().sum()
+    }
+}
+
+/// Collects Fig 11/12 data: per snapshot, the classified ranges belonging to
+/// a chosen AS-rank filter are bucketed by hour of day and mask group.
+#[derive(Debug)]
+pub struct DaytimeVisitor {
+    /// `None` = all ASes; `Some((lo, hi))` = AS ranks in `lo..hi`
+    /// (Fig 11 uses TOP5 = (0, 5); Fig 12 uses AS4 alone = (3, 4)).
+    pub rank_range: Option<(usize, usize)>,
+    hours: BTreeMap<u64, HourPoint>,
+}
+
+impl DaytimeVisitor {
+    /// New collector for the given AS-rank window.
+    pub fn new(rank_range: Option<(usize, usize)>) -> Self {
+        DaytimeVisitor { rank_range, hours: BTreeMap::new() }
+    }
+
+    /// The per-hour series, averaged over the snapshots that fell into each
+    /// hour, with both series normalized to their maxima (the paper's
+    /// y-axes).
+    pub fn normalized_series(&self) -> Vec<HourPoint> {
+        let mut points: Vec<HourPoint> = self
+            .hours
+            .values()
+            .map(|h| {
+                let mut p = h.clone();
+                let n = h.samples.max(1) as f64;
+                for v in p.space.values_mut() {
+                    *v /= n;
+                }
+                for v in p.prefixes.values_mut() {
+                    *v /= n;
+                }
+                p
+            })
+            .collect();
+        let max_space =
+            points.iter().map(HourPoint::total_space).fold(0.0f64, f64::max).max(1e-12);
+        let max_prefixes =
+            points.iter().map(HourPoint::total_prefixes).fold(0.0f64, f64::max).max(1e-12);
+        for p in &mut points {
+            for v in p.space.values_mut() {
+                *v /= max_space;
+            }
+            for v in p.prefixes.values_mut() {
+                *v /= max_prefixes;
+            }
+        }
+        points
+    }
+}
+
+impl RunVisitor for DaytimeVisitor {
+    fn on_snapshot(&mut self, snapshot: &Snapshot, world: &World, _engine: &IpdEngine) {
+        let hour = (snapshot.ts % 86_400) / 3600;
+        let point = self.hours.entry(hour).or_insert_with(|| HourPoint {
+            hour,
+            ..Default::default()
+        });
+        point.samples += 1;
+        for r in snapshot.classified() {
+            if r.range.af() != Af::V4 {
+                continue;
+            }
+            if let Some((lo, hi)) = self.rank_range {
+                match world.as_index_of(r.range.addr()) {
+                    Some(i) if i >= lo && i < hi => {}
+                    _ => continue,
+                }
+            }
+            let g = mask_group(r.range.len());
+            *point.space.entry(g).or_insert(0.0) += r.range.num_addrs();
+            *point.prefixes.entry(g).or_insert(0.0) += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run, EvalConfig};
+
+    #[test]
+    fn mask_groups_cover_all_lengths() {
+        for len in 0..=28u8 {
+            assert!(MASK_GROUPS.contains(&mask_group(len)), "len {len}");
+        }
+        assert_eq!(mask_group(24), "22-24");
+        assert_eq!(mask_group(28), "27-28");
+    }
+
+    #[test]
+    fn collects_hourly_points() {
+        let cfg = EvalConfig::quick(130, 4000); // crosses two hour boundaries
+        let mut v = DaytimeVisitor::new(None);
+        run(&cfg, &mut v);
+        let series = v.normalized_series();
+        assert!(series.len() >= 2, "hours covered: {}", series.len());
+        // Normalization: max total == 1 for both series.
+        let max_space = series.iter().map(HourPoint::total_space).fold(0.0f64, f64::max);
+        let max_prefix = series.iter().map(HourPoint::total_prefixes).fold(0.0f64, f64::max);
+        assert!((max_space - 1.0).abs() < 1e-9);
+        assert!((max_prefix - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_filter_reduces_population() {
+        let cfg = EvalConfig::quick(30, 5000);
+        let mut all = DaytimeVisitor::new(None);
+        let mut as4 = DaytimeVisitor::new(Some((3, 4)));
+        // Two identical runs (deterministic), two visitors.
+        run(&cfg, &mut all);
+        run(&cfg, &mut as4);
+        let sum = |v: &DaytimeVisitor| -> f64 {
+            v.hours.values().map(|h| h.total_prefixes()).sum()
+        };
+        assert!(sum(&as4) > 0.0, "AS4 must have classified ranges");
+        assert!(sum(&as4) < sum(&all));
+    }
+}

@@ -1,0 +1,41 @@
+//! Evaluation harness reproducing every table and figure of
+//! *"IPD: Detecting Traffic Ingress Points at ISPs"* (SIGCOMM 2024) on the
+//! synthetic tier-1 world of `ipd-traffic`.
+//!
+//! Each module maps to one or more paper artifacts (see DESIGN.md §5 for the
+//! full index); the `experiments` binary regenerates any of them:
+//!
+//! ```text
+//! cargo run --release -p ipd-eval --bin experiments -- fig6
+//! cargo run --release -p ipd-eval --bin experiments -- all
+//! ```
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`accuracy`] | Fig 6 (accuracy), Fig 7/8 (miss taxonomy) |
+//! | [`ingress_count`] | Fig 3 (ingress points per prefix), Fig 4 (primary share) |
+//! | [`range_dist`] | Fig 9 (IPD range sizes vs BGP) |
+//! | [`stability`] | Fig 2 (stability CDF), Fig 15 (elephant ranges) |
+//! | [`longitudinal`] | Fig 10 (matching/stable over years) |
+//! | [`daytime`] | Fig 11/12 (network size by hour of day) |
+//! | [`case_study`] | Fig 13/14 (reaction to changes) |
+//! | [`symmetry`] | Fig 16 + §5.5 prefix correlation |
+//! | [`violations`] | Fig 17 (§5.6 peering violations) |
+//! | [`param_study`] | Appendix A: Table 2, Figs 18–20 |
+//! | [`stats`] | KS distance, ANOVA, correlation (Appendix A machinery) |
+
+pub mod accuracy;
+pub mod case_study;
+pub mod daytime;
+pub mod harness;
+pub mod ingress_count;
+pub mod longitudinal;
+pub mod param_study;
+pub mod range_dist;
+pub mod report;
+pub mod stability;
+pub mod stats;
+pub mod symmetry;
+pub mod violations;
+
+pub use harness::{run, EvalConfig, NullVisitor, RunOutput, RunVisitor};

@@ -1,0 +1,153 @@
+//! Longitudinal ingress-point stability at prime time (§5.3.1, Fig 10).
+//!
+//! The paper compares the *mapped address space* of one reference timestamp
+//! (8 PM on a chosen day) against every later day: addresses present at both
+//! timestamps are *matching*; matching addresses entering at the same link
+//! are *stable*. We run the same computation over the world's ground-truth
+//! mapping evolution — the same data shape as the paper's raw IPD output
+//! (see DESIGN.md §3 on this substitution), sampled daily at 8 PM.
+
+use ipd_lpm::{LpmTrie, Prefix};
+use ipd_topology::LinkId;
+use ipd_traffic::World;
+
+/// One day's comparison against the reference snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayPoint {
+    /// Days since the reference timestamp.
+    pub day: u64,
+    /// Share of reference address space still mapped (weighted by
+    /// addresses).
+    pub matching: f64,
+    /// Share of reference address space mapped to the same link.
+    pub stable: f64,
+}
+
+/// A mapping snapshot frozen into an LPM for address-level comparisons.
+pub struct FrozenMapping {
+    lpm: LpmTrie<LinkId>,
+    /// The (prefix, link) pairs, for weighting.
+    pub entries: Vec<(Prefix, LinkId)>,
+}
+
+/// Freeze the current world mapping (primary links only), optionally
+/// restricted to the top `max_rank` ASes.
+pub fn freeze(world: &World, max_rank: Option<usize>) -> FrozenMapping {
+    let mut entries: Vec<(Prefix, LinkId)> = Vec::new();
+    for (prefix, choice) in world.mapping.snapshot() {
+        // Address-count weighting only makes sense within one family; the
+        // analysis follows the paper's IPv4 address space.
+        if prefix.af() != ipd_lpm::Af::V4 {
+            continue;
+        }
+        if let Some(mr) = max_rank {
+            match world.as_index_of(prefix.addr()) {
+                Some(i) if i < mr => {}
+                _ => continue,
+            }
+        }
+        // A granule exception can share its prefix with its region (e.g. a
+        // mixed /24 inside a /24-sized region); the exception is the
+        // effective mapping, so keep the later entry (snapshot() orders
+        // regions before exceptions at equal prefixes).
+        if entries.last().map(|(p, _)| *p) == Some(prefix) {
+            entries.pop();
+        }
+        entries.push((prefix, choice.primary));
+    }
+    let lpm = entries.iter().map(|&(p, l)| (p, l)).collect();
+    FrozenMapping { lpm, entries }
+}
+
+/// Compare a reference snapshot with a later one: returns (matching,
+/// stable) shares weighted by address count, sampling each reference prefix
+/// at its first address (prefixes are the mapping's atomic units).
+pub fn compare(reference: &FrozenMapping, later: &FrozenMapping) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut matching = 0.0;
+    let mut stable = 0.0;
+    for &(prefix, link) in &reference.entries {
+        let w = prefix.num_addrs();
+        total += w;
+        // Look the prefix up in the later mapping the way the paper does
+        // ("we create an LPM trie with all prefixes from t2 and looked up
+        // the addresses of each prefix that exists at t1"). `lookup_prefix`
+        // finds the most specific t2 entry covering the whole t1 prefix, so
+        // a granule exception inside a region does not shadow the region's
+        // own comparison.
+        if let Some((_, &later_link)) = later.lpm.lookup_prefix(prefix) {
+            matching += w;
+            if later_link == link {
+                stable += w;
+            }
+        }
+    }
+    if total == 0.0 {
+        (0.0, 0.0)
+    } else {
+        (matching / total, stable / total)
+    }
+}
+
+/// Run the full Fig 10 series: reference at `epoch + start_day` 8 PM,
+/// compared against each of the following `days` days.
+pub fn fig10_series(world: &mut World, start_day: u64, days: u64, max_rank: Option<usize>) -> Vec<DayPoint> {
+    let epoch = world.config.epoch;
+    let at_8pm = |day: u64| epoch + day * 86_400 + 20 * 3600;
+    world.advance_to(at_8pm(start_day));
+    let reference = freeze(world, max_rank);
+    let mut out = Vec::with_capacity(days as usize);
+    for d in 1..=days {
+        world.advance_to(at_8pm(start_day + d));
+        let later = freeze(world, max_rank);
+        let (matching, stable) = compare(&reference, &later);
+        out.push(DayPoint { day: d, matching, stable });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_traffic::WorldConfig;
+
+    #[test]
+    fn identical_snapshots_are_fully_stable() {
+        let world = ipd_traffic::World::generate(WorldConfig::default(), 3);
+        let a = freeze(&world, None);
+        let b = freeze(&world, None);
+        let (matching, stable) = compare(&a, &b);
+        assert!((matching - 1.0).abs() < 1e-9);
+        assert!((stable - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stability_decays_over_days() {
+        let mut world = ipd_traffic::World::generate(WorldConfig::default(), 3);
+        let series = fig10_series(&mut world, 0, 30, None);
+        assert_eq!(series.len(), 30);
+        // Day 1 is already < 1 (remaps happen), and stability declines
+        // with horizon (monotone in trend, not pointwise).
+        assert!(series[0].stable < 1.0);
+        let early = crate::stats::mean(
+            &series[..5].iter().map(|p| p.stable).collect::<Vec<_>>(),
+        );
+        let late = crate::stats::mean(
+            &series[25..].iter().map(|p| p.stable).collect::<Vec<_>>(),
+        );
+        assert!(late < early, "stable share should decay: early {early} late {late}");
+        for p in &series {
+            assert!(p.stable <= p.matching + 1e-9);
+            assert!((0.0..=1.0).contains(&p.matching));
+        }
+    }
+
+    #[test]
+    fn top5_restriction_produces_subset() {
+        let world = ipd_traffic::World::generate(WorldConfig::default(), 3);
+        let all = freeze(&world, None);
+        let top5 = freeze(&world, Some(5));
+        assert!(top5.entries.len() < all.entries.len());
+        assert!(!top5.entries.is_empty());
+    }
+}

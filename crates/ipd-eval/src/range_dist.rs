@@ -1,0 +1,104 @@
+//! Distribution of IPD range sizes vs BGP prefix sizes (§5.2, Fig 9).
+
+use std::collections::BTreeMap;
+
+use ipd::Snapshot;
+use ipd_lpm::Af;
+use ipd_traffic::World;
+
+/// Mask-length share of *classified* IPD ranges in a snapshot, optionally
+/// restricted to address space owned by the top `max_rank` ASes.
+pub fn ipd_mask_distribution(
+    snapshot: &Snapshot,
+    world: &World,
+    max_rank: Option<usize>,
+) -> BTreeMap<u8, f64> {
+    let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for r in snapshot.classified() {
+        if r.range.af() != Af::V4 {
+            continue;
+        }
+        if let Some(mr) = max_rank {
+            match world.as_index_of(r.range.addr()) {
+                Some(idx) if idx < mr => {}
+                _ => continue,
+            }
+        }
+        *counts.entry(r.range.len()).or_insert(0) += 1;
+        total += 1;
+    }
+    counts.into_iter().map(|(len, n)| (len, n as f64 / total.max(1) as f64)).collect()
+}
+
+/// BGP mask share (Fig 9 gray bars).
+pub fn bgp_mask_distribution(world: &World) -> BTreeMap<u8, f64> {
+    ipd_bgp::stats::mask_distribution(&world.rib, Af::V4)
+}
+
+/// Comparison summary the §5.2 text reports: whether IPD produces range
+/// sizes that BGP does not announce (and vice versa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeDistSummary {
+    /// Mask lengths only IPD uses.
+    pub ipd_only_masks: Vec<u8>,
+    /// Share of BGP prefixes that are /24.
+    pub bgp_24_share: f64,
+    /// Share of IPD ranges more specific than /24.
+    pub ipd_beyond_24_share: f64,
+}
+
+/// Summarize an IPD-vs-BGP mask comparison.
+pub fn summarize(
+    ipd: &BTreeMap<u8, f64>,
+    bgp: &BTreeMap<u8, f64>,
+) -> RangeDistSummary {
+    let ipd_only_masks =
+        ipd.keys().filter(|m| !bgp.contains_key(m)).copied().collect();
+    RangeDistSummary {
+        ipd_only_masks,
+        bgp_24_share: bgp.get(&24).copied().unwrap_or(0.0),
+        ipd_beyond_24_share: ipd.iter().filter(|(m, _)| **m > 24).map(|(_, s)| s).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run, EvalConfig, NullVisitor};
+
+    fn snapshot_after(minutes: u64) -> (Snapshot, crate::harness::RunOutput) {
+        let cfg = EvalConfig::quick(minutes, 8000);
+        let out = run(&cfg, &mut NullVisitor);
+        let snap = out.engine.snapshot(out.sim.world().now());
+        (snap, out)
+    }
+
+    #[test]
+    fn ipd_ranges_span_many_masks_unlike_bgp() {
+        let (snap, out) = snapshot_after(20);
+        let ipd = ipd_mask_distribution(&snap, out.sim.world(), None);
+        let bgp = bgp_mask_distribution(out.sim.world());
+        assert!(!ipd.is_empty(), "no classified ranges after 20 min");
+        assert!((ipd.values().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((bgp.values().sum::<f64>() - 1.0).abs() < 1e-9);
+        // BGP is /24-heavy; IPD is traffic-shaped and uses masks BGP has
+        // few or none of (the §5.2 takeaway).
+        let s = summarize(&ipd, &bgp);
+        assert!(s.bgp_24_share > 0.4, "bgp /24 share {}", s.bgp_24_share);
+        let ipd_masks: Vec<u8> = ipd.keys().copied().collect();
+        assert!(ipd_masks.len() >= 4, "IPD masks too uniform: {ipd_masks:?}");
+    }
+
+    #[test]
+    fn top5_filter_restricts_to_top_as_space() {
+        let (snap, out) = snapshot_after(12);
+        let all = ipd_mask_distribution(&snap, out.sim.world(), None);
+        let top5 = ipd_mask_distribution(&snap, out.sim.world(), Some(5));
+        // Distribution over a subset still sums to 1 (when non-empty).
+        if !top5.is_empty() {
+            assert!((top5.values().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(!all.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Result output: TSV files under `results/` plus compact console rendering.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple rectangular result table that renders to TSV and to console.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column names.
+    pub fn new(columns: &[&str]) -> Self {
+        Table { columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// TSV serialization (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.columns.join("\t")).expect("infallible write");
+        for r in &self.rows {
+            writeln!(out, "{}", r.join("\t")).expect("infallible write");
+        }
+        out
+    }
+
+    /// Write to `dir/<name>.tsv`, creating the directory if needed.
+    pub fn write(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        fs::write(&path, self.to_tsv())?;
+        Ok(path)
+    }
+
+    /// Console rendering with padded columns; long tables are elided in the
+    /// middle (head/tail shown).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        writeln!(out, "{}", fmt_row(&self.columns)).expect("infallible write");
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))
+            .expect("infallible write");
+        if self.rows.len() <= max_rows {
+            for r in &self.rows {
+                writeln!(out, "{}", fmt_row(r)).expect("infallible write");
+            }
+        } else {
+            let head = max_rows / 2;
+            let tail = max_rows - head;
+            for r in &self.rows[..head] {
+                writeln!(out, "{}", fmt_row(r)).expect("infallible write");
+            }
+            writeln!(out, "... ({} rows elided) ...", self.rows.len() - max_rows)
+                .expect("infallible write");
+            for r in &self.rows[self.rows.len() - tail..] {
+                writeln!(out, "{}", fmt_row(r)).expect("infallible write");
+            }
+        }
+        out
+    }
+}
+
+/// Format a float with fixed precision, trimming to a compact cell.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// A one-line unicode sparkline for a series (quick console look at shapes).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| BARS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.row(vec!["22".into(), "yy".into()]);
+        t
+    }
+
+    #[test]
+    fn tsv_roundtrip_shape() {
+        let tsv = sample().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines, vec!["a\tb", "1\tx", "22\tyy"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn render_elides_long_tables() {
+        let mut t = Table::new(&["n"]);
+        for i in 0..100 {
+            t.row(vec![i.to_string()]);
+        }
+        let s = t.render(10);
+        assert!(s.contains("rows elided"));
+        assert!(s.contains("\n99"));
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("ipd-eval-report-test");
+        let path = sample().write(&dir, "t").unwrap();
+        assert!(path.exists());
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\tb"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.12345, 3), "0.123");
+        assert_eq!(f(1.0, 1), "1.0");
+    }
+}

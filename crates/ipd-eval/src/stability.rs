@@ -1,0 +1,153 @@
+//! Ingress-mapping stability (Fig 2) and elephant ranges (§5.4, Fig 15).
+
+use std::collections::HashMap;
+
+use ipd::{IpdEngine, LogicalIngress, Snapshot};
+use ipd_lpm::Prefix;
+use ipd_traffic::World;
+
+use crate::harness::RunVisitor;
+
+/// Tracks, across snapshots, how long each range stays classified to the
+/// same ingress — the paper's "stability duration per prefix on a link"
+/// (Fig 2) and the monotone-counter stability of elephant ranges (Fig 15).
+#[derive(Debug, Default)]
+pub struct StabilityVisitor {
+    /// Live classification state: range → (ingress, since_ts, peak samples).
+    live: HashMap<Prefix, (LogicalIngress, u64, f64)>,
+    /// Completed stable phases: (range, duration seconds, peak samples).
+    pub phases: Vec<(Prefix, u64, f64)>,
+    last_ts: u64,
+}
+
+impl StabilityVisitor {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Close all open phases (call after the run).
+    pub fn finish(&mut self) {
+        let last = self.last_ts;
+        for (range, (_, since, peak)) in self.live.drain() {
+            self.phases.push((range, last.saturating_sub(since), peak));
+        }
+        self.phases.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    }
+
+    /// Durations (seconds) of all completed phases.
+    pub fn durations(&self) -> Vec<f64> {
+        self.phases.iter().map(|&(_, d, _)| d as f64).collect()
+    }
+
+    /// Durations of the top `percent` (by peak sample counter) — *elephant
+    /// ranges* in the §5.4 sense.
+    pub fn elephant_durations(&self, percent: f64) -> Vec<f64> {
+        if self.phases.is_empty() {
+            return Vec::new();
+        }
+        let mut by_count: Vec<&(Prefix, u64, f64)> = self.phases.iter().collect();
+        by_count.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite counters"));
+        let k = ((by_count.len() as f64 * percent).ceil() as usize).max(1);
+        by_count[..k].iter().map(|&&(_, d, _)| d as f64).collect()
+    }
+
+    /// Share of phases stable for less than `secs`.
+    pub fn share_below(&self, secs: u64) -> f64 {
+        if self.phases.is_empty() {
+            return 0.0;
+        }
+        let n = self.phases.iter().filter(|&&(_, d, _)| d < secs).count();
+        n as f64 / self.phases.len() as f64
+    }
+}
+
+impl RunVisitor for StabilityVisitor {
+    fn on_snapshot(&mut self, snapshot: &Snapshot, _world: &World, _engine: &IpdEngine) {
+        self.last_ts = snapshot.ts;
+        let mut seen: HashMap<Prefix, (LogicalIngress, f64)> = HashMap::new();
+        for r in snapshot.classified() {
+            if let Some(ing) = &r.ingress {
+                seen.insert(r.range, (ing.clone(), r.sample_count));
+            }
+        }
+        // Close phases for ranges that vanished or changed ingress.
+        let ts = snapshot.ts;
+        let mut closed = Vec::new();
+        self.live.retain(|range, (ing, since, peak)| match seen.get(range) {
+            Some((new_ing, _)) if new_ing == ing => true,
+            _ => {
+                closed.push((*range, ts.saturating_sub(*since), *peak));
+                false
+            }
+        });
+        self.phases.extend(closed);
+        // Open or refresh phases.
+        for (range, (ing, samples)) in seen {
+            match self.live.get_mut(&range) {
+                Some((_, _, peak)) => *peak = peak.max(samples),
+                None => {
+                    self.live.insert(range, (ing, ts, samples));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run, EvalConfig};
+
+    fn tracked(minutes: u64) -> StabilityVisitor {
+        let cfg = EvalConfig::quick(minutes, 6000);
+        let mut v = StabilityVisitor::new();
+        run(&cfg, &mut v);
+        v.finish();
+        v
+    }
+
+    #[test]
+    fn phases_are_recorded_and_bounded() {
+        let v = tracked(40);
+        assert!(!v.phases.is_empty());
+        for &(_, d, peak) in &v.phases {
+            assert!(d <= 40 * 60);
+            assert!(peak >= 0.0);
+        }
+    }
+
+    #[test]
+    fn elephants_are_more_stable_than_baseline() {
+        let v = tracked(60);
+        let all = v.durations();
+        let elephants = v.elephant_durations(0.01);
+        assert!(!elephants.is_empty());
+        let mean_all = crate::stats::mean(&all);
+        let mean_elephant = crate::stats::mean(&elephants);
+        // §5.4: elephants (top 1 % by counter) are far more stable. A 1-hour
+        // run can't show "months vs hours", but the ordering must hold.
+        assert!(
+            mean_elephant >= mean_all,
+            "elephants {mean_elephant}s vs all {mean_all}s"
+        );
+    }
+
+    #[test]
+    fn share_below_is_a_cdf_point() {
+        let v = tracked(30);
+        let s5 = v.share_below(5 * 60);
+        let s30 = v.share_below(30 * 60);
+        assert!((0.0..=1.0).contains(&s5));
+        assert!(s30 >= s5);
+    }
+
+    #[test]
+    fn empty_tracker_degrades_gracefully() {
+        let mut v = StabilityVisitor::new();
+        v.finish();
+        assert!(v.durations().is_empty());
+        assert!(v.elephant_durations(0.01).is_empty());
+        assert_eq!(v.share_below(100), 0.0);
+    }
+}

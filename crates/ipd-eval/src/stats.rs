@@ -1,0 +1,512 @@
+//! Statistics toolbox for the evaluation: descriptive stats, empirical CDFs,
+//! Kolmogorov–Smirnov distances against fitted reference distributions
+//! (Appendix A's stability metric), Pearson correlation (§5.1.2), and
+//! one-way ANOVA with exact F-distribution p-values (Appendix A).
+
+/// Arithmetic mean. Returns 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n-1 denominator). Returns 0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series lengths must match");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx).powi(2);
+        dy += (y - my).powi(2);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+/// Empirical CDF evaluated at each of the (sorted) sample points:
+/// returns sorted samples with their cumulative probability.
+pub fn ecdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = xs.len() as f64;
+    xs.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// Quantile of a sample (nearest-rank).
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    let mut xs: Vec<f64> = samples.to_vec();
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let idx = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+    xs[idx]
+}
+
+/// Reference distributions for the KS stability metric (Appendix A explores
+/// "various potential distributions, such as normal, lognormal, Weibull, and
+/// Pareto").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefDist {
+    /// Normal(mu, sigma).
+    Normal { mu: f64, sigma: f64 },
+    /// Log-normal: ln X ~ Normal(mu, sigma).
+    LogNormal { mu: f64, sigma: f64 },
+    /// Weibull(shape k, scale lambda).
+    Weibull { shape: f64, scale: f64 },
+    /// Pareto(x_min, alpha).
+    Pareto { xmin: f64, alpha: f64 },
+}
+
+impl RefDist {
+    /// CDF of the reference distribution.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            RefDist::Normal { mu, sigma } => normal_cdf((x - mu) / sigma),
+            RefDist::LogNormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    normal_cdf((x.ln() - mu) / sigma)
+                }
+            }
+            RefDist::Weibull { shape, scale } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-(x / scale).powf(shape)).exp()
+                }
+            }
+            RefDist::Pareto { xmin, alpha } => {
+                if x <= xmin {
+                    0.0
+                } else {
+                    1.0 - (xmin / x).powf(alpha)
+                }
+            }
+        }
+    }
+
+    /// Fit the distribution to samples (method of moments / MLE where easy).
+    pub fn fit(kind: RefDistKind, samples: &[f64]) -> RefDist {
+        match kind {
+            RefDistKind::Normal => {
+                RefDist::Normal { mu: mean(samples), sigma: variance(samples).sqrt().max(1e-9) }
+            }
+            RefDistKind::LogNormal => {
+                let logs: Vec<f64> = samples.iter().map(|&x| x.max(1e-9).ln()).collect();
+                RefDist::LogNormal {
+                    mu: mean(&logs),
+                    sigma: variance(&logs).sqrt().max(1e-9),
+                }
+            }
+            RefDistKind::Weibull => {
+                // Crude moment-matching via coefficient of variation.
+                let m = mean(samples).max(1e-9);
+                let cv = variance(samples).sqrt() / m;
+                let shape = (cv.max(1e-3)).powf(-1.086); // standard approximation
+                let scale = m / gamma_approx(1.0 + 1.0 / shape);
+                RefDist::Weibull { shape: shape.max(0.05), scale: scale.max(1e-9) }
+            }
+            RefDistKind::Pareto => {
+                let xmin = samples
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+                    .max(1e-9);
+                let n = samples.len() as f64;
+                let denom: f64 = samples.iter().map(|&x| (x.max(xmin) / xmin).ln()).sum();
+                RefDist::Pareto { xmin, alpha: (n / denom.max(1e-9)).max(0.05) }
+            }
+        }
+    }
+}
+
+/// Which reference family to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefDistKind {
+    Normal,
+    LogNormal,
+    Weibull,
+    Pareto,
+}
+
+/// Kolmogorov–Smirnov distance between a sample and a reference
+/// distribution: `sup_x |F_n(x) - F(x)|`.
+pub fn ks_distance(samples: &[f64], dist: &RefDist) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Best (smallest) KS distance across all four reference families, fitted to
+/// the samples — the Appendix A stability metric ("we explore various
+/// potential distributions … gauge the similarity between the observed
+/// stable periods and the ideal distribution").
+pub fn best_ks_distance(samples: &[f64]) -> (RefDistKind, f64) {
+    [RefDistKind::Normal, RefDistKind::LogNormal, RefDistKind::Weibull, RefDistKind::Pareto]
+        .into_iter()
+        .map(|k| (k, ks_distance(samples, &RefDist::fit(k, samples))))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .expect("non-empty candidate list")
+}
+
+/// Standard normal CDF via the error function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Abramowitz–Stegun 7.1.26 error-function approximation (|ε| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Lanczos-free Stirling-series gamma approximation, adequate for
+/// moment-matching fits.
+fn gamma_approx(x: f64) -> f64 {
+    // Γ(x) via Stirling with correction; shift up for small x.
+    if x < 3.0 {
+        return gamma_approx(x + 1.0) / x;
+    }
+    let e = std::f64::consts::E;
+    (std::f64::consts::TAU / x).sqrt()
+        * (x / e).powf(x)
+        * (1.0 + 1.0 / (12.0 * x) + 1.0 / (288.0 * x * x))
+}
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnovaResult {
+    /// F statistic (between-group MS / within-group MS).
+    pub f: f64,
+    /// Between-group degrees of freedom (k - 1).
+    pub df_between: usize,
+    /// Within-group degrees of freedom (N - k).
+    pub df_within: usize,
+    /// p-value under the F distribution.
+    pub p: f64,
+    /// Effect size η² (between-group share of total variance).
+    pub eta_squared: f64,
+}
+
+/// One-way ANOVA across groups of observations — the Appendix A method for
+/// testing whether a parameter (factor) systematically affects a metric.
+pub fn anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
+    let k = groups.len();
+    let n: usize = groups.iter().map(Vec::len).sum();
+    if k < 2 || n <= k {
+        return None;
+    }
+    let grand = mean(&groups.iter().flatten().copied().collect::<Vec<f64>>());
+    let ss_between: f64 =
+        groups.iter().map(|g| g.len() as f64 * (mean(g) - grand).powi(2)).sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| {
+            let m = mean(g);
+            g.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+        })
+        .sum();
+    let df_between = k - 1;
+    let df_within = n - k;
+    let ms_between = ss_between / df_between as f64;
+    let ms_within = ss_within / df_within as f64;
+    let f = if ms_within == 0.0 {
+        if ms_between == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ms_between / ms_within
+    };
+    let p = f_survival(f, df_between as f64, df_within as f64);
+    let ss_total = ss_between + ss_within;
+    let eta_squared = if ss_total == 0.0 { 0.0 } else { ss_between / ss_total };
+    Some(AnovaResult { f, df_between, df_within, p, eta_squared })
+}
+
+/// Survival function of the F(d1, d2) distribution: P(F > f), via the
+/// regularized incomplete beta function.
+pub fn f_survival(f: f64, d1: f64, d2: f64) -> f64 {
+    if !f.is_finite() {
+        return 0.0;
+    }
+    if f <= 0.0 {
+        return 1.0;
+    }
+    let x = d2 / (d2 + d1 * f);
+    // P(F > f) = I_x(d2/2, d1/2)
+    incomplete_beta(d2 / 2.0, d1 / 2.0, x)
+}
+
+/// Regularized incomplete beta I_x(a, b) via continued fraction
+/// (Numerical-Recipes-style `betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-12;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Log-gamma via the Lanczos approximation.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((variance(&[2.0, 4.0, 6.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn ecdf_and_quantiles() {
+        let e = ecdf(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e[0], (1.0, 0.25));
+        assert_eq!(e[3], (4.0, 1.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 1.0), 4.0);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ks_distance_of_matching_distribution_is_small() {
+        // Deterministic stratified normal sample via inverse-CDF-ish spread.
+        let samples: Vec<f64> = (1..1000)
+            .map(|i| {
+                let u = i as f64 / 1000.0;
+                // crude probit via binary search on normal_cdf
+                let mut lo = -6.0;
+                let mut hi = 6.0;
+                for _ in 0..60 {
+                    let mid = (lo + hi) / 2.0;
+                    if normal_cdf(mid) < u {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo * 2.0 + 10.0 // N(10, 2)
+            })
+            .collect();
+        let d = ks_distance(&samples, &RefDist::Normal { mu: 10.0, sigma: 2.0 });
+        assert!(d < 0.02, "KS distance {d}");
+        // Against a badly wrong reference it is large.
+        let d_bad = ks_distance(&samples, &RefDist::Normal { mu: 0.0, sigma: 1.0 });
+        assert!(d_bad > 0.9, "KS distance {d_bad}");
+        // The best-fit search should pick (near-)normal with a small distance.
+        let (_, best) = best_ks_distance(&samples);
+        assert!(best < 0.05, "best KS {best}");
+    }
+
+    #[test]
+    fn ks_of_empty_sample_is_one() {
+        assert_eq!(ks_distance(&[], &RefDist::Normal { mu: 0.0, sigma: 1.0 }), 1.0);
+    }
+
+    #[test]
+    fn weibull_and_pareto_cdfs() {
+        let w = RefDist::Weibull { shape: 1.0, scale: 2.0 }; // == Exp(1/2)
+        assert!((w.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(w.cdf(-1.0), 0.0);
+        let p = RefDist::Pareto { xmin: 1.0, alpha: 2.0 };
+        assert_eq!(p.cdf(0.5), 0.0);
+        assert!((p.cdf(2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anova_detects_group_differences() {
+        // Clearly different groups.
+        let g = vec![
+            vec![1.0, 1.1, 0.9, 1.05, 0.95],
+            vec![5.0, 5.1, 4.9, 5.05, 4.95],
+            vec![9.0, 9.1, 8.9, 9.05, 8.95],
+        ];
+        let r = anova(&g).unwrap();
+        assert!(r.f > 100.0);
+        assert!(r.p < 1e-6, "p = {}", r.p);
+        assert!(r.eta_squared > 0.95);
+        assert_eq!(r.df_between, 2);
+        assert_eq!(r.df_within, 12);
+    }
+
+    #[test]
+    fn anova_on_identical_groups_is_null() {
+        let g = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ];
+        let r = anova(&g).unwrap();
+        assert!(r.f < 1e-9);
+        assert!(r.p > 0.99);
+        assert!(anova(&[vec![1.0]]).is_none());
+    }
+
+    #[test]
+    fn f_survival_reference_values() {
+        // F(1, 10): P(F > 4.96) ≈ 0.05.
+        let p = f_survival(4.96, 1.0, 10.0);
+        assert!((p - 0.05).abs() < 0.005, "p = {p}");
+        // Extremes.
+        assert_eq!(f_survival(0.0, 3.0, 7.0), 1.0);
+        assert_eq!(f_survival(f64::INFINITY, 3.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_recover_parameters_roughly() {
+        let samples: Vec<f64> = (1..2000).map(|i| 10.0 + (i % 7) as f64).collect();
+        if let RefDist::Normal { mu, .. } = RefDist::fit(RefDistKind::Normal, &samples) {
+            assert!((mu - 13.0).abs() < 0.1, "mu {mu}");
+        } else {
+            panic!("wrong variant");
+        }
+        if let RefDist::Pareto { xmin, .. } = RefDist::fit(RefDistKind::Pareto, &samples) {
+            assert!((xmin - 10.0).abs() < 1e-9);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Path asymmetry: IPD ingress vs BGP egress (§5.5, Fig 16) and the
+//! IPD-range-vs-BGP-prefix correlation statistics.
+
+use ipd::Snapshot;
+use ipd_lpm::Af;
+use ipd_traffic::{AsKind, World};
+
+/// Symmetry ratios for one timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetryPoint {
+    /// Days since epoch.
+    pub day: u64,
+    /// All prefixes.
+    pub all: f64,
+    /// Top-20 ASes.
+    pub top20: f64,
+    /// Top-5 ASes.
+    pub top5: f64,
+    /// Tier-1 peers.
+    pub tier1: f64,
+}
+
+/// Compute symmetry ratios at the world's current time: for every BGP
+/// prefix, does the ground-truth ingress router of its address space equal
+/// the BGP egress router? (We use the mapping as the IPD-output proxy for
+/// multi-year series; §5.1 validates that proxy. The unit is the BGP prefix,
+/// as in §5.5's router-level comparison.)
+pub fn symmetry_now(world: &World, day: u64) -> SymmetryPoint {
+    let mut groups = [(0u64, 0u64); 4]; // (symmetric, total) for all/top20/top5/tier1
+    let prefixes: Vec<ipd_lpm::Prefix> = world.rib.iter().map(|(p, _)| p).collect();
+    for prefix in prefixes {
+        let Some(as_idx) = world.as_index_of(prefix.addr()) else { continue };
+        let Some(primary) = world.mapping.primary(prefix.addr()) else { continue };
+        let ingress_router = world.ingress_point_of_link(primary).router;
+        let Some(egress_router) = world.egress_router(prefix.addr()) else { continue };
+        let symmetric = (ingress_router == egress_router) as u64;
+        let kind = world.ases[as_idx].kind;
+        let memberships = [
+            true,
+            as_idx < 20,
+            as_idx < 5,
+            kind == AsKind::Tier1,
+        ];
+        for (g, member) in groups.iter_mut().zip(memberships) {
+            if member {
+                g.0 += symmetric;
+                g.1 += 1;
+            }
+        }
+    }
+    let ratio = |(s, t): (u64, u64)| if t == 0 { 0.0 } else { s as f64 / t as f64 };
+    SymmetryPoint {
+        day,
+        all: ratio(groups[0]),
+        top20: ratio(groups[1]),
+        top5: ratio(groups[2]),
+        tier1: ratio(groups[3]),
+    }
+}
+
+/// Fig 16: symmetry ratios sampled every `step_days` over `days`.
+pub fn fig16_series(world: &mut World, days: u64, step_days: u64) -> Vec<SymmetryPoint> {
+    let epoch = world.config.epoch;
+    let mut out = Vec::new();
+    let mut day = 0;
+    while day <= days {
+        world.advance_to(epoch + day * 86_400 + 20 * 3600);
+        out.push(symmetry_now(world, day));
+        day += step_days.max(1);
+    }
+    out
+}
+
+/// §5.5 prefix correlation: how IPD ranges relate to covering BGP prefixes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefixCorrelation {
+    /// IPD range more specific than its covering BGP prefix (paper: 91 %).
+    pub more_specific: usize,
+    /// Exact match (paper: 1 %).
+    pub exact: usize,
+    /// IPD range less specific than every BGP prefix inside it (paper: 8 %).
+    pub less_specific: usize,
+    /// IPD ranges with no BGP counterpart at all.
+    pub uncovered: usize,
+}
+
+impl PrefixCorrelation {
+    /// Total classified ranges examined.
+    pub fn total(&self) -> usize {
+        self.more_specific + self.exact + self.less_specific + self.uncovered
+    }
+
+    /// Shares (more_specific, exact, less_specific) over covered ranges.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let t = (self.total() - self.uncovered).max(1) as f64;
+        (
+            self.more_specific as f64 / t,
+            self.exact as f64 / t,
+            self.less_specific as f64 / t,
+        )
+    }
+}
+
+/// Relate every classified IPD range in a snapshot to the BGP table.
+pub fn prefix_correlation(snapshot: &Snapshot, world: &World) -> PrefixCorrelation {
+    let mut out = PrefixCorrelation::default();
+    for r in snapshot.classified() {
+        if r.range.af() != Af::V4 {
+            continue;
+        }
+        match world.rib.match_prefix(r.range) {
+            Some((bgp, _)) if bgp == r.range => out.exact += 1,
+            Some(_) => out.more_specific += 1,
+            None => {
+                // No covering BGP prefix; is the IPD range *less* specific —
+                // i.e. does it contain announced prefixes?
+                let contains_bgp =
+                    world.rib.iter().any(|(p, _)| r.range.contains_prefix(p) && p != r.range);
+                if contains_bgp {
+                    out.less_specific += 1;
+                } else {
+                    out.uncovered += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run, EvalConfig, NullVisitor};
+    use ipd_traffic::WorldConfig;
+
+    #[test]
+    fn symmetry_ordering_matches_paper() {
+        let mut world = ipd_traffic::World::generate(WorldConfig::default(), 11);
+        let series = fig16_series(&mut world, 30, 10);
+        assert_eq!(series.len(), 4);
+        for p in &series {
+            // Fig 16 ordering: tier-1 ≈ 0.91 > top5 ≈ 0.77 > all ≈ 0.62.
+            assert!(p.tier1 > p.top5, "tier1 {} vs top5 {}", p.tier1, p.top5);
+            assert!(p.top5 > p.all - 0.05, "top5 {} vs all {}", p.top5, p.all);
+            assert!((0.4..1.0).contains(&p.all), "all {}", p.all);
+            assert!(p.tier1 > 0.8, "tier1 {}", p.tier1);
+        }
+    }
+
+    #[test]
+    fn ipd_ranges_are_mostly_more_specific_than_bgp() {
+        let cfg = EvalConfig::quick(15, 8000);
+        let out = run(&cfg, &mut NullVisitor);
+        let snap = out.engine.snapshot(out.sim.world().now());
+        let corr = prefix_correlation(&snap, out.sim.world());
+        assert!(corr.total() > 0);
+        let (more, exact, less) = corr.shares();
+        // §5.5: 91 % more specific, 1 % exact, 8 % less specific. Shapes:
+        // "more specific" dominates by far.
+        assert!(more > 0.5, "more-specific share {more}");
+        assert!(more > exact && more > less);
+    }
+}

@@ -1,0 +1,128 @@
+//! Peering-agreement violation monitoring (§5.6, Fig 17).
+//!
+//! "We monitor the ingress of prefixes of 16 tier-1 ISPs (from daily BGP
+//! dumps), to check if traffic from these peers bypasses direct peering
+//! links." A violation is a tier-1 prefix whose current ingress link is not
+//! one of that AS's own (peering) links.
+
+use std::collections::BTreeMap;
+
+use ipd_traffic::{AsKind, World};
+
+/// One sample of the violation monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationPoint {
+    /// Days since epoch.
+    pub day: u64,
+    /// Violating region count per tier-1 ASN.
+    pub per_asn: BTreeMap<u32, usize>,
+    /// Share of tier-1 regions currently violating.
+    pub violating_share: f64,
+}
+
+impl ViolationPoint {
+    /// Total violations across all tier-1 peers.
+    pub fn total(&self) -> usize {
+        self.per_asn.values().sum()
+    }
+}
+
+/// Detect violations at the world's current time by the paper's method:
+/// compare each tier-1 region's ingress link against the owning AS's link
+/// set. (We intentionally do *not* read the world's internal violation
+/// bookkeeping — the detector must find them the way the ISP would.)
+pub fn detect_now(world: &World, day: u64) -> ViolationPoint {
+    let mut per_asn: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut tier1_regions = 0usize;
+    let mut violating = 0usize;
+    for (ridx, &region) in world.regions().iter().enumerate() {
+        let as_idx = world.as_of_region(ridx);
+        if world.ases[as_idx].kind != AsKind::Tier1 {
+            continue;
+        }
+        tier1_regions += 1;
+        let Some(choice) = world.mapping.region_choice(region) else { continue };
+        if !world.links_of_as(as_idx).contains(&choice.primary) {
+            violating += 1;
+            *per_asn.entry(world.ases[as_idx].asn).or_insert(0) += 1;
+        }
+    }
+    ViolationPoint {
+        day,
+        per_asn,
+        violating_share: if tier1_regions == 0 {
+            0.0
+        } else {
+            violating as f64 / tier1_regions as f64
+        },
+    }
+}
+
+/// Fig 17 series: monthly violation counts over `days`.
+pub fn fig17_series(world: &mut World, days: u64, step_days: u64) -> Vec<ViolationPoint> {
+    let epoch = world.config.epoch;
+    let mut out = Vec::new();
+    let mut day = 0;
+    while day <= days {
+        world.advance_to(epoch + day * 86_400);
+        out.push(detect_now(world, day));
+        day += step_days.max(1);
+    }
+    out
+}
+
+/// The §5.6 headline number: mean share of tier-1 regions entering
+/// indirectly over the observation period (paper: ≈ 9 %).
+pub fn mean_violating_share(series: &[ViolationPoint]) -> f64 {
+    crate::stats::mean(&series.iter().map(|p| p.violating_share).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_traffic::{EventRates, WorldConfig};
+
+    fn world_with_violations() -> ipd_traffic::World {
+        ipd_traffic::World::generate(
+            WorldConfig {
+                rates: EventRates {
+                    violation_base_per_hour: 0.002,
+                    violation_growth_per_year: 1.0,
+                    ..EventRates::default()
+                },
+                ..WorldConfig::default()
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn no_violations_at_epoch() {
+        let w = world_with_violations();
+        let p = detect_now(&w, 0);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.violating_share, 0.0);
+    }
+
+    #[test]
+    fn detector_agrees_with_world_bookkeeping() {
+        let mut w = world_with_violations();
+        w.advance_to(w.config.epoch + 30 * 86_400);
+        let detected = detect_now(&w, 30);
+        let truth = w.active_violations();
+        assert_eq!(detected.total(), truth.len(), "independent detector must agree");
+        assert!(detected.total() > 0, "a month at this rate yields violations");
+    }
+
+    #[test]
+    fn trend_goes_up(){
+        let mut w = world_with_violations();
+        let series = fig17_series(&mut w, 360, 30);
+        assert_eq!(series.len(), 13);
+        let early: usize = series[..4].iter().map(ViolationPoint::total).sum();
+        let late: usize = series[series.len() - 4..].iter().map(ViolationPoint::total).sum();
+        assert!(late > early, "Fig 17 trend: early {early} late {late}");
+        let share = mean_violating_share(&series);
+        assert!((0.0..0.6).contains(&share), "share {share}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Longest-prefix-match trie and the canonical address/prefix types shared by
+//! the IPD reproduction.
+//!
+//! This crate sits at the bottom of the workspace dependency graph and provides
+//! three things:
+//!
+//! * [`Addr`] — an address-family-tagged IP address (IPv4 or IPv6) stored as a
+//!   `u128`, cheap to copy and mask.
+//! * [`Prefix`] — a CIDR range (`addr/len`) with the trie-navigation operations
+//!   the IPD algorithm needs: children, parent, sibling, containment.
+//! * [`LpmTrie`] — a generic binary longest-prefix-match trie keyed by
+//!   [`Prefix`], used for the validation lookup table of §5.1 of the paper and
+//!   for all BGP lookups.
+//!
+//! The types are deliberately simple (no bit-twiddling cleverness, no unsafe):
+//! per the project's networking guide, robustness and obviousness beat
+//! micro-optimisation, and the trie is already far from the bottleneck.
+
+mod addr;
+mod prefix;
+mod trie;
+
+pub use addr::{Addr, Af};
+pub use prefix::{ParsePrefixError, Prefix};
+pub use trie::LpmTrie;

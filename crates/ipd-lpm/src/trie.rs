@@ -1,0 +1,376 @@
+//! A generic binary longest-prefix-match trie.
+
+use crate::addr::{Addr, Af};
+use crate::prefix::Prefix;
+
+/// A binary trie mapping [`Prefix`]es to values, supporting longest-prefix
+/// matching for both IPv4 and IPv6 in one structure.
+///
+/// This is the data structure the paper uses for validation (§5.1: "we create
+/// a Longest Prefix Match (LPM) lookup table from the IPD output") and for the
+/// longitudinal matching analysis (§5.3.1: "we create an LPM trie with all
+/// prefixes from t2").
+#[derive(Debug, Clone)]
+pub struct LpmTrie<V> {
+    v4: Node<V>,
+    v6: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+impl<V> Default for LpmTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LpmTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        LpmTrie { v4: Node::empty(), v6: Node::empty(), len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn root(&self, af: Af) -> &Node<V> {
+        match af {
+            Af::V4 => &self.v4,
+            Af::V6 => &self.v6,
+        }
+    }
+
+    fn root_mut(&mut self, af: Af) -> &mut Node<V> {
+        match af {
+            Af::V4 => &mut self.v4,
+            Af::V6 => &mut self.v6,
+        }
+    }
+
+    /// Insert a value at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = self.root_mut(prefix.af());
+        for i in 0..prefix.len() {
+            let b = prefix.addr().bit(i) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::empty()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the value stored exactly at `prefix`, if any. Empty interior
+    /// nodes along the path are pruned.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, prefix: Prefix, depth: u8) -> Option<V> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let b = prefix.addr().bit(depth) as usize;
+            let child = node.children[b].as_mut()?;
+            let out = rec(child, prefix, depth + 1);
+            if child.is_empty() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(self.root_mut(prefix.af()), prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// The value stored exactly at `prefix`, if any.
+    pub fn exact(&self, prefix: Prefix) -> Option<&V> {
+        let mut node = self.root(prefix.af());
+        for i in 0..prefix.len() {
+            let b = prefix.addr().bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn lookup(&self, addr: Addr) -> Option<(Prefix, &V)> {
+        let mut node = self.root(addr.af());
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..addr.af().width() {
+            let b = addr.bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::of(addr.masked(len), len), v))
+    }
+
+    /// All stored prefixes containing `addr`, least specific first.
+    pub fn lookup_all(&self, addr: Addr) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::new();
+        let mut node = self.root(addr.af());
+        if let Some(v) = node.value.as_ref() {
+            out.push((Prefix::root(addr.af()), v));
+        }
+        for i in 0..addr.af().width() {
+            let b = addr.bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        out.push((Prefix::of(addr.masked(i + 1), i + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The most specific stored prefix containing `prefix` (itself included),
+    /// with its value — LPM generalised to prefix keys.
+    pub fn lookup_prefix(&self, prefix: Prefix) -> Option<(Prefix, &V)> {
+        let mut node = self.root(prefix.af());
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len() {
+            let b = prefix.addr().bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::of(prefix.addr().masked(len), len), v))
+    }
+
+    /// Iterate over all `(prefix, value)` pairs in address order (IPv4 before
+    /// IPv6, parents before children).
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            stack: vec![
+                (Prefix::root(Af::V6), &self.v6),
+                (Prefix::root(Af::V4), &self.v4),
+            ],
+        }
+    }
+
+    /// Iterate over the entries contained in (or equal to) `within`, in
+    /// address order. O(|subtree|) — this is what makes bulk operations on
+    /// one region cheap even when the trie holds the whole world.
+    pub fn iter_within(&self, within: Prefix) -> Iter<'_, V> {
+        let mut node = self.root(within.af());
+        for i in 0..within.len() {
+            let b = within.addr().bit(i) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => node = child,
+                None => return Iter { stack: Vec::new() },
+            }
+        }
+        Iter { stack: vec![(within, node)] }
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.v4 = Node::empty();
+        self.v6 = Node::empty();
+        self.len = 0;
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for LpmTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut t = LpmTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+/// Depth-first iterator over the trie. See [`LpmTrie::iter`].
+pub struct Iter<'a, V> {
+    stack: Vec<(Prefix, &'a Node<V>)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((prefix, node)) = self.stack.pop() {
+            // Push right then left so left pops first (address order).
+            if let Some((l, r)) = prefix.children() {
+                if let Some(c) = node.children[1].as_deref() {
+                    self.stack.push((r, c));
+                }
+                if let Some(c) = node.children[0].as_deref() {
+                    self.stack.push((l, c));
+                }
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((prefix, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse::<std::net::IpAddr>().unwrap().into()
+    }
+
+    #[test]
+    fn insert_lookup_exact() {
+        let mut t = LpmTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.exact(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.exact(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = LpmTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup(a("10.1.2.3")).unwrap(), (p("10.1.2.0/24"), &"twentyfour"));
+        assert_eq!(t.lookup(a("10.1.9.9")).unwrap(), (p("10.1.0.0/16"), &"sixteen"));
+        assert_eq!(t.lookup(a("10.9.9.9")).unwrap(), (p("10.0.0.0/8"), &"eight"));
+        assert_eq!(t.lookup(a("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = LpmTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        assert_eq!(t.lookup(a("203.0.113.77")).unwrap(), (p("0.0.0.0/0"), &0));
+        // but not the other family
+        assert_eq!(t.lookup(a("2001:db8::1")), None);
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let mut t = LpmTrie::new();
+        t.insert(p("::/0"), "v6");
+        t.insert(p("0.0.0.0/0"), "v4");
+        assert_eq!(t.lookup(a("1.2.3.4")).unwrap().1, &"v4");
+        assert_eq!(t.lookup(a("2001:db8::1")).unwrap().1, &"v6");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_all_least_specific_first() {
+        let mut t = LpmTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.2.0/24"), 24);
+        let all: Vec<_> = t.lookup_all(a("10.1.2.3")).into_iter().map(|(p, v)| (p, *v)).collect();
+        assert_eq!(all, vec![(p("0.0.0.0/0"), 0), (p("10.0.0.0/8"), 8), (p("10.1.2.0/24"), 24)]);
+    }
+
+    #[test]
+    fn lookup_prefix_generalises_lpm() {
+        let mut t = LpmTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        assert_eq!(t.lookup_prefix(p("10.1.2.0/24")).unwrap(), (p("10.1.0.0/16"), &16));
+        assert_eq!(t.lookup_prefix(p("10.1.0.0/16")).unwrap(), (p("10.1.0.0/16"), &16));
+        assert_eq!(t.lookup_prefix(p("10.0.0.0/12")).unwrap(), (p("10.0.0.0/8"), &8));
+        assert_eq!(t.lookup_prefix(p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn remove_and_prune() {
+        let mut t = LpmTrie::new();
+        t.insert(p("10.1.2.0/24"), 1);
+        t.insert(p("10.0.0.0/8"), 2);
+        assert_eq!(t.remove(p("10.1.2.0/24")), Some(1));
+        assert_eq!(t.remove(p("10.1.2.0/24")), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(a("10.1.2.3")).unwrap(), (p("10.0.0.0/8"), &2));
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut t = LpmTrie::new();
+        t.insert(p("128.0.0.0/1"), 3);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        t.insert(p("2001:db8::/32"), 4);
+        let keys: Vec<_> = t.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(keys, vec!["10.0.0.0/8", "10.1.0.0/16", "128.0.0.0/1", "2001:db8::/32"]);
+    }
+
+    #[test]
+    fn iter_within_returns_subtree_only() {
+        let mut t = LpmTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("11.0.0.0/8"), 99);
+        let got: Vec<_> = t.iter_within(p("10.1.0.0/16")).map(|(p, v)| (p, *v)).collect();
+        assert_eq!(got, vec![(p("10.1.0.0/16"), 16), (p("10.1.2.0/24"), 24)]);
+        // A region with no entries at all.
+        assert_eq!(t.iter_within(p("12.0.0.0/8")).count(), 0);
+        // The whole v4 space.
+        assert_eq!(t.iter_within(p("0.0.0.0/0")).count(), 4);
+        // `within` deeper than any stored entry but on an existing path.
+        assert_eq!(t.iter_within(p("10.1.2.0/28")).count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_and_clear() {
+        let mut t: LpmTrie<u32> =
+            vec![(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(a("10.0.0.1")), None);
+    }
+}

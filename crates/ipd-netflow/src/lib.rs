@@ -1,0 +1,34 @@
+//! Flow-record substrate for the IPD reproduction.
+//!
+//! The IPD paper (§3.1) consumes *sampled flow-level traces* ("e.g., Netflow
+//! or IPFIX") exported by every border router. This crate provides that
+//! substrate end to end:
+//!
+//! * [`FlowRecord`] — the canonical in-memory flow sample: export timestamp,
+//!   source/destination address, the exporting router and its ingress
+//!   interface, packet/byte counts. This is the only thing IPD ever sees.
+//! * [`v5`] — a wire-accurate NetFlow v5 encoder/decoder (24-byte header,
+//!   48-byte records, at most 30 records per datagram, IPv4 only).
+//! * [`ipfix`] — a template-based IPFIX (RFC 7011) subset that carries both
+//!   IPv4 and IPv6 flows; the decoder maintains a per-observation-domain
+//!   template cache like a real collector.
+//! * [`sampling`] — random 1-out-of-n packet sampling (the paper: n = 1,000
+//!   to 10,000; "unsampled data is *never* available").
+//! * [`collector`] — version-sniffing datagram collector with sequence-gap
+//!   accounting, turning raw datagrams back into [`FlowRecord`]s.
+//!
+//! Everything is synchronous and allocation-light: datagrams are built into
+//! and parsed from [`bytes::Bytes`] buffers, so the threaded IPD pipeline can
+//! pass them between reader threads without copying.
+
+pub mod collector;
+pub mod ipfix;
+pub mod record;
+pub mod sampling;
+pub mod trace;
+pub mod v5;
+
+pub use collector::{Collector, CollectorStats};
+pub use record::{DecodeError, FlowRecord, RouterId};
+pub use sampling::PacketSampler;
+pub use trace::{TraceReader, TraceWriter};

@@ -1,0 +1,160 @@
+//! Random 1-out-of-n packet sampling.
+//!
+//! The paper (§3.1): "routers apply random packet sampling (1 out of n pkts)
+//! with rates that range from n = 1,000 to 10,000 … unsampled data is *never*
+//! available." The traffic generator therefore produces *true* flows and this
+//! sampler decides, per packet, whether the router's flow cache would have
+//! seen it — yielding the sampled record IPD actually receives.
+
+use rand::Rng;
+
+use crate::record::FlowRecord;
+
+/// Random per-packet sampler with rate 1/n.
+///
+/// For a flow of `p` true packets the number of sampled packets is
+/// Binomial(p, 1/n); we draw that exactly for small `p` and via a normal
+/// approximation for large `p` (the error is far below the noise floor IPD is
+/// designed to absorb, and the approximation keeps huge elephant flows cheap).
+#[derive(Debug, Clone)]
+pub struct PacketSampler {
+    n: u32,
+}
+
+impl PacketSampler {
+    /// A sampler with rate 1-out-of-`n`. `n = 1` disables sampling.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "sampling interval must be >= 1");
+        PacketSampler { n }
+    }
+
+    /// The configured sampling interval.
+    pub fn interval(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of packets sampled out of `true_packets`.
+    pub fn sample_packets<R: Rng + ?Sized>(&self, rng: &mut R, true_packets: u64) -> u64 {
+        if self.n == 1 {
+            return true_packets;
+        }
+        let p = 1.0 / self.n as f64;
+        if true_packets <= 256 {
+            let mut hits = 0;
+            for _ in 0..true_packets {
+                if rng.random::<f64>() < p {
+                    hits += 1;
+                }
+            }
+            hits
+        } else {
+            // Normal approximation to Binomial(n, p), clamped to [0, n].
+            let mean = true_packets as f64 * p;
+            let sd = (true_packets as f64 * p * (1.0 - p)).sqrt();
+            let z = sample_standard_normal(rng);
+            let v = (mean + sd * z).round();
+            v.clamp(0.0, true_packets as f64) as u64
+        }
+    }
+
+    /// Apply sampling to a *true* flow: returns the sampled record (packet and
+    /// byte counts scaled down), or `None` if no packet of the flow was
+    /// sampled — in which case the router exports nothing at all, which is
+    /// exactly the visibility loss IPD has to live with.
+    pub fn sample_flow<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mut flow: FlowRecord,
+        true_packets: u64,
+        true_bytes: u64,
+    ) -> Option<FlowRecord> {
+        let sampled = self.sample_packets(rng, true_packets);
+        if sampled == 0 {
+            return None;
+        }
+        let mean_pkt = (true_bytes as f64 / true_packets.max(1) as f64).max(40.0);
+        flow.packets = sampled.min(u32::MAX as u64) as u32;
+        flow.bytes = ((sampled as f64 * mean_pkt) as u64).min(u32::MAX as u64) as u32;
+        Some(flow)
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_lpm::Addr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interval_one_passes_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = PacketSampler::new(1);
+        assert_eq!(s.sample_packets(&mut rng, 12345), 12345);
+    }
+
+    #[test]
+    #[should_panic]
+    fn interval_zero_panics() {
+        let _ = PacketSampler::new(0);
+    }
+
+    #[test]
+    fn small_flow_mostly_unsampled_at_1000() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = PacketSampler::new(1000);
+        let mut kept = 0;
+        for _ in 0..10_000 {
+            if s.sample_packets(&mut rng, 10) > 0 {
+                kept += 1;
+            }
+        }
+        // P(at least one of 10 pkts sampled) = 1 - 0.999^10 ≈ 1%.
+        assert!(kept > 20 && kept < 300, "kept {kept} of 10000");
+    }
+
+    #[test]
+    fn large_flow_sampling_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = PacketSampler::new(1000);
+        let trials = 200;
+        let true_packets = 1_000_000u64;
+        let total: u64 = (0..trials).map(|_| s.sample_packets(&mut rng, true_packets)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = true_packets as f64 / 1000.0;
+        assert!(
+            (mean - expect).abs() < expect * 0.05,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn sample_flow_scales_bytes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = PacketSampler::new(100);
+        let f = FlowRecord::synthetic(5, Addr::v4(1), 1, 1);
+        // 100k packets of 1000 bytes → expect ~1000 sampled pkts, ~1MB bytes.
+        let out = s.sample_flow(&mut rng, f, 100_000, 100_000_000).unwrap();
+        assert!(out.packets > 800 && out.packets < 1200, "packets {}", out.packets);
+        let bpp = out.bytes as f64 / out.packets as f64;
+        assert!((bpp - 1000.0).abs() < 1.0, "bytes per packet {bpp}");
+    }
+
+    #[test]
+    fn fully_unsampled_flow_is_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = PacketSampler::new(1_000_000);
+        let f = FlowRecord::synthetic(5, Addr::v4(1), 1, 1);
+        assert!(s.sample_flow(&mut rng, f, 1, 1400).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! NetFlow v5 wire codec.
+//!
+//! NetFlow v5 is the least common denominator of flow export and still what
+//! many border routers emit. A datagram is a 24-byte header followed by up to
+//! 30 fixed 48-byte flow records; v5 carries IPv4 only. Field layout follows
+//! the classic Cisco definition.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ipd_lpm::{Addr, Af};
+
+use crate::record::{DecodeError, FlowRecord, RouterId};
+
+/// Wire size of the v5 header.
+pub const HEADER_LEN: usize = 24;
+/// Wire size of one v5 flow record.
+pub const RECORD_LEN: usize = 48;
+/// Maximum records per datagram (fits a 1500-byte MTU).
+pub const MAX_RECORDS: usize = 30;
+
+/// A decoded v5 datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V5Packet {
+    /// Router sys-uptime at export, milliseconds.
+    pub sys_uptime_ms: u32,
+    /// Export wall-clock time, unix seconds (per the router's clock).
+    pub unix_secs: u32,
+    /// Sequence number of the first flow in this datagram.
+    pub flow_sequence: u32,
+    /// Export engine id.
+    pub engine_id: u8,
+    /// Sampling interval (1-out-of-n); 0 means unsampled.
+    pub sampling_interval: u16,
+    /// The flows.
+    pub records: Vec<FlowRecord>,
+}
+
+/// Stateful NetFlow v5 exporter for one router: maintains the flow sequence
+/// counter and packs records into MTU-sized datagrams.
+#[derive(Debug)]
+pub struct V5Exporter {
+    router: RouterId,
+    engine_id: u8,
+    sampling_interval: u16,
+    flow_sequence: u32,
+    boot_ts: u64,
+}
+
+impl V5Exporter {
+    /// A new exporter. `sampling_interval` is the configured 1-out-of-n rate
+    /// advertised in every header; `boot_ts` anchors the sys-uptime field.
+    pub fn new(router: RouterId, engine_id: u8, sampling_interval: u16, boot_ts: u64) -> Self {
+        V5Exporter { router, engine_id, sampling_interval, flow_sequence: 0, boot_ts }
+    }
+
+    /// The router this exporter speaks for.
+    pub fn router(&self) -> RouterId {
+        self.router
+    }
+
+    /// Current flow sequence (next datagram's first-flow number).
+    pub fn flow_sequence(&self) -> u32 {
+        self.flow_sequence
+    }
+
+    /// Encode `records` into one or more datagrams.
+    ///
+    /// Returns [`DecodeError::Malformed`] if any record is IPv6 — v5 cannot
+    /// carry it; callers route IPv6 through the IPFIX exporter instead.
+    pub fn encode(&mut self, now: u64, records: &[FlowRecord]) -> Result<Vec<Bytes>, DecodeError> {
+        if records.iter().any(|r| r.af() == Af::V6) {
+            return Err(DecodeError::Malformed("NetFlow v5 cannot carry IPv6 flows"));
+        }
+        let uptime_ms = (now.saturating_sub(self.boot_ts) as u32).wrapping_mul(1000);
+        let mut out = Vec::with_capacity(records.len().div_ceil(MAX_RECORDS));
+        for chunk in records.chunks(MAX_RECORDS) {
+            let mut buf = BytesMut::with_capacity(HEADER_LEN + RECORD_LEN * chunk.len());
+            buf.put_u16(5); // version
+            buf.put_u16(chunk.len() as u16);
+            buf.put_u32(uptime_ms);
+            buf.put_u32(now as u32);
+            buf.put_u32(0); // unix_nsecs
+            buf.put_u32(self.flow_sequence);
+            buf.put_u8(0); // engine_type
+            buf.put_u8(self.engine_id);
+            buf.put_u16(self.sampling_interval & 0x3FFF);
+            for r in chunk {
+                encode_record(&mut buf, uptime_ms, r);
+            }
+            self.flow_sequence = self.flow_sequence.wrapping_add(chunk.len() as u32);
+            out.push(buf.freeze());
+        }
+        Ok(out)
+    }
+}
+
+fn encode_record(buf: &mut BytesMut, uptime_ms: u32, r: &FlowRecord) {
+    buf.put_u32(r.src.bits() as u32);
+    buf.put_u32(r.dst.bits() as u32);
+    buf.put_u32(0); // nexthop
+    buf.put_u16(r.input_if);
+    buf.put_u16(r.output_if);
+    buf.put_u32(r.packets);
+    buf.put_u32(r.bytes);
+    buf.put_u32(uptime_ms); // first
+    buf.put_u32(uptime_ms); // last
+    buf.put_u16(r.src_port);
+    buf.put_u16(r.dst_port);
+    buf.put_u8(0); // pad1
+    buf.put_u8(0); // tcp_flags
+    buf.put_u8(r.proto);
+    buf.put_u8(0); // tos
+    buf.put_u16(0); // src_as
+    buf.put_u16(0); // dst_as
+    buf.put_u8(0); // src_mask
+    buf.put_u8(0); // dst_mask
+    buf.put_u16(0); // pad2
+}
+
+/// Decode one v5 datagram. The exporting `router` comes from the datagram's
+/// network source address, which the transport (or simulation harness) knows.
+pub fn decode(datagram: &[u8], router: RouterId) -> Result<V5Packet, DecodeError> {
+    if datagram.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated { need: HEADER_LEN, have: datagram.len() });
+    }
+    let mut buf = datagram;
+    let version = buf.get_u16();
+    if version != 5 {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = buf.get_u16() as usize;
+    if count > MAX_RECORDS {
+        return Err(DecodeError::Malformed("v5 record count exceeds 30"));
+    }
+    let sys_uptime_ms = buf.get_u32();
+    let unix_secs = buf.get_u32();
+    let _unix_nsecs = buf.get_u32();
+    let flow_sequence = buf.get_u32();
+    let _engine_type = buf.get_u8();
+    let engine_id = buf.get_u8();
+    let sampling_interval = buf.get_u16() & 0x3FFF;
+
+    let need = HEADER_LEN + count * RECORD_LEN;
+    if datagram.len() != need {
+        return Err(DecodeError::BadLength { claimed: need, actual: datagram.len() });
+    }
+
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = Addr::v4(buf.get_u32());
+        let dst = Addr::v4(buf.get_u32());
+        let _nexthop = buf.get_u32();
+        let input_if = buf.get_u16();
+        let output_if = buf.get_u16();
+        let packets = buf.get_u32();
+        let bytes = buf.get_u32();
+        let _first = buf.get_u32();
+        let _last = buf.get_u32();
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let _pad1 = buf.get_u8();
+        let _tcp_flags = buf.get_u8();
+        let proto = buf.get_u8();
+        let _tos = buf.get_u8();
+        let _src_as = buf.get_u16();
+        let _dst_as = buf.get_u16();
+        let _src_mask = buf.get_u8();
+        let _dst_mask = buf.get_u8();
+        let _pad2 = buf.get_u16();
+        records.push(FlowRecord {
+            ts: unix_secs as u64,
+            src,
+            dst,
+            router,
+            input_if,
+            output_if,
+            proto,
+            src_port,
+            dst_port,
+            packets,
+            bytes,
+        });
+    }
+    Ok(V5Packet { sys_uptime_ms, unix_secs, flow_sequence, engine_id, sampling_interval, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| FlowRecord {
+                ts: 1_600_000_000,
+                src: Addr::v4(0x0A00_0000 + i as u32),
+                dst: Addr::v4(0xC633_6401),
+                router: 42,
+                input_if: (i % 7) as u16,
+                output_if: 1,
+                proto: 6,
+                src_port: 443,
+                dst_port: 40000 + i as u16,
+                packets: 1 + i as u32,
+                bytes: 1400 * (1 + i as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_single_datagram() {
+        let mut exp = V5Exporter::new(42, 1, 1000, 1_600_000_000 - 3600);
+        let records = sample_records(5);
+        let grams = exp.encode(1_600_000_000, &records).unwrap();
+        assert_eq!(grams.len(), 1);
+        assert_eq!(grams[0].len(), HEADER_LEN + 5 * RECORD_LEN);
+        let pkt = decode(&grams[0], 42).unwrap();
+        assert_eq!(pkt.records, records);
+        assert_eq!(pkt.flow_sequence, 0);
+        assert_eq!(pkt.sampling_interval, 1000);
+        assert_eq!(pkt.unix_secs, 1_600_000_000);
+    }
+
+    #[test]
+    fn chunking_at_30_records() {
+        let mut exp = V5Exporter::new(1, 0, 1000, 0);
+        let records = sample_records(65);
+        let grams = exp.encode(100, &records).unwrap();
+        assert_eq!(grams.len(), 3);
+        let counts: Vec<usize> =
+            grams.iter().map(|g| decode(g, 1).unwrap().records.len()).collect();
+        assert_eq!(counts, vec![30, 30, 5]);
+        // Sequence numbers advance by the number of flows per datagram.
+        let seqs: Vec<u32> = grams.iter().map(|g| decode(g, 1).unwrap().flow_sequence).collect();
+        assert_eq!(seqs, vec![0, 30, 60]);
+        assert_eq!(exp.flow_sequence(), 65);
+    }
+
+    #[test]
+    fn rejects_ipv6() {
+        let mut exp = V5Exporter::new(1, 0, 1000, 0);
+        let mut records = sample_records(1);
+        records.push(FlowRecord::synthetic(1, Addr::v6(0x2001 << 112), 1, 1));
+        assert!(matches!(exp.encode(100, &records), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            decode(&[0u8; 10], 1),
+            Err(DecodeError::Truncated { need: 24, have: 10 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut exp = V5Exporter::new(1, 0, 0, 0);
+        let gram = exp.encode(100, &sample_records(1)).unwrap().remove(0);
+        let mut bad = gram.to_vec();
+        bad[1] = 9;
+        assert!(matches!(decode(&bad, 1), Err(DecodeError::BadVersion(9))));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut exp = V5Exporter::new(1, 0, 0, 0);
+        let gram = exp.encode(100, &sample_records(2)).unwrap().remove(0);
+        let bad = &gram[..gram.len() - 1];
+        assert!(matches!(decode(bad, 1), Err(DecodeError::BadLength { .. })));
+    }
+
+    #[test]
+    fn empty_batch_encodes_nothing() {
+        let mut exp = V5Exporter::new(1, 0, 0, 0);
+        assert!(exp.encode(100, &[]).unwrap().is_empty());
+        assert_eq!(exp.flow_sequence(), 0);
+    }
+
+    #[test]
+    fn sequence_wraps() {
+        let mut exp = V5Exporter::new(1, 0, 0, 0);
+        exp.flow_sequence = u32::MAX;
+        let grams = exp.encode(100, &sample_records(2)).unwrap();
+        assert_eq!(decode(&grams[0], 1).unwrap().flow_sequence, u32::MAX);
+        assert_eq!(exp.flow_sequence(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: flow records survive the wire round-trip.
+
+use ipd_lpm::Addr;
+use ipd_netflow::ipfix::IpfixExporter;
+use ipd_netflow::v5::V5Exporter;
+use ipd_netflow::{Collector, FlowRecord};
+use proptest::prelude::*;
+
+fn arb_v4_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+        1u32..=u32::MAX,
+        1u32..=u32::MAX,
+    )
+        .prop_map(|(src, dst, inp, outp, proto, sp, dp, pkts, bytes)| FlowRecord {
+            ts: 0, // overwritten by export time on the wire
+            src: Addr::v4(src),
+            dst: Addr::v4(dst),
+            router: 11,
+            input_if: inp,
+            output_if: outp,
+            proto,
+            src_port: sp,
+            dst_port: dp,
+            packets: pkts,
+            bytes,
+        })
+}
+
+fn arb_v6_record() -> impl Strategy<Value = FlowRecord> {
+    (any::<u128>(), any::<u128>(), any::<u16>(), 1u32..=u32::MAX).prop_map(
+        |(src, dst, inp, pkts)| FlowRecord {
+            ts: 0,
+            src: Addr::v6(src),
+            dst: Addr::v6(dst),
+            router: 11,
+            input_if: inp,
+            output_if: 3,
+            proto: 6,
+            src_port: 443,
+            dst_port: 50000,
+            packets: pkts,
+            bytes: pkts.saturating_mul(100),
+        },
+    )
+}
+
+fn with_ts(ts: u64, records: &[FlowRecord]) -> Vec<FlowRecord> {
+    records.iter().map(|r| FlowRecord { ts, ..*r }).collect()
+}
+
+proptest! {
+    /// NetFlow v5 round-trips arbitrary IPv4 records through arbitrary batch
+    /// sizes and datagram chunking.
+    #[test]
+    fn v5_roundtrip(records in proptest::collection::vec(arb_v4_record(), 0..100),
+                    now in 1u64..=u32::MAX as u64) {
+        let mut exp = V5Exporter::new(11, 0, 1000, 0);
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        for g in exp.encode(now, &records).unwrap() {
+            col.feed(&g, 11, &mut out).unwrap();
+        }
+        prop_assert_eq!(out, with_ts(now, &records));
+        prop_assert_eq!(col.stats().sequence_gap, 0);
+    }
+
+    /// IPFIX round-trips mixed v4/v6 records; family grouping may reorder
+    /// across families but never within one.
+    #[test]
+    fn ipfix_roundtrip(v4 in proptest::collection::vec(arb_v4_record(), 0..60),
+                       v6 in proptest::collection::vec(arb_v6_record(), 0..60),
+                       now in 1u64..=u32::MAX as u64) {
+        let mut records = v4.clone();
+        records.extend(v6.clone());
+        let mut exp = IpfixExporter::new(11, 4);
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        for g in exp.encode(now, &records) {
+            col.feed(&g, 11, &mut out).unwrap();
+        }
+        let got_v4: Vec<_> = out.iter().filter(|r| r.src.af() == ipd_lpm::Af::V4).cloned().collect();
+        let got_v6: Vec<_> = out.iter().filter(|r| r.src.af() == ipd_lpm::Af::V6).cloned().collect();
+        prop_assert_eq!(got_v4, with_ts(now, &v4));
+        prop_assert_eq!(got_v6, with_ts(now, &v6));
+        prop_assert_eq!(col.stats().sequence_gap, 0);
+    }
+
+    /// The collector never panics on arbitrary garbage bytes.
+    #[test]
+    fn collector_survives_garbage(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        let _ = col.feed(&data, 1, &mut out);
+        // Decodes of random bytes may or may not error, but must not panic,
+        // and stats stay coherent.
+        prop_assert_eq!(col.stats().datagrams + col.stats().errors, 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Uniform time-bucketing with traffic-mass-driven statistical time.
+
+use std::collections::BTreeMap;
+
+use ipd_netflow::FlowRecord;
+
+/// Configuration for [`TimeBucketer`].
+#[derive(Debug, Clone, Copy)]
+pub struct StatTimeConfig {
+    /// Bucket length in seconds (the paper's `t`, default 60).
+    pub bucket_secs: u64,
+    /// Minimum flows for a closed bucket to be emitted rather than discarded
+    /// ("intervals that don't meet a certain activity threshold are
+    /// discarded").
+    pub activity_threshold: usize,
+    /// Flows claiming a time more than this many buckets *behind* statistical
+    /// now are discarded as out-of-range.
+    pub max_skew_buckets: u64,
+    /// Traffic mass (flows) a *future* bucket must accumulate before
+    /// statistical now advances to it. This is what makes time statistical:
+    /// one router with a fast clock cannot move it.
+    pub promote_threshold: usize,
+}
+
+impl Default for StatTimeConfig {
+    fn default() -> Self {
+        StatTimeConfig {
+            bucket_secs: 60,
+            activity_threshold: 10,
+            max_skew_buckets: 2,
+            promote_threshold: 100,
+        }
+    }
+}
+
+/// Outcome of flushing one closed bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flush {
+    /// The bucket met the activity threshold; flows are re-stamped to the
+    /// bucket start time.
+    Emitted {
+        /// Start of the bucket (unix seconds).
+        bucket_start: u64,
+        /// The flows, each with `ts` rewritten to `bucket_start`.
+        flows: Vec<FlowRecord>,
+    },
+    /// The bucket was below the activity threshold and dropped whole.
+    Discarded {
+        /// Start of the bucket (unix seconds).
+        bucket_start: u64,
+        /// How many flows were dropped with it.
+        flows: usize,
+    },
+}
+
+/// Streaming statistical-time bucketer. See the crate docs for the contract.
+#[derive(Debug)]
+pub struct TimeBucketer {
+    cfg: StatTimeConfig,
+    /// Open buckets, keyed by bucket index (`ts / bucket_secs`).
+    buckets: BTreeMap<u64, Vec<FlowRecord>>,
+    /// Current statistical bucket index.
+    stat_now: Option<u64>,
+    /// Flows discarded because their claimed time was too far in the past.
+    out_of_range: u64,
+}
+
+impl TimeBucketer {
+    /// A bucketer with the given configuration.
+    pub fn new(cfg: StatTimeConfig) -> Self {
+        assert!(cfg.bucket_secs > 0, "bucket length must be positive");
+        TimeBucketer { cfg, buckets: BTreeMap::new(), stat_now: None, out_of_range: 0 }
+    }
+
+    /// Current statistical time (start of the current bucket), once enough
+    /// traffic has been seen to establish one.
+    pub fn statistical_now(&self) -> Option<u64> {
+        self.stat_now.map(|b| b * self.cfg.bucket_secs)
+    }
+
+    /// Flows discarded as out-of-range so far.
+    pub fn out_of_range_count(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Feed one flow. Returns `true` if the flow was accepted into a bucket,
+    /// `false` if it was discarded as out-of-range.
+    pub fn push(&mut self, flow: FlowRecord) -> bool {
+        let b = flow.ts / self.cfg.bucket_secs;
+        let now = *self.stat_now.get_or_insert(b);
+
+        if b + self.cfg.max_skew_buckets < now {
+            self.out_of_range += 1;
+            return false;
+        }
+        let bucket = self.buckets.entry(b).or_default();
+        bucket.push(flow);
+
+        // Advance statistical now when a future bucket has enough mass.
+        if b > now && bucket.len() >= self.cfg.promote_threshold {
+            self.stat_now = Some(b);
+        }
+        true
+    }
+
+    /// Flush buckets that are strictly in the past of statistical now (older
+    /// than `stat_now - max_skew_buckets`, so no in-range flow can still land
+    /// in them). Call once per processing cycle.
+    pub fn flush_closed(&mut self) -> Vec<Flush> {
+        let Some(now) = self.stat_now else { return Vec::new() };
+        let keep_from = now.saturating_sub(self.cfg.max_skew_buckets);
+        let closed: Vec<u64> =
+            self.buckets.range(..keep_from).map(|(&b, _)| b).collect();
+        closed.into_iter().map(|b| self.flush_bucket(b)).collect()
+    }
+
+    /// Flush everything that remains, regardless of statistical now. Call at
+    /// end of stream.
+    pub fn finish(&mut self) -> Vec<Flush> {
+        let all: Vec<u64> = self.buckets.keys().copied().collect();
+        all.into_iter().map(|b| self.flush_bucket(b)).collect()
+    }
+
+    fn flush_bucket(&mut self, b: u64) -> Flush {
+        let mut flows = self.buckets.remove(&b).unwrap_or_default();
+        let bucket_start = b * self.cfg.bucket_secs;
+        if flows.len() < self.cfg.activity_threshold {
+            Flush::Discarded { bucket_start, flows: flows.len() }
+        } else {
+            for f in &mut flows {
+                f.ts = bucket_start;
+            }
+            Flush::Emitted { bucket_start, flows }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_lpm::Addr;
+
+    fn flow(ts: u64) -> FlowRecord {
+        FlowRecord::synthetic(ts, Addr::v4(0x0A000001), 1, 1)
+    }
+
+    fn cfg() -> StatTimeConfig {
+        StatTimeConfig {
+            bucket_secs: 60,
+            activity_threshold: 3,
+            max_skew_buckets: 2,
+            promote_threshold: 5,
+        }
+    }
+
+    #[test]
+    fn in_sync_flows_pass_through_rounded() {
+        let mut tb = TimeBucketer::new(cfg());
+        for i in 0..10 {
+            assert!(tb.push(flow(600 + i)));
+        }
+        let out = tb.finish();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Flush::Emitted { bucket_start, flows } => {
+                assert_eq!(*bucket_start, 600);
+                assert_eq!(flows.len(), 10);
+                assert!(flows.iter().all(|f| f.ts == 600));
+            }
+            other => panic!("expected emit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_activity_bucket_discarded() {
+        let mut tb = TimeBucketer::new(cfg());
+        tb.push(flow(600));
+        tb.push(flow(600));
+        let out = tb.finish();
+        assert_eq!(out, vec![Flush::Discarded { bucket_start: 600, flows: 2 }]);
+    }
+
+    #[test]
+    fn single_fast_clock_cannot_advance_time() {
+        let mut tb = TimeBucketer::new(cfg());
+        for _ in 0..10 {
+            tb.push(flow(600));
+        }
+        // One flow claims to be an hour ahead — below promote threshold.
+        tb.push(flow(4200));
+        assert_eq!(tb.statistical_now(), Some(600));
+        // Old traffic is still accepted.
+        assert!(tb.push(flow(610)));
+        assert_eq!(tb.out_of_range_count(), 0);
+    }
+
+    #[test]
+    fn mass_advances_time_and_stragglers_get_dropped() {
+        let mut tb = TimeBucketer::new(cfg());
+        for _ in 0..10 {
+            tb.push(flow(600));
+        }
+        // Enough traffic in a much later bucket promotes statistical now.
+        for _ in 0..5 {
+            tb.push(flow(1200));
+        }
+        assert_eq!(tb.statistical_now(), Some(1200));
+        // 1200/60 = bucket 20; max_skew 2 → buckets < 18 are out of range.
+        assert!(!tb.push(flow(600)), "way-old flow must be discarded");
+        assert!(tb.push(flow(1080)), "within skew window is fine");
+        assert_eq!(tb.out_of_range_count(), 1);
+    }
+
+    #[test]
+    fn flush_closed_only_releases_settled_buckets() {
+        let mut tb = TimeBucketer::new(cfg());
+        for _ in 0..5 {
+            tb.push(flow(0));
+        }
+        for _ in 0..5 {
+            tb.push(flow(300)); // bucket 5 — promotes now
+        }
+        assert_eq!(tb.statistical_now(), Some(300));
+        let flushed = tb.flush_closed();
+        // Buckets < 5-2=3 close: that's bucket 0.
+        assert_eq!(flushed.len(), 1);
+        assert!(matches!(flushed[0], Flush::Emitted { bucket_start: 0, .. }));
+        // Bucket 5 itself stays open.
+        let remaining = tb.finish();
+        assert_eq!(remaining.len(), 1);
+    }
+
+    #[test]
+    fn flush_closed_before_any_traffic_is_empty() {
+        let mut tb = TimeBucketer::new(cfg());
+        assert!(tb.flush_closed().is_empty());
+        assert_eq!(tb.statistical_now(), None);
+    }
+
+    #[test]
+    fn drifted_router_within_skew_is_merged() {
+        use crate::drift::ClockDrift;
+        let mut tb = TimeBucketer::new(cfg());
+        let good = ClockDrift::accurate();
+        let bad = ClockDrift::offset(-70); // one bucket behind
+        for i in 0..20 {
+            tb.push(flow(good.claimed(6000 + i)));
+            tb.push(flow(bad.claimed(6000 + i)));
+        }
+        let out = tb.finish();
+        let emitted: usize = out
+            .iter()
+            .map(|f| match f {
+                Flush::Emitted { flows, .. } => flows.len(),
+                Flush::Discarded { .. } => 0,
+            })
+            .sum();
+        // All 40 flows survive; the drifted ones just land one bucket early.
+        assert_eq!(emitted, 40);
+        assert_eq!(tb.out_of_range_count(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Clock-drift fault injection.
+
+/// A router clock model: a fixed offset plus linear skew.
+///
+/// `claimed(t) = t + offset_secs + skew_ppm * (t - epoch) / 1e6`
+///
+/// The traffic generator attaches one of these to each router to corrupt the
+/// export timestamps, and the statistical-time bucketer has to undo the
+/// damage. An accurate clock is `ClockDrift::accurate()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDrift {
+    /// Constant offset in seconds (positive = clock runs ahead).
+    pub offset_secs: i64,
+    /// Linear skew in parts per million of elapsed time since `epoch`.
+    pub skew_ppm: f64,
+    /// Reference time the skew is measured from.
+    pub epoch: u64,
+}
+
+impl ClockDrift {
+    /// A perfectly synchronized clock.
+    pub fn accurate() -> Self {
+        ClockDrift { offset_secs: 0, skew_ppm: 0.0, epoch: 0 }
+    }
+
+    /// A clock with constant offset only.
+    pub fn offset(offset_secs: i64) -> Self {
+        ClockDrift { offset_secs, skew_ppm: 0.0, epoch: 0 }
+    }
+
+    /// What this clock claims when the true time is `t`. Saturates at zero
+    /// rather than going negative.
+    pub fn claimed(&self, t: u64) -> u64 {
+        let skew = self.skew_ppm * (t.saturating_sub(self.epoch)) as f64 / 1e6;
+        let claimed = t as i64 + self.offset_secs + skew as i64;
+        claimed.max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_clock_is_identity() {
+        let c = ClockDrift::accurate();
+        for t in [0u64, 1, 1_000_000_000] {
+            assert_eq!(c.claimed(t), t);
+        }
+    }
+
+    #[test]
+    fn positive_and_negative_offsets() {
+        assert_eq!(ClockDrift::offset(30).claimed(100), 130);
+        assert_eq!(ClockDrift::offset(-30).claimed(100), 70);
+    }
+
+    #[test]
+    fn saturates_at_zero() {
+        assert_eq!(ClockDrift::offset(-500).claimed(100), 0);
+    }
+
+    #[test]
+    fn skew_accumulates() {
+        let c = ClockDrift { offset_secs: 0, skew_ppm: 1000.0, epoch: 1000 };
+        // 1000 ppm = 1ms/s; after 10,000s → 10s ahead.
+        assert_eq!(c.claimed(11_000), 11_010);
+        // Before the epoch: no skew has accumulated.
+        assert_eq!(c.claimed(500), 500);
+    }
+}

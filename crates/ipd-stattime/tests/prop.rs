@@ -1,0 +1,105 @@
+//! Property-based tests for statistical time: no flow is ever duplicated,
+//! ordering of flushes is sane, and drifted-but-in-range traffic survives.
+
+use ipd_lpm::Addr;
+use ipd_netflow::FlowRecord;
+use ipd_stattime::{ClockDrift, Flush, StatTimeConfig, TimeBucketer};
+use proptest::prelude::*;
+
+fn flow(ts: u64, tag: u32) -> FlowRecord {
+    FlowRecord::synthetic(ts, Addr::v4(tag), 1, 1)
+}
+
+fn cfg(threshold: usize) -> StatTimeConfig {
+    StatTimeConfig {
+        bucket_secs: 60,
+        activity_threshold: threshold,
+        max_skew_buckets: 2,
+        promote_threshold: 10,
+    }
+}
+
+proptest! {
+    /// Conservation: every pushed flow is either accepted (and eventually
+    /// flushed, emitted or discarded) or rejected as out-of-range — never
+    /// duplicated, never silently lost.
+    #[test]
+    fn flows_are_conserved(
+        offsets in proptest::collection::vec((0u64..1200, any::<u32>()), 1..300),
+        threshold in 0usize..20,
+    ) {
+        let mut tb = TimeBucketer::new(cfg(threshold));
+        let mut accepted = 0u64;
+        for &(ts, tag) in &offsets {
+            if tb.push(flow(ts, tag)) {
+                accepted += 1;
+            }
+        }
+        let mut flushed = tb.flush_closed();
+        flushed.extend(tb.finish());
+        let mut emitted = 0u64;
+        let mut discarded = 0u64;
+        for f in &flushed {
+            match f {
+                Flush::Emitted { flows, .. } => emitted += flows.len() as u64,
+                Flush::Discarded { flows, .. } => discarded += *flows as u64,
+            }
+        }
+        prop_assert_eq!(emitted + discarded, accepted);
+        prop_assert_eq!(accepted + tb.out_of_range_count(), offsets.len() as u64);
+        // Emitted buckets meet the threshold; discarded ones do not.
+        for f in &flushed {
+            match f {
+                Flush::Emitted { flows, bucket_start } => {
+                    prop_assert!(flows.len() >= threshold);
+                    prop_assert!(flows.iter().all(|fl| fl.ts == *bucket_start));
+                }
+                Flush::Discarded { flows, .. } => prop_assert!(*flows < threshold),
+            }
+        }
+    }
+
+    /// Bucket starts are unique and sorted within one flush call.
+    #[test]
+    fn flush_is_ordered(
+        offsets in proptest::collection::vec(0u64..3000, 1..300),
+    ) {
+        let mut tb = TimeBucketer::new(cfg(0));
+        for (i, &ts) in offsets.iter().enumerate() {
+            tb.push(flow(ts, i as u32));
+        }
+        let flushed = tb.finish();
+        let starts: Vec<u64> = flushed
+            .iter()
+            .map(|f| match f {
+                Flush::Emitted { bucket_start, .. } | Flush::Discarded { bucket_start, .. } => {
+                    *bucket_start
+                }
+            })
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&starts, &sorted);
+    }
+
+    /// A clock with drift inside the skew window never loses traffic.
+    #[test]
+    fn small_drift_is_tolerated(offset in -100i64..=100) {
+        let drift = ClockDrift::offset(offset);
+        let mut tb = TimeBucketer::new(cfg(0));
+        let mut accepted = 0;
+        for i in 0..200u64 {
+            let true_ts = 6000 + i * 3;
+            // Interleave an accurate reference stream with the drifted one.
+            tb.push(flow(true_ts, 1));
+            if tb.push(flow(drift.claimed(true_ts), 2)) {
+                accepted += 1;
+            }
+        }
+        // |offset| ≤ 100 s < max_skew_buckets × 60 s + bucket: everything
+        // within two buckets of statistical now must be kept.
+        prop_assert_eq!(accepted, 200);
+        prop_assert_eq!(tb.out_of_range_count(), 0);
+    }
+}

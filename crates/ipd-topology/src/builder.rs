@@ -1,0 +1,188 @@
+//! Validated topology construction.
+
+use std::fmt;
+
+use crate::model::{
+    Country, CountryId, Interface, Link, LinkClass, LinkId, Pop, PopId, Router, RouterId, Topology,
+};
+
+/// Errors raised while assembling a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A country/PoP/router id was used twice.
+    DuplicateId(&'static str, u32),
+    /// A PoP references a country that was never added (etc.).
+    DanglingReference(&'static str, u32),
+    /// Two links claim the same (router, ifindex).
+    DuplicateInterface(RouterId, u16),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateId(kind, id) => write!(f, "duplicate {kind} id {id}"),
+            BuildError::DanglingReference(kind, id) => {
+                write!(f, "reference to unknown {kind} {id}")
+            }
+            BuildError::DuplicateInterface(r, i) => {
+                write!(f, "interface {i} on router {r} already has a link")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental, validated builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    next_link: LinkId,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a country.
+    pub fn add_country(&mut self, id: CountryId, name: &str) -> Result<(), BuildError> {
+        if self.topo.country_index.contains_key(&id) {
+            return Err(BuildError::DuplicateId("country", id as u32));
+        }
+        self.topo.country_index.insert(id, self.topo.countries.len());
+        self.topo.countries.push(Country { id, name: name.to_string() });
+        Ok(())
+    }
+
+    /// Add a PoP located in an existing country.
+    pub fn add_pop(&mut self, id: PopId, country: CountryId, name: &str) -> Result<(), BuildError> {
+        if self.topo.pop_index.contains_key(&id) {
+            return Err(BuildError::DuplicateId("pop", id as u32));
+        }
+        if !self.topo.country_index.contains_key(&country) {
+            return Err(BuildError::DanglingReference("country", country as u32));
+        }
+        self.topo.pop_index.insert(id, self.topo.pops.len());
+        self.topo.pops.push(Pop { id, country, name: name.to_string() });
+        Ok(())
+    }
+
+    /// Add a border router hosted at an existing PoP.
+    pub fn add_router(&mut self, id: RouterId, pop: PopId) -> Result<(), BuildError> {
+        if self.topo.router_index.contains_key(&id) {
+            return Err(BuildError::DuplicateId("router", id));
+        }
+        if !self.topo.pop_index.contains_key(&pop) {
+            return Err(BuildError::DanglingReference("pop", pop as u32));
+        }
+        self.topo.router_index.insert(id, self.topo.routers.len());
+        self.topo.routers.push(Router { id, pop });
+        Ok(())
+    }
+
+    /// Add an external link on an existing router. Returns the new link id.
+    pub fn add_link(
+        &mut self,
+        interface: Interface,
+        neighbor_as: u32,
+        class: LinkClass,
+        capacity_gbps: u32,
+    ) -> Result<LinkId, BuildError> {
+        if !self.topo.router_index.contains_key(&interface.router) {
+            return Err(BuildError::DanglingReference("router", interface.router));
+        }
+        if self.topo.link_by_interface.contains_key(&interface) {
+            return Err(BuildError::DuplicateInterface(interface.router, interface.ifindex));
+        }
+        let id = self.next_link;
+        self.next_link += 1;
+        self.topo.link_by_interface.insert(interface, id);
+        self.topo.links_by_as.entry(neighbor_as).or_default().push(id);
+        self.topo.links.push(Link { id, interface, neighbor_as, class, capacity_gbps });
+        Ok(id)
+    }
+
+    /// Number of routers added so far (used by generators for id allocation).
+    pub fn router_count(&self) -> usize {
+        self.topo.routers.len()
+    }
+
+    /// Highest interface index currently used on `router`, if any — so a
+    /// generator can append further links without colliding.
+    pub fn max_ifindex(&self, router: RouterId) -> Option<u16> {
+        self.topo
+            .link_by_interface
+            .keys()
+            .filter(|i| i.router == router)
+            .map(|i| i.ifindex)
+            .max()
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> Topology {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates_and_dangling() {
+        let mut b = TopologyBuilder::new();
+        b.add_country(1, "A").unwrap();
+        assert_eq!(b.add_country(1, "A2"), Err(BuildError::DuplicateId("country", 1)));
+        assert_eq!(b.add_pop(1, 9, "p"), Err(BuildError::DanglingReference("country", 9)));
+        b.add_pop(1, 1, "p").unwrap();
+        assert_eq!(b.add_pop(1, 1, "p2"), Err(BuildError::DuplicateId("pop", 1)));
+        assert_eq!(b.add_router(1, 3), Err(BuildError::DanglingReference("pop", 3)));
+        b.add_router(1, 1).unwrap();
+        assert_eq!(b.add_router(1, 1), Err(BuildError::DuplicateId("router", 1)));
+        let ifc = Interface { router: 1, ifindex: 1 };
+        b.add_link(ifc, 65001, LinkClass::Pni, 100).unwrap();
+        assert_eq!(
+            b.add_link(ifc, 65002, LinkClass::Transit, 10),
+            Err(BuildError::DuplicateInterface(1, 1))
+        );
+        assert_eq!(
+            b.add_link(Interface { router: 9, ifindex: 1 }, 65001, LinkClass::Pni, 1),
+            Err(BuildError::DanglingReference("router", 9))
+        );
+    }
+
+    #[test]
+    fn link_ids_are_dense() {
+        let mut b = TopologyBuilder::new();
+        b.add_country(1, "A").unwrap();
+        b.add_pop(1, 1, "p").unwrap();
+        b.add_router(1, 1).unwrap();
+        let l0 = b.add_link(Interface { router: 1, ifindex: 1 }, 1, LinkClass::Pni, 1).unwrap();
+        let l1 = b.add_link(Interface { router: 1, ifindex: 2 }, 1, LinkClass::Pni, 1).unwrap();
+        assert_eq!((l0, l1), (0, 1));
+        let t = b.build();
+        assert_eq!(t.link(0).unwrap().interface.ifindex, 1);
+        assert_eq!(t.link(1).unwrap().interface.ifindex, 2);
+    }
+
+    #[test]
+    fn max_ifindex_tracks_links() {
+        let mut b = TopologyBuilder::new();
+        b.add_country(1, "A").unwrap();
+        b.add_pop(1, 1, "p").unwrap();
+        b.add_router(1, 1).unwrap();
+        assert_eq!(b.max_ifindex(1), None);
+        b.add_link(Interface { router: 1, ifindex: 4 }, 1, LinkClass::Pni, 1).unwrap();
+        b.add_link(Interface { router: 1, ifindex: 2 }, 1, LinkClass::Pni, 1).unwrap();
+        assert_eq!(b.max_ifindex(1), Some(4));
+        assert_eq!(b.max_ifindex(99), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::DuplicateInterface(1, 2).to_string().contains("router 1"));
+        assert!(BuildError::DanglingReference("pop", 3).to_string().contains("pop 3"));
+    }
+}

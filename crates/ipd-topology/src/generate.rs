@@ -1,0 +1,216 @@
+//! Parameterized ISP topology generator.
+//!
+//! Produces a tier-1-shaped network: a handful of countries, a few PoPs per
+//! country, several border routers per PoP, and per-AS external links spread
+//! over a configurable number of PoPs. The AS link layout is what drives all
+//! ingress dynamics downstream: an AS's candidate ingress points are exactly
+//! its links.
+
+use rand::Rng;
+
+use crate::builder::TopologyBuilder;
+use crate::model::{Interface, LinkClass, PopId, RouterId, Topology};
+
+/// Per-AS link placement specification.
+#[derive(Debug, Clone)]
+pub struct AsLinkSpec {
+    /// The neighbor AS number.
+    pub asn: u32,
+    /// How many links to this AS.
+    pub n_links: usize,
+    /// Spread the links across at most this many PoPs (≥ 1). CDNs with PNIs
+    /// everywhere use a high value; a regional peer uses 1–2.
+    pub n_pops: usize,
+    /// Link class for all of this AS's links.
+    pub class: LinkClass,
+    /// Per-link capacity in Gbit/s.
+    pub capacity_gbps: u32,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TopologyParams {
+    /// Number of countries.
+    pub countries: u16,
+    /// PoPs per country (inclusive range).
+    pub pops_per_country: (u16, u16),
+    /// Border routers per PoP (inclusive range).
+    pub routers_per_pop: (u16, u16),
+    /// External links to create, grouped by neighbor AS.
+    pub as_links: Vec<AsLinkSpec>,
+}
+
+impl Default for TopologyParams {
+    /// A small but structurally faithful network: 4 countries, 2–3 PoPs each,
+    /// 2–4 routers per PoP. AS links must be supplied by the caller.
+    fn default() -> Self {
+        TopologyParams {
+            countries: 4,
+            pops_per_country: (2, 3),
+            routers_per_pop: (2, 4),
+            as_links: Vec::new(),
+        }
+    }
+}
+
+fn range_sample<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (u16, u16)) -> u16 {
+    assert!(lo >= 1 && hi >= lo, "range must be non-empty and >= 1");
+    rng.random_range(lo..=hi)
+}
+
+/// Generate a topology from `params` using `rng` for all placement decisions.
+/// The same seed always yields the same network.
+pub fn generate<R: Rng + ?Sized>(params: &TopologyParams, rng: &mut R) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let mut pop_ids: Vec<PopId> = Vec::new();
+    let mut routers_of_pop: Vec<Vec<RouterId>> = Vec::new();
+
+    let mut next_pop: PopId = 1;
+    let mut next_router: RouterId = 1;
+    for c in 1..=params.countries {
+        b.add_country(c, &format!("country-{c}")).expect("unique country ids");
+        let pops = range_sample(rng, params.pops_per_country);
+        for _ in 0..pops {
+            let pop = next_pop;
+            next_pop += 1;
+            b.add_pop(pop, c, &format!("pop-{pop}")).expect("unique pop ids");
+            let mut routers = Vec::new();
+            let n_routers = range_sample(rng, params.routers_per_pop);
+            for _ in 0..n_routers {
+                let r = next_router;
+                next_router += 1;
+                b.add_router(r, pop).expect("unique router ids");
+                routers.push(r);
+            }
+            pop_ids.push(pop);
+            routers_of_pop.push(routers);
+        }
+    }
+
+    for spec in &params.as_links {
+        // Choose the PoPs this AS interconnects at.
+        let n_pops = spec.n_pops.clamp(1, pop_ids.len());
+        let mut chosen: Vec<usize> = (0..pop_ids.len()).collect();
+        // Partial Fisher-Yates: the first n_pops entries are a uniform sample.
+        for i in 0..n_pops {
+            let j = rng.random_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        let chosen = &chosen[..n_pops];
+        for k in 0..spec.n_links {
+            let pop_idx = chosen[k % n_pops];
+            let routers = &routers_of_pop[pop_idx];
+            let router = routers[rng.random_range(0..routers.len())];
+            let ifindex = b.max_ifindex(router).map_or(1, |m| m + 1);
+            b.add_link(Interface { router, ifindex }, spec.asn, spec.class, spec.capacity_gbps)
+                .expect("generator never reuses an ifindex");
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params_with_links() -> TopologyParams {
+        TopologyParams {
+            countries: 3,
+            pops_per_country: (2, 2),
+            routers_per_pop: (2, 3),
+            as_links: vec![
+                AsLinkSpec {
+                    asn: 65010,
+                    n_links: 8,
+                    n_pops: 4,
+                    class: LinkClass::Pni,
+                    capacity_gbps: 400,
+                },
+                AsLinkSpec {
+                    asn: 65020,
+                    n_links: 2,
+                    n_pops: 1,
+                    class: LinkClass::Transit,
+                    capacity_gbps: 100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = params_with_links();
+        let a = generate(&p, &mut StdRng::seed_from_u64(7));
+        let b = generate(&p, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.routers(), b.routers());
+    }
+
+    #[test]
+    fn different_seed_different_layout() {
+        let p = params_with_links();
+        let a = generate(&p, &mut StdRng::seed_from_u64(7));
+        let b = generate(&p, &mut StdRng::seed_from_u64(8));
+        // Same counts but (almost surely) different placement.
+        assert_eq!(a.links().len(), b.links().len());
+        assert_ne!(
+            a.links().iter().map(|l| l.interface).collect::<Vec<_>>(),
+            b.links().iter().map(|l| l.interface).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn structure_respects_params() {
+        let p = params_with_links();
+        let t = generate(&p, &mut StdRng::seed_from_u64(1));
+        assert_eq!(t.countries().len(), 3);
+        assert_eq!(t.pops().len(), 6);
+        for pop in t.pops() {
+            let n = t.routers().iter().filter(|r| r.pop == pop.id).count();
+            assert!((2..=3).contains(&n));
+        }
+        assert_eq!(t.links().len(), 10);
+        assert_eq!(t.links_of_as(65010).count(), 8);
+        assert_eq!(t.links_of_as(65020).count(), 2);
+    }
+
+    #[test]
+    fn as_pop_spread_is_respected() {
+        let p = params_with_links();
+        let t = generate(&p, &mut StdRng::seed_from_u64(3));
+        // AS 65020 confined to one PoP.
+        let pops: std::collections::HashSet<_> = t
+            .links_of_as(65020)
+            .map(|l| t.pop_of_router(l.interface.router).unwrap().id)
+            .collect();
+        assert_eq!(pops.len(), 1);
+        // AS 65010 spread across several.
+        let pops: std::collections::HashSet<_> = t
+            .links_of_as(65010)
+            .map(|l| t.pop_of_router(l.interface.router).unwrap().id)
+            .collect();
+        assert!(pops.len() > 1);
+    }
+
+    #[test]
+    fn interfaces_unique_per_router() {
+        let p = TopologyParams {
+            as_links: vec![AsLinkSpec {
+                asn: 1,
+                n_links: 40,
+                n_pops: 1,
+                class: LinkClass::Pni,
+                capacity_gbps: 10,
+            }],
+            ..params_with_links()
+        };
+        let t = generate(&p, &mut StdRng::seed_from_u64(5));
+        let mut seen = std::collections::HashSet::new();
+        for l in t.links() {
+            assert!(seen.insert(l.interface), "duplicate interface {:?}", l.interface);
+        }
+    }
+}

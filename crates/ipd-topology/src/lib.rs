@@ -1,0 +1,31 @@
+//! Synthetic tier-1 ISP topology for the IPD reproduction.
+//!
+//! The paper's deployment network has hundreds of border routers grouped into
+//! Points of Presence (PoPs) across countries, each router with multiple
+//! external interfaces; every external link is classified (PNI, public
+//! peering, transit, customer) and attributed to the neighboring AS (§4:
+//! "link classifications (e.g., PNI) and mappings of routers and links to
+//! connected ASes").
+//!
+//! This crate models exactly that structure:
+//!
+//! * [`Topology`] — countries ▸ PoPs ▸ routers ▸ interfaces/links, with the
+//!   reverse lookups the evaluation needs (router → PoP → country,
+//!   (router, ifindex) → link → neighbor AS and class).
+//! * [`IngressPoint`] — a (router, interface) pair, the unit IPD classifies;
+//!   formats as `C2-R30.1` like the raw output in Table 3 of the paper.
+//! * [`Bundle`] — several interfaces of one router treated as a single
+//!   logical ingress (the paper's *bundles*, §3.2).
+//! * [`TopologyBuilder`] — validated construction.
+//! * [`generate`] — a parameterized generator for ISP-scale topologies.
+
+mod builder;
+mod generate;
+mod model;
+
+pub use builder::{BuildError, TopologyBuilder};
+pub use generate::{generate, TopologyParams};
+pub use model::{
+    Bundle, Country, CountryId, IngressPoint, Interface, Link, LinkClass, LinkId, Pop, PopId,
+    Router, RouterId, Topology,
+};

@@ -1,0 +1,63 @@
+//! Diurnal traffic model.
+
+/// Relative traffic volume at a given unix timestamp, normalized so the peak
+/// is 1.0.
+///
+/// Eyeball-ISP traffic follows a strong diurnal pattern (Fig 6's gray shade;
+/// §5.3.1 picks "a high-traffic busy hour at 8 PM local time"). We model a
+/// sinusoid with its trough at 4 AM and peak at 8 PM local, floored at 35 %
+/// of peak — close to the published shape of European eyeball networks.
+pub fn diurnal_factor(ts: u64) -> f64 {
+    const PEAK: f64 = 1.0;
+    const TROUGH: f64 = 0.35;
+    let hours = (ts % 86_400) as f64 / 3600.0;
+    // Piecewise half-cosines: fall 20:00 → 04:00 (8 h), rise 04:00 → 20:00
+    // (16 h) — evening peak, short night dip, long daytime ramp.
+    let smooth = |x: f64| (1.0 - (std::f64::consts::PI * x).cos()) / 2.0; // 0→1 smooth
+    let v = if (4.0..20.0).contains(&hours) {
+        TROUGH + (PEAK - TROUGH) * smooth((hours - 4.0) / 16.0)
+    } else {
+        let since_peak = (hours - 20.0).rem_euclid(24.0); // 0..8
+        PEAK - (PEAK - TROUGH) * smooth(since_peak / 8.0)
+    };
+    debug_assert!((TROUGH - 1e-9..=PEAK + 1e-9).contains(&v));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_hour(h: f64) -> f64 {
+        diurnal_factor((h * 3600.0) as u64)
+    }
+
+    #[test]
+    fn peak_at_20_trough_at_4() {
+        assert!((at_hour(20.0) - 1.0).abs() < 1e-6);
+        assert!((at_hour(4.0) - 0.35).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_rise_from_trough_to_peak() {
+        let mut prev = at_hour(4.0);
+        for h in 5..=20 {
+            let v = at_hour(h as f64);
+            assert!(v > prev, "hour {h}: {v} <= {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn periodic_over_days() {
+        assert!((diurnal_factor(3600) - diurnal_factor(3600 + 86_400 * 3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded() {
+        for h in 0..24 {
+            let v = at_hour(h as f64);
+            assert!((0.3..=1.0 + 1e-9).contains(&v));
+        }
+    }
+}

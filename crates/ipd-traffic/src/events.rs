@@ -1,0 +1,582 @@
+//! Scheduled world dynamics: CDN remaps, maintenance windows, peering
+//! violations.
+//!
+//! The schedule is generated *lazily*, hour by hour, from a dedicated seeded
+//! RNG — so a 25-hour accuracy run and a four-year longitudinal run use the
+//! same machinery without materializing millions of events up front, and the
+//! event stream is identical regardless of how the caller steps time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ipd_lpm::Prefix;
+use ipd_topology::LinkId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::asmodel::AsBehavior;
+use crate::diurnal::diurnal_factor;
+use crate::mapping::IngressChoice;
+
+/// One scheduled change to the world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When the event takes effect (unix seconds).
+    pub ts: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// Kinds of world events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A region's home ingress changes (CDN mapping update, TE change).
+    RegionRemap {
+        /// The region being remapped.
+        region: Prefix,
+        /// Its new ingress choice.
+        choice: IngressChoice,
+    },
+    /// A granule-level exception appears (fine-grained CDN mapping).
+    AddException {
+        /// The granule.
+        granule: Prefix,
+        /// Its ingress choice.
+        choice: IngressChoice,
+    },
+    /// All exceptions within a region are consolidated away (night-time
+    /// de-fragmentation, §5.3.3: "most range sizes are consolidated during
+    /// this time").
+    ClearExceptionsIn {
+        /// The region whose exceptions disappear.
+        region: Prefix,
+    },
+    /// Router maintenance starts: traffic homed on this router's links
+    /// shifts to backup interfaces (§5.1.2's AS1 interface misses).
+    MaintenanceStart {
+        /// The router under maintenance.
+        router: u32,
+    },
+    /// Maintenance ends; original mappings are restored.
+    MaintenanceEnd {
+        /// The router that was under maintenance.
+        router: u32,
+    },
+    /// A tier-1 AS's region starts entering via a non-peering link
+    /// (§5.6 potential peering agreement violation).
+    ViolationStart {
+        /// The tier-1 region.
+        region: Prefix,
+        /// The non-peering link it now enters through.
+        via_link: LinkId,
+    },
+    /// The violation ends.
+    ViolationEnd {
+        /// The region returning to its peering link.
+        region: Prefix,
+    },
+}
+
+/// Static per-AS inputs the generator draws from.
+#[derive(Debug, Clone)]
+pub struct AsScheduleInfo {
+    /// Scripted behavior.
+    pub behavior: AsBehavior,
+    /// All link ids of this AS.
+    pub links: Vec<LinkId>,
+    /// Country of each link (parallel to `links`).
+    pub link_country: Vec<u16>,
+    /// Indices into the global region list owned by this AS.
+    pub region_idxs: Vec<usize>,
+    /// Granule length for exceptions.
+    pub granule_len: u8,
+    /// Whether this is a tier-1 peer (violation candidate).
+    pub is_tier1: bool,
+}
+
+/// Event rates; all per region unless stated.
+#[derive(Debug, Clone)]
+pub struct EventRates {
+    /// Background remap probability per region per hour.
+    pub base_remap_per_hour: f64,
+    /// Exception add probability per (CDN) region per hour, scaled by the
+    /// diurnal factor.
+    pub exception_add_per_hour: f64,
+    /// Probability per region per *night* hour (02:00–07:00) that its
+    /// exceptions are consolidated away.
+    pub night_consolidation_per_hour: f64,
+    /// Violation start probability per tier-1 region per hour at t = 0.
+    pub violation_base_per_hour: f64,
+    /// Linear growth of the violation rate per year (Fig 17: +50 % from
+    /// Sep 2019, doubling by 2020 → ≈ 1.0/year fits the trend).
+    pub violation_growth_per_year: f64,
+    /// Violation duration in hours (they persist; the paper plots standing
+    /// counts per month).
+    pub violation_duration_hours: u64,
+}
+
+impl Default for EventRates {
+    fn default() -> Self {
+        EventRates {
+            base_remap_per_hour: 0.02,
+            exception_add_per_hour: 0.15,
+            night_consolidation_per_hour: 0.5,
+            // Standing violation share ≈ rate × duration: 3e-5/h × 720 h ≈
+            // 2 % at epoch, growing ~1×/year — matching §5.6's ≈9 % average
+            // over the observation window with the Fig 17 upward trend.
+            violation_base_per_hour: 3e-5,
+            violation_growth_per_year: 1.0,
+            violation_duration_hours: 24 * 30,
+        }
+    }
+}
+
+/// All inputs the schedule generator needs.
+#[derive(Debug, Clone)]
+pub struct ScheduleInputs {
+    /// Every region in the world (prefix per entry).
+    pub regions: Vec<Prefix>,
+    /// Per-AS info (indices into `regions`).
+    pub ases: Vec<AsScheduleInfo>,
+    /// Links of transit ASes — violation detours go through these.
+    pub transit_links: Vec<LinkId>,
+    /// Routers hosting bundles that undergo scripted maintenance, with the
+    /// local hours and duration. Derived from `AsBehavior::MaintenanceBundle`.
+    pub maintenance_routers: Vec<(u32, Vec<u8>, u32)>,
+    /// Event rates.
+    pub rates: EventRates,
+    /// Multi-ingress probability when regenerating a remapped choice.
+    pub multi_ingress_fraction: f64,
+}
+
+/// Lazy event stream.
+#[derive(Debug)]
+pub struct EventSchedule {
+    inputs: ScheduleInputs,
+    rng: StdRng,
+    /// Next hour index (ts / 3600) to generate.
+    next_hour: u64,
+    /// Generated but not yet returned events, min-heap by timestamp.
+    pending: BinaryHeap<Reverse<HeapEvent>>,
+    epoch: u64,
+    /// Monotone sequence breaking timestamp ties deterministically.
+    seq: u64,
+}
+
+/// Heap entry ordered by (ts, seq) so equal-time events pop in generation
+/// order (deterministic).
+#[derive(Debug, Clone, PartialEq)]
+struct HeapEvent {
+    ts: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for HeapEvent {}
+
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ts.cmp(&other.ts).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl EventSchedule {
+    /// A schedule starting at `epoch` (events are generated from this time
+    /// onward), seeded independently of the flow RNG.
+    pub fn new(inputs: ScheduleInputs, epoch: u64, seed: u64) -> Self {
+        EventSchedule {
+            inputs,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_e7e9_75),
+            next_hour: epoch / 3600,
+            pending: BinaryHeap::new(),
+            epoch,
+            seq: 0,
+        }
+    }
+
+    /// All events with `ts <= until`, in order. Generates any not-yet
+    /// generated hours first.
+    pub fn events_until(&mut self, until: u64) -> Vec<Event> {
+        while self.next_hour * 3600 <= until {
+            let hour_start = self.next_hour * 3600;
+            self.generate_hour(hour_start);
+            self.next_hour += 1;
+        }
+        let mut out = Vec::new();
+        while let Some(Reverse(top)) = self.pending.peek() {
+            if top.ts > until {
+                break;
+            }
+            out.push(self.pending.pop().expect("peeked").0.event);
+        }
+        out
+    }
+
+    fn push(&mut self, event: Event) {
+        self.seq += 1;
+        self.pending.push(Reverse(HeapEvent { ts: event.ts, seq: self.seq, event }));
+    }
+
+    fn generate_hour(&mut self, hour_start: u64) {
+        let hour_of_day = (hour_start % 86_400) / 3600;
+        let diurnal = diurnal_factor(hour_start);
+        // Take the AS table out to satisfy the borrow checker without
+        // cloning per-AS region index vectors every simulated hour (multi-
+        // year runs generate tens of thousands of hours).
+        let ases = std::mem::take(&mut self.inputs.ases);
+        for info in &ases {
+            self.generate_as_hour(info, hour_start, hour_of_day, diurnal);
+        }
+        self.inputs.ases = ases;
+        self.generate_maintenance(hour_start, hour_of_day);
+        self.generate_violations(hour_start);
+    }
+
+    fn generate_as_hour(
+        &mut self,
+        info: &AsScheduleInfo,
+        hour_start: u64,
+        hour_of_day: u64,
+        diurnal: f64,
+    ) {
+        if info.links.len() < 2 || info.region_idxs.is_empty() {
+            return; // single-homed: nothing can move
+        }
+        // Background remaps.
+        let mut remap_rate = self.inputs.rates.base_remap_per_hour;
+        let mut prefer_far = false;
+        match info.behavior {
+            AsBehavior::PopFlap { rate_per_hour } => {
+                remap_rate += rate_per_hour * diurnal;
+                prefer_far = true;
+            }
+            AsBehavior::DiurnalRemap { peak_fraction } => {
+                remap_rate += peak_fraction * 0.2 * diurnal;
+            }
+            _ => {}
+        }
+        let n_remaps = self.binomial(info.region_idxs.len(), remap_rate);
+        for _ in 0..n_remaps {
+            let ridx = info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
+            let region = self.inputs.regions[ridx];
+            let to_link = self.pick_link(info, region, prefer_far);
+            // Regions stay single-homed (multi-ingress structure lives at
+            // granule level; see world generation).
+            let choice = IngressChoice::single(to_link);
+            let ts = hour_start + self.rng.random_range(0..3600);
+            self.push(Event { ts, kind: EventKind::RegionRemap { region, choice } });
+        }
+        // Exception churn: CDN-like ASes fragment under load and
+        // consolidate at night.
+        let frag_rate = self.inputs.rates.exception_add_per_hour * diurnal;
+        let is_cdn_like = info.granule_len > 24;
+        if is_cdn_like {
+            let n_adds = self.binomial(info.region_idxs.len(), frag_rate);
+            for _ in 0..n_adds {
+                let ridx = info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
+                let region = self.inputs.regions[ridx];
+                let granule = self.random_granule(region, info.granule_len);
+                let to_link = self.pick_link(info, region, false);
+                // Mostly pinned single-link granules; occasionally a
+                // genuinely mixed one, keeping the Fig 3/4 multi-ingress
+                // share stable under night-time consolidation.
+                let choice = self.make_choice(info, to_link);
+                let ts = hour_start + self.rng.random_range(0..3600);
+                self.push(Event { ts, kind: EventKind::AddException { granule, choice } });
+            }
+            if (2..7).contains(&hour_of_day) {
+                let n_clears = self
+                    .binomial(info.region_idxs.len(), self.inputs.rates.night_consolidation_per_hour);
+                for _ in 0..n_clears {
+                    let ridx =
+                        info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
+                    let region = self.inputs.regions[ridx];
+                    let ts = hour_start + self.rng.random_range(0..3600);
+                    self.push(Event { ts, kind: EventKind::ClearExceptionsIn { region } });
+                }
+            }
+        }
+    }
+
+    fn generate_maintenance(&mut self, hour_start: u64, hour_of_day: u64) {
+        for (router, hours, duration_min) in self.inputs.maintenance_routers.clone() {
+            if hours.contains(&(hour_of_day as u8)) {
+                let start = hour_start + self.rng.random_range(0..600);
+                let end = start + duration_min as u64 * 60;
+                self.push(Event { ts: start, kind: EventKind::MaintenanceStart { router } });
+                self.push(Event { ts: end, kind: EventKind::MaintenanceEnd { router } });
+            }
+        }
+    }
+
+    fn generate_violations(&mut self, hour_start: u64) {
+        if self.inputs.transit_links.is_empty() {
+            return;
+        }
+        let years = (hour_start.saturating_sub(self.epoch)) as f64 / (365.25 * 86_400.0);
+        let rate = self.inputs.rates.violation_base_per_hour
+            * (1.0 + self.inputs.rates.violation_growth_per_year * years);
+        let tier1_regions: Vec<usize> = self
+            .inputs
+            .ases
+            .iter()
+            .filter(|a| a.is_tier1)
+            .flat_map(|a| a.region_idxs.iter().copied())
+            .collect();
+        if tier1_regions.is_empty() {
+            return;
+        }
+        let n = self.binomial(tier1_regions.len(), rate);
+        for _ in 0..n {
+            let ridx = tier1_regions[self.rng.random_range(0..tier1_regions.len())];
+            let region = self.inputs.regions[ridx];
+            let via_link =
+                self.inputs.transit_links[self.rng.random_range(0..self.inputs.transit_links.len())];
+            let start = hour_start + self.rng.random_range(0..3600);
+            let end = start + self.inputs.rates.violation_duration_hours * 3600;
+            self.push(Event { ts: start, kind: EventKind::ViolationStart { region, via_link } });
+            self.push(Event { ts: end, kind: EventKind::ViolationEnd { region } });
+        }
+    }
+
+    /// Binomial(n, p) sample — exact for small n, normal approximation for
+    /// large (same approach as the packet sampler).
+    fn binomial(&mut self, n: usize, p: f64) -> usize {
+        let p = p.clamp(0.0, 1.0);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if n <= 64 {
+            (0..n).filter(|_| self.rng.random::<f64>() < p).count()
+        } else {
+            let mean = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = self.rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (mean + sd * z).round().clamp(0.0, n as f64) as usize
+        }
+    }
+
+    /// Pick a destination link for a remap. `prefer_far` biases toward links
+    /// in another country (PoP-miss dynamics).
+    fn pick_link(&mut self, info: &AsScheduleInfo, region: Prefix, prefer_far: bool) -> LinkId {
+        let _ = region;
+        if prefer_far && info.links.len() > 1 {
+            // Try a few times to find a link in a different country than a
+            // random reference link.
+            let ref_idx = self.rng.random_range(0..info.links.len());
+            let ref_country = info.link_country[ref_idx];
+            for _ in 0..4 {
+                let i = self.rng.random_range(0..info.links.len());
+                if info.link_country[i] != ref_country {
+                    return info.links[i];
+                }
+            }
+        }
+        info.links[self.rng.random_range(0..info.links.len())]
+    }
+
+    /// Regenerate an ingress choice: single most of the time, multi-ingress
+    /// with the configured probability (keeps Fig 3/Fig 4 calibration stable
+    /// under churn).
+    fn make_choice(&mut self, info: &AsScheduleInfo, primary: LinkId) -> IngressChoice {
+        if info.links.len() >= 2 && self.rng.random::<f64>() < self.inputs.multi_ingress_fraction {
+            let primary_share = self.rng.random_range(0.35..0.92);
+            let mut rest = 1.0 - primary_share;
+            let n_alts = self.rng.random_range(1..=2.min(info.links.len() - 1));
+            let mut alternates = Vec::new();
+            for k in 0..n_alts {
+                let link = loop {
+                    let l = info.links[self.rng.random_range(0..info.links.len())];
+                    if l != primary {
+                        break l;
+                    }
+                };
+                let share = if k == n_alts - 1 { rest } else { rest * 0.6 };
+                alternates.push((link, share));
+                rest -= share;
+            }
+            IngressChoice::with_alternates(primary, alternates)
+        } else {
+            IngressChoice::single(primary)
+        }
+    }
+
+    /// A random granule of `granule_len` inside `region`.
+    fn random_granule(&mut self, region: Prefix, granule_len: u8) -> Prefix {
+        let glen = granule_len.max(region.len());
+        let span_bits = (glen - region.len()) as u32;
+        let offset: u128 = if span_bits == 0 {
+            0
+        } else {
+            self.rng.random_range(0..(1u128 << span_bits.min(63)))
+        };
+        let width = region.af().width();
+        let bits = region.addr().bits() | (offset << (width - glen) as u32);
+        Prefix::of(ipd_lpm::Addr::new(region.af(), bits), glen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_lpm::Addr;
+
+    fn inputs() -> ScheduleInputs {
+        let regions: Vec<Prefix> = (0u32..20)
+            .map(|i| Prefix::of(Addr::v4(0x0A00_0000 + (i << 8)), 24))
+            .collect();
+        let ases = vec![
+            AsScheduleInfo {
+                behavior: AsBehavior::Stable,
+                links: vec![0, 1, 2],
+                link_country: vec![1, 1, 2],
+                region_idxs: (0..10).collect(),
+                granule_len: 28,
+                is_tier1: false,
+            },
+            AsScheduleInfo {
+                behavior: AsBehavior::Stable,
+                links: vec![3, 4],
+                link_country: vec![1, 2],
+                region_idxs: (10..20).collect(),
+                granule_len: 24,
+                is_tier1: true,
+            },
+        ];
+        ScheduleInputs {
+            regions,
+            ases,
+            transit_links: vec![9],
+            maintenance_routers: vec![(7, vec![11], 45)],
+            rates: EventRates {
+                base_remap_per_hour: 0.3,
+                violation_base_per_hour: 0.05,
+                ..EventRates::default()
+            },
+            multi_ingress_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_deterministic() {
+        let mut s1 = EventSchedule::new(inputs(), 0, 42);
+        let mut s2 = EventSchedule::new(inputs(), 0, 42);
+        let a = s1.events_until(86_400);
+        let b = s2.events_until(86_400);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn incremental_and_bulk_generation_agree() {
+        let mut bulk = EventSchedule::new(inputs(), 0, 7);
+        let all = bulk.events_until(6 * 3600);
+        let mut inc = EventSchedule::new(inputs(), 0, 7);
+        let mut got = Vec::new();
+        for h in 1..=6 {
+            got.extend(inc.events_until(h * 3600));
+        }
+        assert_eq!(all, got);
+    }
+
+    #[test]
+    fn maintenance_fires_at_scheduled_hour() {
+        let mut s = EventSchedule::new(inputs(), 0, 9);
+        let events = s.events_until(86_400);
+        let starts: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MaintenanceStart { router: 7 }))
+            .collect();
+        assert_eq!(starts.len(), 1);
+        let start_ts = starts[0].ts;
+        assert!((11 * 3600..11 * 3600 + 600).contains(&start_ts));
+        assert!(events.iter().any(|e| {
+            matches!(e.kind, EventKind::MaintenanceEnd { router: 7 })
+                && e.ts == start_ts + 45 * 60
+        }));
+    }
+
+    #[test]
+    fn violations_target_tier1_regions_via_transit() {
+        let mut s = EventSchedule::new(inputs(), 0, 11);
+        let events = s.events_until(30 * 86_400);
+        let tier1_regions: Vec<Prefix> =
+            (10..20).map(|i| inputs().regions[i]).collect();
+        let mut seen = 0;
+        for e in &events {
+            if let EventKind::ViolationStart { region, via_link } = &e.kind {
+                assert!(tier1_regions.contains(region));
+                assert_eq!(*via_link, 9);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "expected some violations in 30 days");
+    }
+
+    #[test]
+    fn violation_rate_grows_over_years() {
+        let mut s = EventSchedule::new(inputs(), 0, 13);
+        let events = s.events_until(2 * 365 * 86_400);
+        let year = |e: &Event| e.ts / (365 * 86_400);
+        let y0 = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ViolationStart { .. }) && year(e) == 0)
+            .count();
+        let y1 = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ViolationStart { .. }) && year(e) == 1)
+            .count();
+        assert!(
+            y1 as f64 > y0 as f64 * 1.2,
+            "violations should trend up: year0={y0} year1={y1}"
+        );
+    }
+
+    #[test]
+    fn remap_choices_stay_within_as_links() {
+        let mut s = EventSchedule::new(inputs(), 0, 17);
+        let events = s.events_until(86_400);
+        for e in &events {
+            if let EventKind::RegionRemap { region, choice } = &e.kind {
+                let as_links: &[LinkId] = if region.addr().bits() < 0x0A00_0A00 {
+                    &[0, 1, 2]
+                } else {
+                    &[3, 4]
+                };
+                assert!(as_links.contains(&choice.primary));
+                for (l, _) in &choice.alternates {
+                    assert!(as_links.contains(l));
+                    assert_ne!(*l, choice.primary);
+                }
+                assert!(choice.primary_share() > 0.3);
+            }
+        }
+    }
+
+    #[test]
+    fn granules_are_inside_their_region() {
+        let mut s = EventSchedule::new(inputs(), 0, 19);
+        let events = s.events_until(86_400 * 2);
+        let mut seen = 0;
+        for e in &events {
+            if let EventKind::AddException { granule, .. } = &e.kind {
+                assert_eq!(granule.len(), 28);
+                let region = Prefix::of(granule.addr(), 24);
+                assert!(inputs().regions.contains(&region), "granule {granule} region");
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic tier-1 ISP traffic for the IPD reproduction.
+//!
+//! The paper evaluates IPD on 25 hours of NetFlow from all border routers of
+//! a tier-1 ISP plus six years of IPD output — data we cannot have. This
+//! crate builds the closest synthetic equivalent: a *world* consisting of a
+//! generated ISP topology, a BGP RIB, and a ground-truth mapping from source
+//! address space to ingress links that evolves over time, plus a flow
+//! simulator that emits sampled, ground-truth-labeled flow records.
+//!
+//! The generator is calibrated to the distributional facts the paper
+//! reports (see DESIGN.md §7 for the list):
+//!
+//! * Zipf AS volumes with TOP5 ≈ 52 % and TOP20 ≈ 80 % of traffic (§5.1);
+//! * ~80 % of prefixes with a single simultaneous ingress point, dominant
+//!   primary shares for the rest (Fig 3, Fig 4);
+//! * BGP next-hop multiplicity (20 % one next-hop, 60 % more than five) and
+//!   a /24-heavy BGP mask distribution (Fig 3, Fig 9);
+//! * hierarchical, spatially coherent ingress mappings (regions with a home
+//!   link, granule-level exceptions) so IPD ranges of many sizes emerge
+//!   (Fig 9);
+//! * CDN dynamics: diurnal demand remapping, /28-granular server mappings,
+//!   maintenance windows, router-level load balancing (§2, §5.3, §5.8);
+//! * path (a)symmetry per AS class and tier-1 peering violations with a
+//!   secular trend (Fig 16, Fig 17).
+//!
+//! Everything is seeded: the same [`WorldConfig`] and seed reproduce the
+//! same world, events, and flow stream bit for bit.
+
+mod asmodel;
+mod diurnal;
+mod events;
+mod mapping;
+mod sim;
+mod world;
+
+pub use asmodel::{allocate_ases, AsBehavior, AsKind, AsProfile};
+pub use diurnal::diurnal_factor;
+pub use events::{Event, EventKind, EventRates, EventSchedule};
+pub use mapping::{IngressChoice, MappingState};
+pub use sim::{FlowSim, LabeledFlow, MinuteBatch, SimConfig};
+pub use world::{World, WorldConfig};

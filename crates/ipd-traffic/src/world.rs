@@ -1,0 +1,900 @@
+//! The synthetic tier-1 world: topology ⊕ RIB ⊕ evolving ground truth.
+
+use std::collections::HashMap;
+
+use ipd_bgp::{Rib, Route};
+use ipd_lpm::{Addr, LpmTrie, Prefix};
+use ipd_topology::{
+    Interface, IngressPoint, LinkClass, LinkId, PopId, RouterId, Topology, TopologyBuilder,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::asmodel::{allocate_ases, AsBehavior, AsKind, AsProfile};
+use crate::events::{
+    AsScheduleInfo, Event, EventKind, EventRates, EventSchedule, ScheduleInputs,
+};
+use crate::mapping::{IngressChoice, MappingState};
+
+/// World generation parameters. Defaults produce a laptop-scale network that
+/// is structurally faithful to the paper's tier-1 (scaled ~1:20 in routers,
+/// with calibration targets preserved).
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of neighbor ASes.
+    pub n_ases: usize,
+    /// Zipf exponent for AS traffic shares (1.05 ⇒ TOP5 ≈ 54 %, TOP20 ≈ 81 %).
+    pub zipf_alpha: f64,
+    /// Number of tier-1 peers among the ASes (the paper monitors 16).
+    pub n_tier1: usize,
+    /// Countries the ISP operates in.
+    pub countries: u16,
+    /// PoPs per country.
+    pub pops_per_country: (u16, u16),
+    /// Border routers per PoP.
+    pub routers_per_pop: (u16, u16),
+    /// Fraction of regions with more than one simultaneous ingress
+    /// (Fig 3: ~20 % of /24s overall).
+    pub multi_ingress_fraction: f64,
+    /// Expected initial granule exceptions per CDN region.
+    pub initial_exceptions_per_region: f64,
+    /// Path-symmetry target for tier-1 peers (Fig 16: 91 %).
+    pub symmetry_tier1: f64,
+    /// Path-symmetry target for the TOP5 ASes (Fig 16: 77 %).
+    pub symmetry_top5: f64,
+    /// Path-symmetry target for everyone else (Fig 16: ~60–62 %).
+    pub symmetry_other: f64,
+    /// Dynamics rates.
+    pub rates: EventRates,
+    /// World start time (unix seconds). 2018-07-01 by default, matching the
+    /// paper's observation window.
+    pub epoch: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            n_ases: 50,
+            zipf_alpha: 1.05,
+            n_tier1: 16,
+            countries: 5,
+            pops_per_country: (2, 3),
+            routers_per_pop: (2, 4),
+            multi_ingress_fraction: 0.2,
+            initial_exceptions_per_region: 0.5,
+            symmetry_tier1: 0.91,
+            symmetry_top5: 0.77,
+            symmetry_other: 0.60,
+            rates: EventRates::default(),
+            epoch: 1_530_403_200, // 2018-07-01 00:00 UTC
+        }
+    }
+}
+
+/// Saved state for an active maintenance window.
+#[derive(Debug, Clone)]
+struct MaintenanceSave {
+    regions: Vec<(Prefix, IngressChoice)>,
+}
+
+/// The world. See the crate docs.
+#[derive(Debug)]
+pub struct World {
+    /// Generation parameters.
+    pub config: WorldConfig,
+    /// The ISP network.
+    pub topology: Topology,
+    /// The ISP's BGP table.
+    pub rib: Rib,
+    /// The neighbor AS population, ordered by traffic rank.
+    pub ases: Vec<AsProfile>,
+    /// The evolving ground-truth ingress mapping.
+    pub mapping: MappingState,
+    links_of_as: Vec<Vec<LinkId>>,
+    as_of_prefix: LpmTrie<usize>,
+    regions: Vec<Prefix>,
+    region_as: Vec<usize>,
+    schedule: EventSchedule,
+    now: u64,
+    rng: StdRng,
+    violations: HashMap<Prefix, IngressChoice>,
+    maintenance: HashMap<RouterId, MaintenanceSave>,
+}
+
+impl World {
+    /// Generate a world from `config` and `seed`. Fully deterministic.
+    pub fn generate(config: WorldConfig, seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ases = allocate_ases(config.n_ases, config.zipf_alpha, config.n_tier1, &mut rng);
+
+        // ---- Topology: countries ▸ PoPs ▸ routers, then per-AS links. ----
+        let mut builder = TopologyBuilder::new();
+        let mut pops_by_country: Vec<Vec<PopId>> = Vec::new();
+        let mut routers_of_pop: HashMap<PopId, Vec<RouterId>> = HashMap::new();
+        let mut next_pop: PopId = 1;
+        let mut next_router: RouterId = 1;
+        for c in 1..=config.countries {
+            builder.add_country(c, &format!("country-{c}")).expect("unique ids");
+            let mut pops = Vec::new();
+            let n_pops = rng.random_range(config.pops_per_country.0..=config.pops_per_country.1);
+            for _ in 0..n_pops {
+                let pop = next_pop;
+                next_pop += 1;
+                builder.add_pop(pop, c, &format!("pop-{pop}")).expect("unique ids");
+                let mut routers = Vec::new();
+                let n_routers =
+                    rng.random_range(config.routers_per_pop.0..=config.routers_per_pop.1);
+                for _ in 0..n_routers {
+                    builder.add_router(next_router, pop).expect("unique ids");
+                    routers.push(next_router);
+                    next_router += 1;
+                }
+                pops.push(pop);
+                routers_of_pop.insert(pop, routers);
+            }
+            pops_by_country.push(pops);
+        }
+        let all_pops: Vec<PopId> = pops_by_country.iter().flatten().copied().collect();
+
+        let mut links_of_as: Vec<Vec<LinkId>> = Vec::with_capacity(ases.len());
+        for a in &ases {
+            let class = match a.kind {
+                AsKind::Cdn | AsKind::Cloud => LinkClass::Pni,
+                AsKind::Tier1 => LinkClass::PublicPeering,
+                AsKind::Transit => LinkClass::Transit,
+                AsKind::Stub => LinkClass::Customer,
+            };
+            let mut links = Vec::new();
+            // Choose the PoPs this AS interconnects at.
+            let n_pops = a.n_pops.clamp(1, all_pops.len());
+            let mut order: Vec<usize> = (0..all_pops.len()).collect();
+            for i in 0..n_pops {
+                let j = rng.random_range(i..order.len());
+                order.swap(i, j);
+            }
+            // The MaintenanceBundle AS needs several interfaces on ONE
+            // router (the paper's AS1 bundle + backup interfaces).
+            let bundled = matches!(a.behavior, AsBehavior::MaintenanceBundle { .. });
+            let mut bundle_router: Option<RouterId> = None;
+            for k in 0..a.n_links {
+                let router = if bundled && k < 4 {
+                    *bundle_router.get_or_insert_with(|| {
+                        let pop = all_pops[order[0]];
+                        let routers = &routers_of_pop[&pop];
+                        routers[rng.random_range(0..routers.len())]
+                    })
+                } else {
+                    let pop = all_pops[order[k % n_pops]];
+                    let routers = &routers_of_pop[&pop];
+                    routers[rng.random_range(0..routers.len())]
+                };
+                let ifindex = builder.max_ifindex(router).map_or(1, |m| m + 1);
+                let link = builder
+                    .add_link(Interface { router, ifindex }, a.asn, class, 100)
+                    .expect("generator never reuses interfaces");
+                links.push(link);
+            }
+            links_of_as.push(links);
+        }
+        let topology = builder.build();
+
+        // ---- Ground-truth mapping: regions with home links + exceptions. --
+        let mut mapping = MappingState::new();
+        let mut regions: Vec<Prefix> = Vec::new();
+        let mut region_as: Vec<usize> = Vec::new();
+        let mut as_of_prefix: LpmTrie<usize> = LpmTrie::new();
+        for (idx, a) in ases.iter().enumerate() {
+            let links = &links_of_as[idx];
+            // Zipf link weights: one link dominates (Fig 4).
+            let link_weights: Vec<f64> = (1..=links.len()).map(|i| (i as f64).powf(-1.0)).collect();
+            let wsum: f64 = link_weights.iter().sum();
+            for prefix in &a.prefixes {
+                as_of_prefix.insert(*prefix, idx);
+                // IPv6 space uses the same structural model shifted by 32
+                // bits (a /16-region world becomes a /48-region world).
+                let region_len = match prefix.af() {
+                    ipd_lpm::Af::V4 => a.region_len,
+                    ipd_lpm::Af::V6 => a.region_len + 32,
+                };
+                for region in carve_regions(*prefix, region_len) {
+                    let home = links[pick_weighted(&mut rng, &link_weights, wsum)];
+                    // Regions are single-homed; multi-ingress structure lives
+                    // at granule level below. (A region-wide per-flow split
+                    // would make the whole region unclassifiable, which is
+                    // not what multi-ingress /24s look like in practice —
+                    // the split is mostly *spatial*.)
+                    let choice = match a.behavior {
+                        AsBehavior::LoadBalanced if links.len() >= 2 => {
+                            // Even per-flow split over two links on
+                            // different routers: the §5.8 pathological case.
+                            let other = links
+                                .iter()
+                                .find(|&&l| {
+                                    topology.link(l).map(|x| x.interface.router)
+                                        != topology.link(home).map(|x| x.interface.router)
+                                })
+                                .copied()
+                                .unwrap_or(
+                                    links[(links.iter().position(|&l| l == home).unwrap() + 1)
+                                        % links.len()],
+                                );
+                            IngressChoice::with_alternates(home, vec![(other, 0.5)])
+                        }
+                        _ => IngressChoice::single(home),
+                    };
+                    mapping.set_region(region, choice);
+                    regions.push(region);
+                    region_as.push(idx);
+                    if links.len() < 2 {
+                        continue;
+                    }
+                    // Mixed regions: a fraction of their /24 user groups are
+                    // genuinely multi-ingress *per flow* (user↔server
+                    // mapping straddling two links). These are the /24s of
+                    // Fig 3/Fig 4 with several simultaneous ingress points.
+                    // (v4 only — the multi-ingress figures are v4 figures.)
+                    if region.af() == ipd_lpm::Af::V4
+                        && rng.random::<f64>() < config.multi_ingress_fraction
+                    {
+                        for g24 in carve_regions(region, 24) {
+                            if rng.random::<f64>() >= 0.35 {
+                                continue;
+                            }
+                            let primary = links[pick_weighted(&mut rng, &link_weights, wsum)];
+                            let primary_share = rng.random_range(0.35..0.92);
+                            let alt = loop {
+                                let l = links[rng.random_range(0..links.len())];
+                                if l != primary {
+                                    break l;
+                                }
+                            };
+                            mapping.set_exception(
+                                g24,
+                                IngressChoice::with_alternates(
+                                    primary,
+                                    vec![(alt, 1.0 - primary_share)],
+                                ),
+                            );
+                        }
+                    }
+                    // Spatial fine structure: granules pinned to other
+                    // links (classifiable, unlike the mixed /24s above).
+                    // CDNs map v4 at /28 and v6 at /48 (the cidr_max
+                    // values); other multi-homed networks have coarser but
+                    // still sub-/24 structure — this is what makes IPD
+                    // ranges mostly *more specific* than BGP prefixes
+                    // (§5.5: 91 %).
+                    let (granule_len, lambda) = match (a.granule_len > 24, region.af()) {
+                        (true, ipd_lpm::Af::V4) => {
+                            (a.granule_len, config.initial_exceptions_per_region)
+                        }
+                        (true, ipd_lpm::Af::V6) => {
+                            (a.granule_len + 20, config.initial_exceptions_per_region)
+                        }
+                        (false, ipd_lpm::Af::V4) => {
+                            (26, config.initial_exceptions_per_region * 0.6)
+                        }
+                        (false, ipd_lpm::Af::V6) => (46, 0.0),
+                    };
+                    let n = poisson_small(&mut rng, lambda);
+                    for _ in 0..n {
+                        let granule = random_granule(&mut rng, region, granule_len);
+                        let l = links[rng.random_range(0..links.len())];
+                        mapping.set_exception(granule, IngressChoice::single(l));
+                    }
+                }
+            }
+        }
+
+        // ---- BGP RIB: multiplicity + symmetry-calibrated best paths. -----
+        // A tier-1 hears most prefixes via many neighbors, not just the
+        // origin's direct links (Fig 3: 60 % of prefixes have > 5 next-hop
+        // routers). Indirect routes go through transit ASes with longer AS
+        // paths.
+        let transit_pool: Vec<(usize, LinkId)> = ases
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AsKind::Transit)
+            .flat_map(|(i, _)| links_of_as[i].iter().map(move |&l| (i, l)))
+            .collect();
+        let mut rib = Rib::new();
+        for (idx, a) in ases.iter().enumerate() {
+            let links = &links_of_as[idx];
+            let sym_target = if a.kind == AsKind::Tier1 {
+                config.symmetry_tier1
+            } else if idx < 5 {
+                config.symmetry_top5
+            } else {
+                config.symmetry_other
+            };
+            // 20 % of prefixes are single-route, hence trivially symmetric;
+            // compensate so the blended rate still hits the target.
+            let sym_eff = ((sym_target - 0.2) / 0.8).clamp(0.0, 1.0);
+            for prefix in &a.prefixes {
+                // Fig 3 (dotted): 20 % one next-hop, 20 % 2–5, 60 % > 5.
+                let x: f64 = rng.random();
+                let want = if x < 0.2 {
+                    1
+                } else if x < 0.4 {
+                    rng.random_range(2..=5)
+                } else {
+                    rng.random_range(6..=12)
+                };
+                // The mapping's home link must be announced so symmetry is
+                // even possible.
+                let home = mapping
+                    .primary(prefix.addr())
+                    .expect("every AS prefix has a mapped region");
+                // (link, as_path) routes: direct links first, then transit.
+                let mut routes: Vec<(LinkId, Vec<u32>)> = vec![(home, vec![a.asn])];
+                let mut pool: Vec<LinkId> =
+                    links.iter().copied().filter(|&l| l != home).collect();
+                while routes.len() < want && !pool.is_empty() {
+                    let i = rng.random_range(0..pool.len());
+                    routes.push((pool.swap_remove(i), vec![a.asn]));
+                }
+                let mut tpool: Vec<(usize, LinkId)> = transit_pool
+                    .iter()
+                    .copied()
+                    .filter(|(ti, _)| *ti != idx)
+                    .collect();
+                while routes.len() < want && !tpool.is_empty() {
+                    let i = rng.random_range(0..tpool.len());
+                    let (tidx, tlink) = tpool.swap_remove(i);
+                    if routes.iter().any(|(l, _)| *l == tlink) {
+                        continue;
+                    }
+                    routes.push((tlink, vec![ases[tidx].asn, a.asn]));
+                }
+                // Pick the egress (best) route: the home link with
+                // probability sym_eff, otherwise any other announced route.
+                let egress = if rng.random::<f64>() < sym_eff || routes.len() == 1 {
+                    home
+                } else {
+                    loop {
+                        let (l, _) = &routes[rng.random_range(0..routes.len())];
+                        if *l != home {
+                            break *l;
+                        }
+                    }
+                };
+                for (l, as_path) in routes {
+                    let link = topology.link(l).expect("links exist");
+                    rib.announce(
+                        *prefix,
+                        Route {
+                            next_hop: IngressPoint::new(
+                                link.interface.router,
+                                link.interface.ifindex,
+                            ),
+                            link: l,
+                            as_path,
+                            local_pref: if l == egress { 200 } else { 100 },
+                        },
+                    );
+                }
+            }
+        }
+
+        // ---- Event schedule. ---------------------------------------------
+        let mut sched_ases = Vec::with_capacity(ases.len());
+        let mut region_idxs_of_as: Vec<Vec<usize>> = vec![Vec::new(); ases.len()];
+        for (ridx, &aidx) in region_as.iter().enumerate() {
+            region_idxs_of_as[aidx].push(ridx);
+        }
+        for (idx, a) in ases.iter().enumerate() {
+            let links = &links_of_as[idx];
+            let link_country: Vec<u16> = links
+                .iter()
+                .map(|&l| {
+                    let r = topology.link(l).expect("links exist").interface.router;
+                    topology.country_of_router(r).map_or(0, |c| c.id)
+                })
+                .collect();
+            sched_ases.push(AsScheduleInfo {
+                behavior: a.behavior.clone(),
+                links: links.clone(),
+                link_country,
+                region_idxs: std::mem::take(&mut region_idxs_of_as[idx]),
+                granule_len: a.granule_len,
+                is_tier1: a.kind == AsKind::Tier1,
+            });
+        }
+        let transit_links: Vec<LinkId> = ases
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AsKind::Transit)
+            .flat_map(|(i, _)| links_of_as[i].clone())
+            .collect();
+        let maintenance_routers: Vec<(u32, Vec<u8>, u32)> = ases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match &a.behavior {
+                AsBehavior::MaintenanceBundle { hours, duration_min } => {
+                    let first_link = *links_of_as[i].first()?;
+                    let router = topology.link(first_link)?.interface.router;
+                    Some((router, hours.clone(), *duration_min))
+                }
+                _ => None,
+            })
+            .collect();
+        let schedule = EventSchedule::new(
+            ScheduleInputs {
+                regions: regions.clone(),
+                ases: sched_ases,
+                transit_links,
+                maintenance_routers,
+                rates: config.rates.clone(),
+                multi_ingress_fraction: config.multi_ingress_fraction,
+            },
+            config.epoch,
+            seed.wrapping_add(1),
+        );
+
+        let now = config.epoch;
+        World {
+            config,
+            topology,
+            rib,
+            ases,
+            mapping,
+            links_of_as,
+            as_of_prefix,
+            regions,
+            region_as,
+            schedule,
+            now,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(2)),
+            violations: HashMap::new(),
+            maintenance: HashMap::new(),
+        }
+    }
+
+    /// Current world time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// All regions (stable order; index matches the event schedule).
+    pub fn regions(&self) -> &[Prefix] {
+        &self.regions
+    }
+
+    /// The AS (by index into [`World::ases`]) owning an address, if any.
+    pub fn as_index_of(&self, addr: Addr) -> Option<usize> {
+        self.as_of_prefix.lookup(addr).map(|(_, &i)| i)
+    }
+
+    /// The AS index owning a region (by region index).
+    pub fn as_of_region(&self, region_idx: usize) -> usize {
+        self.region_as[region_idx]
+    }
+
+    /// ASNs of the top-k ASes by traffic share.
+    pub fn top_asns(&self, k: usize) -> Vec<u32> {
+        self.ases.iter().take(k).map(|a| a.asn).collect()
+    }
+
+    /// Links of an AS (by index).
+    pub fn links_of_as(&self, idx: usize) -> &[LinkId] {
+        &self.links_of_as[idx]
+    }
+
+    /// The ground-truth ingress choice for an address right now.
+    pub fn true_choice(&self, addr: Addr) -> Option<&IngressChoice> {
+        self.mapping.choice(addr)
+    }
+
+    /// The (router, interface) of a link.
+    pub fn ingress_point_of_link(&self, link: LinkId) -> IngressPoint {
+        let l = self.topology.link(link).expect("world links are dense");
+        IngressPoint::new(l.interface.router, l.interface.ifindex)
+    }
+
+    /// Egress router BGP would pick for traffic *toward* this address
+    /// (best-route next hop), used by the §5.5 symmetry analysis.
+    pub fn egress_router(&self, addr: Addr) -> Option<RouterId> {
+        self.rib.best(addr).map(|(_, r)| r.next_hop.router)
+    }
+
+    /// Currently violating tier-1 regions with the non-peering link they
+    /// enter through.
+    pub fn active_violations(&self) -> Vec<(Prefix, LinkId)> {
+        let mut v: Vec<(Prefix, LinkId)> = self
+            .violations
+            .keys()
+            .filter_map(|p| self.mapping.region_choice(*p).map(|c| (*p, c.primary)))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+
+    /// Advance world time to `ts`, applying every scheduled event in order.
+    pub fn advance_to(&mut self, ts: u64) {
+        if ts <= self.now {
+            return;
+        }
+        for event in self.schedule.events_until(ts) {
+            self.apply(event);
+        }
+        self.now = ts;
+    }
+
+    fn apply(&mut self, event: Event) {
+        match event.kind {
+            EventKind::RegionRemap { region, choice } => {
+                // Don't disturb a region mid-violation or mid-maintenance;
+                // the restore would clobber the remap anyway.
+                if self.violations.contains_key(&region) {
+                    return;
+                }
+                let new_home = choice.primary;
+                self.mapping.set_region(region, choice);
+                // The remapping network updates its own egress announcements
+                // too: with the class-calibrated probability, BGP's best
+                // route follows the ingress move — keeping the Fig 16
+                // symmetry ratios stationary over years, as the paper
+                // observes.
+                self.realign_egress(region, new_home);
+            }
+            EventKind::AddException { granule, choice } => {
+                self.mapping.set_exception(granule, choice);
+            }
+            EventKind::ClearExceptionsIn { region } => {
+                self.mapping.clear_exceptions_within(region);
+            }
+            EventKind::MaintenanceStart { router } => self.maintenance_start(router),
+            EventKind::MaintenanceEnd { router } => self.maintenance_end(router),
+            EventKind::ViolationStart { region, via_link } => {
+                if self.violations.contains_key(&region) {
+                    return;
+                }
+                // Don't start a violation on a region whose mapping is
+                // temporarily a maintenance backup — the maintenance restore
+                // would clobber the violation detour.
+                if self
+                    .maintenance
+                    .values()
+                    .any(|s| s.regions.iter().any(|(r, _)| *r == region))
+                {
+                    return;
+                }
+                if let Some(old) = self.mapping.region_choice(region).cloned() {
+                    self.violations.insert(region, old);
+                    self.mapping.set_region(region, IngressChoice::single(via_link));
+                }
+            }
+            EventKind::ViolationEnd { region } => {
+                if let Some(old) = self.violations.remove(&region) {
+                    self.mapping.set_region(region, old);
+                }
+            }
+        }
+    }
+
+    /// Re-point the BGP best route covering `region` at `new_home` with the
+    /// owning AS's symmetry probability (see [`WorldConfig`]).
+    fn realign_egress(&mut self, region: Prefix, new_home: LinkId) {
+        let Some(as_idx) = self.as_index_of(region.addr()) else { return };
+        let sym_target = if self.ases[as_idx].kind == AsKind::Tier1 {
+            self.config.symmetry_tier1
+        } else if as_idx < 5 {
+            self.config.symmetry_top5
+        } else {
+            self.config.symmetry_other
+        };
+        let follow = self.rng.random::<f64>() < sym_target;
+        let Some((bgp_prefix, entry)) = self.rib.match_prefix(region) else { return };
+        // Only the *representative* region (the one holding the prefix's
+        // first address) drives the prefix's egress; otherwise remaps of
+        // sibling regions inside one large prefix would thrash the egress
+        // and the symmetry ratio would drift away from its target.
+        if !region.contains(bgp_prefix.addr()) {
+            return;
+        }
+        let mut routes: Vec<ipd_bgp::Route> = entry.routes().to_vec();
+        let new_next_hop = self.ingress_point_of_link(new_home);
+        if follow && !routes.iter().any(|r| r.link == new_home) {
+            // The new home was not announced before; it is now.
+            let asn = self.ases[as_idx].asn;
+            routes.push(ipd_bgp::Route {
+                next_hop: new_next_hop,
+                link: new_home,
+                as_path: vec![asn],
+                local_pref: 100,
+            });
+        }
+        if follow {
+            // The new home becomes best; everything else is demoted.
+            for r in &mut routes {
+                r.local_pref = if r.link == new_home { 200 } else { 100 };
+            }
+        }
+        // Not following: the old egress (local_pref 200) stays best.
+        for r in routes {
+            self.rib.announce(bgp_prefix, r);
+        }
+    }
+
+    /// Shift every region homed on `router`'s links to a backup link —
+    /// preferably another interface on the *same* router (interface miss),
+    /// else anywhere else in the same AS.
+    fn maintenance_start(&mut self, router: RouterId) {
+        if self.maintenance.contains_key(&router) {
+            return;
+        }
+        let mut saved = Vec::new();
+        for (ridx, &region) in self.regions.iter().enumerate() {
+            // A region mid-violation is detouring through someone else's
+            // link; restoring it after maintenance would clobber the
+            // violation bookkeeping, so leave it alone.
+            if self.violations.contains_key(&region) {
+                continue;
+            }
+            let Some(choice) = self.mapping.region_choice(region).cloned() else { continue };
+            let on_router = self
+                .topology
+                .link(choice.primary)
+                .is_some_and(|l| l.interface.router == router);
+            if !on_router {
+                continue;
+            }
+            let as_idx = self.region_as[ridx];
+            let links = &self.links_of_as[as_idx];
+            let same_router: Vec<LinkId> = links
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    l != choice.primary
+                        && self
+                            .topology
+                            .link(l)
+                            .is_some_and(|x| x.interface.router == router)
+                })
+                .collect();
+            let backup = if !same_router.is_empty() {
+                same_router[self.rng.random_range(0..same_router.len())]
+            } else if let Some(&other) =
+                links.iter().find(|&&l| l != choice.primary)
+            {
+                other
+            } else {
+                continue; // single-homed: nowhere to go
+            };
+            saved.push((region, choice));
+            self.mapping.set_region(region, IngressChoice::single(backup));
+        }
+        self.maintenance.insert(router, MaintenanceSave { regions: saved });
+    }
+
+    fn maintenance_end(&mut self, router: RouterId) {
+        if let Some(save) = self.maintenance.remove(&router) {
+            for (region, choice) in save.regions {
+                self.mapping.set_region(region, choice);
+            }
+        }
+    }
+}
+
+/// Enumerate the region blocks of `prefix` at `region_len` (the prefix
+/// itself when it is already at least that specific).
+fn carve_regions(prefix: Prefix, region_len: u8) -> Vec<Prefix> {
+    if prefix.len() >= region_len {
+        return vec![prefix];
+    }
+    let count = 1u32 << (region_len - prefix.len());
+    // Bound fan-out: a /8 with /24 regions would be 64k entries; carve at
+    // most 64 regions by coarsening.
+    let (count, region_len) = if count > 64 {
+        let extra = (count / 64).trailing_zeros() as u8;
+        (64, region_len - extra)
+    } else {
+        (count, region_len)
+    };
+    let width = prefix.af().width();
+    let step = 1u128 << (width - region_len);
+    (0..count)
+        .map(|i| {
+            Prefix::of(
+                Addr::new(prefix.af(), prefix.addr().bits() + i as u128 * step),
+                region_len,
+            )
+        })
+        .collect()
+}
+
+fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], sum: f64) -> usize {
+    let mut x = rng.random::<f64>() * sum;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+fn poisson_small<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    // Knuth's method; fine for small lambda.
+    let l = (-lambda).exp();
+    let mut k = 0;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 64 {
+            return k;
+        }
+    }
+}
+
+fn random_granule<R: Rng + ?Sized>(rng: &mut R, region: Prefix, granule_len: u8) -> Prefix {
+    let glen = granule_len.max(region.len());
+    let span_bits = (glen - region.len()) as u32;
+    let offset: u128 =
+        if span_bits == 0 { 0 } else { rng.random_range(0..(1u128 << span_bits.min(63))) };
+    let width = region.af().width();
+    let bits = region.addr().bits() | (offset << (width - glen) as u32);
+    Prefix::of(Addr::new(region.af(), bits), glen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.topology.links(), b.topology.links());
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.mapping.snapshot().len(), b.mapping.snapshot().len());
+    }
+
+    #[test]
+    fn every_as_prefix_is_fully_mapped() {
+        let w = world();
+        for a in &w.ases {
+            for p in &a.prefixes {
+                // The first and last address of every prefix resolve.
+                assert!(w.true_choice(p.first_addr()).is_some(), "unmapped {p}");
+                assert!(w.true_choice(p.last_addr()).is_some(), "unmapped {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_links_belong_to_owning_as() {
+        let w = world();
+        for (ridx, &region) in w.regions().iter().enumerate() {
+            let aidx = w.as_of_region(ridx);
+            let choice = w.mapping.region_choice(region).unwrap();
+            assert!(
+                w.links_of_as(aidx).contains(&choice.primary),
+                "region {region} home {} outside AS {}",
+                choice.primary,
+                w.ases[aidx].asn
+            );
+        }
+    }
+
+    #[test]
+    fn rib_covers_all_as_space_and_symmetry_is_plausible() {
+        let w = world();
+        let mut symmetric = 0usize;
+        let mut total = 0usize;
+        for a in &w.ases {
+            for p in &a.prefixes {
+                let (bp, route) = w.rib.best(p.first_addr()).expect("announced");
+                assert!(bp.contains_prefix(*p) || *p == bp);
+                assert_eq!(route.origin_as(), Some(a.asn));
+                // Symmetry: egress router == ground-truth ingress router?
+                let home = w.mapping.primary(p.first_addr()).unwrap();
+                let in_router = w.ingress_point_of_link(home).router;
+                total += 1;
+                if in_router == route.next_hop.router {
+                    symmetric += 1;
+                }
+            }
+        }
+        let sym = symmetric as f64 / total as f64;
+        assert!((0.5..0.9).contains(&sym), "overall symmetry {sym}");
+    }
+
+    #[test]
+    fn advance_applies_remaps() {
+        let mut w = world();
+        let before = w.mapping.snapshot();
+        w.advance_to(w.config.epoch + 6 * 3600);
+        let after = w.mapping.snapshot();
+        assert_ne!(before, after, "six hours of dynamics must change the mapping");
+        assert_eq!(w.now(), w.config.epoch + 6 * 3600);
+    }
+
+    #[test]
+    fn maintenance_shifts_and_restores() {
+        let mut w = world();
+        // AS rank 0 has MaintenanceBundle at 11:00 and 23:00 local.
+        let epoch = w.config.epoch;
+        let regions_of_as0: Vec<Prefix> = w
+            .regions()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| w.as_of_region(*i) == 0)
+            .map(|(_, p)| *p)
+            .collect();
+        let homes_before: Vec<LinkId> = regions_of_as0
+            .iter()
+            .map(|p| w.mapping.region_choice(*p).unwrap().primary)
+            .collect();
+        // 11:30 into day 0: inside the maintenance window.
+        w.advance_to(epoch + 11 * 3600 + 30 * 60);
+        let during: Vec<LinkId> = regions_of_as0
+            .iter()
+            .map(|p| w.mapping.region_choice(*p).unwrap().primary)
+            .collect();
+        assert_ne!(homes_before, during, "maintenance must shift some homes");
+        // Well after the 45-minute window.
+        w.advance_to(epoch + 13 * 3600);
+        let after: Vec<LinkId> = regions_of_as0
+            .iter()
+            .map(|p| w.mapping.region_choice(*p).unwrap().primary)
+            .collect();
+        // Background remaps (≈2 %/region/hour over 13 h ⇒ ~23 % moved) also
+        // churn homes, but the bulk of the maintenance shift must be
+        // restored.
+        let restored = homes_before.iter().zip(&after).filter(|(a, b)| a == b).count();
+        assert!(
+            restored * 10 >= homes_before.len() * 6,
+            "restored {restored}/{}",
+            homes_before.len()
+        );
+        let still_shifted = during.iter().zip(&after).filter(|(d, a)| d != a).count();
+        assert!(still_shifted > 0, "restore must undo the maintenance mapping");
+    }
+
+    #[test]
+    fn violations_accumulate_over_time() {
+        let mut w = World::generate(
+            WorldConfig {
+                rates: EventRates {
+                    violation_base_per_hour: 0.01,
+                    ..EventRates::default()
+                },
+                ..WorldConfig::default()
+            },
+            7,
+        );
+        assert!(w.active_violations().is_empty());
+        w.advance_to(w.config.epoch + 14 * 86_400);
+        let v = w.active_violations();
+        assert!(!v.is_empty(), "two weeks at 1%/region/hour must violate something");
+        // The violating link belongs to a transit AS, not the tier-1 owner.
+        for (region, link) in &v {
+            let aidx = w.as_index_of(region.addr()).unwrap();
+            assert_eq!(w.ases[aidx].kind, AsKind::Tier1);
+            assert!(!w.links_of_as(aidx).contains(link));
+        }
+    }
+
+    #[test]
+    fn carve_regions_bounds_fanout() {
+        let p: Prefix = "10.0.0.0/12".parse().unwrap();
+        let r = carve_regions(p, 16);
+        assert_eq!(r.len(), 16);
+        assert!(r.iter().all(|x| x.len() == 16 && p.contains_prefix(*x)));
+        let big: Prefix = "10.0.0.0/8".parse().unwrap();
+        let r = carve_regions(big, 24);
+        assert_eq!(r.len(), 64, "fan-out capped");
+        assert!(r.iter().all(|x| big.contains_prefix(*x)));
+        let small: Prefix = "10.0.0.0/20".parse().unwrap();
+        assert_eq!(carve_regions(small, 16), vec![small]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the ground-truth mapping and world invariants.
+
+use ipd_lpm::{Addr, Prefix};
+use ipd_traffic::{IngressChoice, MappingState};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = Prefix> {
+    // /16 regions inside 10.0.0.0/8.
+    (0u32..256).prop_map(|x| Prefix::of(Addr::v4(0x0A00_0000 | (x << 16)), 16))
+}
+
+fn arb_granule() -> impl Strategy<Value = Prefix> {
+    (0u32..256, 0u32..0xFFFF).prop_map(|(x, y)| {
+        Prefix::of(Addr::v4(0x0A00_0000 | (x << 16) | (y & 0xFF00)), 24)
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    SetRegion(Prefix, u32),
+    SetException(Prefix, u32),
+    ClearException(Prefix),
+    ClearWithin(Prefix),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (arb_region(), 0u32..50).prop_map(|(p, l)| Op::SetRegion(p, l)),
+        3 => (arb_granule(), 0u32..50).prop_map(|(p, l)| Op::SetException(p, l)),
+        1 => arb_granule().prop_map(Op::ClearException),
+        1 => arb_region().prop_map(Op::ClearWithin),
+    ]
+}
+
+/// Naive model of the mapping: two flat maps with linear LPM.
+#[derive(Default)]
+struct Model {
+    regions: std::collections::HashMap<Prefix, u32>,
+    exceptions: std::collections::HashMap<Prefix, u32>,
+}
+
+impl Model {
+    fn primary(&self, a: Addr) -> Option<u32> {
+        let exc = self
+            .exceptions
+            .iter()
+            .filter(|(p, _)| p.contains(a))
+            .max_by_key(|(p, _)| p.len());
+        if let Some((_, l)) = exc {
+            return Some(*l);
+        }
+        self.regions
+            .iter()
+            .filter(|(p, _)| p.contains(a))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, l)| *l)
+    }
+}
+
+proptest! {
+    /// The mapping agrees with a naive model for arbitrary operation
+    /// sequences and probe addresses.
+    #[test]
+    fn mapping_matches_model(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        probes in proptest::collection::vec(0u32..(1 << 24), 40),
+    ) {
+        let mut m = MappingState::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::SetRegion(p, l) => {
+                    m.set_region(p, IngressChoice::single(l));
+                    model.regions.insert(p, l);
+                }
+                Op::SetException(p, l) => {
+                    m.set_exception(p, IngressChoice::single(l));
+                    model.exceptions.insert(p, l);
+                }
+                Op::ClearException(p) => {
+                    m.clear_exception(p);
+                    model.exceptions.remove(&p);
+                }
+                Op::ClearWithin(region) => {
+                    m.clear_exceptions_within(region);
+                    model.exceptions.retain(|p, _| !region.contains_prefix(*p));
+                }
+            }
+        }
+        for probe in probes {
+            let a = Addr::v4(0x0A00_0000 | probe);
+            prop_assert_eq!(m.primary(a), model.primary(a));
+        }
+        prop_assert_eq!(m.region_count(), model.regions.len());
+        prop_assert_eq!(m.exception_count(), model.exceptions.len());
+    }
+
+    /// snapshot() + LPM rebuild reproduces the effective mapping exactly.
+    #[test]
+    fn snapshot_rebuild_is_faithful(
+        ops in proptest::collection::vec(arb_op(), 1..80),
+        probes in proptest::collection::vec(0u32..(1 << 24), 30),
+    ) {
+        let mut m = MappingState::new();
+        for op in ops {
+            match op {
+                Op::SetRegion(p, l) => m.set_region(p, IngressChoice::single(l)),
+                Op::SetException(p, l) => m.set_exception(p, IngressChoice::single(l)),
+                Op::ClearException(p) => {
+                    m.clear_exception(p);
+                }
+                Op::ClearWithin(region) => {
+                    m.clear_exceptions_within(region);
+                }
+            }
+        }
+        let rebuilt: ipd_lpm::LpmTrie<IngressChoice> = m.snapshot().into_iter().collect();
+        for probe in probes {
+            let a = Addr::v4(0x0A00_0000 | probe);
+            prop_assert_eq!(
+                m.primary(a),
+                rebuilt.lookup(a).map(|(_, c)| c.primary)
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! CDN ingress shift: the paper's §5.3.4 case study as a runnable demo.
+//!
+//! ```text
+//! cargo run --release --example cdn_shift
+//! ```
+//!
+//! Replays the scripted /23 scenario (steady state → router maintenance →
+//! traffic gap → full remap) and renders a Fig 13-style timeline on the
+//! console: one row per range, one column per 5-minute snapshot, the letter
+//! encoding the ingress (A/a = R1.1/R1.2, B = R2.1, C = R3.1; uppercase =
+//! classified, '.' = no classified range).
+
+use std::collections::BTreeSet;
+
+use ipd_suite::eval::case_study::{run_case_study, study_prefix};
+use ipd_suite::lpm::Prefix;
+
+fn symbol(ingress: &str, classified: bool) -> char {
+    let c = match ingress {
+        "R1.1" => 'A',
+        "R1.2" => 'a',
+        "R2.1" => 'B',
+        "R3.1" => 'C',
+        _ => '?',
+    };
+    if classified {
+        c
+    } else {
+        c.to_ascii_lowercase()
+    }
+}
+
+fn main() {
+    println!("replaying the §5.3.4 scenario on {} ...\n", study_prefix());
+    let out = run_case_study();
+
+    // Collect every range that ever appears.
+    let mut ranges: BTreeSet<Prefix> = BTreeSet::new();
+    for (_, statuses) in &out.timeline {
+        for s in statuses {
+            ranges.insert(s.range);
+        }
+    }
+
+    // Header: snapshot minute marks.
+    let mut header = format!("{:<18} ", "range");
+    for (ts, _) in &out.timeline {
+        header.push_str(&format!("{}", (ts / 60) % 10));
+    }
+    println!("{header}   (columns = snapshots, digit = minute mod 10)");
+
+    for range in &ranges {
+        let mut row = format!("{:<18} ", range.to_string());
+        for (_, statuses) in &out.timeline {
+            let cell = statuses
+                .iter()
+                .filter(|s| s.range == *range)
+                .map(|s| match (&s.ingress, s.classified) {
+                    (Some(i), c) => symbol(i, c),
+                    (None, _) => '.',
+                })
+                .next()
+                .unwrap_or(' ');
+            row.push(cell);
+        }
+        println!("{row}");
+    }
+
+    println!("\nlegend: A=R1.1  a=R1.2 (maintenance backup)  B=R2.1  C=R3.1  .=monitoring  ' '=range not present");
+
+    // Fig 14 detail: the focus /24's confidence and counters.
+    println!("\nfocus /24 detail (Fig 14):");
+    println!("{:>8} {:>6} {:>10} {:>10}  top ingresses", "min", "conf", "samples", "n_cidr");
+    for d in out.detail.iter().step_by(3) {
+        let tops: Vec<String> = d
+            .per_ingress
+            .iter()
+            .take(2)
+            .map(|(l, w)| format!("{l}={}", *w as u64))
+            .collect();
+        println!(
+            "{:>8} {:>6.3} {:>10.0} {:>10.1}  {}",
+            d.ts / 60,
+            d.confidence,
+            d.total,
+            d.n_cidr,
+            tops.join(" ")
+        );
+    }
+
+    // The story beats, asserted.
+    let first = out.detail.iter().find(|d| d.classified).expect("classifies");
+    let last = out.detail.last().expect("non-empty");
+    println!(
+        "\nfirst classification at minute {}, final ingress {}",
+        first.ts / 60,
+        last.per_ingress.first().map(|(l, _)| l.as_str()).unwrap_or("-")
+    );
+    assert_eq!(
+        last.per_ingress.first().map(|(l, _)| l.as_str()),
+        Some("R3.1"),
+        "scenario must end on the remapped ingress"
+    );
+    println!("ingress change detected and reclassified ✓");
+}

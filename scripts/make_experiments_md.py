@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from an `experiments -- all` log.
+
+Usage: python3 scripts/make_experiments_md.py /tmp/experiments_all.txt > EXPERIMENTS.md
+"""
+import re
+import sys
+
+PAPER = {
+    "tab1": ("Table 1", "default parameters: cidr_max /28,/48; n_cidr factor 64/24; q 0.95; t 60 s; e 120 s"),
+    "tab2": ("Table 2", "full factorial design: 5 q-levels × 4 factor-levels × 9 cidr_max-levels (+ IPv6), 308 configs total"),
+    "fig5": ("Fig 5", "worked example: /0 splits under ambiguous traffic, halves classify once n_cidr is met"),
+    "fig2": ("Fig 2", "stability duration per prefix on a link: 60 % < 1 h, only 10 % > 6 h"),
+    "fig3": ("Fig 3", "ingress count per /24: BGP shows 20 % single / 60 % >5 next-hops; traffic shows ~80 % single ingress"),
+    "fig4": ("Fig 4", "for multi-ingress /24s, 80 % of prefixes have ≤80 % of traffic on the primary ingress"),
+    "fig6": ("Fig 6", "accuracy vs ground truth: ALL 91 %, TOP20 94 %, TOP5 97.4 % (diurnal volume shade)"),
+    "fig7": ("Fig 7", "TOP5 miss taxonomy: interface vs router vs PoP misses, counts + distinct sources"),
+    "fig8": ("Fig 8", "misses over time: AS1 maintenance peaks at 11 AM/11 PM; AS3/AS4 diurnal CDN patterns"),
+    "fig9": ("Fig 9", "IPD range sizes span /7../28 and differ from BGP (>50 % /24)"),
+    "fig10": ("Fig 10", "longitudinal: matching share → ~60 %, stable share 50 % → ~20 % → ~0 over years"),
+    "fig11": ("Fig 11", "TOP5 by hour of day: mapped space stable, prefix count dips to ~70 % at 6–7 AM"),
+    "fig12": ("Fig 12", "AS4 (CDN): prefix count drops below 40 % by 6 AM, peaks 4 PM (demand-driven mapping)"),
+    "fig13": ("Fig 13/14", "case study: split /23, interface change at maintenance, gap + decay, re-aggregation"),
+    "fig15": ("Fig 15", "elephant ranges (top 1 % counters) stable for months vs <1 h baseline"),
+    "tab3": ("Table 3", "raw output rows: ts, af, s_ingress, s_ipcount, n_cidr, range, ingress(all shares)"),
+    "tab-prefixcorr": ("§5.5", "IPD vs BGP prefixes: 91 % more specific / 1 % exact / 8 % less specific"),
+    "corr": ("§3.1", "flow/byte count correlation 0.82 justifies the flow-count simplification"),
+    "fig16": ("Fig 16", "symmetry: ALL ~62 %, TOP20 ~61 %, TOP5 ~77 %, tier-1 ~91 %"),
+    "fig17": ("Fig 17", "tier-1 peering violations: ~9 % of prefixes indirect, +50 % from Sep 2019, 2× by 2020"),
+    "fig18": ("Figs 18–20 / App. A", "accuracy flat across 308 configs (~90.8 %); q and cidr_max drive stability; runtime+RAM grow exponentially with cidr_max"),
+}
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated on the
+synthetic tier-1 world (see DESIGN.md §3 for the data substitutions; seed 42).
+Absolute numbers are not expected to match the authors' ISP — the substrate
+is a calibrated simulator — but the *shape* (orderings, trends, who wins)
+must hold. Each section lists the paper's claim and this run's inline shape
+checks (`OK` = holds, `CHECK` = deviation worth knowing about, discussed
+below). Full series live in `results/*.tsv`.
+
+Regenerate:
+
+```bash
+cargo run --release -p ipd-eval --bin experiments -- all     # writes results/
+cargo bench -p ipd-bench                                     # perf tables
+```
+
+Environment note: all runs in this record executed on a single-core
+container; throughput numbers scale accordingly (the paper's deployment uses
+a 48-core server, ~30 of which serve flow readers).
+
+## Known deviations
+
+* **Fig 6** — the recorded means include the cold-start climb (the engine
+  starts from an empty trie, the paper's had been running for years). The
+  late-bin steady state reaches ~0.90 ALL / ~0.93 TOP5 — see `results/fig6.tsv`.
+* **Figs 18–20** — run at 20 simulated minutes per configuration, so absolute
+  accuracies are cold-start-dominated (~0.5); the paper's finding survives as
+  *flatness across configurations* plus the q/cidr_max effects on stability,
+  runtime and state.
+* **Fig 10** — our mapped address space never shrinks (no region-retirement
+  model), so the "matching" share stays ~1.0 while the paper's falls to 60 %;
+  the *stable* share decay — the figure's point — reproduces.
+* **Fig 2** — our stability CDF is more extreme than the paper's (more
+  phases under an hour). The compressed 25-hour window plus scaled-up world
+  dynamics shorten phases; the orderings (most phases short, elephants long,
+  Fig 15) still hold.
+* **§5.5 prefix correlation** — "more specific" dominates as in the paper,
+  but our exact-match share is higher: the synthetic world's regions often
+  coincide with /24 BGP prefixes, the real Internet's do not.
+* **Fig 3** — the single-ingress share runs slightly below/above the paper's
+  ~80 % depending on sampling density per (/24, hour) at 1/1000-scale
+  traffic.
+* **Fig 4** — our multi-ingress set includes prefixes whose second "ingress"
+  is the 1 % spoofed-noise floor crossing the 1 % significance threshold,
+  which pushes many observed primary shares toward 1.0; the genuinely mixed
+  prefixes (ground truth) have primary shares drawn from U(0.35, 0.92) as the
+  paper's Fig 4 shape suggests.
+
+## Per-artifact record
+
+"""
+
+
+def main(path: str) -> None:
+    text = open(path, encoding="utf-8").read()
+    sections = re.split(r"^=== (\S+) ===$", text, flags=re.M)
+    out = [HEADER]
+    # sections: [preamble, id1, body1, id2, body2, ...]
+    for i in range(1, len(sections) - 1, 2):
+        sid, body = sections[i], sections[i + 1]
+        fig, claim = PAPER.get(sid, (sid, ""))
+        out.append(f"### {fig} — `experiments {sid}`\n")
+        out.append(f"*Paper:* {claim}\n")
+        checks = re.findall(r"^\s*\[(OK|CHECK)\s*\] (.+)$", body, flags=re.M)
+        if checks:
+            out.append("\n*Measured:*\n")
+            for status, line in checks:
+                mark = "✅" if status == "OK" else "⚠️"
+                out.append(f"- {mark} {line}")
+        # Grab headline stat lines (first few non-table lines).
+        extra = [
+            ln.strip()
+            for ln in body.splitlines()
+            if ln.strip().startswith(("fig", "tab", "§"))
+        ]
+        if extra:
+            out.append(f"\n_{extra[0]}_\n")
+        out.append("")
+    out.append(
+        "## Performance (§5.7)\n\n"
+        "See `bench_output.txt` (Criterion) for ingest throughput, stage-2\n"
+        "tick cost vs `cidr_max` (the Fig 20 ablation), codec and LPM costs,\n"
+        "and end-to-end pipeline rates.\n"
+    )
+    print("\n".join(out))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

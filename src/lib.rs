@@ -1,0 +1,14 @@
+//! `ipd-suite` — façade crate for the IPD reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests have a single dependency. Start with [`ipd`] (the
+//! algorithm) and [`traffic`] (the synthetic tier-1 ISP workload).
+
+pub use ipd;
+pub use ipd_bgp as bgp;
+pub use ipd_eval as eval;
+pub use ipd_lpm as lpm;
+pub use ipd_netflow as netflow;
+pub use ipd_stattime as stattime;
+pub use ipd_topology as topology;
+pub use ipd_traffic as traffic;

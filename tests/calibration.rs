@@ -1,0 +1,99 @@
+//! Integration: the synthetic world honours the paper's distributional
+//! facts (DESIGN.md §7). These are the numbers everything else is built on,
+//! so they get their own cross-crate test suite.
+
+use ipd_suite::bgp::stats::{histogram_cdf, mask_distribution, next_hop_count_histogram};
+use ipd_suite::lpm::Af;
+use ipd_suite::traffic::{FlowSim, SimConfig, World, WorldConfig};
+
+fn world() -> World {
+    World::generate(WorldConfig::default(), 42)
+}
+
+#[test]
+fn top5_and_top20_traffic_shares() {
+    // §5.1: TOP5 = 52 % of volume, TOP20 = 80 %.
+    let w = world();
+    let top5: f64 = w.ases[..5].iter().map(|a| a.traffic_share).sum();
+    let top20: f64 = w.ases[..20].iter().map(|a| a.traffic_share).sum();
+    assert!((0.45..0.62).contains(&top5), "top5 {top5}");
+    assert!((0.72..0.88).contains(&top20), "top20 {top20}");
+}
+
+#[test]
+fn bgp_next_hop_multiplicity() {
+    // Fig 3 dotted: ~20 % one next-hop, ~60 % more than five.
+    let w = world();
+    let cdf = histogram_cdf(&next_hop_count_histogram(&w.rib, None));
+    let at = |k: usize| {
+        cdf.iter().take_while(|&&(kk, _)| kk <= k).last().map(|&(_, p)| p).unwrap_or(0.0)
+    };
+    let single = at(1);
+    let over5 = 1.0 - at(5);
+    assert!((0.1..0.35).contains(&single), "single next-hop share {single}");
+    assert!((0.4..0.75).contains(&over5), "share with >5 next-hops {over5}");
+}
+
+#[test]
+fn bgp_mask_distribution_is_24_heavy() {
+    // Fig 9 gray: >50 % of announcements are /24.
+    let w = world();
+    let d = mask_distribution(&w.rib, Af::V4);
+    let share24 = d.get(&24).copied().unwrap_or(0.0);
+    assert!(share24 > 0.4, "/24 share {share24}");
+    // /20–/23 between a few and ~15 % each.
+    for m in 20..=23u8 {
+        let s = d.get(&m).copied().unwrap_or(0.0);
+        assert!((0.02..0.2).contains(&s), "/{m} share {s}");
+    }
+}
+
+#[test]
+fn sampling_and_flow_byte_correlation() {
+    // §3.1: flow and byte counts correlate strongly (paper: 0.82).
+    let w = world();
+    let mut sim = FlowSim::new(w, SimConfig { flows_per_minute: 5000, ..SimConfig::default() });
+    let mut per_24: std::collections::HashMap<u128, (f64, f64)> = std::collections::HashMap::new();
+    for _ in 0..5 {
+        for lf in sim.next_minute().flows {
+            let e = per_24.entry(lf.flow.src.masked(24).bits()).or_insert((0.0, 0.0));
+            e.0 += 1.0;
+            e.1 += lf.flow.bytes as f64;
+        }
+    }
+    let flows: Vec<f64> = per_24.values().map(|v| v.0).collect();
+    let bytes: Vec<f64> = per_24.values().map(|v| v.1).collect();
+    let r = ipd_suite::eval::stats::pearson(&flows, &bytes);
+    assert!(r > 0.6, "flow/byte correlation {r}");
+}
+
+#[test]
+fn symmetry_targets_by_group() {
+    // Fig 16: tier-1 ≈ 0.91, top5 ≈ 0.77, all ≈ 0.62.
+    let w = world();
+    let p = ipd_suite::eval::symmetry::symmetry_now(&w, 0);
+    assert!(p.tier1 > 0.82, "tier1 {}", p.tier1);
+    assert!((0.6..0.95).contains(&p.top5), "top5 {}", p.top5);
+    assert!((0.45..0.85).contains(&p.all), "all {}", p.all);
+    assert!(p.tier1 > p.all, "tier1 {} vs all {}", p.tier1, p.all);
+}
+
+#[test]
+fn diurnal_shape() {
+    // Busiest hour at 20:00 local (§5.3.1), trough in the early morning.
+    use ipd_suite::traffic::diurnal_factor;
+    let at = |h: u64| diurnal_factor(h * 3600);
+    assert!(at(20) > at(12));
+    assert!(at(12) > at(4));
+    assert!((at(20) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn world_scale_is_isp_shaped() {
+    let w = world();
+    assert!(w.topology.routers().len() >= 15, "routers {}", w.topology.routers().len());
+    assert!(w.topology.links().len() >= 100, "links {}", w.topology.links().len());
+    assert!(w.topology.countries().len() >= 3);
+    assert!(w.rib.prefix_count() > 500, "prefixes {}", w.rib.prefix_count());
+    assert!(w.regions().len() > 1000, "regions {}", w.regions().len());
+}

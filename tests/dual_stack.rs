@@ -1,0 +1,81 @@
+//! Integration: IPD is dual-stack — IPv6 traffic flows through the same
+//! trie machinery with `cidr_max` /48 and classifies alongside IPv4.
+
+use ipd_suite::eval::harness::{run, EvalConfig, RunVisitor};
+use ipd_suite::ipd::{IpdEngine, LogicalIngress};
+use ipd_suite::lpm::{Af, LpmTrie};
+use ipd_suite::topology::IngressPoint;
+use ipd_suite::traffic::{MinuteBatch, World};
+
+#[derive(Default)]
+struct V6Check {
+    v6_flows: u64,
+    v6_correct: u64,
+    v6_covered: u64,
+}
+
+impl RunVisitor for V6Check {
+    fn on_minute(
+        &mut self,
+        batch: &MinuteBatch,
+        _world: &World,
+        lpm: &LpmTrie<LogicalIngress>,
+        _engine: &IpdEngine,
+    ) {
+        for lf in &batch.flows {
+            if lf.flow.src.af() != Af::V6 {
+                continue;
+            }
+            self.v6_flows += 1;
+            if let Some((range, ing)) = lpm.lookup(lf.flow.src) {
+                assert_eq!(range.af(), Af::V6, "families must not cross in LPM");
+                self.v6_covered += 1;
+                if ing.matches(IngressPoint::new(lf.flow.router, lf.flow.input_if)) {
+                    self.v6_correct += 1;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ipv6_classifies_and_validates() {
+    let cfg = EvalConfig::quick(20, 8000);
+    let mut v = V6Check::default();
+    let out = run(&cfg, &mut v);
+
+    // The sim generates a meaningful v6 share (default 20 % of hypergiant
+    // traffic).
+    assert!(
+        v.v6_flows > out.flows / 50,
+        "v6 flows {} of {}",
+        v.v6_flows,
+        out.flows
+    );
+
+    // v6 ranges exist, respect cidr_max 48, and validate well once warm.
+    let snap = out.engine.snapshot(out.sim.world().now());
+    let v6_ranges: Vec<_> =
+        snap.classified().filter(|r| r.range.af() == Af::V6).collect();
+    assert!(!v6_ranges.is_empty(), "no classified IPv6 ranges");
+    for r in &v6_ranges {
+        assert!(r.range.len() <= 48, "range {} exceeds cidr_max", r.range);
+    }
+    let coverage = v.v6_covered as f64 / v.v6_flows as f64;
+    let accuracy = v.v6_correct as f64 / v.v6_covered.max(1) as f64;
+    assert!(coverage > 0.3, "v6 coverage {coverage}");
+    assert!(accuracy > 0.8, "v6 accuracy among covered {accuracy}");
+}
+
+#[test]
+fn v6_share_zero_produces_pure_v4() {
+    use ipd_suite::traffic::{FlowSim, SimConfig, WorldConfig};
+    let world = World::generate(WorldConfig::default(), 9);
+    let mut sim = FlowSim::new(
+        world,
+        SimConfig { flows_per_minute: 3000, v6_share: 0.0, ..SimConfig::default() },
+    );
+    let batch = sim.next_minute();
+    assert!(!batch.flows.is_empty());
+    assert!(batch.flows.iter().all(|lf| lf.flow.src.af() == Af::V4));
+}
