@@ -1,0 +1,67 @@
+//! Multi-core scaling of the sharded engine: stage-1 batch ingest and
+//! stage-2 ticks at K ∈ {1, 2, 4, 8} shards over identical pre-warmed
+//! state. Results are bit-for-bit identical at every K (the differential
+//! harness proves it), so the only thing that may change here is the time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use ipd::{IpdParams, ShardedEngine};
+use ipd_bench::{flow_batch, scaled_factor};
+use ipd_netflow::FlowRecord;
+
+const FLOWS_PER_MINUTE: u64 = 30_000;
+
+fn params() -> IpdParams {
+    IpdParams {
+        ncidr_factor_v4: scaled_factor(FLOWS_PER_MINUTE),
+        ncidr_factor_v6: 1e-6,
+        ..IpdParams::default()
+    }
+}
+
+/// An engine with realistic deep-trie state: two minutes ingested and
+/// ticked, so both stages have work that actually spreads over shards.
+fn warmed(k: usize, warm: &[FlowRecord]) -> ShardedEngine {
+    let mut engine = ShardedEngine::new(params(), k).unwrap();
+    for (i, chunk) in warm.chunks(FLOWS_PER_MINUTE as usize).enumerate() {
+        engine.ingest_batch(chunk);
+        engine.tick((i as u64 + 1) * 60);
+    }
+    engine
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let flows = flow_batch(3, FLOWS_PER_MINUTE);
+    let (warm, hot) = flows.split_at(2 * FLOWS_PER_MINUTE as usize);
+
+    let mut g = c.benchmark_group("sharded_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(hot.len() as u64));
+    for k in [1usize, 2, 4, 8] {
+        let engine = warmed(k, warm);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| {
+                    e.ingest_batch(hot);
+                    e.stats().flows_ingested
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sharded_tick");
+    g.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        let mut engine = warmed(k, warm);
+        engine.ingest_batch(hot);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter_batched(|| engine.clone(), |mut e| e.tick(180).splits, BatchSize::LargeInput)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

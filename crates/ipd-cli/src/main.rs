@@ -4,7 +4,7 @@
 //! ipd-tool simulate --minutes 30 --flows-per-minute 20000 --seed 42 \
 //!          --out trace.ipdt [--bgp-dump rib.txt]
 //! ipd-tool run      --trace trace.ipdt [--q 0.95] [--cidr-max 28] \
-//!          [--factor <auto>] [--table3 out.txt]
+//!          [--factor <auto>] [--shards K] [--table3 out.txt]
 //! ipd-tool lookup   --trace trace.ipdt --addr 22.1.2.3 [--addr ...]
 //! ipd-tool info     --trace trace.ipdt
 //! ```
@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use args::{ArgError, Args};
 use ipd::output::default_ingress_format;
 use ipd::pipeline::{run_offline, PipelineOutput};
-use ipd::{IpdEngine, IpdParams, Snapshot};
+use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
 use ipd_bgp::write_dump;
 use ipd_lpm::Addr;
 use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
@@ -32,7 +32,7 @@ use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
 
 const USAGE: &str = "usage: ipd-tool <simulate|run|lookup|info> [--options]
   simulate --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
-  run      --trace FILE [--q Q] [--cidr-max N] [--factor F] [--table3 FILE]
+  run      --trace FILE [--q Q] [--cidr-max N] [--factor F] [--shards K] [--table3 FILE]
   lookup   --trace FILE --addr A [--addr B ...]   (repeat via comma list)
   info     --trace FILE";
 
@@ -123,21 +123,35 @@ fn engine_over(
         ncidr_factor_v6: (rate_per_min * 1.5e-11).max(1e-9),
         ..IpdParams::default()
     };
+    let shards: usize = args.get_or("shards", 1)?;
     eprintln!(
-        "running IPD over {} flows (~{:.0} flows/min), q={}, cidr_max=/{}, n_cidr factor={:.4}",
+        "running IPD over {} flows (~{:.0} flows/min), q={}, cidr_max=/{}, n_cidr factor={:.4}, shards={}",
         flows.len(),
         rate_per_min,
         params.q,
         params.cidr_max_v4,
-        params.ncidr_factor_v4
+        params.ncidr_factor_v4,
+        shards
     );
-    let mut engine = IpdEngine::new(params)?;
     let mut last_snapshot = None;
-    run_offline(&mut engine, flows.iter().cloned(), 5, |o| {
+    let mut capture = |o: PipelineOutput| {
         if let PipelineOutput::Snapshot(s) = o {
             last_snapshot = Some(s);
         }
-    });
+    };
+    // The shard count only changes how many cores stage 1/2 run on — the
+    // results are bit-for-bit identical at any K (see the shard module docs).
+    // K != 1 goes through ShardedEngine so invalid counts (0, non-powers of
+    // two, > 256) are rejected by its validation.
+    let engine = if shards != 1 {
+        let mut sharded = ShardedEngine::new(params, shards)?;
+        run_offline(&mut sharded, flows.iter().cloned(), 5, &mut capture);
+        sharded.into_engine()
+    } else {
+        let mut engine = IpdEngine::new(params)?;
+        run_offline(&mut engine, flows.iter().cloned(), 5, &mut capture);
+        engine
+    };
     Ok((engine, last_snapshot))
 }
 
@@ -252,6 +266,36 @@ mod tests {
         run_cli(argv(&["lookup", "--trace", &trace, "--addr", "22.0.0.1,23.0.0.1"]))
             .expect("lookup");
         run_cli(argv(&["info", "--trace", &trace])).expect("info");
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_output() {
+        let trace = tmp("sharded.ipdt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "11",
+            "--out",
+            &trace,
+        ]))
+        .expect("simulate");
+
+        let t3_one = tmp("sharded-k1.txt");
+        let t3_four = tmp("sharded-k4.txt");
+        run_cli(argv(&["run", "--trace", &trace, "--table3", &t3_one])).expect("run K=1");
+        run_cli(argv(&["run", "--trace", &trace, "--shards", "4", "--table3", &t3_four]))
+            .expect("run K=4");
+        let one = std::fs::read_to_string(&t3_one).expect("K=1 output");
+        let four = std::fs::read_to_string(&t3_four).expect("K=4 output");
+        assert!(!one.is_empty());
+        assert_eq!(one, four, "--shards must not change the classification output");
+
+        let bad = run_cli(argv(&["run", "--trace", &trace, "--shards", "3"]));
+        assert!(bad.is_err(), "non-power-of-two shard counts are rejected");
     }
 
     #[test]

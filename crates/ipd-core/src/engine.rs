@@ -67,13 +67,13 @@ pub struct EngineStats {
 /// Deterministic and I/O-free: `ingest` and `tick` are the only mutations,
 /// and both are driven by caller-provided timestamps (use data time for
 /// reproducible runs; the [`crate::pipeline`] does exactly that).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IpdEngine {
-    params: IpdParams,
-    root_v4: Node,
-    root_v6: Node,
-    registry: IngressRegistry,
-    stats: EngineStats,
+    pub(crate) params: IpdParams,
+    pub(crate) root_v4: Node,
+    pub(crate) root_v6: Node,
+    pub(crate) registry: IngressRegistry,
+    pub(crate) stats: EngineStats,
 }
 
 impl IpdEngine {

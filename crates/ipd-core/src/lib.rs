@@ -33,6 +33,11 @@
 //!   (Table 3), plus LPM-table export for validation.
 //! * [`pipeline`] — the deployment shape (§5.7): parallel reader threads
 //!   feeding the engine over channels, ticks at time-bucket boundaries.
+//! * [`ShardedEngine`] — the same engine on K cores: the address space is
+//!   partitioned by the top shard-key bits, stage 1 and stage 2 run on
+//!   scoped threads per shard, and the results are bit-for-bit identical to
+//!   the single-threaded engine for every K (see the `shard` module docs
+//!   for the determinism contract).
 //!
 //! ## Quick start
 //!
@@ -66,9 +71,11 @@ pub mod output;
 mod params;
 pub mod pipeline;
 mod range;
+mod shard;
 mod trie;
 
 pub use engine::{EngineStats, IpdEngine, TickReport};
 pub use ingress::{IngressId, IngressRegistry, LogicalIngress};
 pub use output::{IpdRangeRecord, Snapshot, SnapshotDiff};
 pub use params::{CountMode, IpdParams, ParamError};
+pub use shard::{ShardedEngine, MAX_SHARDS};

@@ -156,6 +156,60 @@ impl Snapshot {
             .collect()
     }
 
+    /// Order-sensitive FNV-1a 64-bit digest over a canonical encoding of the
+    /// whole snapshot. Two snapshots digest equal exactly when the timestamp
+    /// and every record — including the *bit patterns* of the f64 fields —
+    /// are equal, so the golden-determinism and sharded-equivalence tests
+    /// can pin a run to a single number.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let point = |p: &IngressPoint, eat: &mut dyn FnMut(&[u8])| {
+            eat(&p.router.to_le_bytes());
+            eat(&u32::from(p.ifindex).to_le_bytes());
+        };
+        eat(&self.ts.to_le_bytes());
+        eat(&(self.records.len() as u64).to_le_bytes());
+        for r in &self.records {
+            eat(&r.ts.to_le_bytes());
+            eat(&[r.range.af().width(), r.range.len(), u8::from(r.classified)]);
+            eat(&r.range.addr().bits().to_le_bytes());
+            match &r.ingress {
+                None => eat(&[0]),
+                Some(LogicalIngress::Link(p)) => {
+                    eat(&[1]);
+                    point(p, &mut eat);
+                }
+                Some(LogicalIngress::Bundle(b)) => {
+                    eat(&[2]);
+                    eat(&b.router.to_le_bytes());
+                    eat(&(b.ifindexes.len() as u64).to_le_bytes());
+                    for &i in &b.ifindexes {
+                        eat(&u32::from(i).to_le_bytes());
+                    }
+                }
+            }
+            eat(&r.confidence.to_bits().to_le_bytes());
+            eat(&r.sample_count.to_bits().to_le_bytes());
+            eat(&r.n_cidr.to_bits().to_le_bytes());
+            eat(&[u8::from(r.since.is_some())]);
+            eat(&r.since.unwrap_or(0).to_le_bytes());
+            eat(&(r.shares.len() as u64).to_le_bytes());
+            for (p, w) in &r.shares {
+                point(p, &mut eat);
+                eat(&w.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Render the whole snapshot as Table-3 lines (classified and monitored).
     pub fn to_table3<F: Fn(IngressPoint) -> String>(&self, fmt_ingress: &F) -> String {
         let mut out = String::new();

@@ -7,7 +7,8 @@
 //! contract ("an online algorithm that must be completed by the end of each
 //! time bucket") while keeping every run bit-for-bit reproducible — the same
 //! input stream always produces the same outputs, whether driven offline
-//! ([`run_offline`]) or through the threaded [`IpdPipeline`].
+//! ([`run_offline`]), through the threaded [`IpdPipeline`], or through the
+//! multi-core [`ShardedPipeline`] at any shard count.
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -16,6 +17,7 @@ use ipd_netflow::{Collector, CollectorStats, FlowRecord, RouterId};
 use crate::engine::{IpdEngine, TickReport};
 use crate::output::Snapshot;
 use crate::params::IpdParams;
+use crate::shard::ShardedEngine;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +29,9 @@ pub struct PipelineConfig {
     /// Emit a full [`Snapshot`] every this many ticks. The paper's raw
     /// output is written at 5-minute granularity with t = 60 s, i.e. 5.
     pub snapshot_every_ticks: u32,
+    /// Shard count K for [`ShardedPipeline`] (power of two, 1..=256).
+    /// [`IpdPipeline`] ignores this and always runs single-threaded.
+    pub shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -35,7 +40,70 @@ impl Default for PipelineConfig {
             params: IpdParams::default(),
             channel_capacity: 1024,
             snapshot_every_ticks: 5,
+            shards: 1,
         }
+    }
+}
+
+/// The engine operations the drivers in this module need — implemented by
+/// the single-threaded [`IpdEngine`] and the multi-core
+/// [`ShardedEngine`], which produce bit-for-bit identical state for the
+/// same flow stream (see the `shard` module docs for the contract).
+pub trait TickEngine {
+    /// Stage-1 ingest of one flow.
+    fn ingest(&mut self, flow: &FlowRecord);
+    /// Stage-1 ingest of a batch of flows (in stream order). Implementations
+    /// may parallelize; the default just loops.
+    fn ingest_batch(&mut self, flows: &[FlowRecord]) {
+        for f in flows {
+            self.ingest(f);
+        }
+    }
+    /// Stage-2 sweep at data time `now`.
+    fn tick(&mut self, now: u64) -> TickReport;
+    /// Full state snapshot stamped `ts`.
+    fn snapshot(&self, ts: u64) -> Snapshot;
+    /// The configured stage-2 bucket length `t` in seconds.
+    fn t_secs(&self) -> u64;
+}
+
+impl TickEngine for IpdEngine {
+    fn ingest(&mut self, flow: &FlowRecord) {
+        IpdEngine::ingest(self, flow);
+    }
+
+    fn tick(&mut self, now: u64) -> TickReport {
+        IpdEngine::tick(self, now)
+    }
+
+    fn snapshot(&self, ts: u64) -> Snapshot {
+        IpdEngine::snapshot(self, ts)
+    }
+
+    fn t_secs(&self) -> u64 {
+        self.params().t_secs
+    }
+}
+
+impl TickEngine for ShardedEngine {
+    fn ingest(&mut self, flow: &FlowRecord) {
+        ShardedEngine::ingest(self, flow);
+    }
+
+    fn ingest_batch(&mut self, flows: &[FlowRecord]) {
+        ShardedEngine::ingest_batch(self, flows);
+    }
+
+    fn tick(&mut self, now: u64) -> TickReport {
+        ShardedEngine::tick(self, now)
+    }
+
+    fn snapshot(&self, ts: u64) -> Snapshot {
+        ShardedEngine::snapshot(self, ts)
+    }
+
+    fn t_secs(&self) -> u64 {
+        self.params().t_secs
     }
 }
 
@@ -71,9 +139,9 @@ impl BucketDriver {
 
     /// Observe the timestamp of the next flow *before* ingesting it; fires
     /// any due ticks (one per crossed bucket, so decay sees every cycle).
-    pub fn observe<F: FnMut(PipelineOutput)>(
+    pub fn observe<E: TickEngine, F: FnMut(PipelineOutput)>(
         &mut self,
-        engine: &mut IpdEngine,
+        engine: &mut E,
         ts: u64,
         out: &mut F,
     ) {
@@ -91,8 +159,38 @@ impl BucketDriver {
         self.current_bucket = Some(bucket);
     }
 
+    /// Observe *and ingest* a whole batch: due ticks still fire exactly at
+    /// bucket boundaries inside the batch, while each maximal run of flows
+    /// between boundaries goes through the engine's (possibly parallel)
+    /// batch path. Per-flow, this is the same observe-then-ingest sequence
+    /// [`run_offline`] performs.
+    pub fn ingest_batch<E: TickEngine, F: FnMut(PipelineOutput)>(
+        &mut self,
+        engine: &mut E,
+        batch: &[FlowRecord],
+        out: &mut F,
+    ) {
+        let mut start = 0;
+        for (i, flow) in batch.iter().enumerate() {
+            let due = match self.current_bucket {
+                Some(current) => flow.ts / self.t > current,
+                None => false,
+            };
+            if due {
+                engine.ingest_batch(&batch[start..i]);
+                start = i;
+            }
+            self.observe(engine, flow.ts, out);
+        }
+        engine.ingest_batch(&batch[start..]);
+    }
+
     /// Fire the final tick and snapshot at end of stream.
-    pub fn finish<F: FnMut(PipelineOutput)>(&mut self, engine: &mut IpdEngine, out: &mut F) {
+    pub fn finish<E: TickEngine, F: FnMut(PipelineOutput)>(
+        &mut self,
+        engine: &mut E,
+        out: &mut F,
+    ) {
         if let Some(current) = self.current_bucket {
             let now = (current + 1) * self.t;
             let report = engine.tick(now);
@@ -101,7 +199,12 @@ impl BucketDriver {
         }
     }
 
-    fn fire<F: FnMut(PipelineOutput)>(&mut self, engine: &mut IpdEngine, now: u64, out: &mut F) {
+    fn fire<E: TickEngine, F: FnMut(PipelineOutput)>(
+        &mut self,
+        engine: &mut E,
+        now: u64,
+        out: &mut F,
+    ) {
         let report = engine.tick(now);
         out(PipelineOutput::Tick(report));
         self.ticks_since_snapshot += 1;
@@ -115,12 +218,13 @@ impl BucketDriver {
 /// Run IPD over an in-memory, time-ordered flow stream. Ticks fire at bucket
 /// boundaries; `on_output` receives every tick report and snapshot,
 /// including the final end-of-stream snapshot.
-pub fn run_offline<I, F>(engine: &mut IpdEngine, flows: I, snapshot_every_ticks: u32, mut on_output: F)
+pub fn run_offline<E, I, F>(engine: &mut E, flows: I, snapshot_every_ticks: u32, mut on_output: F)
 where
+    E: TickEngine,
     I: IntoIterator<Item = FlowRecord>,
     F: FnMut(PipelineOutput),
 {
-    let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every_ticks);
+    let mut driver = BucketDriver::new(engine.t_secs(), snapshot_every_ticks);
     for flow in flows {
         driver.observe(engine, flow.ts, &mut on_output);
         engine.ingest(&flow);
@@ -185,6 +289,68 @@ impl IpdPipeline {
     pub fn finish(self) -> (IpdEngine, Vec<PipelineOutput>) {
         drop(self.input);
         let engine = self.handle.join().expect("engine thread never panics");
+        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        (engine, leftover)
+    }
+}
+
+/// Handle to a running multi-core pipeline: like [`IpdPipeline`], but the
+/// engine stage is a [`ShardedEngine`] with `config.shards` = K.
+///
+/// One coordinator thread owns the [`BucketDriver`] — data-time tick
+/// semantics are global, exactly as in the single-threaded pipeline — and
+/// routes every same-bucket run of each incoming batch through
+/// [`ShardedEngine::ingest_batch`], which fans the flows out to their
+/// owning shards (top shard-key address bits) on scoped threads. Stage-2
+/// ticks likewise run across all shards in parallel. Outputs are identical
+/// to [`IpdPipeline`]'s for the same batch sequence, up to report ordering
+/// (sharded tick reports are prefix-sorted; see the `shard` module docs).
+pub struct ShardedPipeline {
+    input: Sender<Vec<FlowRecord>>,
+    output: Receiver<PipelineOutput>,
+    handle: std::thread::JoinHandle<ShardedEngine>,
+}
+
+impl ShardedPipeline {
+    /// Spawn the coordinator thread with a K-sharded engine.
+    pub fn spawn(config: PipelineConfig) -> Result<Self, crate::params::ParamError> {
+        let engine = ShardedEngine::new(config.params.clone(), config.shards)?;
+        let (in_tx, in_rx) = bounded::<Vec<FlowRecord>>(config.channel_capacity);
+        let (out_tx, out_rx) = bounded::<PipelineOutput>(config.channel_capacity);
+        let snapshot_every = config.snapshot_every_ticks;
+        let handle = std::thread::Builder::new()
+            .name("ipd-sharded-engine".into())
+            .spawn(move || {
+                let mut engine = engine;
+                let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every);
+                let mut emit = |o: PipelineOutput| {
+                    let _ = out_tx.send(o);
+                };
+                for batch in in_rx.iter() {
+                    driver.ingest_batch(&mut engine, &batch, &mut emit);
+                }
+                driver.finish(&mut engine, &mut emit);
+                engine
+            })
+            .expect("spawning the sharded engine thread");
+        Ok(ShardedPipeline { input: in_tx, output: out_rx, handle })
+    }
+
+    /// A clonable sender for flow batches.
+    pub fn input(&self) -> Sender<Vec<FlowRecord>> {
+        self.input.clone()
+    }
+
+    /// The output stream of tick reports and snapshots.
+    pub fn output(&self) -> &Receiver<PipelineOutput> {
+        &self.output
+    }
+
+    /// Close the input, wait for the engine thread, and return the sharded
+    /// engine plus any outputs still queued.
+    pub fn finish(self) -> (ShardedEngine, Vec<PipelineOutput>) {
+        drop(self.input);
+        let engine = self.handle.join().expect("sharded engine thread never panics");
         let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
         (engine, leftover)
     }
@@ -278,6 +444,7 @@ mod tests {
             params: test_params(),
             channel_capacity: 16,
             snapshot_every_ticks: 2,
+            shards: 1,
         })
         .unwrap();
         let tx = pipeline.input();
@@ -346,6 +513,136 @@ mod tests {
         driver.finish(&mut engine, &mut out);
         // Buckets crossed: 0→1 (tick @60), 1→2 (@120), 2→3 (@180), final (@240).
         assert_eq!(ticks, vec![60, 120, 180, 240]);
+    }
+
+    #[test]
+    fn one_second_buckets_tick_every_second() {
+        let mut engine = IpdEngine::new(test_params()).unwrap();
+        let mut driver = BucketDriver::new(1, 1000);
+        let mut ticks = Vec::new();
+        let mut out = |o: PipelineOutput| {
+            if let PipelineOutput::Tick(t) = o {
+                ticks.push(t.now);
+            }
+        };
+        for ts in [0u64, 1, 3, 3, 4] {
+            driver.observe(&mut engine, ts, &mut out);
+            engine.ingest_parts(ts, Addr::v4(ts as u32), IngressPoint::new(1, 1), 1.0);
+        }
+        driver.finish(&mut engine, &mut out);
+        // Every crossed 1-second boundary ticks exactly once, including both
+        // seconds of the 1→3 jump; the final tick closes bucket 4.
+        assert_eq!(ticks, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn duplicate_timestamps_at_bucket_boundary_tick_once() {
+        let mut engine = IpdEngine::new(test_params()).unwrap();
+        let mut driver = BucketDriver::new(60, 1000);
+        let mut ticks = Vec::new();
+        let mut out = |o: PipelineOutput| {
+            if let PipelineOutput::Tick(t) = o {
+                ticks.push(t.now);
+            }
+        };
+        // Several flows stamped exactly at the boundary must fire the tick
+        // for the crossed bucket once, not once per duplicate.
+        for ts in [59u64, 60, 60, 60, 61] {
+            driver.observe(&mut engine, ts, &mut out);
+        }
+        assert_eq!(ticks, vec![60]);
+    }
+
+    #[test]
+    fn backward_multi_bucket_jump_never_rewinds() {
+        let mut engine = IpdEngine::new(test_params()).unwrap();
+        let mut driver = BucketDriver::new(60, 1000);
+        let mut ticks = Vec::new();
+        let mut out = |o: PipelineOutput| {
+            if let PipelineOutput::Tick(t) = o {
+                ticks.push(t.now);
+            }
+        };
+        // A flow far in the future, then stragglers several buckets back:
+        // the stragglers are ingested but fire nothing, and the next
+        // forward crossing resumes from the *maximum* bucket seen.
+        for ts in [310u64, 60, 0, 250, 311] {
+            driver.observe(&mut engine, ts, &mut out);
+            engine.ingest_parts(ts, Addr::v4(7), IngressPoint::new(1, 1), 1.0);
+        }
+        driver.observe(&mut engine, 370, &mut out);
+        // Nothing fired for the backward jumps; the forward crossing resumes
+        // from the maximum bucket with a single tick.
+        assert_eq!(ticks, vec![360], "one tick, not one per skipped bucket backwards");
+    }
+
+    #[test]
+    fn batched_observe_matches_per_flow_observe() {
+        // The batch driver used by ShardedPipeline must fire the same ticks
+        // at the same data times as the per-flow path, including a batch
+        // spanning several boundaries and late data inside the batch.
+        let flows: Vec<FlowRecord> = [10u64, 59, 60, 60, 130, 95, 250, 240, 305]
+            .iter()
+            .map(|&ts| FlowRecord::synthetic(ts, Addr::v4(ts as u32 * 131), 1, 1))
+            .collect();
+
+        let mut ref_engine = IpdEngine::new(test_params()).unwrap();
+        let mut ref_driver = BucketDriver::new(60, 1000);
+        let mut ref_ticks = Vec::new();
+        let mut ref_out = |o: PipelineOutput| {
+            if let PipelineOutput::Tick(t) = o {
+                ref_ticks.push(t.now);
+            }
+        };
+        for f in &flows {
+            ref_driver.observe(&mut ref_engine, f.ts, &mut ref_out);
+            ref_engine.ingest(f);
+        }
+
+        let mut engine = IpdEngine::new(test_params()).unwrap();
+        let mut driver = BucketDriver::new(60, 1000);
+        let mut ticks = Vec::new();
+        let mut out = |o: PipelineOutput| {
+            if let PipelineOutput::Tick(t) = o {
+                ticks.push(t.now);
+            }
+        };
+        driver.ingest_batch(&mut engine, &flows, &mut out);
+
+        assert_eq!(ticks, ref_ticks);
+        assert_eq!(engine.stats(), ref_engine.stats());
+        assert_eq!(engine.snapshot(999).digest(), ref_engine.snapshot(999).digest());
+    }
+
+    #[test]
+    fn reader_survives_engine_disconnect_mid_stream() {
+        let (gram_tx, gram_rx) = bounded(64);
+        let (flow_tx, flow_rx) = bounded::<Vec<FlowRecord>>(1);
+        let reader = std::thread::spawn(move || run_reader(gram_rx, flow_tx, 5));
+        let mut exporter = V5Exporter::new(4, 0, 1000, 0);
+        let records: Vec<FlowRecord> = (0..30u32)
+            .map(|i| FlowRecord::synthetic(60, Addr::v4(0x0A00_0000 + i * 64), 4, 2))
+            .collect();
+        // One 25-record datagram: `feed` decodes the whole datagram before
+        // the batch-size check, so this arrives downstream as a single batch.
+        for gram in exporter.encode(60, &records[..25]).unwrap() {
+            gram_tx.send((4, gram)).unwrap();
+        }
+        let first = flow_rx.recv().expect("the first batch is forwarded");
+        assert_eq!(first.len(), 25);
+        // Kill the downstream "engine" mid-stream, then keep exporting. The
+        // reader must decode the next datagram, notice the dead channel on
+        // its send, stop forwarding, and still return its decode stats —
+        // without panicking and without wedging the datagram producer.
+        drop(flow_rx);
+        gram_tx.send((4, Bytes::from_static(&[0, 9, 9]))).unwrap(); // malformed: counted, no send
+        for gram in exporter.encode(61, &records[25..]).unwrap() {
+            gram_tx.send((4, gram)).unwrap();
+        }
+        drop(gram_tx);
+        let stats = reader.join().expect("reader must not panic on disconnect");
+        assert_eq!(stats.records, 30, "everything fed before the failed send is counted");
+        assert_eq!(stats.errors, 1, "the malformed datagram is counted, not fatal");
     }
 
     #[test]

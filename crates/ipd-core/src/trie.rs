@@ -30,7 +30,8 @@ impl Node {
     }
 
     /// Stage 1: walk to the leaf covering `bits` and record the sample.
-    /// `bits` must already be masked to `cidr_max`.
+    /// `bits` must already be masked to `cidr_max`. `self` must be the
+    /// family root.
     pub(crate) fn ingest(
         &mut self,
         bits: u128,
@@ -39,8 +40,22 @@ impl Node {
         id: IngressId,
         weight: f64,
     ) {
+        self.ingest_from(0, bits, width, ts, id, weight);
+    }
+
+    /// [`Node::ingest`] for a node sitting `depth` levels below the family
+    /// root — the sharded engine ingests directly into frontier subtrees,
+    /// whose bit walk must start at the subtree's depth, not at the top.
+    pub(crate) fn ingest_from(
+        &mut self,
+        mut depth: u8,
+        bits: u128,
+        width: u8,
+        ts: u64,
+        id: IngressId,
+        weight: f64,
+    ) {
         let mut node = self;
-        let mut depth: u8 = 0;
         loop {
             match node {
                 Node::Internal(children) => {
@@ -213,6 +228,61 @@ impl Node {
             }
             _ => {}
         }
+    }
+
+    /// Collect disjoint mutable handles on the subtrees `depth` levels below
+    /// this node — the sharded engine's parallel work units. A leaf sitting
+    /// shallower than `depth` becomes one unit covering every shard slot
+    /// underneath it, so the returned entries always partition the address
+    /// space exactly, in address order.
+    pub(crate) fn frontier_at_depth<'a>(
+        &'a mut self,
+        prefix: Prefix,
+        depth: u8,
+        out: &mut Vec<(Prefix, &'a mut Node)>,
+    ) {
+        if depth == 0 {
+            out.push((prefix, self));
+            return;
+        }
+        match self {
+            Node::Leaf(_) => out.push((prefix, self)),
+            Node::Internal(children) => {
+                let (lp, rp) = prefix
+                    .children()
+                    .expect("internal nodes never sit at full address depth");
+                let [l, r] = &mut **children;
+                l.frontier_at_depth(lp, depth - 1, out);
+                r.frontier_at_depth(rp, depth - 1, out);
+            }
+        }
+    }
+
+    /// Sequential top phase of a sharded tick: every frontier subtree
+    /// returned by [`Node::frontier_at_depth`] has already been fully ticked,
+    /// so only the join/collapse pass on internal nodes *above* the frontier
+    /// remains. Runs bottom-up like [`Node::tick`] does.
+    ///
+    /// A frontier leaf that split during its own tick leaves internal nodes
+    /// above the old frontier; re-running [`Node::try_merge`] on those is a
+    /// provable no-op (the in-subtree pass either merged — the node is a
+    /// leaf now — or declined on conditions that have not changed since).
+    pub(crate) fn tick_top(&mut self, prefix: Prefix, depth: u8, ctx: &mut TickCtx<'_>) {
+        if depth == 0 {
+            return; // at the frontier: the subtree was ticked in phase A
+        }
+        if !matches!(self, Node::Internal(_)) {
+            return; // a frontier leaf shallower than `depth`: already ticked
+        }
+        let (lp, rp) = prefix
+            .children()
+            .expect("internal nodes never sit at full address depth");
+        if let Node::Internal(children) = self {
+            let [l, r] = &mut **children;
+            l.tick_top(lp, depth - 1, ctx);
+            r.tick_top(rp, depth - 1, ctx);
+        }
+        self.try_merge(prefix, ctx);
     }
 
     /// Visit every leaf with its prefix, in address order.

@@ -280,14 +280,14 @@ fn fig8(ctx: &mut Ctx) {
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
     for b in &m.validation.bins {
         let mut cells = vec![b.ts.to_string()];
-        for rank in 0..5usize {
+        for (rank, s) in series.iter_mut().enumerate() {
             let misses: u64 = b
                 .misses_by_as
                 .iter()
                 .filter(|((r, _), _)| *r == rank)
                 .map(|(_, c)| *c)
                 .sum();
-            series[rank].push(misses as f64);
+            s.push(misses as f64);
             cells.push(misses.to_string());
         }
         t.row(cells);

@@ -92,7 +92,7 @@ fn flows_for_minute(minute: u64, rng: &mut StdRng) -> Vec<FlowRecord> {
     let mut push = |rng: &mut StdRng, base: u32, span: u32, n: u32, ing: IngressPoint| {
         for _ in 0..n {
             let addr = Addr::v4(base + rng.random_range(0..span));
-            let ts = ts0 + rng.random_range(0..60);
+            let ts = ts0 + rng.random_range(0..60u64);
             out.push(FlowRecord::synthetic(ts, addr, ing.router, ing.ifindex));
         }
     };
@@ -199,8 +199,7 @@ mod tests {
     fn ingress_of_focus_at(out: &CaseStudyOutput, ts: u64) -> Option<String> {
         out.timeline
             .iter()
-            .filter(|(t, _)| *t <= ts)
-            .next_back()?
+            .rfind(|(t, _)| *t <= ts)?
             .1
             .iter()
             .filter(|s| {
@@ -254,12 +253,7 @@ mod tests {
         // Near the end of the gap (minute ~80) no classified range should
         // specifically cover the quiet /25 via A anymore (decayed), while
         // the focus /24 stays classified.
-        let (_, statuses) = out
-            .timeline
-            .iter()
-            .filter(|(ts, _)| *ts <= 82 * 60)
-            .next_back()
-            .unwrap();
+        let (_, statuses) = out.timeline.iter().rfind(|(ts, _)| *ts <= 82 * 60).unwrap();
         let quiet_live = statuses.iter().any(|s| {
             s.classified
                 && s.range.len() >= 24

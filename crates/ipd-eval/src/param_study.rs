@@ -212,9 +212,12 @@ pub struct EffectReport {
     pub anova: Option<AnovaResult>,
 }
 
+/// A named metric extractor over per-configuration results.
+type MetricFn = fn(&ConfigResult) -> f64;
+
 /// Compute effect reports for every (factor, metric) pair.
 pub fn effects(results: &[ConfigResult]) -> Vec<EffectReport> {
-    let metrics: [(&'static str, fn(&ConfigResult) -> f64); 4] = [
+    let metrics: [(&'static str, MetricFn); 4] = [
         ("accuracy", |r| r.accuracy),
         ("ks_distance", |r| r.ks),
         ("runtime_s", |r| r.runtime_s),

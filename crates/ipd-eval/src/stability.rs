@@ -32,7 +32,7 @@ impl StabilityVisitor {
         for (range, (_, since, peak)) in self.live.drain() {
             self.phases.push((range, last.saturating_sub(since), peak));
         }
-        self.phases.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.phases.sort_by_key(|&(range, dur, _)| (range, dur));
     }
 
     /// Durations (seconds) of all completed phases.

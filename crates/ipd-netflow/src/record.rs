@@ -24,10 +24,8 @@ pub struct FlowRecord {
     /// Export timestamp, unix seconds, as claimed by the router clock.
     pub ts: u64,
     /// Source address of the flow (what IPD maps to an ingress point).
-    #[serde(with = "serde_addr")]
     pub src: Addr,
     /// Destination address of the flow.
-    #[serde(with = "serde_addr")]
     pub dst: Addr,
     /// Exporting border router.
     pub router: RouterId,
@@ -72,21 +70,6 @@ impl FlowRecord {
     /// Address family of the flow (keyed off the source address).
     pub fn af(&self) -> Af {
         self.src.af()
-    }
-}
-
-mod serde_addr {
-    //! Serialize `Addr` as `(is_v6, u128)` — compact and unambiguous.
-    use ipd_lpm::{Addr, Af};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(addr: &Addr, s: S) -> Result<S::Ok, S::Error> {
-        (matches!(addr.af(), Af::V6), addr.bits()).serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Addr, D::Error> {
-        let (v6, bits) = <(bool, u128)>::deserialize(d)?;
-        Ok(Addr::new(if v6 { Af::V6 } else { Af::V4 }, bits))
     }
 }
 

@@ -192,7 +192,7 @@ impl EventSchedule {
     pub fn new(inputs: ScheduleInputs, epoch: u64, seed: u64) -> Self {
         EventSchedule {
             inputs,
-            rng: StdRng::seed_from_u64(seed ^ 0x5eed_e7e9_75),
+            rng: StdRng::seed_from_u64(seed ^ 0x5e_ede7_e975),
             next_hour: epoch / 3600,
             pending: BinaryHeap::new(),
             epoch,
@@ -269,7 +269,7 @@ impl EventSchedule {
             // Regions stay single-homed (multi-ingress structure lives at
             // granule level; see world generation).
             let choice = IngressChoice::single(to_link);
-            let ts = hour_start + self.rng.random_range(0..3600);
+            let ts = hour_start + self.rng.random_range(0..3600u64);
             self.push(Event { ts, kind: EventKind::RegionRemap { region, choice } });
         }
         // Exception churn: CDN-like ASes fragment under load and
@@ -287,7 +287,7 @@ impl EventSchedule {
                 // genuinely mixed one, keeping the Fig 3/4 multi-ingress
                 // share stable under night-time consolidation.
                 let choice = self.make_choice(info, to_link);
-                let ts = hour_start + self.rng.random_range(0..3600);
+                let ts = hour_start + self.rng.random_range(0..3600u64);
                 self.push(Event { ts, kind: EventKind::AddException { granule, choice } });
             }
             if (2..7).contains(&hour_of_day) {
@@ -297,7 +297,7 @@ impl EventSchedule {
                     let ridx =
                         info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
                     let region = self.inputs.regions[ridx];
-                    let ts = hour_start + self.rng.random_range(0..3600);
+                    let ts = hour_start + self.rng.random_range(0..3600u64);
                     self.push(Event { ts, kind: EventKind::ClearExceptionsIn { region } });
                 }
             }
@@ -307,7 +307,7 @@ impl EventSchedule {
     fn generate_maintenance(&mut self, hour_start: u64, hour_of_day: u64) {
         for (router, hours, duration_min) in self.inputs.maintenance_routers.clone() {
             if hours.contains(&(hour_of_day as u8)) {
-                let start = hour_start + self.rng.random_range(0..600);
+                let start = hour_start + self.rng.random_range(0..600u64);
                 let end = start + duration_min as u64 * 60;
                 self.push(Event { ts: start, kind: EventKind::MaintenanceStart { router } });
                 self.push(Event { ts: end, kind: EventKind::MaintenanceEnd { router } });
@@ -338,7 +338,7 @@ impl EventSchedule {
             let region = self.inputs.regions[ridx];
             let via_link =
                 self.inputs.transit_links[self.rng.random_range(0..self.inputs.transit_links.len())];
-            let start = hour_start + self.rng.random_range(0..3600);
+            let start = hour_start + self.rng.random_range(0..3600u64);
             let end = start + self.inputs.rates.violation_duration_hours * 3600;
             self.push(Event { ts: start, kind: EventKind::ViolationStart { region, via_link } });
             self.push(Event { ts: end, kind: EventKind::ViolationEnd { region } });

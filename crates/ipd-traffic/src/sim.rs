@@ -166,7 +166,7 @@ impl FlowSim {
     }
 
     fn one_flow(&mut self, minute_start: u64) -> Option<LabeledFlow> {
-        let ts_true = minute_start + self.rng.random_range(0..60);
+        let ts_true = minute_start + self.rng.random_range(0..60u64);
         // Pick the source AS by traffic share.
         let x: f64 = self.rng.random();
         let as_idx = match self.as_cdf.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {

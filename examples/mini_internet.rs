@@ -26,26 +26,26 @@ fn feed<R: Rng>(engine: &mut IpdEngine, rng: &mut R, minute: u64) {
     let ts = minute * 60;
     // Student network: always enters at R1.1.
     for _ in 0..300 {
-        let addr = Addr::v4(STUDENT_NET + rng.random_range(0..0xFFFF));
-        engine.ingest_parts(ts + rng.random_range(0..60), addr, IngressPoint::new(1, 1), 1.0);
+        let addr = Addr::v4(STUDENT_NET + rng.random_range(0u32..0xFFFF));
+        engine.ingest_parts(ts + rng.random_range(0..60u64), addr, IngressPoint::new(1, 1), 1.0);
     }
     // CDN: enters via a two-interface bundle on R2 until minute 8, then the
     // CDN remaps everything to R3.1 (a different country).
     for _ in 0..300 {
-        let addr = Addr::v4(CDN_NET + rng.random_range(0..0xFFFF));
+        let addr = Addr::v4(CDN_NET + rng.random_range(0u32..0xFFFF));
         let ingress = if minute < 8 {
             IngressPoint::new(2, 1 + (rng.random_range(0..2u16)))
         } else {
             IngressPoint::new(3, 1)
         };
-        engine.ingest_parts(ts + rng.random_range(0..60), addr, ingress, 1.0);
+        engine.ingest_parts(ts + rng.random_range(0..60u64), addr, ingress, 1.0);
     }
     // The pathological neighbor: hashes flows across routers R1 and R3.
     for _ in 0..200 {
-        let addr = Addr::v4(LB_NET + rng.random_range(0..0xFF));
+        let addr = Addr::v4(LB_NET + rng.random_range(0u32..0xFF));
         let ingress =
             if rng.random::<bool>() { IngressPoint::new(1, 7) } else { IngressPoint::new(3, 7) };
-        engine.ingest_parts(ts + rng.random_range(0..60), addr, ingress, 1.0);
+        engine.ingest_parts(ts + rng.random_range(0..60u64), addr, ingress, 1.0);
     }
 }
 

@@ -1,0 +1,258 @@
+//! Minimal offline stand-in for the `bytes` crate (see `shims/README.md`).
+//!
+//! `Bytes` is a cheaply-cloneable immutable byte buffer, `BytesMut` a growable
+//! builder, and `Buf`/`BufMut` the big-endian cursor traits — exactly the
+//! subset the NetFlow/IPFIX codecs and the pipeline use. No splitting,
+//! no zero-copy slicing.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+/// Growable byte buffer for building messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! get_methods {
+    ($($name:ident => $t:ty),*) => {$(
+        /// Read a big-endian value, advancing the cursor.
+        ///
+        /// # Panics
+        /// Panics if fewer than `size_of::<T>()` bytes remain.
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_be_bytes(raw)
+        }
+    )*};
+}
+
+/// Read cursor over a byte buffer (big-endian accessors).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    get_methods!(
+        get_u8 => u8, get_u16 => u16, get_u32 => u32,
+        get_u64 => u64, get_u128 => u128
+    );
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+macro_rules! put_methods {
+    ($($name:ident => $t:ty),*) => {$(
+        /// Write a big-endian value, advancing the cursor.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+    )*};
+}
+
+/// Write cursor over a byte buffer (big-endian accessors).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    put_methods!(
+        put_u8 => u8, put_u16 => u16, put_u32 => u32,
+        put_u64 => u64, put_u128 => u128
+    );
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    /// # Panics
+    /// Panics if the slice has fewer than `src.len()` bytes left.
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.len(), "write past end of buffer");
+        let (head, rest) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bytesmut() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16(0xBEEF);
+        b.put_u32(7);
+        b.put_u64(u64::MAX);
+        b.put_u8(3);
+        let frozen = b.freeze();
+        let mut r = &frozen[..];
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 7);
+        assert_eq!(r.get_u64(), u64::MAX);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn fixed_slice_writer_advances() {
+        let mut buf = [0u8; 12];
+        {
+            let mut w = &mut buf[..];
+            w.put_u64(0x0102030405060708);
+            w.put_u32(0x0A0B0C0D);
+            assert!(w.is_empty());
+        }
+        assert_eq!(buf[..8], 0x0102030405060708u64.to_be_bytes());
+        let mut r = &buf[8..];
+        assert_eq!(r.get_u32(), 0x0A0B0C0D);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = &data[..];
+        r.advance(3);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 4);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u128(u128::MAX - 17);
+        let v = b.freeze();
+        let mut r = &v[..];
+        assert_eq!(r.get_u128(), u128::MAX - 17);
+    }
+}

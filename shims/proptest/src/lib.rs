@@ -1,0 +1,528 @@
+//! Minimal offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset this workspace uses: `Strategy` with `prop_map` and
+//! `boxed`, `any::<T>()`, integer range strategies, tuples, weighted
+//! `prop_oneof!`, `collection::{vec, hash_map}`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros. Differences from upstream:
+//! cases are generated from a deterministic per-test seed (FNV-1a of the test
+//! name) and there is **no shrinking** — a failure reports the case index and
+//! seed so it can be replayed by rerunning the test.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub use rand::Rng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A concrete type keeps `Strategy`
+/// object-safe.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Error type returned (via `Err`) by `prop_assert!` family macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: `generate`
+/// directly produces a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    fn boxed(self) -> strategy::BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        strategy::BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Types with a canonical "anything goes" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f64, f32);
+
+/// Strategy producing any value of `T` (uniform over the domain).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// See [`any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased, cheaply-cloneable strategy (`Rc`, not `Box`, so the
+    /// `prefix.clone()` idiom works).
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Weighted union of strategies; built by `prop_oneof!`.
+    pub struct OneOf<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> OneOf<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<V> Clone for OneOf<V> {
+        fn clone(&self) -> Self {
+            OneOf { arms: self.arms.clone(), total: self.total }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.random_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight walk exhausted")
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+pub mod collection {
+    use super::*;
+
+    /// Inclusive size bounds for collection strategies; converts from exact
+    /// sizes and ranges like the upstream type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `HashMap` built from up to `size` sampled pairs (duplicate keys
+    /// collapse, as upstream).
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        HashMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Driver used by the `proptest!` macro: runs `body` for each derived case
+/// seed and panics (with replay info) on the first failure.
+pub fn run_proptest<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..case_count() {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest {name}: case {case} (seed {seed:#018x}) failed: {e}");
+        }
+    }
+}
+
+/// Declare property tests. Each `arg in strategy` binding is regenerated per
+/// case; the body may use `prop_assert!`/`prop_assert_eq!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strats = ($($strat,)+);
+                $crate::run_proptest(stringify!($name), |rng| {
+                    let ($($arg,)+) = $crate::Strategy::generate(&strats, rng);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((($weight) as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Like `assert!` but returns a `TestCaseError` so the driver can report the
+/// failing case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but returns a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!` but returns a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just};
+    pub use crate::{any, Arbitrary, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Rng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(u32),
+        Del(u32),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> + Clone {
+        prop_oneof![
+            3 => (1u32..100).prop_map(Op::Add),
+            1 => (1u32..100).prop_map(Op::Del),
+        ]
+    }
+
+    proptest! {
+        /// Generated vectors respect the requested length bounds.
+        #[test]
+        fn vec_length_bounds(xs in crate::collection::vec(any::<u32>(), 3..10)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+        }
+
+        #[test]
+        fn exact_vec_length(xs in crate::collection::vec(any::<u8>(), 20)) {
+            prop_assert_eq!(xs.len(), 20);
+        }
+
+        #[test]
+        fn ranges_and_tuples(t in (0u16..600, any::<u32>(), 0u8..6)) {
+            prop_assert!(t.0 < 600);
+            prop_assert!(t.2 < 6);
+        }
+
+        #[test]
+        fn oneof_clone_reuse(ops in crate::collection::vec(arb_op(), 1..50)) {
+            for op in &ops {
+                match op {
+                    Op::Add(v) | Op::Del(v) => prop_assert!((1..100).contains(v)),
+                }
+            }
+        }
+
+        #[test]
+        fn hash_map_sizes(m in crate::collection::hash_map(any::<u16>(), any::<u32>(), 0..40)) {
+            prop_assert!(m.len() < 40);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_proptest("stream_probe", |rng| {
+            first.push(rng.random());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_proptest("stream_probe", |rng| {
+            second.push(rng.random());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), super::case_count() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics_with_seed() {
+        crate::run_proptest("always_fails", |rng| {
+            let x: u64 = rng.random();
+            crate::prop_assert!(x == 1, "x was {}", x);
+            Ok(())
+        });
+    }
+}

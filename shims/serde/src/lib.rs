@@ -1,0 +1,14 @@
+//! Minimal offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! `Serialize` and `Deserialize` are empty marker traits here: the workspace
+//! derives them on its model types for forward compatibility but never
+//! actually serializes anything (there is no serde_json/bincode in the tree).
+//! The derive macros from the sibling `serde_derive` shim emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,50 @@
+//! Minimal offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Emits marker-trait impls only — the shimmed `serde::Serialize` /
+//! `serde::Deserialize` traits carry no methods, so deriving them just makes
+//! the `#[derive(...)]` attributes compile. `#[serde(...)]` field/container
+//! attributes are accepted and ignored. Hand-rolled token scanning instead of
+//! `syn` keeps this crate dependency-free; generic types are not supported
+//! (nothing in this workspace derives serde on a generic type).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following `struct`, `enum`, or `union`.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input {
+        match tree {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_keyword {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_keyword = true;
+                }
+            }
+            _ => {
+                if saw_keyword {
+                    break;
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find type name in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

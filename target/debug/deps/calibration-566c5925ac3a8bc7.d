@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-566c5925ac3a8bc7.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-566c5925ac3a8bc7: tests/calibration.rs
+
+tests/calibration.rs:

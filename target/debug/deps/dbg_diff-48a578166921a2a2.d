@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_diff-48a578166921a2a2.d: crates/ipd-core/tests/dbg_diff.rs
+
+/root/repo/target/debug/deps/dbg_diff-48a578166921a2a2: crates/ipd-core/tests/dbg_diff.rs
+
+crates/ipd-core/tests/dbg_diff.rs:

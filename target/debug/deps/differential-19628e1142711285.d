@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-19628e1142711285.d: crates/ipd-core/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-19628e1142711285.rmeta: crates/ipd-core/tests/differential.rs Cargo.toml
+
+crates/ipd-core/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

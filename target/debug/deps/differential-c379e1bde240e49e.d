@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-c379e1bde240e49e.d: crates/ipd-core/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-c379e1bde240e49e: crates/ipd-core/tests/differential.rs
+
+crates/ipd-core/tests/differential.rs:

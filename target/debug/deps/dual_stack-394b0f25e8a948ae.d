@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dual_stack-394b0f25e8a948ae.d: tests/dual_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdual_stack-394b0f25e8a948ae.rmeta: tests/dual_stack.rs Cargo.toml
+
+tests/dual_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dual_stack-aa4b09b8c4fb870e.d: tests/dual_stack.rs
+
+/root/repo/target/debug/deps/dual_stack-aa4b09b8c4fb870e: tests/dual_stack.rs
+
+tests/dual_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a352a6169c94c9a1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a352a6169c94c9a1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-1bba89155dfb6096.d: crates/ipd-eval/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-1bba89155dfb6096.rmeta: crates/ipd-eval/src/bin/experiments.rs Cargo.toml
+
+crates/ipd-eval/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

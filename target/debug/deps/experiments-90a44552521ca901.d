@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-90a44552521ca901.d: crates/ipd-eval/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-90a44552521ca901: crates/ipd-eval/src/bin/experiments.rs
+
+crates/ipd-eval/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-9b2fa691470b3415.d: crates/ipd-eval/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-9b2fa691470b3415.rmeta: crates/ipd-eval/src/bin/experiments.rs Cargo.toml
+
+crates/ipd-eval/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c85a65b37e5f6b7d.d: crates/ipd-eval/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-c85a65b37e5f6b7d: crates/ipd-eval/src/bin/experiments.rs
+
+crates/ipd-eval/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-9b779be24e214b17.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-9b779be24e214b17: tests/golden.rs
+
+tests/golden.rs:

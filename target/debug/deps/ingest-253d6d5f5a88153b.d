@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest-253d6d5f5a88153b.d: crates/ipd-bench/benches/ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest-253d6d5f5a88153b.rmeta: crates/ipd-bench/benches/ingest.rs Cargo.toml
+
+crates/ipd-bench/benches/ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

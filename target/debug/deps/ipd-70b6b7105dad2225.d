@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipd-70b6b7105dad2225.d: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/debug/deps/libipd-70b6b7105dad2225.rlib: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/debug/deps/libipd-70b6b7105dad2225.rmeta: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+crates/ipd-core/src/lib.rs:
+crates/ipd-core/src/engine.rs:
+crates/ipd-core/src/ingress.rs:
+crates/ipd-core/src/output.rs:
+crates/ipd-core/src/params.rs:
+crates/ipd-core/src/pipeline.rs:
+crates/ipd-core/src/range.rs:
+crates/ipd-core/src/shard.rs:
+crates/ipd-core/src/trie.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipd-c0523bc90eb789f5.d: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/debug/deps/libipd-c0523bc90eb789f5.rlib: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/debug/deps/libipd-c0523bc90eb789f5.rmeta: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+crates/ipd-core/src/lib.rs:
+crates/ipd-core/src/engine.rs:
+crates/ipd-core/src/ingress.rs:
+crates/ipd-core/src/output.rs:
+crates/ipd-core/src/params.rs:
+crates/ipd-core/src/pipeline.rs:
+crates/ipd-core/src/range.rs:
+crates/ipd-core/src/shard.rs:
+crates/ipd-core/src/trie.rs:

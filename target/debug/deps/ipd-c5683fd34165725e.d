@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipd-c5683fd34165725e.d: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/debug/deps/ipd-c5683fd34165725e: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+crates/ipd-core/src/lib.rs:
+crates/ipd-core/src/engine.rs:
+crates/ipd-core/src/ingress.rs:
+crates/ipd-core/src/output.rs:
+crates/ipd-core/src/params.rs:
+crates/ipd-core/src/pipeline.rs:
+crates/ipd-core/src/range.rs:
+crates/ipd-core/src/shard.rs:
+crates/ipd-core/src/trie.rs:

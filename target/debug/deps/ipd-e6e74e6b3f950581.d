@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ipd-e6e74e6b3f950581.d: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd-e6e74e6b3f950581.rmeta: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs Cargo.toml
+
+crates/ipd-core/src/lib.rs:
+crates/ipd-core/src/engine.rs:
+crates/ipd-core/src/ingress.rs:
+crates/ipd-core/src/output.rs:
+crates/ipd-core/src/params.rs:
+crates/ipd-core/src/pipeline.rs:
+crates/ipd-core/src/range.rs:
+crates/ipd-core/src/shard.rs:
+crates/ipd-core/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

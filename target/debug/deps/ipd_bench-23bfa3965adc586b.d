@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipd_bench-23bfa3965adc586b.d: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/debug/deps/ipd_bench-23bfa3965adc586b: crates/ipd-bench/src/lib.rs
+
+crates/ipd-bench/src/lib.rs:

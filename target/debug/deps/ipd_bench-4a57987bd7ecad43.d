@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_bench-4a57987bd7ecad43.d: crates/ipd-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_bench-4a57987bd7ecad43.rmeta: crates/ipd-bench/src/lib.rs Cargo.toml
+
+crates/ipd-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_bench-ba12a89e5a4dc61f.d: crates/ipd-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_bench-ba12a89e5a4dc61f.rmeta: crates/ipd-bench/src/lib.rs Cargo.toml
+
+crates/ipd-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipd_bench-c64946057e6fd25e.d: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipd_bench-c64946057e6fd25e.rlib: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipd_bench-c64946057e6fd25e.rmeta: crates/ipd-bench/src/lib.rs
+
+crates/ipd-bench/src/lib.rs:

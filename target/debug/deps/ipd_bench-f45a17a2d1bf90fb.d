@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipd_bench-f45a17a2d1bf90fb.d: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipd_bench-f45a17a2d1bf90fb.rlib: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipd_bench-f45a17a2d1bf90fb.rmeta: crates/ipd-bench/src/lib.rs
+
+crates/ipd-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_bgp-49352d1b41992b38.d: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+/root/repo/target/debug/deps/ipd_bgp-49352d1b41992b38: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+crates/ipd-bgp/src/lib.rs:
+crates/ipd-bgp/src/dump.rs:
+crates/ipd-bgp/src/rib.rs:
+crates/ipd-bgp/src/route.rs:
+crates/ipd-bgp/src/stats.rs:

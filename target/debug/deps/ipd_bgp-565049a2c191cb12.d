@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipd_bgp-565049a2c191cb12.d: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_bgp-565049a2c191cb12.rmeta: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs Cargo.toml
+
+crates/ipd-bgp/src/lib.rs:
+crates/ipd-bgp/src/dump.rs:
+crates/ipd-bgp/src/rib.rs:
+crates/ipd-bgp/src/route.rs:
+crates/ipd-bgp/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipd_bgp-93152435b321c3d9.d: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+/root/repo/target/debug/deps/libipd_bgp-93152435b321c3d9.rlib: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+/root/repo/target/debug/deps/libipd_bgp-93152435b321c3d9.rmeta: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+crates/ipd-bgp/src/lib.rs:
+crates/ipd-bgp/src/dump.rs:
+crates/ipd-bgp/src/rib.rs:
+crates/ipd-bgp/src/route.rs:
+crates/ipd-bgp/src/stats.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ipd_eval-6874899a9a759be3.d: crates/ipd-eval/src/lib.rs crates/ipd-eval/src/accuracy.rs crates/ipd-eval/src/case_study.rs crates/ipd-eval/src/daytime.rs crates/ipd-eval/src/harness.rs crates/ipd-eval/src/ingress_count.rs crates/ipd-eval/src/longitudinal.rs crates/ipd-eval/src/param_study.rs crates/ipd-eval/src/range_dist.rs crates/ipd-eval/src/report.rs crates/ipd-eval/src/stability.rs crates/ipd-eval/src/stats.rs crates/ipd-eval/src/symmetry.rs crates/ipd-eval/src/violations.rs
+
+/root/repo/target/debug/deps/libipd_eval-6874899a9a759be3.rlib: crates/ipd-eval/src/lib.rs crates/ipd-eval/src/accuracy.rs crates/ipd-eval/src/case_study.rs crates/ipd-eval/src/daytime.rs crates/ipd-eval/src/harness.rs crates/ipd-eval/src/ingress_count.rs crates/ipd-eval/src/longitudinal.rs crates/ipd-eval/src/param_study.rs crates/ipd-eval/src/range_dist.rs crates/ipd-eval/src/report.rs crates/ipd-eval/src/stability.rs crates/ipd-eval/src/stats.rs crates/ipd-eval/src/symmetry.rs crates/ipd-eval/src/violations.rs
+
+/root/repo/target/debug/deps/libipd_eval-6874899a9a759be3.rmeta: crates/ipd-eval/src/lib.rs crates/ipd-eval/src/accuracy.rs crates/ipd-eval/src/case_study.rs crates/ipd-eval/src/daytime.rs crates/ipd-eval/src/harness.rs crates/ipd-eval/src/ingress_count.rs crates/ipd-eval/src/longitudinal.rs crates/ipd-eval/src/param_study.rs crates/ipd-eval/src/range_dist.rs crates/ipd-eval/src/report.rs crates/ipd-eval/src/stability.rs crates/ipd-eval/src/stats.rs crates/ipd-eval/src/symmetry.rs crates/ipd-eval/src/violations.rs
+
+crates/ipd-eval/src/lib.rs:
+crates/ipd-eval/src/accuracy.rs:
+crates/ipd-eval/src/case_study.rs:
+crates/ipd-eval/src/daytime.rs:
+crates/ipd-eval/src/harness.rs:
+crates/ipd-eval/src/ingress_count.rs:
+crates/ipd-eval/src/longitudinal.rs:
+crates/ipd-eval/src/param_study.rs:
+crates/ipd-eval/src/range_dist.rs:
+crates/ipd-eval/src/report.rs:
+crates/ipd-eval/src/stability.rs:
+crates/ipd-eval/src/stats.rs:
+crates/ipd-eval/src/symmetry.rs:
+crates/ipd-eval/src/violations.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ipd_eval-dea78325209fd93f.d: crates/ipd-eval/src/lib.rs crates/ipd-eval/src/accuracy.rs crates/ipd-eval/src/case_study.rs crates/ipd-eval/src/daytime.rs crates/ipd-eval/src/harness.rs crates/ipd-eval/src/ingress_count.rs crates/ipd-eval/src/longitudinal.rs crates/ipd-eval/src/param_study.rs crates/ipd-eval/src/range_dist.rs crates/ipd-eval/src/report.rs crates/ipd-eval/src/stability.rs crates/ipd-eval/src/stats.rs crates/ipd-eval/src/symmetry.rs crates/ipd-eval/src/violations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_eval-dea78325209fd93f.rmeta: crates/ipd-eval/src/lib.rs crates/ipd-eval/src/accuracy.rs crates/ipd-eval/src/case_study.rs crates/ipd-eval/src/daytime.rs crates/ipd-eval/src/harness.rs crates/ipd-eval/src/ingress_count.rs crates/ipd-eval/src/longitudinal.rs crates/ipd-eval/src/param_study.rs crates/ipd-eval/src/range_dist.rs crates/ipd-eval/src/report.rs crates/ipd-eval/src/stability.rs crates/ipd-eval/src/stats.rs crates/ipd-eval/src/symmetry.rs crates/ipd-eval/src/violations.rs Cargo.toml
+
+crates/ipd-eval/src/lib.rs:
+crates/ipd-eval/src/accuracy.rs:
+crates/ipd-eval/src/case_study.rs:
+crates/ipd-eval/src/daytime.rs:
+crates/ipd-eval/src/harness.rs:
+crates/ipd-eval/src/ingress_count.rs:
+crates/ipd-eval/src/longitudinal.rs:
+crates/ipd-eval/src/param_study.rs:
+crates/ipd-eval/src/range_dist.rs:
+crates/ipd-eval/src/report.rs:
+crates/ipd-eval/src/stability.rs:
+crates/ipd-eval/src/stats.rs:
+crates/ipd-eval/src/symmetry.rs:
+crates/ipd-eval/src/violations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipd_lpm-32dfbdaf09b08547.d: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/debug/deps/libipd_lpm-32dfbdaf09b08547.rlib: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/debug/deps/libipd_lpm-32dfbdaf09b08547.rmeta: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+crates/ipd-lpm/src/lib.rs:
+crates/ipd-lpm/src/addr.rs:
+crates/ipd-lpm/src/prefix.rs:
+crates/ipd-lpm/src/trie.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ipd_lpm-68728eda2ceb8d24.d: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/debug/deps/ipd_lpm-68728eda2ceb8d24: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+crates/ipd-lpm/src/lib.rs:
+crates/ipd-lpm/src/addr.rs:
+crates/ipd-lpm/src/prefix.rs:
+crates/ipd-lpm/src/trie.rs:

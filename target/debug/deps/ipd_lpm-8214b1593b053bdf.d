@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipd_lpm-8214b1593b053bdf.d: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/debug/deps/libipd_lpm-8214b1593b053bdf.rlib: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/debug/deps/libipd_lpm-8214b1593b053bdf.rmeta: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+crates/ipd-lpm/src/lib.rs:
+crates/ipd-lpm/src/addr.rs:
+crates/ipd-lpm/src/prefix.rs:
+crates/ipd-lpm/src/trie.rs:

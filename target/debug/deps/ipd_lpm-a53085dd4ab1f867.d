@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipd_lpm-a53085dd4ab1f867.d: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_lpm-a53085dd4ab1f867.rmeta: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs Cargo.toml
+
+crates/ipd-lpm/src/lib.rs:
+crates/ipd-lpm/src/addr.rs:
+crates/ipd-lpm/src/prefix.rs:
+crates/ipd-lpm/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

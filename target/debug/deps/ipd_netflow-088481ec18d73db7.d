@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipd_netflow-088481ec18d73db7.d: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+/root/repo/target/debug/deps/ipd_netflow-088481ec18d73db7: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+crates/ipd-netflow/src/lib.rs:
+crates/ipd-netflow/src/collector.rs:
+crates/ipd-netflow/src/ipfix.rs:
+crates/ipd-netflow/src/record.rs:
+crates/ipd-netflow/src/sampling.rs:
+crates/ipd-netflow/src/trace.rs:
+crates/ipd-netflow/src/v5.rs:

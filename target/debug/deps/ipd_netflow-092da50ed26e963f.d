@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipd_netflow-092da50ed26e963f.d: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+/root/repo/target/debug/deps/libipd_netflow-092da50ed26e963f.rlib: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+/root/repo/target/debug/deps/libipd_netflow-092da50ed26e963f.rmeta: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+crates/ipd-netflow/src/lib.rs:
+crates/ipd-netflow/src/collector.rs:
+crates/ipd-netflow/src/ipfix.rs:
+crates/ipd-netflow/src/record.rs:
+crates/ipd-netflow/src/sampling.rs:
+crates/ipd-netflow/src/trace.rs:
+crates/ipd-netflow/src/v5.rs:

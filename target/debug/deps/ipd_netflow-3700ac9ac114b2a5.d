@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipd_netflow-3700ac9ac114b2a5.d: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_netflow-3700ac9ac114b2a5.rmeta: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs Cargo.toml
+
+crates/ipd-netflow/src/lib.rs:
+crates/ipd-netflow/src/collector.rs:
+crates/ipd-netflow/src/ipfix.rs:
+crates/ipd-netflow/src/record.rs:
+crates/ipd-netflow/src/sampling.rs:
+crates/ipd-netflow/src/trace.rs:
+crates/ipd-netflow/src/v5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

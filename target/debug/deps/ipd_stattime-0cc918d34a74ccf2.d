@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_stattime-0cc918d34a74ccf2.d: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/debug/deps/libipd_stattime-0cc918d34a74ccf2.rlib: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/debug/deps/libipd_stattime-0cc918d34a74ccf2.rmeta: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+crates/ipd-stattime/src/lib.rs:
+crates/ipd-stattime/src/bucketer.rs:
+crates/ipd-stattime/src/drift.rs:

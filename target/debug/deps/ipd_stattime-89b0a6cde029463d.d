@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipd_stattime-89b0a6cde029463d.d: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_stattime-89b0a6cde029463d.rmeta: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs Cargo.toml
+
+crates/ipd-stattime/src/lib.rs:
+crates/ipd-stattime/src/bucketer.rs:
+crates/ipd-stattime/src/drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

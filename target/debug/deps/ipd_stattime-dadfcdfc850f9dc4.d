@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_stattime-dadfcdfc850f9dc4.d: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/debug/deps/libipd_stattime-dadfcdfc850f9dc4.rlib: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/debug/deps/libipd_stattime-dadfcdfc850f9dc4.rmeta: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+crates/ipd-stattime/src/lib.rs:
+crates/ipd-stattime/src/bucketer.rs:
+crates/ipd-stattime/src/drift.rs:

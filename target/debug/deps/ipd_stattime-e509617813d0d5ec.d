@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipd_stattime-e509617813d0d5ec.d: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/debug/deps/ipd_stattime-e509617813d0d5ec: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+crates/ipd-stattime/src/lib.rs:
+crates/ipd-stattime/src/bucketer.rs:
+crates/ipd-stattime/src/drift.rs:

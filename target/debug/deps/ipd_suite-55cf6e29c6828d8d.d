@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipd_suite-55cf6e29c6828d8d.d: src/lib.rs
+
+/root/repo/target/debug/deps/ipd_suite-55cf6e29c6828d8d: src/lib.rs
+
+src/lib.rs:

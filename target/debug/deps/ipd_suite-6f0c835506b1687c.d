@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipd_suite-6f0c835506b1687c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipd_suite-6f0c835506b1687c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libipd_suite-6f0c835506b1687c.rmeta: src/lib.rs
+
+src/lib.rs:

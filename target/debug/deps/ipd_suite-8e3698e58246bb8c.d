@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipd_suite-8e3698e58246bb8c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipd_suite-8e3698e58246bb8c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libipd_suite-8e3698e58246bb8c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipd_suite-93f7450b42d103a8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_suite-93f7450b42d103a8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ipd_tool-508b98804b05a9de.d: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+/root/repo/target/debug/deps/ipd_tool-508b98804b05a9de: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+crates/ipd-cli/src/main.rs:
+crates/ipd-cli/src/args.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipd_tool-87e1b7c28e863759.d: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_tool-87e1b7c28e863759.rmeta: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs Cargo.toml
+
+crates/ipd-cli/src/main.rs:
+crates/ipd-cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ipd_tool-9e7f5c8a3f58b1c9.d: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+/root/repo/target/debug/deps/ipd_tool-9e7f5c8a3f58b1c9: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+crates/ipd-cli/src/main.rs:
+crates/ipd-cli/src/args.rs:

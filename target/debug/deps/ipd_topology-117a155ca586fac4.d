@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipd_topology-117a155ca586fac4.d: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/debug/deps/libipd_topology-117a155ca586fac4.rlib: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/debug/deps/libipd_topology-117a155ca586fac4.rmeta: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+crates/ipd-topology/src/lib.rs:
+crates/ipd-topology/src/builder.rs:
+crates/ipd-topology/src/generate.rs:
+crates/ipd-topology/src/model.rs:

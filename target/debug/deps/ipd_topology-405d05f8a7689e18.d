@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipd_topology-405d05f8a7689e18.d: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_topology-405d05f8a7689e18.rmeta: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs Cargo.toml
+
+crates/ipd-topology/src/lib.rs:
+crates/ipd-topology/src/builder.rs:
+crates/ipd-topology/src/generate.rs:
+crates/ipd-topology/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

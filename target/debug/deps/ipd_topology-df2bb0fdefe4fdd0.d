@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipd_topology-df2bb0fdefe4fdd0.d: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/debug/deps/libipd_topology-df2bb0fdefe4fdd0.rlib: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/debug/deps/libipd_topology-df2bb0fdefe4fdd0.rmeta: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+crates/ipd-topology/src/lib.rs:
+crates/ipd-topology/src/builder.rs:
+crates/ipd-topology/src/generate.rs:
+crates/ipd-topology/src/model.rs:

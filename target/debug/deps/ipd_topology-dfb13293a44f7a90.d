@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ipd_topology-dfb13293a44f7a90.d: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/debug/deps/ipd_topology-dfb13293a44f7a90: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+crates/ipd-topology/src/lib.rs:
+crates/ipd-topology/src/builder.rs:
+crates/ipd-topology/src/generate.rs:
+crates/ipd-topology/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipd_traffic-6d1b6d6101b5d62a.d: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/debug/deps/libipd_traffic-6d1b6d6101b5d62a.rlib: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/debug/deps/libipd_traffic-6d1b6d6101b5d62a.rmeta: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+crates/ipd-traffic/src/lib.rs:
+crates/ipd-traffic/src/asmodel.rs:
+crates/ipd-traffic/src/diurnal.rs:
+crates/ipd-traffic/src/events.rs:
+crates/ipd-traffic/src/mapping.rs:
+crates/ipd-traffic/src/sim.rs:
+crates/ipd-traffic/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipd_traffic-8cc2aad3b86a03e6.d: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipd_traffic-8cc2aad3b86a03e6.rmeta: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs Cargo.toml
+
+crates/ipd-traffic/src/lib.rs:
+crates/ipd-traffic/src/asmodel.rs:
+crates/ipd-traffic/src/diurnal.rs:
+crates/ipd-traffic/src/events.rs:
+crates/ipd-traffic/src/mapping.rs:
+crates/ipd-traffic/src/sim.rs:
+crates/ipd-traffic/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipd_traffic-a14bed3e6dbf4594.d: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/debug/deps/libipd_traffic-a14bed3e6dbf4594.rlib: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/debug/deps/libipd_traffic-a14bed3e6dbf4594.rmeta: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+crates/ipd-traffic/src/lib.rs:
+crates/ipd-traffic/src/asmodel.rs:
+crates/ipd-traffic/src/diurnal.rs:
+crates/ipd-traffic/src/events.rs:
+crates/ipd-traffic/src/mapping.rs:
+crates/ipd-traffic/src/sim.rs:
+crates/ipd-traffic/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipd_traffic-d2b38d327efb029f.d: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/debug/deps/ipd_traffic-d2b38d327efb029f: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+crates/ipd-traffic/src/lib.rs:
+crates/ipd-traffic/src/asmodel.rs:
+crates/ipd-traffic/src/diurnal.rs:
+crates/ipd-traffic/src/events.rs:
+crates/ipd-traffic/src/mapping.rs:
+crates/ipd-traffic/src/sim.rs:
+crates/ipd-traffic/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lpm-2b85889b2378ad30.d: crates/ipd-bench/benches/lpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpm-2b85889b2378ad30.rmeta: crates/ipd-bench/benches/lpm.rs Cargo.toml
+
+crates/ipd-bench/benches/lpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

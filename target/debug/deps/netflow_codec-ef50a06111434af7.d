@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netflow_codec-ef50a06111434af7.d: crates/ipd-bench/benches/netflow_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetflow_codec-ef50a06111434af7.rmeta: crates/ipd-bench/benches/netflow_codec.rs Cargo.toml
+
+crates/ipd-bench/benches/netflow_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

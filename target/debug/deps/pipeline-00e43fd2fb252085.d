@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-00e43fd2fb252085.d: crates/ipd-bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-00e43fd2fb252085.rmeta: crates/ipd-bench/benches/pipeline.rs Cargo.toml
+
+crates/ipd-bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

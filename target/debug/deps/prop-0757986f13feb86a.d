@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-0757986f13feb86a.d: crates/ipd-bgp/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-0757986f13feb86a: crates/ipd-bgp/tests/prop.rs
+
+crates/ipd-bgp/tests/prop.rs:

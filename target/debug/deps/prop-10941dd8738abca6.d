@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-10941dd8738abca6.d: crates/ipd-core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-10941dd8738abca6: crates/ipd-core/tests/prop.rs
+
+crates/ipd-core/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-3c280278b2da4d30.d: crates/ipd-lpm/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-3c280278b2da4d30.rmeta: crates/ipd-lpm/tests/prop.rs Cargo.toml
+
+crates/ipd-lpm/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

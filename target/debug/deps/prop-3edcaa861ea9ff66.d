@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3edcaa861ea9ff66.d: crates/ipd-netflow/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-3edcaa861ea9ff66: crates/ipd-netflow/tests/prop.rs
+
+crates/ipd-netflow/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-56d47d58d6c3529b.d: crates/ipd-core/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-56d47d58d6c3529b.rmeta: crates/ipd-core/tests/prop.rs Cargo.toml
+
+crates/ipd-core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-6ab5b4cb9c09c40e.d: crates/ipd-stattime/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-6ab5b4cb9c09c40e.rmeta: crates/ipd-stattime/tests/prop.rs Cargo.toml
+
+crates/ipd-stattime/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-70653d5d11723d95.d: crates/ipd-traffic/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-70653d5d11723d95.rmeta: crates/ipd-traffic/tests/prop.rs Cargo.toml
+
+crates/ipd-traffic/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-81943d4aee9a0d25.d: crates/ipd-traffic/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-81943d4aee9a0d25: crates/ipd-traffic/tests/prop.rs
+
+crates/ipd-traffic/tests/prop.rs:

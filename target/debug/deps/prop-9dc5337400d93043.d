@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-9dc5337400d93043.d: crates/ipd-bgp/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-9dc5337400d93043.rmeta: crates/ipd-bgp/tests/prop.rs Cargo.toml
+
+crates/ipd-bgp/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9deb3288aa7fb9d0.d: crates/ipd-lpm/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9deb3288aa7fb9d0: crates/ipd-lpm/tests/prop.rs
+
+crates/ipd-lpm/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-a5fc003c26b2e8b2.d: crates/ipd-netflow/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-a5fc003c26b2e8b2.rmeta: crates/ipd-netflow/tests/prop.rs Cargo.toml
+
+crates/ipd-netflow/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f28417ea18e619ce.d: crates/ipd-stattime/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f28417ea18e619ce: crates/ipd-stattime/tests/prop.rs
+
+crates/ipd-stattime/tests/prop.rs:

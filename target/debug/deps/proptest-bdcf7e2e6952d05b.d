@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-bdcf7e2e6952d05b.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bdcf7e2e6952d05b.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bdcf7e2e6952d05b.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded-7f8ecc6aedce5fde.d: crates/ipd-bench/benches/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded-7f8ecc6aedce5fde.rmeta: crates/ipd-bench/benches/sharded.rs Cargo.toml
+
+crates/ipd-bench/benches/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tick-70ddabd929187afb.d: crates/ipd-bench/benches/tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtick-70ddabd929187afb.rmeta: crates/ipd-bench/benches/tick.rs Cargo.toml
+
+crates/ipd-bench/benches/tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

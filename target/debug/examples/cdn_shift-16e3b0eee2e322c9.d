@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cdn_shift-16e3b0eee2e322c9.d: examples/cdn_shift.rs
+
+/root/repo/target/debug/examples/cdn_shift-16e3b0eee2e322c9: examples/cdn_shift.rs
+
+examples/cdn_shift.rs:

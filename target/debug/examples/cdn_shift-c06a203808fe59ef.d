@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cdn_shift-c06a203808fe59ef.d: examples/cdn_shift.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcdn_shift-c06a203808fe59ef.rmeta: examples/cdn_shift.rs Cargo.toml
+
+examples/cdn_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

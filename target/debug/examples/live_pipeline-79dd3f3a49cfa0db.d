@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_pipeline-79dd3f3a49cfa0db.d: examples/live_pipeline.rs
+
+/root/repo/target/debug/examples/live_pipeline-79dd3f3a49cfa0db: examples/live_pipeline.rs
+
+examples/live_pipeline.rs:

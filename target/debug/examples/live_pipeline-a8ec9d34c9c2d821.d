@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_pipeline-a8ec9d34c9c2d821.d: examples/live_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_pipeline-a8ec9d34c9c2d821.rmeta: examples/live_pipeline.rs Cargo.toml
+
+examples/live_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mini_internet-2687b250a276971a.d: examples/mini_internet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmini_internet-2687b250a276971a.rmeta: examples/mini_internet.rs Cargo.toml
+
+examples/mini_internet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

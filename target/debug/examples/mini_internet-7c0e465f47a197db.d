@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mini_internet-7c0e465f47a197db.d: examples/mini_internet.rs
+
+/root/repo/target/debug/examples/mini_internet-7c0e465f47a197db: examples/mini_internet.rs
+
+examples/mini_internet.rs:

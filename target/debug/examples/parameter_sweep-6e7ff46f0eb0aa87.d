@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_sweep-6e7ff46f0eb0aa87.d: examples/parameter_sweep.rs
+
+/root/repo/target/debug/examples/parameter_sweep-6e7ff46f0eb0aa87: examples/parameter_sweep.rs
+
+examples/parameter_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/peering_violation-516346b36460c98c.d: examples/peering_violation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpeering_violation-516346b36460c98c.rmeta: examples/peering_violation.rs Cargo.toml
+
+examples/peering_violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/peering_violation-baba2f6b75bedbcb.d: examples/peering_violation.rs
+
+/root/repo/target/debug/examples/peering_violation-baba2f6b75bedbcb: examples/peering_violation.rs
+
+examples/peering_violation.rs:

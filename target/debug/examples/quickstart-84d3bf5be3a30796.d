@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-84d3bf5be3a30796.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-84d3bf5be3a30796: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fb57093e2e774187.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fb57093e2e774187.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fb57093e2e774187.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

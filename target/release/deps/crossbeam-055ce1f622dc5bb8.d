@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-055ce1f622dc5bb8.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-055ce1f622dc5bb8.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-055ce1f622dc5bb8.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f48d078289fc954e.d: crates/ipd-eval/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f48d078289fc954e: crates/ipd-eval/src/bin/experiments.rs
+
+crates/ipd-eval/src/bin/experiments.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ipd-d04a7924eff645c8.d: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/release/deps/libipd-d04a7924eff645c8.rlib: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+/root/repo/target/release/deps/libipd-d04a7924eff645c8.rmeta: crates/ipd-core/src/lib.rs crates/ipd-core/src/engine.rs crates/ipd-core/src/ingress.rs crates/ipd-core/src/output.rs crates/ipd-core/src/params.rs crates/ipd-core/src/pipeline.rs crates/ipd-core/src/range.rs crates/ipd-core/src/shard.rs crates/ipd-core/src/trie.rs
+
+crates/ipd-core/src/lib.rs:
+crates/ipd-core/src/engine.rs:
+crates/ipd-core/src/ingress.rs:
+crates/ipd-core/src/output.rs:
+crates/ipd-core/src/params.rs:
+crates/ipd-core/src/pipeline.rs:
+crates/ipd-core/src/range.rs:
+crates/ipd-core/src/shard.rs:
+crates/ipd-core/src/trie.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipd_bench-27f0105c9452f2e2.d: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/release/deps/libipd_bench-27f0105c9452f2e2.rlib: crates/ipd-bench/src/lib.rs
+
+/root/repo/target/release/deps/libipd_bench-27f0105c9452f2e2.rmeta: crates/ipd-bench/src/lib.rs
+
+crates/ipd-bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ipd_bgp-0998b842294f59c8.d: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+/root/repo/target/release/deps/libipd_bgp-0998b842294f59c8.rlib: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+/root/repo/target/release/deps/libipd_bgp-0998b842294f59c8.rmeta: crates/ipd-bgp/src/lib.rs crates/ipd-bgp/src/dump.rs crates/ipd-bgp/src/rib.rs crates/ipd-bgp/src/route.rs crates/ipd-bgp/src/stats.rs
+
+crates/ipd-bgp/src/lib.rs:
+crates/ipd-bgp/src/dump.rs:
+crates/ipd-bgp/src/rib.rs:
+crates/ipd-bgp/src/route.rs:
+crates/ipd-bgp/src/stats.rs:

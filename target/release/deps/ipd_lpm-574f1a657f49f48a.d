@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ipd_lpm-574f1a657f49f48a.d: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/release/deps/libipd_lpm-574f1a657f49f48a.rlib: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+/root/repo/target/release/deps/libipd_lpm-574f1a657f49f48a.rmeta: crates/ipd-lpm/src/lib.rs crates/ipd-lpm/src/addr.rs crates/ipd-lpm/src/prefix.rs crates/ipd-lpm/src/trie.rs
+
+crates/ipd-lpm/src/lib.rs:
+crates/ipd-lpm/src/addr.rs:
+crates/ipd-lpm/src/prefix.rs:
+crates/ipd-lpm/src/trie.rs:

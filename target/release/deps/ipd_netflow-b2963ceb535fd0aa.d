@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ipd_netflow-b2963ceb535fd0aa.d: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+/root/repo/target/release/deps/libipd_netflow-b2963ceb535fd0aa.rlib: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+/root/repo/target/release/deps/libipd_netflow-b2963ceb535fd0aa.rmeta: crates/ipd-netflow/src/lib.rs crates/ipd-netflow/src/collector.rs crates/ipd-netflow/src/ipfix.rs crates/ipd-netflow/src/record.rs crates/ipd-netflow/src/sampling.rs crates/ipd-netflow/src/trace.rs crates/ipd-netflow/src/v5.rs
+
+crates/ipd-netflow/src/lib.rs:
+crates/ipd-netflow/src/collector.rs:
+crates/ipd-netflow/src/ipfix.rs:
+crates/ipd-netflow/src/record.rs:
+crates/ipd-netflow/src/sampling.rs:
+crates/ipd-netflow/src/trace.rs:
+crates/ipd-netflow/src/v5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ipd_stattime-cde3df69e2fa218d.d: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/release/deps/libipd_stattime-cde3df69e2fa218d.rlib: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+/root/repo/target/release/deps/libipd_stattime-cde3df69e2fa218d.rmeta: crates/ipd-stattime/src/lib.rs crates/ipd-stattime/src/bucketer.rs crates/ipd-stattime/src/drift.rs
+
+crates/ipd-stattime/src/lib.rs:
+crates/ipd-stattime/src/bucketer.rs:
+crates/ipd-stattime/src/drift.rs:

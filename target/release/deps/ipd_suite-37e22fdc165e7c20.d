@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipd_suite-37e22fdc165e7c20.d: src/lib.rs
+
+/root/repo/target/release/deps/libipd_suite-37e22fdc165e7c20.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libipd_suite-37e22fdc165e7c20.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ipd_tool-b4da67d2cc1e28be.d: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+/root/repo/target/release/deps/ipd_tool-b4da67d2cc1e28be: crates/ipd-cli/src/main.rs crates/ipd-cli/src/args.rs
+
+crates/ipd-cli/src/main.rs:
+crates/ipd-cli/src/args.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ipd_topology-96b51956af275337.d: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/release/deps/libipd_topology-96b51956af275337.rlib: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+/root/repo/target/release/deps/libipd_topology-96b51956af275337.rmeta: crates/ipd-topology/src/lib.rs crates/ipd-topology/src/builder.rs crates/ipd-topology/src/generate.rs crates/ipd-topology/src/model.rs
+
+crates/ipd-topology/src/lib.rs:
+crates/ipd-topology/src/builder.rs:
+crates/ipd-topology/src/generate.rs:
+crates/ipd-topology/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ipd_traffic-d9370bfe08e9691a.d: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/release/deps/libipd_traffic-d9370bfe08e9691a.rlib: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+/root/repo/target/release/deps/libipd_traffic-d9370bfe08e9691a.rmeta: crates/ipd-traffic/src/lib.rs crates/ipd-traffic/src/asmodel.rs crates/ipd-traffic/src/diurnal.rs crates/ipd-traffic/src/events.rs crates/ipd-traffic/src/mapping.rs crates/ipd-traffic/src/sim.rs crates/ipd-traffic/src/world.rs
+
+crates/ipd-traffic/src/lib.rs:
+crates/ipd-traffic/src/asmodel.rs:
+crates/ipd-traffic/src/diurnal.rs:
+crates/ipd-traffic/src/events.rs:
+crates/ipd-traffic/src/mapping.rs:
+crates/ipd-traffic/src/sim.rs:
+crates/ipd-traffic/src/world.rs:

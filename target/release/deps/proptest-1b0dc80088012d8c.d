@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1b0dc80088012d8c.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1b0dc80088012d8c.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1b0dc80088012d8c.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-390dd9208cf28d47.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-390dd9208cf28d47.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-390dd9208cf28d47.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

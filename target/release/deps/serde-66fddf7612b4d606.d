@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-66fddf7612b4d606.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-66fddf7612b4d606.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-66fddf7612b4d606.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

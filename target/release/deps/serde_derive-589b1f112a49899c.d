@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-589b1f112a49899c.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-589b1f112a49899c.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sharded-b8c4ed00e76352ad.d: crates/ipd-bench/benches/sharded.rs
+
+/root/repo/target/release/deps/sharded-b8c4ed00e76352ad: crates/ipd-bench/benches/sharded.rs
+
+crates/ipd-bench/benches/sharded.rs:

@@ -1,0 +1,91 @@
+//! Golden determinism regression: a seeded mini-internet run must produce
+//! the exact same engine statistics and snapshot digest on every machine,
+//! every run, at every shard count.
+//!
+//! The pinned numbers below encode the full behavior chain: the world
+//! generator and flow simulator (seeded `StdRng` streams), stage-1
+//! accumulation (exact integer f64 sums in `CountMode::Flows`), the stage-2
+//! classify/split/join/decay cascade, and the canonical snapshot encoding
+//! behind `Snapshot::digest()`. If any of those changes behavior — knowingly
+//! or not — this test is the tripwire. Update the constants only for an
+//! *intentional* behavior change, and say so in the commit.
+
+use ipd_suite::ipd::pipeline::{run_offline, PipelineOutput};
+use ipd_suite::ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
+use ipd_suite::netflow::FlowRecord;
+use ipd_suite::traffic::{FlowSim, SimConfig, World, WorldConfig};
+
+const SEED: u64 = 1337;
+const MINUTES: u64 = 12;
+const FLOWS_PER_MINUTE: u64 = 6_000;
+
+/// Pinned expectations for the run below (see module docs before touching).
+const GOLDEN_DIGEST: u64 = 0x05f1_51da_17d1_52db;
+const GOLDEN_FLOWS: u64 = 47_706;
+const GOLDEN_TICKS: u64 = 13;
+const GOLDEN_CLASSIFICATIONS: u64 = 3_980;
+
+fn golden_params() -> IpdParams {
+    IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * FLOWS_PER_MINUTE as f64,
+        ncidr_factor_v6: FLOWS_PER_MINUTE as f64 * 1.5e-11,
+        ..IpdParams::default()
+    }
+}
+
+fn golden_flows() -> Vec<FlowRecord> {
+    let world = World::generate(WorldConfig::default(), SEED);
+    let mut sim = FlowSim::new(
+        world,
+        SimConfig { flows_per_minute: FLOWS_PER_MINUTE, seed: SEED, ..SimConfig::default() },
+    );
+    let mut flows = Vec::new();
+    for _ in 0..MINUTES {
+        flows.extend(sim.next_minute().flows.into_iter().map(|lf| lf.flow));
+    }
+    flows
+}
+
+fn last_snapshot(outputs: Vec<PipelineOutput>) -> Snapshot {
+    outputs
+        .into_iter()
+        .rev()
+        .find_map(|o| match o {
+            PipelineOutput::Snapshot(s) => Some(s),
+            PipelineOutput::Tick(_) => None,
+        })
+        .expect("the final snapshot always fires")
+}
+
+#[test]
+fn golden_run_is_bit_for_bit_stable() {
+    let flows = golden_flows();
+    let mut engine = IpdEngine::new(golden_params()).unwrap();
+    let mut outputs = Vec::new();
+    run_offline(&mut engine, flows.iter().cloned(), 5, |o| outputs.push(o));
+    let snap = last_snapshot(outputs);
+
+    assert_eq!(engine.stats().flows_ingested, GOLDEN_FLOWS, "simulator stream changed");
+    assert_eq!(engine.stats().ticks, GOLDEN_TICKS);
+    assert_eq!(
+        engine.stats().classifications,
+        GOLDEN_CLASSIFICATIONS,
+        "classification behavior changed"
+    );
+    assert_eq!(
+        snap.digest(),
+        GOLDEN_DIGEST,
+        "snapshot digest drifted — stats: {:?}, {} records",
+        engine.stats(),
+        snap.records.len()
+    );
+}
+
+#[test]
+fn golden_digest_is_shard_count_invariant() {
+    let flows = golden_flows();
+    let mut engine = ShardedEngine::new(golden_params(), 4).unwrap();
+    let mut outputs = Vec::new();
+    run_offline(&mut engine, flows.iter().cloned(), 5, |o| outputs.push(o));
+    assert_eq!(last_snapshot(outputs).digest(), GOLDEN_DIGEST);
+}
