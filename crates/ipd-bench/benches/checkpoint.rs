@@ -1,0 +1,97 @@
+//! Checkpoint codec throughput: encode/decode of a large engine image and
+//! the engine rebuild on top. A production IPD deployment holds ~100k
+//! classified prefixes (Table 3 scale); the checkpoint of that state must
+//! encode in single-digit milliseconds for bucket-boundary checkpointing to
+//! be free relative to a 60 s bucket.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ipd::persist::{ClassifiedDump, EngineStateDump, TrieNodeDump};
+use ipd::pipeline::BucketClock;
+use ipd::{EngineStats, IpdEngine, IpdParams, LogicalIngress};
+use ipd_state::{decode, encode, CheckpointState};
+use ipd_topology::IngressPoint;
+
+const N_INGRESSES: u32 = 64;
+
+/// A complete binary trie of the given depth whose every leaf is a
+/// classified range — preorder, the checkpoint dump layout. Depth 17 gives
+/// 2^17 = 131 072 classified prefixes, the ~100k-prefix production scale.
+fn full_trie(depth: u8) -> Vec<TrieNodeDump> {
+    fn build(nodes: &mut Vec<TrieNodeDump>, depth: u8, path: u32) {
+        if depth == 0 {
+            let id = path % N_INGRESSES;
+            nodes.push(TrieNodeDump::Classified(ClassifiedDump {
+                ingress: LogicalIngress::Link(IngressPoint::new(1 + id / 2, 1 + (id % 2) as u16)),
+                member_ids: vec![id],
+                counts: vec![(id, 1000.0 + path as f64)],
+                total: 1000.0 + path as f64,
+                last_ts: 86_400,
+                since: 3_600,
+            }));
+            return;
+        }
+        nodes.push(TrieNodeDump::Internal);
+        build(nodes, depth - 1, path << 1);
+        build(nodes, depth - 1, (path << 1) | 1);
+    }
+    let mut nodes = Vec::with_capacity((1 << (depth as u32 + 1)) - 1);
+    build(&mut nodes, depth, 0);
+    nodes
+}
+
+fn big_state() -> CheckpointState {
+    let ingresses: Vec<IngressPoint> = (0..N_INGRESSES)
+        .map(|id| IngressPoint::new(1 + id / 2, 1 + (id % 2) as u16))
+        .collect();
+    CheckpointState {
+        dump: EngineStateDump {
+            params: IpdParams::default(),
+            ingresses,
+            stats: EngineStats {
+                flows_ingested: 1 << 30,
+                ticks: 1440,
+                ..EngineStats::default()
+            },
+            v4: full_trie(17),
+            v6: vec![TrieNodeDump::Monitoring(Vec::new())],
+        },
+        clock: BucketClock {
+            current_bucket: Some(1440),
+            ticks_since_snapshot: 2,
+        },
+    }
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let state = big_state();
+    let bytes = encode(&state);
+    let leaves = state
+        .dump
+        .v4
+        .iter()
+        .filter(|n| !matches!(n, TrieNodeDump::Internal))
+        .count();
+    println!(
+        "  [state] {} classified prefixes, {} KiB encoded",
+        leaves,
+        bytes.len() / 1024
+    );
+
+    let mut g = c.benchmark_group("checkpoint");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_131k_prefixes", |b| b.iter(|| encode(&state)));
+    g.bench_function("decode_131k_prefixes", |b| {
+        b.iter(|| decode(&bytes).unwrap())
+    });
+    g.bench_function("restore_engine_131k_prefixes", |b| {
+        b.iter_batched(
+            || decode(&bytes).unwrap().dump,
+            |dump| IpdEngine::restore_state(dump).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

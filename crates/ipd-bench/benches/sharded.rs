@@ -57,7 +57,11 @@ fn bench_sharded(c: &mut Criterion) {
         let mut engine = warmed(k, warm);
         engine.ingest_batch(hot);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter_batched(|| engine.clone(), |mut e| e.tick(180).splits, BatchSize::LargeInput)
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| e.tick(180).splits,
+                BatchSize::LargeInput,
+            )
         });
     }
     g.finish();

@@ -10,7 +10,11 @@ pub fn flow_batch(minutes: u64, flows_per_minute: u64) -> Vec<FlowRecord> {
     let world = World::generate(WorldConfig::default(), 42);
     let mut sim = FlowSim::new(
         world,
-        SimConfig { flows_per_minute, seed: 7, ..SimConfig::default() },
+        SimConfig {
+            flows_per_minute,
+            seed: 7,
+            ..SimConfig::default()
+        },
     );
     let mut out = Vec::new();
     for _ in 0..minutes {

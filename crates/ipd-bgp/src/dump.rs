@@ -79,15 +79,22 @@ pub fn parse_dump(text: &str) -> Result<(Rib, Option<u64>), DumpParseError> {
             });
         }
         if fields[0] != "TABLE_DUMP2" || fields[2] != "B" {
-            return Err(DumpParseError { line: lineno, reason: "bad record type".into() });
+            return Err(DumpParseError {
+                line: lineno,
+                reason: "bad record type".into(),
+            });
         }
-        let err = |what: &str| DumpParseError { line: lineno, reason: what.to_string() };
+        let err = |what: &str| DumpParseError {
+            line: lineno,
+            reason: what.to_string(),
+        };
         let ts: u64 = fields[1].parse().map_err(|_| err("bad timestamp"))?;
         first_ts.get_or_insert(ts);
         let router: u32 = fields[3].parse().map_err(|_| err("bad router id"))?;
         let ifindex: u16 = fields[4].parse().map_err(|_| err("bad ifindex"))?;
-        let prefix: Prefix =
-            fields[5].parse().map_err(|e| err(&format!("bad prefix: {e}")))?;
+        let prefix: Prefix = fields[5]
+            .parse()
+            .map_err(|e| err(&format!("bad prefix: {e}")))?;
         let as_path = if fields[6].is_empty() {
             Vec::new()
         } else {
@@ -100,7 +107,12 @@ pub fn parse_dump(text: &str) -> Result<(Rib, Option<u64>), DumpParseError> {
         let local_pref: u32 = fields[7].parse().map_err(|_| err("bad local pref"))?;
         rib.announce(
             prefix,
-            Route { next_hop: IngressPoint::new(router, ifindex), link: 0, as_path, local_pref },
+            Route {
+                next_hop: IngressPoint::new(router, ifindex),
+                link: 0,
+                as_path,
+                local_pref,
+            },
         );
     }
     Ok((rib, first_ts))
@@ -137,7 +149,12 @@ mod tests {
         );
         rib.announce(
             p("2001:db8::/32"),
-            Route { next_hop: IngressPoint::new(7, 4), link: 0, as_path: vec![], local_pref: 50 },
+            Route {
+                next_hop: IngressPoint::new(7, 4),
+                link: 0,
+                as_path: vec![],
+                local_pref: 50,
+            },
         );
         rib
     }
@@ -156,7 +173,13 @@ mod tests {
             rib.best(addr).unwrap().1.next_hop
         );
         // Empty AS path survives.
-        assert!(back.entry(p("2001:db8::/32")).unwrap().best().unwrap().as_path.is_empty());
+        assert!(back
+            .entry(p("2001:db8::/32"))
+            .unwrap()
+            .best()
+            .unwrap()
+            .as_path
+            .is_empty());
     }
 
     #[test]

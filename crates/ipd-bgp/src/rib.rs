@@ -65,7 +65,8 @@ impl Rib {
     /// Best route for a destination address — this is the *egress* router BGP
     /// would pick, the quantity compared against IPD ingress in §5.5.
     pub fn best(&self, addr: Addr) -> Option<(Prefix, &Route)> {
-        self.match_addr(addr).and_then(|(p, e)| e.best().map(|r| (p, r)))
+        self.match_addr(addr)
+            .and_then(|(p, e)| e.best().map(|r| (p, r)))
     }
 
     /// Origin AS of the best route covering `addr`.
@@ -148,7 +149,15 @@ mod tests {
         rib.announce(p("10.0.0.0/8"), route(1, &[100]));
         rib.announce(p("10.0.0.0/8"), route(2, &[100, 200]));
         assert!(rib.withdraw(p("10.0.0.0/8"), IngressPoint::new(1, 1)));
-        assert_eq!(rib.entry(p("10.0.0.0/8")).unwrap().best().unwrap().next_hop.router, 2);
+        assert_eq!(
+            rib.entry(p("10.0.0.0/8"))
+                .unwrap()
+                .best()
+                .unwrap()
+                .next_hop
+                .router,
+            2
+        );
     }
 
     #[test]

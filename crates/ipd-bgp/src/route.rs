@@ -45,7 +45,9 @@ pub struct RibEntry {
 impl RibEntry {
     /// Entry with a single route.
     pub fn single(route: Route) -> Self {
-        RibEntry { routes: vec![route] }
+        RibEntry {
+            routes: vec![route],
+        }
     }
 
     /// The best route, if any.

@@ -15,7 +15,10 @@ use crate::rib::Rib;
 /// Histogram of next-hop router counts: `counts[k]` = number of prefixes with
 /// exactly `k` distinct next-hop routers. Optionally restricted to prefixes
 /// originated by the given ASes.
-pub fn next_hop_count_histogram(rib: &Rib, origin_filter: Option<&[u32]>) -> BTreeMap<usize, usize> {
+pub fn next_hop_count_histogram(
+    rib: &Rib,
+    origin_filter: Option<&[u32]>,
+) -> BTreeMap<usize, usize> {
     let mut hist = BTreeMap::new();
     for (_, entry) in rib.iter() {
         if let Some(filter) = origin_filter {

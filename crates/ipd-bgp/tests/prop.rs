@@ -9,20 +9,23 @@ use proptest::prelude::*;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     // Cluster prefixes into 10.0.0.0/8 so overlaps actually happen.
-    (any::<u32>(), 8u8..=28).prop_map(|(bits, len)| {
-        Prefix::of(Addr::v4(0x0A00_0000 | (bits & 0x00FF_FFFF)), len)
-    })
+    (any::<u32>(), 8u8..=28)
+        .prop_map(|(bits, len)| Prefix::of(Addr::v4(0x0A00_0000 | (bits & 0x00FF_FFFF)), len))
 }
 
 fn arb_route() -> impl Strategy<Value = Route> {
-    (1u32..8, 1u16..4, proptest::collection::vec(1u32..100, 1..4), 50u32..200).prop_map(
-        |(router, ifx, as_path, local_pref)| Route {
+    (
+        1u32..8,
+        1u16..4,
+        proptest::collection::vec(1u32..100, 1..4),
+        50u32..200,
+    )
+        .prop_map(|(router, ifx, as_path, local_pref)| Route {
             next_hop: IngressPoint::new(router, ifx),
             link: 0,
             as_path,
             local_pref,
-        },
-    )
+        })
 }
 
 #[derive(Debug, Clone)]
@@ -69,14 +72,12 @@ impl Model {
             .iter()
             .filter(|(p, _)| p.contains(a))
             .max_by_key(|(p, _)| p.len())?;
-        let best = v
-            .iter()
-            .min_by(|x, y| {
-                y.local_pref
-                    .cmp(&x.local_pref)
-                    .then(x.as_path.len().cmp(&y.as_path.len()))
-                    .then(x.next_hop.cmp(&y.next_hop))
-            })?;
+        let best = v.iter().min_by(|x, y| {
+            y.local_pref
+                .cmp(&x.local_pref)
+                .then(x.as_path.len().cmp(&y.as_path.len()))
+                .then(x.next_hop.cmp(&y.next_hop))
+        })?;
         Some((*p, best.next_hop))
     }
 }

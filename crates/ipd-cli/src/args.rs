@@ -51,7 +51,11 @@ impl Args {
                 _ => flags.push(key.to_string()),
             }
         }
-        Ok(Args { command, options, flags })
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// String option.
@@ -61,16 +65,17 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("missing required --{key}")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
     }
 
     /// Typed option with default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
         }
     }
 

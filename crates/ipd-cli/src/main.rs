@@ -13,28 +13,38 @@
 //! stream to a trace file; `run` replays any trace through the engine and
 //! prints the classification summary (optionally the full Table-3 output);
 //! `lookup` resolves addresses against the final LPM table; `info` shows
-//! trace statistics.
+//! trace statistics; `checkpoint` inspects a durable state directory;
+//! `restore` recovers a crashed run and finishes the stream.
 
 mod args;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 use std::process::ExitCode;
 
 use args::{ArgError, Args};
 use ipd::output::default_ingress_format;
-use ipd::pipeline::{run_offline, PipelineOutput};
+use ipd::pipeline::{run_offline_with, BucketClock, NoopHook, PipelineHook, PipelineOutput};
 use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
 use ipd_bgp::write_dump;
 use ipd_lpm::Addr;
 use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
+use ipd_state::{read_journal, CheckpointStore, Durable, DurableConfig};
 use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
 
-const USAGE: &str = "usage: ipd-tool <simulate|run|lookup|info> [--options]
-  simulate --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
-  run      --trace FILE [--q Q] [--cidr-max N] [--factor F] [--shards K] [--table3 FILE]
-  lookup   --trace FILE --addr A [--addr B ...]   (repeat via comma list)
-  info     --trace FILE";
+const USAGE: &str = "usage: ipd-tool <simulate|run|lookup|info|checkpoint|restore> [--options]
+  simulate   --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
+  run        --trace FILE [--q Q] [--cidr-max N] [--factor F] [--shards K] [--table3 FILE]
+             [--checkpoint-dir DIR] [--checkpoint-every BUCKETS] [--retain N] [--limit N]
+  lookup     --trace FILE --addr A [--addr B ...]   (repeat via comma list)
+  info       --trace FILE
+  checkpoint --dir DIR                              (inspect a state directory)
+  restore    --dir DIR [--trace FILE] [--shards K] [--table3 FILE]";
+
+/// Snapshot cadence (in ticks) used by `run` and `restore`; the two must
+/// agree for a restored run to resume the exact snapshot rhythm.
+const SNAPSHOT_EVERY_TICKS: u32 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +64,8 @@ fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "run" => run(&args),
         "lookup" => lookup(&args),
         "info" => info(&args),
+        "checkpoint" => checkpoint(&args),
+        "restore" => restore(&args),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
 }
@@ -79,8 +91,14 @@ fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, write_dump(&world.rib, world.config.epoch))?;
         eprintln!("wrote BGP table dump to {path}");
     }
-    let mut sim =
-        FlowSim::new(world, SimConfig { flows_per_minute, seed, ..SimConfig::default() });
+    let mut sim = FlowSim::new(
+        world,
+        SimConfig {
+            flows_per_minute,
+            seed,
+            ..SimConfig::default()
+        },
+    );
     let mut writer = TraceWriter::new(BufWriter::new(File::create(out)?))?;
     for m in 0..minutes {
         for lf in sim.next_minute().flows {
@@ -105,11 +123,36 @@ fn load_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>>
     Ok(flows)
 }
 
+/// Make the durability hook `run` drives the engine with: a [`Durable`]
+/// session when `--checkpoint-dir` is given, the no-op hook otherwise.
+fn make_hook(
+    args: &Args,
+    engine: &IpdEngine,
+) -> Result<Box<dyn PipelineHook>, Box<dyn std::error::Error>> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        return Ok(Box::new(NoopHook));
+    };
+    let config = DurableConfig {
+        checkpoint_every_buckets: args.get_or("checkpoint-every", 10)?,
+        retain: args.get_or("retain", 3)?,
+    };
+    let durable = Durable::start(dir, engine, BucketClock::default(), config)?;
+    eprintln!(
+        "durable: checkpointing to {dir} every {} buckets (generation {}, retaining {})",
+        config.checkpoint_every_buckets,
+        durable.seq(),
+        config.retain
+    );
+    Ok(Box::new(durable))
+}
+
 fn engine_over(
     args: &Args,
     flows: &[FlowRecord],
 ) -> Result<(IpdEngine, Option<Snapshot>), Box<dyn std::error::Error>> {
     // Auto-scale the n_cidr factor to the trace's flow rate unless given.
+    // Computed over the whole trace, before any --limit cut, so a truncated
+    // (crash-simulating) run uses the same parameters as a full one.
     let span_secs = match (flows.first(), flows.last()) {
         (Some(a), Some(b)) => b.ts.saturating_sub(a.ts).max(60),
         _ => 60,
@@ -124,6 +167,8 @@ fn engine_over(
         ..IpdParams::default()
     };
     let shards: usize = args.get_or("shards", 1)?;
+    let limit: usize = args.get_or("limit", flows.len())?;
+    let flows = &flows[..limit.min(flows.len())];
     eprintln!(
         "running IPD over {} flows (~{:.0} flows/min), q={}, cidr_max=/{}, n_cidr factor={:.4}, shards={}",
         flows.len(),
@@ -145,20 +190,38 @@ fn engine_over(
     // two, > 256) are rejected by its validation.
     let engine = if shards != 1 {
         let mut sharded = ShardedEngine::new(params, shards)?;
-        run_offline(&mut sharded, flows.iter().cloned(), 5, &mut capture);
+        let mut hook = make_hook(args, sharded.engine())?;
+        run_offline_with(
+            &mut sharded,
+            flows.iter().cloned(),
+            SNAPSHOT_EVERY_TICKS,
+            None,
+            hook.as_mut(),
+            &mut capture,
+        );
         sharded.into_engine()
     } else {
         let mut engine = IpdEngine::new(params)?;
-        run_offline(&mut engine, flows.iter().cloned(), 5, &mut capture);
+        let mut hook = make_hook(args, &engine)?;
+        run_offline_with(
+            &mut engine,
+            flows.iter().cloned(),
+            SNAPSHOT_EVERY_TICKS,
+            None,
+            hook.as_mut(),
+            &mut capture,
+        );
         engine
     };
     Ok((engine, last_snapshot))
 }
 
-fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let flows = load_trace(args.require("trace")?)?;
-    let (engine, snapshot) = engine_over(args, &flows)?;
-    let snapshot = snapshot.ok_or("trace produced no snapshots (empty?)")?;
+/// The classification summary both `run` and `restore` print.
+fn report(
+    args: &Args,
+    engine: &IpdEngine,
+    snapshot: Snapshot,
+) -> Result<(), Box<dyn std::error::Error>> {
     let stats = engine.stats();
     println!("flows ingested:     {}", stats.flows_ingested);
     println!("stage-2 cycles:     {}", stats.ticks);
@@ -167,10 +230,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!("drops:              {}", stats.drops);
     println!("live ranges:        {}", engine.range_count());
     println!("classified ranges:  {}", engine.classified_count());
-    println!("state estimate:     {} KiB", engine.state_bytes_estimate() / 1024);
+    println!(
+        "state estimate:     {} KiB",
+        engine.state_bytes_estimate() / 1024
+    );
     if let Some(path) = args.get("table3") {
         std::fs::write(path, snapshot.to_table3(&default_ingress_format))?;
-        println!("wrote Table-3 output ({} ranges) to {path}", snapshot.records.len());
+        println!(
+            "wrote Table-3 output ({} ranges) to {path}",
+            snapshot.records.len()
+        );
     } else {
         println!("\ntop classified ranges by samples:");
         let mut classified: Vec<_> = snapshot.classified().collect();
@@ -182,6 +251,123 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let flows = load_trace(args.require("trace")?)?;
+    let (engine, snapshot) = engine_over(args, &flows)?;
+    let snapshot = snapshot.ok_or("trace produced no snapshots (empty?)")?;
+    report(args, &engine, snapshot)
+}
+
+/// Inspect a durable state directory: one line per generation.
+fn checkpoint(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.require("dir")?;
+    let store = CheckpointStore::open(dir)?;
+    let gens = store.generations()?;
+    if gens.is_empty() {
+        println!("no checkpoints in {dir}");
+        return Ok(());
+    }
+    for seq in gens {
+        match store.load_checkpoint(seq)? {
+            Ok(state) => println!(
+                "gen {seq}: valid, bucket {}, {} flows ingested, {} ingresses, {} ticks",
+                state
+                    .clock
+                    .current_bucket
+                    .map_or("-".into(), |b| b.to_string()),
+                state.dump.stats.flows_ingested,
+                state.dump.ingresses.len(),
+                state.dump.stats.ticks,
+            ),
+            Err(e) => println!("gen {seq}: INVALID ({e})"),
+        }
+        let jpath = store.journal_path(seq);
+        if jpath.exists() {
+            let j = read_journal(&jpath)?;
+            println!(
+                "         journal: {} flows{}",
+                j.records.len(),
+                if j.torn_tail { ", torn tail" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Recover a crashed run from its state directory. With `--trace`, the
+/// remainder of the stream (everything past the flows the restored engine
+/// already ingested) is re-delivered before the final tick fires; without
+/// it, the final tick closes out the restored state as-is.
+fn restore(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.require("dir")?;
+    let restored = ipd_state::restore(Path::new(dir), SNAPSHOT_EVERY_TICKS)?;
+    eprintln!(
+        "restored generation {} from {dir}: {} journal flows replayed{}{}",
+        restored.seq,
+        restored.replayed,
+        if restored.torn_tail {
+            ", torn journal tail"
+        } else {
+            ""
+        },
+        if restored.fell_back > 0 {
+            format!(
+                ", fell back past {} damaged generation(s)",
+                restored.fell_back
+            )
+        } else {
+            String::new()
+        },
+    );
+    let applied = restored.engine.stats().flows_ingested as usize;
+    let rest: Vec<FlowRecord> = match args.get("trace") {
+        Some(path) => {
+            let flows = load_trace(path)?;
+            eprintln!(
+                "continuing with {} of {} trace flows",
+                flows.len().saturating_sub(applied),
+                flows.len()
+            );
+            flows.get(applied..).unwrap_or(&[]).to_vec()
+        }
+        None => Vec::new(),
+    };
+
+    let mut last_snapshot = None;
+    let mut capture = |o: PipelineOutput| {
+        if let PipelineOutput::Snapshot(s) = o {
+            last_snapshot = Some(s);
+        }
+    };
+    let shards: usize = args.get_or("shards", 1)?;
+    let engine = if shards != 1 {
+        // A checkpoint is shard-count-free: restore at any width.
+        let mut sharded = ShardedEngine::from_engine(restored.engine, shards)?;
+        run_offline_with(
+            &mut sharded,
+            rest,
+            SNAPSHOT_EVERY_TICKS,
+            Some(restored.clock),
+            &mut NoopHook,
+            &mut capture,
+        );
+        sharded.into_engine()
+    } else {
+        let mut engine = restored.engine;
+        run_offline_with(
+            &mut engine,
+            rest,
+            SNAPSHOT_EVERY_TICKS,
+            Some(restored.clock),
+            &mut NoopHook,
+            &mut capture,
+        );
+        engine
+    };
+    let snapshot = last_snapshot.ok_or("restored state produced no snapshot (no flows ever?)")?;
+    report(args, &engine, snapshot)
+}
+
 fn lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let flows = load_trace(args.require("trace")?)?;
     let addrs: Vec<Addr> = args
@@ -190,7 +376,9 @@ fn lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.trim().parse::<std::net::IpAddr>().map(Addr::from))
         .collect::<Result<_, _>>()?;
     let (_, snapshot) = engine_over(args, &flows)?;
-    let table = snapshot.ok_or("trace produced no snapshots (empty?)")?.lpm_table();
+    let table = snapshot
+        .ok_or("trace produced no snapshots (empty?)")?
+        .lpm_table();
     for addr in addrs {
         match table.lookup(addr) {
             Some((range, ingress)) => println!("{addr:<18} {range:<20} {ingress}"),
@@ -206,12 +394,20 @@ fn info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!("empty trace");
         return Ok(());
     }
-    let (first, last) = (flows.first().expect("non-empty"), flows.last().expect("non-empty"));
+    let (first, last) = (
+        flows.first().expect("non-empty"),
+        flows.last().expect("non-empty"),
+    );
     let routers: std::collections::HashSet<u32> = flows.iter().map(|f| f.router).collect();
     let srcs: std::collections::HashSet<u128> =
         flows.iter().map(|f| f.src.masked(24).bits()).collect();
     println!("records:        {}", flows.len());
-    println!("time span:      {} .. {} ({} s)", first.ts, last.ts, last.ts - first.ts);
+    println!(
+        "time span:      {} .. {} ({} s)",
+        first.ts,
+        last.ts,
+        last.ts - first.ts
+    );
     println!("border routers: {}", routers.len());
     println!("distinct /24s:  {}", srcs.len());
     println!(
@@ -263,8 +459,14 @@ mod tests {
         let t3 = std::fs::read_to_string(&table3).expect("table3 output");
         assert!(!t3.is_empty());
 
-        run_cli(argv(&["lookup", "--trace", &trace, "--addr", "22.0.0.1,23.0.0.1"]))
-            .expect("lookup");
+        run_cli(argv(&[
+            "lookup",
+            "--trace",
+            &trace,
+            "--addr",
+            "22.0.0.1,23.0.0.1",
+        ]))
+        .expect("lookup");
         run_cli(argv(&["info", "--trace", &trace])).expect("info");
     }
 
@@ -287,15 +489,110 @@ mod tests {
         let t3_one = tmp("sharded-k1.txt");
         let t3_four = tmp("sharded-k4.txt");
         run_cli(argv(&["run", "--trace", &trace, "--table3", &t3_one])).expect("run K=1");
-        run_cli(argv(&["run", "--trace", &trace, "--shards", "4", "--table3", &t3_four]))
-            .expect("run K=4");
+        run_cli(argv(&[
+            "run", "--trace", &trace, "--shards", "4", "--table3", &t3_four,
+        ]))
+        .expect("run K=4");
         let one = std::fs::read_to_string(&t3_one).expect("K=1 output");
         let four = std::fs::read_to_string(&t3_four).expect("K=4 output");
         assert!(!one.is_empty());
-        assert_eq!(one, four, "--shards must not change the classification output");
+        assert_eq!(
+            one, four,
+            "--shards must not change the classification output"
+        );
 
         let bad = run_cli(argv(&["run", "--trace", &trace, "--shards", "3"]));
         assert!(bad.is_err(), "non-power-of-two shard counts are rejected");
+    }
+
+    #[test]
+    fn crashed_checkpointed_run_restores_to_identical_output() {
+        let trace = tmp("ckpt.ipdt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "13",
+            "--out",
+            &trace,
+        ]))
+        .expect("simulate");
+
+        // Reference: the uninterrupted run.
+        let t3_full = tmp("ckpt-full.txt");
+        run_cli(argv(&["run", "--trace", &trace, "--table3", &t3_full])).expect("full run");
+
+        // Crashed run: durable, but only the first 60% of the stream is
+        // delivered before the "process dies".
+        let dir = tmp("ckpt-state");
+        let _ = std::fs::remove_dir_all(&dir);
+        let n = {
+            let reader = TraceReader::new(BufReader::new(File::open(&trace).unwrap())).unwrap();
+            reader.count()
+        };
+        run_cli(argv(&[
+            "run",
+            "--trace",
+            &trace,
+            "--limit",
+            &(n * 3 / 5).to_string(),
+            "--checkpoint-dir",
+            &dir,
+            "--checkpoint-every",
+            "2",
+        ]))
+        .expect("durable run");
+
+        // The state directory is inspectable.
+        run_cli(argv(&["checkpoint", "--dir", &dir])).expect("checkpoint inspect");
+
+        // Restore + finish the stream: output must match the reference
+        // byte for byte, plain and at a different shard width.
+        let t3_resumed = tmp("ckpt-resumed.txt");
+        run_cli(argv(&[
+            "restore",
+            "--dir",
+            &dir,
+            "--trace",
+            &trace,
+            "--table3",
+            &t3_resumed,
+        ]))
+        .expect("restore");
+        let full = std::fs::read_to_string(&t3_full).expect("full output");
+        let resumed = std::fs::read_to_string(&t3_resumed).expect("resumed output");
+        assert!(!full.is_empty());
+        assert_eq!(
+            full, resumed,
+            "restore must reproduce the uninterrupted run"
+        );
+
+        let t3_sharded = tmp("ckpt-resumed-k4.txt");
+        run_cli(argv(&[
+            "restore",
+            "--dir",
+            &dir,
+            "--trace",
+            &trace,
+            "--shards",
+            "4",
+            "--table3",
+            &t3_sharded,
+        ]))
+        .expect("restore sharded");
+        let sharded = std::fs::read_to_string(&t3_sharded).expect("sharded output");
+        assert_eq!(full, sharded, "restore at a different shard width diverged");
+
+        // Restore without a trace still closes out the restored state.
+        run_cli(argv(&["restore", "--dir", &dir])).expect("restore without trace");
+
+        // An empty directory has nothing to restore.
+        let empty = tmp("ckpt-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run_cli(argv(&["restore", "--dir", &empty])).is_err());
     }
 
     #[test]

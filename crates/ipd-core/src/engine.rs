@@ -40,7 +40,10 @@ pub struct TickReport {
 
 impl TickReport {
     pub(crate) fn new(now: u64) -> Self {
-        TickReport { now, ..Default::default() }
+        TickReport {
+            now,
+            ..Default::default()
+        }
     }
 }
 
@@ -186,6 +189,52 @@ impl IpdEngine {
         self.monitored_ip_count() * IP_ENTRY + self.range_count() * RANGE
     }
 
+    /// Export the complete engine state as canonical plain data — the
+    /// substrate checkpoints are encoded from. See [`crate::persist`].
+    pub fn dump_state(&self) -> crate::persist::EngineStateDump {
+        let mut v4 = Vec::new();
+        let mut v6 = Vec::new();
+        self.root_v4.dump_into(&mut v4);
+        self.root_v6.dump_into(&mut v6);
+        crate::persist::EngineStateDump {
+            params: self.params.clone(),
+            ingresses: self.registry.points().to_vec(),
+            stats: self.stats.clone(),
+            v4,
+            v6,
+        }
+    }
+
+    /// Rebuild an engine from a [`dump`](IpdEngine::dump_state). Validates
+    /// params, the intern table, and both trie preorders.
+    pub fn restore_state(
+        dump: crate::persist::EngineStateDump,
+    ) -> Result<Self, crate::persist::RestoreError> {
+        dump.params.validate()?;
+        let registry = IngressRegistry::from_points(dump.ingresses)?;
+        let n = registry.len() as u32;
+        let rebuild = |nodes: &[crate::persist::TrieNodeDump], af: Af| {
+            let mut pos = 0;
+            let root = Node::from_dump(nodes, &mut pos, n, af, af.width())?;
+            if pos != nodes.len() {
+                return Err(crate::persist::RestoreError::TrailingNodes(
+                    af,
+                    nodes.len() - pos,
+                ));
+            }
+            Ok(root)
+        };
+        let root_v4 = rebuild(&dump.v4, Af::V4)?;
+        let root_v6 = rebuild(&dump.v6, Af::V6)?;
+        Ok(IpdEngine {
+            params: dump.params,
+            root_v4,
+            root_v6,
+            registry,
+            stats: dump.stats,
+        })
+    }
+
     /// Snapshot of every live range (classified and monitored) in the shape
     /// of the paper's raw output (Table 3). `ts` stamps the records.
     pub fn snapshot(&self, ts: u64) -> Snapshot {
@@ -214,7 +263,11 @@ mod tests {
     fn test_params() -> IpdParams {
         // n_cidr(v4 /0) = 0.01 * sqrt(2^32) ≈ 655; the v6 reference width is
         // 64 bits so its factor must be far smaller for unit-test volumes.
-        IpdParams { ncidr_factor_v4: 0.01, ncidr_factor_v6: 1e-9, ..IpdParams::default() }
+        IpdParams {
+            ncidr_factor_v4: 0.01,
+            ncidr_factor_v6: 1e-9,
+            ..IpdParams::default()
+        }
     }
 
     fn v4(bits: u32) -> Addr {
@@ -223,7 +276,11 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        assert!(IpdEngine::new(IpdParams { q: 0.3, ..IpdParams::default() }).is_err());
+        assert!(IpdEngine::new(IpdParams {
+            q: 0.3,
+            ..IpdParams::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -236,7 +293,9 @@ mod tests {
         assert_eq!(e.stats().flows_ingested, 2000);
         let report = e.tick(60);
         assert!(!report.newly_classified.is_empty());
-        assert!(report.newly_classified[0].1.is_link(IngressPoint::new(7, 3)));
+        assert!(report.newly_classified[0]
+            .1
+            .is_link(IngressPoint::new(7, 3)));
         assert_eq!(e.stats().ticks, 1);
         assert!(e.classified_count() >= 1);
     }
@@ -259,7 +318,10 @@ mod tests {
             e.ingest(&small);
         }
         let report = e.tick(60);
-        assert!(report.newly_classified.iter().any(|(_, ing)| ing.is_link(IngressPoint::new(1, 1))));
+        assert!(report
+            .newly_classified
+            .iter()
+            .any(|(_, ing)| ing.is_link(IngressPoint::new(1, 1))));
     }
 
     #[test]
@@ -276,10 +338,16 @@ mod tests {
             );
         }
         let report = e.tick(60);
-        let v4_cls: Vec<_> =
-            report.newly_classified.iter().filter(|(p, _)| p.af() == Af::V4).collect();
-        let v6_cls: Vec<_> =
-            report.newly_classified.iter().filter(|(p, _)| p.af() == Af::V6).collect();
+        let v4_cls: Vec<_> = report
+            .newly_classified
+            .iter()
+            .filter(|(p, _)| p.af() == Af::V4)
+            .collect();
+        let v6_cls: Vec<_> = report
+            .newly_classified
+            .iter()
+            .filter(|(p, _)| p.af() == Af::V6)
+            .collect();
         assert!(!v4_cls.is_empty());
         assert!(!v6_cls.is_empty());
         assert!(v6_cls[0].1.is_link(IngressPoint::new(2, 1)));

@@ -56,6 +56,26 @@ impl IngressRegistry {
         self.by_point.get(&p).copied()
     }
 
+    /// All interned points in id order: index `i` is the point of id `i`.
+    pub fn points(&self) -> &[IngressPoint] {
+        &self.points
+    }
+
+    /// Rebuild a registry from a point list in id order (the shape
+    /// [`IngressRegistry::points`] returns). Fails on duplicates — an intern
+    /// table maps each point to exactly one id.
+    pub(crate) fn from_points(
+        points: Vec<IngressPoint>,
+    ) -> Result<Self, crate::persist::RestoreError> {
+        let mut by_point = HashMap::with_capacity(points.len());
+        for (i, &p) in points.iter().enumerate() {
+            if by_point.insert(p, IngressId(i as u32)).is_some() {
+                return Err(crate::persist::RestoreError::DuplicateIngress(p));
+            }
+        }
+        Ok(IngressRegistry { by_point, points })
+    }
+
     /// Number of distinct ingress points seen.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -105,9 +125,11 @@ impl LogicalIngress {
     pub fn members(&self) -> Vec<IngressPoint> {
         match self {
             LogicalIngress::Link(p) => vec![*p],
-            LogicalIngress::Bundle(b) => {
-                b.ifindexes.iter().map(|&i| IngressPoint::new(b.router, i)).collect()
-            }
+            LogicalIngress::Bundle(b) => b
+                .ifindexes
+                .iter()
+                .map(|&i| IngressPoint::new(b.router, i))
+                .collect(),
         }
     }
 }
@@ -165,7 +187,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(LogicalIngress::Link(IngressPoint::new(30, 1)).to_string(), "R30.1");
+        assert_eq!(
+            LogicalIngress::Link(IngressPoint::new(30, 1)).to_string(),
+            "R30.1"
+        );
         assert_eq!(
             LogicalIngress::Bundle(Bundle::new(30, vec![2, 1])).to_string(),
             "R30.[1+2]"

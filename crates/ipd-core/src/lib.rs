@@ -69,6 +69,7 @@ mod engine;
 mod ingress;
 pub mod output;
 mod params;
+pub mod persist;
 pub mod pipeline;
 mod range;
 mod shard;

@@ -47,15 +47,17 @@ impl IpdRangeRecord {
         match state {
             RangeState::Monitoring(m) => {
                 let (total, per) = m.totals();
-                let mut shares: Vec<(IngressPoint, f64)> =
-                    per.iter().map(|(&id, &w)| (registry.resolve(id), w)).collect();
+                let mut shares: Vec<(IngressPoint, f64)> = per
+                    .iter()
+                    .map(|(&id, &w)| (registry.resolve(id), w))
+                    .collect();
                 shares.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("finite weights").then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite weights")
+                        .then(a.0.cmp(&b.0))
                 });
                 let (ingress, confidence) = match shares.first() {
-                    Some(&(p, w)) if total > 0.0 => {
-                        (Some(LogicalIngress::Link(p)), w / total)
-                    }
+                    Some(&(p, w)) if total > 0.0 => (Some(LogicalIngress::Link(p)), w / total),
                     _ => (None, 0.0),
                 };
                 IpdRangeRecord {
@@ -71,10 +73,15 @@ impl IpdRangeRecord {
                 }
             }
             RangeState::Classified(c) => {
-                let mut shares: Vec<(IngressPoint, f64)> =
-                    c.counts.iter().map(|(&id, &w)| (registry.resolve(id), w)).collect();
+                let mut shares: Vec<(IngressPoint, f64)> = c
+                    .counts
+                    .iter()
+                    .map(|(&id, &w)| (registry.resolve(id), w))
+                    .collect();
                 shares.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("finite weights").then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite weights")
+                        .then(a.0.cmp(&b.0))
                 });
                 IpdRangeRecord {
                     ts,
@@ -245,7 +252,9 @@ impl SnapshotDiff {
             .collect();
         let mut diff = SnapshotDiff::default();
         for r in after.classified() {
-            let Some(new_ing) = r.ingress.as_ref() else { continue };
+            let Some(new_ing) = r.ingress.as_ref() else {
+                continue;
+            };
             match old.remove(&r.range) {
                 None => diff.appeared.push((r.range, new_ing.clone())),
                 Some(old_ing) if old_ing == new_ing => diff.unchanged += 1,
@@ -280,13 +289,20 @@ mod tests {
     use ipd_lpm::Addr;
 
     fn engine_with_split_space() -> IpdEngine {
-        let params =
-            IpdParams { ncidr_factor_v4: 0.01, ..IpdParams::default() };
+        let params = IpdParams {
+            ncidr_factor_v4: 0.01,
+            ..IpdParams::default()
+        };
         let mut e = IpdEngine::new(params).unwrap();
         // n_cidr: /0 needs ~656 samples, /1 needs ~464 — 600 per half works.
         for i in 0..600u32 {
             e.ingest_parts(30, Addr::v4(i * 1024), IngressPoint::new(1, 1), 1.0);
-            e.ingest_parts(30, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(2, 4), 1.0);
+            e.ingest_parts(
+                30,
+                Addr::v4(0x8000_0000 + i * 1024),
+                IngressPoint::new(2, 4),
+                1.0,
+            );
         }
         e.tick(60); // split
         e.tick(61); // classify halves
@@ -354,11 +370,21 @@ mod tests {
         // re-learns the new ingress.
         let mut e = engine_with_split_space();
         for i in 0..3000u32 {
-            e.ingest_parts(120, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(9, 9), 1.0);
+            e.ingest_parts(
+                120,
+                Addr::v4(0x8000_0000 + i * 1024),
+                IngressPoint::new(9, 9),
+                1.0,
+            );
         }
         e.tick(180); // invalidation (resets per-IP state)
         for i in 0..3000u32 {
-            e.ingest_parts(185, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(9, 9), 1.0);
+            e.ingest_parts(
+                185,
+                Addr::v4(0x8000_0000 + i * 1024),
+                IngressPoint::new(9, 9),
+                1.0,
+            );
         }
         e.tick(240); // re-classification from fresh state
         let after = e.snapshot(240);

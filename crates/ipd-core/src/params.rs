@@ -256,16 +256,66 @@ mod tests {
     #[test]
     fn validation_rejects_bad_values() {
         let ok = IpdParams::default();
-        assert!(IpdParams { q: 0.5, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { q: 1.01, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { q: 0.501, ..ok.clone() }.validate().is_ok());
-        assert!(IpdParams { cidr_max_v4: 0, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { cidr_max_v4: 33, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { cidr_max_v6: 65, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { ncidr_factor_v4: 0.0, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { t_secs: 0, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { e_secs: 0, ..ok.clone() }.validate().is_err());
-        assert!(IpdParams { bundle_member_min_share: 1.5, ..ok }.validate().is_err());
+        assert!(IpdParams {
+            q: 0.5,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            q: 1.01,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            q: 0.501,
+            ..ok.clone()
+        }
+        .validate()
+        .is_ok());
+        assert!(IpdParams {
+            cidr_max_v4: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            cidr_max_v4: 33,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            cidr_max_v6: 65,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            ncidr_factor_v4: 0.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            t_secs: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            e_secs: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IpdParams {
+            bundle_member_min_share: 1.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Plain-data export and rebuild of the complete engine state.
+//!
+//! This is the sans-I/O substrate for checkpointing: [`EngineStateDump`] is
+//! an owned, serialization-friendly mirror of everything an [`IpdEngine`]
+//! holds — params, the ingress intern table, cumulative stats, and both
+//! family tries in preorder. The `ipd-state` crate turns a dump into bytes
+//! and back; this module guarantees the round trip is lossless and
+//! *canonical*: every map is emitted sorted by key, so the same engine state
+//! always produces the same dump regardless of `HashMap` iteration order.
+//!
+//! The restore contract mirrors the sharding contract (`shard` module docs):
+//! in [`crate::CountMode::Flows`] a restored engine is bit-for-bit
+//! equivalent to the original — continuing an interrupted run after
+//! [`IpdEngine::restore_state`] yields `Snapshot::digest()`s identical to an
+//! uninterrupted run. (In `Bytes` mode, rebuilt hash maps may re-associate
+//! f64 additions differently, exactly like re-sharding does.)
+
+use ipd_lpm::Af;
+use ipd_topology::IngressPoint;
+
+use crate::engine::EngineStats;
+use crate::ingress::LogicalIngress;
+use crate::params::{IpdParams, ParamError};
+
+/// Everything an [`IpdEngine`](crate::IpdEngine) holds, as plain owned data.
+///
+/// Produced by [`IpdEngine::dump_state`](crate::IpdEngine::dump_state);
+/// consumed by [`IpdEngine::restore_state`](crate::IpdEngine::restore_state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStateDump {
+    /// Engine parameters (restore re-validates them).
+    pub params: IpdParams,
+    /// The intern table, in id order: index `i` is the point of id `i`.
+    pub ingresses: Vec<IngressPoint>,
+    /// Cumulative counters.
+    pub stats: EngineStats,
+    /// IPv4 trie in preorder (internal node, then left, then right subtree).
+    pub v4: Vec<TrieNodeDump>,
+    /// IPv6 trie in preorder.
+    pub v6: Vec<TrieNodeDump>,
+}
+
+/// One trie node in a preorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrieNodeDump {
+    /// An internal node; the next entries are its left then right subtrees.
+    Internal,
+    /// A monitoring leaf: per-masked-IP state, sorted by IP.
+    Monitoring(Vec<IpEntryDump>),
+    /// A classified leaf.
+    Classified(ClassifiedDump),
+}
+
+/// Per-IP monitoring state of one masked source address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpEntryDump {
+    /// The masked source address (family width, right-aligned).
+    pub ip: u128,
+    /// Last sample timestamp.
+    pub last_ts: u64,
+    /// Per-ingress weights, sorted by ingress id.
+    pub counts: Vec<(u32, f64)>,
+}
+
+/// State of a classified leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedDump {
+    /// The assigned logical ingress.
+    pub ingress: LogicalIngress,
+    /// Member ids (already sorted by the engine).
+    pub member_ids: Vec<u32>,
+    /// Per-ingress weights, sorted by ingress id.
+    pub counts: Vec<(u32, f64)>,
+    /// Total weight.
+    pub total: f64,
+    /// Last sample timestamp.
+    pub last_ts: u64,
+    /// When the range was classified.
+    pub since: u64,
+}
+
+/// Why a dump cannot be turned back into an engine.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The dumped params fail [`IpdParams::validate`].
+    Params(ParamError),
+    /// The intern table contains the same point twice.
+    DuplicateIngress(IngressPoint),
+    /// A counter or member references an id outside the intern table.
+    UnknownIngressId(u32),
+    /// A preorder walk ran past the end of the node list.
+    TruncatedTrie(Af),
+    /// A preorder walk finished with nodes left over.
+    TrailingNodes(Af, usize),
+    /// The trie nests deeper than the address family allows.
+    TooDeep(Af),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Params(e) => write!(f, "invalid params: {e}"),
+            RestoreError::DuplicateIngress(p) => {
+                write!(f, "duplicate ingress point R{}.{}", p.router, p.ifindex)
+            }
+            RestoreError::UnknownIngressId(id) => write!(f, "unknown ingress id {id}"),
+            RestoreError::TruncatedTrie(af) => write!(f, "{af:?} trie preorder is truncated"),
+            RestoreError::TrailingNodes(af, n) => {
+                write!(f, "{af:?} trie preorder has {n} trailing nodes")
+            }
+            RestoreError::TooDeep(af) => write!(f, "{af:?} trie deeper than the address width"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<ParamError> for RestoreError {
+    fn from(e: ParamError) -> Self {
+        RestoreError::Params(e)
+    }
+}

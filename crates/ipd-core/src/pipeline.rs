@@ -65,6 +65,9 @@ pub trait TickEngine {
     fn snapshot(&self, ts: u64) -> Snapshot;
     /// The configured stage-2 bucket length `t` in seconds.
     fn t_secs(&self) -> u64;
+    /// The underlying logical engine (for state export — checkpoints are
+    /// execution-strategy-free, see [`crate::persist`]).
+    fn engine(&self) -> &IpdEngine;
 }
 
 impl TickEngine for IpdEngine {
@@ -82,6 +85,10 @@ impl TickEngine for IpdEngine {
 
     fn t_secs(&self) -> u64 {
         self.params().t_secs
+    }
+
+    fn engine(&self) -> &IpdEngine {
+        self
     }
 }
 
@@ -105,6 +112,10 @@ impl TickEngine for ShardedEngine {
     fn t_secs(&self) -> u64 {
         self.params().t_secs
     }
+
+    fn engine(&self) -> &IpdEngine {
+        ShardedEngine::engine(self)
+    }
 }
 
 /// Items the engine thread emits.
@@ -115,6 +126,44 @@ pub enum PipelineOutput {
     /// A periodic full snapshot (see [`PipelineConfig::snapshot_every_ticks`]).
     Snapshot(Snapshot),
 }
+
+/// The data-time position of a [`BucketDriver`] — checkpointed alongside
+/// the engine state so a restored run resumes tick/snapshot cadence exactly
+/// where the interrupted run left it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketClock {
+    /// The bucket of the last observed flow (None before the first flow).
+    pub current_bucket: Option<u64>,
+    /// Ticks fired since the last periodic snapshot.
+    pub ticks_since_snapshot: u32,
+}
+
+/// Observer of a driven engine run — the durability seam. A hook sees every
+/// flow *before* it is ingested (write-ahead: a flow is journaled before it
+/// can mutate state) and every bucket-boundary crossing *after* its ticks
+/// fired but before the crossing flow is delivered — at that instant the
+/// engine state is exactly "all flows of the closed buckets applied", the
+/// well-defined point a checkpoint captures.
+pub trait PipelineHook: Send {
+    /// A run of flows about to be ingested, in stream order.
+    fn flows(&mut self, flows: &[FlowRecord]) {
+        let _ = flows;
+    }
+    /// Bucket-boundary ticks just fired; `clock` is the driver position.
+    fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        let _ = (engine, clock);
+    }
+    /// End of stream, *before* the final tick — a restored run replays to
+    /// this state and fires the final tick itself.
+    fn finished(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        let _ = (engine, clock);
+    }
+}
+
+/// The do-nothing hook the unhooked entry points run with.
+pub struct NoopHook;
+
+impl PipelineHook for NoopHook {}
 
 /// Drives stage-2 ticks from data timestamps. Shared by the offline runner
 /// and the threaded pipeline so both have identical semantics.
@@ -129,11 +178,25 @@ pub struct BucketDriver {
 impl BucketDriver {
     /// A driver for the given bucket length and snapshot cadence.
     pub fn new(t_secs: u64, snapshot_every_ticks: u32) -> Self {
+        Self::with_clock(t_secs, snapshot_every_ticks, BucketClock::default())
+    }
+
+    /// A driver resuming from a checkpointed [`BucketClock`]. The cadence
+    /// parameters must match the interrupted run's for tick-exact replay.
+    pub fn with_clock(t_secs: u64, snapshot_every_ticks: u32, clock: BucketClock) -> Self {
         BucketDriver {
             t: t_secs.max(1),
             snapshot_every: snapshot_every_ticks.max(1),
-            current_bucket: None,
-            ticks_since_snapshot: 0,
+            current_bucket: clock.current_bucket,
+            ticks_since_snapshot: clock.ticks_since_snapshot,
+        }
+    }
+
+    /// The current data-time position.
+    pub fn clock(&self) -> BucketClock {
+        BucketClock {
+            current_bucket: self.current_bucket,
+            ticks_since_snapshot: self.ticks_since_snapshot,
         }
     }
 
@@ -144,6 +207,18 @@ impl BucketDriver {
         engine: &mut E,
         ts: u64,
         out: &mut F,
+    ) {
+        self.observe_with(engine, ts, out, &mut NoopHook);
+    }
+
+    /// [`BucketDriver::observe`] with a [`PipelineHook`] that is told about
+    /// boundary crossings (after their ticks fired).
+    pub fn observe_with<E: TickEngine, F: FnMut(PipelineOutput)>(
+        &mut self,
+        engine: &mut E,
+        ts: u64,
+        out: &mut F,
+        hook: &mut dyn PipelineHook,
     ) {
         let bucket = ts / self.t;
         let Some(current) = self.current_bucket else {
@@ -157,6 +232,7 @@ impl BucketDriver {
             self.fire(engine, (b + 1) * self.t, out);
         }
         self.current_bucket = Some(bucket);
+        hook.bucket_crossed(engine.engine(), self.clock());
     }
 
     /// Observe *and ingest* a whole batch: due ticks still fire exactly at
@@ -170,6 +246,21 @@ impl BucketDriver {
         batch: &[FlowRecord],
         out: &mut F,
     ) {
+        self.ingest_batch_with(engine, batch, out, &mut NoopHook);
+    }
+
+    /// [`BucketDriver::ingest_batch`] with a [`PipelineHook`]: every run of
+    /// flows between boundaries goes to [`PipelineHook::flows`] immediately
+    /// before it is ingested, so a boundary crossing mid-batch sees the
+    /// preceding run applied and the following run not yet journaled —
+    /// the same order the per-flow path produces.
+    pub fn ingest_batch_with<E: TickEngine, F: FnMut(PipelineOutput)>(
+        &mut self,
+        engine: &mut E,
+        batch: &[FlowRecord],
+        out: &mut F,
+        hook: &mut dyn PipelineHook,
+    ) {
         let mut start = 0;
         for (i, flow) in batch.iter().enumerate() {
             let due = match self.current_bucket {
@@ -177,20 +268,18 @@ impl BucketDriver {
                 None => false,
             };
             if due {
+                hook.flows(&batch[start..i]);
                 engine.ingest_batch(&batch[start..i]);
                 start = i;
             }
-            self.observe(engine, flow.ts, out);
+            self.observe_with(engine, flow.ts, out, hook);
         }
+        hook.flows(&batch[start..]);
         engine.ingest_batch(&batch[start..]);
     }
 
     /// Fire the final tick and snapshot at end of stream.
-    pub fn finish<E: TickEngine, F: FnMut(PipelineOutput)>(
-        &mut self,
-        engine: &mut E,
-        out: &mut F,
-    ) {
+    pub fn finish<E: TickEngine, F: FnMut(PipelineOutput)>(&mut self, engine: &mut E, out: &mut F) {
         if let Some(current) = self.current_bucket {
             let now = (current + 1) * self.t;
             let report = engine.tick(now);
@@ -218,17 +307,49 @@ impl BucketDriver {
 /// Run IPD over an in-memory, time-ordered flow stream. Ticks fire at bucket
 /// boundaries; `on_output` receives every tick report and snapshot,
 /// including the final end-of-stream snapshot.
-pub fn run_offline<E, I, F>(engine: &mut E, flows: I, snapshot_every_ticks: u32, mut on_output: F)
+pub fn run_offline<E, I, F>(engine: &mut E, flows: I, snapshot_every_ticks: u32, on_output: F)
 where
     E: TickEngine,
     I: IntoIterator<Item = FlowRecord>,
     F: FnMut(PipelineOutput),
 {
-    let mut driver = BucketDriver::new(engine.t_secs(), snapshot_every_ticks);
+    run_offline_with(
+        engine,
+        flows,
+        snapshot_every_ticks,
+        None,
+        &mut NoopHook,
+        on_output,
+    );
+}
+
+/// [`run_offline`] with a [`PipelineHook`] and an optional starting
+/// [`BucketClock`] (pass the clock a restore returned to resume an
+/// interrupted run mid-stream). The hook's
+/// [`finished`](PipelineHook::finished) fires before the final tick.
+pub fn run_offline_with<E, I, F>(
+    engine: &mut E,
+    flows: I,
+    snapshot_every_ticks: u32,
+    clock: Option<BucketClock>,
+    hook: &mut dyn PipelineHook,
+    mut on_output: F,
+) where
+    E: TickEngine,
+    I: IntoIterator<Item = FlowRecord>,
+    F: FnMut(PipelineOutput),
+{
+    let mut driver = BucketDriver::with_clock(
+        engine.t_secs(),
+        snapshot_every_ticks,
+        clock.unwrap_or_default(),
+    );
     for flow in flows {
-        driver.observe(engine, flow.ts, &mut on_output);
+        driver.observe_with(engine, flow.ts, &mut on_output, hook);
+        hook.flows(std::slice::from_ref(&flow));
         engine.ingest(&flow);
     }
+    hook.finished(engine.engine(), driver.clock());
     driver.finish(engine, &mut on_output);
 }
 
@@ -241,12 +362,22 @@ where
 pub struct IpdPipeline {
     input: Sender<Vec<FlowRecord>>,
     output: Receiver<PipelineOutput>,
-    handle: std::thread::JoinHandle<IpdEngine>,
+    handle: std::thread::JoinHandle<(IpdEngine, Box<dyn PipelineHook>)>,
 }
 
 impl IpdPipeline {
     /// Spawn the engine thread.
     pub fn spawn(config: PipelineConfig) -> Result<Self, crate::params::ParamError> {
+        Self::spawn_hooked(config, Box::new(NoopHook))
+    }
+
+    /// Spawn the engine thread with a [`PipelineHook`] riding on the driver
+    /// (e.g. a checkpointer). The hook lives on the engine thread and is
+    /// handed back by [`IpdPipeline::finish_hooked`].
+    pub fn spawn_hooked(
+        config: PipelineConfig,
+        hook: Box<dyn PipelineHook>,
+    ) -> Result<Self, crate::params::ParamError> {
         let engine = IpdEngine::new(config.params.clone())?;
         let (in_tx, in_rx) = bounded::<Vec<FlowRecord>>(config.channel_capacity);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(config.channel_capacity);
@@ -255,6 +386,7 @@ impl IpdPipeline {
             .name("ipd-engine".into())
             .spawn(move || {
                 let mut engine = engine;
+                let mut hook = hook;
                 let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every);
                 // If the consumer goes away we keep processing; IPD state is
                 // still useful when handed back by finish().
@@ -263,15 +395,21 @@ impl IpdPipeline {
                 };
                 for batch in in_rx.iter() {
                     for flow in batch {
-                        driver.observe(&mut engine, flow.ts, &mut emit);
+                        driver.observe_with(&mut engine, flow.ts, &mut emit, hook.as_mut());
+                        hook.flows(std::slice::from_ref(&flow));
                         engine.ingest(&flow);
                     }
                 }
+                hook.finished(&engine, driver.clock());
                 driver.finish(&mut engine, &mut emit);
-                engine
+                (engine, hook)
             })
             .expect("spawning the engine thread");
-        Ok(IpdPipeline { input: in_tx, output: out_rx, handle })
+        Ok(IpdPipeline {
+            input: in_tx,
+            output: out_rx,
+            handle,
+        })
     }
 
     /// A clonable sender for flow batches.
@@ -287,10 +425,18 @@ impl IpdPipeline {
     /// Close the input, wait for the engine thread, and return the engine
     /// plus any outputs still queued.
     pub fn finish(self) -> (IpdEngine, Vec<PipelineOutput>) {
-        drop(self.input);
-        let engine = self.handle.join().expect("engine thread never panics");
-        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        let (engine, _, leftover) = self.finish_hooked();
         (engine, leftover)
+    }
+
+    /// [`IpdPipeline::finish`], also handing back the hook passed to
+    /// [`IpdPipeline::spawn_hooked`] (after its
+    /// [`finished`](PipelineHook::finished) callback ran).
+    pub fn finish_hooked(self) -> (IpdEngine, Box<dyn PipelineHook>, Vec<PipelineOutput>) {
+        drop(self.input);
+        let (engine, hook) = self.handle.join().expect("engine thread never panics");
+        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        (engine, hook, leftover)
     }
 }
 
@@ -308,12 +454,21 @@ impl IpdPipeline {
 pub struct ShardedPipeline {
     input: Sender<Vec<FlowRecord>>,
     output: Receiver<PipelineOutput>,
-    handle: std::thread::JoinHandle<ShardedEngine>,
+    handle: std::thread::JoinHandle<(ShardedEngine, Box<dyn PipelineHook>)>,
 }
 
 impl ShardedPipeline {
     /// Spawn the coordinator thread with a K-sharded engine.
     pub fn spawn(config: PipelineConfig) -> Result<Self, crate::params::ParamError> {
+        Self::spawn_hooked(config, Box::new(NoopHook))
+    }
+
+    /// Spawn the coordinator thread with a [`PipelineHook`] riding on the
+    /// driver, exactly like [`IpdPipeline::spawn_hooked`].
+    pub fn spawn_hooked(
+        config: PipelineConfig,
+        hook: Box<dyn PipelineHook>,
+    ) -> Result<Self, crate::params::ParamError> {
         let engine = ShardedEngine::new(config.params.clone(), config.shards)?;
         let (in_tx, in_rx) = bounded::<Vec<FlowRecord>>(config.channel_capacity);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(config.channel_capacity);
@@ -322,18 +477,24 @@ impl ShardedPipeline {
             .name("ipd-sharded-engine".into())
             .spawn(move || {
                 let mut engine = engine;
+                let mut hook = hook;
                 let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every);
                 let mut emit = |o: PipelineOutput| {
                     let _ = out_tx.send(o);
                 };
                 for batch in in_rx.iter() {
-                    driver.ingest_batch(&mut engine, &batch, &mut emit);
+                    driver.ingest_batch_with(&mut engine, &batch, &mut emit, hook.as_mut());
                 }
+                hook.finished(ShardedEngine::engine(&engine), driver.clock());
                 driver.finish(&mut engine, &mut emit);
-                engine
+                (engine, hook)
             })
             .expect("spawning the sharded engine thread");
-        Ok(ShardedPipeline { input: in_tx, output: out_rx, handle })
+        Ok(ShardedPipeline {
+            input: in_tx,
+            output: out_rx,
+            handle,
+        })
     }
 
     /// A clonable sender for flow batches.
@@ -349,10 +510,19 @@ impl ShardedPipeline {
     /// Close the input, wait for the engine thread, and return the sharded
     /// engine plus any outputs still queued.
     pub fn finish(self) -> (ShardedEngine, Vec<PipelineOutput>) {
-        drop(self.input);
-        let engine = self.handle.join().expect("sharded engine thread never panics");
-        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        let (engine, _, leftover) = self.finish_hooked();
         (engine, leftover)
+    }
+
+    /// [`ShardedPipeline::finish`], also handing back the hook.
+    pub fn finish_hooked(self) -> (ShardedEngine, Box<dyn PipelineHook>, Vec<PipelineOutput>) {
+        drop(self.input);
+        let (engine, hook) = self
+            .handle
+            .join()
+            .expect("sharded engine thread never panics");
+        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        (engine, hook, leftover)
     }
 }
 
@@ -394,7 +564,10 @@ mod tests {
     use ipd_topology::IngressPoint;
 
     fn test_params() -> IpdParams {
-        IpdParams { ncidr_factor_v4: 0.01, ..IpdParams::default() }
+        IpdParams {
+            ncidr_factor_v4: 0.01,
+            ..IpdParams::default()
+        }
     }
 
     fn flows_two_halves(n_per_minute: u32, minutes: u64) -> Vec<FlowRecord> {
@@ -405,8 +578,7 @@ mod tests {
                 let mut f = FlowRecord::synthetic(ts, Addr::v4(i * 4096), 1, 1);
                 f.input_if = 1;
                 flows.push(f);
-                let g =
-                    FlowRecord::synthetic(ts, Addr::v4(0x8000_0000 + i * 4096), 2, 1);
+                let g = FlowRecord::synthetic(ts, Addr::v4(0x8000_0000 + i * 4096), 2, 1);
                 flows.push(g);
             }
         }
@@ -427,8 +599,16 @@ mod tests {
         assert!(!snapshots.is_empty());
         let last = snapshots.last().unwrap();
         let lpm = last.lpm_table();
-        assert!(lpm.lookup(Addr::v4(0x0100_0000)).unwrap().1.is_link(IngressPoint::new(1, 1)));
-        assert!(lpm.lookup(Addr::v4(0x9100_0000)).unwrap().1.is_link(IngressPoint::new(2, 1)));
+        assert!(lpm
+            .lookup(Addr::v4(0x0100_0000))
+            .unwrap()
+            .1
+            .is_link(IngressPoint::new(1, 1)));
+        assert!(lpm
+            .lookup(Addr::v4(0x9100_0000))
+            .unwrap()
+            .1
+            .is_link(IngressPoint::new(2, 1)));
     }
 
     #[test]
@@ -464,12 +644,17 @@ mod tests {
         };
         outputs.extend(leftover);
 
-        assert_eq!(engine.stats().flows_ingested, ref_engine.stats().flows_ingested);
+        assert_eq!(
+            engine.stats().flows_ingested,
+            ref_engine.stats().flows_ingested
+        );
         assert_eq!(engine.stats().ticks, ref_engine.stats().ticks);
         assert_eq!(engine.classified_count(), ref_engine.classified_count());
         // Same number and kinds of outputs in the same order.
         let kinds = |v: &[PipelineOutput]| -> Vec<bool> {
-            v.iter().map(|o| matches!(o, PipelineOutput::Snapshot(_))).collect()
+            v.iter()
+                .map(|o| matches!(o, PipelineOutput::Snapshot(_)))
+                .collect()
         };
         assert_eq!(kinds(&outputs), kinds(&ref_outputs));
     }
@@ -573,7 +758,11 @@ mod tests {
         driver.observe(&mut engine, 370, &mut out);
         // Nothing fired for the backward jumps; the forward crossing resumes
         // from the maximum bucket with a single tick.
-        assert_eq!(ticks, vec![360], "one tick, not one per skipped bucket backwards");
+        assert_eq!(
+            ticks,
+            vec![360],
+            "one tick, not one per skipped bucket backwards"
+        );
     }
 
     #[test]
@@ -611,7 +800,10 @@ mod tests {
 
         assert_eq!(ticks, ref_ticks);
         assert_eq!(engine.stats(), ref_engine.stats());
-        assert_eq!(engine.snapshot(999).digest(), ref_engine.snapshot(999).digest());
+        assert_eq!(
+            engine.snapshot(999).digest(),
+            ref_engine.snapshot(999).digest()
+        );
     }
 
     #[test]
@@ -641,8 +833,14 @@ mod tests {
         }
         drop(gram_tx);
         let stats = reader.join().expect("reader must not panic on disconnect");
-        assert_eq!(stats.records, 30, "everything fed before the failed send is counted");
-        assert_eq!(stats.errors, 1, "the malformed datagram is counted, not fatal");
+        assert_eq!(
+            stats.records, 30,
+            "everything fed before the failed send is counted"
+        );
+        assert_eq!(
+            stats.errors, 1,
+            "the malformed datagram is counted, not fatal"
+        );
     }
 
     #[test]

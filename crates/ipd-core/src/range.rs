@@ -52,10 +52,10 @@ pub(crate) struct MonitorState {
 impl MonitorState {
     /// Record one sample.
     pub(crate) fn add(&mut self, masked_ip: u128, ts: u64, id: IngressId, weight: f64) {
-        let entry = self
-            .ips
-            .entry(masked_ip)
-            .or_insert_with(|| IpState { last_ts: ts, counts: CountMap::new() });
+        let entry = self.ips.entry(masked_ip).or_insert_with(|| IpState {
+            last_ts: ts,
+            counts: CountMap::new(),
+        });
         entry.last_ts = entry.last_ts.max(ts);
         *entry.counts.entry(id).or_insert(0.0) += weight;
     }
@@ -187,7 +187,9 @@ pub(crate) fn decide(
     // Single dominant link? Ties break toward the lower id so the decision
     // is deterministic (HashMap iteration order is randomly seeded).
     if let Some((&best_id, &best_w)) = per_ingress.iter().max_by(|a, b| {
-        a.1.partial_cmp(b.1).expect("weights are finite").then(b.0.cmp(a.0))
+        a.1.partial_cmp(b.1)
+            .expect("weights are finite")
+            .then(b.0.cmp(a.0))
     }) {
         if best_w / total >= q {
             let point = registry.resolve(best_id);
@@ -204,7 +206,9 @@ pub(crate) fn decide(
             *per_router.entry(registry.resolve(id).router).or_insert(0.0) += w;
         }
         if let Some((&router, &router_w)) = per_router.iter().max_by(|a, b| {
-            a.1.partial_cmp(b.1).expect("weights are finite").then(b.0.cmp(a.0))
+            a.1.partial_cmp(b.1)
+                .expect("weights are finite")
+                .then(b.0.cmp(a.0))
         }) {
             if router_w / total >= q {
                 let mut member_ids: Vec<IngressId> = per_ingress
@@ -218,15 +222,16 @@ pub(crate) fn decide(
                 member_ids.sort_unstable();
                 // Re-check: dropping sub-threshold members must not push the
                 // member share below q.
-                let member_w: f64 =
-                    member_ids.iter().filter_map(|id| per_ingress.get(id)).sum();
+                let member_w: f64 = member_ids.iter().filter_map(|id| per_ingress.get(id)).sum();
                 if member_w / total >= q {
                     if member_ids.len() == 1 {
                         let point = registry.resolve(member_ids[0]);
                         return Decision::Classify(LogicalIngress::Link(point), member_ids);
                     }
-                    let ifindexes =
-                        member_ids.iter().map(|&id| registry.resolve(id).ifindex).collect();
+                    let ifindexes = member_ids
+                        .iter()
+                        .map(|&id| registry.resolve(id).ifindex)
+                        .collect();
                     return Decision::Classify(
                         LogicalIngress::Bundle(Bundle::new(router, ifindexes)),
                         member_ids,
@@ -275,7 +280,10 @@ mod tests {
 
     fn registry_with(points: &[(u32, u16)]) -> (IngressRegistry, Vec<IngressId>) {
         let mut reg = IngressRegistry::new();
-        let ids = points.iter().map(|&(r, i)| reg.intern(IngressPoint::new(r, i))).collect();
+        let ids = points
+            .iter()
+            .map(|&(r, i)| reg.intern(IngressPoint::new(r, i)))
+            .collect();
         (reg, ids)
     }
 
@@ -364,7 +372,10 @@ mod tests {
         let mut per = CountMap::new();
         per.insert(ids[0], 60.0);
         per.insert(ids[1], 40.0);
-        assert_eq!(decide(&per, 100.0, 0.95, false, true, 0.05, &reg), Decision::Split);
+        assert_eq!(
+            decide(&per, 100.0, 0.95, false, true, 0.05, &reg),
+            Decision::Split
+        );
     }
 
     #[test]
@@ -391,13 +402,19 @@ mod tests {
         per.insert(ids[0], 50.0);
         per.insert(ids[1], 50.0);
         // Disabled: waits.
-        assert_eq!(decide(&per, 100.0, 0.95, true, false, 0.05, &reg), Decision::Wait);
+        assert_eq!(
+            decide(&per, 100.0, 0.95, true, false, 0.05, &reg),
+            Decision::Wait
+        );
         // Across two routers: no bundle possible.
         let (reg2, ids2) = registry_with(&[(5, 1), (6, 1)]);
         let mut per2 = CountMap::new();
         per2.insert(ids2[0], 50.0);
         per2.insert(ids2[1], 50.0);
-        assert_eq!(decide(&per2, 100.0, 0.95, true, true, 0.05, &reg2), Decision::Wait);
+        assert_eq!(
+            decide(&per2, 100.0, 0.95, true, true, 0.05, &reg2),
+            Decision::Wait
+        );
     }
 
     #[test]
@@ -419,7 +436,10 @@ mod tests {
     #[test]
     fn decide_empty_waits() {
         let (reg, _) = registry_with(&[]);
-        assert_eq!(decide(&CountMap::new(), 0.0, 0.95, false, true, 0.05, &reg), Decision::Wait);
+        assert_eq!(
+            decide(&CountMap::new(), 0.0, 0.95, false, true, 0.05, &reg),
+            Decision::Wait
+        );
     }
 
     #[test]

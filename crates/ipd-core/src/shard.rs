@@ -88,7 +88,11 @@ impl ShardedEngine {
             return Err(ParamError::BadShardCount(shards));
         }
         let depth = shards.trailing_zeros() as u8;
-        Ok(ShardedEngine { inner: engine, shards, depth })
+        Ok(ShardedEngine {
+            inner: engine,
+            shards,
+            depth,
+        })
     }
 
     /// The configured shard count K.
@@ -104,6 +108,23 @@ impl ShardedEngine {
     /// Unwrap back into the plain engine.
     pub fn into_engine(self) -> IpdEngine {
         self.inner
+    }
+
+    /// Export the complete logical state — identical to the wrapped
+    /// engine's [`IpdEngine::dump_state`]; the shard count is an execution
+    /// strategy, not state, so checkpoints are shard-count-free.
+    pub fn dump_state(&self) -> crate::persist::EngineStateDump {
+        self.inner.dump_state()
+    }
+
+    /// Rebuild a sharded engine from a dump at *any* valid shard count —
+    /// including one different from the engine the dump was taken from.
+    pub fn restore_state(
+        dump: crate::persist::EngineStateDump,
+        shards: usize,
+    ) -> Result<Self, crate::persist::RestoreError> {
+        let engine = IpdEngine::restore_state(dump)?;
+        Self::from_engine(engine, shards).map_err(crate::persist::RestoreError::Params)
     }
 
     /// The engine's parameters.
@@ -143,7 +164,13 @@ impl ShardedEngine {
     }
 
     /// Stage 1 with explicit parts — sequential passthrough.
-    pub fn ingest_parts(&mut self, ts: u64, src: ipd_lpm::Addr, ingress: IngressPoint, weight: f64) {
+    pub fn ingest_parts(
+        &mut self,
+        ts: u64,
+        src: ipd_lpm::Addr,
+        ingress: IngressPoint,
+        weight: f64,
+    ) {
         self.inner.ingest_parts(ts, src, ingress, weight);
     }
 
@@ -158,7 +185,13 @@ impl ShardedEngine {
             return;
         }
         let depth = self.depth;
-        let IpdEngine { params, root_v4, root_v6, registry, stats } = &mut self.inner;
+        let IpdEngine {
+            params,
+            root_v4,
+            root_v6,
+            registry,
+            stats,
+        } = &mut self.inner;
         let prepared: Vec<PreparedFlow> = flows
             .iter()
             .map(|f| {
@@ -190,7 +223,11 @@ impl ShardedEngine {
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
         for (i, p) in prepared.iter().enumerate() {
             let width = p.af.width();
-            let slot = if depth == 0 { 0 } else { (p.bits >> (width - depth)) as usize };
+            let slot = if depth == 0 {
+                0
+            } else {
+                (p.bits >> (width - depth)) as usize
+            };
             let unit = match p.af {
                 Af::V4 => v4_slots[slot],
                 Af::V6 => v4_units + v6_slots[slot],
@@ -232,7 +269,13 @@ impl ShardedEngine {
     /// canonical report (counters summed, range lists sorted by prefix).
     pub fn tick(&mut self, now: u64) -> TickReport {
         let depth = self.depth;
-        let IpdEngine { params, root_v4, root_v6, registry, stats } = &mut self.inner;
+        let IpdEngine {
+            params,
+            root_v4,
+            root_v6,
+            registry,
+            stats,
+        } = &mut self.inner;
         let params: &IpdParams = params;
         let registry: &IngressRegistry = registry;
 
@@ -242,7 +285,12 @@ impl ShardedEngine {
 
         let tick_unit = |prefix: Prefix, node: &mut Node| -> TickReport {
             let mut report = TickReport::new(now);
-            let mut ctx = TickCtx { now, params, registry, report: &mut report };
+            let mut ctx = TickCtx {
+                now,
+                params,
+                registry,
+                report: &mut report,
+            };
             node.tick(prefix, &mut ctx);
             report
         };
@@ -263,7 +311,12 @@ impl ShardedEngine {
 
         let mut top = TickReport::new(now);
         {
-            let mut ctx = TickCtx { now, params, registry, report: &mut top };
+            let mut ctx = TickCtx {
+                now,
+                params,
+                registry,
+                report: &mut top,
+            };
             root_v4.tick_top(Prefix::root(Af::V4), depth, &mut ctx);
             root_v6.tick_top(Prefix::root(Af::V6), depth, &mut ctx);
         }
@@ -294,7 +347,11 @@ fn slot_table(units: &[(Prefix, &mut Node)], depth: u8) -> Vec<usize> {
         let covered = 1usize << (depth - prefix.len());
         table.extend(std::iter::repeat_n(idx, covered));
     }
-    debug_assert_eq!(table.len(), 1usize << depth, "frontier must cover the space");
+    debug_assert_eq!(
+        table.len(),
+        1usize << depth,
+        "frontier must cover the space"
+    );
     table
 }
 
@@ -329,14 +386,23 @@ mod tests {
     use ipd_lpm::Addr;
 
     fn test_params() -> IpdParams {
-        IpdParams { ncidr_factor_v4: 0.01, ncidr_factor_v6: 1e-9, ..IpdParams::default() }
+        IpdParams {
+            ncidr_factor_v4: 0.01,
+            ncidr_factor_v6: 1e-9,
+            ..IpdParams::default()
+        }
     }
 
     fn two_halves(n: u32, ts: u64) -> Vec<FlowRecord> {
         let mut flows = Vec::new();
         for i in 0..n {
             flows.push(FlowRecord::synthetic(ts, Addr::v4(i * 4096), 1, 1));
-            flows.push(FlowRecord::synthetic(ts, Addr::v4(0x8000_0000 + i * 4096), 2, 1));
+            flows.push(FlowRecord::synthetic(
+                ts,
+                Addr::v4(0x8000_0000 + i * 4096),
+                2,
+                1,
+            ));
         }
         flows
     }
@@ -368,7 +434,10 @@ mod tests {
             let mut sharded = ShardedEngine::new(test_params(), k).unwrap();
             sharded.ingest_batch(&flows);
             let report = sharded.tick(60);
-            assert_eq!(report.newly_classified, ref_report.newly_classified, "K={k}");
+            assert_eq!(
+                report.newly_classified, ref_report.newly_classified,
+                "K={k}"
+            );
             assert_eq!(report.splits, ref_report.splits, "K={k}");
             assert_eq!(sharded.stats(), reference.stats(), "K={k}");
             assert_eq!(
@@ -387,7 +456,12 @@ mod tests {
         let mut flows = Vec::new();
         for i in 0..600u32 {
             flows.push(FlowRecord::synthetic(30, Addr::v4(i * 4096), 1, 1));
-            flows.push(FlowRecord::synthetic(30, Addr::v4(0x8000_0000 + i * 4096), 2, 1));
+            flows.push(FlowRecord::synthetic(
+                30,
+                Addr::v4(0x8000_0000 + i * 4096),
+                2,
+                1,
+            ));
         }
         let run = |k: usize| {
             let mut e = ShardedEngine::new(test_params(), k).unwrap();

@@ -5,7 +5,15 @@ use ipd_lpm::Prefix;
 use crate::engine::TickReport;
 use crate::ingress::{IngressId, IngressRegistry};
 use crate::params::IpdParams;
+use crate::persist::{ClassifiedDump, IpEntryDump, RestoreError, TrieNodeDump};
 use crate::range::{decide, looks_load_balanced, ClassifiedState, Decision, RangeState};
+
+/// Per-ingress weights as a sorted plain vector (canonical dump order).
+fn sorted_counts(counts: &crate::range::CountMap) -> Vec<(u32, f64)> {
+    let mut v: Vec<(u32, f64)> = counts.iter().map(|(id, &w)| (id.index(), w)).collect();
+    v.sort_unstable_by_key(|&(id, _)| id);
+    v
+}
 
 /// A node of the binary range trie. Leaves carry range state; internal nodes
 /// exist only where a range has been split.
@@ -32,14 +40,7 @@ impl Node {
     /// Stage 1: walk to the leaf covering `bits` and record the sample.
     /// `bits` must already be masked to `cidr_max`. `self` must be the
     /// family root.
-    pub(crate) fn ingest(
-        &mut self,
-        bits: u128,
-        width: u8,
-        ts: u64,
-        id: IngressId,
-        weight: f64,
-    ) {
+    pub(crate) fn ingest(&mut self, bits: u128, width: u8, ts: u64, id: IngressId, weight: f64) {
         self.ingest_from(0, bits, width, ts, id, weight);
     }
 
@@ -92,7 +93,9 @@ impl Node {
     }
 
     fn tick_leaf(&mut self, prefix: Prefix, ctx: &mut TickCtx<'_>) {
-        let Node::Leaf(state) = self else { unreachable!("tick_leaf on internal node") };
+        let Node::Leaf(state) = self else {
+            unreachable!("tick_leaf on internal node")
+        };
         let params = ctx.params;
         let cidr_max = params.cidr_max(prefix.af());
         match state {
@@ -198,12 +201,13 @@ impl Node {
     /// requirements") and collapse empty monitoring siblings so the trie
     /// does not grow without bound.
     fn try_merge(&mut self, prefix: Prefix, ctx: &mut TickCtx<'_>) {
-        let Node::Internal(children) = self else { return };
+        let Node::Internal(children) = self else {
+            return;
+        };
         match (&children[0], &children[1]) {
-            (
-                Node::Leaf(RangeState::Classified(a)),
-                Node::Leaf(RangeState::Classified(b)),
-            ) if a.ingress == b.ingress => {
+            (Node::Leaf(RangeState::Classified(a)), Node::Leaf(RangeState::Classified(b)))
+                if a.ingress == b.ingress =>
+            {
                 let combined = a.total + b.total;
                 if combined < ctx.params.n_cidr(prefix.af(), prefix.len()) {
                     return;
@@ -216,13 +220,14 @@ impl Node {
                 merged.last_ts = a.last_ts.max(b.last_ts);
                 merged.since = a.since.min(b.since);
                 ctx.report.joins += 1;
-                ctx.report.newly_classified.push((prefix, merged.ingress.clone()));
+                ctx.report
+                    .newly_classified
+                    .push((prefix, merged.ingress.clone()));
                 *self = Node::Leaf(RangeState::Classified(merged));
             }
-            (
-                Node::Leaf(RangeState::Monitoring(a)),
-                Node::Leaf(RangeState::Monitoring(b)),
-            ) if a.is_empty() && b.is_empty() => {
+            (Node::Leaf(RangeState::Monitoring(a)), Node::Leaf(RangeState::Monitoring(b)))
+                if a.is_empty() && b.is_empty() =>
+            {
                 ctx.report.collapses += 1;
                 *self = Node::empty();
             }
@@ -300,6 +305,112 @@ impl Node {
         }
     }
 
+    /// Append this subtree to `out` in preorder (node, left, right). Maps
+    /// are emitted sorted by key so the dump is canonical — the same trie
+    /// state always yields the same dump.
+    pub(crate) fn dump_into(&self, out: &mut Vec<TrieNodeDump>) {
+        match self {
+            Node::Internal(children) => {
+                out.push(TrieNodeDump::Internal);
+                children[0].dump_into(out);
+                children[1].dump_into(out);
+            }
+            Node::Leaf(RangeState::Monitoring(m)) => {
+                let mut ips: Vec<IpEntryDump> = m
+                    .ips
+                    .iter()
+                    .map(|(&ip, st)| IpEntryDump {
+                        ip,
+                        last_ts: st.last_ts,
+                        counts: sorted_counts(&st.counts),
+                    })
+                    .collect();
+                ips.sort_unstable_by_key(|e| e.ip);
+                out.push(TrieNodeDump::Monitoring(ips));
+            }
+            Node::Leaf(RangeState::Classified(c)) => {
+                out.push(TrieNodeDump::Classified(ClassifiedDump {
+                    ingress: c.ingress.clone(),
+                    member_ids: c.member_ids.iter().map(|id| id.index()).collect(),
+                    counts: sorted_counts(&c.counts),
+                    total: c.total,
+                    last_ts: c.last_ts,
+                    since: c.since,
+                }));
+            }
+        }
+    }
+
+    /// Rebuild one subtree from a preorder dump, consuming entries from
+    /// `nodes` starting at `*pos`. `n_ingresses` bounds the valid ingress
+    /// ids; `af` is only used to name the family in errors, `depth_left`
+    /// guards against dumps nesting deeper than the address width.
+    pub(crate) fn from_dump(
+        nodes: &[TrieNodeDump],
+        pos: &mut usize,
+        n_ingresses: u32,
+        af: ipd_lpm::Af,
+        depth_left: u8,
+    ) -> Result<Node, RestoreError> {
+        let Some(entry) = nodes.get(*pos) else {
+            return Err(RestoreError::TruncatedTrie(af));
+        };
+        *pos += 1;
+        let check_id = |id: u32| {
+            if id < n_ingresses {
+                Ok(IngressId(id))
+            } else {
+                Err(RestoreError::UnknownIngressId(id))
+            }
+        };
+        match entry {
+            TrieNodeDump::Internal => {
+                if depth_left == 0 {
+                    return Err(RestoreError::TooDeep(af));
+                }
+                let left = Node::from_dump(nodes, pos, n_ingresses, af, depth_left - 1)?;
+                let right = Node::from_dump(nodes, pos, n_ingresses, af, depth_left - 1)?;
+                Ok(Node::Internal(Box::new([left, right])))
+            }
+            TrieNodeDump::Monitoring(ips) => {
+                let mut m = crate::range::MonitorState::default();
+                for e in ips {
+                    let mut counts = crate::range::CountMap::with_capacity(e.counts.len());
+                    for &(id, w) in &e.counts {
+                        counts.insert(check_id(id)?, w);
+                    }
+                    m.ips.insert(
+                        e.ip,
+                        crate::range::IpState {
+                            last_ts: e.last_ts,
+                            counts,
+                        },
+                    );
+                }
+                Ok(Node::Leaf(RangeState::Monitoring(m)))
+            }
+            TrieNodeDump::Classified(c) => {
+                let mut counts = crate::range::CountMap::with_capacity(c.counts.len());
+                for &(id, w) in &c.counts {
+                    counts.insert(check_id(id)?, w);
+                }
+                let member_ids = c
+                    .member_ids
+                    .iter()
+                    .map(|&id| check_id(id))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Node::Leaf(RangeState::Classified(ClassifiedState {
+                    ingress: c.ingress.clone(),
+                    member_ids,
+                    counts,
+                    total: c.total,
+                    last_ts: c.last_ts,
+                    since: c.since,
+                })))
+            }
+        }
+    }
+
     /// (leaves, classified leaves, monitored source IPs) in this subtree.
     pub(crate) fn counts(&self) -> (usize, usize, usize) {
         match self {
@@ -338,7 +449,12 @@ mod tests {
         now: u64,
     ) -> TickReport {
         let mut report = TickReport::new(now);
-        let mut ctx = TickCtx { now, params, registry, report: &mut report };
+        let mut ctx = TickCtx {
+            now,
+            params,
+            registry,
+            report: &mut report,
+        };
         node.tick(Prefix::root(Af::V4), &mut ctx);
         report
     }
@@ -370,15 +486,24 @@ mod tests {
         // Low half via a, high half via b.
         for i in 0..60u32 {
             root.ingest(Addr::v4(i * 64).masked(28).bits(), 32, 10, a, 1.0);
-            root.ingest(Addr::v4(0x8000_0000 + i * 64).masked(28).bits(), 32, 10, b, 1.0);
+            root.ingest(
+                Addr::v4(0x8000_0000 + i * 64).masked(28).bits(),
+                32,
+                10,
+                b,
+                1.0,
+            );
         }
         // The ambiguous root splits and — because the sweep cascades into
         // fresh children — both halves classify within the same tick.
         let r1 = tick_once(&mut root, &params, &reg, 60);
         assert_eq!(r1.splits, 1, "ambiguous root splits");
         assert_eq!(r1.newly_classified.len(), 2);
-        let names: Vec<String> =
-            r1.newly_classified.iter().map(|(p, _)| p.to_string()).collect();
+        let names: Vec<String> = r1
+            .newly_classified
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect();
         assert!(names.contains(&"0.0.0.0/1".to_string()));
         assert!(names.contains(&"128.0.0.0/1".to_string()));
     }
@@ -442,7 +567,13 @@ mod tests {
         // at tick 2 while the per-IP state is still fresh.
         for i in 0..60u32 {
             root.ingest(Addr::v4(i * 64).masked(28).bits(), 32, 10, a, 1.0);
-            root.ingest(Addr::v4(0x8000_0000 + i * 64).masked(28).bits(), 32, 10, b, 1.0);
+            root.ingest(
+                Addr::v4(0x8000_0000 + i * 64).masked(28).bits(),
+                32,
+                10,
+                b,
+                1.0,
+            );
         }
         let r = tick_once(&mut root, &params, &reg, 60);
         assert_eq!(r.newly_classified.len(), 2);
@@ -455,7 +586,13 @@ mod tests {
         for _ in 0..10 {
             for i in 0..60u32 {
                 root.ingest(Addr::v4(i * 64).masked(28).bits(), 32, now, a, 1.0);
-                root.ingest(Addr::v4(0x8000_0000 + i * 64).masked(28).bits(), 32, now, a, 1.0);
+                root.ingest(
+                    Addr::v4(0x8000_0000 + i * 64).masked(28).bits(),
+                    32,
+                    now,
+                    a,
+                    1.0,
+                );
             }
             now += params.t_secs;
             let r = tick_once(&mut root, &params, &reg, now);
@@ -487,7 +624,13 @@ mod tests {
         let mut root = Node::empty();
         for i in 0..60u32 {
             root.ingest(Addr::v4(i * 64).masked(28).bits(), 32, 10, a, 1.0);
-            root.ingest(Addr::v4(0x8000_0000 + i * 64).masked(28).bits(), 32, 10, b, 1.0);
+            root.ingest(
+                Addr::v4(0x8000_0000 + i * 64).masked(28).bits(),
+                32,
+                10,
+                b,
+                1.0,
+            );
         }
         tick_once(&mut root, &params, &reg, 60); // split + classify halves
         assert_eq!(root.counts().0, 2);
@@ -528,7 +671,10 @@ mod tests {
             report.lb_suspects
         );
         // Detection off: silent.
-        let quiet = IpdParams { detect_router_lb: false, ..small_params() };
+        let quiet = IpdParams {
+            detect_router_lb: false,
+            ..small_params()
+        };
         let report = tick_once(&mut root, &quiet, &reg, 61);
         assert!(report.lb_suspects.is_empty());
     }
@@ -545,16 +691,24 @@ mod tests {
             root.ingest(addr, 32, 10, if i % 2 == 0 { a } else { b }, 1.0);
         }
         let report = tick_once(&mut root, &params, &reg, 60);
-        assert!(report.lb_suspects.is_empty(), "same-router split bundles instead");
+        assert!(
+            report.lb_suspects.is_empty(),
+            "same-router split bundles instead"
+        );
         assert_eq!(report.bundles, 1);
     }
 
     #[test]
     fn splits_stop_at_cidr_max() {
-        let params = IpdParams { cidr_max_v4: 2, ncidr_factor_v4: 0.0001, ..IpdParams::default() };
+        let params = IpdParams {
+            cidr_max_v4: 2,
+            ncidr_factor_v4: 0.0001,
+            ..IpdParams::default()
+        };
         let mut reg = IngressRegistry::new();
-        let ids: Vec<_> =
-            (0..16).map(|i| reg.intern(IngressPoint::new(100 + i as u32, 1))).collect();
+        let ids: Vec<_> = (0..16)
+            .map(|i| reg.intern(IngressPoint::new(100 + i as u32, 1)))
+            .collect();
         let mut root = Node::empty();
         // 16 different ingresses spread over the whole space: would split
         // forever without the cidr_max stop.

@@ -15,7 +15,9 @@
 //! determinism contract of the `shard` module, checked end to end.
 
 use ipd::output::Snapshot;
-use ipd::pipeline::{run_offline, IpdPipeline, PipelineConfig, PipelineOutput, ShardedPipeline, TickEngine};
+use ipd::pipeline::{
+    run_offline, IpdPipeline, PipelineConfig, PipelineOutput, ShardedPipeline, TickEngine,
+};
 use ipd::{EngineStats, IpdEngine, IpdParams, LogicalIngress, ShardedEngine, TickReport};
 use ipd_lpm::{Addr, Prefix};
 use ipd_netflow::FlowRecord;
@@ -88,12 +90,19 @@ fn summarize(
         .filter_map(|r| r.ingress.clone().map(|i| (r.range, i)))
         .collect();
     classified.sort_unstable_by_key(|a| a.0);
-    RunResult { stats, ticks, snapshot_digests, classified }
+    RunResult {
+        stats,
+        ticks,
+        snapshot_digests,
+        classified,
+    }
 }
 
 fn run_with_offline<E: TickEngine>(engine: &mut E, flows: &[FlowRecord]) -> Vec<PipelineOutput> {
     let mut outputs = Vec::new();
-    run_offline(engine, flows.iter().cloned(), SNAPSHOT_EVERY, |o| outputs.push(o));
+    run_offline(engine, flows.iter().cloned(), SNAPSHOT_EVERY, |o| {
+        outputs.push(o)
+    });
     outputs
 }
 
@@ -162,7 +171,10 @@ fn assert_all_equivalent(flows: &[FlowRecord], batch: usize) -> RunResult {
     assert_eq!(threaded, reference, "threaded IpdPipeline diverged");
     for k in [1usize, 2, 8] {
         let offline = sharded_offline_run(flows, k);
-        assert_eq!(offline, reference, "ShardedEngine (offline driver) K={k} diverged");
+        assert_eq!(
+            offline, reference,
+            "ShardedEngine (offline driver) K={k} diverged"
+        );
         let piped = sharded_pipeline_run(flows, k, batch);
         assert_eq!(piped, reference, "ShardedPipeline K={k} diverged");
     }
@@ -182,7 +194,12 @@ fn flows_from_samples(samples: &[Sample]) -> Vec<FlowRecord> {
                 Addr::v4(bits)
             };
             // Spread over routers and interfaces so bundles are possible.
-            FlowRecord::synthetic(u64::from(off), src, u32::from(ing / 2) + 1, u16::from(ing % 2) + 1)
+            FlowRecord::synthetic(
+                u64::from(off),
+                src,
+                u32::from(ing / 2) + 1,
+                u16::from(ing % 2) + 1,
+            )
         })
         .collect()
 }
@@ -237,33 +254,53 @@ fn seeded_heavy_stream_is_equivalent() {
         // Two stable pools owned by distinct routers...
         for _ in 0..600 {
             let low: u32 = rng.random_range(0u32..1 << 22);
-            flows.push(FlowRecord::synthetic(minute * 60 + rng.random_range(0..60u64),
-                Addr::v4(0x0A00_0000 + low), 1, 1));
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0x0A00_0000 + low),
+                1,
+                1,
+            ));
             let high: u32 = rng.random_range(0u32..1 << 22);
-            flows.push(FlowRecord::synthetic(minute * 60 + rng.random_range(0..60u64),
-                Addr::v4(0xC000_0000 + high), 2, 1));
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0xC000_0000 + high),
+                2,
+                1,
+            ));
         }
         // ...a contested pool that flips ownership halfway (invalidations),
         for _ in 0..200 {
             let bits: u32 = rng.random_range(0u32..1 << 16);
             let router = if minute < 15 { 3 } else { 4 };
-            flows.push(FlowRecord::synthetic(minute * 60 + rng.random_range(0..60u64),
-                Addr::v4(0x5000_0000 + bits), router, 2));
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0x5000_0000 + bits),
+                router,
+                2,
+            ));
         }
         // ...a pool that goes silent (decay + drop + collapse),
         if minute < 8 {
             for _ in 0..200 {
                 let bits: u32 = rng.random_range(0u32..1 << 16);
-                flows.push(FlowRecord::synthetic(minute * 60 + rng.random_range(0..60u64),
-                    Addr::v4(0x8000_0000 + bits), 5, 1));
+                flows.push(FlowRecord::synthetic(
+                    minute * 60 + rng.random_range(0..60u64),
+                    Addr::v4(0x8000_0000 + bits),
+                    5,
+                    1,
+                ));
             }
         }
         // ...and some v6 spread across two interfaces of one router (bundle).
         for _ in 0..100 {
             let bits: u32 = rng.random_range(0u32..1 << 20);
             let ifidx = rng.random_range(1u16..3);
-            flows.push(FlowRecord::synthetic(minute * 60 + rng.random_range(0..60u64),
-                Addr::v6((0x2001_0db8u128 << 96) | (u128::from(bits) << 30)), 6, ifidx));
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v6((0x2001_0db8u128 << 96) | (u128::from(bits) << 30)),
+                6,
+                ifidx,
+            ));
         }
     }
     flows.sort_by_key(|f| f.ts);
@@ -274,7 +311,13 @@ fn seeded_heavy_stream_is_equivalent() {
     assert!(reference.stats.flows_ingested > 40_000);
     assert!(reference.stats.splits > 0, "no splits exercised");
     assert!(reference.stats.classifications > 0, "nothing classified");
-    assert!(reference.stats.drops > 0, "no drops/invalidations exercised");
+    assert!(
+        reference.stats.drops > 0,
+        "no drops/invalidations exercised"
+    );
     assert!(!reference.classified.is_empty());
-    assert!(reference.classified.iter().any(|(p, _)| p.af() == ipd_lpm::Af::V6));
+    assert!(reference
+        .classified
+        .iter()
+        .any(|(p, _)| p.af() == ipd_lpm::Af::V6));
 }

@@ -77,7 +77,10 @@ pub struct ValidationVisitor {
 impl ValidationVisitor {
     /// A validator with the paper's 5-minute bins.
     pub fn new() -> Self {
-        ValidationVisitor { bin_secs: 300, ..Default::default() }
+        ValidationVisitor {
+            bin_secs: 300,
+            ..Default::default()
+        }
     }
 
     /// Finish the open bin (call after the run).
@@ -105,11 +108,7 @@ impl ValidationVisitor {
         (avg(&|b| b.all), avg(&|b| b.top20), avg(&|b| b.top5))
     }
 
-    fn classify_miss(
-        world: &World,
-        predicted: &LogicalIngress,
-        actual: IngressPoint,
-    ) -> MissType {
+    fn classify_miss(world: &World, predicted: &LogicalIngress, actual: IngressPoint) -> MissType {
         if predicted.router() == actual.router {
             MissType::Interface
         } else if world
@@ -141,7 +140,10 @@ impl RunVisitor for ValidationVisitor {
                 if let Some(b) = self.current.take() {
                     self.bins.push(b);
                 }
-                self.current = Some(AccuracyBin { ts: bin_ts, ..Default::default() });
+                self.current = Some(AccuracyBin {
+                    ts: bin_ts,
+                    ..Default::default()
+                });
             }
             let bin = self.current.as_mut().expect("rotated above");
 
@@ -243,7 +245,11 @@ mod tests {
 
     #[test]
     fn group_bin_accuracy_math() {
-        let g = GroupBin { total: 10, correct: 9, covered: 10 };
+        let g = GroupBin {
+            total: 10,
+            correct: 9,
+            covered: 10,
+        };
         assert!((g.accuracy() - 0.9).abs() < 1e-12);
         assert_eq!(GroupBin::default().accuracy(), 0.0);
     }

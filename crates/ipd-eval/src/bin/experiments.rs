@@ -120,7 +120,10 @@ impl Ctx {
 }
 
 fn check(label: &str, ok: bool, detail: String) {
-    println!("  [{}] {label}: {detail}", if ok { "OK   " } else { "CHECK" });
+    println!(
+        "  [{}] {label}: {detail}",
+        if ok { "OK   " } else { "CHECK" }
+    );
 }
 
 // ---------------------------------------------------------------- figures
@@ -135,9 +138,20 @@ fn fig2(ctx: &mut Ctx) {
     t.write(&results_dir(), "fig2").expect("write results");
     let below_1h = m.stability.share_below(3600);
     let above_6h = 1.0 - m.stability.share_below(6 * 3600);
-    println!("fig2: stability duration per prefix on a link ({} phases)", durations.len());
-    check("60% stable < 1h (paper)", (0.35..0.85).contains(&below_1h), format!("{below_1h:.2}"));
-    check("10% stable > 6h (paper)", above_6h < 0.45, format!("{above_6h:.2}"));
+    println!(
+        "fig2: stability duration per prefix on a link ({} phases)",
+        durations.len()
+    );
+    check(
+        "60% stable < 1h (paper)",
+        (0.35..0.85).contains(&below_1h),
+        format!("{below_1h:.2}"),
+    );
+    check(
+        "10% stable > 6h (paper)",
+        above_6h < 0.45,
+        format!("{above_6h:.2}"),
+    );
 }
 
 fn fig3(ctx: &mut Ctx) {
@@ -149,7 +163,15 @@ fn fig3(ctx: &mut Ctx) {
         top20_asns = w.top_asns(20);
     }
     let m = ctx.main_run();
-    let mut t = Table::new(&["k", "traffic_all", "traffic_top5", "traffic_top20", "bgp_all", "bgp_top5", "bgp_top20"]);
+    let mut t = Table::new(&[
+        "k",
+        "traffic_all",
+        "traffic_top5",
+        "traffic_top20",
+        "bgp_all",
+        "bgp_top5",
+        "bgp_top20",
+    ]);
     let series: Vec<Vec<(usize, f64)>> = vec![
         m.ingress.ingress_count_cdf(None),
         m.ingress.ingress_count_cdf(Some(5)),
@@ -158,9 +180,17 @@ fn fig3(ctx: &mut Ctx) {
         bgp_next_hop_cdf(m.world(), Some(&top5_asns)),
         bgp_next_hop_cdf(m.world(), Some(&top20_asns)),
     ];
-    let max_k = series.iter().flat_map(|s| s.iter().map(|&(k, _)| k)).max().unwrap_or(1);
+    let max_k = series
+        .iter()
+        .flat_map(|s| s.iter().map(|&(k, _)| k))
+        .max()
+        .unwrap_or(1);
     let at = |s: &[(usize, f64)], k: usize| -> f64 {
-        s.iter().take_while(|&&(kk, _)| kk <= k).last().map(|&(_, p)| p).unwrap_or(0.0)
+        s.iter()
+            .take_while(|&&(kk, _)| kk <= k)
+            .last()
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
     };
     for k in 1..=max_k {
         t.row(vec![
@@ -177,10 +207,25 @@ fn fig3(ctx: &mut Ctx) {
     let single_traffic = m.ingress.single_ingress_share(None);
     let single_bgp = at(&series[3], 1);
     let bgp_over5 = 1.0 - at(&series[3], 5);
-    println!("fig3: ingress router count per prefix ({} (/24, hour) observations)", m.ingress.prefix_count());
-    check("~80% single traffic ingress (paper)", (0.6..0.95).contains(&single_traffic), format!("{single_traffic:.2}"));
-    check("~20% single BGP next-hop (paper)", (0.1..0.4).contains(&single_bgp), format!("{single_bgp:.2}"));
-    check("~60% BGP >5 next-hops (paper)", (0.35..0.8).contains(&bgp_over5), format!("{bgp_over5:.2}"));
+    println!(
+        "fig3: ingress router count per prefix ({} (/24, hour) observations)",
+        m.ingress.prefix_count()
+    );
+    check(
+        "~80% single traffic ingress (paper)",
+        (0.6..0.95).contains(&single_traffic),
+        format!("{single_traffic:.2}"),
+    );
+    check(
+        "~20% single BGP next-hop (paper)",
+        (0.1..0.4).contains(&single_bgp),
+        format!("{single_bgp:.2}"),
+    );
+    check(
+        "~60% BGP >5 next-hops (paper)",
+        (0.35..0.8).contains(&bgp_over5),
+        format!("{bgp_over5:.2}"),
+    );
 }
 
 fn fig4(ctx: &mut Ctx) {
@@ -190,21 +235,35 @@ fn fig4(ctx: &mut Ctx) {
     let top5 = ecdf(&m.ingress.primary_share_samples(Some(5)));
     let grid: Vec<f64> = (30..=100).map(|i| i as f64 / 100.0).collect();
     let at = |s: &[(f64, f64)], x: f64| -> f64 {
-        s.iter().take_while(|&&(v, _)| v <= x).last().map(|&(_, p)| p).unwrap_or(0.0)
+        s.iter()
+            .take_while(|&&(v, _)| v <= x)
+            .last()
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
     };
     for x in grid {
         t.row(vec![f(x, 2), f(at(&all, x), 4), f(at(&top5, x), 4)]);
     }
     t.write(&results_dir(), "fig4").expect("write results");
     let p80 = at(&all, 0.8);
-    println!("fig4: relative traffic share of first-ranked ingress ({} multi-ingress /24s)", all.len());
-    check("most multi-ingress prefixes have primary ≤ 0.8 (paper: 80%)", p80 > 0.4, format!("P(share<=0.8) = {p80:.2}"));
+    println!(
+        "fig4: relative traffic share of first-ranked ingress ({} multi-ingress /24s)",
+        all.len()
+    );
+    check(
+        "most multi-ingress prefixes have primary ≤ 0.8 (paper: 80%)",
+        p80 > 0.4,
+        format!("P(share<=0.8) = {p80:.2}"),
+    );
 }
 
 fn fig5(_ctx: &mut Ctx) {
     // The worked example of §3.2: watch the algorithm split /0 and classify.
     use ipd_topology::IngressPoint;
-    let params = IpdParams { ncidr_factor_v4: 0.002, ..IpdParams::default() };
+    let params = IpdParams {
+        ncidr_factor_v4: 0.002,
+        ..IpdParams::default()
+    };
     let mut engine = IpdEngine::new(params).expect("valid params");
     let mut t = Table::new(&["tick", "event", "range", "ingress"]);
     // Two halves with different ingress points, plus a small mixed corner.
@@ -212,26 +271,53 @@ fn fig5(_ctx: &mut Ctx) {
         for i in 0..400u32 {
             let ts = minute * 60 + (i % 60) as u64;
             engine.ingest_parts(ts, Addr::v4(i * 1024), IngressPoint::new(1, 1), 1.0);
-            engine.ingest_parts(ts, Addr::v4(0x8000_0000 + i * 1024), IngressPoint::new(2, 1), 1.0);
+            engine.ingest_parts(
+                ts,
+                Addr::v4(0x8000_0000 + i * 1024),
+                IngressPoint::new(2, 1),
+                1.0,
+            );
         }
         let report = engine.tick((minute + 1) * 60);
         for (p, ing) in &report.newly_classified {
-            t.row(vec![(minute + 1).to_string(), "classify".into(), p.to_string(), ing.to_string()]);
+            t.row(vec![
+                (minute + 1).to_string(),
+                "classify".into(),
+                p.to_string(),
+                ing.to_string(),
+            ]);
         }
         if report.splits > 0 {
-            t.row(vec![(minute + 1).to_string(), format!("split x{}", report.splits), "-".into(), "-".into()]);
+            t.row(vec![
+                (minute + 1).to_string(),
+                format!("split x{}", report.splits),
+                "-".into(),
+                "-".into(),
+            ]);
         }
     }
     t.write(&results_dir(), "fig5").expect("write results");
-    println!("fig5: worked algorithm example (split then classify)\n{}", t.render(20));
-    check("root splits then halves classify", t.rows.iter().any(|r| r[1] == "classify"), format!("{} events", t.rows.len()));
+    println!(
+        "fig5: worked algorithm example (split then classify)\n{}",
+        t.render(20)
+    );
+    check(
+        "root splits then halves classify",
+        t.rows.iter().any(|r| r[1] == "classify"),
+        format!("{} events", t.rows.len()),
+    );
 }
 
 fn fig6(ctx: &mut Ctx) {
     let m = ctx.main_run();
     let mut t = Table::new(&["bin_ts", "acc_all", "acc_top20", "acc_top5", "volume_norm"]);
-    let max_bytes =
-        m.validation.bins.iter().map(|b| b.bytes).fold(0.0f64, f64::max).max(1e-9);
+    let max_bytes = m
+        .validation
+        .bins
+        .iter()
+        .map(|b| b.bytes)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     for b in &m.validation.bins {
         t.row(vec![
             b.ts.to_string(),
@@ -245,12 +331,38 @@ fn fig6(ctx: &mut Ctx) {
     let (all, top20, top5) = m.validation.mean_accuracy();
     // Skip the cold-start bins for the headline number (the paper's system
     // had been running for years before the validation window).
-    let warm: Vec<f64> = m.validation.bins.iter().skip(6).map(|b| b.all.accuracy()).collect();
+    let warm: Vec<f64> = m
+        .validation
+        .bins
+        .iter()
+        .skip(6)
+        .map(|b| b.all.accuracy())
+        .collect();
     let warm_all = mean(&warm);
-    println!("fig6: IPD accuracy vs ground truth ({} bins)", m.validation.bins.len());
-    println!("  accuracy sparkline: {}", sparkline(&m.validation.bins.iter().map(|b| b.all.accuracy()).collect::<Vec<_>>()));
-    check("ALL ≈ 91% (paper)", warm_all > 0.75, format!("mean {all:.3}, warm {warm_all:.3}"));
-    check("TOP5 ≥ ALL (paper: 97.4% vs 91%)", top5 >= all - 0.02, format!("top5 {top5:.3} top20 {top20:.3}"));
+    println!(
+        "fig6: IPD accuracy vs ground truth ({} bins)",
+        m.validation.bins.len()
+    );
+    println!(
+        "  accuracy sparkline: {}",
+        sparkline(
+            &m.validation
+                .bins
+                .iter()
+                .map(|b| b.all.accuracy())
+                .collect::<Vec<_>>()
+        )
+    );
+    check(
+        "ALL ≈ 91% (paper)",
+        warm_all > 0.75,
+        format!("mean {all:.3}, warm {warm_all:.3}"),
+    );
+    check(
+        "TOP5 ≥ ALL (paper: 97.4% vs 91%)",
+        top5 >= all - 0.02,
+        format!("top5 {top5:.3} top20 {top20:.3}"),
+    );
 }
 
 fn fig7(ctx: &mut Ctx) {
@@ -263,15 +375,33 @@ fn fig7(ctx: &mut Ctx) {
             (MissType::Pop, "pop"),
             (MissType::Unmatched, "unmatched"),
         ] {
-            let count = m.validation.miss_counts.get(&(rank, mt)).copied().unwrap_or(0);
-            let srcs = m.validation.miss_srcs.get(&(rank, mt)).map_or(0, |s| s.len());
-            t.row(vec![format!("AS{}", rank + 1), label.into(), count.to_string(), srcs.to_string()]);
+            let count = m
+                .validation
+                .miss_counts
+                .get(&(rank, mt))
+                .copied()
+                .unwrap_or(0);
+            let srcs = m
+                .validation
+                .miss_srcs
+                .get(&(rank, mt))
+                .map_or(0, |s| s.len());
+            t.row(vec![
+                format!("AS{}", rank + 1),
+                label.into(),
+                count.to_string(),
+                srcs.to_string(),
+            ]);
         }
     }
     t.write(&results_dir(), "fig7").expect("write results");
     let total: u64 = m.validation.miss_counts.values().sum();
     println!("fig7: miss taxonomy for TOP5 ASes\n{}", t.render(24));
-    check("misses exist and are typed", total > 0, format!("{total} misses"));
+    check(
+        "misses exist and are typed",
+        total > 0,
+        format!("{total} misses"),
+    );
 }
 
 fn fig8(ctx: &mut Ctx) {
@@ -301,12 +431,19 @@ fn fig8(ctx: &mut Ctx) {
     let as1 = &series[0];
     let peak = as1.iter().cloned().fold(0.0f64, f64::max);
     let avg = mean(as1);
-    check("AS1 shows maintenance peaks (paper: 11AM/11PM)", peak > avg * 2.0 || avg == 0.0, format!("peak {peak:.0} vs mean {avg:.1}"));
+    check(
+        "AS1 shows maintenance peaks (paper: 11AM/11PM)",
+        peak > avg * 2.0 || avg == 0.0,
+        format!("peak {peak:.0} vs mean {avg:.1}"),
+    );
 }
 
 fn fig9(ctx: &mut Ctx) {
     let m = ctx.main_run();
-    let snap = m.last_snapshot.clone().expect("main run produced snapshots");
+    let snap = m
+        .last_snapshot
+        .clone()
+        .expect("main run produced snapshots");
     let world = m.world();
     let ipd_all = ipd_mask_distribution(&snap, world, None);
     let ipd_top5 = ipd_mask_distribution(&snap, world, Some(5));
@@ -316,14 +453,28 @@ fn fig9(ctx: &mut Ctx) {
     for mask in 0..=28u8 {
         let g = |m: &BTreeMap<u8, f64>| m.get(&mask).copied().unwrap_or(0.0);
         if g(&ipd_all) > 0.0 || g(&bgp) > 0.0 || g(&ipd_top5) > 0.0 {
-            t.row(vec![format!("/{mask}"), f(g(&ipd_all), 4), f(g(&ipd_top5), 4), f(g(&ipd_top20), 4), f(g(&bgp), 4)]);
+            t.row(vec![
+                format!("/{mask}"),
+                f(g(&ipd_all), 4),
+                f(g(&ipd_top5), 4),
+                f(g(&ipd_top20), 4),
+                f(g(&bgp), 4),
+            ]);
         }
     }
     t.write(&results_dir(), "fig9").expect("write results");
     let s = summarize(&ipd_all, &bgp);
     println!("fig9: distribution of IPD ranges vs BGP\n{}", t.render(30));
-    check(">50% of BGP is /24 (paper)", s.bgp_24_share > 0.4, format!("{:.2}", s.bgp_24_share));
-    check("IPD uses masks BGP does not", !s.ipd_only_masks.is_empty(), format!("{:?}", s.ipd_only_masks));
+    check(
+        ">50% of BGP is /24 (paper)",
+        s.bgp_24_share > 0.4,
+        format!("{:.2}", s.bgp_24_share),
+    );
+    check(
+        "IPD uses masks BGP does not",
+        !s.ipd_only_masks.is_empty(),
+        format!("{:?}", s.ipd_only_masks),
+    );
 }
 
 fn fig10(ctx: &mut Ctx) {
@@ -337,25 +488,47 @@ fn fig10(ctx: &mut Ctx) {
     }
     t.write(&results_dir(), "fig10").expect("write results");
     println!("fig10: longitudinal matching/stable shares at 8PM daily");
-    println!("  matching: {}", sparkline(&series.iter().map(|p| p.matching).collect::<Vec<_>>()));
-    println!("  stable:   {}", sparkline(&series.iter().map(|p| p.stable).collect::<Vec<_>>()));
+    println!(
+        "  matching: {}",
+        sparkline(&series.iter().map(|p| p.matching).collect::<Vec<_>>())
+    );
+    println!(
+        "  stable:   {}",
+        sparkline(&series.iter().map(|p| p.stable).collect::<Vec<_>>())
+    );
     let early = series.first().expect("non-empty").stable;
     let late = series.last().expect("non-empty").stable;
-    check("stable share decays over time (paper: 50% → ~0)", late < early, format!("day1 {early:.2} → day{days} {late:.2}"));
+    check(
+        "stable share decays over time (paper: 50% → ~0)",
+        late < early,
+        format!("day1 {early:.2} → day{days} {late:.2}"),
+    );
 }
 
 fn daytime_fig(ctx: &mut Ctx, name: &str, which: &str) {
     let m = ctx.main_run();
-    let v = if which == "top5" { &m.daytime_top5 } else { &m.daytime_as4 };
+    let v = if which == "top5" {
+        &m.daytime_top5
+    } else {
+        &m.daytime_as4
+    };
     let series = v.normalized_series();
-    let mut cols = vec!["hour".to_string(), "total_space".to_string(), "total_prefixes".to_string()];
+    let mut cols = vec![
+        "hour".to_string(),
+        "total_space".to_string(),
+        "total_prefixes".to_string(),
+    ];
     for g in MASK_GROUPS {
         cols.push(format!("space_{g}"));
         cols.push(format!("prefixes_{g}"));
     }
     let mut t = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>());
     for p in &series {
-        let mut row = vec![p.hour.to_string(), f(p.total_space(), 4), f(p.total_prefixes(), 4)];
+        let mut row = vec![
+            p.hour.to_string(),
+            f(p.total_space(), 4),
+            f(p.total_prefixes(), 4),
+        ];
         for g in MASK_GROUPS {
             row.push(f(p.space.get(g).copied().unwrap_or(0.0), 4));
             row.push(f(p.prefixes.get(g).copied().unwrap_or(0.0), 4));
@@ -364,8 +537,19 @@ fn daytime_fig(ctx: &mut Ctx, name: &str, which: &str) {
     }
     t.write(&results_dir(), name).expect("write results");
     println!("{name}: network size by hour of day ({which})");
-    println!("  prefixes: {}", sparkline(&series.iter().map(|p| p.total_prefixes()).collect::<Vec<_>>()));
-    println!("  space:    {}", sparkline(&series.iter().map(|p| p.total_space()).collect::<Vec<_>>()));
+    println!(
+        "  prefixes: {}",
+        sparkline(
+            &series
+                .iter()
+                .map(|p| p.total_prefixes())
+                .collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "  space:    {}",
+        sparkline(&series.iter().map(|p| p.total_space()).collect::<Vec<_>>())
+    );
     if series.len() >= 20 {
         let pref: Vec<f64> = series.iter().map(|p| p.total_prefixes()).collect();
         let min = pref.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -392,10 +576,20 @@ fn fig13_14(_ctx: &mut Ctx) {
         }
     }
     t13.write(&results_dir(), "fig13").expect("write results");
-    let mut t14 = Table::new(&["ts", "classified", "confidence", "n_cidr", "total", "ingresses"]);
+    let mut t14 = Table::new(&[
+        "ts",
+        "classified",
+        "confidence",
+        "n_cidr",
+        "total",
+        "ingresses",
+    ]);
     for d in &out.detail {
-        let shares: Vec<String> =
-            d.per_ingress.iter().map(|(l, w)| format!("{l}={}", *w as u64)).collect();
+        let shares: Vec<String> = d
+            .per_ingress
+            .iter()
+            .map(|(l, w)| format!("{l}={}", *w as u64))
+            .collect();
         t14.row(vec![
             d.ts.to_string(),
             d.classified.to_string(),
@@ -406,12 +600,19 @@ fn fig13_14(_ctx: &mut Ctx) {
         ]);
     }
     t14.write(&results_dir(), "fig14").expect("write results");
-    println!("fig13/fig14: reaction-to-change case study ({} snapshots)", out.timeline.len());
+    println!(
+        "fig13/fig14: reaction-to-change case study ({} snapshots)",
+        out.timeline.len()
+    );
     let changed = out
         .detail
         .windows(2)
         .any(|w| w[0].per_ingress.first().map(|x| &x.0) != w[1].per_ingress.first().map(|x| &x.0));
-    check("ingress change detected in detail series", changed, format!("{} detail points", out.detail.len()));
+    check(
+        "ingress change detected in detail series",
+        changed,
+        format!("{} detail points", out.detail.len()),
+    );
 }
 
 fn fig15(ctx: &mut Ctx) {
@@ -426,7 +627,10 @@ fn fig15(ctx: &mut Ctx) {
         t.row(vec!["elephant".into(), f(x, 0), f(p, 4)]);
     }
     t.write(&results_dir(), "fig15").expect("write results");
-    println!("fig15: stability of elephant ranges ({} elephants)", elephants.len());
+    println!(
+        "fig15: stability of elephant ranges ({} elephants)",
+        elephants.len()
+    );
     check(
         "elephants more stable than baseline (paper: months vs <1h)",
         mean(&elephants) >= mean(&all),
@@ -441,13 +645,23 @@ fn fig16(ctx: &mut Ctx) {
     let series = fig16_series(&mut world, days, 30);
     let mut t = Table::new(&["day", "all", "top20", "top5", "tier1"]);
     for p in &series {
-        t.row(vec![p.day.to_string(), f(p.all, 4), f(p.top20, 4), f(p.top5, 4), f(p.tier1, 4)]);
+        t.row(vec![
+            p.day.to_string(),
+            f(p.all, 4),
+            f(p.top20, 4),
+            f(p.top5, 4),
+            f(p.tier1, 4),
+        ]);
     }
     t.write(&results_dir(), "fig16").expect("write results");
     let last = series.last().expect("non-empty");
     println!("fig16: traffic symmetry ratios over time");
     check("tier-1 ≈ 91% (paper)", last.tier1 > 0.8, f(last.tier1, 3));
-    check("top5 ≈ 77% > all ≈ 62% (paper)", last.top5 > last.all - 0.05, format!("top5 {:.2} all {:.2}", last.top5, last.all));
+    check(
+        "top5 ≈ 77% > all ≈ 62% (paper)",
+        last.top5 > last.all - 0.05,
+        format!("top5 {:.2} all {:.2}", last.top5, last.all),
+    );
 }
 
 fn fig17(ctx: &mut Ctx) {
@@ -465,7 +679,11 @@ fn fig17(ctx: &mut Ctx) {
     cols.extend(asns.iter().map(|a| format!("as{a}")));
     let mut t = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>());
     for p in &series {
-        let mut row = vec![p.day.to_string(), p.total().to_string(), f(p.violating_share, 4)];
+        let mut row = vec![
+            p.day.to_string(),
+            p.total().to_string(),
+            f(p.violating_share, 4),
+        ];
         for a in &asns {
             row.push(p.per_asn.get(a).copied().unwrap_or(0).to_string());
         }
@@ -473,11 +691,25 @@ fn fig17(ctx: &mut Ctx) {
     }
     t.write(&results_dir(), "fig17").expect("write results");
     println!("fig17: tier-1 peering violations over time");
-    println!("  total: {}", sparkline(&series.iter().map(|p| p.total() as f64).collect::<Vec<_>>()));
+    println!(
+        "  total: {}",
+        sparkline(&series.iter().map(|p| p.total() as f64).collect::<Vec<_>>())
+    );
     let early: usize = series[..series.len() / 3].iter().map(|p| p.total()).sum();
-    let late: usize = series[2 * series.len() / 3..].iter().map(|p| p.total()).sum();
-    check("upward trend (paper: +50% from 2019, 2x by 2020)", late > early, format!("{early} → {late}"));
-    check("~9% of tier-1 prefixes indirect (paper)", mean_violating_share(&series) < 0.4, f(mean_violating_share(&series), 3));
+    let late: usize = series[2 * series.len() / 3..]
+        .iter()
+        .map(|p| p.total())
+        .sum();
+    check(
+        "upward trend (paper: +50% from 2019, 2x by 2020)",
+        late > early,
+        format!("{early} → {late}"),
+    );
+    check(
+        "~9% of tier-1 prefixes indirect (paper)",
+        mean_violating_share(&series) < 0.4,
+        f(mean_violating_share(&series), 3),
+    );
 }
 
 fn param_study(ctx: &mut Ctx) {
@@ -489,7 +721,17 @@ fn param_study(ctx: &mut Ctx) {
         table2().configs(1.0).len()
     );
     let results = run_study(&design, minutes, flows, 42);
-    let mut t = Table::new(&["q", "ncidr_factor", "cidr_max", "accuracy", "ks", "mean_stability_s", "runtime_s", "state_bytes", "ranges"]);
+    let mut t = Table::new(&[
+        "q",
+        "ncidr_factor",
+        "cidr_max",
+        "accuracy",
+        "ks",
+        "mean_stability_s",
+        "runtime_s",
+        "state_bytes",
+        "ranges",
+    ]);
     for r in &results {
         t.row(vec![
             f(r.q, 3),
@@ -503,12 +745,16 @@ fn param_study(ctx: &mut Ctx) {
             r.peak_ranges.to_string(),
         ]);
     }
-    t.write(&results_dir(), "fig18_20_configs").expect("write results");
+    t.write(&results_dir(), "fig18_20_configs")
+        .expect("write results");
     let eff = effects(&results);
     let mut te = Table::new(&["factor", "metric", "levels(mean)", "F", "p", "eta2"]);
     for e in &eff {
-        let levels: Vec<String> =
-            e.level_means.iter().map(|(l, m)| format!("{l}:{m:.3}")).collect();
+        let levels: Vec<String> = e
+            .level_means
+            .iter()
+            .map(|(l, m)| format!("{l}:{m:.3}"))
+            .collect();
         let (fstat, p, eta) = e
             .anova
             .as_ref()
@@ -523,20 +769,40 @@ fn param_study(ctx: &mut Ctx) {
             f(eta, 3),
         ]);
     }
-    te.write(&results_dir(), "fig18_20_effects").expect("write results");
+    te.write(&results_dir(), "fig18_20_effects")
+        .expect("write results");
     println!("{}", te.render(40));
     // Paper findings: accuracy flat across configs; cidr_max drives resources.
     let accs: Vec<f64> = results.iter().map(|r| r.accuracy).collect();
-    let spread = accs.iter().cloned().fold(0.0f64, f64::max) - accs.iter().cloned().fold(1.0f64, f64::min);
-    check("fig18: accuracy barely affected by parameters (paper)", spread < 0.25, format!("max-min accuracy spread {spread:.3}"));
+    let spread =
+        accs.iter().cloned().fold(0.0f64, f64::max) - accs.iter().cloned().fold(1.0f64, f64::min);
+    check(
+        "fig18: accuracy barely affected by parameters (paper)",
+        spread < 0.25,
+        format!("max-min accuracy spread {spread:.3}"),
+    );
     let state_by_cidr = eff
         .iter()
         .find(|e| e.factor == Factor::CidrMax && e.metric == "state_bytes")
         .expect("effect exists");
-    let growing = state_by_cidr.level_means.windows(2).all(|w| w[1].1 >= w[0].1 * 0.8);
-    check("fig20: state grows with cidr_max (paper: exponential)", growing, format!("{:?}", state_by_cidr.level_means));
-    let ks_by_q = eff.iter().find(|e| e.factor == Factor::Q && e.metric == "ks_distance").expect("effect exists");
-    check("fig19: q affects stability", ks_by_q.anova.is_some(), format!("{:?}", ks_by_q.level_means));
+    let growing = state_by_cidr
+        .level_means
+        .windows(2)
+        .all(|w| w[1].1 >= w[0].1 * 0.8);
+    check(
+        "fig20: state grows with cidr_max (paper: exponential)",
+        growing,
+        format!("{:?}", state_by_cidr.level_means),
+    );
+    let ks_by_q = eff
+        .iter()
+        .find(|e| e.factor == Factor::Q && e.metric == "ks_distance")
+        .expect("effect exists");
+    check(
+        "fig19: q affects stability",
+        ks_by_q.anova.is_some(),
+        format!("{:?}", ks_by_q.level_means),
+    );
 }
 
 fn tab1(_ctx: &mut Ctx) {
@@ -544,7 +810,11 @@ fn tab1(_ctx: &mut Ctx) {
     println!("tab1: default IPD parameters\n{}", p.table1());
     std::fs::create_dir_all(results_dir()).expect("results dir");
     std::fs::write(results_dir().join("tab1.txt"), p.table1()).expect("write results");
-    check("defaults match Table 1", p.cidr_max_v4 == 28 && p.q == 0.95 && p.t_secs == 60, "cidr_max=/28 q=0.95 t=60 e=120".into());
+    check(
+        "defaults match Table 1",
+        p.cidr_max_v4 == 28 && p.q == 0.95 && p.t_secs == 60,
+        "cidr_max=/28 q=0.95 t=60 e=120".into(),
+    );
 }
 
 fn tab2(_ctx: &mut Ctx) {
@@ -553,11 +823,18 @@ fn tab2(_ctx: &mut Ctx) {
     t.row(vec!["t".into(), format!("[{}]", d.t_secs)]);
     t.row(vec!["e".into(), format!("[{}]", d.e_secs)]);
     t.row(vec!["q".into(), format!("{:?}", d.q)]);
-    t.row(vec!["ncidr_factor (scaled 1:1000 traffic)".into(), format!("{:?}", d.ncidr_factor)]);
+    t.row(vec![
+        "ncidr_factor (scaled 1:1000 traffic)".into(),
+        format!("{:?}", d.ncidr_factor),
+    ]);
     t.row(vec!["cidr_max".into(), format!("{:?}", d.cidr_max)]);
     t.write(&results_dir(), "tab2").expect("write results");
     println!("tab2: factorial design\n{}", t.render(10));
-    check("full factorial size", d.configs(64.0).len() == 180, format!("{} IPv4 configs", d.configs(64.0).len()));
+    check(
+        "full factorial size",
+        d.configs(64.0).len() == 180,
+        format!("{} IPv4 configs", d.configs(64.0).len()),
+    );
 }
 
 fn tab3(ctx: &mut Ctx) {
@@ -568,12 +845,20 @@ fn tab3(ctx: &mut Ctx) {
     let text = snap.to_table3(&fmt);
     std::fs::create_dir_all(results_dir()).expect("results dir");
     std::fs::write(results_dir().join("tab3.txt"), &text).expect("write results");
-    let classified: Vec<&str> = text.lines().filter(|l| !l.contains("\t-(")).take(8).collect();
+    let classified: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.contains("\t-("))
+        .take(8)
+        .collect();
     println!("tab3: raw IPD output sample (ts  ip  s_ingress  s_ipcount  n_cidr  range  ingress)");
     for l in &classified {
         println!("  {l}");
     }
-    check("rows have Table-3 shape", classified.iter().all(|l| l.split('\t').count() == 7), format!("{} rows", text.lines().count()));
+    check(
+        "rows have Table-3 shape",
+        classified.iter().all(|l| l.split('\t').count() == 7),
+        format!("{} rows", text.lines().count()),
+    );
 }
 
 fn tab_prefixcorr(ctx: &mut Ctx) {
@@ -582,13 +867,33 @@ fn tab_prefixcorr(ctx: &mut Ctx) {
     let corr = prefix_correlation(&snap, m.world());
     let (more, exact, less) = corr.shares();
     let mut t = Table::new(&["relation", "count", "share"]);
-    t.row(vec!["ipd_more_specific".into(), corr.more_specific.to_string(), f(more, 4)]);
+    t.row(vec![
+        "ipd_more_specific".into(),
+        corr.more_specific.to_string(),
+        f(more, 4),
+    ]);
     t.row(vec!["exact".into(), corr.exact.to_string(), f(exact, 4)]);
-    t.row(vec!["ipd_less_specific".into(), corr.less_specific.to_string(), f(less, 4)]);
-    t.row(vec!["uncovered".into(), corr.uncovered.to_string(), "-".into()]);
-    t.write(&results_dir(), "tab_prefixcorr").expect("write results");
-    println!("tab-prefixcorr: IPD range vs BGP prefix correlation\n{}", t.render(6));
-    check("IPD mostly more specific than BGP (paper: 91%/1%/8%)", more > 0.5 && more > less, format!("{more:.2}/{exact:.2}/{less:.2}"));
+    t.row(vec![
+        "ipd_less_specific".into(),
+        corr.less_specific.to_string(),
+        f(less, 4),
+    ]);
+    t.row(vec![
+        "uncovered".into(),
+        corr.uncovered.to_string(),
+        "-".into(),
+    ]);
+    t.write(&results_dir(), "tab_prefixcorr")
+        .expect("write results");
+    println!(
+        "tab-prefixcorr: IPD range vs BGP prefix correlation\n{}",
+        t.render(6)
+    );
+    check(
+        "IPD mostly more specific than BGP (paper: 91%/1%/8%)",
+        more > 0.5 && more > less,
+        format!("{more:.2}/{exact:.2}/{less:.2}"),
+    );
 }
 
 fn flow_byte_correlation(ctx: &mut Ctx) {
@@ -601,20 +906,46 @@ fn flow_byte_correlation(ctx: &mut Ctx) {
     }
     let r = pearson(&flows, &bytes);
     println!("§3.1 flow/byte correlation across bins: {r:.3}");
-    check("strong flow/byte correlation (paper: 0.82)", r > 0.6, f(r, 3));
+    check(
+        "strong flow/byte correlation (paper: 0.82)",
+        r > 0.6,
+        f(r, 3),
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let id = ids.first().copied().unwrap_or("all");
 
     let mut ctx = Ctx { quick, main: None };
     let all = [
-        "tab1", "tab2", "fig5", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-        "fig11", "fig12", "fig13", "fig15", "tab3", "tab-prefixcorr", "corr", "fig10",
-        "fig16", "fig17", "fig18",
+        "tab1",
+        "tab2",
+        "fig5",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig15",
+        "tab3",
+        "tab-prefixcorr",
+        "corr",
+        "fig10",
+        "fig16",
+        "fig17",
+        "fig18",
     ];
     let run_one = |ctx: &mut Ctx, id: &str| match id {
         "fig2" => fig2(ctx),

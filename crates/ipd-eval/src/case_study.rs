@@ -60,13 +60,25 @@ pub struct CaseStudyOutput {
 }
 
 /// The scenario's ingress points.
-pub const INGRESS_A: IngressPoint = IngressPoint { router: 1, ifindex: 1 };
+pub const INGRESS_A: IngressPoint = IngressPoint {
+    router: 1,
+    ifindex: 1,
+};
 /// Backup interface on the same router (the maintenance target).
-pub const INGRESS_A2: IngressPoint = IngressPoint { router: 1, ifindex: 2 };
+pub const INGRESS_A2: IngressPoint = IngressPoint {
+    router: 1,
+    ifindex: 2,
+};
 /// The /26 in the middle enters elsewhere.
-pub const INGRESS_B: IngressPoint = IngressPoint { router: 2, ifindex: 1 };
+pub const INGRESS_B: IngressPoint = IngressPoint {
+    router: 2,
+    ifindex: 1,
+};
 /// Final ingress for the re-aggregated /23.
-pub const INGRESS_C: IngressPoint = IngressPoint { router: 3, ifindex: 1 };
+pub const INGRESS_C: IngressPoint = IngressPoint {
+    router: 3,
+    ifindex: 1,
+};
 
 const BASE: u32 = 0xCB00_C400; // 203.0.196.0; the /23 is 203.0.196.0/23
 
@@ -96,7 +108,11 @@ fn flows_for_minute(minute: u64, rng: &mut StdRng) -> Vec<FlowRecord> {
             out.push(FlowRecord::synthetic(ts, addr, ing.router, ing.ifindex));
         }
     };
-    let a_like = if (30..45).contains(&minute) { INGRESS_A2 } else { INGRESS_A };
+    let a_like = if (30..45).contains(&minute) {
+        INGRESS_A2
+    } else {
+        INGRESS_A
+    };
     if minute < 82 {
         // x.y.196.0/25 via A (quiet during the gap phase).
         if !(60..82).contains(&minute) {
@@ -243,7 +259,10 @@ mod tests {
         let b_range = statuses
             .iter()
             .find(|s| s.classified && s.ingress.as_deref() == Some("R2.1"));
-        assert!(b_range.is_some(), "middle /26 classified to B: {statuses:?}");
+        assert!(
+            b_range.is_some(),
+            "middle /26 classified to B: {statuses:?}"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub struct DaytimeVisitor {
 impl DaytimeVisitor {
     /// New collector for the given AS-rank window.
     pub fn new(rank_range: Option<(usize, usize)>) -> Self {
-        DaytimeVisitor { rank_range, hours: BTreeMap::new() }
+        DaytimeVisitor {
+            rank_range,
+            hours: BTreeMap::new(),
+        }
     }
 
     /// The per-hour series, averaged over the snapshots that fell into each
@@ -87,10 +90,16 @@ impl DaytimeVisitor {
                 p
             })
             .collect();
-        let max_space =
-            points.iter().map(HourPoint::total_space).fold(0.0f64, f64::max).max(1e-12);
-        let max_prefixes =
-            points.iter().map(HourPoint::total_prefixes).fold(0.0f64, f64::max).max(1e-12);
+        let max_space = points
+            .iter()
+            .map(HourPoint::total_space)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let max_prefixes = points
+            .iter()
+            .map(HourPoint::total_prefixes)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         for p in &mut points {
             for v in p.space.values_mut() {
                 *v /= max_space;
@@ -150,8 +159,14 @@ mod tests {
         let series = v.normalized_series();
         assert!(series.len() >= 2, "hours covered: {}", series.len());
         // Normalization: max total == 1 for both series.
-        let max_space = series.iter().map(HourPoint::total_space).fold(0.0f64, f64::max);
-        let max_prefix = series.iter().map(HourPoint::total_prefixes).fold(0.0f64, f64::max);
+        let max_space = series
+            .iter()
+            .map(HourPoint::total_space)
+            .fold(0.0f64, f64::max);
+        let max_prefix = series
+            .iter()
+            .map(HourPoint::total_prefixes)
+            .fold(0.0f64, f64::max);
         assert!((max_space - 1.0).abs() < 1e-9);
         assert!((max_prefix - 1.0).abs() < 1e-9);
     }
@@ -164,9 +179,8 @@ mod tests {
         // Two identical runs (deterministic), two visitors.
         run(&cfg, &mut all);
         run(&cfg, &mut as4);
-        let sum = |v: &DaytimeVisitor| -> f64 {
-            v.hours.values().map(|h| h.total_prefixes()).sum()
-        };
+        let sum =
+            |v: &DaytimeVisitor| -> f64 { v.hours.values().map(|h| h.total_prefixes()).sum() };
         assert!(sum(&as4) > 0.0, "AS4 must have classified ranges");
         assert!(sum(&as4) < sum(&all));
     }

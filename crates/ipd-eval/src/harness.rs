@@ -57,7 +57,10 @@ impl EvalConfig {
                 ..IpdParams::default()
             },
             world: WorldConfig::default(),
-            sim: SimConfig { flows_per_minute, ..SimConfig::default() },
+            sim: SimConfig {
+                flows_per_minute,
+                ..SimConfig::default()
+            },
             snapshot_every_ticks: 5,
         }
     }
@@ -106,13 +109,23 @@ pub struct RunOutput {
 /// Run IPD over `cfg.minutes` of simulated traffic, driving `visitor`.
 pub fn run<V: RunVisitor>(cfg: &EvalConfig, visitor: &mut V) -> RunOutput {
     let world = World::generate(cfg.world.clone(), cfg.seed);
-    let sim = FlowSim::new(world, SimConfig { seed: cfg.seed ^ 0xF10, ..cfg.sim.clone() });
+    let sim = FlowSim::new(
+        world,
+        SimConfig {
+            seed: cfg.seed ^ 0xF10,
+            ..cfg.sim.clone()
+        },
+    );
     run_with_sim(cfg, sim, visitor)
 }
 
 /// Same as [`run`] but over a caller-built simulator (used by scripted
 /// scenarios like the Fig 13/14 case study).
-pub fn run_with_sim<V: RunVisitor>(cfg: &EvalConfig, mut sim: FlowSim, visitor: &mut V) -> RunOutput {
+pub fn run_with_sim<V: RunVisitor>(
+    cfg: &EvalConfig,
+    mut sim: FlowSim,
+    visitor: &mut V,
+) -> RunOutput {
     let mut engine = IpdEngine::new(cfg.params.clone()).expect("valid eval parameters");
     let mut driver = BucketDriver::new(cfg.params.t_secs, cfg.snapshot_every_ticks);
     let mut lpm: LpmTrie<LogicalIngress> = LpmTrie::new();
@@ -187,7 +200,12 @@ mod tests {
 
     #[test]
     fn run_produces_ticks_and_snapshots() {
-        let mut v = Counter { minutes: 0, ticks: 0, snapshots: 0, classified_seen: 0 };
+        let mut v = Counter {
+            minutes: 0,
+            ticks: 0,
+            snapshots: 0,
+            classified_seen: 0,
+        };
         let out = run(&quick_cfg(12), &mut v);
         assert_eq!(v.minutes, 12);
         // ~11 bucket-crossing ticks + final.

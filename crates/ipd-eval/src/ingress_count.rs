@@ -40,7 +40,11 @@ pub struct IngressCountVisitor {
 impl IngressCountVisitor {
     /// Default observer (1-hour windows, 1 % minimum share).
     pub fn new() -> Self {
-        IngressCountVisitor { obs: HashMap::new(), window_secs: 3600, min_share: 0.01 }
+        IngressCountVisitor {
+            obs: HashMap::new(),
+            window_secs: 3600,
+            min_share: 0.01,
+        }
     }
 
     /// CDF points `(k, P(X <= k))` of simultaneous ingress-router counts per
@@ -179,7 +183,10 @@ mod tests {
         // point". Accept the shape: clearly most, not all. (Short runs see
         // few flows per /24, under-observing the mixed ones, so the share
         // runs high here; the 25-hour experiment lands lower.)
-        assert!((0.6..0.995).contains(&single), "single-ingress share {single}");
+        assert!(
+            (0.6..0.995).contains(&single),
+            "single-ingress share {single}"
+        );
     }
 
     #[test]
@@ -192,7 +199,10 @@ mod tests {
             assert!(s >= 0.3, "primary is first-ranked, share {s}");
         }
         let mean = crate::stats::mean(&samples);
-        assert!(mean < 0.98, "if primaries all ~1.0 the multi model is broken");
+        assert!(
+            mean < 0.98,
+            "if primaries all ~1.0 the multi model is broken"
+        );
     }
 
     #[test]
@@ -201,8 +211,14 @@ mod tests {
         let bgp = bgp_next_hop_cdf(out.sim.world(), None);
         let traffic = v.ingress_count_cdf(None);
         // P(count == 1): BGP around 20 %, traffic much higher (Fig 3's gap).
-        let bgp_single = bgp.first().map(|&(k, p)| if k == 1 { p } else { 0.0 }).unwrap_or(0.0);
-        let traffic_single = traffic.first().map(|&(k, p)| if k == 1 { p } else { 0.0 }).unwrap();
+        let bgp_single = bgp
+            .first()
+            .map(|&(k, p)| if k == 1 { p } else { 0.0 })
+            .unwrap_or(0.0);
+        let traffic_single = traffic
+            .first()
+            .map(|&(k, p)| if k == 1 { p } else { 0.0 })
+            .unwrap();
         assert!(
             traffic_single > bgp_single + 0.2,
             "traffic single {traffic_single} vs bgp single {bgp_single}"

@@ -91,7 +91,12 @@ pub fn compare(reference: &FrozenMapping, later: &FrozenMapping) -> (f64, f64) {
 
 /// Run the full Fig 10 series: reference at `epoch + start_day` 8 PM,
 /// compared against each of the following `days` days.
-pub fn fig10_series(world: &mut World, start_day: u64, days: u64, max_rank: Option<usize>) -> Vec<DayPoint> {
+pub fn fig10_series(
+    world: &mut World,
+    start_day: u64,
+    days: u64,
+    max_rank: Option<usize>,
+) -> Vec<DayPoint> {
     let epoch = world.config.epoch;
     let at_8pm = |day: u64| epoch + day * 86_400 + 20 * 3600;
     world.advance_to(at_8pm(start_day));
@@ -101,7 +106,11 @@ pub fn fig10_series(world: &mut World, start_day: u64, days: u64, max_rank: Opti
         world.advance_to(at_8pm(start_day + d));
         let later = freeze(world, max_rank);
         let (matching, stable) = compare(&reference, &later);
-        out.push(DayPoint { day: d, matching, stable });
+        out.push(DayPoint {
+            day: d,
+            matching,
+            stable,
+        });
     }
     out
 }
@@ -129,13 +138,12 @@ mod tests {
         // Day 1 is already < 1 (remaps happen), and stability declines
         // with horizon (monotone in trend, not pointwise).
         assert!(series[0].stable < 1.0);
-        let early = crate::stats::mean(
-            &series[..5].iter().map(|p| p.stable).collect::<Vec<_>>(),
+        let early = crate::stats::mean(&series[..5].iter().map(|p| p.stable).collect::<Vec<_>>());
+        let late = crate::stats::mean(&series[25..].iter().map(|p| p.stable).collect::<Vec<_>>());
+        assert!(
+            late < early,
+            "stable share should decay: early {early} late {late}"
         );
-        let late = crate::stats::mean(
-            &series[25..].iter().map(|p| p.stable).collect::<Vec<_>>(),
-        );
-        assert!(late < early, "stable share should decay: early {early} late {late}");
         for p in &series {
             assert!(p.stable <= p.matching + 1e-9);
             assert!((0.0..=1.0).contains(&p.matching));

@@ -136,7 +136,12 @@ impl RunVisitor for StudyVisitor {
 
 /// Run the study: every configuration against the *same* seeded traffic.
 /// Factor levels are multipliers of the rate-calibrated base (see [`Design`]).
-pub fn run_study(design: &Design, minutes: u64, flows_per_minute: u64, seed: u64) -> Vec<ConfigResult> {
+pub fn run_study(
+    design: &Design,
+    minutes: u64,
+    flows_per_minute: u64,
+    seed: u64,
+) -> Vec<ConfigResult> {
     let base_factor = 64.0 / 32.0e6 * flows_per_minute as f64;
     let mut out = Vec::new();
     for params in design.configs(base_factor) {
@@ -159,8 +164,11 @@ pub fn run_study(design: &Design, minutes: u64, flows_per_minute: u64, seed: u64
         v.stability.finish();
         let (acc_all, _, _) = v.validation.mean_accuracy();
         let durations = v.stability.durations();
-        let (_, ks) =
-            if durations.is_empty() { (crate::stats::RefDistKind::Normal, 1.0) } else { best_ks_distance(&durations) };
+        let (_, ks) = if durations.is_empty() {
+            (crate::stats::RefDistKind::Normal, 1.0)
+        } else {
+            best_ks_distance(&durations)
+        };
         out.push(ConfigResult {
             q: params.q,
             ncidr_factor: params.ncidr_factor_v4 / base_factor,
@@ -244,7 +252,12 @@ pub fn effects(results: &[ConfigResult]) -> Vec<EffectReport> {
                 .cloned()
                 .zip(groups.iter().map(|g| mean(g)))
                 .collect();
-            out.push(EffectReport { factor, metric, level_means, anova: anova(&groups) });
+            out.push(EffectReport {
+                factor,
+                metric,
+                level_means,
+                anova: anova(&groups),
+            });
         }
     }
     out
@@ -265,8 +278,11 @@ mod tests {
         // paper-literal 32/48/64/80.
         assert_eq!(d.configs(64.0).len(), 180);
         assert!(d.configs(64.0).iter().all(|p| p.validate().is_ok()));
-        let factors: std::collections::BTreeSet<u64> =
-            d.configs(64.0).iter().map(|p| p.ncidr_factor_v4 as u64).collect();
+        let factors: std::collections::BTreeSet<u64> = d
+            .configs(64.0)
+            .iter()
+            .map(|p| p.ncidr_factor_v4 as u64)
+            .collect();
         assert_eq!(factors, [32u64, 48, 64, 80].into_iter().collect());
     }
 

@@ -28,7 +28,10 @@ pub fn ipd_mask_distribution(
         *counts.entry(r.range.len()).or_insert(0) += 1;
         total += 1;
     }
-    counts.into_iter().map(|(len, n)| (len, n as f64 / total.max(1) as f64)).collect()
+    counts
+        .into_iter()
+        .map(|(len, n)| (len, n as f64 / total.max(1) as f64))
+        .collect()
 }
 
 /// BGP mask share (Fig 9 gray bars).
@@ -49,12 +52,12 @@ pub struct RangeDistSummary {
 }
 
 /// Summarize an IPD-vs-BGP mask comparison.
-pub fn summarize(
-    ipd: &BTreeMap<u8, f64>,
-    bgp: &BTreeMap<u8, f64>,
-) -> RangeDistSummary {
-    let ipd_only_masks =
-        ipd.keys().filter(|m| !bgp.contains_key(m)).copied().collect();
+pub fn summarize(ipd: &BTreeMap<u8, f64>, bgp: &BTreeMap<u8, f64>) -> RangeDistSummary {
+    let ipd_only_masks = ipd
+        .keys()
+        .filter(|m| !bgp.contains_key(m))
+        .copied()
+        .collect();
     RangeDistSummary {
         ipd_only_masks,
         bgp_24_share: bgp.get(&24).copied().unwrap_or(0.0),

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column names.
     pub fn new(columns: &[&str]) -> Self {
-        Table { columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -65,8 +68,12 @@ impl Table {
         };
         let mut out = String::new();
         writeln!(out, "{}", fmt_row(&self.columns)).expect("infallible write");
-        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))
-            .expect("infallible write");
+        writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )
+        .expect("infallible write");
         if self.rows.len() <= max_rows {
             for r in &self.rows {
                 writeln!(out, "{}", fmt_row(r)).expect("infallible write");

@@ -74,13 +74,14 @@ impl RunVisitor for StabilityVisitor {
         // Close phases for ranges that vanished or changed ingress.
         let ts = snapshot.ts;
         let mut closed = Vec::new();
-        self.live.retain(|range, (ing, since, peak)| match seen.get(range) {
-            Some((new_ing, _)) if new_ing == ing => true,
-            _ => {
-                closed.push((*range, ts.saturating_sub(*since), *peak));
-                false
-            }
-        });
+        self.live
+            .retain(|range, (ing, since, peak)| match seen.get(range) {
+                Some((new_ing, _)) if new_ing == ing => true,
+                _ => {
+                    closed.push((*range, ts.saturating_sub(*since), *peak));
+                    false
+                }
+            });
         self.phases.extend(closed);
         // Open or refresh phases.
         for (range, (ing, samples)) in seen {

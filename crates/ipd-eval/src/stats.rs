@@ -47,7 +47,10 @@ pub fn ecdf(samples: &[f64]) -> Vec<(f64, f64)> {
     let mut xs: Vec<f64> = samples.to_vec();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
     let n = xs.len() as f64;
-    xs.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+    xs.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// Quantile of a sample (nearest-rank).
@@ -109,9 +112,10 @@ impl RefDist {
     /// Fit the distribution to samples (method of moments / MLE where easy).
     pub fn fit(kind: RefDistKind, samples: &[f64]) -> RefDist {
         match kind {
-            RefDistKind::Normal => {
-                RefDist::Normal { mu: mean(samples), sigma: variance(samples).sqrt().max(1e-9) }
-            }
+            RefDistKind::Normal => RefDist::Normal {
+                mu: mean(samples),
+                sigma: variance(samples).sqrt().max(1e-9),
+            },
             RefDistKind::LogNormal => {
                 let logs: Vec<f64> = samples.iter().map(|&x| x.max(1e-9).ln()).collect();
                 RefDist::LogNormal {
@@ -125,7 +129,10 @@ impl RefDist {
                 let cv = variance(samples).sqrt() / m;
                 let shape = (cv.max(1e-3)).powf(-1.086); // standard approximation
                 let scale = m / gamma_approx(1.0 + 1.0 / shape);
-                RefDist::Weibull { shape: shape.max(0.05), scale: scale.max(1e-9) }
+                RefDist::Weibull {
+                    shape: shape.max(0.05),
+                    scale: scale.max(1e-9),
+                }
             }
             RefDistKind::Pareto => {
                 let xmin = samples
@@ -135,7 +142,10 @@ impl RefDist {
                     .max(1e-9);
                 let n = samples.len() as f64;
                 let denom: f64 = samples.iter().map(|&x| (x.max(xmin) / xmin).ln()).sum();
-                RefDist::Pareto { xmin, alpha: (n / denom.max(1e-9)).max(0.05) }
+                RefDist::Pareto {
+                    xmin,
+                    alpha: (n / denom.max(1e-9)).max(0.05),
+                }
             }
         }
     }
@@ -174,11 +184,16 @@ pub fn ks_distance(samples: &[f64], dist: &RefDist) -> f64 {
 /// potential distributions … gauge the similarity between the observed
 /// stable periods and the ideal distribution").
 pub fn best_ks_distance(samples: &[f64]) -> (RefDistKind, f64) {
-    [RefDistKind::Normal, RefDistKind::LogNormal, RefDistKind::Weibull, RefDistKind::Pareto]
-        .into_iter()
-        .map(|k| (k, ks_distance(samples, &RefDist::fit(k, samples))))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-        .expect("non-empty candidate list")
+    [
+        RefDistKind::Normal,
+        RefDistKind::LogNormal,
+        RefDistKind::Weibull,
+        RefDistKind::Pareto,
+    ]
+    .into_iter()
+    .map(|k| (k, ks_distance(samples, &RefDist::fit(k, samples))))
+    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+    .expect("non-empty candidate list")
 }
 
 /// Standard normal CDF via the error function.
@@ -192,8 +207,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -237,8 +251,10 @@ pub fn anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
         return None;
     }
     let grand = mean(&groups.iter().flatten().copied().collect::<Vec<f64>>());
-    let ss_between: f64 =
-        groups.iter().map(|g| g.len() as f64 * (mean(g) - grand).powi(2)).sum();
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| g.len() as f64 * (mean(g) - grand).powi(2))
+        .sum();
     let ss_within: f64 = groups
         .iter()
         .map(|g| {
@@ -261,8 +277,18 @@ pub fn anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
     };
     let p = f_survival(f, df_between as f64, df_within as f64);
     let ss_total = ss_between + ss_within;
-    let eta_squared = if ss_total == 0.0 { 0.0 } else { ss_between / ss_total };
-    Some(AnovaResult { f, df_between, df_within, p, eta_squared })
+    let eta_squared = if ss_total == 0.0 {
+        0.0
+    } else {
+        ss_between / ss_total
+    };
+    Some(AnovaResult {
+        f,
+        df_between,
+        df_within,
+        p,
+        eta_squared,
+    })
 }
 
 /// Survival function of the F(d1, d2) distribution: P(F > f), via the
@@ -423,10 +449,22 @@ mod tests {
                 lo * 2.0 + 10.0 // N(10, 2)
             })
             .collect();
-        let d = ks_distance(&samples, &RefDist::Normal { mu: 10.0, sigma: 2.0 });
+        let d = ks_distance(
+            &samples,
+            &RefDist::Normal {
+                mu: 10.0,
+                sigma: 2.0,
+            },
+        );
         assert!(d < 0.02, "KS distance {d}");
         // Against a badly wrong reference it is large.
-        let d_bad = ks_distance(&samples, &RefDist::Normal { mu: 0.0, sigma: 1.0 });
+        let d_bad = ks_distance(
+            &samples,
+            &RefDist::Normal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        );
         assert!(d_bad > 0.9, "KS distance {d_bad}");
         // The best-fit search should pick (near-)normal with a small distance.
         let (_, best) = best_ks_distance(&samples);
@@ -435,15 +473,30 @@ mod tests {
 
     #[test]
     fn ks_of_empty_sample_is_one() {
-        assert_eq!(ks_distance(&[], &RefDist::Normal { mu: 0.0, sigma: 1.0 }), 1.0);
+        assert_eq!(
+            ks_distance(
+                &[],
+                &RefDist::Normal {
+                    mu: 0.0,
+                    sigma: 1.0
+                }
+            ),
+            1.0
+        );
     }
 
     #[test]
     fn weibull_and_pareto_cdfs() {
-        let w = RefDist::Weibull { shape: 1.0, scale: 2.0 }; // == Exp(1/2)
+        let w = RefDist::Weibull {
+            shape: 1.0,
+            scale: 2.0,
+        }; // == Exp(1/2)
         assert!((w.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
         assert_eq!(w.cdf(-1.0), 0.0);
-        let p = RefDist::Pareto { xmin: 1.0, alpha: 2.0 };
+        let p = RefDist::Pareto {
+            xmin: 1.0,
+            alpha: 2.0,
+        };
         assert_eq!(p.cdf(0.5), 0.0);
         assert!((p.cdf(2.0) - 0.75).abs() < 1e-12);
     }

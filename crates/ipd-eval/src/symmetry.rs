@@ -29,18 +29,19 @@ pub fn symmetry_now(world: &World, day: u64) -> SymmetryPoint {
     let mut groups = [(0u64, 0u64); 4]; // (symmetric, total) for all/top20/top5/tier1
     let prefixes: Vec<ipd_lpm::Prefix> = world.rib.iter().map(|(p, _)| p).collect();
     for prefix in prefixes {
-        let Some(as_idx) = world.as_index_of(prefix.addr()) else { continue };
-        let Some(primary) = world.mapping.primary(prefix.addr()) else { continue };
+        let Some(as_idx) = world.as_index_of(prefix.addr()) else {
+            continue;
+        };
+        let Some(primary) = world.mapping.primary(prefix.addr()) else {
+            continue;
+        };
         let ingress_router = world.ingress_point_of_link(primary).router;
-        let Some(egress_router) = world.egress_router(prefix.addr()) else { continue };
+        let Some(egress_router) = world.egress_router(prefix.addr()) else {
+            continue;
+        };
         let symmetric = (ingress_router == egress_router) as u64;
         let kind = world.ases[as_idx].kind;
-        let memberships = [
-            true,
-            as_idx < 20,
-            as_idx < 5,
-            kind == AsKind::Tier1,
-        ];
+        let memberships = [true, as_idx < 20, as_idx < 5, kind == AsKind::Tier1];
         for (g, member) in groups.iter_mut().zip(memberships) {
             if member {
                 g.0 += symmetric;
@@ -114,8 +115,10 @@ pub fn prefix_correlation(snapshot: &Snapshot, world: &World) -> PrefixCorrelati
             None => {
                 // No covering BGP prefix; is the IPD range *less* specific —
                 // i.e. does it contain announced prefixes?
-                let contains_bgp =
-                    world.rib.iter().any(|(p, _)| r.range.contains_prefix(p) && p != r.range);
+                let contains_bgp = world
+                    .rib
+                    .iter()
+                    .any(|(p, _)| r.range.contains_prefix(p) && p != r.range);
                 if contains_bgp {
                     out.less_specific += 1;
                 } else {

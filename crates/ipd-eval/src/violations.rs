@@ -41,7 +41,9 @@ pub fn detect_now(world: &World, day: u64) -> ViolationPoint {
             continue;
         }
         tier1_regions += 1;
-        let Some(choice) = world.mapping.region_choice(region) else { continue };
+        let Some(choice) = world.mapping.region_choice(region) else {
+            continue;
+        };
         if !world.links_of_as(as_idx).contains(&choice.primary) {
             violating += 1;
             *per_asn.entry(world.ases[as_idx].asn).or_insert(0) += 1;
@@ -110,17 +112,27 @@ mod tests {
         w.advance_to(w.config.epoch + 30 * 86_400);
         let detected = detect_now(&w, 30);
         let truth = w.active_violations();
-        assert_eq!(detected.total(), truth.len(), "independent detector must agree");
-        assert!(detected.total() > 0, "a month at this rate yields violations");
+        assert_eq!(
+            detected.total(),
+            truth.len(),
+            "independent detector must agree"
+        );
+        assert!(
+            detected.total() > 0,
+            "a month at this rate yields violations"
+        );
     }
 
     #[test]
-    fn trend_goes_up(){
+    fn trend_goes_up() {
         let mut w = world_with_violations();
         let series = fig17_series(&mut w, 360, 30);
         assert_eq!(series.len(), 13);
         let early: usize = series[..4].iter().map(ViolationPoint::total).sum();
-        let late: usize = series[series.len() - 4..].iter().map(ViolationPoint::total).sum();
+        let late: usize = series[series.len() - 4..]
+            .iter()
+            .map(ViolationPoint::total)
+            .sum();
         assert!(late > early, "Fig 17 trend: early {early} late {late}");
         let share = mean_violating_share(&series);
         assert!((0.0..0.6).contains(&share), "share {share}");

@@ -80,7 +80,10 @@ impl Addr {
     /// Convenience constructor for IPv4 from a `u32`.
     #[inline]
     pub fn v4(bits: u32) -> Self {
-        Addr { af: Af::V4, bits: bits as u128 }
+        Addr {
+            af: Af::V4,
+            bits: bits as u128,
+        }
     }
 
     /// Convenience constructor for IPv6 from a `u128`.
@@ -116,7 +119,10 @@ impl Addr {
     /// The address masked to `len` bits (host bits cleared).
     #[inline]
     pub fn masked(self, len: u8) -> Addr {
-        Addr { af: self.af, bits: self.bits & self.af.mask(len) }
+        Addr {
+            af: self.af,
+            bits: self.bits & self.af.mask(len),
+        }
     }
 }
 

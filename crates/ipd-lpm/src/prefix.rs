@@ -59,7 +59,10 @@ impl Prefix {
         if len > width {
             return Err(ParsePrefixError::LenOutOfRange { len, width });
         }
-        Ok(Prefix { addr: addr.masked(len), len })
+        Ok(Prefix {
+            addr: addr.masked(len),
+            len,
+        })
     }
 
     /// Infallible constructor for lengths known to be valid (e.g. computed by
@@ -73,7 +76,10 @@ impl Prefix {
 
     /// The whole address space of a family: `0.0.0.0/0` or `::/0`.
     pub fn root(af: Af) -> Self {
-        Prefix { addr: Addr::new(af, 0), len: 0 }
+        Prefix {
+            addr: Addr::new(af, 0),
+            len: 0,
+        }
     }
 
     /// Network address (host bits zero).
@@ -121,7 +127,10 @@ impl Prefix {
         if self.len >= w {
             return None;
         }
-        let left = Prefix { addr: self.addr, len: self.len + 1 };
+        let left = Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
         let bit = 1u128 << (w - 1 - self.len);
         let right = Prefix {
             addr: Addr::new(self.af(), self.addr.bits() | bit),
@@ -136,7 +145,10 @@ impl Prefix {
             return None;
         }
         let len = self.len - 1;
-        Some(Prefix { addr: self.addr.masked(len), len })
+        Some(Prefix {
+            addr: self.addr.masked(len),
+            len,
+        })
     }
 
     /// The sibling under the same parent, or `None` for the root.

@@ -25,7 +25,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn empty() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -42,7 +45,11 @@ impl<V> Default for LpmTrie<V> {
 impl<V> LpmTrie<V> {
     /// An empty trie.
     pub fn new() -> Self {
-        LpmTrie { v4: Node::empty(), v6: Node::empty(), len: 0 }
+        LpmTrie {
+            v4: Node::empty(),
+            v6: Node::empty(),
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -200,7 +207,9 @@ impl<V> LpmTrie<V> {
                 None => return Iter { stack: Vec::new() },
             }
         }
-        Iter { stack: vec![(within, node)] }
+        Iter {
+            stack: vec![(within, node)],
+        }
     }
 
     /// Remove all entries.
@@ -277,9 +286,18 @@ mod tests {
         t.insert(p("10.0.0.0/8"), "eight");
         t.insert(p("10.1.0.0/16"), "sixteen");
         t.insert(p("10.1.2.0/24"), "twentyfour");
-        assert_eq!(t.lookup(a("10.1.2.3")).unwrap(), (p("10.1.2.0/24"), &"twentyfour"));
-        assert_eq!(t.lookup(a("10.1.9.9")).unwrap(), (p("10.1.0.0/16"), &"sixteen"));
-        assert_eq!(t.lookup(a("10.9.9.9")).unwrap(), (p("10.0.0.0/8"), &"eight"));
+        assert_eq!(
+            t.lookup(a("10.1.2.3")).unwrap(),
+            (p("10.1.2.0/24"), &"twentyfour")
+        );
+        assert_eq!(
+            t.lookup(a("10.1.9.9")).unwrap(),
+            (p("10.1.0.0/16"), &"sixteen")
+        );
+        assert_eq!(
+            t.lookup(a("10.9.9.9")).unwrap(),
+            (p("10.0.0.0/8"), &"eight")
+        );
         assert_eq!(t.lookup(a("11.0.0.1")), None);
     }
 
@@ -308,8 +326,19 @@ mod tests {
         t.insert(p("0.0.0.0/0"), 0);
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.2.0/24"), 24);
-        let all: Vec<_> = t.lookup_all(a("10.1.2.3")).into_iter().map(|(p, v)| (p, *v)).collect();
-        assert_eq!(all, vec![(p("0.0.0.0/0"), 0), (p("10.0.0.0/8"), 8), (p("10.1.2.0/24"), 24)]);
+        let all: Vec<_> = t
+            .lookup_all(a("10.1.2.3"))
+            .into_iter()
+            .map(|(p, v)| (p, *v))
+            .collect();
+        assert_eq!(
+            all,
+            vec![
+                (p("0.0.0.0/0"), 0),
+                (p("10.0.0.0/8"), 8),
+                (p("10.1.2.0/24"), 24)
+            ]
+        );
     }
 
     #[test]
@@ -317,9 +346,18 @@ mod tests {
         let mut t = LpmTrie::new();
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/16"), 16);
-        assert_eq!(t.lookup_prefix(p("10.1.2.0/24")).unwrap(), (p("10.1.0.0/16"), &16));
-        assert_eq!(t.lookup_prefix(p("10.1.0.0/16")).unwrap(), (p("10.1.0.0/16"), &16));
-        assert_eq!(t.lookup_prefix(p("10.0.0.0/12")).unwrap(), (p("10.0.0.0/8"), &8));
+        assert_eq!(
+            t.lookup_prefix(p("10.1.2.0/24")).unwrap(),
+            (p("10.1.0.0/16"), &16)
+        );
+        assert_eq!(
+            t.lookup_prefix(p("10.1.0.0/16")).unwrap(),
+            (p("10.1.0.0/16"), &16)
+        );
+        assert_eq!(
+            t.lookup_prefix(p("10.0.0.0/12")).unwrap(),
+            (p("10.0.0.0/8"), &8)
+        );
         assert_eq!(t.lookup_prefix(p("11.0.0.0/8")), None);
     }
 
@@ -344,7 +382,10 @@ mod tests {
         t.insert(p("10.1.0.0/16"), 2);
         t.insert(p("2001:db8::/32"), 4);
         let keys: Vec<_> = t.iter().map(|(p, _)| p.to_string()).collect();
-        assert_eq!(keys, vec!["10.0.0.0/8", "10.1.0.0/16", "128.0.0.0/1", "2001:db8::/32"]);
+        assert_eq!(
+            keys,
+            vec!["10.0.0.0/8", "10.1.0.0/16", "128.0.0.0/1", "2001:db8::/32"]
+        );
     }
 
     #[test]
@@ -354,7 +395,10 @@ mod tests {
         t.insert(p("10.1.0.0/16"), 16);
         t.insert(p("10.1.2.0/24"), 24);
         t.insert(p("11.0.0.0/8"), 99);
-        let got: Vec<_> = t.iter_within(p("10.1.0.0/16")).map(|(p, v)| (p, *v)).collect();
+        let got: Vec<_> = t
+            .iter_within(p("10.1.0.0/16"))
+            .map(|(p, v)| (p, *v))
+            .collect();
         assert_eq!(got, vec![(p("10.1.0.0/16"), 16), (p("10.1.2.0/24"), 24)]);
         // A region with no entries at all.
         assert_eq!(t.iter_within(p("12.0.0.0/8")).count(), 0);
@@ -366,8 +410,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_clear() {
-        let mut t: LpmTrie<u32> =
-            vec![(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)].into_iter().collect();
+        let mut t: LpmTrie<u32> = vec![(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 2);
         t.clear();
         assert!(t.is_empty());

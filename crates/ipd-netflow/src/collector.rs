@@ -24,6 +24,28 @@ pub struct CollectorStats {
     pub errors: u64,
     /// Flow records lost according to sequence-number gaps.
     pub sequence_gap: u64,
+    /// Datagrams that arrived out of order (sequence behind the expected
+    /// one). Reordering is not loss: the records are still delivered, so
+    /// they are counted here instead of in [`CollectorStats::sequence_gap`].
+    pub reordered: u64,
+    /// IPFIX data sets skipped because their template id was unknown (data
+    /// arrived before the template, or the template was lost).
+    pub unknown_template_sets: u64,
+}
+
+/// Advance a per-peer expected sequence number past a datagram carrying `n`
+/// records at sequence `seq`. Returns `(lost, reordered)`: a forward jump
+/// below half the sequence space counts its gap as lost records; anything at
+/// or above half the space is a late (reordered) datagram — the expected
+/// sequence is left alone so the still-outstanding in-order datagram does
+/// not produce a phantom gap when it arrives.
+fn advance_seq(expected: &mut u32, seq: u32, n: u32) -> (u64, bool) {
+    let gap = seq.wrapping_sub(*expected);
+    if gap >= u32::MAX / 2 {
+        return (0, true);
+    }
+    *expected = seq.wrapping_add(n);
+    (gap as u64, false)
 }
 
 /// A flow collector for any number of exporting routers.
@@ -61,7 +83,10 @@ impl Collector {
     ) -> Result<usize, DecodeError> {
         if datagram.len() < 2 {
             self.stats.errors += 1;
-            return Err(DecodeError::Truncated { need: 2, have: datagram.len() });
+            return Err(DecodeError::Truncated {
+                need: 2,
+                have: datagram.len(),
+            });
         }
         let version = u16::from_be_bytes([datagram[0], datagram[1]]);
         let result = match version {
@@ -90,16 +115,17 @@ impl Collector {
     ) -> Result<usize, DecodeError> {
         let pkt = v5::decode(datagram, router)?;
         let key = (router, pkt.engine_id);
-        if let Some(expected) = self.v5_seq.get(&key) {
-            let gap = pkt.flow_sequence.wrapping_sub(*expected);
-            // Gaps beyond 2^31 are reordering, not loss; ignore them.
-            if gap != 0 && gap < u32::MAX / 2 {
-                self.stats.sequence_gap += gap as u64;
+        let n = pkt.records.len();
+        match self.v5_seq.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (lost, reordered) = advance_seq(e.get_mut(), pkt.flow_sequence, n as u32);
+                self.stats.sequence_gap += lost;
+                self.stats.reordered += reordered as u64;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(pkt.flow_sequence.wrapping_add(n as u32));
             }
         }
-        self.v5_seq
-            .insert(key, pkt.flow_sequence.wrapping_add(pkt.records.len() as u32));
-        let n = pkt.records.len();
         out.extend(pkt.records);
         Ok(n)
     }
@@ -111,15 +137,18 @@ impl Collector {
         out: &mut Vec<FlowRecord>,
     ) -> Result<usize, DecodeError> {
         let msg = self.ipfix.decode(datagram, router)?;
-        if let Some(expected) = self.ipfix_seq.get(&msg.domain) {
-            let gap = msg.sequence.wrapping_sub(*expected);
-            if gap != 0 && gap < u32::MAX / 2 {
-                self.stats.sequence_gap += gap as u64;
+        self.stats.unknown_template_sets += msg.skipped_sets;
+        let n = msg.records.len();
+        match self.ipfix_seq.entry(msg.domain) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (lost, reordered) = advance_seq(e.get_mut(), msg.sequence, n as u32);
+                self.stats.sequence_gap += lost;
+                self.stats.reordered += reordered as u64;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(msg.sequence.wrapping_add(n as u32));
             }
         }
-        self.ipfix_seq
-            .insert(msg.domain, msg.sequence.wrapping_add(msg.records.len() as u32));
-        let n = msg.records.len();
         out.extend(msg.records);
         Ok(n)
     }
@@ -198,6 +227,73 @@ mod tests {
                 col.feed(&g, 2, &mut out).unwrap();
             }
         }
+        assert_eq!(col.stats().sequence_gap, 0);
+    }
+
+    #[test]
+    fn reordered_datagram_is_not_a_billion_record_gap() {
+        let mut exp = V5Exporter::new(7, 0, 1000, 0);
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        let g1 = exp.encode(1000, &records(5)).unwrap().remove(0);
+        let g2 = exp.encode(1000, &records(4)).unwrap().remove(0);
+        let g3 = exp.encode(1000, &records(3)).unwrap().remove(0);
+        // g2 and g3 swap in flight: feed 1, 3, 2.
+        col.feed(&g1, 7, &mut out).unwrap();
+        col.feed(&g3, 7, &mut out).unwrap();
+        col.feed(&g2, 7, &mut out).unwrap();
+        // The 1→3 jump is a real 4-record gap; the late g2 is a reorder,
+        // not ~u32::MAX lost records — and its records still arrive.
+        assert_eq!(col.stats().sequence_gap, 4);
+        assert_eq!(col.stats().reordered, 1);
+        assert_eq!(out.len(), 12);
+        // The late datagram must not rewind the expected sequence: the next
+        // in-order datagram continues gap-free.
+        let g4 = exp.encode(1000, &records(2)).unwrap().remove(0);
+        col.feed(&g4, 7, &mut out).unwrap();
+        assert_eq!(
+            col.stats().sequence_gap,
+            4,
+            "no phantom gap after a reorder"
+        );
+        assert_eq!(col.stats().reordered, 1);
+    }
+
+    #[test]
+    fn true_sequence_wraparound_is_not_a_reorder() {
+        // An exporter whose sequence space wraps: 2 records before
+        // u32::MAX, the next datagram starts at sequence 1 (= MAX - 2 + 3,
+        // wrapped). A small forward gap across the wrap is in-order delivery.
+        let mut exp = V5Exporter::new(7, 0, 1000, 0).with_flow_sequence(u32::MAX - 2);
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        let g1 = exp.encode(1000, &records(3)).unwrap().remove(0);
+        let g2 = exp.encode(1000, &records(3)).unwrap().remove(0);
+        col.feed(&g1, 7, &mut out).unwrap();
+        col.feed(&g2, 7, &mut out).unwrap();
+        assert_eq!(col.stats().sequence_gap, 0);
+        assert_eq!(col.stats().reordered, 0);
+        assert_eq!(out.len(), 6);
+        // A gap across the wrap still counts as loss, not reorder.
+        let _lost = exp.encode(1000, &records(4)).unwrap();
+        let g4 = exp.encode(1000, &records(1)).unwrap().remove(0);
+        col.feed(&g4, 7, &mut out).unwrap();
+        assert_eq!(col.stats().sequence_gap, 4);
+        assert_eq!(col.stats().reordered, 0);
+    }
+
+    #[test]
+    fn ipfix_reorder_detected() {
+        let mut exp = IpfixExporter::new(9, 1);
+        let mut col = Collector::new();
+        let mut out = Vec::new();
+        let g1 = exp.encode(1000, &records(5)).remove(0);
+        let g2 = exp.encode(1000, &records(4)).remove(0);
+        col.feed(&g1, 9, &mut out).unwrap();
+        col.feed(&g2, 9, &mut out).unwrap();
+        // Replay g1 (late duplicate / reordered): counted, nothing lost.
+        col.feed(&g1, 9, &mut out).unwrap();
+        assert_eq!(col.stats().reordered, 1);
         assert_eq!(col.stats().sequence_gap, 0);
     }
 

@@ -204,6 +204,7 @@ fn encode_data_record(buf: &mut BytesMut, r: &FlowRecord) {
 #[derive(Debug, Default)]
 pub struct IpfixDecoder {
     templates: HashMap<(u32, u16), Template>,
+    unknown_template_sets: u64,
 }
 
 /// Result of decoding one IPFIX message.
@@ -217,6 +218,9 @@ pub struct IpfixMessage {
     pub domain: u32,
     /// Decoded flow records.
     pub records: Vec<FlowRecord>,
+    /// Data sets in this message skipped because their template id was not
+    /// (yet) in the cache.
+    pub skipped_sets: u64,
 }
 
 impl IpfixDecoder {
@@ -230,16 +234,28 @@ impl IpfixDecoder {
         self.templates.len()
     }
 
-    /// Decode one IPFIX message. Data sets referencing unknown templates
-    /// produce [`DecodeError::UnknownTemplate`] — a real collector counts
-    /// these and waits for the next template refresh.
+    /// Data sets skipped over the decoder's lifetime because their template
+    /// was unknown (data before template, or the template datagram was lost).
+    pub fn unknown_template_sets(&self) -> u64 {
+        self.unknown_template_sets
+    }
+
+    /// Decode one IPFIX message. A data set referencing an unknown template
+    /// is *skipped* and counted ([`IpfixMessage::skipped_sets`],
+    /// [`IpfixDecoder::unknown_template_sets`]) rather than failing the
+    /// whole message — co-packed sets with known templates still decode, and
+    /// the stream recovers at the next template refresh (RFC 7011 §8 says a
+    /// collector must not assume templates precede data in the stream).
     pub fn decode(
         &mut self,
         datagram: &[u8],
         router: RouterId,
     ) -> Result<IpfixMessage, DecodeError> {
         if datagram.len() < MSG_HEADER_LEN {
-            return Err(DecodeError::Truncated { need: MSG_HEADER_LEN, have: datagram.len() });
+            return Err(DecodeError::Truncated {
+                need: MSG_HEADER_LEN,
+                have: datagram.len(),
+            });
         }
         let mut buf = datagram;
         let version = buf.get_u16();
@@ -248,13 +264,17 @@ impl IpfixDecoder {
         }
         let length = buf.get_u16() as usize;
         if length != datagram.len() {
-            return Err(DecodeError::BadLength { claimed: length, actual: datagram.len() });
+            return Err(DecodeError::BadLength {
+                claimed: length,
+                actual: datagram.len(),
+            });
         }
         let export_time = buf.get_u32();
         let sequence = buf.get_u32();
         let domain = buf.get_u32();
 
         let mut records = Vec::new();
+        let mut skipped_sets = 0u64;
         while buf.remaining() > 0 {
             if buf.remaining() < SET_HEADER_LEN {
                 return Err(DecodeError::Malformed("dangling bytes after last set"));
@@ -270,12 +290,30 @@ impl IpfixDecoder {
                 2 => self.decode_template_set(&mut set, domain)?,
                 3 => { /* options templates: ignored in this subset */ }
                 id if id >= 256 => {
-                    self.decode_data_set(&mut set, domain, id, export_time, router, &mut records)?;
+                    if self.templates.contains_key(&(domain, id)) {
+                        self.decode_data_set(
+                            &mut set,
+                            domain,
+                            id,
+                            export_time,
+                            router,
+                            &mut records,
+                        )?;
+                    } else {
+                        skipped_sets += 1;
+                        self.unknown_template_sets += 1;
+                    }
                 }
                 _ => return Err(DecodeError::Malformed("reserved set id")),
             }
         }
-        Ok(IpfixMessage { export_time, sequence, domain, records })
+        Ok(IpfixMessage {
+            export_time,
+            sequence,
+            domain,
+            records,
+            skipped_sets,
+        })
     }
 
     fn decode_template_set(&mut self, set: &mut &[u8], domain: u32) -> Result<(), DecodeError> {
@@ -424,8 +462,13 @@ mod tests {
     fn roundtrip_mixed_families() {
         let mut exp = IpfixExporter::new(9, 16);
         let mut dec = IpfixDecoder::new();
-        let records: Vec<FlowRecord> =
-            vec![v4_record(1), v4_record(2), v6_record(1), v6_record(2), v6_record(3)];
+        let records: Vec<FlowRecord> = vec![
+            v4_record(1),
+            v4_record(2),
+            v6_record(1),
+            v6_record(2),
+            v6_record(3),
+        ];
         let grams = exp.encode(1_700_000_000, &records);
         let mut got = Vec::new();
         for g in &grams {
@@ -440,24 +483,109 @@ mod tests {
     }
 
     #[test]
-    fn data_before_template_is_unknown_template() {
+    fn data_before_template_is_skipped_and_counted() {
         let mut exp = IpfixExporter::new(9, 1_000_000);
         // First message carries templates; second does not.
         let first = exp.encode(100, &[v4_record(1)]);
         let second = exp.encode(100, &[v4_record(2)]);
         assert_eq!(first.len(), 1);
         assert_eq!(second.len(), 1);
+        // A fresh decoder joining mid-stream skips the set (it cannot
+        // interpret it) but does not fail the message.
         let mut fresh = IpfixDecoder::new();
-        let err = fresh.decode(&second[0], 9).unwrap_err();
-        assert!(matches!(err, DecodeError::UnknownTemplate { domain: 9, template: _ }));
+        let msg = fresh.decode(&second[0], 9).unwrap();
+        assert!(msg.records.is_empty());
+        assert_eq!(msg.skipped_sets, 1);
+        assert_eq!(fresh.unknown_template_sets(), 1);
         // After seeing the template message it recovers.
         fresh.decode(&first[0], 9).unwrap();
         let msg = fresh.decode(&second[0], 9).unwrap();
         // The decoder stamps records with the message export time (100), not
         // the original flow timestamp — the wire carries no per-flow clock in
         // this template.
-        let expect = FlowRecord { ts: 100, ..v4_record(2) };
+        let expect = FlowRecord {
+            ts: 100,
+            ..v4_record(2)
+        };
         assert_eq!(msg.records, vec![expect]);
+        assert_eq!(msg.skipped_sets, 0);
+    }
+
+    #[test]
+    fn template_redefinition_applies_to_subsequent_data() {
+        // Same template id, two generations of field lists: first only a
+        // source address, then source + ingress interface. Data sets after
+        // the redefinition must be parsed with the *new* layout.
+        let msg_with = |body: &BytesMut| {
+            let mut msg = BytesMut::new();
+            msg.put_u16(10);
+            msg.put_u16((MSG_HEADER_LEN + body.len()) as u16);
+            msg.put_u32(500);
+            msg.put_u32(0);
+            msg.put_u32(9);
+            msg.extend_from_slice(body);
+            msg
+        };
+        let mut dec = IpfixDecoder::new();
+
+        let gen1: Template = vec![(ie::SOURCE_IPV4_ADDRESS, 4)];
+        let mut body = BytesMut::new();
+        encode_template_set(&mut body, &[(300, &gen1)]);
+        body.put_u16(300);
+        body.put_u16(4 + 4);
+        body.put_u32(0x0A000001);
+        let out = dec.decode(&msg_with(&body), 9).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].src, Addr::v4(0x0A000001));
+        assert_eq!(out.records[0].input_if, 0);
+
+        // Redefine id 300 with a wider record, then send data in the new
+        // shape in the same message.
+        let gen2: Template = vec![(ie::SOURCE_IPV4_ADDRESS, 4), (ie::INGRESS_INTERFACE, 4)];
+        let mut body = BytesMut::new();
+        encode_template_set(&mut body, &[(300, &gen2)]);
+        body.put_u16(300);
+        body.put_u16(4 + 8);
+        body.put_u32(0x0A000002);
+        body.put_u32(42);
+        let out = dec.decode(&msg_with(&body), 9).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].src, Addr::v4(0x0A000002));
+        assert_eq!(out.records[0].input_if, 42, "new field list in effect");
+        assert_eq!(dec.template_count(), 1, "redefinition replaces, not adds");
+    }
+
+    #[test]
+    fn unknown_template_set_does_not_corrupt_co_packed_sets() {
+        // One message: template for id 300, a data set for unknown id 301,
+        // then a data set for 300. The unknown set must be skipped without
+        // losing the records around it.
+        let tmpl: Template = vec![(ie::SOURCE_IPV4_ADDRESS, 4)];
+        let mut body = BytesMut::new();
+        encode_template_set(&mut body, &[(300, &tmpl)]);
+        body.put_u16(301); // never defined
+        body.put_u16(4 + 6);
+        body.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        body.put_u16(300);
+        body.put_u16(4 + 4);
+        body.put_u32(0x0A000003);
+        let mut msg = BytesMut::new();
+        msg.put_u16(10);
+        msg.put_u16((MSG_HEADER_LEN + body.len()) as u16);
+        msg.put_u32(500);
+        msg.put_u32(0);
+        msg.put_u32(9);
+        msg.extend_from_slice(&body);
+        let mut dec = IpfixDecoder::new();
+        let out = dec.decode(&msg, 9).unwrap();
+        assert_eq!(out.skipped_sets, 1);
+        assert_eq!(
+            out.records.len(),
+            1,
+            "the known set after the unknown one decodes"
+        );
+        assert_eq!(out.records[0].src, Addr::v4(0x0A000003));
+        assert_eq!(dec.unknown_template_sets(), 1);
     }
 
     #[test]
@@ -466,13 +594,16 @@ mod tests {
         let g1 = exp.encode(100, &[v4_record(1)]); // templates (first message)
         let g2 = exp.encode(100, &[v4_record(2)]); // no templates
         let g3 = exp.encode(100, &[v4_record(3)]); // refresh
-        // A fresh decoder can parse g1 and g3 but not g2.
+                                                   // A fresh decoder can parse g1 and g3; g2's data set is skipped
+                                                   // (no template yet).
         let mut d = IpfixDecoder::new();
-        assert!(d.decode(&g1[0], 9).is_ok());
+        assert_eq!(d.decode(&g1[0], 9).unwrap().records.len(), 1);
         let mut d2 = IpfixDecoder::new();
-        assert!(d2.decode(&g2[0], 9).is_err());
+        let msg = d2.decode(&g2[0], 9).unwrap();
+        assert!(msg.records.is_empty());
+        assert_eq!(msg.skipped_sets, 1);
         let mut d3 = IpfixDecoder::new();
-        assert!(d3.decode(&g3[0], 9).is_ok());
+        assert_eq!(d3.decode(&g3[0], 9).unwrap().records.len(), 1);
     }
 
     #[test]
@@ -488,29 +619,44 @@ mod tests {
         let mut exp = IpfixExporter::new(9, 1000);
         let records: Vec<FlowRecord> = (0..200).map(v4_record).collect();
         let grams = exp.encode(100, &records);
-        assert!(grams.len() > 1, "200 records cannot fit one 1400-byte datagram");
+        assert!(
+            grams.len() > 1,
+            "200 records cannot fit one 1400-byte datagram"
+        );
         assert!(grams.iter().all(|g| g.len() <= MAX_DATAGRAM));
         let mut dec = IpfixDecoder::new();
-        let total: usize = grams.iter().map(|g| dec.decode(g, 9).unwrap().records.len()).sum();
+        let total: usize = grams
+            .iter()
+            .map(|g| dec.decode(g, 9).unwrap().records.len())
+            .sum();
         assert_eq!(total, 200);
     }
 
     #[test]
     fn rejects_garbage() {
         let mut dec = IpfixDecoder::new();
-        assert!(matches!(dec.decode(&[0u8; 4], 1), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            dec.decode(&[0u8; 4], 1),
+            Err(DecodeError::Truncated { .. })
+        ));
         let mut msg = vec![0u8; 16];
         msg[0] = 0;
         msg[1] = 5; // version 5 in an IPFIX decoder
         msg[3] = 16;
-        assert!(matches!(dec.decode(&msg, 1), Err(DecodeError::BadVersion(5))));
+        assert!(matches!(
+            dec.decode(&msg, 1),
+            Err(DecodeError::BadVersion(5))
+        ));
         // Bad length field.
         let mut exp = IpfixExporter::new(1, 1);
         let g = exp.encode(100, &[v4_record(1)]).remove(0);
         let mut bad = g.to_vec();
         bad[2] = 0;
         bad[3] = 17; // claims 17 bytes
-        assert!(matches!(dec.decode(&bad, 1), Err(DecodeError::BadLength { .. })));
+        assert!(matches!(
+            dec.decode(&bad, 1),
+            Err(DecodeError::BadLength { .. })
+        ));
     }
 
     #[test]

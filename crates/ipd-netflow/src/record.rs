@@ -96,7 +96,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadVersion(v) => write!(f, "unsupported flow export version {v}"),
             DecodeError::BadLength { claimed, actual } => {
-                write!(f, "length mismatch: header claims {claimed}, datagram has {actual}")
+                write!(
+                    f,
+                    "length mismatch: header claims {claimed}, datagram has {actual}"
+                )
             }
             DecodeError::UnknownTemplate { domain, template } => {
                 write!(f, "unknown IPFIX template {template} in domain {domain}")
@@ -133,8 +136,11 @@ mod tests {
         let e = DecodeError::Truncated { need: 24, have: 10 };
         assert!(e.to_string().contains("truncated"));
         assert!(DecodeError::BadVersion(9).to_string().contains('9'));
-        assert!(DecodeError::UnknownTemplate { domain: 1, template: 256 }
-            .to_string()
-            .contains("256"));
+        assert!(DecodeError::UnknownTemplate {
+            domain: 1,
+            template: 256
+        }
+        .to_string()
+        .contains("256"));
     }
 }

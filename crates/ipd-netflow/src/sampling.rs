@@ -129,7 +129,9 @@ mod tests {
         let s = PacketSampler::new(1000);
         let trials = 200;
         let true_packets = 1_000_000u64;
-        let total: u64 = (0..trials).map(|_| s.sample_packets(&mut rng, true_packets)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| s.sample_packets(&mut rng, true_packets))
+            .sum();
         let mean = total as f64 / trials as f64;
         let expect = true_packets as f64 / 1000.0;
         assert!(
@@ -145,7 +147,11 @@ mod tests {
         let f = FlowRecord::synthetic(5, Addr::v4(1), 1, 1);
         // 100k packets of 1000 bytes → expect ~1000 sampled pkts, ~1MB bytes.
         let out = s.sample_flow(&mut rng, f, 100_000, 100_000_000).unwrap();
-        assert!(out.packets > 800 && out.packets < 1200, "packets {}", out.packets);
+        assert!(
+            out.packets > 800 && out.packets < 1200,
+            "packets {}",
+            out.packets
+        );
         let bpp = out.bytes as f64 / out.packets as f64;
         assert!((bpp - 1000.0).abs() < 1.0, "bytes per packet {bpp}");
     }

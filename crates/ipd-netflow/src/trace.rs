@@ -28,6 +28,65 @@ pub const MAGIC: [u8; 8] = *b"IPDTRC01";
 /// Bytes per record on disk.
 pub const RECORD_LEN: usize = 62;
 
+/// Encode one record into the fixed 62-byte wire shape. Pure; shared by
+/// [`TraceWriter`] and the `ipd-state` write-ahead journal.
+pub fn encode_record(r: &FlowRecord) -> [u8; RECORD_LEN] {
+    let mut buf = [0u8; RECORD_LEN];
+    {
+        let mut b = &mut buf[..];
+        b.put_u64(r.ts);
+        b.put_u8(match r.src.af() {
+            Af::V4 => 4,
+            Af::V6 => 6,
+        });
+        b.put_u128(r.src.bits());
+        b.put_u128(r.dst.bits());
+        b.put_u32(r.router);
+        b.put_u16(r.input_if);
+        b.put_u16(r.output_if);
+        b.put_u8(r.proto);
+        b.put_u16(r.src_port);
+        b.put_u16(r.dst_port);
+        b.put_u32(r.packets);
+        b.put_u32(r.bytes);
+    }
+    buf
+}
+
+/// Decode one 62-byte record. Pure inverse of [`encode_record`].
+pub fn decode_record(buf: &[u8; RECORD_LEN]) -> io::Result<FlowRecord> {
+    let mut b = &buf[..];
+    let ts = b.get_u64();
+    let af = match b.get_u8() {
+        4 => Af::V4,
+        6 => Af::V6,
+        x => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad address family tag {x}"),
+            ))
+        }
+    };
+    let src = Addr::new(af, b.get_u128());
+    let dst_bits = b.get_u128();
+    // The destination may legitimately be the other family only for
+    // synthetic records; we tag both with `af` on disk.
+    let dst = Addr::new(af, dst_bits);
+    Ok(FlowRecord {
+        ts,
+        src,
+        dst,
+        router: b.get_u32(),
+        input_if: b.get_u16(),
+        output_if: b.get_u16(),
+        proto: b.get_u8(),
+        src_port: b.get_u16(),
+        dst_port: b.get_u16(),
+        packets: b.get_u32(),
+        bytes: b.get_u32(),
+    })
+}
+
 /// Streaming trace writer.
 pub struct TraceWriter<W: Write> {
     inner: W,
@@ -43,26 +102,7 @@ impl<W: Write> TraceWriter<W> {
 
     /// Append one record.
     pub fn write(&mut self, r: &FlowRecord) -> io::Result<()> {
-        let mut buf = [0u8; RECORD_LEN];
-        {
-            let mut b = &mut buf[..];
-            b.put_u64(r.ts);
-            b.put_u8(match r.src.af() {
-                Af::V4 => 4,
-                Af::V6 => 6,
-            });
-            b.put_u128(r.src.bits());
-            b.put_u128(r.dst.bits());
-            b.put_u32(r.router);
-            b.put_u16(r.input_if);
-            b.put_u16(r.output_if);
-            b.put_u8(r.proto);
-            b.put_u16(r.src_port);
-            b.put_u16(r.dst_port);
-            b.put_u32(r.packets);
-            b.put_u32(r.bytes);
-        }
-        self.inner.write_all(&buf)?;
+        self.inner.write_all(&encode_record(r))?;
         self.count += 1;
         Ok(())
     }
@@ -91,7 +131,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         inner.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an IPD trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an IPD trace file",
+            ));
         }
         Ok(TraceReader { inner, read: 0 })
     }
@@ -124,35 +167,9 @@ impl<R: Read> Iterator for TraceReader<R> {
                 Err(e) => return Some(Err(e)),
             }
         }
-        let mut b = &buf[..];
-        let ts = b.get_u64();
-        let af = match b.get_u8() {
-            4 => Af::V4,
-            6 => Af::V6,
-            x => {
-                return Some(Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad address family tag {x}"),
-                )))
-            }
-        };
-        let src = Addr::new(af, b.get_u128());
-        let dst_bits = b.get_u128();
-        // The destination may legitimately be the other family only for
-        // synthetic records; we tag both with `af` on disk.
-        let dst = Addr::new(af, dst_bits);
-        let record = FlowRecord {
-            ts,
-            src,
-            dst,
-            router: b.get_u32(),
-            input_if: b.get_u16(),
-            output_if: b.get_u16(),
-            proto: b.get_u8(),
-            src_port: b.get_u16(),
-            dst_port: b.get_u16(),
-            packets: b.get_u32(),
-            bytes: b.get_u32(),
+        let record = match decode_record(&buf) {
+            Ok(r) => r,
+            Err(e) => return Some(Err(e)),
         };
         self.read += 1;
         Some(Ok(record))

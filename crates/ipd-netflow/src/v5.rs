@@ -49,7 +49,21 @@ impl V5Exporter {
     /// A new exporter. `sampling_interval` is the configured 1-out-of-n rate
     /// advertised in every header; `boot_ts` anchors the sys-uptime field.
     pub fn new(router: RouterId, engine_id: u8, sampling_interval: u16, boot_ts: u64) -> Self {
-        V5Exporter { router, engine_id, sampling_interval, flow_sequence: 0, boot_ts }
+        V5Exporter {
+            router,
+            engine_id,
+            sampling_interval,
+            flow_sequence: 0,
+            boot_ts,
+        }
+    }
+
+    /// Start the flow sequence at `seq` instead of 0 — long-lived exporters
+    /// sit anywhere in the sequence space, including just before the u32
+    /// wrap, and collectors must cope.
+    pub fn with_flow_sequence(mut self, seq: u32) -> Self {
+        self.flow_sequence = seq;
+        self
     }
 
     /// The router this exporter speaks for.
@@ -120,7 +134,10 @@ fn encode_record(buf: &mut BytesMut, uptime_ms: u32, r: &FlowRecord) {
 /// network source address, which the transport (or simulation harness) knows.
 pub fn decode(datagram: &[u8], router: RouterId) -> Result<V5Packet, DecodeError> {
     if datagram.len() < HEADER_LEN {
-        return Err(DecodeError::Truncated { need: HEADER_LEN, have: datagram.len() });
+        return Err(DecodeError::Truncated {
+            need: HEADER_LEN,
+            have: datagram.len(),
+        });
     }
     let mut buf = datagram;
     let version = buf.get_u16();
@@ -141,7 +158,10 @@ pub fn decode(datagram: &[u8], router: RouterId) -> Result<V5Packet, DecodeError
 
     let need = HEADER_LEN + count * RECORD_LEN;
     if datagram.len() != need {
-        return Err(DecodeError::BadLength { claimed: need, actual: datagram.len() });
+        return Err(DecodeError::BadLength {
+            claimed: need,
+            actual: datagram.len(),
+        });
     }
 
     let mut records = Vec::with_capacity(count);
@@ -180,7 +200,14 @@ pub fn decode(datagram: &[u8], router: RouterId) -> Result<V5Packet, DecodeError
             bytes,
         });
     }
-    Ok(V5Packet { sys_uptime_ms, unix_secs, flow_sequence, engine_id, sampling_interval, records })
+    Ok(V5Packet {
+        sys_uptime_ms,
+        unix_secs,
+        flow_sequence,
+        engine_id,
+        sampling_interval,
+        records,
+    })
 }
 
 #[cfg(test)]
@@ -225,11 +252,16 @@ mod tests {
         let records = sample_records(65);
         let grams = exp.encode(100, &records).unwrap();
         assert_eq!(grams.len(), 3);
-        let counts: Vec<usize> =
-            grams.iter().map(|g| decode(g, 1).unwrap().records.len()).collect();
+        let counts: Vec<usize> = grams
+            .iter()
+            .map(|g| decode(g, 1).unwrap().records.len())
+            .collect();
         assert_eq!(counts, vec![30, 30, 5]);
         // Sequence numbers advance by the number of flows per datagram.
-        let seqs: Vec<u32> = grams.iter().map(|g| decode(g, 1).unwrap().flow_sequence).collect();
+        let seqs: Vec<u32> = grams
+            .iter()
+            .map(|g| decode(g, 1).unwrap().flow_sequence)
+            .collect();
         assert_eq!(seqs, vec![0, 30, 60]);
         assert_eq!(exp.flow_sequence(), 65);
     }
@@ -239,7 +271,10 @@ mod tests {
         let mut exp = V5Exporter::new(1, 0, 1000, 0);
         let mut records = sample_records(1);
         records.push(FlowRecord::synthetic(1, Addr::v6(0x2001 << 112), 1, 1));
-        assert!(matches!(exp.encode(100, &records), Err(DecodeError::Malformed(_))));
+        assert!(matches!(
+            exp.encode(100, &records),
+            Err(DecodeError::Malformed(_))
+        ));
     }
 
     #[test]

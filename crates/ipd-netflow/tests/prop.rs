@@ -18,19 +18,21 @@ fn arb_v4_record() -> impl Strategy<Value = FlowRecord> {
         1u32..=u32::MAX,
         1u32..=u32::MAX,
     )
-        .prop_map(|(src, dst, inp, outp, proto, sp, dp, pkts, bytes)| FlowRecord {
-            ts: 0, // overwritten by export time on the wire
-            src: Addr::v4(src),
-            dst: Addr::v4(dst),
-            router: 11,
-            input_if: inp,
-            output_if: outp,
-            proto,
-            src_port: sp,
-            dst_port: dp,
-            packets: pkts,
-            bytes,
-        })
+        .prop_map(
+            |(src, dst, inp, outp, proto, sp, dp, pkts, bytes)| FlowRecord {
+                ts: 0, // overwritten by export time on the wire
+                src: Addr::v4(src),
+                dst: Addr::v4(dst),
+                router: 11,
+                input_if: inp,
+                output_if: outp,
+                proto,
+                src_port: sp,
+                dst_port: dp,
+                packets: pkts,
+                bytes,
+            },
+        )
 }
 
 fn arb_v6_record() -> impl Strategy<Value = FlowRecord> {

@@ -1,0 +1,238 @@
+//! The write-ahead flow journal: an append-only file of length-delimited
+//! [`FlowRecord`] frames, written *before* the corresponding flows touch the
+//! engine. A crash therefore leaves at most a torn final frame; everything
+//! the (lost) in-memory engine had seen since the last checkpoint is on
+//! disk and can be replayed.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! magic "IPDJRNL1"                              (file header, once)
+//! frame := len u32 LE | payload[len] | fnv1a-64(payload) u64 LE
+//! ```
+//!
+//! The payload is the 62-byte canonical trace encoding from
+//! [`ipd_netflow::trace`], so journals are readable with the same record
+//! codec as offline traces. The reader is torn-tail tolerant: a partial
+//! length, short payload, short checksum, checksum mismatch, or undecodable
+//! record ends replay at the last whole frame instead of failing the
+//! restore.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+use ipd_netflow::trace::{decode_record, encode_record, RECORD_LEN};
+use ipd_netflow::FlowRecord;
+
+use crate::codec::fnv1a;
+
+/// Journal file magic.
+pub const MAGIC: [u8; 8] = *b"IPDJRNL1";
+
+/// Appends write-ahead frames to one journal file.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+    frames: u64,
+}
+
+impl JournalWriter {
+    /// Create (truncate) a journal at `path` and write the file header.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&MAGIC)?;
+        Ok(JournalWriter { out, frames: 0 })
+    }
+
+    /// Append one flow as a framed record. Buffered; call [`Self::flush`] to
+    /// push frames to the OS.
+    pub fn append(&mut self, flow: &FlowRecord) -> io::Result<()> {
+        let payload = encode_record(flow);
+        self.out.write_all(&(RECORD_LEN as u32).to_le_bytes())?;
+        self.out.write_all(&payload)?;
+        self.out.write_all(&fnv1a(&payload).to_le_bytes())?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Append a batch of flows.
+    pub fn append_all(&mut self, flows: &[FlowRecord]) -> io::Result<()> {
+        for f in flows {
+            self.append(f)?;
+        }
+        Ok(())
+    }
+
+    /// Frames appended so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flush buffered frames to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flush and fsync — frames are durable on return.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()
+    }
+}
+
+/// Result of reading a journal back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// The whole frames, in append order.
+    pub records: Vec<FlowRecord>,
+    /// True if the file ended in a partial or corrupt frame (the torn tail
+    /// of an interrupted write); `records` stops at the last whole frame.
+    pub torn_tail: bool,
+}
+
+/// Read a journal file. Returns an error only for I/O failures or a bad
+/// file header; in-stream damage is reported as `torn_tail` instead, per
+/// the write-ahead recovery contract.
+pub fn read_journal(path: &Path) -> io::Result<JournalContents> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an IPD journal (bad magic)",
+        ));
+    }
+    let mut buf = &bytes[MAGIC.len()..];
+    let mut records = Vec::new();
+    let torn_tail = loop {
+        if buf.is_empty() {
+            break false;
+        }
+        if buf.len() < 4 {
+            break true;
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if len != RECORD_LEN || buf.len() < 4 + len + 8 {
+            break true;
+        }
+        let payload: &[u8; RECORD_LEN] = buf[4..4 + len].try_into().unwrap();
+        let stored = u64::from_le_bytes(buf[4 + len..4 + len + 8].try_into().unwrap());
+        if stored != fnv1a(payload) {
+            break true;
+        }
+        match decode_record(payload) {
+            Ok(r) => records.push(r),
+            Err(_) => break true,
+        }
+        buf = &buf[4 + len + 8..];
+    };
+    Ok(JournalContents { records, torn_tail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_lpm::Addr;
+
+    fn flows(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| FlowRecord {
+                ts: 100 + i as u64,
+                src: Addr::v4(0x0A00_0000 + i as u32),
+                dst: Addr::v4(0xC633_6401),
+                router: 3,
+                input_if: (i % 5) as u16,
+                output_if: 1,
+                proto: 17,
+                src_port: 53,
+                dst_port: 40_000 + i as u16,
+                packets: 1,
+                bytes: 80,
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ipd-state-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.ipdj", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let flows = flows(100);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append_all(&flows).unwrap();
+        assert_eq!(w.frames(), 100);
+        w.sync().unwrap();
+        let back = read_journal(&path).unwrap();
+        assert!(!back.torn_tail);
+        assert_eq!(back.records, flows);
+    }
+
+    #[test]
+    fn empty_journal_is_fine() {
+        let path = tmp("empty");
+        JournalWriter::create(&path).unwrap().sync().unwrap();
+        let back = read_journal(&path).unwrap();
+        assert!(!back.torn_tail);
+        assert!(back.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_at_every_cut_point() {
+        let path = tmp("torn");
+        let flows = flows(3);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append_all(&flows).unwrap();
+        w.sync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let frame = 4 + RECORD_LEN + 8;
+        let two = MAGIC.len() + 2 * frame;
+        // Truncate anywhere inside the third frame: the first two must
+        // survive, torn_tail must be set (except at the exact boundary).
+        for cut in two + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let back = read_journal(&path).unwrap();
+            assert!(back.torn_tail, "cut at {cut} must be torn");
+            assert_eq!(back.records, flows[..2], "cut at {cut}");
+        }
+        // Exact frame boundary: clean read of two frames.
+        std::fs::write(&path, &full[..two]).unwrap();
+        let back = read_journal(&path).unwrap();
+        assert!(!back.torn_tail);
+        assert_eq!(back.records, flows[..2]);
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_replay() {
+        let path = tmp("cksum");
+        let flows = flows(3);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append_all(&flows).unwrap();
+        w.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frame = 4 + RECORD_LEN + 8;
+        // Corrupt a payload byte of the second frame.
+        let at = MAGIC.len() + frame + 4 + 10;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let back = read_journal(&path).unwrap();
+        assert!(back.torn_tail);
+        assert_eq!(back.records, flows[..1]);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTAJOURNAL").unwrap();
+        assert!(read_journal(&path).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! On-disk layout and lifecycle of checkpoint generations.
+//!
+//! A state directory holds numbered generations. Generation `s` is the pair
+//!
+//! ```text
+//! checkpoint-{s:010}.ipds   engine state at the moment the generation opened
+//! journal-{s:010}.ipdj      write-ahead flows appended after that moment
+//! ```
+//!
+//! Checkpoints are written atomically (temp file, fsync, rename), so a
+//! crash never leaves a half-written `.ipds` under its final name. Restore
+//! picks the newest checkpoint that passes its checksum — falling back a
+//! generation if the newest is damaged — and replays every journal from
+//! that generation onward in order.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{self, CheckpointState, CodecError};
+
+const CKPT_PREFIX: &str = "checkpoint-";
+const CKPT_EXT: &str = "ipds";
+const JRNL_PREFIX: &str = "journal-";
+const JRNL_EXT: &str = "ipdj";
+
+/// A checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the state directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of generation `seq`'s checkpoint file.
+    pub fn checkpoint_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{CKPT_PREFIX}{seq:010}.{CKPT_EXT}"))
+    }
+
+    /// Path of generation `seq`'s journal file.
+    pub fn journal_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{JRNL_PREFIX}{seq:010}.{JRNL_EXT}"))
+    }
+
+    /// Sequence numbers of all checkpoints on disk, ascending.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_seq(name, CKPT_PREFIX, CKPT_EXT) {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Write generation `seq`'s checkpoint atomically: encode to a temp
+    /// file, fsync, then rename into place.
+    pub fn save_checkpoint(&self, seq: u64, state: &CheckpointState) -> io::Result<()> {
+        let bytes = codec::encode(state);
+        let final_path = self.checkpoint_path(seq);
+        let tmp_path = self.dir.join(format!(".{CKPT_PREFIX}{seq:010}.tmp"));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Read and decode generation `seq`'s checkpoint.
+    pub fn load_checkpoint(&self, seq: u64) -> io::Result<Result<CheckpointState, CodecError>> {
+        let mut bytes = Vec::new();
+        File::open(self.checkpoint_path(seq))?.read_to_end(&mut bytes)?;
+        Ok(codec::decode(&bytes))
+    }
+
+    /// The newest generation whose checkpoint decodes cleanly, together
+    /// with its state. Damaged or unreadable checkpoints are skipped
+    /// (reported in `skipped`), falling back to older generations. `None`
+    /// if no valid checkpoint exists.
+    pub fn latest_valid(&self) -> io::Result<Option<ValidCheckpoint>> {
+        let mut skipped = 0usize;
+        for &seq in self.generations()?.iter().rev() {
+            match self.load_checkpoint(seq) {
+                Ok(Ok(state)) => {
+                    return Ok(Some(ValidCheckpoint {
+                        seq,
+                        state,
+                        skipped,
+                    }))
+                }
+                Ok(Err(_)) | Err(_) => skipped += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete all but the newest `retain` generations (both files of each).
+    /// `retain` of 0 is treated as 1 — the store never deletes its only
+    /// recovery point.
+    pub fn prune(&self, retain: usize) -> io::Result<()> {
+        let retain = retain.max(1);
+        let seqs = self.generations()?;
+        if seqs.len() <= retain {
+            return Ok(());
+        }
+        for &seq in &seqs[..seqs.len() - retain] {
+            // Checkpoint first: a journal without its checkpoint is useless,
+            // but a checkpoint without its journal still restores.
+            remove_if_exists(&self.checkpoint_path(seq))?;
+            remove_if_exists(&self.journal_path(seq))?;
+        }
+        Ok(())
+    }
+}
+
+/// A decoded checkpoint chosen by [`CheckpointStore::latest_valid`].
+#[derive(Debug)]
+pub struct ValidCheckpoint {
+    /// The generation it belongs to.
+    pub seq: u64,
+    /// The decoded state.
+    pub state: CheckpointState,
+    /// How many newer generations were skipped as damaged.
+    pub skipped: usize,
+}
+
+fn parse_seq(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?;
+    let digits = rest.strip_suffix(&format!(".{ext}"))?;
+    if digits.len() != 10 {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn remove_if_exists(path: &Path) -> io::Result<()> {
+    match fs::remove_file(path) {
+        Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalWriter;
+    use ipd::pipeline::BucketClock;
+    use ipd::{IpdEngine, IpdParams};
+
+    fn tmp_store(name: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir()
+            .join("ipd-state-store-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).unwrap()
+    }
+
+    fn small_state(bucket: u64) -> CheckpointState {
+        let e = IpdEngine::new(IpdParams::default()).unwrap();
+        CheckpointState {
+            dump: e.dump_state(),
+            clock: BucketClock {
+                current_bucket: Some(bucket),
+                ticks_since_snapshot: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn save_list_load() {
+        let store = tmp_store("save-list-load");
+        assert!(store.generations().unwrap().is_empty());
+        store.save_checkpoint(1, &small_state(1)).unwrap();
+        store.save_checkpoint(2, &small_state(2)).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        let got = store.load_checkpoint(2).unwrap().unwrap();
+        assert_eq!(got.clock.current_bucket, Some(2));
+        let latest = store.latest_valid().unwrap().unwrap();
+        assert_eq!((latest.seq, latest.skipped), (2, 0));
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back() {
+        let store = tmp_store("fallback");
+        store.save_checkpoint(1, &small_state(1)).unwrap();
+        store.save_checkpoint(2, &small_state(2)).unwrap();
+        // Flip one byte mid-file in generation 2.
+        let path = store.checkpoint_path(2);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        let latest = store.latest_valid().unwrap().unwrap();
+        assert_eq!((latest.seq, latest.skipped), (1, 1));
+        assert_eq!(latest.state.clock.current_bucket, Some(1));
+    }
+
+    #[test]
+    fn all_corrupt_is_none() {
+        let store = tmp_store("all-corrupt");
+        store.save_checkpoint(1, &small_state(1)).unwrap();
+        fs::write(store.checkpoint_path(1), b"junk").unwrap();
+        assert!(store.latest_valid().unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_newest_pairs() {
+        let store = tmp_store("prune");
+        for seq in 1..=5 {
+            store.save_checkpoint(seq, &small_state(seq)).unwrap();
+            JournalWriter::create(&store.journal_path(seq))
+                .unwrap()
+                .sync()
+                .unwrap();
+        }
+        store.prune(2).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        for seq in 1..=3 {
+            assert!(
+                !store.journal_path(seq).exists(),
+                "journal {seq} must be gone"
+            );
+        }
+        assert!(store.journal_path(4).exists());
+        // retain 0 behaves as retain 1.
+        store.prune(0).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn stray_files_are_ignored() {
+        let store = tmp_store("stray");
+        store.save_checkpoint(3, &small_state(3)).unwrap();
+        fs::write(store.dir().join("README"), b"hi").unwrap();
+        fs::write(store.dir().join("checkpoint-abc.ipds"), b"junk").unwrap();
+        fs::write(store.dir().join("checkpoint-123.ipds"), b"short digits").unwrap();
+        assert_eq!(store.generations().unwrap(), vec![3]);
+    }
+}

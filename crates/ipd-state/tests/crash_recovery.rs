@@ -1,0 +1,423 @@
+//! Crash-recovery differential harness: the equivalence contract of the
+//! checkpoint/journal subsystem, checked end to end.
+//!
+//! A seeded ~44k-flow stream is run to completion on a plain engine (the
+//! reference). Then durable runs are killed mid-stream — the in-memory
+//! engine discarded, exactly as a crash would lose it — restored from disk,
+//! and driven over the remainder of the stream. The final snapshot digest,
+//! classified prefix→ingress set, and cumulative engine stats must be
+//! bit-for-bit identical to the uninterrupted run, for:
+//!
+//! * the per-flow offline driver on the plain engine,
+//! * the sharded batch driver at K ∈ {1, 8} — including restoring at a
+//!   *different* shard count than the run was checkpointed under,
+//! * the threaded `IpdPipeline` / `ShardedPipeline` (`spawn_hooked`),
+//! * a damaged latest checkpoint (restore falls back a generation), and
+//! * a torn final journal frame (replay stops at the last whole frame and
+//!   the lost flows are re-delivered).
+
+use ipd::pipeline::{
+    run_offline, run_offline_with, BucketClock, BucketDriver, IpdPipeline, NoopHook,
+    PipelineConfig, PipelineHook, ShardedPipeline,
+};
+use ipd::{EngineStats, IpdEngine, IpdParams, LogicalIngress, ShardedEngine};
+use ipd_lpm::{Addr, Prefix};
+use ipd_netflow::FlowRecord;
+use ipd_state::{restore, CheckpointStore, Durable, DurableConfig};
+use rand::{Rng, SeedableRng};
+
+const SNAPSHOT_EVERY: u32 = 2;
+const EVERY_BUCKETS: u64 = 2;
+
+fn test_params() -> IpdParams {
+    IpdParams {
+        ncidr_factor_v4: 0.002,
+        ncidr_factor_v6: 1e-9,
+        cidr_max_v4: 20,
+        ..IpdParams::default()
+    }
+}
+
+fn durable_config() -> DurableConfig {
+    DurableConfig {
+        checkpoint_every_buckets: EVERY_BUCKETS,
+        retain: 4,
+    }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ipd-state-crash-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same shaped stream as ipd-core's seeded differential test: stable
+/// pools, a contested pool that flips ownership (invalidations), a pool
+/// that goes silent (decay/drop), and v6 across two interfaces (bundle).
+fn seeded_flows() -> Vec<FlowRecord> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x1bd_2024);
+    let mut flows = Vec::new();
+    for minute in 0..30u64 {
+        for _ in 0..600 {
+            let low: u32 = rng.random_range(0u32..1 << 22);
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0x0A00_0000 + low),
+                1,
+                1,
+            ));
+            let high: u32 = rng.random_range(0u32..1 << 22);
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0xC000_0000 + high),
+                2,
+                1,
+            ));
+        }
+        for _ in 0..200 {
+            let bits: u32 = rng.random_range(0u32..1 << 16);
+            let router = if minute < 15 { 3 } else { 4 };
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v4(0x5000_0000 + bits),
+                router,
+                2,
+            ));
+        }
+        if minute < 8 {
+            for _ in 0..200 {
+                let bits: u32 = rng.random_range(0u32..1 << 16);
+                flows.push(FlowRecord::synthetic(
+                    minute * 60 + rng.random_range(0..60u64),
+                    Addr::v4(0x8000_0000 + bits),
+                    5,
+                    1,
+                ));
+            }
+        }
+        for _ in 0..100 {
+            let bits: u32 = rng.random_range(0u32..1 << 20);
+            let ifidx = rng.random_range(1u16..3);
+            flows.push(FlowRecord::synthetic(
+                minute * 60 + rng.random_range(0..60u64),
+                Addr::v6((0x2001_0db8u128 << 96) | (u128::from(bits) << 30)),
+                6,
+                ifidx,
+            ));
+        }
+    }
+    flows.sort_by_key(|f| f.ts);
+    flows
+}
+
+/// Everything the equivalence contract compares.
+#[derive(Debug, PartialEq)]
+struct FinalState {
+    stats: EngineStats,
+    digest: u64,
+    classified: Vec<(Prefix, LogicalIngress)>,
+}
+
+fn final_state(engine: &IpdEngine) -> FinalState {
+    let snap = engine.snapshot(u64::MAX);
+    let mut classified: Vec<(Prefix, LogicalIngress)> = snap
+        .classified()
+        .filter_map(|r| r.ingress.clone().map(|i| (r.range, i)))
+        .collect();
+    classified.sort_unstable_by_key(|a| a.0);
+    FinalState {
+        stats: engine.stats().clone(),
+        digest: snap.digest(),
+        classified,
+    }
+}
+
+fn reference_run(flows: &[FlowRecord]) -> FinalState {
+    let mut engine = IpdEngine::new(test_params()).unwrap();
+    run_offline(&mut engine, flows.iter().cloned(), SNAPSHOT_EVERY, |_| {});
+    final_state(&engine)
+}
+
+/// Drive a durable per-flow run over `flows[..cut]` and "crash": the hook's
+/// end-of-stream sync fires (the OS would have those bytes anyway), but no
+/// final tick runs and the in-memory engine is dropped on the floor.
+fn crash_plain(dir: &std::path::Path, flows: &[FlowRecord], cut: usize) {
+    let mut engine = IpdEngine::new(test_params()).unwrap();
+    let mut durable =
+        Durable::start(dir, &engine, BucketClock::default(), durable_config()).unwrap();
+    let mut driver = BucketDriver::new(engine.params().t_secs, SNAPSHOT_EVERY);
+    let mut sink = |_out| {};
+    for flow in &flows[..cut] {
+        driver.observe_with(&mut engine, flow.ts, &mut sink, &mut durable);
+        durable.flows(std::slice::from_ref(flow));
+        engine.ingest(flow);
+    }
+    PipelineHook::finished(&mut durable, &engine, driver.clock());
+    assert_eq!(durable.handle().stats().io_errors, 0);
+    // Engine dropped here: the crash.
+}
+
+/// Same crash, but through the sharded batch driver at `shards`.
+fn crash_sharded(dir: &std::path::Path, flows: &[FlowRecord], cut: usize, shards: usize) {
+    let mut engine = ShardedEngine::new(test_params(), shards).unwrap();
+    let mut durable = Durable::start(
+        dir,
+        engine.engine(),
+        BucketClock::default(),
+        durable_config(),
+    )
+    .unwrap();
+    let mut driver = BucketDriver::new(engine.params().t_secs, SNAPSHOT_EVERY);
+    let mut sink = |_out| {};
+    for batch in flows[..cut].chunks(512) {
+        driver.ingest_batch_with(&mut engine, batch, &mut sink, &mut durable);
+    }
+    PipelineHook::finished(&mut durable, engine.engine(), driver.clock());
+    assert_eq!(durable.handle().stats().io_errors, 0);
+}
+
+/// Restore from `dir` and finish the stream on a plain engine. The restored
+/// engine's own `flows_ingested` tells us where in the stream it died —
+/// everything after that is re-delivered (exactly what a collector replaying
+/// from its own upstream position would do).
+fn resume_plain(dir: &std::path::Path, flows: &[FlowRecord]) -> FinalState {
+    let restored = restore(dir, SNAPSHOT_EVERY).unwrap();
+    let applied = restored.engine.stats().flows_ingested as usize;
+    assert!(applied <= flows.len());
+    let mut engine = restored.engine;
+    run_offline_with(
+        &mut engine,
+        flows[applied..].iter().cloned(),
+        SNAPSHOT_EVERY,
+        Some(restored.clock),
+        &mut NoopHook,
+        |_| {},
+    );
+    final_state(&engine)
+}
+
+/// Restore from `dir` into a sharded engine at `shards` — any width, not
+/// necessarily the one the run was checkpointed under — and finish.
+fn resume_sharded(dir: &std::path::Path, flows: &[FlowRecord], shards: usize) -> FinalState {
+    let restored = restore(dir, SNAPSHOT_EVERY).unwrap();
+    let applied = restored.engine.stats().flows_ingested as usize;
+    let mut engine = ShardedEngine::from_engine(restored.engine, shards).unwrap();
+    run_offline_with(
+        &mut engine,
+        flows[applied..].iter().cloned(),
+        SNAPSHOT_EVERY,
+        Some(restored.clock),
+        &mut NoopHook,
+        |_| {},
+    );
+    final_state(engine.engine())
+}
+
+#[test]
+fn plain_engine_crash_at_two_cuts_restores_exactly() {
+    let flows = seeded_flows();
+    assert!(flows.len() > 40_000);
+    let reference = reference_run(&flows);
+    assert!(reference.stats.splits > 0 && !reference.classified.is_empty());
+
+    for (label, cut) in [
+        ("third", flows.len() / 3),
+        ("two-thirds", flows.len() * 2 / 3),
+    ] {
+        let dir = tmp_dir(&format!("plain-{label}"));
+        crash_plain(&dir, &flows, cut);
+        let resumed = resume_plain(&dir, &flows);
+        assert_eq!(resumed, reference, "cut at {label} diverged");
+    }
+}
+
+#[test]
+fn sharded_crash_restores_at_same_and_different_widths() {
+    let flows = seeded_flows();
+    let reference = reference_run(&flows);
+    let cut = flows.len() / 2;
+
+    // Checkpoint under K=8; restore plain, at K=1, and at K=8.
+    let dir = tmp_dir("sharded-k8");
+    crash_sharded(&dir, &flows, cut, 8);
+    assert_eq!(
+        resume_plain(&dir, &flows),
+        reference,
+        "K=8 → plain diverged"
+    );
+    assert_eq!(
+        resume_sharded(&dir, &flows, 1),
+        reference,
+        "K=8 → K=1 diverged"
+    );
+    assert_eq!(
+        resume_sharded(&dir, &flows, 8),
+        reference,
+        "K=8 → K=8 diverged"
+    );
+
+    // Checkpoint under K=1; restore at K=8.
+    let dir = tmp_dir("sharded-k1");
+    crash_sharded(&dir, &flows, cut, 1);
+    assert_eq!(
+        resume_sharded(&dir, &flows, 8),
+        reference,
+        "K=1 → K=8 diverged"
+    );
+}
+
+#[test]
+fn threaded_pipelines_crash_and_restore_exactly() {
+    let flows = seeded_flows();
+    let reference = reference_run(&flows);
+    let cut = flows.len() * 2 / 5;
+
+    // Plain threaded pipeline, killed after the cut: discard the returned
+    // engine (a crash loses it) and restore from disk alone.
+    let dir = tmp_dir("pipeline-plain");
+    {
+        let seed = IpdEngine::new(test_params()).unwrap();
+        let durable =
+            Durable::start(&dir, &seed, BucketClock::default(), durable_config()).unwrap();
+        let handle = durable.handle();
+        let pipeline = IpdPipeline::spawn_hooked(
+            PipelineConfig {
+                params: test_params(),
+                channel_capacity: 8,
+                snapshot_every_ticks: SNAPSHOT_EVERY,
+                shards: 1,
+            },
+            Box::new(durable),
+        )
+        .unwrap();
+        let tx = pipeline.input();
+        let rx = pipeline.output().clone();
+        let drain = std::thread::spawn(move || rx.iter().for_each(drop));
+        for chunk in flows[..cut].chunks(512) {
+            tx.send(chunk.to_vec()).unwrap();
+        }
+        drop(tx);
+        let (_engine, _hook, _leftover) = pipeline.finish_hooked();
+        drain.join().unwrap();
+        assert_eq!(handle.stats().io_errors, 0);
+        // _engine discarded: the crash.
+    }
+    assert_eq!(
+        resume_plain(&dir, &flows),
+        reference,
+        "IpdPipeline crash diverged"
+    );
+
+    // Sharded threaded pipeline at K=8, restored into a plain engine.
+    let dir = tmp_dir("pipeline-sharded");
+    {
+        let seed = IpdEngine::new(test_params()).unwrap();
+        let durable =
+            Durable::start(&dir, &seed, BucketClock::default(), durable_config()).unwrap();
+        let pipeline = ShardedPipeline::spawn_hooked(
+            PipelineConfig {
+                params: test_params(),
+                channel_capacity: 8,
+                snapshot_every_ticks: SNAPSHOT_EVERY,
+                shards: 8,
+            },
+            Box::new(durable),
+        )
+        .unwrap();
+        let tx = pipeline.input();
+        let rx = pipeline.output().clone();
+        let drain = std::thread::spawn(move || rx.iter().for_each(drop));
+        for chunk in flows[..cut].chunks(512) {
+            tx.send(chunk.to_vec()).unwrap();
+        }
+        drop(tx);
+        let (_engine, _hook, _leftover) = pipeline.finish_hooked();
+        drain.join().unwrap();
+    }
+    assert_eq!(
+        resume_plain(&dir, &flows),
+        reference,
+        "ShardedPipeline crash diverged"
+    );
+}
+
+#[test]
+fn corrupt_latest_checkpoint_falls_back_a_generation() {
+    let flows = seeded_flows();
+    let reference = reference_run(&flows);
+    let cut = flows.len() / 2;
+
+    let dir = tmp_dir("corrupt-ckpt");
+    crash_plain(&dir, &flows, cut);
+
+    // Flip one byte in the newest checkpoint.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let latest = *store.generations().unwrap().last().unwrap();
+    assert!(latest >= 2, "need at least two generations to fall back");
+    let path = store.checkpoint_path(latest);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, bytes).unwrap();
+
+    let restored = restore(&dir, SNAPSHOT_EVERY).unwrap();
+    assert_eq!(restored.fell_back, 1, "must skip the damaged generation");
+    assert_eq!(restored.seq, latest - 1);
+    assert!(!restored.torn_tail);
+
+    // The older checkpoint plus BOTH journals (its own and the damaged
+    // generation's) reconstruct the same point in the stream.
+    let applied = restored.engine.stats().flows_ingested as usize;
+    let mut engine = restored.engine;
+    run_offline_with(
+        &mut engine,
+        flows[applied..].iter().cloned(),
+        SNAPSHOT_EVERY,
+        Some(restored.clock),
+        &mut NoopHook,
+        |_| {},
+    );
+    assert_eq!(final_state(&engine), reference, "fallback restore diverged");
+}
+
+#[test]
+fn torn_final_journal_frame_replays_to_last_whole_frame() {
+    let flows = seeded_flows();
+    let reference = reference_run(&flows);
+    let cut = flows.len() / 2;
+
+    let dir = tmp_dir("torn-journal");
+    crash_plain(&dir, &flows, cut);
+
+    // Tear the newest journal mid-frame: drop the last 20 bytes, landing
+    // inside the final frame's payload/checksum.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let latest = *store.generations().unwrap().last().unwrap();
+    let path = store.journal_path(latest);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+
+    let clean = restore(&dir, SNAPSHOT_EVERY).unwrap();
+    assert!(clean.torn_tail, "tear must be detected");
+    let applied = clean.engine.stats().flows_ingested as usize;
+    // Exactly one frame lost relative to the cut.
+    assert_eq!(applied, cut - 1);
+
+    // Re-delivering from the lost flow onward completes the stream exactly.
+    let mut engine = clean.engine;
+    run_offline_with(
+        &mut engine,
+        flows[applied..].iter().cloned(),
+        SNAPSHOT_EVERY,
+        Some(clean.clock),
+        &mut NoopHook,
+        |_| {},
+    );
+    assert_eq!(
+        final_state(&engine),
+        reference,
+        "torn-tail restore diverged"
+    );
+}

@@ -69,7 +69,12 @@ impl TimeBucketer {
     /// A bucketer with the given configuration.
     pub fn new(cfg: StatTimeConfig) -> Self {
         assert!(cfg.bucket_secs > 0, "bucket length must be positive");
-        TimeBucketer { cfg, buckets: BTreeMap::new(), stat_now: None, out_of_range: 0 }
+        TimeBucketer {
+            cfg,
+            buckets: BTreeMap::new(),
+            stat_now: None,
+            out_of_range: 0,
+        }
     }
 
     /// Current statistical time (start of the current bucket), once enough
@@ -107,10 +112,11 @@ impl TimeBucketer {
     /// than `stat_now - max_skew_buckets`, so no in-range flow can still land
     /// in them). Call once per processing cycle.
     pub fn flush_closed(&mut self) -> Vec<Flush> {
-        let Some(now) = self.stat_now else { return Vec::new() };
+        let Some(now) = self.stat_now else {
+            return Vec::new();
+        };
         let keep_from = now.saturating_sub(self.cfg.max_skew_buckets);
-        let closed: Vec<u64> =
-            self.buckets.range(..keep_from).map(|(&b, _)| b).collect();
+        let closed: Vec<u64> = self.buckets.range(..keep_from).map(|(&b, _)| b).collect();
         closed.into_iter().map(|b| self.flush_bucket(b)).collect()
     }
 
@@ -125,12 +131,18 @@ impl TimeBucketer {
         let mut flows = self.buckets.remove(&b).unwrap_or_default();
         let bucket_start = b * self.cfg.bucket_secs;
         if flows.len() < self.cfg.activity_threshold {
-            Flush::Discarded { bucket_start, flows: flows.len() }
+            Flush::Discarded {
+                bucket_start,
+                flows: flows.len(),
+            }
         } else {
             for f in &mut flows {
                 f.ts = bucket_start;
             }
-            Flush::Emitted { bucket_start, flows }
+            Flush::Emitted {
+                bucket_start,
+                flows,
+            }
         }
     }
 }
@@ -162,7 +174,10 @@ mod tests {
         let out = tb.finish();
         assert_eq!(out.len(), 1);
         match &out[0] {
-            Flush::Emitted { bucket_start, flows } => {
+            Flush::Emitted {
+                bucket_start,
+                flows,
+            } => {
                 assert_eq!(*bucket_start, 600);
                 assert_eq!(flows.len(), 10);
                 assert!(flows.iter().all(|f| f.ts == 600));
@@ -177,7 +192,13 @@ mod tests {
         tb.push(flow(600));
         tb.push(flow(600));
         let out = tb.finish();
-        assert_eq!(out, vec![Flush::Discarded { bucket_start: 600, flows: 2 }]);
+        assert_eq!(
+            out,
+            vec![Flush::Discarded {
+                bucket_start: 600,
+                flows: 2
+            }]
+        );
     }
 
     #[test]
@@ -224,7 +245,13 @@ mod tests {
         let flushed = tb.flush_closed();
         // Buckets < 5-2=3 close: that's bucket 0.
         assert_eq!(flushed.len(), 1);
-        assert!(matches!(flushed[0], Flush::Emitted { bucket_start: 0, .. }));
+        assert!(matches!(
+            flushed[0],
+            Flush::Emitted {
+                bucket_start: 0,
+                ..
+            }
+        ));
         // Bucket 5 itself stays open.
         let remaining = tb.finish();
         assert_eq!(remaining.len(), 1);

@@ -20,12 +20,20 @@ pub struct ClockDrift {
 impl ClockDrift {
     /// A perfectly synchronized clock.
     pub fn accurate() -> Self {
-        ClockDrift { offset_secs: 0, skew_ppm: 0.0, epoch: 0 }
+        ClockDrift {
+            offset_secs: 0,
+            skew_ppm: 0.0,
+            epoch: 0,
+        }
     }
 
     /// A clock with constant offset only.
     pub fn offset(offset_secs: i64) -> Self {
-        ClockDrift { offset_secs, skew_ppm: 0.0, epoch: 0 }
+        ClockDrift {
+            offset_secs,
+            skew_ppm: 0.0,
+            epoch: 0,
+        }
     }
 
     /// What this clock claims when the true time is `t`. Saturates at zero
@@ -62,7 +70,11 @@ mod tests {
 
     #[test]
     fn skew_accumulates() {
-        let c = ClockDrift { offset_secs: 0, skew_ppm: 1000.0, epoch: 1000 };
+        let c = ClockDrift {
+            offset_secs: 0,
+            skew_ppm: 1000.0,
+            epoch: 1000,
+        };
         // 1000 ppm = 1ms/s; after 10,000s → 10s ahead.
         assert_eq!(c.claimed(11_000), 11_010);
         // Before the epoch: no skew has accumulated.

@@ -51,8 +51,13 @@ impl TopologyBuilder {
         if self.topo.country_index.contains_key(&id) {
             return Err(BuildError::DuplicateId("country", id as u32));
         }
-        self.topo.country_index.insert(id, self.topo.countries.len());
-        self.topo.countries.push(Country { id, name: name.to_string() });
+        self.topo
+            .country_index
+            .insert(id, self.topo.countries.len());
+        self.topo.countries.push(Country {
+            id,
+            name: name.to_string(),
+        });
         Ok(())
     }
 
@@ -65,7 +70,11 @@ impl TopologyBuilder {
             return Err(BuildError::DanglingReference("country", country as u32));
         }
         self.topo.pop_index.insert(id, self.topo.pops.len());
-        self.topo.pops.push(Pop { id, country, name: name.to_string() });
+        self.topo.pops.push(Pop {
+            id,
+            country,
+            name: name.to_string(),
+        });
         Ok(())
     }
 
@@ -94,13 +103,26 @@ impl TopologyBuilder {
             return Err(BuildError::DanglingReference("router", interface.router));
         }
         if self.topo.link_by_interface.contains_key(&interface) {
-            return Err(BuildError::DuplicateInterface(interface.router, interface.ifindex));
+            return Err(BuildError::DuplicateInterface(
+                interface.router,
+                interface.ifindex,
+            ));
         }
         let id = self.next_link;
         self.next_link += 1;
         self.topo.link_by_interface.insert(interface, id);
-        self.topo.links_by_as.entry(neighbor_as).or_default().push(id);
-        self.topo.links.push(Link { id, interface, neighbor_as, class, capacity_gbps });
+        self.topo
+            .links_by_as
+            .entry(neighbor_as)
+            .or_default()
+            .push(id);
+        self.topo.links.push(Link {
+            id,
+            interface,
+            neighbor_as,
+            class,
+            capacity_gbps,
+        });
         Ok(id)
     }
 
@@ -134,21 +156,47 @@ mod tests {
     fn rejects_duplicates_and_dangling() {
         let mut b = TopologyBuilder::new();
         b.add_country(1, "A").unwrap();
-        assert_eq!(b.add_country(1, "A2"), Err(BuildError::DuplicateId("country", 1)));
-        assert_eq!(b.add_pop(1, 9, "p"), Err(BuildError::DanglingReference("country", 9)));
+        assert_eq!(
+            b.add_country(1, "A2"),
+            Err(BuildError::DuplicateId("country", 1))
+        );
+        assert_eq!(
+            b.add_pop(1, 9, "p"),
+            Err(BuildError::DanglingReference("country", 9))
+        );
         b.add_pop(1, 1, "p").unwrap();
-        assert_eq!(b.add_pop(1, 1, "p2"), Err(BuildError::DuplicateId("pop", 1)));
-        assert_eq!(b.add_router(1, 3), Err(BuildError::DanglingReference("pop", 3)));
+        assert_eq!(
+            b.add_pop(1, 1, "p2"),
+            Err(BuildError::DuplicateId("pop", 1))
+        );
+        assert_eq!(
+            b.add_router(1, 3),
+            Err(BuildError::DanglingReference("pop", 3))
+        );
         b.add_router(1, 1).unwrap();
-        assert_eq!(b.add_router(1, 1), Err(BuildError::DuplicateId("router", 1)));
-        let ifc = Interface { router: 1, ifindex: 1 };
+        assert_eq!(
+            b.add_router(1, 1),
+            Err(BuildError::DuplicateId("router", 1))
+        );
+        let ifc = Interface {
+            router: 1,
+            ifindex: 1,
+        };
         b.add_link(ifc, 65001, LinkClass::Pni, 100).unwrap();
         assert_eq!(
             b.add_link(ifc, 65002, LinkClass::Transit, 10),
             Err(BuildError::DuplicateInterface(1, 1))
         );
         assert_eq!(
-            b.add_link(Interface { router: 9, ifindex: 1 }, 65001, LinkClass::Pni, 1),
+            b.add_link(
+                Interface {
+                    router: 9,
+                    ifindex: 1
+                },
+                65001,
+                LinkClass::Pni,
+                1
+            ),
             Err(BuildError::DanglingReference("router", 9))
         );
     }
@@ -159,8 +207,28 @@ mod tests {
         b.add_country(1, "A").unwrap();
         b.add_pop(1, 1, "p").unwrap();
         b.add_router(1, 1).unwrap();
-        let l0 = b.add_link(Interface { router: 1, ifindex: 1 }, 1, LinkClass::Pni, 1).unwrap();
-        let l1 = b.add_link(Interface { router: 1, ifindex: 2 }, 1, LinkClass::Pni, 1).unwrap();
+        let l0 = b
+            .add_link(
+                Interface {
+                    router: 1,
+                    ifindex: 1,
+                },
+                1,
+                LinkClass::Pni,
+                1,
+            )
+            .unwrap();
+        let l1 = b
+            .add_link(
+                Interface {
+                    router: 1,
+                    ifindex: 2,
+                },
+                1,
+                LinkClass::Pni,
+                1,
+            )
+            .unwrap();
         assert_eq!((l0, l1), (0, 1));
         let t = b.build();
         assert_eq!(t.link(0).unwrap().interface.ifindex, 1);
@@ -174,15 +242,37 @@ mod tests {
         b.add_pop(1, 1, "p").unwrap();
         b.add_router(1, 1).unwrap();
         assert_eq!(b.max_ifindex(1), None);
-        b.add_link(Interface { router: 1, ifindex: 4 }, 1, LinkClass::Pni, 1).unwrap();
-        b.add_link(Interface { router: 1, ifindex: 2 }, 1, LinkClass::Pni, 1).unwrap();
+        b.add_link(
+            Interface {
+                router: 1,
+                ifindex: 4,
+            },
+            1,
+            LinkClass::Pni,
+            1,
+        )
+        .unwrap();
+        b.add_link(
+            Interface {
+                router: 1,
+                ifindex: 2,
+            },
+            1,
+            LinkClass::Pni,
+            1,
+        )
+        .unwrap();
         assert_eq!(b.max_ifindex(1), Some(4));
         assert_eq!(b.max_ifindex(99), None);
     }
 
     #[test]
     fn error_display() {
-        assert!(BuildError::DuplicateInterface(1, 2).to_string().contains("router 1"));
-        assert!(BuildError::DanglingReference("pop", 3).to_string().contains("pop 3"));
+        assert!(BuildError::DuplicateInterface(1, 2)
+            .to_string()
+            .contains("router 1"));
+        assert!(BuildError::DanglingReference("pop", 3)
+            .to_string()
+            .contains("pop 3"));
     }
 }

@@ -68,12 +68,14 @@ pub fn generate<R: Rng + ?Sized>(params: &TopologyParams, rng: &mut R) -> Topolo
     let mut next_pop: PopId = 1;
     let mut next_router: RouterId = 1;
     for c in 1..=params.countries {
-        b.add_country(c, &format!("country-{c}")).expect("unique country ids");
+        b.add_country(c, &format!("country-{c}"))
+            .expect("unique country ids");
         let pops = range_sample(rng, params.pops_per_country);
         for _ in 0..pops {
             let pop = next_pop;
             next_pop += 1;
-            b.add_pop(pop, c, &format!("pop-{pop}")).expect("unique pop ids");
+            b.add_pop(pop, c, &format!("pop-{pop}"))
+                .expect("unique pop ids");
             let mut routers = Vec::new();
             let n_routers = range_sample(rng, params.routers_per_pop);
             for _ in 0..n_routers {
@@ -102,8 +104,13 @@ pub fn generate<R: Rng + ?Sized>(params: &TopologyParams, rng: &mut R) -> Topolo
             let routers = &routers_of_pop[pop_idx];
             let router = routers[rng.random_range(0..routers.len())];
             let ifindex = b.max_ifindex(router).map_or(1, |m| m + 1);
-            b.add_link(Interface { router, ifindex }, spec.asn, spec.class, spec.capacity_gbps)
-                .expect("generator never reuses an ifindex");
+            b.add_link(
+                Interface { router, ifindex },
+                spec.asn,
+                spec.class,
+                spec.capacity_gbps,
+            )
+            .expect("generator never reuses an ifindex");
         }
     }
 
@@ -210,7 +217,11 @@ mod tests {
         let t = generate(&p, &mut StdRng::seed_from_u64(5));
         let mut seen = std::collections::HashSet::new();
         for l in t.links() {
-            assert!(seen.insert(l.interface), "duplicate interface {:?}", l.interface);
+            assert!(
+                seen.insert(l.interface),
+                "duplicate interface {:?}",
+                l.interface
+            );
         }
     }
 }

@@ -193,7 +193,9 @@ impl Topology {
 
     /// The link terminating at the given (router, ifindex), if any.
     pub fn link_at(&self, interface: Interface) -> Option<&Link> {
-        self.link_by_interface.get(&interface).and_then(|&id| self.link(id))
+        self.link_by_interface
+            .get(&interface)
+            .and_then(|&id| self.link(id))
     }
 
     /// All links facing a given neighbor AS.
@@ -217,12 +219,15 @@ impl Topology {
 
     /// All ingress points (one per external link).
     pub fn ingress_points(&self) -> impl Iterator<Item = IngressPoint> + '_ {
-        self.links.iter().map(|l| IngressPoint::new(l.interface.router, l.interface.ifindex))
+        self.links
+            .iter()
+            .map(|l| IngressPoint::new(l.interface.router, l.interface.ifindex))
     }
 
     /// The ingress point of a link id.
     pub fn ingress_of_link(&self, id: LinkId) -> Option<IngressPoint> {
-        self.link(id).map(|l| IngressPoint::new(l.interface.router, l.interface.ifindex))
+        self.link(id)
+            .map(|l| IngressPoint::new(l.interface.router, l.interface.ifindex))
     }
 
     /// Format an ingress point like the paper's raw output (Table 3):
@@ -259,9 +264,36 @@ mod tests {
         b.add_pop(2, 2, "beta-pop1").unwrap();
         b.add_router(1, 1).unwrap();
         b.add_router(2, 2).unwrap();
-        b.add_link(Interface { router: 1, ifindex: 1 }, 65001, LinkClass::Pni, 100).unwrap();
-        b.add_link(Interface { router: 1, ifindex: 2 }, 65001, LinkClass::Pni, 100).unwrap();
-        b.add_link(Interface { router: 2, ifindex: 1 }, 65002, LinkClass::Transit, 400).unwrap();
+        b.add_link(
+            Interface {
+                router: 1,
+                ifindex: 1,
+            },
+            65001,
+            LinkClass::Pni,
+            100,
+        )
+        .unwrap();
+        b.add_link(
+            Interface {
+                router: 1,
+                ifindex: 2,
+            },
+            65001,
+            LinkClass::Pni,
+            100,
+        )
+        .unwrap();
+        b.add_link(
+            Interface {
+                router: 2,
+                ifindex: 1,
+            },
+            65002,
+            LinkClass::Transit,
+            400,
+        )
+        .unwrap();
         b.build()
     }
 
@@ -273,9 +305,19 @@ mod tests {
         assert_eq!(t.pop_of_router(1).unwrap().id, 1);
         assert_eq!(t.country_of_router(2).unwrap().name, "Beta");
         assert!(t.router(99).is_none());
-        let l = t.link_at(Interface { router: 1, ifindex: 2 }).unwrap();
+        let l = t
+            .link_at(Interface {
+                router: 1,
+                ifindex: 2,
+            })
+            .unwrap();
         assert_eq!(l.neighbor_as, 65001);
-        assert!(t.link_at(Interface { router: 1, ifindex: 9 }).is_none());
+        assert!(t
+            .link_at(Interface {
+                router: 1,
+                ifindex: 9
+            })
+            .is_none());
     }
 
     #[test]

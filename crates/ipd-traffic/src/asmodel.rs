@@ -131,16 +131,23 @@ pub fn allocate_ases<R: Rng + ?Sized>(
     // room for growth; ASNs are 64500 + rank.
     for (rank, &share) in shares.iter().enumerate() {
         let kind = match rank {
-            0 | 2 | 3 => AsKind::Cdn,       // AS1, AS3, AS4 of the paper are CDNs
-            1 => AsKind::Cloud,             // AS2
+            0 | 2 | 3 => AsKind::Cdn, // AS1, AS3, AS4 of the paper are CDNs
+            1 => AsKind::Cloud,       // AS2
             r if r >= 4 && r < 4 + n_tier1 => AsKind::Tier1,
             r if r % 3 == 0 => AsKind::Transit,
             _ => AsKind::Stub,
         };
         let behavior = match rank {
-            0 => AsBehavior::MaintenanceBundle { hours: vec![11, 23], duration_min: 45 },
-            2 => AsBehavior::PopFlap { rate_per_hour: 0.05 },
-            3 => AsBehavior::DiurnalRemap { peak_fraction: 0.25 },
+            0 => AsBehavior::MaintenanceBundle {
+                hours: vec![11, 23],
+                duration_min: 45,
+            },
+            2 => AsBehavior::PopFlap {
+                rate_per_hour: 0.05,
+            },
+            3 => AsBehavior::DiurnalRemap {
+                peak_fraction: 0.25,
+            },
             _ => AsBehavior::Stable,
         };
         // Address budget: between 2^14 and 2^20 addresses, scaled by share.
@@ -257,7 +264,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ases = allocate_ases(50, 1.05, 16, &mut rng);
         assert_eq!(ases[0].kind, AsKind::Cdn);
-        assert!(matches!(ases[0].behavior, AsBehavior::MaintenanceBundle { .. }));
+        assert!(matches!(
+            ases[0].behavior,
+            AsBehavior::MaintenanceBundle { .. }
+        ));
         assert!(matches!(ases[2].behavior, AsBehavior::PopFlap { .. }));
         assert!(matches!(ases[3].behavior, AsBehavior::DiurnalRemap { .. }));
         assert_eq!(ases.iter().filter(|a| a.kind == AsKind::Tier1).count(), 16);

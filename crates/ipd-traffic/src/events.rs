@@ -220,7 +220,11 @@ impl EventSchedule {
 
     fn push(&mut self, event: Event) {
         self.seq += 1;
-        self.pending.push(Reverse(HeapEvent { ts: event.ts, seq: self.seq, event }));
+        self.pending.push(Reverse(HeapEvent {
+            ts: event.ts,
+            seq: self.seq,
+            event,
+        }));
     }
 
     fn generate_hour(&mut self, hour_start: u64) {
@@ -270,7 +274,10 @@ impl EventSchedule {
             // granule level; see world generation).
             let choice = IngressChoice::single(to_link);
             let ts = hour_start + self.rng.random_range(0..3600u64);
-            self.push(Event { ts, kind: EventKind::RegionRemap { region, choice } });
+            self.push(Event {
+                ts,
+                kind: EventKind::RegionRemap { region, choice },
+            });
         }
         // Exception churn: CDN-like ASes fragment under load and
         // consolidate at night.
@@ -288,17 +295,24 @@ impl EventSchedule {
                 // share stable under night-time consolidation.
                 let choice = self.make_choice(info, to_link);
                 let ts = hour_start + self.rng.random_range(0..3600u64);
-                self.push(Event { ts, kind: EventKind::AddException { granule, choice } });
+                self.push(Event {
+                    ts,
+                    kind: EventKind::AddException { granule, choice },
+                });
             }
             if (2..7).contains(&hour_of_day) {
-                let n_clears = self
-                    .binomial(info.region_idxs.len(), self.inputs.rates.night_consolidation_per_hour);
+                let n_clears = self.binomial(
+                    info.region_idxs.len(),
+                    self.inputs.rates.night_consolidation_per_hour,
+                );
                 for _ in 0..n_clears {
-                    let ridx =
-                        info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
+                    let ridx = info.region_idxs[self.rng.random_range(0..info.region_idxs.len())];
                     let region = self.inputs.regions[ridx];
                     let ts = hour_start + self.rng.random_range(0..3600u64);
-                    self.push(Event { ts, kind: EventKind::ClearExceptionsIn { region } });
+                    self.push(Event {
+                        ts,
+                        kind: EventKind::ClearExceptionsIn { region },
+                    });
                 }
             }
         }
@@ -309,8 +323,14 @@ impl EventSchedule {
             if hours.contains(&(hour_of_day as u8)) {
                 let start = hour_start + self.rng.random_range(0..600u64);
                 let end = start + duration_min as u64 * 60;
-                self.push(Event { ts: start, kind: EventKind::MaintenanceStart { router } });
-                self.push(Event { ts: end, kind: EventKind::MaintenanceEnd { router } });
+                self.push(Event {
+                    ts: start,
+                    kind: EventKind::MaintenanceStart { router },
+                });
+                self.push(Event {
+                    ts: end,
+                    kind: EventKind::MaintenanceEnd { router },
+                });
             }
         }
     }
@@ -336,12 +356,18 @@ impl EventSchedule {
         for _ in 0..n {
             let ridx = tier1_regions[self.rng.random_range(0..tier1_regions.len())];
             let region = self.inputs.regions[ridx];
-            let via_link =
-                self.inputs.transit_links[self.rng.random_range(0..self.inputs.transit_links.len())];
+            let via_link = self.inputs.transit_links
+                [self.rng.random_range(0..self.inputs.transit_links.len())];
             let start = hour_start + self.rng.random_range(0..3600u64);
             let end = start + self.inputs.rates.violation_duration_hours * 3600;
-            self.push(Event { ts: start, kind: EventKind::ViolationStart { region, via_link } });
-            self.push(Event { ts: end, kind: EventKind::ViolationEnd { region } });
+            self.push(Event {
+                ts: start,
+                kind: EventKind::ViolationStart { region, via_link },
+            });
+            self.push(Event {
+                ts: end,
+                kind: EventKind::ViolationEnd { region },
+            });
         }
     }
 
@@ -502,8 +528,7 @@ mod tests {
         let start_ts = starts[0].ts;
         assert!((11 * 3600..11 * 3600 + 600).contains(&start_ts));
         assert!(events.iter().any(|e| {
-            matches!(e.kind, EventKind::MaintenanceEnd { router: 7 })
-                && e.ts == start_ts + 45 * 60
+            matches!(e.kind, EventKind::MaintenanceEnd { router: 7 }) && e.ts == start_ts + 45 * 60
         }));
     }
 
@@ -511,8 +536,7 @@ mod tests {
     fn violations_target_tier1_regions_via_transit() {
         let mut s = EventSchedule::new(inputs(), 0, 11);
         let events = s.events_until(30 * 86_400);
-        let tier1_regions: Vec<Prefix> =
-            (10..20).map(|i| inputs().regions[i]).collect();
+        let tier1_regions: Vec<Prefix> = (10..20).map(|i| inputs().regions[i]).collect();
         let mut seen = 0;
         for e in &events {
             if let EventKind::ViolationStart { region, via_link } = &e.kind {
@@ -573,7 +597,10 @@ mod tests {
             if let EventKind::AddException { granule, .. } = &e.kind {
                 assert_eq!(granule.len(), 28);
                 let region = Prefix::of(granule.addr(), 24);
-                assert!(inputs().regions.contains(&region), "granule {granule} region");
+                assert!(
+                    inputs().regions.contains(&region),
+                    "granule {granule} region"
+                );
                 seen += 1;
             }
         }

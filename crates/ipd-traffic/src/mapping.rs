@@ -24,13 +24,19 @@ pub struct IngressChoice {
 impl IngressChoice {
     /// A single-ingress choice (the ~80 % case of Fig 3).
     pub fn single(primary: LinkId) -> Self {
-        IngressChoice { primary, alternates: Vec::new() }
+        IngressChoice {
+            primary,
+            alternates: Vec::new(),
+        }
     }
 
     /// A multi-ingress choice. Alternate shares must sum below 1.
     pub fn with_alternates(primary: LinkId, alternates: Vec<(LinkId, f64)>) -> Self {
         debug_assert!(alternates.iter().map(|a| a.1).sum::<f64>() < 1.0);
-        IngressChoice { primary, alternates }
+        IngressChoice {
+            primary,
+            alternates,
+        }
     }
 
     /// Share of traffic on the primary link.
@@ -126,14 +132,20 @@ impl MappingState {
 
     /// All exceptions inside `region` (O(|subtree|), not O(|exceptions|)).
     pub fn exceptions_within(&self, region: Prefix) -> Vec<(Prefix, IngressChoice)> {
-        self.exceptions.iter_within(region).map(|(p, c)| (p, c.clone())).collect()
+        self.exceptions
+            .iter_within(region)
+            .map(|(p, c)| (p, c.clone()))
+            .collect()
     }
 
     /// Remove every exception inside `region` (night-time consolidation).
     /// Returns how many were removed.
     pub fn clear_exceptions_within(&mut self, region: Prefix) -> usize {
-        let keys: Vec<Prefix> =
-            self.exceptions.iter_within(region).map(|(p, _)| p).collect();
+        let keys: Vec<Prefix> = self
+            .exceptions
+            .iter_within(region)
+            .map(|(p, _)| p)
+            .collect();
         for k in &keys {
             self.exceptions.remove(*k);
         }
@@ -194,7 +206,11 @@ mod tests {
         m.set_exception(p("10.1.2.0/28"), IngressChoice::single(2));
         assert_eq!(m.primary(a("10.1.9.9")), Some(1));
         assert_eq!(m.primary(a("10.1.2.5")), Some(2));
-        assert_eq!(m.primary(a("10.1.2.20")), Some(1), "outside the /28 exception");
+        assert_eq!(
+            m.primary(a("10.1.2.20")),
+            Some(1),
+            "outside the /28 exception"
+        );
         assert_eq!(m.primary(a("11.0.0.1")), None, "unmapped space");
         assert!(m.clear_exception(p("10.1.2.0/28")));
         assert_eq!(m.primary(a("10.1.2.5")), Some(1));

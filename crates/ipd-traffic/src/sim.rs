@@ -119,7 +119,13 @@ impl FlowSim {
         let v6_prefixes = world
             .ases
             .iter()
-            .map(|a| a.prefixes.iter().copied().filter(|p| p.af() == ipd_lpm::Af::V6).collect())
+            .map(|a| {
+                a.prefixes
+                    .iter()
+                    .copied()
+                    .filter(|p| p.af() == ipd_lpm::Af::V6)
+                    .collect()
+            })
             .collect();
         let mut drift: HashMap<RouterId, i64> = HashMap::new();
         for r in world.topology.routers() {
@@ -131,7 +137,16 @@ impl FlowSim {
             }
         }
         let all_links = world.topology.links().iter().map(|l| l.id).collect();
-        FlowSim { world, cfg, rng, as_cdf, prefix_cdf, v6_prefixes, drift, all_links }
+        FlowSim {
+            world,
+            cfg,
+            rng,
+            as_cdf,
+            prefix_cdf,
+            v6_prefixes,
+            drift,
+            all_links,
+        }
     }
 
     /// The world (read access for evaluation).
@@ -169,7 +184,10 @@ impl FlowSim {
         let ts_true = minute_start + self.rng.random_range(0..60u64);
         // Pick the source AS by traffic share.
         let x: f64 = self.rng.random();
-        let as_idx = match self.as_cdf.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        let as_idx = match self
+            .as_cdf
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) | Err(i) => i.min(self.as_cdf.len() - 1),
         };
         // Pick a source address, retrying inactive /24 user groups.
@@ -207,9 +225,7 @@ impl FlowSim {
             ipd_lpm::Af::V4 => {
                 Addr::v4(0x6440_0000 | self.rng.random_range(0..0x3F_FFFFu32)) // 100.64/10
             }
-            ipd_lpm::Af::V6 => {
-                Addr::v6((0xfd00u128 << 112) | self.rng.random::<u64>() as u128)
-            }
+            ipd_lpm::Af::V6 => Addr::v6((0xfd00u128 << 112) | self.rng.random::<u64>() as u128),
         };
         let flow = FlowRecord {
             ts: ts_claimed,
@@ -218,13 +234,21 @@ impl FlowSim {
             router: ingress.router,
             input_if: ingress.ifindex,
             output_if: 0,
-            proto: if self.rng.random::<f64>() < 0.8 { 6 } else { 17 },
+            proto: if self.rng.random::<f64>() < 0.8 {
+                6
+            } else {
+                17
+            },
             src_port: 443,
             dst_port: self.rng.random_range(1024..u16::MAX),
             packets,
             bytes: packets.saturating_mul(bpp),
         };
-        Some(LabeledFlow { flow, true_link, as_idx })
+        Some(LabeledFlow {
+            flow,
+            true_link,
+            as_idx,
+        })
     }
 
     fn random_addr(&mut self, as_idx: usize) -> Addr {
@@ -296,7 +320,11 @@ mod tests {
         let world = World::generate(WorldConfig::default(), 42);
         FlowSim::new(
             world,
-            SimConfig { flows_per_minute, seed: 7, ..SimConfig::default() },
+            SimConfig {
+                flows_per_minute,
+                seed: 7,
+                ..SimConfig::default()
+            },
         )
     }
 
@@ -361,7 +389,12 @@ mod tests {
         let world = World::generate(cfg, 42);
         let mut s = FlowSim::new(
             world,
-            SimConfig { flows_per_minute: 5000, noise_rate: 0.0, seed: 7, ..SimConfig::default() },
+            SimConfig {
+                flows_per_minute: 5000,
+                noise_rate: 0.0,
+                seed: 7,
+                ..SimConfig::default()
+            },
         );
         let m = s.next_minute();
         assert!(!m.flows.is_empty());

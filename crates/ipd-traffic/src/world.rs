@@ -5,15 +5,13 @@ use std::collections::HashMap;
 use ipd_bgp::{Rib, Route};
 use ipd_lpm::{Addr, LpmTrie, Prefix};
 use ipd_topology::{
-    Interface, IngressPoint, LinkClass, LinkId, PopId, RouterId, Topology, TopologyBuilder,
+    IngressPoint, Interface, LinkClass, LinkId, PopId, RouterId, Topology, TopologyBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::asmodel::{allocate_ases, AsBehavior, AsKind, AsProfile};
-use crate::events::{
-    AsScheduleInfo, Event, EventKind, EventRates, EventSchedule, ScheduleInputs,
-};
+use crate::events::{AsScheduleInfo, Event, EventKind, EventRates, EventSchedule, ScheduleInputs};
 use crate::mapping::{IngressChoice, MappingState};
 
 /// World generation parameters. Defaults produce a laptop-scale network that
@@ -114,13 +112,17 @@ impl World {
         let mut next_pop: PopId = 1;
         let mut next_router: RouterId = 1;
         for c in 1..=config.countries {
-            builder.add_country(c, &format!("country-{c}")).expect("unique ids");
+            builder
+                .add_country(c, &format!("country-{c}"))
+                .expect("unique ids");
             let mut pops = Vec::new();
             let n_pops = rng.random_range(config.pops_per_country.0..=config.pops_per_country.1);
             for _ in 0..n_pops {
                 let pop = next_pop;
                 next_pop += 1;
-                builder.add_pop(pop, c, &format!("pop-{pop}")).expect("unique ids");
+                builder
+                    .add_pop(pop, c, &format!("pop-{pop}"))
+                    .expect("unique ids");
                 let mut routers = Vec::new();
                 let n_routers =
                     rng.random_range(config.routers_per_pop.0..=config.routers_per_pop.1);
@@ -327,8 +329,7 @@ impl World {
                     .expect("every AS prefix has a mapped region");
                 // (link, as_path) routes: direct links first, then transit.
                 let mut routes: Vec<(LinkId, Vec<u32>)> = vec![(home, vec![a.asn])];
-                let mut pool: Vec<LinkId> =
-                    links.iter().copied().filter(|&l| l != home).collect();
+                let mut pool: Vec<LinkId> = links.iter().copied().filter(|&l| l != home).collect();
                 while routes.len() < want && !pool.is_empty() {
                     let i = rng.random_range(0..pool.len());
                     routes.push((pool.swap_remove(i), vec![a.asn]));
@@ -410,7 +411,10 @@ impl World {
             .iter()
             .enumerate()
             .filter_map(|(i, a)| match &a.behavior {
-                AsBehavior::MaintenanceBundle { hours, duration_min } => {
+                AsBehavior::MaintenanceBundle {
+                    hours,
+                    duration_min,
+                } => {
                     let first_link = *links_of_as[i].first()?;
                     let router = topology.link(first_link)?.interface.router;
                     Some((router, hours.clone(), *duration_min))
@@ -561,7 +565,8 @@ impl World {
                 }
                 if let Some(old) = self.mapping.region_choice(region).cloned() {
                     self.violations.insert(region, old);
-                    self.mapping.set_region(region, IngressChoice::single(via_link));
+                    self.mapping
+                        .set_region(region, IngressChoice::single(via_link));
                 }
             }
             EventKind::ViolationEnd { region } => {
@@ -575,7 +580,9 @@ impl World {
     /// Re-point the BGP best route covering `region` at `new_home` with the
     /// owning AS's symmetry probability (see [`WorldConfig`]).
     fn realign_egress(&mut self, region: Prefix, new_home: LinkId) {
-        let Some(as_idx) = self.as_index_of(region.addr()) else { return };
+        let Some(as_idx) = self.as_index_of(region.addr()) else {
+            return;
+        };
         let sym_target = if self.ases[as_idx].kind == AsKind::Tier1 {
             self.config.symmetry_tier1
         } else if as_idx < 5 {
@@ -584,7 +591,9 @@ impl World {
             self.config.symmetry_other
         };
         let follow = self.rng.random::<f64>() < sym_target;
-        let Some((bgp_prefix, entry)) = self.rib.match_prefix(region) else { return };
+        let Some((bgp_prefix, entry)) = self.rib.match_prefix(region) else {
+            return;
+        };
         // Only the *representative* region (the one holding the prefix's
         // first address) drives the prefix's egress; otherwise remaps of
         // sibling regions inside one large prefix would thrash the egress
@@ -631,7 +640,9 @@ impl World {
             if self.violations.contains_key(&region) {
                 continue;
             }
-            let Some(choice) = self.mapping.region_choice(region).cloned() else { continue };
+            let Some(choice) = self.mapping.region_choice(region).cloned() else {
+                continue;
+            };
             let on_router = self
                 .topology
                 .link(choice.primary)
@@ -654,17 +665,17 @@ impl World {
                 .collect();
             let backup = if !same_router.is_empty() {
                 same_router[self.rng.random_range(0..same_router.len())]
-            } else if let Some(&other) =
-                links.iter().find(|&&l| l != choice.primary)
-            {
+            } else if let Some(&other) = links.iter().find(|&&l| l != choice.primary) {
                 other
             } else {
                 continue; // single-homed: nowhere to go
             };
             saved.push((region, choice));
-            self.mapping.set_region(region, IngressChoice::single(backup));
+            self.mapping
+                .set_region(region, IngressChoice::single(backup));
         }
-        self.maintenance.insert(router, MaintenanceSave { regions: saved });
+        self.maintenance
+            .insert(router, MaintenanceSave { regions: saved });
     }
 
     fn maintenance_end(&mut self, router: RouterId) {
@@ -734,8 +745,11 @@ fn poisson_small<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
 fn random_granule<R: Rng + ?Sized>(rng: &mut R, region: Prefix, granule_len: u8) -> Prefix {
     let glen = granule_len.max(region.len());
     let span_bits = (glen - region.len()) as u32;
-    let offset: u128 =
-        if span_bits == 0 { 0 } else { rng.random_range(0..(1u128 << span_bits.min(63))) };
+    let offset: u128 = if span_bits == 0 {
+        0
+    } else {
+        rng.random_range(0..(1u128 << span_bits.min(63)))
+    };
     let width = region.af().width();
     let bits = region.addr().bits() | (offset << (width - glen) as u32);
     Prefix::of(Addr::new(region.af(), bits), glen)
@@ -814,7 +828,10 @@ mod tests {
         let before = w.mapping.snapshot();
         w.advance_to(w.config.epoch + 6 * 3600);
         let after = w.mapping.snapshot();
-        assert_ne!(before, after, "six hours of dynamics must change the mapping");
+        assert_ne!(
+            before, after,
+            "six hours of dynamics must change the mapping"
+        );
         assert_eq!(w.now(), w.config.epoch + 6 * 3600);
     }
 
@@ -850,14 +867,21 @@ mod tests {
         // Background remaps (≈2 %/region/hour over 13 h ⇒ ~23 % moved) also
         // churn homes, but the bulk of the maintenance shift must be
         // restored.
-        let restored = homes_before.iter().zip(&after).filter(|(a, b)| a == b).count();
+        let restored = homes_before
+            .iter()
+            .zip(&after)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(
             restored * 10 >= homes_before.len() * 6,
             "restored {restored}/{}",
             homes_before.len()
         );
         let still_shifted = during.iter().zip(&after).filter(|(d, a)| d != a).count();
-        assert!(still_shifted > 0, "restore must undo the maintenance mapping");
+        assert!(
+            still_shifted > 0,
+            "restore must undo the maintenance mapping"
+        );
     }
 
     #[test]
@@ -875,7 +899,10 @@ mod tests {
         assert!(w.active_violations().is_empty());
         w.advance_to(w.config.epoch + 14 * 86_400);
         let v = w.active_violations();
-        assert!(!v.is_empty(), "two weeks at 1%/region/hour must violate something");
+        assert!(
+            !v.is_empty(),
+            "two weeks at 1%/region/hour must violate something"
+        );
         // The violating link belongs to a transit AS, not the tier-1 owner.
         for (region, link) in &v {
             let aidx = w.as_index_of(region.addr()).unwrap();

@@ -10,9 +10,8 @@ fn arb_region() -> impl Strategy<Value = Prefix> {
 }
 
 fn arb_granule() -> impl Strategy<Value = Prefix> {
-    (0u32..256, 0u32..0xFFFF).prop_map(|(x, y)| {
-        Prefix::of(Addr::v4(0x0A00_0000 | (x << 16) | (y & 0xFF00)), 24)
-    })
+    (0u32..256, 0u32..0xFFFF)
+        .prop_map(|(x, y)| Prefix::of(Addr::v4(0x0A00_0000 | (x << 16) | (y & 0xFF00)), 24))
 }
 
 #[derive(Debug, Clone)]

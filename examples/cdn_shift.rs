@@ -70,7 +70,10 @@ fn main() {
 
     // Fig 14 detail: the focus /24's confidence and counters.
     println!("\nfocus /24 detail (Fig 14):");
-    println!("{:>8} {:>6} {:>10} {:>10}  top ingresses", "min", "conf", "samples", "n_cidr");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10}  top ingresses",
+        "min", "conf", "samples", "n_cidr"
+    );
     for d in out.detail.iter().step_by(3) {
         let tops: Vec<String> = d
             .per_ingress
@@ -89,12 +92,19 @@ fn main() {
     }
 
     // The story beats, asserted.
-    let first = out.detail.iter().find(|d| d.classified).expect("classifies");
+    let first = out
+        .detail
+        .iter()
+        .find(|d| d.classified)
+        .expect("classifies");
     let last = out.detail.last().expect("non-empty");
     println!(
         "\nfirst classification at minute {}, final ingress {}",
         first.ts / 60,
-        last.per_ingress.first().map(|(l, _)| l.as_str()).unwrap_or("-")
+        last.per_ingress
+            .first()
+            .map(|(l, _)| l.as_str())
+            .unwrap_or("-")
     );
     assert_eq!(
         last.per_ingress.first().map(|(l, _)| l.as_str()),

@@ -31,7 +31,10 @@ fn main() {
     let epoch = world.config.epoch;
     let mut sim = FlowSim::new(
         world,
-        SimConfig { flows_per_minute: FLOWS_PER_MINUTE, ..SimConfig::default() },
+        SimConfig {
+            flows_per_minute: FLOWS_PER_MINUTE,
+            ..SimConfig::default()
+        },
     );
     println!(
         "pipeline: {} reader threads + 1 engine thread; {} min at ~{} flows/min",
@@ -111,18 +114,24 @@ fn main() {
                 .into_iter()
                 .partition(|f| f.src.af() == ipd_suite::lpm::Af::V4);
             if router % 2 == 0 {
-                let exp = v5.entry(router).or_insert_with(|| V5Exporter::new(router, 0, 1000, epoch));
+                let exp = v5
+                    .entry(router)
+                    .or_insert_with(|| V5Exporter::new(router, 0, 1000, epoch));
                 for gram in exp.encode(now, &v4_flows).expect("v4-only traffic") {
                     gram_txs[shard].send((router, gram)).expect("reader alive");
                 }
-                let exp = ipfix.entry(router).or_insert_with(|| IpfixExporter::new(router, 32));
+                let exp = ipfix
+                    .entry(router)
+                    .or_insert_with(|| IpfixExporter::new(router, 32));
                 for gram in exp.encode(now, &v6_flows) {
                     gram_txs[shard].send((router, gram)).expect("reader alive");
                 }
             } else {
                 let mut all = v4_flows;
                 all.extend(v6_flows);
-                let exp = ipfix.entry(router).or_insert_with(|| IpfixExporter::new(router, 32));
+                let exp = ipfix
+                    .entry(router)
+                    .or_insert_with(|| IpfixExporter::new(router, 32));
                 for gram in exp.encode(now, &all) {
                     gram_txs[shard].send((router, gram)).expect("reader alive");
                 }

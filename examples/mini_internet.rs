@@ -27,7 +27,12 @@ fn feed<R: Rng>(engine: &mut IpdEngine, rng: &mut R, minute: u64) {
     // Student network: always enters at R1.1.
     for _ in 0..300 {
         let addr = Addr::v4(STUDENT_NET + rng.random_range(0u32..0xFFFF));
-        engine.ingest_parts(ts + rng.random_range(0..60u64), addr, IngressPoint::new(1, 1), 1.0);
+        engine.ingest_parts(
+            ts + rng.random_range(0..60u64),
+            addr,
+            IngressPoint::new(1, 1),
+            1.0,
+        );
     }
     // CDN: enters via a two-interface bundle on R2 until minute 8, then the
     // CDN remaps everything to R3.1 (a different country).
@@ -43,14 +48,20 @@ fn feed<R: Rng>(engine: &mut IpdEngine, rng: &mut R, minute: u64) {
     // The pathological neighbor: hashes flows across routers R1 and R3.
     for _ in 0..200 {
         let addr = Addr::v4(LB_NET + rng.random_range(0u32..0xFF));
-        let ingress =
-            if rng.random::<bool>() { IngressPoint::new(1, 7) } else { IngressPoint::new(3, 7) };
+        let ingress = if rng.random::<bool>() {
+            IngressPoint::new(1, 7)
+        } else {
+            IngressPoint::new(3, 7)
+        };
         engine.ingest_parts(ts + rng.random_range(0..60u64), addr, ingress, 1.0);
     }
 }
 
 fn main() {
-    let params = IpdParams { ncidr_factor_v4: 0.01, ..IpdParams::default() };
+    let params = IpdParams {
+        ncidr_factor_v4: 0.01,
+        ..IpdParams::default()
+    };
     let mut engine = IpdEngine::new(params).unwrap();
     let mut rng = StdRng::seed_from_u64(2024);
 
@@ -61,7 +72,11 @@ fn main() {
         let report = engine.tick((minute + 1) * 60);
         let snap = engine.snapshot((minute + 1) * 60);
         let diff = SnapshotDiff::between(&prev, &snap);
-        print!("minute {:>2}: {:>2} ranges", minute + 1, engine.range_count());
+        print!(
+            "minute {:>2}: {:>2} ranges",
+            minute + 1,
+            engine.range_count()
+        );
         if report.splits > 0 {
             print!(", {} splits", report.splits);
         }
@@ -93,9 +108,13 @@ fn main() {
 
     // The walkthrough's teaching points, verified.
     let table = snap.lpm_table();
-    let (_, student) = table.lookup(Addr::v4(STUDENT_NET + 5)).expect("student net classified");
+    let (_, student) = table
+        .lookup(Addr::v4(STUDENT_NET + 5))
+        .expect("student net classified");
     assert!(student.is_link(IngressPoint::new(1, 1)));
-    let (_, cdn) = table.lookup(Addr::v4(CDN_NET + 5)).expect("cdn net classified");
+    let (_, cdn) = table
+        .lookup(Addr::v4(CDN_NET + 5))
+        .expect("cdn net classified");
     assert_eq!(cdn.router(), 3, "CDN remap must be detected");
     assert!(
         table.lookup(Addr::v4(LB_NET + 5)).is_none(),

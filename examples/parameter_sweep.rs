@@ -19,10 +19,16 @@ fn main() {
         t_secs: 60,
         e_secs: 120,
     };
-    println!("sweeping {} configurations (q × cidr_max) ...\n", design.configs(1.0).len());
+    println!(
+        "sweeping {} configurations (q × cidr_max) ...\n",
+        design.configs(1.0).len()
+    );
     let results = run_study(&design, 10, 10_000, 42);
 
-    println!("{:>6} {:>6} {:>9} {:>8} {:>10} {:>12}", "q", "cidr", "accuracy", "ks", "runtime_s", "state_bytes");
+    println!(
+        "{:>6} {:>6} {:>9} {:>8} {:>10} {:>12}",
+        "q", "cidr", "accuracy", "ks", "runtime_s", "state_bytes"
+    );
     for r in &results {
         println!(
             "{:>6.2} {:>6} {:>9.3} {:>8.3} {:>10.2} {:>12}",
@@ -40,21 +46,36 @@ fn main() {
         if e.metric != "accuracy" && e.metric != "state_bytes" {
             continue;
         }
-        let levels: Vec<String> =
-            e.level_means.iter().map(|(l, m)| format!("{l}→{m:.3}")).collect();
+        let levels: Vec<String> = e
+            .level_means
+            .iter()
+            .map(|(l, m)| format!("{l}→{m:.3}"))
+            .collect();
         let sig = e
             .anova
             .as_ref()
             .map(|a| format!("F={:.1} p={:.3}", a.f, a.p))
             .unwrap_or_else(|| "n/a".into());
-        println!("  {:?} on {:<12}: {:<40} ({sig})", e.factor, e.metric, levels.join("  "));
+        println!(
+            "  {:?} on {:<12}: {:<40} ({sig})",
+            e.factor,
+            e.metric,
+            levels.join("  ")
+        );
     }
 
     // The two headline shapes.
     let accs: Vec<f64> = results.iter().map(|r| r.accuracy).collect();
-    let spread = accs.iter().cloned().fold(f64::MIN, f64::max) - accs.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = accs.iter().cloned().fold(f64::MIN, f64::max)
+        - accs.iter().cloned().fold(f64::MAX, f64::min);
     println!("\naccuracy spread across all configs: {spread:.3} (paper: parametrization does not affect accuracy)");
     let eff = effects(&results);
-    let state = eff.iter().find(|e| e.factor == Factor::CidrMax && e.metric == "state_bytes").expect("effect");
-    println!("state by cidr_max: {:?} (paper: grows exponentially)", state.level_means);
+    let state = eff
+        .iter()
+        .find(|e| e.factor == Factor::CidrMax && e.metric == "state_bytes")
+        .expect("effect");
+    println!(
+        "state by cidr_max: {:?} (paper: grows exponentially)",
+        state.level_means
+    );
 }

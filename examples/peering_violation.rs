@@ -27,7 +27,11 @@ fn main() {
     println!(
         "world: {} ASes ({} tier-1 peers), {} routers, {} links\n",
         world.ases.len(),
-        world.ases.iter().filter(|a| a.kind == ipd_suite::traffic::AsKind::Tier1).count(),
+        world
+            .ases
+            .iter()
+            .filter(|a| a.kind == ipd_suite::traffic::AsKind::Tier1)
+            .count(),
         world.topology.routers().len(),
         world.topology.links().len()
     );
@@ -37,7 +41,12 @@ fn main() {
     println!("\n month | violations | share of tier-1 space");
     for p in &series {
         let bar = "#".repeat(p.total().min(60));
-        println!("  {:>4} | {:>10} | {:>6.2}%  {bar}", p.day / 30, p.total(), p.violating_share * 100.0);
+        println!(
+            "  {:>4} | {:>10} | {:>6.2}%  {bar}",
+            p.day / 30,
+            p.total(),
+            p.violating_share * 100.0
+        );
     }
     println!(
         "\nmean violating share: {:.1}%  (paper: ~9% of tier-1 prefixes entered indirectly)",
@@ -54,15 +63,24 @@ fn main() {
         let l = world.topology.link(*link).expect("link exists");
         println!(
             "  e.g. {region} enters at {} over a {} link of AS{}",
-            world.topology.format_ingress(ipd_suite::topology::IngressPoint::new(
-                l.interface.router,
-                l.interface.ifindex
-            )),
+            world
+                .topology
+                .format_ingress(ipd_suite::topology::IngressPoint::new(
+                    l.interface.router,
+                    l.interface.ifindex
+                )),
             l.class,
             l.neighbor_as
         );
     }
     let trend_up = series.last().map(|p| p.total()).unwrap_or(0)
         >= series.first().map(|p| p.total()).unwrap_or(0);
-    println!("\nviolation trend over the year: {}", if trend_up { "rising ✓ (matches Fig 17)" } else { "flat" });
+    println!(
+        "\nviolation trend over the year: {}",
+        if trend_up {
+            "rising ✓ (matches Fig 17)"
+        } else {
+            "flat"
+        }
+    );
 }

@@ -11,7 +11,7 @@
 
 use ipd_suite::ipd::{IpdEngine, IpdParams};
 use ipd_suite::lpm::Addr;
-use ipd_suite::topology::{Interface, IngressPoint, LinkClass, TopologyBuilder};
+use ipd_suite::topology::{IngressPoint, Interface, LinkClass, TopologyBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,9 +26,36 @@ fn main() {
         b.add_router(router, pop).unwrap();
     }
     // Three external links: a CDN PNI in Alpha, a peer in Beta, a transit.
-    b.add_link(Interface { router: 1, ifindex: 1 }, 64500, LinkClass::Pni, 400).unwrap();
-    b.add_link(Interface { router: 3, ifindex: 1 }, 64501, LinkClass::PublicPeering, 100).unwrap();
-    b.add_link(Interface { router: 4, ifindex: 2 }, 64502, LinkClass::Transit, 100).unwrap();
+    b.add_link(
+        Interface {
+            router: 1,
+            ifindex: 1,
+        },
+        64500,
+        LinkClass::Pni,
+        400,
+    )
+    .unwrap();
+    b.add_link(
+        Interface {
+            router: 3,
+            ifindex: 1,
+        },
+        64501,
+        LinkClass::PublicPeering,
+        100,
+    )
+    .unwrap();
+    b.add_link(
+        Interface {
+            router: 4,
+            ifindex: 2,
+        },
+        64502,
+        LinkClass::Transit,
+        100,
+    )
+    .unwrap();
     let topo = b.build();
     println!(
         "topology: {} countries, {} pops, {} routers, {} links",
@@ -39,7 +66,10 @@ fn main() {
     );
 
     // --- The IPD engine with thresholds sized for a toy trace. ------------
-    let params = IpdParams { ncidr_factor_v4: 0.05, ..IpdParams::default() };
+    let params = IpdParams {
+        ncidr_factor_v4: 0.05,
+        ..IpdParams::default()
+    };
     let mut engine = IpdEngine::new(params).unwrap();
 
     // --- Traffic: three /12 blocks entering through the three links. ------

@@ -33,11 +33,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -101,7 +105,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_benchmark(&full, self.throughput, self.sample_size, &mut |b| f(b, input));
+        run_benchmark(&full, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -125,7 +131,10 @@ where
         Throughput::Bytes(n) => format_rate(n as f64 / (per_iter * 1e-9), "B/s"),
     });
     match rate {
-        Some(r) => eprintln!("{name:<40} {:>14} ns/iter   thrpt: {r}", format_ns(per_iter)),
+        Some(r) => eprintln!(
+            "{name:<40} {:>14} ns/iter   thrpt: {r}",
+            format_ns(per_iter)
+        ),
         None => eprintln!("{name:<40} {:>14} ns/iter", format_ns(per_iter)),
     }
 }

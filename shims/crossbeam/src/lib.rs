@@ -76,7 +76,12 @@ pub mod channel {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     pub struct Sender<T> {
@@ -106,7 +111,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.inner.lock().unwrap().senders += 1;
-            Sender { shared: self.shared.clone() }
+            Sender {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -172,7 +179,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.inner.lock().unwrap().receivers += 1;
-            Receiver { shared: self.shared.clone() }
+            Receiver {
+                shared: self.shared.clone(),
+            }
         }
     }
 

@@ -166,7 +166,10 @@ pub mod strategy {
 
     impl<V> Clone for OneOf<V> {
         fn clone(&self) -> Self {
-            OneOf { arms: self.arms.clone(), total: self.total }
+            OneOf {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
         }
     }
 
@@ -261,13 +264,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -279,7 +288,10 @@ pub mod collection {
 
     /// `Vec` of values from `element`, with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -307,7 +319,11 @@ pub mod collection {
     where
         K::Value: Eq + Hash,
     {
-        HashMapStrategy { key, value, size: size.into() }
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>

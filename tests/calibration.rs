@@ -26,12 +26,22 @@ fn bgp_next_hop_multiplicity() {
     let w = world();
     let cdf = histogram_cdf(&next_hop_count_histogram(&w.rib, None));
     let at = |k: usize| {
-        cdf.iter().take_while(|&&(kk, _)| kk <= k).last().map(|&(_, p)| p).unwrap_or(0.0)
+        cdf.iter()
+            .take_while(|&&(kk, _)| kk <= k)
+            .last()
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
     };
     let single = at(1);
     let over5 = 1.0 - at(5);
-    assert!((0.1..0.35).contains(&single), "single next-hop share {single}");
-    assert!((0.4..0.75).contains(&over5), "share with >5 next-hops {over5}");
+    assert!(
+        (0.1..0.35).contains(&single),
+        "single next-hop share {single}"
+    );
+    assert!(
+        (0.4..0.75).contains(&over5),
+        "share with >5 next-hops {over5}"
+    );
 }
 
 #[test]
@@ -52,11 +62,19 @@ fn bgp_mask_distribution_is_24_heavy() {
 fn sampling_and_flow_byte_correlation() {
     // §3.1: flow and byte counts correlate strongly (paper: 0.82).
     let w = world();
-    let mut sim = FlowSim::new(w, SimConfig { flows_per_minute: 5000, ..SimConfig::default() });
+    let mut sim = FlowSim::new(
+        w,
+        SimConfig {
+            flows_per_minute: 5000,
+            ..SimConfig::default()
+        },
+    );
     let mut per_24: std::collections::HashMap<u128, (f64, f64)> = std::collections::HashMap::new();
     for _ in 0..5 {
         for lf in sim.next_minute().flows {
-            let e = per_24.entry(lf.flow.src.masked(24).bits()).or_insert((0.0, 0.0));
+            let e = per_24
+                .entry(lf.flow.src.masked(24).bits())
+                .or_insert((0.0, 0.0));
             e.0 += 1.0;
             e.1 += lf.flow.bytes as f64;
         }
@@ -91,9 +109,21 @@ fn diurnal_shape() {
 #[test]
 fn world_scale_is_isp_shaped() {
     let w = world();
-    assert!(w.topology.routers().len() >= 15, "routers {}", w.topology.routers().len());
-    assert!(w.topology.links().len() >= 100, "links {}", w.topology.links().len());
+    assert!(
+        w.topology.routers().len() >= 15,
+        "routers {}",
+        w.topology.routers().len()
+    );
+    assert!(
+        w.topology.links().len() >= 100,
+        "links {}",
+        w.topology.links().len()
+    );
     assert!(w.topology.countries().len() >= 3);
-    assert!(w.rib.prefix_count() > 500, "prefixes {}", w.rib.prefix_count());
+    assert!(
+        w.rib.prefix_count() > 500,
+        "prefixes {}",
+        w.rib.prefix_count()
+    );
     assert!(w.regions().len() > 1000, "regions {}", w.regions().len());
 }

@@ -55,8 +55,10 @@ fn ipv6_classifies_and_validates() {
 
     // v6 ranges exist, respect cidr_max 48, and validate well once warm.
     let snap = out.engine.snapshot(out.sim.world().now());
-    let v6_ranges: Vec<_> =
-        snap.classified().filter(|r| r.range.af() == Af::V6).collect();
+    let v6_ranges: Vec<_> = snap
+        .classified()
+        .filter(|r| r.range.af() == Af::V6)
+        .collect();
     assert!(!v6_ranges.is_empty(), "no classified IPv6 ranges");
     for r in &v6_ranges {
         assert!(r.range.len() <= 48, "range {} exceeds cidr_max", r.range);
@@ -73,7 +75,11 @@ fn v6_share_zero_produces_pure_v4() {
     let world = World::generate(WorldConfig::default(), 9);
     let mut sim = FlowSim::new(
         world,
-        SimConfig { flows_per_minute: 3000, v6_share: 0.0, ..SimConfig::default() },
+        SimConfig {
+            flows_per_minute: 3000,
+            v6_share: 0.0,
+            ..SimConfig::default()
+        },
     );
     let batch = sim.next_minute();
     assert!(!batch.flows.is_empty());

@@ -70,8 +70,9 @@ fn wire_stattime_engine_validation() {
             let now = flows.first().map(|f| f.ts).unwrap_or(0);
             // NetFlow v5 cannot carry IPv6: v6 always goes via IPFIX, v4
             // uses the router's configured protocol.
-            let (v4_flows, v6_flows): (Vec<FlowRecord>, Vec<FlowRecord>) =
-                flows.into_iter().partition(|f| f.src.af() == ipd_suite::lpm::Af::V4);
+            let (v4_flows, v6_flows): (Vec<FlowRecord>, Vec<FlowRecord>) = flows
+                .into_iter()
+                .partition(|f| f.src.af() == ipd_suite::lpm::Af::V4);
             let mut grams = Vec::new();
             if router % 2 == 0 {
                 grams.extend(
@@ -99,7 +100,9 @@ fn wire_stattime_engine_validation() {
                 );
             }
             for g in grams {
-                collector.feed(&g, router, &mut decoded).expect("well-formed datagrams");
+                collector
+                    .feed(&g, router, &mut decoded)
+                    .expect("well-formed datagrams");
             }
         }
         // 2) Statistical time: bucket, discard out-of-range, re-stamp.
@@ -107,7 +110,11 @@ fn wire_stattime_engine_validation() {
             bucketer.push(f);
         }
         for flush in bucketer.flush_closed() {
-            if let Flush::Emitted { bucket_start, flows } = flush {
+            if let Flush::Emitted {
+                bucket_start,
+                flows,
+            } = flush
+            {
                 emitted_buckets += 1;
                 for f in &flows {
                     engine.ingest(f);
@@ -119,7 +126,11 @@ fn wire_stattime_engine_validation() {
         let _ = minute;
     }
     for flush in bucketer.finish() {
-        if let Flush::Emitted { bucket_start, flows } = flush {
+        if let Flush::Emitted {
+            bucket_start,
+            flows,
+        } = flush
+        {
             emitted_buckets += 1;
             for f in &flows {
                 engine.ingest(f);
@@ -132,7 +143,11 @@ fn wire_stattime_engine_validation() {
     assert!(emitted_buckets >= 20, "buckets emitted: {emitted_buckets}");
     assert_eq!(collector.stats().errors, 0);
     assert!(engine.stats().flows_ingested > FLOWS_PER_MINUTE * 5);
-    assert!(engine.classified_count() > 10, "classified: {}", engine.classified_count());
+    assert!(
+        engine.classified_count() > 10,
+        "classified: {}",
+        engine.classified_count()
+    );
 
     // 3) Validate the final LPM table against ground truth of the last
     // minutes' flows (where the engine has had time to learn).
@@ -166,10 +181,20 @@ fn threaded_pipeline_agrees_with_direct_ingestion() {
     let world = World::generate(WorldConfig::default(), 7);
     let mut sim = FlowSim::new(
         world,
-        SimConfig { flows_per_minute: 4000, ..SimConfig::default() },
+        SimConfig {
+            flows_per_minute: 4000,
+            ..SimConfig::default()
+        },
     );
-    let batches: Vec<Vec<FlowRecord>> =
-        (0..8).map(|_| sim.next_minute().flows.into_iter().map(|lf| lf.flow).collect()).collect();
+    let batches: Vec<Vec<FlowRecord>> = (0..8)
+        .map(|_| {
+            sim.next_minute()
+                .flows
+                .into_iter()
+                .map(|lf| lf.flow)
+                .collect()
+        })
+        .collect();
 
     // Direct.
     let mut direct = IpdEngine::new(scaled_params()).unwrap();
@@ -197,7 +222,10 @@ fn threaded_pipeline_agrees_with_direct_ingestion() {
     let outputs = drain.join().unwrap();
 
     assert!(outputs > 0);
-    assert_eq!(threaded.stats().flows_ingested, direct.stats().flows_ingested);
+    assert_eq!(
+        threaded.stats().flows_ingested,
+        direct.stats().flows_ingested
+    );
     assert_eq!(threaded.stats().ticks, direct.stats().ticks);
     assert_eq!(threaded.classified_count(), direct.classified_count());
     assert_eq!(threaded.range_count(), direct.range_count());

@@ -37,7 +37,11 @@ fn golden_flows() -> Vec<FlowRecord> {
     let world = World::generate(WorldConfig::default(), SEED);
     let mut sim = FlowSim::new(
         world,
-        SimConfig { flows_per_minute: FLOWS_PER_MINUTE, seed: SEED, ..SimConfig::default() },
+        SimConfig {
+            flows_per_minute: FLOWS_PER_MINUTE,
+            seed: SEED,
+            ..SimConfig::default()
+        },
     );
     let mut flows = Vec::new();
     for _ in 0..MINUTES {
@@ -65,7 +69,11 @@ fn golden_run_is_bit_for_bit_stable() {
     run_offline(&mut engine, flows.iter().cloned(), 5, |o| outputs.push(o));
     let snap = last_snapshot(outputs);
 
-    assert_eq!(engine.stats().flows_ingested, GOLDEN_FLOWS, "simulator stream changed");
+    assert_eq!(
+        engine.stats().flows_ingested,
+        GOLDEN_FLOWS,
+        "simulator stream changed"
+    );
     assert_eq!(engine.stats().ticks, GOLDEN_TICKS);
     assert_eq!(
         engine.stats().classifications,
