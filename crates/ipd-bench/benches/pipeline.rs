@@ -38,6 +38,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 channel_capacity: 256,
                 snapshot_every_ticks: 5,
                 shards: 1,
+                ..Default::default()
             })
             .unwrap();
             let tx = pipeline.input();

@@ -25,18 +25,22 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 use ipd::output::default_ingress_format;
-use ipd::pipeline::{run_offline_with, BucketClock, NoopHook, PipelineHook, PipelineOutput};
+use ipd::pipeline::{
+    run_offline_instrumented, run_offline_with, BucketClock, NoopHook, PipelineHook, PipelineOutput,
+};
 use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
 use ipd_bgp::write_dump;
 use ipd_lpm::Addr;
 use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
 use ipd_state::{read_journal, CheckpointStore, Durable, DurableConfig};
+use ipd_telemetry::{MetricsServer, Telemetry};
 use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
 
 const USAGE: &str = "usage: ipd-tool <simulate|run|lookup|info|checkpoint|restore> [--options]
   simulate   --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
   run        --trace FILE [--q Q] [--cidr-max N] [--factor F] [--shards K] [--table3 FILE]
              [--checkpoint-dir DIR] [--checkpoint-every BUCKETS] [--retain N] [--limit N]
+             [--metrics-addr HOST:PORT] [--metrics-dump]
   lookup     --trace FILE --addr A [--addr B ...]   (repeat via comma list)
   info       --trace FILE
   checkpoint --dir DIR                              (inspect a state directory)
@@ -128,6 +132,7 @@ fn load_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>>
 fn make_hook(
     args: &Args,
     engine: &IpdEngine,
+    telemetry: &Telemetry,
 ) -> Result<Box<dyn PipelineHook>, Box<dyn std::error::Error>> {
     let Some(dir) = args.get("checkpoint-dir") else {
         return Ok(Box::new(NoopHook));
@@ -136,7 +141,8 @@ fn make_hook(
         checkpoint_every_buckets: args.get_or("checkpoint-every", 10)?,
         retain: args.get_or("retain", 3)?,
     };
-    let durable = Durable::start(dir, engine, BucketClock::default(), config)?;
+    let durable =
+        Durable::start(dir, engine, BucketClock::default(), config)?.with_telemetry(telemetry);
     eprintln!(
         "durable: checkpointing to {dir} every {} buckets (generation {}, retaining {})",
         config.checkpoint_every_buckets,
@@ -149,6 +155,7 @@ fn make_hook(
 fn engine_over(
     args: &Args,
     flows: &[FlowRecord],
+    telemetry: &Telemetry,
 ) -> Result<(IpdEngine, Option<Snapshot>), Box<dyn std::error::Error>> {
     // Auto-scale the n_cidr factor to the trace's flow rate unless given.
     // Computed over the whole trace, before any --limit cut, so a truncated
@@ -190,25 +197,28 @@ fn engine_over(
     // two, > 256) are rejected by its validation.
     let engine = if shards != 1 {
         let mut sharded = ShardedEngine::new(params, shards)?;
-        let mut hook = make_hook(args, sharded.engine())?;
-        run_offline_with(
+        sharded.attach_telemetry(telemetry);
+        let mut hook = make_hook(args, sharded.engine(), telemetry)?;
+        run_offline_instrumented(
             &mut sharded,
             flows.iter().cloned(),
             SNAPSHOT_EVERY_TICKS,
             None,
             hook.as_mut(),
+            telemetry,
             &mut capture,
         );
         sharded.into_engine()
     } else {
         let mut engine = IpdEngine::new(params)?;
-        let mut hook = make_hook(args, &engine)?;
-        run_offline_with(
+        let mut hook = make_hook(args, &engine, telemetry)?;
+        run_offline_instrumented(
             &mut engine,
             flows.iter().cloned(),
             SNAPSHOT_EVERY_TICKS,
             None,
             hook.as_mut(),
+            telemetry,
             &mut capture,
         );
         engine
@@ -251,11 +261,42 @@ fn report(
     Ok(())
 }
 
+/// Telemetry setup for `run`: a live registry when either metrics option is
+/// present (`--metrics-addr` additionally serves it over HTTP), a disabled
+/// one otherwise — so runs without the flags pay nothing.
+fn metrics_setup(
+    args: &Args,
+) -> Result<(Telemetry, Option<MetricsServer>), Box<dyn std::error::Error>> {
+    let telemetry = if args.get("metrics-addr").is_some() || args.flag("metrics-dump") {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let server = match args.get("metrics-addr") {
+        Some(addr) => {
+            let server = MetricsServer::serve(addr, telemetry.clone())?;
+            eprintln!(
+                "metrics: serving Prometheus text on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    Ok((telemetry, server))
+}
+
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let flows = load_trace(args.require("trace")?)?;
-    let (engine, snapshot) = engine_over(args, &flows)?;
+    let (telemetry, _server) = metrics_setup(args)?;
+    let (engine, snapshot) = engine_over(args, &flows, &telemetry)?;
     let snapshot = snapshot.ok_or("trace produced no snapshots (empty?)")?;
-    report(args, &engine, snapshot)
+    report(args, &engine, snapshot)?;
+    if args.flag("metrics-dump") {
+        println!("\nend-of-run metrics:");
+        print!("{}", telemetry.snapshot().render_table());
+    }
+    Ok(())
 }
 
 /// Inspect a durable state directory: one line per generation.
@@ -375,7 +416,7 @@ fn lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .split(',')
         .map(|s| s.trim().parse::<std::net::IpAddr>().map(Addr::from))
         .collect::<Result<_, _>>()?;
-    let (_, snapshot) = engine_over(args, &flows)?;
+    let (_, snapshot) = engine_over(args, &flows, &Telemetry::disabled())?;
     let table = snapshot
         .ok_or("trace produced no snapshots (empty?)")?
         .lpm_table();
@@ -593,6 +634,78 @@ mod tests {
         let empty = tmp("ckpt-empty");
         std::fs::create_dir_all(&empty).unwrap();
         assert!(run_cli(argv(&["restore", "--dir", &empty])).is_err());
+    }
+
+    #[test]
+    fn run_with_metrics_flags_serves_and_dumps() {
+        let trace = tmp("metrics.ipdt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "4",
+            "--flows-per-minute",
+            "2000",
+            "--seed",
+            "21",
+            "--out",
+            &trace,
+        ]))
+        .expect("simulate");
+
+        // The real flag path end to end: a run with both metrics options
+        // must succeed (server binds an ephemeral port, dump prints).
+        run_cli(argv(&[
+            "run",
+            "--trace",
+            &trace,
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-dump",
+        ]))
+        .expect("run with metrics");
+
+        // Component-level snapshot test of what --metrics-addr serves: run
+        // the same engine path against a live registry, then GET /metrics
+        // and hold the response to the exposition-format contract.
+        let flows = load_trace(&trace).expect("trace");
+        let args = Args::parse(argv(&["run", "--trace", &trace])).unwrap();
+        let telemetry = Telemetry::new();
+        let (engine, _) = engine_over(&args, &flows, &telemetry).expect("engine");
+
+        let server = MetricsServer::serve("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let response = {
+            use std::io::{Read, Write};
+            let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+            let request = format!(
+                "GET /metrics HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+                server.local_addr()
+            );
+            stream.write_all(request.as_bytes()).expect("request");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("response");
+            response
+        };
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        ipd_telemetry::validate_prometheus_text(body).expect("valid exposition format");
+        assert!(
+            body.contains(&format!(
+                "ipd_pipeline_flows_total {}",
+                engine.stats().flows_ingested
+            )),
+            "flow counter must match the engine:\n{body}"
+        );
+        for metric in [
+            "ipd_engine_ticks_total",
+            "ipd_engine_classified_ranges",
+            "ipd_engine_tick_nanoseconds_count",
+        ] {
+            assert!(body.contains(metric), "{metric} missing from:\n{body}");
+        }
+
+        // The dump table mentions the same metrics.
+        let table = telemetry.snapshot().render_table();
+        assert!(table.contains("ipd_pipeline_flows_total"), "{table}");
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod persist;
 pub mod pipeline;
 mod range;
 mod shard;
+pub mod telemetry;
 mod trie;
 
 pub use engine::{EngineStats, IpdEngine, TickReport};
@@ -80,3 +81,4 @@ pub use ingress::{IngressId, IngressRegistry, LogicalIngress};
 pub use output::{IpdRangeRecord, Snapshot, SnapshotDiff};
 pub use params::{CountMode, IpdParams, ParamError};
 pub use shard::{ShardedEngine, MAX_SHARDS};
+pub use telemetry::CoreTelemetry;

@@ -13,11 +13,13 @@
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ipd_netflow::{Collector, CollectorStats, FlowRecord, RouterId};
+use ipd_telemetry::Telemetry;
 
 use crate::engine::{IpdEngine, TickReport};
 use crate::output::Snapshot;
 use crate::params::IpdParams;
 use crate::shard::ShardedEngine;
+use crate::telemetry::CoreTelemetry;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +34,12 @@ pub struct PipelineConfig {
     /// Shard count K for [`ShardedPipeline`] (power of two, 1..=256).
     /// [`IpdPipeline`] ignores this and always runs single-threaded.
     pub shards: usize,
+    /// Metric registry the run reports into. The default is
+    /// [`Telemetry::disabled`], whose handles are no-ops — telemetry is
+    /// observational only and never changes engine output either way (the
+    /// differential suite proves digests are bit-for-bit equal with it on
+    /// or off).
+    pub telemetry: Telemetry,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +49,7 @@ impl Default for PipelineConfig {
             channel_capacity: 1024,
             snapshot_every_ticks: 5,
             shards: 1,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -173,6 +182,7 @@ pub struct BucketDriver {
     snapshot_every: u32,
     current_bucket: Option<u64>,
     ticks_since_snapshot: u32,
+    metrics: CoreTelemetry,
 }
 
 impl BucketDriver {
@@ -189,7 +199,15 @@ impl BucketDriver {
             snapshot_every: snapshot_every_ticks.max(1),
             current_bucket: clock.current_bucket,
             ticks_since_snapshot: clock.ticks_since_snapshot,
+            metrics: CoreTelemetry::default(),
         }
+    }
+
+    /// Attach metric handles: tick counters, stage-2 timing, and post-tick
+    /// state gauges are recorded by this driver. Purely observational.
+    pub fn with_metrics(mut self, metrics: CoreTelemetry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// The current data-time position.
@@ -276,13 +294,15 @@ impl BucketDriver {
         }
         hook.flows(&batch[start..]);
         engine.ingest_batch(&batch[start..]);
+        self.metrics.flows.add(batch.len() as u64);
     }
 
     /// Fire the final tick and snapshot at end of stream.
     pub fn finish<E: TickEngine, F: FnMut(PipelineOutput)>(&mut self, engine: &mut E, out: &mut F) {
         if let Some(current) = self.current_bucket {
             let now = (current + 1) * self.t;
-            let report = engine.tick(now);
+            let report = self.timed_tick(engine, now);
+            self.metrics.record_tick(&report, engine.engine());
             out(PipelineOutput::Tick(report));
             out(PipelineOutput::Snapshot(engine.snapshot(now)));
         }
@@ -294,13 +314,22 @@ impl BucketDriver {
         now: u64,
         out: &mut F,
     ) {
-        let report = engine.tick(now);
+        let report = self.timed_tick(engine, now);
+        self.metrics.record_tick(&report, engine.engine());
         out(PipelineOutput::Tick(report));
         self.ticks_since_snapshot += 1;
         if self.ticks_since_snapshot >= self.snapshot_every {
             self.ticks_since_snapshot = 0;
             out(PipelineOutput::Snapshot(engine.snapshot(now)));
         }
+    }
+
+    /// Run stage 2 under the tick-duration timer. A disabled histogram's
+    /// timer never reads the clock, so the untelemetered path stays free of
+    /// `Instant::now` calls.
+    fn timed_tick<E: TickEngine>(&self, engine: &mut E, now: u64) -> TickReport {
+        let _timer = self.metrics.tick_duration.start_timer();
+        engine.tick(now)
     }
 }
 
@@ -353,6 +382,71 @@ pub fn run_offline_with<E, I, F>(
     driver.finish(engine, &mut on_output);
 }
 
+/// [`run_offline_with`] reporting into a [`Telemetry`] registry: flow and
+/// tick counters, stage-2 timing, and post-tick state gauges. With a
+/// disabled registry this is exactly [`run_offline_with`] (the handles are
+/// no-ops), and even with a live one the engine output is bit-for-bit
+/// unchanged — telemetry never feeds back.
+pub fn run_offline_instrumented<E, I, F>(
+    engine: &mut E,
+    flows: I,
+    snapshot_every_ticks: u32,
+    clock: Option<BucketClock>,
+    hook: &mut dyn PipelineHook,
+    telemetry: &Telemetry,
+    mut on_output: F,
+) where
+    E: TickEngine,
+    I: IntoIterator<Item = FlowRecord>,
+    F: FnMut(PipelineOutput),
+{
+    let metrics = CoreTelemetry::register(telemetry);
+    let mut driver = BucketDriver::with_clock(
+        engine.t_secs(),
+        snapshot_every_ticks,
+        clock.unwrap_or_default(),
+    )
+    .with_metrics(metrics.clone());
+    for flow in flows {
+        driver.observe_with(engine, flow.ts, &mut on_output, hook);
+        hook.flows(std::slice::from_ref(&flow));
+        engine.ingest(&flow);
+        metrics.flows.inc();
+    }
+    hook.finished(engine.engine(), driver.clock());
+    driver.finish(engine, &mut on_output);
+}
+
+/// Wind-down drain shared by both pipelines' `finish`.
+///
+/// The output channel is bounded, so an engine thread flushing its final
+/// ticks can be parked mid-`send`; *someone* must keep consuming or the
+/// join deadlocks. Who that someone is depends on whether the caller ever
+/// took the output receiver:
+///
+/// * `output_taken` — the caller owns consumption (every such caller must
+///   drain until the channel disconnects, which is also what unparks the
+///   engine). `finish` only joins and sweeps up post-disconnect dregs, so
+///   the caller's consumer sees the whole stream in order.
+/// * not taken — `finish` is the sole consumer: it blocking-drains until
+///   the engine thread hangs up, and `leftover` is the complete output
+///   stream in order. This is what makes a fire-and-finish caller (no
+///   drainer anywhere) deadlock-free.
+fn drain_while_finishing<T, O>(
+    output: &Receiver<O>,
+    handle: std::thread::JoinHandle<T>,
+    output_taken: bool,
+) -> (T, Vec<O>) {
+    let mut leftover = Vec::new();
+    if !output_taken {
+        // Sole consumer: ends when the engine thread drops its sender.
+        leftover.extend(output.iter());
+    }
+    let result = handle.join().expect("engine thread never panics");
+    leftover.extend(output.try_iter());
+    (result, leftover)
+}
+
 /// Handle to a running threaded pipeline.
 ///
 /// Feed batches of flows through [`IpdPipeline::input`]; consume
@@ -362,6 +456,7 @@ pub fn run_offline_with<E, I, F>(
 pub struct IpdPipeline {
     input: Sender<Vec<FlowRecord>>,
     output: Receiver<PipelineOutput>,
+    output_taken: std::sync::atomic::AtomicBool,
     handle: std::thread::JoinHandle<(IpdEngine, Box<dyn PipelineHook>)>,
 }
 
@@ -382,22 +477,28 @@ impl IpdPipeline {
         let (in_tx, in_rx) = bounded::<Vec<FlowRecord>>(config.channel_capacity);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(config.channel_capacity);
         let snapshot_every = config.snapshot_every_ticks;
+        let metrics = CoreTelemetry::register(&config.telemetry);
         let handle = std::thread::Builder::new()
             .name("ipd-engine".into())
             .spawn(move || {
                 let mut engine = engine;
                 let mut hook = hook;
-                let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every);
+                let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every)
+                    .with_metrics(metrics.clone());
                 // If the consumer goes away we keep processing; IPD state is
                 // still useful when handed back by finish().
                 let mut emit = |o: PipelineOutput| {
                     let _ = out_tx.send(o);
                 };
                 for batch in in_rx.iter() {
+                    metrics.batches.inc();
+                    metrics.batch_size.observe(batch.len() as u64);
+                    metrics.channel_depth.set(in_rx.len() as i64);
                     for flow in batch {
                         driver.observe_with(&mut engine, flow.ts, &mut emit, hook.as_mut());
                         hook.flows(std::slice::from_ref(&flow));
                         engine.ingest(&flow);
+                        metrics.flows.inc();
                     }
                 }
                 hook.finished(&engine, driver.clock());
@@ -408,6 +509,7 @@ impl IpdPipeline {
         Ok(IpdPipeline {
             input: in_tx,
             output: out_rx,
+            output_taken: std::sync::atomic::AtomicBool::new(false),
             handle,
         })
     }
@@ -418,12 +520,22 @@ impl IpdPipeline {
     }
 
     /// The output stream of tick reports and snapshots.
+    ///
+    /// Taking this receiver makes the caller the output consumer: drain it
+    /// until it disconnects (the output channel is bounded, and the engine
+    /// thread blocks on it for backpressure). If it is never taken,
+    /// [`IpdPipeline::finish`] consumes the stream itself and returns it
+    /// whole.
     pub fn output(&self) -> &Receiver<PipelineOutput> {
+        self.output_taken
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         &self.output
     }
 
     /// Close the input, wait for the engine thread, and return the engine
-    /// plus any outputs still queued.
+    /// plus the queued outputs: the complete run's outputs if
+    /// [`IpdPipeline::output`] was never taken, otherwise whatever a
+    /// concurrent consumer left behind.
     pub fn finish(self) -> (IpdEngine, Vec<PipelineOutput>) {
         let (engine, _, leftover) = self.finish_hooked();
         (engine, leftover)
@@ -434,8 +546,8 @@ impl IpdPipeline {
     /// [`finished`](PipelineHook::finished) callback ran).
     pub fn finish_hooked(self) -> (IpdEngine, Box<dyn PipelineHook>, Vec<PipelineOutput>) {
         drop(self.input);
-        let (engine, hook) = self.handle.join().expect("engine thread never panics");
-        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        let taken = self.output_taken.load(std::sync::atomic::Ordering::Relaxed);
+        let ((engine, hook), leftover) = drain_while_finishing(&self.output, self.handle, taken);
         (engine, hook, leftover)
     }
 }
@@ -454,6 +566,7 @@ impl IpdPipeline {
 pub struct ShardedPipeline {
     input: Sender<Vec<FlowRecord>>,
     output: Receiver<PipelineOutput>,
+    output_taken: std::sync::atomic::AtomicBool,
     handle: std::thread::JoinHandle<(ShardedEngine, Box<dyn PipelineHook>)>,
 }
 
@@ -469,20 +582,26 @@ impl ShardedPipeline {
         config: PipelineConfig,
         hook: Box<dyn PipelineHook>,
     ) -> Result<Self, crate::params::ParamError> {
-        let engine = ShardedEngine::new(config.params.clone(), config.shards)?;
+        let mut engine = ShardedEngine::new(config.params.clone(), config.shards)?;
+        engine.attach_telemetry(&config.telemetry);
         let (in_tx, in_rx) = bounded::<Vec<FlowRecord>>(config.channel_capacity);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(config.channel_capacity);
         let snapshot_every = config.snapshot_every_ticks;
+        let metrics = CoreTelemetry::register(&config.telemetry);
         let handle = std::thread::Builder::new()
             .name("ipd-sharded-engine".into())
             .spawn(move || {
                 let mut engine = engine;
                 let mut hook = hook;
-                let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every);
+                let mut driver = BucketDriver::new(engine.params().t_secs, snapshot_every)
+                    .with_metrics(metrics.clone());
                 let mut emit = |o: PipelineOutput| {
                     let _ = out_tx.send(o);
                 };
                 for batch in in_rx.iter() {
+                    metrics.batches.inc();
+                    metrics.batch_size.observe(batch.len() as u64);
+                    metrics.channel_depth.set(in_rx.len() as i64);
                     driver.ingest_batch_with(&mut engine, &batch, &mut emit, hook.as_mut());
                 }
                 hook.finished(ShardedEngine::engine(&engine), driver.clock());
@@ -493,6 +612,7 @@ impl ShardedPipeline {
         Ok(ShardedPipeline {
             input: in_tx,
             output: out_rx,
+            output_taken: std::sync::atomic::AtomicBool::new(false),
             handle,
         })
     }
@@ -502,13 +622,19 @@ impl ShardedPipeline {
         self.input.clone()
     }
 
-    /// The output stream of tick reports and snapshots.
+    /// The output stream of tick reports and snapshots. Consumption
+    /// contract as in [`IpdPipeline::output`]: taking it obliges draining
+    /// to disconnect; never taking it means
+    /// [`ShardedPipeline::finish`] returns the whole stream.
     pub fn output(&self) -> &Receiver<PipelineOutput> {
+        self.output_taken
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         &self.output
     }
 
     /// Close the input, wait for the engine thread, and return the sharded
-    /// engine plus any outputs still queued.
+    /// engine plus the queued outputs — the complete run's outputs if
+    /// [`ShardedPipeline::output`] was never taken.
     pub fn finish(self) -> (ShardedEngine, Vec<PipelineOutput>) {
         let (engine, _, leftover) = self.finish_hooked();
         (engine, leftover)
@@ -517,11 +643,8 @@ impl ShardedPipeline {
     /// [`ShardedPipeline::finish`], also handing back the hook.
     pub fn finish_hooked(self) -> (ShardedEngine, Box<dyn PipelineHook>, Vec<PipelineOutput>) {
         drop(self.input);
-        let (engine, hook) = self
-            .handle
-            .join()
-            .expect("sharded engine thread never panics");
-        let leftover: Vec<PipelineOutput> = self.output.try_iter().collect();
+        let taken = self.output_taken.load(std::sync::atomic::Ordering::Relaxed);
+        let ((engine, hook), leftover) = drain_while_finishing(&self.output, self.handle, taken);
         (engine, hook, leftover)
     }
 }
@@ -625,6 +748,7 @@ mod tests {
             channel_capacity: 16,
             snapshot_every_ticks: 2,
             shards: 1,
+            ..Default::default()
         })
         .unwrap();
         let tx = pipeline.input();

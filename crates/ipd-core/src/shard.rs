@@ -48,6 +48,7 @@ use crate::engine::{EngineStats, IpdEngine, TickReport};
 use crate::ingress::{IngressId, IngressRegistry};
 use crate::output::Snapshot;
 use crate::params::{CountMode, IpdParams, ParamError};
+use crate::telemetry::ShardCounters;
 use crate::trie::{Node, TickCtx};
 
 /// Hard ceiling on the shard count: 256 shards (depth 8) is already far
@@ -62,6 +63,10 @@ pub struct ShardedEngine {
     inner: IpdEngine,
     shards: usize,
     depth: u8,
+    /// Per-slot ingest counters; disabled (empty) unless
+    /// [`ShardedEngine::attach_telemetry`] was called. Observational only —
+    /// never read back into routing or trie state.
+    shard_counters: ShardCounters,
 }
 
 /// One flow, pre-interned and pre-masked, ready for the trie walk.
@@ -92,7 +97,16 @@ impl ShardedEngine {
             inner: engine,
             shards,
             depth,
+            shard_counters: ShardCounters::default(),
         })
+    }
+
+    /// Register per-shard flow counters (`ipd_shard_flows_total{shard=..}`)
+    /// in `telemetry`. A disabled registry leaves counting off entirely.
+    pub fn attach_telemetry(&mut self, telemetry: &ipd_telemetry::Telemetry) {
+        if telemetry.is_enabled() {
+            self.shard_counters = ShardCounters::register(telemetry, self.shards);
+        }
     }
 
     /// The configured shard count K.
@@ -160,7 +174,21 @@ impl ShardedEngine {
     /// Stage 1 for a single flow — sequential passthrough; use
     /// [`ShardedEngine::ingest_batch`] for the parallel path.
     pub fn ingest(&mut self, flow: &FlowRecord) {
+        if !self.shard_counters.is_empty() {
+            let af = flow.af();
+            let bits = flow.src.masked(self.inner.params().cidr_max(af)).bits();
+            self.shard_counters.add(self.slot_of(bits, af.width()), 1);
+        }
         self.inner.ingest(flow);
+    }
+
+    /// Shard slot for a masked address: the top `depth` bits.
+    fn slot_of(&self, bits: u128, width: u8) -> usize {
+        if self.depth == 0 {
+            0
+        } else {
+            (bits >> (width - self.depth)) as usize
+        }
     }
 
     /// Stage 1 with explicit parts — sequential passthrough.
@@ -221,6 +249,7 @@ impl ShardedEngine {
         let v4_slots = slot_table(&entries[..v4_units], depth);
         let v6_slots = slot_table(&entries[v4_units..], depth);
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
+        let mut slot_flows = vec![0u64; self.shard_counters.len()];
         for (i, p) in prepared.iter().enumerate() {
             let width = p.af.width();
             let slot = if depth == 0 {
@@ -228,11 +257,19 @@ impl ShardedEngine {
             } else {
                 (p.bits >> (width - depth)) as usize
             };
+            if let Some(n) = slot_flows.get_mut(slot) {
+                *n += 1;
+            }
             let unit = match p.af {
                 Af::V4 => v4_slots[slot],
                 Af::V6 => v4_units + v6_slots[slot],
             };
             groups[unit].push(i);
+        }
+        for (slot, n) in slot_flows.into_iter().enumerate() {
+            if n > 0 {
+                self.shard_counters.add(slot, n);
+            }
         }
 
         let busy = groups.iter().filter(|g| !g.is_empty()).count();

@@ -1,0 +1,249 @@
+//! Metric handles for the pipeline and engine, registered once per run and
+//! shared by the drivers in [`crate::pipeline`].
+//!
+//! Telemetry is strictly observational: every handle here writes atomics on
+//! the side and nothing reads them back into the engine, so a run with a
+//! live registry produces bit-for-bit the same snapshots as a run with a
+//! disabled one (the differential suite proves this). Metrics marked
+//! deterministic below are pure functions of the input flow stream; timing
+//! metrics (wall-clock durations, channel depth) vary run to run and are
+//! excluded from `MetricsSnapshot::deterministic()`.
+
+use ipd_telemetry::{Class, Counter, Gauge, Histogram, Telemetry, SIZE_BUCKETS};
+
+use crate::engine::TickReport;
+
+/// All pipeline/engine metric handles. `Default` yields all-disabled
+/// handles (the no-telemetry configuration); [`CoreTelemetry::register`]
+/// binds them to a live registry. Cloning shares the underlying cells.
+#[derive(Debug, Clone, Default)]
+pub struct CoreTelemetry {
+    /// `ipd_pipeline_flows_total` — flows ingested (stage 1).
+    pub flows: Counter,
+    /// `ipd_pipeline_batches_total` — flow batches received by the engine
+    /// thread.
+    pub batches: Counter,
+    /// `ipd_pipeline_batch_size` — flows per received batch.
+    pub batch_size: Histogram,
+    /// `ipd_pipeline_channel_depth` — batches queued toward the engine
+    /// thread, sampled per batch (timing class: scheduling-dependent).
+    pub channel_depth: Gauge,
+    /// `ipd_engine_ticks_total` — stage-2 cycles run.
+    pub ticks: Counter,
+    /// `ipd_engine_tick_nanoseconds` — stage-2 sweep wall time.
+    pub tick_duration: Histogram,
+    /// `ipd_engine_splits_total` — range splits.
+    pub splits: Counter,
+    /// `ipd_engine_joins_total` — sibling joins.
+    pub joins: Counter,
+    /// `ipd_engine_classifications_total` — ranges (newly) classified.
+    pub classifications: Counter,
+    /// `ipd_engine_drops_total` — classified ranges dropped (decay +
+    /// invalidation).
+    pub drops: Counter,
+    /// `ipd_engine_classifications_per_tick` — classifications per stage-2
+    /// cycle.
+    pub classifications_per_tick: Histogram,
+    /// `ipd_engine_ranges` — live leaf ranges, set after each tick.
+    pub ranges: Gauge,
+    /// `ipd_engine_classified_ranges` — classified ranges, set after each
+    /// tick.
+    pub classified_ranges: Gauge,
+    /// `ipd_engine_monitored_ips` — per-IP state entries held for
+    /// unclassified ranges, set after each tick.
+    pub monitored_ips: Gauge,
+    /// `ipd_engine_state_bytes` — estimated engine heap footprint, set
+    /// after each tick.
+    pub state_bytes: Gauge,
+}
+
+impl CoreTelemetry {
+    /// Register every pipeline/engine metric in `telemetry`. Idempotent:
+    /// registering twice (e.g. driver plus engine-thread loop) shares the
+    /// same cells.
+    pub fn register(telemetry: &Telemetry) -> Self {
+        CoreTelemetry {
+            flows: telemetry.counter(
+                "ipd_pipeline_flows_total",
+                "Flow records ingested by stage 1",
+            ),
+            batches: telemetry.counter(
+                "ipd_pipeline_batches_total",
+                "Flow batches received by the engine thread",
+            ),
+            batch_size: telemetry.histogram(
+                "ipd_pipeline_batch_size",
+                "Flows per received batch",
+                SIZE_BUCKETS,
+                Class::Deterministic,
+            ),
+            channel_depth: telemetry.gauge(
+                "ipd_pipeline_channel_depth",
+                "Batches queued toward the engine thread, sampled per batch",
+                Class::Timing,
+            ),
+            ticks: telemetry.counter("ipd_engine_ticks_total", "Stage-2 cycles run"),
+            tick_duration: telemetry.timing(
+                "ipd_engine_tick_nanoseconds",
+                "Stage-2 sweep wall time in nanoseconds",
+            ),
+            splits: telemetry.counter("ipd_engine_splits_total", "Range splits"),
+            joins: telemetry.counter(
+                "ipd_engine_joins_total",
+                "Joins of equally-classified sibling ranges",
+            ),
+            classifications: telemetry.counter(
+                "ipd_engine_classifications_total",
+                "Ranges that received a (new) classification",
+            ),
+            drops: telemetry.counter(
+                "ipd_engine_drops_total",
+                "Classified ranges dropped by decay or invalidation",
+            ),
+            classifications_per_tick: telemetry.histogram(
+                "ipd_engine_classifications_per_tick",
+                "Classifications per stage-2 cycle",
+                SIZE_BUCKETS,
+                Class::Deterministic,
+            ),
+            ranges: telemetry.gauge(
+                "ipd_engine_ranges",
+                "Live leaf ranges across both families, set after each tick",
+                Class::Deterministic,
+            ),
+            classified_ranges: telemetry.gauge(
+                "ipd_engine_classified_ranges",
+                "Classified ranges, set after each tick",
+                Class::Deterministic,
+            ),
+            monitored_ips: telemetry.gauge(
+                "ipd_engine_monitored_ips",
+                "Per-IP state entries held for unclassified ranges, set after each tick",
+                Class::Deterministic,
+            ),
+            state_bytes: telemetry.gauge(
+                "ipd_engine_state_bytes",
+                "Estimated engine heap footprint in bytes, set after each tick",
+                Class::Deterministic,
+            ),
+        }
+    }
+
+    /// Record one completed stage-2 cycle: counters from the report, then
+    /// the post-tick state gauges.
+    pub(crate) fn record_tick(&self, report: &TickReport, engine: &crate::engine::IpdEngine) {
+        self.ticks.inc();
+        self.splits.add(report.splits as u64);
+        self.joins.add(report.joins as u64);
+        self.classifications
+            .add(report.newly_classified.len() as u64);
+        self.drops
+            .add((report.dropped.len() + report.invalidated.len()) as u64);
+        self.classifications_per_tick
+            .observe(report.newly_classified.len() as u64);
+        self.ranges.set(engine.range_count() as i64);
+        self.classified_ranges.set(engine.classified_count() as i64);
+        self.monitored_ips.set(engine.monitored_ip_count() as i64);
+        self.state_bytes.set(engine.state_bytes_estimate() as i64);
+    }
+}
+
+/// Per-shard ingest counters: `ipd_shard_flows_total{shard="k"}`, one
+/// cache-line-padded cell per shard so concurrent shard threads never
+/// contend. Registered by [`crate::ShardedEngine::attach_telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardCounters {
+    counters: Vec<Counter>,
+}
+
+impl ShardCounters {
+    /// Register counters for `shards` shards.
+    pub fn register(telemetry: &Telemetry, shards: usize) -> Self {
+        ShardCounters {
+            counters: (0..shards)
+                .map(|k| {
+                    telemetry.counter_labeled(
+                        "ipd_shard_flows_total",
+                        "Flows routed to each shard slot (top shard-key address bits)",
+                        &[("shard", &k.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Add `n` flows to shard `slot` (out-of-range slots are ignored; the
+    /// slot space is fixed at registration).
+    pub fn add(&self, slot: usize, n: u64) {
+        if let Some(c) = self.counters.get(slot) {
+            c.add(n);
+        }
+    }
+
+    /// Number of registered slots (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no slots are registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::IpdEngine;
+    use crate::params::IpdParams;
+    use ipd_lpm::Addr;
+    use ipd_topology::IngressPoint;
+
+    #[test]
+    fn record_tick_fills_counters_and_gauges() {
+        let telemetry = Telemetry::new();
+        let m = CoreTelemetry::register(&telemetry);
+        let params = IpdParams {
+            ncidr_factor_v4: 0.01,
+            ..IpdParams::default()
+        };
+        let mut engine = IpdEngine::new(params).unwrap();
+        for i in 0..2000u32 {
+            engine.ingest_parts(30, Addr::v4(i * 4096), IngressPoint::new(1, 1), 1.0);
+        }
+        let report = engine.tick(60);
+        m.record_tick(&report, &engine);
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("ipd_engine_ticks_total"), Some(1));
+        assert_eq!(
+            snap.counter("ipd_engine_classifications_total"),
+            Some(report.newly_classified.len() as u64)
+        );
+        assert_eq!(
+            snap.gauge("ipd_engine_ranges"),
+            Some(engine.range_count() as i64)
+        );
+        assert!(snap.gauge("ipd_engine_state_bytes").unwrap() > 0);
+    }
+
+    #[test]
+    fn disabled_core_telemetry_is_default() {
+        let m = CoreTelemetry::default();
+        m.flows.add(5);
+        assert_eq!(m.flows.get(), 0);
+        let s = ShardCounters::default();
+        s.add(0, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn registration_is_shared_between_instances() {
+        let telemetry = Telemetry::new();
+        let a = CoreTelemetry::register(&telemetry);
+        let b = CoreTelemetry::register(&telemetry);
+        a.flows.add(2);
+        b.flows.add(3);
+        assert_eq!(a.flows.get(), 5);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fuzz targets for every parser in the workspace that eats raw bytes off
+//! the wire or off disk: NetFlow v5 datagrams, IPFIX messages (stateful —
+//! template caches carry across messages), and the write-ahead journal.
+//!
+//! The target functions are plain `fn(&[u8])` so they can be driven two
+//! ways:
+//!
+//! * **cargo-fuzz** (`fuzz/` at the repository root, excluded from the
+//!   workspace): coverage-guided libFuzzer harnesses, one per target, for
+//!   hosts with the nightly toolchain and `cargo-fuzz` installed.
+//! * **the in-tree deterministic fuzzer** (`src/main.rs` here): a seeded
+//!   mutation loop over the [`seed_corpus`] with no external dependencies,
+//!   runnable in CI on any stable toolchain.
+//!
+//! The contract under test is *no panic, ever*: decoders must return
+//! `Err`/torn-tail for damaged input, never abort. Cheap structural
+//! invariants are asserted on the `Ok` paths so the fuzzer also catches
+//! "successfully decoded garbage into impossible shapes".
+
+use std::time::Instant;
+
+use ipd_netflow::ipfix::{IpfixDecoder, IpfixExporter};
+use ipd_netflow::v5::{decode as v5_decode, V5Exporter};
+use ipd_netflow::FlowRecord;
+use ipd_state::{parse_journal, JournalWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NetFlow v5 target: a single datagram through the stateless decoder.
+pub fn fuzz_v5(data: &[u8]) {
+    if let Ok(packet) = v5_decode(data, 1) {
+        // v5 caps a datagram at 30 records; the header count must match
+        // what was decoded, and every record must carry the router we gave.
+        assert!(packet.records.len() <= 30, "v5 overlong packet");
+        assert!(
+            packet.records.iter().all(|r| r.router == 1),
+            "v5 router id not applied"
+        );
+    }
+}
+
+/// IPFIX target: the input is split in two and fed as consecutive messages
+/// to one decoder, so template registrations from the first message feed
+/// data decoding in the second — the stateful path real collectors run.
+pub fn fuzz_ipfix(data: &[u8]) {
+    let mut decoder = IpfixDecoder::new();
+    let cut = data.len() / 2;
+    let _ = decoder.decode(&data[..cut], 1);
+    if let Ok(msg) = decoder.decode(&data[cut..], 1) {
+        assert!(
+            msg.records.iter().all(|r| r.router == 1),
+            "ipfix router id not applied"
+        );
+    }
+    // Template accounting never goes backwards and never double-counts.
+    assert!(
+        decoder.templates_registered() >= decoder.template_count() as u64,
+        "more live templates than registrations"
+    );
+}
+
+/// Journal target: the byte image through the torn-tail-tolerant parser.
+pub fn fuzz_journal(data: &[u8]) {
+    if let Ok(contents) = parse_journal(data) {
+        // Whole frames are 74 bytes after the 8-byte magic; the parser can
+        // never produce more records than the image has room for.
+        let max = (data.len().saturating_sub(8)) / ipd_state::journal::FRAME_LEN;
+        assert!(
+            contents.records.len() <= max,
+            "journal decoded {} records from room for {max}",
+            contents.records.len()
+        );
+    }
+}
+
+/// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
+pub type FuzzTarget = fn(&[u8]);
+
+/// The targets by name, in the order `--target all` runs them.
+pub const TARGETS: &[(&str, FuzzTarget)] = &[
+    ("v5", fuzz_v5),
+    ("ipfix", fuzz_ipfix),
+    ("journal", fuzz_journal),
+];
+
+/// Well-formed seed inputs for `target`, produced by the matching encoders
+/// (the same test vectors the unit suites use). Mutations start from these
+/// so the fuzzer reaches deep decode paths immediately instead of bouncing
+/// off the magic/version checks.
+pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
+    let flows: Vec<FlowRecord> = (0..40u32)
+        .map(|i| {
+            let src = if i % 5 == 4 {
+                ipd_lpm::Addr::v6((0x2001_0db8u128 << 96) | (u128::from(i) << 40))
+            } else {
+                ipd_lpm::Addr::v4(0x0A00_0000 + i * 8191)
+            };
+            FlowRecord::synthetic(1_000 + u64::from(i), src, 1, (i % 3) as u16 + 1)
+        })
+        .collect();
+    let v4_flows: Vec<FlowRecord> = flows
+        .iter()
+        .filter(|f| f.src.af() == ipd_lpm::Af::V4)
+        .cloned()
+        .collect();
+    match target {
+        "v5" => {
+            // v5 is IPv4-only; three packets with different record counts.
+            let mut exporter = V5Exporter::new(1, 7, 64, 900);
+            let mut seeds = Vec::new();
+            for chunk in v4_flows.chunks(13) {
+                for gram in exporter.encode(2_000, chunk).expect("v4-only input") {
+                    seeds.push(gram.to_vec());
+                }
+            }
+            seeds
+        }
+        "ipfix" => {
+            let mut exporter = IpfixExporter::new(0x99, 2);
+            let mut seeds = Vec::new();
+            // Several rounds so some seeds carry templates and some rely on
+            // earlier ones — plus a template-refresh message.
+            for chunk in flows.chunks(12) {
+                for gram in exporter.encode(2_000, chunk) {
+                    seeds.push(gram.to_vec());
+                }
+            }
+            seeds
+        }
+        "journal" => {
+            let dir = std::env::temp_dir().join("ipd-fuzz-seeds");
+            std::fs::create_dir_all(&dir).expect("seed dir");
+            let path = dir.join(format!("journal-seed-{}.ipdj", std::process::id()));
+            let mut writer = JournalWriter::create(&path).expect("seed journal");
+            writer.append_all(&flows).expect("append");
+            writer.sync().expect("sync");
+            let bytes = std::fs::read(&path).expect("read back");
+            let _ = std::fs::remove_file(&path);
+            // The full journal, a truncated (torn) one, and just the header.
+            vec![
+                bytes.clone(),
+                bytes[..bytes.len() * 2 / 3].to_vec(),
+                bytes[..8].to_vec(),
+            ]
+        }
+        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal)"),
+    }
+}
+
+/// Corpus size cap for the deterministic driver: interesting mutants are
+/// kept and remixed, but the pool never grows past this, so long runs stay
+/// O(1) in memory.
+const MAX_CORPUS: usize = 512;
+
+/// One mutation of `base`: bit flips, byte sets, truncation, extension, a
+/// splice from another corpus entry, or a length-field-sized overwrite.
+/// Mirrors what libFuzzer's default mutator does, minus coverage feedback.
+pub fn mutate(rng: &mut StdRng, base: &[u8], other: &[u8]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    match rng.random_range(0u32..6) {
+        // Flip 1..=8 random bits.
+        0 => {
+            if !out.is_empty() {
+                for _ in 0..rng.random_range(1usize..=8) {
+                    let i = rng.random_range(0..out.len());
+                    out[i] ^= 1 << rng.random_range(0u32..8);
+                }
+            }
+        }
+        // Overwrite a random byte with a boundary-ish value.
+        1 => {
+            if !out.is_empty() {
+                let i = rng.random_range(0..out.len());
+                out[i] = [0x00u8, 0x01, 0x7F, 0x80, 0xFF, 0x09, 0x0A][rng.random_range(0usize..7)];
+            }
+        }
+        // Truncate to a random prefix (torn input).
+        2 => {
+            if !out.is_empty() {
+                out.truncate(rng.random_range(0..out.len()));
+            }
+        }
+        // Extend with random bytes.
+        3 => {
+            for _ in 0..rng.random_range(1usize..=64) {
+                out.push(rng.random_range(0u32..256) as u8);
+            }
+        }
+        // Splice: prefix of this + suffix of another entry.
+        4 => {
+            let cut_a = if out.is_empty() {
+                0
+            } else {
+                rng.random_range(0..=out.len())
+            };
+            let cut_b = if other.is_empty() {
+                0
+            } else {
+                rng.random_range(0..other.len())
+            };
+            out.truncate(cut_a);
+            out.extend_from_slice(&other[cut_b..]);
+        }
+        // Overwrite a u16/u32-sized window — hits length/count fields.
+        _ => {
+            let width = if rng.random_range(0u32..2) == 0 { 2 } else { 4 };
+            if out.len() >= width {
+                let i = rng.random_range(0..=out.len() - width);
+                for b in &mut out[i..i + width] {
+                    *b = rng.random_range(0u32..256) as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tiny stable string hash so each target gets a distinct PRNG stream from
+/// the same `--seed`.
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Run the seeded mutation loop for one named target: the seed corpus
+/// first, then mutants until `iters` iterations or `deadline`, whichever
+/// is given. Returns the number of mutated iterations executed. Any panic
+/// in the target propagates — a finding, reproducible from (`name`,
+/// `seed`).
+pub fn run_target(name: &str, seed: u64, iters: u64, deadline: Option<Instant>) -> u64 {
+    let target = TARGETS
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .unwrap_or_else(|| panic!("unknown fuzz target {name:?}"))
+        .1;
+    let mut rng = StdRng::seed_from_u64(seed ^ fxhash(name));
+    let mut corpus = seed_corpus(name);
+    for input in &corpus {
+        target(input);
+    }
+    let mut done = 0u64;
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        } else if done >= iters {
+            break;
+        }
+        let a = rng.random_range(0..corpus.len());
+        let b = rng.random_range(0..corpus.len());
+        let mutant = mutate(&mut rng, &corpus[a], &corpus[b]);
+        target(&mutant);
+        // Keep a sample of mutants so later mutations stack damage; replace
+        // a random slot once the pool is full.
+        if corpus.len() < MAX_CORPUS {
+            corpus.push(mutant);
+        } else if rng.random_range(0u32..16) == 0 {
+            let slot = rng.random_range(0..corpus.len());
+            corpus[slot] = mutant;
+        }
+        done += 1;
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_exist_and_run_clean() {
+        for &(name, target) in TARGETS {
+            let seeds = seed_corpus(name);
+            assert!(!seeds.is_empty(), "{name}: empty seed corpus");
+            for seed in &seeds {
+                target(seed);
+            }
+        }
+    }
+
+    #[test]
+    fn v5_seeds_actually_decode() {
+        for seed in seed_corpus("v5") {
+            let packet = v5_decode(&seed, 1).expect("seed must be well-formed");
+            assert!(!packet.records.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fuzz target")]
+    fn unknown_target_panics() {
+        seed_corpus("nope");
+    }
+}

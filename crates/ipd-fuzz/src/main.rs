@@ -1,0 +1,89 @@
+//! In-tree deterministic fuzzer: a seeded mutation loop over the encoder
+//! seed corpora, needing only the stable toolchain. Not coverage-guided —
+//! for that use the cargo-fuzz harnesses under `fuzz/` — but it runs the
+//! same target functions, so any panic it finds is a real bug, and its
+//! PRNG is seeded so every failure reproduces with the printed command.
+//!
+//! Usage:
+//!   ipd-fuzz [--target v5|ipfix|journal|all] [--iters N] [--seconds S] [--seed N]
+//!   ipd-fuzz --write-corpus DIR [--target ...]
+//!
+//! With `--seconds S` the wall-clock budget is split evenly over the
+//! selected targets; otherwise `--iters` (default 100_000) iterations run
+//! per target. `--write-corpus` instead dumps the seed corpora to
+//! `DIR/fuzz_<target>/seed-<n>` — the layout `cargo fuzz` expects under
+//! `fuzz/corpus/`.
+
+use std::time::{Duration, Instant};
+
+use ipd_fuzz::{run_target, seed_corpus, TARGETS};
+
+fn main() {
+    let mut target = "all".to_string();
+    let mut iters = 100_000u64;
+    let mut seconds: Option<u64> = None;
+    let mut seed = 0u64;
+    let mut write_corpus: Option<String> = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let want = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--target" => target = want(i),
+            "--iters" => iters = want(i).parse().expect("--iters: integer"),
+            "--seconds" => seconds = Some(want(i).parse().expect("--seconds: integer")),
+            "--seed" => seed = want(i).parse().expect("--seed: integer"),
+            "--write-corpus" => write_corpus = Some(want(i)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ipd-fuzz [--target v5|ipfix|journal|all] [--iters N] [--seconds S] [--seed N]\n       ipd-fuzz --write-corpus DIR [--target ...]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+        i += 2;
+    }
+
+    let selected: Vec<&str> = TARGETS
+        .iter()
+        .map(|&(name, _)| name)
+        .filter(|&name| target == "all" || target == name)
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "unknown target {target:?} (want v5|ipfix|journal|all)"
+    );
+
+    if let Some(dir) = write_corpus {
+        for name in &selected {
+            let out = std::path::Path::new(&dir).join(format!("fuzz_{name}"));
+            std::fs::create_dir_all(&out).expect("corpus dir");
+            let seeds = seed_corpus(name);
+            for (n, bytes) in seeds.iter().enumerate() {
+                std::fs::write(out.join(format!("seed-{n:03}")), bytes).expect("write seed");
+            }
+            println!("{name}: wrote {} seeds to {}", seeds.len(), out.display());
+        }
+        return;
+    }
+
+    let start = Instant::now();
+    for (idx, name) in selected.iter().enumerate() {
+        let deadline = seconds.map(|s| {
+            let per = Duration::from_secs(s) / selected.len() as u32;
+            start + per * (idx as u32 + 1)
+        });
+        let t0 = Instant::now();
+        let done = run_target(name, seed, iters, deadline);
+        println!(
+            "{name}: {done} iterations in {:.2}s, no panics (seed {seed})",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use ipd_telemetry::{Counter, Telemetry};
+
 use crate::ipfix::IpfixDecoder;
 use crate::record::{DecodeError, FlowRecord, RouterId};
 use crate::v5;
@@ -48,6 +50,62 @@ fn advance_seq(expected: &mut u32, seq: u32, n: u32) -> (u64, bool) {
     (gap as u64, false)
 }
 
+/// Telemetry handles mirroring [`CollectorStats`] into a shared
+/// [`Telemetry`] registry, so a live run exposes decode health on
+/// `/metrics` without polling each reader thread's stats struct. All
+/// counters are deterministic: their values are pure functions of the fed
+/// datagram stream.
+#[derive(Debug, Clone, Default)]
+struct CollectorMetrics {
+    datagrams: Counter,
+    records: Counter,
+    errors: Counter,
+    sequence_lost: Counter,
+    reordered: Counter,
+    unknown_template_sets: Counter,
+    templates_registered: Counter,
+    template_redefinitions: Counter,
+}
+
+impl CollectorMetrics {
+    fn register(telemetry: &Telemetry) -> Self {
+        CollectorMetrics {
+            datagrams: telemetry.counter(
+                "ipd_collector_datagrams_total",
+                "Export datagrams successfully decoded",
+            ),
+            records: telemetry.counter(
+                "ipd_collector_records_total",
+                "Flow records extracted from decoded datagrams",
+            ),
+            errors: telemetry.counter(
+                "ipd_collector_errors_total",
+                "Datagrams rejected with a decode error",
+            ),
+            sequence_lost: telemetry.counter(
+                "ipd_collector_sequence_lost_total",
+                "Flow records lost according to export sequence-number gaps",
+            ),
+            reordered: telemetry.counter(
+                "ipd_collector_reordered_total",
+                "Export datagrams that arrived out of order (delivered, not lost)",
+            ),
+            unknown_template_sets: telemetry.counter(
+                "ipd_collector_unknown_template_sets_total",
+                "IPFIX data sets skipped because their template was unknown",
+            ),
+            templates_registered: telemetry.counter(
+                "ipd_collector_templates_registered_total",
+                "IPFIX templates registered for the first time",
+            ),
+            template_redefinitions: telemetry.counter(
+                "ipd_collector_template_redefinitions_total",
+                "IPFIX templates that replaced an existing definition",
+            ),
+        }
+    }
+}
+
 /// A flow collector for any number of exporting routers.
 #[derive(Debug, Default)]
 pub struct Collector {
@@ -57,12 +115,23 @@ pub struct Collector {
     /// Expected next IPFIX sequence per observation domain.
     ipfix_seq: HashMap<u32, u32>,
     stats: CollectorStats,
+    metrics: CollectorMetrics,
 }
 
 impl Collector {
     /// A fresh collector with empty template cache and statistics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A collector that mirrors its statistics into `telemetry` as
+    /// `ipd_collector_*` counters. With a disabled registry this is
+    /// identical to [`Collector::new`].
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        Collector {
+            metrics: CollectorMetrics::register(telemetry),
+            ..Self::default()
+        }
     }
 
     /// Decode statistics so far.
@@ -83,6 +152,7 @@ impl Collector {
     ) -> Result<usize, DecodeError> {
         if datagram.len() < 2 {
             self.stats.errors += 1;
+            self.metrics.errors.inc();
             return Err(DecodeError::Truncated {
                 need: 2,
                 have: datagram.len(),
@@ -98,10 +168,13 @@ impl Collector {
             Ok(n) => {
                 self.stats.datagrams += 1;
                 self.stats.records += n as u64;
+                self.metrics.datagrams.inc();
+                self.metrics.records.add(n as u64);
                 Ok(n)
             }
             Err(e) => {
                 self.stats.errors += 1;
+                self.metrics.errors.inc();
                 Err(e)
             }
         }
@@ -121,6 +194,8 @@ impl Collector {
                 let (lost, reordered) = advance_seq(e.get_mut(), pkt.flow_sequence, n as u32);
                 self.stats.sequence_gap += lost;
                 self.stats.reordered += reordered as u64;
+                self.metrics.sequence_lost.add(lost);
+                self.metrics.reordered.add(reordered as u64);
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(pkt.flow_sequence.wrapping_add(n as u32));
@@ -136,14 +211,25 @@ impl Collector {
         router: RouterId,
         out: &mut Vec<FlowRecord>,
     ) -> Result<usize, DecodeError> {
+        let registered_before = self.ipfix.templates_registered();
+        let redefined_before = self.ipfix.template_redefinitions();
         let msg = self.ipfix.decode(datagram, router)?;
+        self.metrics
+            .templates_registered
+            .add(self.ipfix.templates_registered() - registered_before);
+        self.metrics
+            .template_redefinitions
+            .add(self.ipfix.template_redefinitions() - redefined_before);
         self.stats.unknown_template_sets += msg.skipped_sets;
+        self.metrics.unknown_template_sets.add(msg.skipped_sets);
         let n = msg.records.len();
         match self.ipfix_seq.entry(msg.domain) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let (lost, reordered) = advance_seq(e.get_mut(), msg.sequence, n as u32);
                 self.stats.sequence_gap += lost;
                 self.stats.reordered += reordered as u64;
+                self.metrics.sequence_lost.add(lost);
+                self.metrics.reordered.add(reordered as u64);
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(msg.sequence.wrapping_add(n as u32));
@@ -295,6 +381,87 @@ mod tests {
         col.feed(&g1, 9, &mut out).unwrap();
         assert_eq!(col.stats().reordered, 1);
         assert_eq!(col.stats().sequence_gap, 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_exactly() {
+        use ipd_telemetry::Telemetry;
+
+        let telemetry = Telemetry::new();
+        let mut col = Collector::with_telemetry(&telemetry);
+        let mut out = Vec::new();
+
+        // Errors, a v5 gap + reorder, and an IPFIX data-before-template skip.
+        let _ = col.feed(&[1], 7, &mut out);
+        let mut v5exp = V5Exporter::new(7, 0, 1000, 0);
+        let g1 = v5exp.encode(1000, &records(5)).unwrap().remove(0);
+        let g2 = v5exp.encode(1000, &records(4)).unwrap().remove(0);
+        let g3 = v5exp.encode(1000, &records(3)).unwrap().remove(0);
+        col.feed(&g1, 7, &mut out).unwrap();
+        col.feed(&g3, 7, &mut out).unwrap(); // 4-record gap
+        col.feed(&g2, 7, &mut out).unwrap(); // late: reorder
+        let mut ipfixexp = IpfixExporter::new(8, 1_000_000);
+        let with_templates = ipfixexp.encode(1000, &records(2)).remove(0);
+        let data_only = ipfixexp.encode(1000, &records(2)).remove(0);
+        col.feed(&data_only, 8, &mut out).unwrap(); // unknown template: skipped
+        col.feed(&with_templates, 8, &mut out).unwrap(); // registers 2 templates
+        col.feed(&with_templates, 8, &mut out).unwrap(); // redefines 2, reorders
+
+        let snap = telemetry.snapshot();
+        let stats = col.stats();
+        assert_eq!(
+            snap.counter("ipd_collector_datagrams_total"),
+            Some(stats.datagrams)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_records_total"),
+            Some(stats.records)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_errors_total"),
+            Some(stats.errors)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_sequence_lost_total"),
+            Some(stats.sequence_gap)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_reordered_total"),
+            Some(stats.reordered)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_unknown_template_sets_total"),
+            Some(stats.unknown_template_sets)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_templates_registered_total"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("ipd_collector_template_redefinitions_total"),
+            Some(2)
+        );
+        // Sanity: the scenario actually exercised every counter.
+        assert!(stats.errors > 0 && stats.sequence_gap > 0);
+        assert!(stats.reordered > 0 && stats.unknown_template_sets > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_collector_matches_plain() {
+        use ipd_telemetry::Telemetry;
+
+        let mut plain = Collector::new();
+        let mut instrumented = Collector::with_telemetry(&Telemetry::disabled());
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let mut exp = V5Exporter::new(7, 0, 1000, 0);
+        for _ in 0..3 {
+            let g = exp.encode(1000, &records(2)).unwrap().remove(0);
+            plain.feed(&g, 7, &mut out_a).unwrap();
+            instrumented.feed(&g, 7, &mut out_b).unwrap();
+        }
+        assert_eq!(out_a, out_b);
+        assert_eq!(plain.stats(), instrumented.stats());
     }
 
     #[test]

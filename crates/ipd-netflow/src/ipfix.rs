@@ -205,6 +205,8 @@ fn encode_data_record(buf: &mut BytesMut, r: &FlowRecord) {
 pub struct IpfixDecoder {
     templates: HashMap<(u32, u16), Template>,
     unknown_template_sets: u64,
+    templates_registered: u64,
+    template_redefinitions: u64,
 }
 
 /// Result of decoding one IPFIX message.
@@ -238,6 +240,20 @@ impl IpfixDecoder {
     /// was unknown (data before template, or the template datagram was lost).
     pub fn unknown_template_sets(&self) -> u64 {
         self.unknown_template_sets
+    }
+
+    /// Templates registered for the first time (new `(domain, id)` pairs)
+    /// over the decoder's lifetime.
+    pub fn templates_registered(&self) -> u64 {
+        self.templates_registered
+    }
+
+    /// Templates that *replaced* an existing `(domain, id)` entry. Routine
+    /// template refreshes land here too, so a steady nonzero rate is
+    /// normal; what matters operationally is a rate far above the refresh
+    /// cadence (an exporter churning layouts).
+    pub fn template_redefinitions(&self) -> u64 {
+        self.template_redefinitions
     }
 
     /// Decode one IPFIX message. A data set referencing an unknown template
@@ -335,7 +351,11 @@ impl IpfixDecoder {
                 let len = set.get_u16();
                 t.push((ie_id, len));
             }
-            self.templates.insert((domain, tid), t);
+            if self.templates.insert((domain, tid), t).is_some() {
+                self.template_redefinitions += 1;
+            } else {
+                self.templates_registered += 1;
+            }
         }
         Ok(())
     }
@@ -553,6 +573,8 @@ mod tests {
         assert_eq!(out.records[0].src, Addr::v4(0x0A000002));
         assert_eq!(out.records[0].input_if, 42, "new field list in effect");
         assert_eq!(dec.template_count(), 1, "redefinition replaces, not adds");
+        assert_eq!(dec.templates_registered(), 1);
+        assert_eq!(dec.template_redefinitions(), 1);
     }
 
     #[test]

@@ -80,6 +80,23 @@ impl PacketSampler {
         flow.bytes = ((sampled as f64 * mean_pkt) as u64).min(u32::MAX as u64) as u32;
         Some(flow)
     }
+
+    /// Multiply a sampled count by the sampling interval to estimate the
+    /// true count, saturating at `u32::MAX` (the wire format's count
+    /// width). This is the collector-side inverse of the router's 1/n
+    /// sampling: unbiased in expectation, never below the sampled count.
+    pub fn upscale_count(&self, sampled: u32) -> u32 {
+        sampled.saturating_mul(self.n)
+    }
+
+    /// Upscale a sampled record's packet and byte counts back to estimates
+    /// of the true flow ([`PacketSampler::upscale_count`] applied to both).
+    /// With `n = 1` this is the identity.
+    pub fn upscale_flow(&self, mut flow: FlowRecord) -> FlowRecord {
+        flow.packets = self.upscale_count(flow.packets);
+        flow.bytes = self.upscale_count(flow.bytes);
+        flow
+    }
 }
 
 /// Box–Muller standard normal draw.

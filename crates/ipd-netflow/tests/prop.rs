@@ -3,8 +3,10 @@
 use ipd_lpm::Addr;
 use ipd_netflow::ipfix::IpfixExporter;
 use ipd_netflow::v5::V5Exporter;
-use ipd_netflow::{Collector, FlowRecord};
+use ipd_netflow::{Collector, FlowRecord, PacketSampler};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn arb_v4_record() -> impl Strategy<Value = FlowRecord> {
     (
@@ -103,5 +105,54 @@ proptest! {
         // Decodes of random bytes may or may not error, but must not panic,
         // and stats stay coherent.
         prop_assert_eq!(col.stats().datagrams + col.stats().errors, 1);
+    }
+
+    /// Rate-1 sampling is the identity: every packet is "sampled" and
+    /// upscaling multiplies by 1.
+    #[test]
+    fn sampling_rate_one_is_identity(record in arb_v4_record(), seed in any::<u64>()) {
+        let sampler = PacketSampler::new(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let true_packets = record.packets as u64;
+        let true_bytes = record.bytes as u64;
+        let sampled = sampler
+            .sample_flow(&mut rng, record, true_packets, true_bytes)
+            .expect("rate 1 samples every packet");
+        prop_assert_eq!(sampled.packets as u64, true_packets);
+        let upscaled = sampler.upscale_flow(sampled);
+        prop_assert_eq!(&upscaled, &sampled);
+    }
+
+    /// A sampled flow never reports more packets than the true flow had,
+    /// and upscaled counts are never below the raw sampled counts.
+    #[test]
+    fn sampling_bounds_hold(record in arb_v4_record(),
+                            n in 1u32..=10_000,
+                            seed in any::<u64>()) {
+        let sampler = PacketSampler::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let true_packets = record.packets as u64;
+        let true_bytes = record.bytes as u64;
+        if let Some(sampled) = sampler.sample_flow(&mut rng, record, true_packets, true_bytes) {
+            prop_assert!(sampled.packets as u64 <= true_packets);
+            prop_assert!(sampled.packets > 0, "zero-packet flows are None, not exported");
+            let upscaled = sampler.upscale_flow(sampled);
+            prop_assert!(upscaled.packets >= sampled.packets);
+            prop_assert!(upscaled.bytes >= sampled.bytes);
+        }
+    }
+
+    /// Upscaling saturates instead of wrapping: counts whose product with
+    /// the interval exceeds u32::MAX pin to u32::MAX.
+    #[test]
+    fn upscale_saturates_on_overflow(count in 1u32..=u32::MAX, n in 2u32..=10_000) {
+        let sampler = PacketSampler::new(n);
+        let up = sampler.upscale_count(count);
+        prop_assert!(up >= count, "upscale must never shrink a count");
+        if (count as u64) * (n as u64) > u32::MAX as u64 {
+            prop_assert_eq!(up, u32::MAX);
+        } else {
+            prop_assert_eq!(up, count * n);
+        }
     }
 }

@@ -22,6 +22,7 @@ use ipd_netflow::FlowRecord;
 use crate::codec::CheckpointState;
 use crate::journal::{read_journal, JournalWriter};
 use crate::store::CheckpointStore;
+use crate::telemetry::StateTelemetry;
 
 /// Knobs for a [`Durable`] session.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +85,7 @@ pub struct Durable {
     journal: JournalWriter,
     last_ckpt_bucket: Option<u64>,
     shared: Arc<Mutex<DurableStats>>,
+    metrics: StateTelemetry,
 }
 
 impl Durable {
@@ -117,7 +119,20 @@ impl Durable {
             journal,
             last_ckpt_bucket: clock.current_bucket,
             shared,
+            metrics: StateTelemetry::default(),
         })
+    }
+
+    /// Register this session's durability metrics (`ipd_state_*`) in
+    /// `telemetry`. The opening checkpoint written by [`Durable::start`] is
+    /// counted retroactively so the metric matches
+    /// [`DurableStats::checkpoints_written`].
+    pub fn with_telemetry(mut self, telemetry: &ipd_telemetry::Telemetry) -> Self {
+        self.metrics = StateTelemetry::register(telemetry);
+        self.metrics
+            .checkpoints
+            .add(self.shared.lock().unwrap().checkpoints_written);
+        self
     }
 
     /// A handle for observing this session's counters from outside.
@@ -134,16 +149,23 @@ impl Durable {
     /// generation stays a complete fallback), writes the next-generation
     /// checkpoint, rotates to its journal, and prunes old generations.
     pub fn checkpoint_now(&mut self, engine: &IpdEngine, clock: BucketClock) -> io::Result<()> {
-        self.journal.sync()?;
+        {
+            let _timer = self.metrics.journal_sync_duration.start_timer();
+            self.journal.sync()?;
+        }
         let seq = self.seq() + 1;
         let state = CheckpointState {
             dump: engine.dump_state(),
             clock,
         };
-        self.store.save_checkpoint(seq, &state)?;
+        {
+            let _timer = self.metrics.checkpoint_write_duration.start_timer();
+            self.store.save_checkpoint(seq, &state)?;
+        }
         self.journal = JournalWriter::create(&self.store.journal_path(seq))?;
         self.store.prune(self.config.retain)?;
         self.last_ckpt_bucket = clock.current_bucket;
+        self.metrics.checkpoints.inc();
         let mut s = self.shared.lock().unwrap();
         s.seq = seq;
         s.checkpoints_written += 1;
@@ -151,6 +173,7 @@ impl Durable {
     }
 
     fn record_error(&self, what: &str, err: io::Error) {
+        self.metrics.io_errors.inc();
         let mut s = self.shared.lock().unwrap();
         s.io_errors += 1;
         s.last_error = Some(format!("{what}: {err}"));
@@ -161,7 +184,10 @@ impl Durable {
 impl PipelineHook for Durable {
     fn flows(&mut self, flows: &[FlowRecord]) {
         match self.journal.append_all(flows) {
-            Ok(()) => self.shared.lock().unwrap().flows_journaled += flows.len() as u64,
+            Ok(()) => {
+                self.shared.lock().unwrap().flows_journaled += flows.len() as u64;
+                self.metrics.journal_appended(flows.len() as u64);
+            }
             Err(e) => self.record_error("journal append failed", e),
         }
     }
@@ -184,7 +210,9 @@ impl PipelineHook for Durable {
     fn finished(&mut self, _engine: &IpdEngine, _clock: BucketClock) {
         // End of stream: make the journal durable. No checkpoint — the
         // restore path replays the tail and fires the final tick itself.
+        let timer = self.metrics.journal_sync_duration.start_timer();
         if let Err(e) = self.journal.sync() {
+            drop(timer);
             self.record_error("journal sync failed", e);
         }
     }
@@ -252,6 +280,23 @@ pub struct Restored {
 /// original run. `snapshot_every_ticks` must match the interrupted run's
 /// pipeline configuration.
 pub fn restore(dir: &Path, snapshot_every_ticks: u32) -> Result<Restored, RestoreError> {
+    restore_instrumented(
+        dir,
+        snapshot_every_ticks,
+        &ipd_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`restore`] with replay progress reported to `telemetry`:
+/// `ipd_state_restore_replayed_frames_total` grows as frames are applied,
+/// so a metrics endpoint polled during a long restore shows how far replay
+/// has come. The resulting engine is identical to plain [`restore`]'s.
+pub fn restore_instrumented(
+    dir: &Path,
+    snapshot_every_ticks: u32,
+    telemetry: &ipd_telemetry::Telemetry,
+) -> Result<Restored, RestoreError> {
+    let metrics = StateTelemetry::register(telemetry);
     let store = CheckpointStore::open(dir)?;
     let valid = store
         .latest_valid()?
@@ -287,6 +332,7 @@ pub fn restore(dir: &Path, snapshot_every_ticks: u32) -> Result<Restored, Restor
             driver.observe_with(&mut engine, flow.ts, &mut sink, &mut NoopHook);
             engine.ingest(flow);
             replayed += 1;
+            metrics.restore_replayed.inc();
         }
         if contents.torn_tail {
             torn_tail = true;
@@ -438,6 +484,56 @@ mod tests {
             restore(&dir, 4),
             Err(RestoreError::NoValidCheckpoint)
         ));
+    }
+
+    #[test]
+    fn telemetry_mirrors_durable_stats() {
+        let dir = tmp_dir("telemetry");
+        let telemetry = ipd_telemetry::Telemetry::new();
+        let mut engine = IpdEngine::new(test_params()).unwrap();
+        let mut durable = Durable::start(
+            &dir,
+            &engine,
+            BucketClock::default(),
+            DurableConfig {
+                checkpoint_every_buckets: 2,
+                retain: 100,
+            },
+        )
+        .unwrap()
+        .with_telemetry(&telemetry);
+        let handle = durable.handle();
+        run_offline_with(&mut engine, flows(600), 4, None, &mut durable, |_| {});
+        let stats = handle.stats();
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("ipd_state_journal_frames_total"),
+            Some(stats.flows_journaled)
+        );
+        assert_eq!(
+            snap.counter("ipd_state_journal_bytes_total"),
+            Some(stats.flows_journaled * crate::journal::FRAME_LEN as u64)
+        );
+        assert_eq!(
+            snap.counter("ipd_state_checkpoints_total"),
+            Some(stats.checkpoints_written)
+        );
+        assert_eq!(snap.counter("ipd_state_io_errors_total"), Some(0));
+
+        // Restore with telemetry reports replay progress and produces the
+        // same engine as the plain restore.
+        let restored = restore_instrumented(&dir, 4, &telemetry).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("ipd_state_restore_replayed_frames_total"),
+            Some(restored.replayed)
+        );
+        let plain = restore(&dir, 4).unwrap();
+        let ts = 60 + 600 * 2 + 120;
+        assert_eq!(
+            restored.engine.snapshot(ts).digest(),
+            plain.engine.snapshot(ts).digest()
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@ use crate::codec::fnv1a;
 /// Journal file magic.
 pub const MAGIC: [u8; 8] = *b"IPDJRNL1";
 
+/// On-disk bytes per frame: length prefix + payload + checksum.
+pub const FRAME_LEN: usize = 4 + RECORD_LEN + 8;
+
 /// Appends write-ahead frames to one journal file.
 #[derive(Debug)]
 pub struct JournalWriter {
@@ -102,6 +105,14 @@ pub struct JournalContents {
 pub fn read_journal(path: &Path) -> io::Result<JournalContents> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    parse_journal(&bytes)
+}
+
+/// Parse a complete journal image from memory — the pure decoding half of
+/// [`read_journal`], exposed so harnesses (fuzzing in particular) can hit
+/// the frame parser without touching the filesystem. Must never panic on
+/// arbitrary input: any damage past the header degrades to `torn_tail`.
+pub fn parse_journal(bytes: &[u8]) -> io::Result<JournalContents> {
     if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -35,10 +35,13 @@ pub mod codec;
 pub mod durable;
 pub mod journal;
 pub mod store;
+pub mod telemetry;
 
 pub use codec::{decode, encode, CheckpointState, CodecError};
 pub use durable::{
-    restore, Durable, DurableConfig, DurableHandle, DurableStats, RestoreError, Restored,
+    restore, restore_instrumented, Durable, DurableConfig, DurableHandle, DurableStats,
+    RestoreError, Restored,
 };
-pub use journal::{read_journal, JournalContents, JournalWriter};
+pub use journal::{parse_journal, read_journal, JournalContents, JournalWriter};
 pub use store::{CheckpointStore, ValidCheckpoint};
+pub use telemetry::StateTelemetry;

@@ -288,6 +288,7 @@ fn threaded_pipelines_crash_and_restore_exactly() {
                 channel_capacity: 8,
                 snapshot_every_ticks: SNAPSHOT_EVERY,
                 shards: 1,
+                ..Default::default()
             },
             Box::new(durable),
         )
@@ -322,6 +323,7 @@ fn threaded_pipelines_crash_and_restore_exactly() {
                 channel_capacity: 8,
                 snapshot_every_ticks: SNAPSHOT_EVERY,
                 shards: 8,
+                ..Default::default()
             },
             Box::new(durable),
         )

@@ -1,0 +1,164 @@
+//! Dependency-free Prometheus scrape endpoint: a blocking accept loop on a
+//! background thread serving `GET /metrics` from a [`Telemetry`] registry.
+//! Plain `std::net` — no HTTP stack, because the exposition format needs
+//! none.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Telemetry;
+
+/// A running metrics endpoint. Dropping the server shuts it down; call
+/// [`MetricsServer::shutdown`] to do so explicitly and observe join errors.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `GET /metrics` snapshots of `telemetry` until shutdown.
+    pub fn serve(addr: &str, telemetry: Telemetry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ipd-metrics-http".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // One request per connection, handled inline: a
+                        // scrape every few seconds doesn't need more.
+                        let _ = handle_conn(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `incoming()`; a self-connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    if request.starts_with("GET ") && (path == "/metrics" || path == "/") {
+        let body = telemetry.snapshot().to_prometheus_text();
+        let header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+    } else {
+        let body = "not found; try /metrics\n";
+        let header = format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::validate_prometheus_text;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // One write syscall: the server reads once and then responds, so a
+        // multi-write `write!` could race its close.
+        let request = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_valid_prometheus_text() {
+        let t = Telemetry::new();
+        t.counter("ipd_http_test_total", "a counter").add(9);
+        let server = MetricsServer::serve("127.0.0.1:0", t.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let response = get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        validate_prometheus_text(body).expect("valid exposition format");
+        assert!(body.contains("ipd_http_test_total 9"));
+
+        // Scrapes see live values, not a bind-time copy.
+        t.counter("ipd_http_test_total", "a counter").add(1);
+        assert!(get(addr, "/metrics").contains("ipd_http_test_total 10"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_promptly() {
+        let server = MetricsServer::serve("127.0.0.1:0", Telemetry::new()).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the port stops answering (allow for OS-level
+        // listen backlog draining by tolerating an immediate-EOF connect).
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "server answered after shutdown: {out}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # ipd-telemetry — observability substrate for the IPD pipeline
+//!
+//! The paper's deployment runs IPD continuously for six years against
+//! ~3,000 routers (§5.7); that is only operable with live visibility into
+//! drop rates, stage latency, and per-stage throughput. This crate is the
+//! metrics layer every stage of this reproduction reports into:
+//!
+//! * [`Telemetry`] — a lock-light registry of named metrics. Registration
+//!   (cold path) takes a mutex; the handles it returns touch only atomics.
+//! * [`Counter`], [`Gauge`], [`Histogram`] — allocation-free hot-path
+//!   handles. A handle obtained from [`Telemetry::disabled`] is a no-op
+//!   that compiles down to a branch on an `Option` discriminant, which is
+//!   the "zero-cost when disabled" contract the pipeline relies on.
+//! * [`Histogram::start_timer`] — span timing: a guard that observes its
+//!   elapsed nanoseconds on drop. Disabled handles never read the clock.
+//! * [`MetricsSnapshot`] — a deterministic, name-sorted view of every
+//!   registered metric, renderable as Prometheus text exposition format
+//!   ([`MetricsSnapshot::to_prometheus_text`]) or a human table
+//!   ([`MetricsSnapshot::render_table`]).
+//! * [`MetricsServer`] — a dependency-free HTTP endpoint serving
+//!   `GET /metrics` (wired to `ipd-tool run --metrics-addr`).
+//!
+//! ## The determinism contract
+//!
+//! Every metric declares a [`Class`]:
+//!
+//! * [`Class::Deterministic`] — the value is a pure function of the input
+//!   flow stream (flow counts, ticks, splits, trie sizes, …). For a fixed
+//!   seed these are bit-for-bit identical on every run and every machine;
+//!   the golden-metrics test pins them.
+//! * [`Class::Timing`] — wall-clock measurements (stage latency, tick
+//!   duration) and scheduling-dependent values (channel depth). Exported,
+//!   but excluded from [`MetricsSnapshot::deterministic`].
+//!
+//! Telemetry is *observational only*: nothing in this crate feeds back
+//! into the engine, so a run with telemetry attached produces bit-for-bit
+//! the same [`ipd::Snapshot`] digest as a run without — a property the
+//! differential harness in `ipd-core` proves end to end.
+//!
+//! With the `trace` cargo feature, the [`trace`] module adds lightweight
+//! span/event tracing with `target=level` filtering.
+
+mod http;
+mod metrics;
+mod registry;
+mod snapshot;
+
+#[cfg(feature = "trace")]
+pub mod trace;
+
+pub use http::MetricsServer;
+pub use metrics::{Counter, Gauge, Histogram, Timer};
+pub use registry::{Class, Kind, Telemetry};
+pub use snapshot::{validate_prometheus_text, MetricSample, MetricValue, MetricsSnapshot};
+
+/// Default bucket bounds (in nanoseconds) for timing histograms: 1 µs to
+/// ~16 s in powers of four — wide enough for a per-datagram decode and a
+/// full stage-2 sweep over a hundred thousand ranges.
+pub const TIMING_BUCKETS_NANOS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+    16_777_216_000,
+];
+
+/// Default bucket bounds for size-ish deterministic histograms (batch
+/// sizes, classifications per tick): 1 to 65536 in powers of four.
+pub const SIZE_BUCKETS: &[u64] = &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536];

@@ -1,0 +1,304 @@
+//! The metric registry: registration is the cold path (one mutex), the
+//! returned handles are the hot path (atomics only, see [`crate::metrics`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, PaddedU64};
+use crate::snapshot::{MetricSample, MetricValue, MetricsSnapshot};
+
+/// What a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Determinism class of a metric (see the crate docs): `Deterministic`
+/// values are pure functions of the input stream and are pinned by the
+/// golden-metrics test; `Timing` values depend on the wall clock or thread
+/// scheduling and are exported but never pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    Deterministic,
+    Timing,
+}
+
+/// Fully qualified metric identity: name plus sorted label pairs.
+pub(crate) type MetricKey = (String, Vec<(String, String)>);
+
+pub(crate) enum Cell {
+    Counter(Arc<PaddedU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+pub(crate) struct Entry {
+    pub(crate) help: String,
+    pub(crate) class: Class,
+    pub(crate) cell: Cell,
+}
+
+#[derive(Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<MetricKey, Entry>>,
+}
+
+/// Handle to a metric registry. Cloning is cheap (an `Arc`); all clones
+/// observe the same metrics. [`Telemetry::disabled`] yields a registry
+/// whose handles are all no-ops — components can register unconditionally
+/// and pay only an `Option` branch per hot-path event.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let n = inner.metrics.lock().map(|m| m.len()).unwrap_or(0);
+                write!(f, "Telemetry(enabled, {n} metrics)")
+            }
+            None => write!(f, "Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A registry whose every handle is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut l: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        l.sort();
+        (name.to_string(), l)
+    }
+
+    /// Register (or look up) a counter. Registration is idempotent: the
+    /// same (name, labels) always maps to the same underlying cell, so two
+    /// components counting the same thing share it.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_labeled(name, help, &[])
+    }
+
+    /// [`Telemetry::counter`] with labels (e.g. `[("shard", "3")]`).
+    pub fn counter_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::disabled();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                class: Class::Deterministic,
+                cell: Cell::Counter(Arc::new(PaddedU64::default())),
+            });
+        match &entry.cell {
+            Cell::Counter(c) => Counter(Some(Arc::clone(c))),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a gauge of the given determinism class.
+    pub fn gauge(&self, name: &str, help: &str, class: Class) -> Gauge {
+        self.gauge_labeled(name, help, class, &[])
+    }
+
+    /// [`Telemetry::gauge`] with labels.
+    pub fn gauge_labeled(
+        &self,
+        name: &str,
+        help: &str,
+        class: Class,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::disabled();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                class,
+                cell: Cell::Gauge(Arc::new(AtomicI64::new(0))),
+            });
+        match &entry.cell {
+            Cell::Gauge(c) => Gauge(Some(Arc::clone(c))),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a histogram with fixed, ascending bucket
+    /// bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64], class: Class) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::disabled();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics
+            .entry(Self::key(name, &[]))
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                class,
+                cell: Cell::Histogram(Arc::new(HistogramCells::new(bounds))),
+            });
+        match &entry.cell {
+            Cell::Histogram(c) => Histogram(Some(Arc::clone(c))),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A wall-clock timing histogram in nanoseconds
+    /// ([`crate::TIMING_BUCKETS_NANOS`] bounds, [`Class::Timing`]).
+    pub fn timing(&self, name: &str, help: &str) -> Histogram {
+        self.histogram(name, help, crate::TIMING_BUCKETS_NANOS, Class::Timing)
+    }
+
+    /// A point-in-time, name-sorted view of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut samples = Vec::new();
+        if let Some(inner) = &self.inner {
+            let metrics = inner.metrics.lock().expect("registry poisoned");
+            for ((name, labels), entry) in metrics.iter() {
+                let value = match &entry.cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.0.load(Ordering::Relaxed)),
+                    Cell::Gauge(c) => MetricValue::Gauge(c.load(Ordering::Relaxed)),
+                    Cell::Histogram(c) => {
+                        let buckets = c
+                            .bounds
+                            .iter()
+                            .zip(&c.buckets)
+                            .map(|(&b, cell)| (b, cell.load(Ordering::Relaxed)))
+                            .collect();
+                        MetricValue::Histogram {
+                            buckets,
+                            overflow: c.overflow.load(Ordering::Relaxed),
+                            sum: c.sum.load(Ordering::Relaxed),
+                            count: c.count.load(Ordering::Relaxed),
+                        }
+                    }
+                };
+                samples.push(MetricSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    help: entry.help.clone(),
+                    kind: match entry.cell {
+                        Cell::Counter(_) => Kind::Counter,
+                        Cell::Gauge(_) => Kind::Gauge,
+                        Cell::Histogram(_) => Kind::Histogram,
+                    },
+                    class: entry.class,
+                    value,
+                });
+            }
+        }
+        MetricsSnapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let t = Telemetry::new();
+        let a = t.counter("ipd_test_total", "a test counter");
+        let b = t.counter("ipd_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(t.snapshot().samples.len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_cells() {
+        let t = Telemetry::new();
+        let s0 = t.counter_labeled(
+            "ipd_shard_flows_total",
+            "flows per shard",
+            &[("shard", "0")],
+        );
+        let s1 = t.counter_labeled(
+            "ipd_shard_flows_total",
+            "flows per shard",
+            &[("shard", "1")],
+        );
+        s0.inc();
+        s1.add(5);
+        assert_eq!(s0.get(), 1);
+        assert_eq!(s1.get(), 5);
+        assert_eq!(t.snapshot().samples.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let t = Telemetry::new();
+        let _c = t.counter("ipd_conflict", "as counter");
+        let _g = t.gauge("ipd_conflict", "as gauge", Class::Deterministic);
+    }
+
+    #[test]
+    fn disabled_registry_registers_noops() {
+        let t = Telemetry::disabled();
+        let c = t.counter("ipd_x_total", "x");
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        assert!(t.snapshot().samples.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn snapshot_orders_by_name_then_labels() {
+        let t = Telemetry::new();
+        t.counter("ipd_b_total", "b").inc();
+        t.counter_labeled("ipd_a_total", "a", &[("shard", "1")])
+            .inc();
+        t.counter_labeled("ipd_a_total", "a", &[("shard", "0")])
+            .inc();
+        let names: Vec<String> = t
+            .snapshot()
+            .samples
+            .iter()
+            .map(|s| format!("{}{:?}", s.name, s.labels))
+            .collect();
+        assert!(names[0].starts_with("ipd_a_total") && names[0].contains('0'));
+        assert!(names[1].starts_with("ipd_a_total") && names[1].contains('1'));
+        assert!(names[2].starts_with("ipd_b_total"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Point-in-time metric snapshots and their renderings: Prometheus text
+//! exposition format for scrapers, a fixed-width table for humans, and the
+//! deterministic subset the golden-metrics test pins.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Class, Kind};
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram {
+        /// `(upper_bound, observations_in_bucket)` per finite bucket.
+        buckets: Vec<(u64, u64)>,
+        /// Observations above the last finite bound (the +Inf bucket).
+        overflow: u64,
+        /// Sum of all observed values.
+        sum: u64,
+        /// Total observations.
+        count: u64,
+    },
+}
+
+/// One named metric with labels, help, kind, and determinism class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub help: String,
+    pub kind: Kind,
+    pub class: Class,
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    fn label_str(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{{{}}}", pairs.join(","))
+    }
+
+    /// Label string with an extra pair appended (for histogram `le`).
+    fn label_str_with(&self, key: &str, value: &str) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        pairs.push(format!("{key}=\"{value}\""));
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// A deterministic (name-sorted) view of a registry, see
+/// [`crate::Telemetry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Only the [`Class::Deterministic`] samples — the subset whose values
+    /// are a pure function of the input stream and safe to pin in golden
+    /// tests.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.class == Class::Deterministic)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Convenience lookup for tests: counter value by name (unlabeled).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .and_then(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Convenience lookup for tests: gauge value by name (unlabeled).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .and_then(|s| match s.value {
+                MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4): one
+    /// `# HELP`/`# TYPE` block per metric family, histogram buckets as
+    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for s in &self.samples {
+            if last_family != Some(s.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+                let _ = writeln!(out, "# TYPE {} {}", s.name, s.kind.prometheus_type());
+                last_family = Some(s.name.as_str());
+            }
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, s.label_str(), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, s.label_str(), v);
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    overflow,
+                    sum,
+                    count,
+                } => {
+                    let mut cum = 0u64;
+                    for (bound, n) in buckets {
+                        cum += n;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            s.label_str_with("le", &bound.to_string()),
+                            cum
+                        );
+                    }
+                    cum += overflow;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        s.label_str_with("le", "+Inf"),
+                        cum
+                    );
+                    let _ = writeln!(out, "{}_sum{} {}", s.name, s.label_str(), sum);
+                    let _ = writeln!(out, "{}_count{} {}", s.name, s.label_str(), count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned human-readable table (the `--metrics-dump`
+    /// end-of-run report).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .samples
+            .iter()
+            .map(|s| s.name.len() + s.label_str().len())
+            .max()
+            .unwrap_or(0);
+        for s in &self.samples {
+            let id = format!("{}{}", s.name, s.label_str());
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{id:<width$}  {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{id:<width$}  {v}");
+                }
+                MetricValue::Histogram { sum, count, .. } => {
+                    let mean = sum.checked_div(*count).unwrap_or(0);
+                    let _ = writeln!(out, "{id:<width$}  count={count} sum={sum} mean={mean}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Check a string parses as well-formed Prometheus text format: every
+/// non-comment line is `name[{labels}] value`, every family has HELP/TYPE
+/// comments before its first sample. Returns the number of sample lines.
+/// Used by the exporter snapshot tests; intentionally strict about the
+/// subset this crate emits rather than the full grammar.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", ln + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    if parts.next().is_none() {
+                        return err("HELP without metric name");
+                    }
+                }
+                Some("TYPE") => {
+                    let Some(name) = parts.next() else {
+                        return err("TYPE without metric name");
+                    };
+                    match parts.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        _ => return err("bad TYPE"),
+                    }
+                    typed.insert(name.to_string());
+                }
+                _ => return err("unknown comment"),
+            }
+            continue;
+        }
+        let (id, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return err("sample line without value"),
+        };
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "NaN" {
+            return err("unparsable sample value");
+        }
+        let name = id.split('{').next().unwrap_or(id);
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return err("bad metric name");
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(name);
+        if !typed.contains(family) {
+            return err("sample before TYPE comment");
+        }
+        if let Some(labels) = id.strip_prefix(name) {
+            let well_formed = labels.is_empty()
+                || (labels.starts_with('{') && labels.ends_with('}') && labels.contains('='));
+            if !well_formed {
+                return err("malformed label block");
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Class, Telemetry};
+
+    fn populated() -> Telemetry {
+        let t = Telemetry::new();
+        t.counter("ipd_flows_total", "flows seen").add(42);
+        t.counter_labeled(
+            "ipd_shard_flows_total",
+            "per-shard flows",
+            &[("shard", "0")],
+        )
+        .add(40);
+        t.counter_labeled(
+            "ipd_shard_flows_total",
+            "per-shard flows",
+            &[("shard", "1")],
+        )
+        .add(2);
+        t.gauge("ipd_ranges", "live ranges", Class::Deterministic)
+            .set(7);
+        let h = t.histogram(
+            "ipd_batch_size",
+            "batch sizes",
+            &[1, 10, 100],
+            Class::Deterministic,
+        );
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        t.timing("ipd_tick_nanoseconds", "tick wall time")
+            .observe(1234);
+        t
+    }
+
+    #[test]
+    fn prometheus_text_is_valid_and_complete() {
+        let text = populated().snapshot().to_prometheus_text();
+        let n = validate_prometheus_text(&text).expect("valid exposition format");
+        // 1 counter + 2 labeled + 1 gauge + (4+2) batch hist + (14+2) timing hist
+        assert!(n >= 10, "got {n} samples:\n{text}");
+        assert!(text.contains("# TYPE ipd_flows_total counter"));
+        assert!(text.contains("ipd_shard_flows_total{shard=\"0\"} 40"));
+        assert!(text.contains("ipd_batch_size_bucket{le=\"10\"} 1"));
+        assert!(text.contains("ipd_batch_size_bucket{le=\"100\"} 2"));
+        assert!(text.contains("ipd_batch_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ipd_batch_size_sum 555"));
+        assert!(text.contains("ipd_batch_size_count 3"));
+    }
+
+    #[test]
+    fn deterministic_subset_excludes_timing() {
+        let snap = populated().snapshot();
+        let det = snap.deterministic();
+        assert!(det.samples.iter().all(|s| s.class == Class::Deterministic));
+        assert!(snap.samples.iter().any(|s| s.class == Class::Timing));
+        assert!(det.samples.len() < snap.samples.len());
+        assert_eq!(det.counter("ipd_flows_total"), Some(42));
+        assert_eq!(det.gauge("ipd_ranges"), Some(7));
+    }
+
+    #[test]
+    fn table_rendering_mentions_every_metric() {
+        let table = populated().snapshot().render_table();
+        for name in [
+            "ipd_flows_total",
+            "ipd_shard_flows_total{shard=\"1\"}",
+            "ipd_ranges",
+            "ipd_batch_size",
+            "ipd_tick_nanoseconds",
+        ] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus_text("no_type_metric 1").is_err());
+        assert!(validate_prometheus_text("# TYPE x counter\nx notanumber").is_err());
+        assert!(validate_prometheus_text("# TYPE x banana\nx 1").is_err());
+        assert!(validate_prometheus_text("# TYPE x counter\nx{bad 1").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Minimal span/event tracing, compiled only with the `trace` cargo
+//! feature. Modeled on the `tracing` + `EnvFilter` idiom but dependency
+//! free: a [`TraceFilter`] parses `target=level` directives
+//! (`"ipd_core=debug,warn"`), a [`Tracer`] emits filtered events to a sink,
+//! and [`Tracer::span`] returns a guard that logs enter/exit with elapsed
+//! time.
+//!
+//! Tracing shares telemetry's inertness contract: it observes the pipeline
+//! and never feeds back into it, and a `Tracer` built from
+//! [`TraceFilter::off`] skips formatting entirely.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Event severity, ordered `Error < Warn < Info < Debug < Trace` so that a
+/// filter level admits everything at or below it in verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            "off" => Err("off is not a level; omit the directive".into()),
+            other => Err(format!("unknown trace level {other:?}")),
+        }
+    }
+}
+
+/// A set of `target=level` directives plus a default level, as in
+/// `"ipd_core=debug,ipd_netflow::ipfix=trace,warn"`. The most specific
+/// (longest) matching target prefix wins, falling back to the bare default
+/// directive if none matches.
+#[derive(Debug, Clone)]
+pub struct TraceFilter {
+    /// Sorted by target so longest-prefix search can scan once.
+    directives: Vec<(String, Level)>,
+    default: Option<Level>,
+}
+
+impl TraceFilter {
+    /// A filter that admits nothing.
+    pub fn off() -> Self {
+        TraceFilter {
+            directives: Vec::new(),
+            default: None,
+        }
+    }
+
+    /// Parse a comma-separated directive list. A directive is either
+    /// `target=level` or a bare `level` (the default for unmatched
+    /// targets). Empty input yields [`TraceFilter::off`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut directives = Vec::new();
+        let mut default = None;
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            match raw.split_once('=') {
+                Some((target, level)) => {
+                    let target = target.trim();
+                    if target.is_empty() {
+                        return Err(format!("directive {raw:?} has an empty target"));
+                    }
+                    directives.push((target.to_string(), level.trim().parse()?));
+                }
+                None => {
+                    if default.replace(raw.parse()?).is_some() {
+                        return Err(format!("duplicate default level in {spec:?}"));
+                    }
+                }
+            }
+        }
+        directives.sort();
+        Ok(TraceFilter {
+            directives,
+            default,
+        })
+    }
+
+    /// Whether an event with this `target` and `level` passes the filter.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        let mut best: Option<(usize, Level)> = None;
+        for (prefix, max) in &self.directives {
+            // A directive matches its exact target or any `::`-nested child.
+            let matches = target == prefix
+                || (target.starts_with(prefix.as_str())
+                    && target[prefix.len()..].starts_with("::"));
+            if matches && best.map_or(true, |(len, _)| prefix.len() >= len) {
+                best = Some((prefix.len(), *max));
+            }
+        }
+        match best.map(|(_, max)| max).or(self.default) {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+impl FromStr for TraceFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TraceFilter::parse(s)
+    }
+}
+
+/// Where formatted trace lines go.
+enum Sink {
+    Stderr,
+    /// In-memory, for tests and for `--metrics-dump`-style end-of-run
+    /// reporting.
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+/// A filtered trace emitter. Cloning is cheap and shares the sink.
+#[derive(Clone)]
+pub struct Tracer {
+    filter: Arc<TraceFilter>,
+    sink: Arc<Sink>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer({:?})", self.filter)
+    }
+}
+
+impl Tracer {
+    /// A tracer writing matching events to stderr.
+    pub fn stderr(filter: TraceFilter) -> Self {
+        Tracer {
+            filter: Arc::new(filter),
+            sink: Arc::new(Sink::Stderr),
+        }
+    }
+
+    /// A tracer capturing matching events in memory; the returned handle
+    /// reads them back.
+    pub fn memory(filter: TraceFilter) -> (Self, MemorySink) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        (
+            Tracer {
+                filter: Arc::new(filter),
+                sink: Arc::new(Sink::Memory(Arc::clone(&lines))),
+            },
+            MemorySink(lines),
+        )
+    }
+
+    /// A tracer that emits nothing.
+    pub fn off() -> Self {
+        Tracer::stderr(TraceFilter::off())
+    }
+
+    /// Whether `target`/`level` would be emitted — check before building
+    /// expensive messages.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        self.filter.enabled(target, level)
+    }
+
+    /// Emit one event.
+    pub fn event(&self, target: &str, level: Level, message: &str) {
+        if !self.enabled(target, level) {
+            return;
+        }
+        self.emit(&format!("{:5} {target}: {message}", level.as_str()));
+    }
+
+    /// Open a span: logs `-> name` now and `<- name (elapsed)` when the
+    /// returned guard drops. Disabled spans never read the clock.
+    pub fn span(&self, target: &str, level: Level, name: &str) -> Span {
+        if !self.enabled(target, level) {
+            return Span { live: None };
+        }
+        self.emit(&format!("{:5} {target}: -> {name}", level.as_str()));
+        Span {
+            live: Some(SpanLive {
+                tracer: self.clone(),
+                target: target.to_string(),
+                level,
+                name: name.to_string(),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    fn emit(&self, line: &str) {
+        match &*self.sink {
+            Sink::Stderr => eprintln!("{line}"),
+            Sink::Memory(lines) => lines.lock().expect("trace sink poisoned").push(line.into()),
+        }
+    }
+}
+
+/// Read side of [`Tracer::memory`].
+pub struct MemorySink(Arc<Mutex<Vec<String>>>);
+
+impl MemorySink {
+    /// All lines captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+struct SpanLive {
+    tracer: Tracer,
+    target: String,
+    level: Level,
+    name: String,
+    started: Instant,
+}
+
+/// Guard from [`Tracer::span`]; logs span exit with elapsed time on drop.
+pub struct Span {
+    live: Option<SpanLive>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let micros = live.started.elapsed().as_micros();
+            live.tracer.emit(&format!(
+                "{:5} {}: <- {} ({micros}us)",
+                live.level.as_str(),
+                live.target,
+                live.name
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parses_targets_and_default() {
+        let f = TraceFilter::parse("ipd_core=debug,ipd_netflow::ipfix=trace,warn").unwrap();
+        assert!(f.enabled("ipd_core", Level::Debug));
+        assert!(!f.enabled("ipd_core", Level::Trace));
+        assert!(f.enabled("ipd_netflow::ipfix", Level::Trace));
+        // Unmatched targets fall back to the bare default.
+        assert!(f.enabled("ipd_state", Level::Warn));
+        assert!(!f.enabled("ipd_state", Level::Info));
+    }
+
+    #[test]
+    fn longest_prefix_wins_and_prefixes_respect_path_boundaries() {
+        let f = TraceFilter::parse("ipd_core=warn,ipd_core::pipeline=debug").unwrap();
+        assert!(f.enabled("ipd_core::pipeline", Level::Debug));
+        assert!(f.enabled("ipd_core::pipeline::reader", Level::Debug));
+        assert!(!f.enabled("ipd_core::engine", Level::Debug));
+        // "ipd_core_extras" is not a child of "ipd_core".
+        assert!(!f.enabled("ipd_core_extras", Level::Error));
+    }
+
+    #[test]
+    fn filter_rejects_bad_specs() {
+        assert!(TraceFilter::parse("ipd_core=banana").is_err());
+        assert!(TraceFilter::parse("=debug").is_err());
+        assert!(TraceFilter::parse("info,debug").is_err());
+        assert!(TraceFilter::parse("").unwrap().directives.is_empty());
+        assert!(!TraceFilter::parse("").unwrap().enabled("x", Level::Error));
+    }
+
+    #[test]
+    fn events_and_spans_reach_the_sink() {
+        let (tracer, sink) = Tracer::memory(TraceFilter::parse("ipd_core=debug").unwrap());
+        tracer.event("ipd_core", Level::Info, "tick fired");
+        tracer.event("ipd_core", Level::Trace, "too verbose"); // filtered
+        tracer.event("other", Level::Error, "wrong target"); // filtered
+        {
+            let _span = tracer.span("ipd_core", Level::Debug, "stage2");
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("tick fired"));
+        assert!(lines[1].contains("-> stage2"));
+        assert!(lines[2].contains("<- stage2"));
+        assert!(lines[2].contains("us)"));
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let tracer = Tracer::off();
+        assert!(!tracer.enabled("ipd_core", Level::Error));
+        let span = tracer.span("ipd_core", Level::Error, "nope");
+        assert!(span.live.is_none());
+    }
+}

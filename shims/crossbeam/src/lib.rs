@@ -174,6 +174,25 @@ pub mod channel {
         pub fn try_iter(&self) -> TryIter<'_, T> {
             TryIter { receiver: self }
         }
+
+        /// Number of values currently queued (racy by nature, like the real
+        /// crate's `len` — use for monitoring, not control flow).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy, like [`len`](Self::len)).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity — i.e. senders may be parked in
+        /// `send` (racy, like [`len`](Self::len)). Matches the real crate's
+        /// `Receiver::is_full`.
+        pub fn is_full(&self) -> bool {
+            let inner = self.shared.inner.lock().unwrap();
+            inner.queue.len() >= inner.capacity
+        }
     }
 
     impl<T> Clone for Receiver<T> {

@@ -10,5 +10,6 @@ pub use ipd_eval as eval;
 pub use ipd_lpm as lpm;
 pub use ipd_netflow as netflow;
 pub use ipd_stattime as stattime;
+pub use ipd_telemetry as telemetry;
 pub use ipd_topology as topology;
 pub use ipd_traffic as traffic;

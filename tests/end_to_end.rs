@@ -209,6 +209,7 @@ fn threaded_pipeline_agrees_with_direct_ingestion() {
         channel_capacity: 64,
         snapshot_every_ticks: 5,
         shards: 1,
+        ..Default::default()
     })
     .unwrap();
     let tx = pipeline.input();
