@@ -254,6 +254,16 @@ impl IpdEngine {
         records.retain(|r| r.sample_count > 0.0 || r.classified);
         Snapshot { ts, records }
     }
+
+    /// Like [`snapshot`](IpdEngine::snapshot) but keeps only classified
+    /// ranges — the records that carry an ingress verdict. This is the view a
+    /// serving layer publishes: monitored-but-unclassified ranges answer
+    /// "unmapped" anyway, so shipping them to readers is pure overhead.
+    pub fn classified_snapshot(&self, ts: u64) -> Snapshot {
+        let mut snap = self.snapshot(ts);
+        snap.records.retain(|r| r.classified);
+        snap
+    }
 }
 
 #[cfg(test)]

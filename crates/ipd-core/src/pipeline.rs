@@ -167,6 +167,14 @@ pub trait PipelineHook: Send {
     fn finished(&mut self, engine: &IpdEngine, clock: BucketClock) {
         let _ = (engine, clock);
     }
+    /// End of stream, *after* the final tick and snapshot fired — the
+    /// terminal engine state. This is the publication seam a serving layer
+    /// (e.g. `ipd-serve`) uses to push the last ingress map of a run;
+    /// durability hooks keep using [`finished`](PipelineHook::finished),
+    /// whose pre-final-tick state is what a restore replays to.
+    fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        let _ = (engine, clock);
+    }
 }
 
 /// The do-nothing hook the unhooked entry points run with.
@@ -380,6 +388,7 @@ pub fn run_offline_with<E, I, F>(
     }
     hook.finished(engine.engine(), driver.clock());
     driver.finish(engine, &mut on_output);
+    hook.closed(engine.engine(), driver.clock());
 }
 
 /// [`run_offline_with`] reporting into a [`Telemetry`] registry: flow and
@@ -415,6 +424,7 @@ pub fn run_offline_instrumented<E, I, F>(
     }
     hook.finished(engine.engine(), driver.clock());
     driver.finish(engine, &mut on_output);
+    hook.closed(engine.engine(), driver.clock());
 }
 
 /// Wind-down drain shared by both pipelines' `finish`.
@@ -503,6 +513,7 @@ impl IpdPipeline {
                 }
                 hook.finished(&engine, driver.clock());
                 driver.finish(&mut engine, &mut emit);
+                hook.closed(&engine, driver.clock());
                 (engine, hook)
             })
             .expect("spawning the engine thread");
@@ -606,6 +617,7 @@ impl ShardedPipeline {
                 }
                 hook.finished(ShardedEngine::engine(&engine), driver.clock());
                 driver.finish(&mut engine, &mut emit);
+                hook.closed(ShardedEngine::engine(&engine), driver.clock());
                 (engine, hook)
             })
             .expect("spawning the sharded engine thread");

@@ -1,6 +1,7 @@
 //! Fuzz targets for every parser in the workspace that eats raw bytes off
 //! the wire or off disk: NetFlow v5 datagrams, IPFIX messages (stateful —
-//! template caches carry across messages), and the write-ahead journal.
+//! template caches carry across messages), the write-ahead journal, and
+//! the serving layer's binary query protocol.
 //!
 //! The target functions are plain `fn(&[u8])` so they can be driven two
 //! ways:
@@ -22,6 +23,10 @@ use std::time::Instant;
 use ipd_netflow::ipfix::{IpfixDecoder, IpfixExporter};
 use ipd_netflow::v5::{decode as v5_decode, V5Exporter};
 use ipd_netflow::FlowRecord;
+use ipd_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, request_op, Request,
+    Response, WireAnswer, MAX_BATCH,
+};
 use ipd_state::{parse_journal, JournalWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +78,38 @@ pub fn fuzz_journal(data: &[u8]) {
     }
 }
 
+/// Serve query protocol target: the same bytes through both the request
+/// and the response decoder (the two sides share the payload framing, so
+/// one mutated input exercises both). Decoding is canonical — whatever
+/// decodes must re-encode to exactly the input bytes — which turns the
+/// fuzzer into a roundtrip oracle, not just a crash detector.
+pub fn fuzz_proto(data: &[u8]) {
+    if let Ok(req) = decode_request(data) {
+        if let Request::Batch(addrs) = &req {
+            assert!(addrs.len() <= MAX_BATCH, "oversized batch decoded");
+        }
+        assert_eq!(
+            encode_request(&req),
+            data,
+            "request decode is not canonical"
+        );
+        // The op survives the roundtrip (a response echoes it).
+        assert_eq!(request_op(&req), data[1], "request op not preserved");
+    }
+    if let Ok(resp) = decode_response(data) {
+        if let Response::Answers { answers, .. } = &resp {
+            assert!(answers.len() <= MAX_BATCH, "oversized answer set decoded");
+        }
+        // Re-encode under the original op byte: bit-identical, including
+        // NaN/odd confidence bit patterns.
+        assert_eq!(
+            encode_response(&resp, data[1]),
+            data,
+            "response decode is not canonical"
+        );
+    }
+}
+
 /// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
 pub type FuzzTarget = fn(&[u8]);
 
@@ -81,6 +118,7 @@ pub const TARGETS: &[(&str, FuzzTarget)] = &[
     ("v5", fuzz_v5),
     ("ipfix", fuzz_ipfix),
     ("journal", fuzz_journal),
+    ("proto", fuzz_proto),
 ];
 
 /// Well-formed seed inputs for `target`, produced by the matching encoders
@@ -143,7 +181,60 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 bytes[..8].to_vec(),
             ]
         }
-        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal)"),
+        "proto" => {
+            // Both sides of the wire, straight from the encoders: every op,
+            // both address families, mapped and unmapped answers, and an
+            // awkward confidence bit pattern.
+            let addrs: Vec<ipd_lpm::Addr> = flows.iter().map(|f| f.src).collect();
+            let answers = vec![
+                WireAnswer::UNMAPPED,
+                WireAnswer {
+                    kind: ipd_serve::proto::AnswerKind::Link,
+                    prefix_len: 24,
+                    router: 30,
+                    ifindex: 2,
+                    confidence: 0.991,
+                },
+                WireAnswer {
+                    kind: ipd_serve::proto::AnswerKind::Bundle,
+                    prefix_len: 12,
+                    router: 9,
+                    ifindex: 1,
+                    confidence: f64::from_bits(0x3FEF_FFFF_FFFF_FFFF),
+                },
+            ];
+            vec![
+                encode_request(&Request::Lookup(addrs[0])),
+                encode_request(&Request::Lookup(addrs[4])),
+                encode_request(&Request::Batch(addrs)),
+                encode_request(&Request::Batch(Vec::new())),
+                encode_request(&Request::Info),
+                encode_response(
+                    &Response::Answers {
+                        epoch: 12,
+                        answers: answers.clone(),
+                    },
+                    2,
+                ),
+                encode_response(
+                    &Response::Answers {
+                        epoch: 1,
+                        answers: answers[..1].to_vec(),
+                    },
+                    1,
+                ),
+                encode_response(
+                    &Response::Info {
+                        epoch: 9,
+                        ts: 540,
+                        entries: 131_072,
+                        memory_bytes: 4_200_000,
+                    },
+                    3,
+                ),
+            ]
+        }
+        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto)"),
     }
 }
 

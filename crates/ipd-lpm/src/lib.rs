@@ -11,15 +11,20 @@
 //! * [`LpmTrie`] — a generic binary longest-prefix-match trie keyed by
 //!   [`Prefix`], used for the validation lookup table of §5.1 of the paper and
 //!   for all BGP lookups.
+//! * [`FlatLpm`] — the immutable, flattened read-side twin of [`LpmTrie`]:
+//!   contiguous nodes plus a 16-bit stride table, built once and shared
+//!   across reader threads by the serving layer (`ipd-serve`).
 //!
 //! The types are deliberately simple (no bit-twiddling cleverness, no unsafe):
 //! per the project's networking guide, robustness and obviousness beat
 //! micro-optimisation, and the trie is already far from the bottleneck.
 
 mod addr;
+mod flat;
 mod prefix;
 mod trie;
 
 pub use addr::{Addr, Af};
+pub use flat::FlatLpm;
 pub use prefix::{ParsePrefixError, Prefix};
 pub use trie::LpmTrie;

@@ -115,6 +115,34 @@ proptest! {
         );
     }
 
+    /// The flattened read-side table agrees with the trie it was built from
+    /// on every lookup — the serving layer's correctness hinge.
+    #[test]
+    fn flat_lpm_matches_trie(
+        entries in proptest::collection::hash_map(
+            prop_oneof![4 => arb_prefix_v4(), 1 => arb_prefix_v6()],
+            any::<u32>(),
+            0..200,
+        ),
+        probes in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let trie: LpmTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let flat: ipd_lpm::FlatLpm<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(flat.len(), trie.len());
+        // Probe random addresses plus every stored boundary (first/last
+        // address of each prefix), both families.
+        let mut addrs: Vec<Addr> = probes.iter().map(|&b| Addr::v4(b)).collect();
+        for p in entries.keys() {
+            addrs.push(p.first_addr());
+            addrs.push(p.last_addr());
+        }
+        for addr in addrs {
+            let want = trie.lookup(addr).map(|(p, v)| (p, *v));
+            let got = flat.lookup(addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, want, "divergence at {}", addr);
+        }
+    }
+
     /// A prefix round-trips through its string representation.
     #[test]
     fn prefix_string_roundtrip(p in prop_oneof![arb_prefix_v4(), arb_prefix_v6()]) {

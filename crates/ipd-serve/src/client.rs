@@ -1,0 +1,129 @@
+//! A minimal blocking query client over one TCP connection — the reference
+//! consumer of the wire protocol, used by `ipd-tool query`, the tests, and
+//! the benchmark load generator.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ipd_lpm::Addr;
+
+use crate::proto::{
+    decode_response, encode_request, frame, ProtoError, Request, Response, WireAnswer, MAX_FRAME,
+};
+
+/// Everything a query call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes the protocol cannot decode.
+    Proto(ProtoError),
+    /// The server answered with the wrong response shape (e.g. an Info
+    /// reply to a Lookup) or the wrong answer count.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Store metadata as returned by [`ServeClient::info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeInfo {
+    /// Publication epoch of the current store.
+    pub epoch: u64,
+    /// Data timestamp the store serves.
+    pub ts: u64,
+    /// Classified ranges held.
+    pub entries: u64,
+    /// Approximate heap footprint in bytes.
+    pub memory_bytes: u64,
+}
+
+/// A blocking client holding one connection. Requests are strictly
+/// serialized (send, then wait for the one response) — open several clients
+/// for concurrency.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a running [`crate::server::ServeServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&frame(&encode_request(req)))?;
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_be_bytes(len) as usize;
+        if len > MAX_FRAME {
+            return Err(ClientError::Unexpected("oversized response frame"));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Look one address up: `(epoch, answer)`.
+    pub fn lookup(&mut self, addr: Addr) -> Result<(u64, WireAnswer), ClientError> {
+        match self.call(&Request::Lookup(addr))? {
+            Response::Answers { epoch, answers } if answers.len() == 1 => Ok((epoch, answers[0])),
+            Response::Answers { .. } => Err(ClientError::Unexpected("answer count != 1")),
+            Response::Info { .. } => Err(ClientError::Unexpected("info reply to lookup")),
+        }
+    }
+
+    /// Look a batch up: `(epoch, answers)` in request order, all answered
+    /// by the same store.
+    pub fn batch(&mut self, addrs: &[Addr]) -> Result<(u64, Vec<WireAnswer>), ClientError> {
+        match self.call(&Request::Batch(addrs.to_vec()))? {
+            Response::Answers { epoch, answers } if answers.len() == addrs.len() => {
+                Ok((epoch, answers))
+            }
+            Response::Answers { .. } => Err(ClientError::Unexpected("answer count mismatch")),
+            Response::Info { .. } => Err(ClientError::Unexpected("info reply to batch")),
+        }
+    }
+
+    /// Fetch store metadata.
+    pub fn info(&mut self) -> Result<ServeInfo, ClientError> {
+        match self.call(&Request::Info)? {
+            Response::Info {
+                epoch,
+                ts,
+                entries,
+                memory_bytes,
+            } => Ok(ServeInfo {
+                epoch,
+                ts,
+                entries,
+                memory_bytes,
+            }),
+            Response::Answers { .. } => Err(ClientError::Unexpected("answers reply to info")),
+        }
+    }
+}

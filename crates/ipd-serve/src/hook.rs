@@ -1,0 +1,178 @@
+//! The publication seam: a [`PipelineHook`] that rebuilds the read-side
+//! [`IngressStore`] at every bucket close (and once more at end of stream,
+//! after the final tick) and swaps it in for readers.
+
+use ipd::pipeline::{BucketClock, PipelineHook};
+use ipd::IpdEngine;
+
+use crate::store::IngressStore;
+use crate::swap::EpochSwap;
+use crate::telemetry::ServeTelemetry;
+
+/// Publishes a fresh [`IngressStore`] into an [`EpochSwap`] on every bucket
+/// crossing and at stream close. Riding on the engine thread means each
+/// publication sees exactly the post-tick state of the closed bucket — the
+/// same well-defined point checkpoints capture — so an epoch is a bucket
+/// boundary, nothing in between.
+pub struct ServePublisher {
+    swap: EpochSwap<IngressStore>,
+    metrics: ServeTelemetry,
+}
+
+impl ServePublisher {
+    /// A publisher starting from the empty store at epoch 0. Clone the
+    /// returned [`EpochSwap`] before boxing the publisher into
+    /// `spawn_hooked` — it is the readers' handle.
+    pub fn new() -> Self {
+        Self::with_metrics(ServeTelemetry::default())
+    }
+
+    /// [`ServePublisher::new`] reporting into metric handles.
+    pub fn with_metrics(metrics: ServeTelemetry) -> Self {
+        ServePublisher {
+            swap: EpochSwap::new(IngressStore::empty()),
+            metrics,
+        }
+    }
+
+    /// The swap readers subscribe to.
+    pub fn swap(&self) -> EpochSwap<IngressStore> {
+        self.swap.clone()
+    }
+
+    /// Publish one store outside the pipeline — the serve-from-checkpoint
+    /// path, where there is no stream and the hook never fires. Same metric
+    /// accounting as a hook-driven publication. Returns the new epoch.
+    pub fn publish_now(&mut self, engine: &IpdEngine, ts: u64) -> u64 {
+        self.publish(engine, ts);
+        self.swap.epoch()
+    }
+
+    fn publish(&mut self, engine: &IpdEngine, ts: u64) {
+        let _timer = self.metrics.publish_duration.start_timer();
+        let store = IngressStore::from_engine(engine, ts);
+        self.metrics.store_entries.set(store.len() as i64);
+        self.metrics
+            .store_bytes
+            .set(store.memory_bytes().min(i64::MAX as usize) as i64);
+        let epoch = self.swap.publish(store);
+        self.metrics.epoch.set(epoch.min(i64::MAX as u64) as i64);
+        self.metrics.published.inc();
+    }
+}
+
+impl Default for ServePublisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineHook for ServePublisher {
+    /// A bucket just closed: its ticks fired, the crossing flow is not yet
+    /// applied. Publish the post-tick map, stamped with the closed bucket's
+    /// end (= the new bucket's start).
+    fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        let t = engine.params().t_secs;
+        let ts = clock.current_bucket.map_or(0, |b| b * t);
+        self.publish(engine, ts);
+    }
+
+    /// End of stream, after the final tick: publish the terminal map so the
+    /// last bucket's classifications are servable too.
+    fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        let t = engine.params().t_secs;
+        let ts = clock.current_bucket.map_or(0, |b| (b + 1) * t);
+        self.publish(engine, ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd::pipeline::run_offline_with;
+    use ipd::{IpdParams, Snapshot};
+    use ipd_lpm::Addr;
+    use ipd_netflow::FlowRecord;
+    use ipd_telemetry::Telemetry;
+
+    fn test_params() -> IpdParams {
+        IpdParams {
+            ncidr_factor_v4: 0.01,
+            ..IpdParams::default()
+        }
+    }
+
+    fn two_half_flows(minutes: u64) -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        for m in 0..minutes {
+            for i in 0..200u32 {
+                let ts = m * 60 + (i as u64 % 60);
+                flows.push(FlowRecord::synthetic(ts, Addr::v4(i * 4096), 1, 1));
+                flows.push(FlowRecord::synthetic(
+                    ts,
+                    Addr::v4(0x8000_0000 + i * 4096),
+                    2,
+                    1,
+                ));
+            }
+        }
+        flows.sort_by_key(|f| f.ts);
+        flows
+    }
+
+    #[test]
+    fn publishes_every_bucket_and_at_close() {
+        let telemetry = Telemetry::new();
+        let mut hook = ServePublisher::with_metrics(ServeTelemetry::register(&telemetry));
+        let swap = hook.swap();
+        let mut engine = ipd::IpdEngine::new(test_params()).unwrap();
+        let mut snapshots: Vec<Snapshot> = Vec::new();
+        run_offline_with(&mut engine, two_half_flows(6), 1, None, &mut hook, |o| {
+            if let ipd::pipeline::PipelineOutput::Snapshot(s) = o {
+                snapshots.push(s);
+            }
+        });
+        // 6 minutes of data: 5 in-stream crossings + 1 close publication.
+        assert_eq!(swap.epoch(), 6);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("ipd_serve_published_total"), Some(6));
+        assert_eq!(snap.gauge("ipd_serve_epoch"), Some(6));
+
+        // The final published store answers like the final snapshot table.
+        let mut reader = swap.reader();
+        let current = reader.current();
+        assert_eq!(current.epoch, 6);
+        let last = snapshots.last().expect("final snapshot");
+        let table = last.lpm_table();
+        assert!(!current.value.is_empty());
+        assert_eq!(current.value.ts(), last.ts);
+        for i in 0..5_000u32 {
+            let addr = Addr::v4(i.wrapping_mul(0x9E37_79B9));
+            assert_eq!(
+                current
+                    .value
+                    .lookup(addr)
+                    .map(|a| (a.prefix, a.ingress.clone())),
+                table.lookup(addr).map(|(p, ing)| (p, ing.clone())),
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_publishes_nothing() {
+        let mut hook = ServePublisher::new();
+        let swap = hook.swap();
+        let mut engine = ipd::IpdEngine::new(test_params()).unwrap();
+        run_offline_with(
+            &mut engine,
+            Vec::<FlowRecord>::new(),
+            1,
+            None,
+            &mut hook,
+            |_| {},
+        );
+        // closed() fires even with no flows, from the empty clock.
+        assert_eq!(swap.epoch(), 1);
+        assert!(swap.load().value.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # ipd-serve — the concurrent read side of the IPD reproduction
+//!
+//! The paper's whole point is answering *"through which ingress point does
+//! traffic for IP x enter the ISP?"* — this crate answers that question
+//! **while the pipeline runs**, against the freshest closed bucket:
+//!
+//! * [`IngressStore`] — an immutable, cache-friendly ingress map: a
+//!   flattened LPM table ([`ipd_lpm::FlatLpm`]) over one snapshot's
+//!   classified ranges, built from a live snapshot, an engine, or a
+//!   checkpoint on disk (no journal replay needed).
+//! * [`EpochSwap`] / [`Reader`] — atomic epoch-swapped publication:
+//!   the writer replaces whole stores; readers pay one atomic load per
+//!   lookup on the steady state and never take a lock on the lookup path.
+//! * [`ServePublisher`] — the [`ipd::pipeline::PipelineHook`] that rides
+//!   the engine thread and publishes a fresh store at every bucket close
+//!   (and once more after the final tick).
+//! * [`ServeServer`] / [`ServeClient`] — a threaded TCP front-end speaking
+//!   a length-prefixed binary protocol ([`proto`]) with single, batched,
+//!   and metadata queries; wired into `ipd-tool serve` / `ipd-tool query`.
+//! * [`ServeTelemetry`] — `ipd_serve_*` metrics: lookup counters, per-
+//!   lookup latency on sub-microsecond buckets, and the epoch gauge a
+//!   scrape watches to see publication advance.
+//!
+//! ## The serving contract (DESIGN.md §11)
+//!
+//! An **epoch** is a closed bucket: epoch N serves exactly the engine state
+//! after the ticks of the N-th published boundary, never anything mid-
+//! bucket. Readers are **at most one access stale**: the epoch a lookup is
+//! answered from is never older than the global epoch at the moment the
+//! reader checked. A store, once published, is immutable; it stays alive
+//! until the last reader drops it, so an in-flight batch is answered by
+//! one store even if ten epochs advance meanwhile. Lookups are
+//! bit-identical to querying `snapshot.lpm_table()` on the same boundary —
+//! the differential suite pins this for the plain and sharded engines.
+
+mod client;
+mod hook;
+pub mod proto;
+mod server;
+mod store;
+mod swap;
+mod telemetry;
+
+pub use client::{ClientError, ServeClient, ServeInfo};
+pub use hook::ServePublisher;
+pub use server::ServeServer;
+pub use store::{IngressAnswer, IngressStore};
+pub use swap::{EpochSwap, Reader, Versioned};
+pub use telemetry::ServeTelemetry;

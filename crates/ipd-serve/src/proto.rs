@@ -1,0 +1,547 @@
+//! The query wire protocol: length-prefixed binary frames, fixed-width
+//! big-endian fields, no external dependencies.
+//!
+//! Every message is one frame: a `u32` big-endian payload length (capped at
+//! [`MAX_FRAME`]) followed by the payload. Payloads open with a version
+//! byte ([`PROTO_VERSION`]) and an op byte; requests and responses use the
+//! same op space so a response always echoes its request's op.
+//!
+//! ```text
+//! request  op 1 (Lookup):  [ver][1][addr]
+//! request  op 2 (Batch):   [ver][2][count:u32][addr]*count        count ≤ MAX_BATCH
+//! request  op 3 (Info):    [ver][3]
+//! response op 1/2:         [ver][op][epoch:u64][count:u32][answer]*count
+//! response op 3:           [ver][3][epoch:u64][ts:u64][entries:u64][bytes:u64]
+//! addr:                    [af:u8=4|6][4 or 16 address bytes, network order]
+//! answer:                  [kind:u8][prefix_len:u8][router:u32][ifindex:u16][confidence:f64 bits]
+//! ```
+//!
+//! Answer `kind` is 0 = unmapped (all other fields zero), 1 = link,
+//! 2 = bundle (`ifindex` is the bundle's lowest member interface; the full
+//! member list is not carried — the map's consumer keys on router anyway,
+//! see DESIGN.md §11). `confidence` travels as raw IEEE-754 bits so the
+//! answer is bit-identical to the store's value.
+//!
+//! Encoding and decoding are pure byte-slice functions — no sockets, no
+//! allocation beyond the output — which is what makes the decoder directly
+//! fuzzable (`ipd-fuzz` target `proto`).
+
+use ipd_lpm::{Addr, Af};
+
+use crate::store::IngressAnswer;
+use ipd::LogicalIngress;
+
+/// Protocol version byte every payload opens with.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Maximum payload length a frame may declare (1 MiB) — caps what a server
+/// buffers per connection before decoding.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Maximum addresses in one batch request.
+pub const MAX_BATCH: usize = 4_096;
+
+const OP_LOOKUP: u8 = 1;
+const OP_BATCH: u8 = 2;
+const OP_INFO: u8 = 3;
+
+const KIND_UNMAPPED: u8 = 0;
+const KIND_LINK: u8 = 1;
+const KIND_BUNDLE: u8 = 2;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Single-address lookup.
+    Lookup(Addr),
+    /// Batched lookup; answers come back in request order.
+    Batch(Vec<Addr>),
+    /// Store metadata (epoch, stamp, entry count, footprint).
+    Info,
+}
+
+/// What kind of ingress an answer names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerKind {
+    /// No classified range covers the address.
+    Unmapped,
+    /// A single (router, interface) link.
+    Link,
+    /// A bundle of interfaces on one router.
+    Bundle,
+}
+
+/// One lookup answer as it travels on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireAnswer {
+    /// Unmapped, link, or bundle.
+    pub kind: AnswerKind,
+    /// Length of the matched range (0 when unmapped — note a real default
+    /// route also has length 0; `kind` disambiguates).
+    pub prefix_len: u8,
+    /// Ingress router id (0 when unmapped).
+    pub router: u32,
+    /// Ingress interface; for a bundle, its lowest member (0 when unmapped).
+    pub ifindex: u16,
+    /// `s_ingress` of the range at snapshot time (0.0 when unmapped).
+    pub confidence: f64,
+}
+
+impl WireAnswer {
+    /// The unmapped answer.
+    pub const UNMAPPED: WireAnswer = WireAnswer {
+        kind: AnswerKind::Unmapped,
+        prefix_len: 0,
+        router: 0,
+        ifindex: 0,
+        confidence: 0.0,
+    };
+
+    /// Flatten a store lookup into wire form.
+    pub fn from_lookup(found: Option<IngressAnswer<'_>>) -> WireAnswer {
+        match found {
+            None => WireAnswer::UNMAPPED,
+            Some(a) => {
+                let (kind, ifindex) = match a.ingress {
+                    LogicalIngress::Link(p) => (AnswerKind::Link, p.ifindex),
+                    LogicalIngress::Bundle(b) => {
+                        // Members are sorted ascending; the first is the
+                        // canonical representative.
+                        (
+                            AnswerKind::Bundle,
+                            b.ifindexes.first().copied().unwrap_or(0),
+                        )
+                    }
+                };
+                WireAnswer {
+                    kind,
+                    prefix_len: a.prefix.len(),
+                    router: a.ingress.router(),
+                    ifindex,
+                    confidence: a.confidence,
+                }
+            }
+        }
+    }
+
+    /// True when the answer names an ingress.
+    pub fn is_mapped(&self) -> bool {
+        self.kind != AnswerKind::Unmapped
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answers to a Lookup (one element) or Batch (request order), stamped
+    /// with the epoch that produced every one of them.
+    Answers {
+        /// Publication epoch of the store that answered.
+        epoch: u64,
+        /// One answer per queried address.
+        answers: Vec<WireAnswer>,
+    },
+    /// Store metadata.
+    Info {
+        /// Publication epoch of the current store.
+        epoch: u64,
+        /// Data timestamp the store serves.
+        ts: u64,
+        /// Classified ranges held.
+        entries: u64,
+        /// Approximate heap footprint in bytes.
+        memory_bytes: u64,
+    },
+}
+
+/// Decode failures. Every variant is a protocol violation by the peer;
+/// none is an internal error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the structure it declared.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown op byte.
+    BadOp(u8),
+    /// Address family byte other than 4 or 6.
+    BadAf(u8),
+    /// Unknown answer kind byte.
+    BadKind(u8),
+    /// Batch count exceeds [`MAX_BATCH`].
+    BatchTooLarge(u32),
+    /// Bytes left over after the declared structure.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            ProtoError::BadOp(o) => write!(f, "unknown op {o}"),
+            ProtoError::BadAf(a) => write!(f, "unknown address family {a}"),
+            ProtoError::BadKind(k) => write!(f, "unknown answer kind {k}"),
+            ProtoError::BatchTooLarge(n) => write!(f, "batch of {n} exceeds {MAX_BATCH}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A cursor over a payload that fails soft on truncation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn addr(&mut self) -> Result<Addr, ProtoError> {
+        match self.u8()? {
+            4 => Ok(Addr::v4(u32::from_be_bytes(
+                self.take(4)?.try_into().unwrap(),
+            ))),
+            6 => Ok(Addr::v6(u128::from_be_bytes(
+                self.take(16)?.try_into().unwrap(),
+            ))),
+            other => Err(ProtoError::BadAf(other)),
+        }
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(left))
+        }
+    }
+}
+
+fn put_addr(out: &mut Vec<u8>, addr: Addr) {
+    match addr.af() {
+        Af::V4 => {
+            out.push(4);
+            out.extend_from_slice(&(addr.bits() as u32).to_be_bytes());
+        }
+        Af::V6 => {
+            out.push(6);
+            out.extend_from_slice(&addr.bits().to_be_bytes());
+        }
+    }
+}
+
+/// Encode a request payload (no length prefix — see [`frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = vec![PROTO_VERSION];
+    match req {
+        Request::Lookup(addr) => {
+            out.push(OP_LOOKUP);
+            put_addr(&mut out, *addr);
+        }
+        Request::Batch(addrs) => {
+            out.push(OP_BATCH);
+            out.extend_from_slice(&(addrs.len() as u32).to_be_bytes());
+            for &a in addrs {
+                put_addr(&mut out, a);
+            }
+        }
+        Request::Info => out.push(OP_INFO),
+    }
+    out
+}
+
+/// Decode a request payload. Total, never panics: any byte sequence either
+/// decodes or returns a [`ProtoError`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let req = match c.u8()? {
+        OP_LOOKUP => Request::Lookup(c.addr()?),
+        OP_BATCH => {
+            let count = c.u32()?;
+            if count as usize > MAX_BATCH {
+                return Err(ProtoError::BatchTooLarge(count));
+            }
+            // Capacity from bytes actually present, not the declared count:
+            // a tiny frame claiming 4096 addresses must not pre-allocate.
+            let mut addrs = Vec::with_capacity((count as usize).min(payload.len() / 5 + 1));
+            for _ in 0..count {
+                addrs.push(c.addr()?);
+            }
+            Request::Batch(addrs)
+        }
+        OP_INFO => Request::Info,
+        other => return Err(ProtoError::BadOp(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+fn put_answer(out: &mut Vec<u8>, a: &WireAnswer) {
+    out.push(match a.kind {
+        AnswerKind::Unmapped => KIND_UNMAPPED,
+        AnswerKind::Link => KIND_LINK,
+        AnswerKind::Bundle => KIND_BUNDLE,
+    });
+    out.push(a.prefix_len);
+    out.extend_from_slice(&a.router.to_be_bytes());
+    out.extend_from_slice(&a.ifindex.to_be_bytes());
+    out.extend_from_slice(&a.confidence.to_bits().to_be_bytes());
+}
+
+/// Encode a response payload. `op` must be the request op being answered
+/// (`1` for Lookup, `2` for Batch; Info picks its own).
+pub fn encode_response(resp: &Response, op: u8) -> Vec<u8> {
+    let mut out = vec![PROTO_VERSION];
+    match resp {
+        Response::Answers { epoch, answers } => {
+            out.push(op);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.extend_from_slice(&(answers.len() as u32).to_be_bytes());
+            for a in answers {
+                put_answer(&mut out, a);
+            }
+        }
+        Response::Info {
+            epoch,
+            ts,
+            entries,
+            memory_bytes,
+        } => {
+            out.push(OP_INFO);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.extend_from_slice(&ts.to_be_bytes());
+            out.extend_from_slice(&entries.to_be_bytes());
+            out.extend_from_slice(&memory_bytes.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a response payload. Total like [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let resp = match c.u8()? {
+        OP_LOOKUP | OP_BATCH => {
+            let epoch = c.u64()?;
+            let count = c.u32()?;
+            if count as usize > MAX_BATCH {
+                return Err(ProtoError::BatchTooLarge(count));
+            }
+            let mut answers = Vec::with_capacity((count as usize).min(payload.len() / 16 + 1));
+            for _ in 0..count {
+                let kind = match c.u8()? {
+                    KIND_UNMAPPED => AnswerKind::Unmapped,
+                    KIND_LINK => AnswerKind::Link,
+                    KIND_BUNDLE => AnswerKind::Bundle,
+                    other => return Err(ProtoError::BadKind(other)),
+                };
+                answers.push(WireAnswer {
+                    kind,
+                    prefix_len: c.u8()?,
+                    router: c.u32()?,
+                    ifindex: c.u16()?,
+                    confidence: f64::from_bits(c.u64()?),
+                });
+            }
+            Response::Answers { epoch, answers }
+        }
+        OP_INFO => Response::Info {
+            epoch: c.u64()?,
+            ts: c.u64()?,
+            entries: c.u64()?,
+            memory_bytes: c.u64()?,
+        },
+        other => return Err(ProtoError::BadOp(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+/// The op byte a request travels under (a response echoes it).
+pub fn request_op(req: &Request) -> u8 {
+    match req {
+        Request::Lookup(_) => OP_LOOKUP,
+        Request::Batch(_) => OP_BATCH,
+        Request::Info => OP_INFO,
+    }
+}
+
+/// Wrap a payload in its length prefix: the bytes that go on the wire.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes), Ok(req));
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Lookup(Addr::v4(0xC000_0201)));
+        roundtrip_request(Request::Lookup(Addr::v6((0x2001 << 112) | 7)));
+        roundtrip_request(Request::Batch(vec![]));
+        roundtrip_request(Request::Batch(vec![
+            Addr::v4(1),
+            Addr::v6(2),
+            Addr::v4(u32::MAX),
+        ]));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let answers = Response::Answers {
+            epoch: 77,
+            answers: vec![
+                WireAnswer::UNMAPPED,
+                WireAnswer {
+                    kind: AnswerKind::Link,
+                    prefix_len: 24,
+                    router: 30,
+                    ifindex: 2,
+                    confidence: 0.991,
+                },
+                WireAnswer {
+                    kind: AnswerKind::Bundle,
+                    prefix_len: 12,
+                    router: 9,
+                    ifindex: 1,
+                    confidence: 1.0,
+                },
+            ],
+        };
+        let bytes = encode_response(&answers, 2);
+        assert_eq!(decode_response(&bytes), Ok(answers));
+
+        let info = Response::Info {
+            epoch: 3,
+            ts: 600,
+            entries: 131_072,
+            memory_bytes: 9_999_999,
+        };
+        let bytes = encode_response(&info, 3);
+        assert_eq!(decode_response(&bytes), Ok(info));
+    }
+
+    #[test]
+    fn confidence_travels_bit_exact() {
+        let odd = f64::from_bits(0x3FEF_FFFF_FFFF_FFFF);
+        let resp = Response::Answers {
+            epoch: 1,
+            answers: vec![WireAnswer {
+                kind: AnswerKind::Link,
+                prefix_len: 8,
+                router: 1,
+                ifindex: 1,
+                confidence: odd,
+            }],
+        };
+        let Response::Answers { answers, .. } =
+            decode_response(&encode_response(&resp, 1)).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(answers[0].confidence.to_bits(), odd.to_bits());
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
+        assert_eq!(decode_request(&[9, 1]), Err(ProtoError::BadVersion(9)));
+        assert_eq!(decode_request(&[1, 99]), Err(ProtoError::BadOp(99)));
+        assert_eq!(decode_request(&[1, 1, 5]), Err(ProtoError::BadAf(5)));
+        assert_eq!(decode_request(&[1, 1, 4, 0]), Err(ProtoError::Truncated));
+        assert_eq!(
+            decode_request(&[1, 3, 0]),
+            Err(ProtoError::TrailingBytes(1))
+        );
+        // A batch declaring more than MAX_BATCH addresses is rejected before
+        // any allocation proportional to the claim.
+        let mut huge = vec![1, 2];
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert_eq!(
+            decode_request(&huge),
+            Err(ProtoError::BatchTooLarge(u32::MAX))
+        );
+        assert_eq!(decode_response(&[1, 1, 0]), Err(ProtoError::Truncated));
+        assert!(decode_response(&[1, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn from_lookup_flattens_bundles() {
+        use ipd_topology::{Bundle, IngressPoint};
+        let link = LogicalIngress::Link(IngressPoint::new(30, 4));
+        let a = WireAnswer::from_lookup(Some(IngressAnswer {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            ingress: &link,
+            confidence: 0.97,
+        }));
+        assert_eq!(
+            (a.kind, a.router, a.ifindex, a.prefix_len),
+            (AnswerKind::Link, 30, 4, 8)
+        );
+
+        let bundle = LogicalIngress::Bundle(Bundle::new(7, vec![9, 3]));
+        let b = WireAnswer::from_lookup(Some(IngressAnswer {
+            prefix: "10.0.0.0/12".parse().unwrap(),
+            ingress: &bundle,
+            confidence: 1.0,
+        }));
+        assert_eq!((b.kind, b.router, b.ifindex), (AnswerKind::Bundle, 7, 3));
+        assert!(!WireAnswer::from_lookup(None).is_mapped());
+    }
+
+    #[test]
+    fn frame_prefixes_length() {
+        let f = frame(&[1, 2, 3]);
+        assert_eq!(f, vec![0, 0, 0, 3, 1, 2, 3]);
+    }
+}

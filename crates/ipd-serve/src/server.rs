@@ -1,0 +1,351 @@
+//! The threaded TCP query front-end, mirroring the `MetricsServer` idiom:
+//! a blocking accept loop on a background thread, stopped by a flag plus a
+//! self-connection wake. Unlike the one-shot metrics endpoint, query
+//! connections are long-lived, so each gets its own handler thread with its
+//! own [`Reader`] — the lookup hot path touches one atomic and the
+//! immutable store, nothing else shared.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{
+    decode_request, encode_response, frame, request_op, Request, Response, WireAnswer, MAX_FRAME,
+};
+use crate::store::IngressStore;
+use crate::swap::{EpochSwap, Reader};
+use crate::telemetry::ServeTelemetry;
+
+/// How often a blocked connection read wakes to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running query server. Dropping it shuts it down; call
+/// [`ServeServer::shutdown`] to do so explicitly.
+pub struct ServeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and answer
+    /// queries against whatever `swap` currently publishes.
+    pub fn serve(
+        addr: &str,
+        swap: EpochSwap<IngressStore>,
+        metrics: ServeTelemetry,
+    ) -> std::io::Result<ServeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("ipd-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        metrics.connections.inc();
+                        let reader = swap.reader();
+                        let stop = Arc::clone(&stop);
+                        let metrics = metrics.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("ipd-serve-conn".into())
+                            .spawn(move || {
+                                let _ = handle_conn(stream, reader, &metrics, &stop);
+                            });
+                        if let Ok(handle) = handle {
+                            conns.lock().expect("conns poisoned").push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(ServeServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake idle connections, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop out of `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Connection threads notice the flag within one poll interval.
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One read: either a whole frame payload, or the connection is done
+/// (clean EOF at a frame boundary, or server shutdown).
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    Closed,
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read timeouts (used as the
+/// stop-flag poll). `Ok(false)` means the peer closed cleanly before the
+/// first byte; EOF mid-buffer is an error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> std::io::Result<ReadOutcome> {
+    let mut len = [0u8; 4];
+    if !read_full(stream, &mut len, stop)? {
+        return Ok(ReadOutcome::Closed);
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, stop)? {
+        return Ok(ReadOutcome::Closed);
+    }
+    Ok(ReadOutcome::Frame(payload))
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    mut reader: Reader<IngressStore>,
+    metrics: &ServeTelemetry,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let payload = match read_frame(&mut stream, stop)? {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Closed => return Ok(()),
+        };
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(_) => {
+                // A peer speaking the wrong protocol gets a closed socket,
+                // not a guess at what it meant.
+                metrics.proto_errors.inc();
+                return Ok(());
+            }
+        };
+        metrics.requests.inc();
+        let op = request_op(&req);
+        // One consistent epoch per response: every answer in it comes from
+        // the same published store.
+        let current = reader.current();
+        let resp = match &req {
+            Request::Lookup(addr) => {
+                let timer = metrics.lookup_duration.start_timer();
+                let answer = WireAnswer::from_lookup(current.value.lookup(*addr));
+                drop(timer);
+                metrics.lookups.inc();
+                if !answer.is_mapped() {
+                    metrics.unmapped.inc();
+                }
+                Response::Answers {
+                    epoch: current.epoch,
+                    answers: vec![answer],
+                }
+            }
+            Request::Batch(addrs) => {
+                metrics.batch_size.observe(addrs.len() as u64);
+                let timer = metrics.lookup_duration.start_timer();
+                let answers: Vec<WireAnswer> = addrs
+                    .iter()
+                    .map(|&a| WireAnswer::from_lookup(current.value.lookup(a)))
+                    .collect();
+                drop(timer);
+                metrics.lookups.add(addrs.len() as u64);
+                metrics
+                    .unmapped
+                    .add(answers.iter().filter(|a| !a.is_mapped()).count() as u64);
+                Response::Answers {
+                    epoch: current.epoch,
+                    answers,
+                }
+            }
+            Request::Info => Response::Info {
+                epoch: current.epoch,
+                ts: current.value.ts(),
+                entries: current.value.len() as u64,
+                memory_bytes: current.value.memory_bytes() as u64,
+            },
+        };
+        stream.write_all(&frame(&encode_response(&resp, op)))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use crate::proto::AnswerKind;
+    use ipd::{IpdEngine, IpdParams};
+    use ipd_lpm::Addr;
+    use ipd_telemetry::Telemetry;
+    use ipd_topology::IngressPoint;
+
+    fn classified_store() -> IngressStore {
+        let params = IpdParams {
+            ncidr_factor_v4: 0.01,
+            ..IpdParams::default()
+        };
+        let mut e = IpdEngine::new(params).unwrap();
+        for i in 0..600u32 {
+            e.ingest_parts(30, Addr::v4(i * 1024), IngressPoint::new(1, 1), 1.0);
+            e.ingest_parts(
+                30,
+                Addr::v4(0x8000_0000 + i * 1024),
+                IngressPoint::new(2, 4),
+                1.0,
+            );
+        }
+        e.tick(60);
+        e.tick(61);
+        IngressStore::from_engine(&e, 61)
+    }
+
+    #[test]
+    fn serves_lookups_batches_and_info() {
+        let telemetry = Telemetry::new();
+        let metrics = ServeTelemetry::register(&telemetry);
+        let swap = EpochSwap::new(classified_store());
+        let server = ServeServer::serve("127.0.0.1:0", swap.clone(), metrics).expect("bind");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+        let (epoch, answer) = client.lookup(Addr::v4(0x0100_0000)).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(
+            (answer.kind, answer.router, answer.ifindex),
+            (AnswerKind::Link, 1, 1)
+        );
+        assert!(answer.confidence > 0.9);
+
+        let (_, answers) = client
+            .batch(&[Addr::v4(0x0100_0000), Addr::v4(0x9000_0000), Addr::v6(1)])
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].router, 1);
+        assert_eq!(answers[1].router, 2);
+        assert_eq!(answers[2].kind, AnswerKind::Unmapped);
+
+        let info = client.info().unwrap();
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.ts, 61);
+        assert!(info.entries >= 2);
+        assert!(info.memory_bytes > 0);
+
+        // A publish is visible to the same (persistent) connection.
+        swap.publish(IngressStore::empty());
+        let (epoch, answer) = client.lookup(Addr::v4(0x0100_0000)).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(answer.kind, AnswerKind::Unmapped);
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("ipd_serve_connections_total"), Some(1));
+        assert_eq!(snap.counter("ipd_serve_requests_total"), Some(4));
+        assert_eq!(snap.counter("ipd_serve_lookups_total"), Some(5));
+        assert_eq!(snap.counter("ipd_serve_unmapped_total"), Some(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_closes_connection_and_counts() {
+        let telemetry = Telemetry::new();
+        let metrics = ServeTelemetry::register(&telemetry);
+        let swap = EpochSwap::new(IngressStore::empty());
+        let server = ServeServer::serve("127.0.0.1:0", swap, metrics).expect("bind");
+
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(&frame(&[9, 9, 9])).unwrap(); // bad version
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out); // server closes without answering
+        assert!(out.is_empty());
+        // The error is counted (poll until the handler thread observed it).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while telemetry.snapshot().counter("ipd_serve_proto_errors_total") != Some(1) {
+            assert!(std::time::Instant::now() < deadline, "error never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_with_idle_connection_open() {
+        let swap = EpochSwap::new(IngressStore::empty());
+        let server =
+            ServeServer::serve("127.0.0.1:0", swap, ServeTelemetry::default()).expect("bind");
+        // An idle client holding its connection open must not wedge shutdown.
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown stalled on an idle connection"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Differential correctness of the serving layer: for a generated flow
+//! trace, every lookup against the published [`IngressStore`] at **every**
+//! epoch is bit-identical to querying the engine's own snapshot trie at the
+//! same bucket boundary — for the plain engine and the sharded engine at
+//! K ∈ {1, 8}, including the all-unmapped case.
+
+use std::sync::Arc;
+
+use ipd::pipeline::{run_offline_with, BucketClock, PipelineHook, TickEngine};
+use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
+use ipd_lpm::Addr;
+use ipd_netflow::FlowRecord;
+use ipd_serve::{IngressStore, Reader, ServePublisher, Versioned};
+use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
+
+/// A trace with enough concentration to classify ranges at several ingress
+/// points, across both address families (the simulator emits v4 and v6).
+fn trace(minutes: u64) -> Vec<FlowRecord> {
+    let world = World::generate(WorldConfig::default(), 42);
+    let mut sim = FlowSim::new(
+        world,
+        SimConfig {
+            flows_per_minute: 3_000,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    );
+    let mut out = Vec::new();
+    for _ in 0..minutes {
+        out.extend(sim.next_minute().flows.into_iter().map(|lf| lf.flow));
+    }
+    out
+}
+
+fn classify_params() -> IpdParams {
+    IpdParams {
+        // 3k flows/min over /0 needs a small threshold factor to classify.
+        ncidr_factor_v4: 64.0 / 32.0e6 * 3_000.0,
+        ncidr_factor_v6: 1e-12,
+        ..IpdParams::default()
+    }
+}
+
+/// Rides alongside [`ServePublisher`] and captures, at every publication
+/// point, both the published store and the engine's own snapshot — the two
+/// sides the differential compares.
+struct CaptureHook {
+    publisher: ServePublisher,
+    reader: Reader<IngressStore>,
+    epochs: Vec<(Snapshot, Arc<Versioned<IngressStore>>)>,
+}
+
+impl CaptureHook {
+    fn new() -> Self {
+        let publisher = ServePublisher::new();
+        let reader = publisher.swap().reader();
+        CaptureHook {
+            publisher,
+            reader,
+            epochs: Vec::new(),
+        }
+    }
+
+    fn capture(&mut self, engine: &IpdEngine, ts: u64) {
+        let published = self.reader.current_arc();
+        self.epochs
+            .push((engine.classified_snapshot(ts), published));
+    }
+}
+
+impl PipelineHook for CaptureHook {
+    fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.publisher.bucket_crossed(engine, clock);
+        let ts = clock
+            .current_bucket
+            .map_or(0, |b| b * engine.params().t_secs);
+        self.capture(engine, ts);
+    }
+
+    fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.publisher.closed(engine, clock);
+        let ts = clock
+            .current_bucket
+            .map_or(0, |b| (b + 1) * engine.params().t_secs);
+        self.capture(engine, ts);
+    }
+}
+
+/// Probe set: every range boundary of the snapshot plus a deterministic
+/// spray of both families (hits, near-misses, and far misses).
+fn probes(snapshot: &Snapshot) -> Vec<Addr> {
+    let mut addrs = Vec::new();
+    for r in &snapshot.records {
+        addrs.push(r.range.first_addr());
+        addrs.push(r.range.last_addr());
+    }
+    let mut x = 0x2545_F491u32;
+    for _ in 0..4_000 {
+        x = x.wrapping_mul(0x6C07_8965).wrapping_add(1);
+        addrs.push(Addr::v4(x));
+    }
+    for i in 0..500u128 {
+        addrs.push(Addr::v6((0x2001u128 << 112) | (i * 0x0001_0001_0001)));
+        addrs.push(Addr::v6(i << 64));
+    }
+    addrs
+}
+
+/// The differential proper: at every published epoch, the store and the
+/// snapshot's trie agree on every probe — same range, same ingress, and the
+/// confidence travels with its exact bit pattern.
+fn assert_epochs_identical(epochs: &[(Snapshot, Arc<Versioned<IngressStore>>)]) {
+    assert!(!epochs.is_empty(), "at least the close publication exists");
+    for (i, (snapshot, published)) in epochs.iter().enumerate() {
+        assert_eq!(
+            published.epoch,
+            i as u64 + 1,
+            "one epoch per publication, in order"
+        );
+        let store = &published.value;
+        assert_eq!(store.ts(), snapshot.ts, "store stamped with the boundary");
+        let table = snapshot.lpm_table();
+        assert_eq!(store.len(), table.len());
+        for addr in probes(snapshot) {
+            let want = table.lookup(addr);
+            let got = store.lookup(addr);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some((p, ing))) => {
+                    assert_eq!(g.prefix, p, "range mismatch at {addr} epoch {}", i + 1);
+                    assert_eq!(g.ingress, ing, "ingress mismatch at {addr} epoch {}", i + 1);
+                }
+                (g, w) => panic!(
+                    "mapped-ness mismatch at {addr} epoch {}: store={g:?} trie={w:?}",
+                    i + 1
+                ),
+            }
+        }
+        // Confidence bits: answer == the record that owns the range.
+        for r in snapshot.classified() {
+            let ans = store
+                .lookup(r.range.first_addr())
+                .expect("classified range must answer");
+            if ans.prefix == r.range {
+                assert_eq!(
+                    ans.confidence.to_bits(),
+                    r.confidence.to_bits(),
+                    "confidence must be bit-exact for {}",
+                    r.range
+                );
+            }
+        }
+    }
+}
+
+fn run_and_check<E: TickEngine>(mut engine: E, flows: Vec<FlowRecord>) -> usize {
+    let mut hook = CaptureHook::new();
+    run_offline_with(&mut engine, flows, 1, None, &mut hook, |_| {});
+    assert_epochs_identical(&hook.epochs);
+    hook.epochs
+        .last()
+        .map(|(s, _)| s.classified().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn plain_engine_every_epoch_is_bit_identical() {
+    let classified = run_and_check(IpdEngine::new(classify_params()).unwrap(), trace(10));
+    assert!(classified > 0, "the trace must classify something");
+}
+
+#[test]
+fn sharded_engines_every_epoch_is_bit_identical() {
+    for k in [1usize, 8] {
+        let classified =
+            run_and_check(ShardedEngine::new(classify_params(), k).unwrap(), trace(10));
+        assert!(classified > 0, "K={k}: the trace must classify something");
+    }
+}
+
+#[test]
+fn unclassifiable_trace_serves_unmapped_everywhere() {
+    // Default thresholds are far beyond this volume: nothing classifies,
+    // every published store is empty, every lookup is unmapped — at every
+    // epoch, exactly like the engine's own (empty) table.
+    let mut hook = CaptureHook::new();
+    let mut engine = IpdEngine::new(IpdParams::default()).unwrap();
+    run_offline_with(&mut engine, trace(4), 1, None, &mut hook, |_| {});
+    assert!(!hook.epochs.is_empty());
+    for (snapshot, published) in &hook.epochs {
+        assert!(published.value.is_empty());
+        assert_eq!(snapshot.lpm_table().len(), 0);
+        assert!(published.value.lookup(Addr::v4(0x0808_0808)).is_none());
+        assert!(published.value.lookup(Addr::v6(1)).is_none());
+    }
+}

@@ -17,6 +17,8 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
+use ipd::pipeline::BucketClock;
+
 use crate::codec::{self, CheckpointState, CodecError};
 
 const CKPT_PREFIX: &str = "checkpoint-";
@@ -109,6 +111,26 @@ impl CheckpointStore {
         Ok(None)
     }
 
+    /// The newest generation that both decodes *and* restores into a ready
+    /// engine — the read-only serving path: no journal replay, no tick, no
+    /// mutation of the store. A checkpoint is "all flows of the closed
+    /// buckets applied", exactly the state the serving hook would have
+    /// published at that boundary, so a server can come up from disk alone
+    /// and answer with the last durable ingress map. Generations whose
+    /// checkpoint is damaged or fails restore are skipped like
+    /// [`CheckpointStore::latest_valid`] skips undecodable ones.
+    pub fn latest_engine(&self) -> io::Result<Option<(u64, ipd::IpdEngine, BucketClock)>> {
+        for &seq in self.generations()?.iter().rev() {
+            let Ok(Ok(state)) = self.load_checkpoint(seq) else {
+                continue;
+            };
+            if let Ok(engine) = ipd::IpdEngine::restore_state(state.dump) {
+                return Ok(Some((seq, engine, state.clock)));
+            }
+        }
+        Ok(None)
+    }
+
     /// Delete all but the newest `retain` generations (both files of each).
     /// `retain` of 0 is treated as 1 — the store never deletes its only
     /// recovery point.
@@ -159,7 +181,6 @@ fn remove_if_exists(path: &Path) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::journal::JournalWriter;
-    use ipd::pipeline::BucketClock;
     use ipd::{IpdEngine, IpdParams};
 
     fn tmp_store(name: &str) -> CheckpointStore {
@@ -240,6 +261,24 @@ mod tests {
         // retain 0 behaves as retain 1.
         store.prune(0).unwrap();
         assert_eq!(store.generations().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn latest_engine_restores_without_replay() {
+        let store = tmp_store("latest-engine");
+        assert!(store.latest_engine().unwrap().is_none());
+        store.save_checkpoint(1, &small_state(1)).unwrap();
+        store.save_checkpoint(2, &small_state(2)).unwrap();
+        // Damage the newest: the loader falls back like latest_valid does.
+        let path = store.checkpoint_path(2);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        let (seq, engine, clock) = store.latest_engine().unwrap().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(clock.current_bucket, Some(1));
+        assert_eq!(engine.stats().flows_ingested, 0);
     }
 
     #[test]

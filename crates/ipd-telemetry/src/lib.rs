@@ -72,6 +72,13 @@ pub const TIMING_BUCKETS_NANOS: &[u64] = &[
     16_777_216_000,
 ];
 
+/// Fine-grained bucket bounds (in nanoseconds) for sub-microsecond
+/// operations — a single LPM lookup in the serving layer's flattened table
+/// lands around 100 ns, two orders of magnitude below the first
+/// [`TIMING_BUCKETS_NANOS`] bound: 64 ns to ~1 ms in powers of four.
+pub const TIMING_BUCKETS_FINE_NANOS: &[u64] =
+    &[64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
 /// Default bucket bounds for size-ish deterministic histograms (batch
 /// sizes, classifications per tick): 1 to 65536 in powers of four.
 pub const SIZE_BUCKETS: &[u64] = &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536];

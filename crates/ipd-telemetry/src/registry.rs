@@ -188,6 +188,14 @@ impl Telemetry {
         self.histogram(name, help, crate::TIMING_BUCKETS_NANOS, Class::Timing)
     }
 
+    /// A wall-clock timing histogram for sub-microsecond operations
+    /// ([`crate::TIMING_BUCKETS_FINE_NANOS`] bounds, [`Class::Timing`]) —
+    /// use for per-lookup latency, where the coarse buckets would put
+    /// everything in the first bin.
+    pub fn timing_fine(&self, name: &str, help: &str) -> Histogram {
+        self.histogram(name, help, crate::TIMING_BUCKETS_FINE_NANOS, Class::Timing)
+    }
+
     /// A point-in-time, name-sorted view of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut samples = Vec::new();

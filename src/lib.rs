@@ -9,6 +9,7 @@ pub use ipd_bgp as bgp;
 pub use ipd_eval as eval;
 pub use ipd_lpm as lpm;
 pub use ipd_netflow as netflow;
+pub use ipd_serve as serve;
 pub use ipd_stattime as stattime;
 pub use ipd_telemetry as telemetry;
 pub use ipd_topology as topology;
