@@ -19,11 +19,16 @@
 //! selection (local-pref, then AS-path length, then lowest router id) and a
 //! text table-dump codec resembling `bgpdump -m` output.
 
+pub mod dfz;
 mod dump;
 mod rib;
 mod route;
 pub mod stats;
 
+pub use dfz::{
+    current_link, routes_at, AsLinks, ChurnConfig, ChurnEvent, ChurnKind, ChurnModel, ChurnStream,
+    DfzPlanParams, DfzRoute, PrefixPlan,
+};
 pub use dump::{parse_dump, write_dump, DumpParseError};
 pub use rib::Rib;
 pub use route::{RibEntry, Route};

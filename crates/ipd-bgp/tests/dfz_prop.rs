@@ -1,0 +1,156 @@
+//! Property tests for the DFZ prefix plan and churn model (DESIGN.md §12).
+//!
+//! The contract under test: the plan is a pure function of its seed (rebuilt
+//! worlds are bit-identical), churn event times are monotone per prefix,
+//! and the prefix-length / per-AS distributions track their calibration
+//! targets at every tier. The 1M tier runs under `--ignored` (see the CI
+//! matrix in `.github/workflows/ci.yml`).
+
+use std::collections::HashMap;
+
+use ipd_bgp::dfz::{ChurnConfig, ChurnModel, ChurnStream, DfzPlanParams, PrefixPlan};
+use ipd_lpm::Af;
+use proptest::prelude::*;
+
+const EPOCH: u64 = 1_700_000_000;
+
+fn plan_pair(seed: u64, v4: u64) -> (PrefixPlan, PrefixPlan) {
+    (
+        PrefixPlan::new(DfzPlanParams::tier(seed, v4)),
+        PrefixPlan::new(DfzPlanParams::tier(seed, v4)),
+    )
+}
+
+proptest! {
+    /// Same seed ⇒ bit-identical prefixes, origins, and churn streams.
+    #[test]
+    fn dfz_plan_rebuild_bit_identical(seed in any::<u64>()) {
+        let (a, b) = plan_pair(seed, 10_000);
+        for af in [Af::V4, Af::V6] {
+            for rank in (0..a.len(af)).step_by(97) {
+                prop_assert_eq!(a.prefix(af, rank), b.prefix(af, rank));
+                prop_assert_eq!(a.origin_asn(af, rank), b.origin_asn(af, rank));
+            }
+        }
+        let model = ChurnModel::new(ChurnConfig::default_rates(EPOCH, seed));
+        let ea: Vec<_> = ChurnStream::new(&a, &model, EPOCH, EPOCH + 1800, 60).collect();
+        let eb: Vec<_> = ChurnStream::new(&b, &model, EPOCH, EPOCH + 1800, 60).collect();
+        prop_assert_eq!(ea, eb);
+    }
+
+    /// Churn timestamps are globally sorted and monotone per prefix, and
+    /// every event's visibility flips agree with the O(1) oracle.
+    #[test]
+    fn dfz_churn_timestamps_monotone_per_prefix(seed in any::<u64>()) {
+        let plan = PrefixPlan::new(DfzPlanParams::tier(seed, 10_000));
+        let model = ChurnModel::new(ChurnConfig::default_rates(EPOCH, seed));
+        let mut last_global = 0u64;
+        let mut last_by_prefix: HashMap<(Af, u64), u64> = HashMap::new();
+        let mut n = 0u64;
+        for ev in ChurnStream::new(&plan, &model, EPOCH, EPOCH + 7200, 60) {
+            prop_assert!(ev.ts >= EPOCH && ev.ts < EPOCH + 7200);
+            prop_assert!(ev.ts >= last_global, "stream must be time-sorted");
+            last_global = ev.ts;
+            if let Some(&prev) = last_by_prefix.get(&(ev.af, ev.rank)) {
+                prop_assert!(ev.ts >= prev, "per-prefix time went backwards");
+            }
+            last_by_prefix.insert((ev.af, ev.rank), ev.ts);
+            prop_assert_eq!(plan.prefix(ev.af, ev.rank), ev.prefix);
+            n += 1;
+        }
+        // Default rates churn ~15% of 12k prefixes over two hours — the
+        // stream must not be trivially empty.
+        prop_assert!(n > 100, "only {} churn events", n);
+    }
+
+    /// Every rank maps into a valid AS, AS rank ranges tile the rank space
+    /// exactly, and the Zipf sizing makes them non-increasing head-to-tail.
+    #[test]
+    fn dfz_as_partition_tiles_rank_space(seed in any::<u64>(), v4 in 5_000u64..50_000) {
+        let plan = PrefixPlan::new(DfzPlanParams::tier(seed, v4));
+        let p = *plan.params();
+        let mut covered = 0u64;
+        let mut first_size = 0u64;
+        let mut last_size = u64::MAX;
+        for as_rank in 0..p.ases {
+            let (lo, hi) = plan.as_rank_range(as_rank);
+            prop_assert_eq!(lo, covered, "ranges must tile without gaps");
+            prop_assert!(hi >= lo);
+            covered = hi;
+            let size = hi - lo;
+            if as_rank == 0 {
+                first_size = size;
+            }
+            last_size = size;
+        }
+        prop_assert_eq!(covered, p.v4_prefixes, "ranges must cover all v4 ranks");
+        prop_assert!(first_size >= last_size, "Zipf head must outweigh tail");
+        // Spot-check the inverse mapping agrees with the partition.
+        for rank in (0..p.v4_prefixes).step_by(211) {
+            let ar = plan.as_rank_of(Af::V4, rank);
+            let (lo, hi) = plan.as_rank_range(ar);
+            prop_assert!(rank >= lo && rank < hi);
+        }
+    }
+}
+
+/// Prefix-length histogram over all ranks of one tier.
+fn length_histogram(plan: &PrefixPlan, af: Af) -> HashMap<u8, u64> {
+    let mut h = HashMap::new();
+    for rank in 0..plan.len(af) {
+        *h.entry(plan.prefix(af, rank).len()).or_insert(0) += 1;
+    }
+    h
+}
+
+fn assert_length_calibration(plan: &PrefixPlan) {
+    let n4 = plan.len(Af::V4) as f64;
+    let h4 = length_histogram(plan, Af::V4);
+    // The /24 class carries its 61.3 % weight plus the carve remainder.
+    let slash24 = h4[&24] as f64 / n4;
+    assert!(
+        (0.60..=0.65).contains(&slash24),
+        "/24 share {slash24} out of calibrated range"
+    );
+    let slash22 = h4[&22] as f64 / n4;
+    assert!((0.08..=0.12).contains(&slash22), "/22 share {slash22}");
+    // Coarse classes exist but stay rare.
+    assert!(h4[&12] >= 1 && (h4[&12] as f64 / n4) < 0.002);
+    assert_eq!(h4.values().sum::<u64>(), plan.len(Af::V4));
+
+    let n6 = plan.len(Af::V6) as f64;
+    let h6 = length_histogram(plan, Af::V6);
+    let slash48 = h6[&48] as f64 / n6;
+    assert!((0.33..=0.40).contains(&slash48), "/48 share {slash48}");
+    assert_eq!(h6.values().sum::<u64>(), plan.len(Af::V6));
+}
+
+#[test]
+fn dfz_length_distribution_calibrated_10k() {
+    assert_length_calibration(&PrefixPlan::new(DfzPlanParams::tier(3, 10_000)));
+}
+
+#[test]
+fn dfz_length_distribution_calibrated_100k() {
+    assert_length_calibration(&PrefixPlan::new(DfzPlanParams::tier(3, 100_000)));
+}
+
+/// The full 1M + 200k tier. Slow (walks every rank twice); run with
+/// `cargo test -p ipd-bgp --test dfz_prop -- --ignored`.
+#[test]
+#[ignore = "1M tier: run explicitly via --ignored (see CI matrix)"]
+fn dfz_length_distribution_calibrated_1m() {
+    let plan = PrefixPlan::new(DfzPlanParams::dfz(3));
+    assert_eq!(plan.len(Af::V4), 1_048_576);
+    assert_eq!(plan.len(Af::V6), 204_800);
+    assert_length_calibration(&plan);
+    // Distinctness at scale: the Feistel permutation keeps ranks collision
+    // free — sample a wide stride and require unique addresses.
+    let mut seen = std::collections::HashSet::new();
+    for rank in (0..plan.len(Af::V4)).step_by(257) {
+        assert!(
+            seen.insert(plan.prefix(Af::V4, rank)),
+            "duplicate v4 prefix"
+        );
+    }
+}

@@ -457,6 +457,36 @@ fn drain_while_finishing<T, O>(
     (result, leftover)
 }
 
+/// Feed a flow source — typically a streaming generator that never
+/// materializes the full trace — into a pipeline input in bounded batches.
+///
+/// Memory held here is one `batch_size` buffer regardless of stream length;
+/// the pipeline's bounded channel provides backpressure. Returns the number
+/// of flows sent, stopping early if the consuming side hung up.
+pub fn pump_stream<I>(input: &Sender<Vec<FlowRecord>>, flows: I, batch_size: usize) -> u64
+where
+    I: IntoIterator<Item = FlowRecord>,
+{
+    let batch_size = batch_size.max(1);
+    let mut sent = 0u64;
+    let mut buf = Vec::with_capacity(batch_size);
+    for flow in flows {
+        buf.push(flow);
+        if buf.len() == batch_size {
+            let full = std::mem::replace(&mut buf, Vec::with_capacity(batch_size));
+            sent += full.len() as u64;
+            if input.send(full).is_err() {
+                return sent;
+            }
+        }
+    }
+    if !buf.is_empty() {
+        sent += buf.len() as u64;
+        let _ = input.send(buf);
+    }
+    sent
+}
+
 /// Handle to a running threaded pipeline.
 ///
 /// Feed batches of flows through [`IpdPipeline::input`]; consume

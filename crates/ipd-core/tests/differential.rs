@@ -397,6 +397,74 @@ fn telemetry_is_inert() {
     );
 }
 
+/// The DFZ-scale equivalence proof (ISSUE: differential scale test): a
+/// route-churned stream from the 100k-prefix streaming substrate — next-hop
+/// flaps and withdraw/re-announce cycles included — must produce bit-identical
+/// snapshot digests, stats, and classified sets through the plain engine and
+/// `ShardedEngine` at K ∈ {1, 8}.
+#[test]
+fn dfz_churned_stream_plain_vs_sharded_is_equivalent() {
+    use ipd_traffic::{DfzConfig, DfzWorld};
+
+    let cfg = DfzConfig {
+        flows_per_minute: 60_000,
+        ..DfzConfig::tier_100k(11)
+    };
+    let world = DfzWorld::new(cfg);
+    let minutes = 5;
+    // Churn must actually be active inside the evaluated window, or the
+    // "equivalence under churn" claim is vacuous.
+    let churned = world
+        .churn_events(cfg.epoch, cfg.epoch + minutes * 60)
+        .count();
+    assert!(churned > 0, "no churn events in the test window");
+
+    let flows: Vec<FlowRecord> = world.flows(minutes).map(|lf| lf.flow).collect();
+    assert!(flows.len() as u64 > minutes * 50_000, "stream too thin");
+
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    let run = |shards: Option<usize>| -> RunResult {
+        let mut outputs = Vec::new();
+        let (stats, snap) = match shards {
+            None => {
+                let mut engine = IpdEngine::new(params.clone()).unwrap();
+                run_offline(&mut engine, flows.iter().cloned(), SNAPSHOT_EVERY, |o| {
+                    outputs.push(o)
+                });
+                (engine.stats().clone(), engine.snapshot(u64::MAX))
+            }
+            Some(k) => {
+                let mut engine = ShardedEngine::new(params.clone(), k).unwrap();
+                run_offline(&mut engine, flows.iter().cloned(), SNAPSHOT_EVERY, |o| {
+                    outputs.push(o)
+                });
+                (engine.stats().clone(), engine.snapshot(u64::MAX))
+            }
+        };
+        summarize(stats, outputs, snap)
+    };
+
+    let reference = run(None);
+    assert!(
+        !reference.snapshot_digests.is_empty(),
+        "no snapshots published"
+    );
+    assert!(reference.stats.classifications > 0, "nothing classified");
+    for k in [1usize, 8] {
+        let sharded = run(Some(k));
+        assert_eq!(
+            sharded.snapshot_digests, reference.snapshot_digests,
+            "ShardedEngine K={k} digest diverged on churned DFZ stream"
+        );
+        assert_eq!(sharded, reference, "ShardedEngine K={k} diverged");
+    }
+}
+
 /// A heavier, fully deterministic stream: ~40k flows over 30 minutes from a
 /// seeded generator, shaped so the run exercises splits to `cidr_max`,
 /// joins, decay-driven drops, invalidations and dual-stack state. The

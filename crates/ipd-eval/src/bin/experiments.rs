@@ -913,6 +913,55 @@ fn flow_byte_correlation(ctx: &mut Ctx) {
     );
 }
 
+/// DFZ-scale re-run of the accuracy/stability analyses. Writes into the
+/// parallel `results/dfz/` directory; the paper-scale TSVs in `results/`
+/// are pinned byte-identical by `tests/results_pinned.rs` and must never be
+/// touched by this path.
+fn dfz_scale(ctx: &mut Ctx) {
+    use ipd_eval::dfz::{run_dfz, DfzEvalConfig};
+    let cfg = if ctx.quick {
+        DfzEvalConfig::smoke(42)
+    } else {
+        DfzEvalConfig::tier_100k(42)
+    };
+    println!(
+        "[dfz] {} IPv4 + {} IPv6 prefixes, {} routers, {} min at {} flows/min ...",
+        cfg.dfz.plan.v4_prefixes,
+        cfg.dfz.plan.v6_prefixes,
+        cfg.dfz.topology.routers,
+        cfg.minutes,
+        cfg.dfz.flows_per_minute
+    );
+    let r = run_dfz(&cfg);
+    println!(
+        "[dfz] {} flows, {} ticks, {} classified ranges, {} churn events",
+        r.flows, r.ticks, r.classified_ranges, r.churn_events
+    );
+    println!(
+        "[dfz] settled accuracy {}, TOP5 {}, TOP20 {}, {} distinct user /28s",
+        f(r.settled_accuracy(), 4),
+        f(r.top5_share, 3),
+        f(r.top20_share, 3),
+        r.distinct_user28
+    );
+    let paths = r
+        .write_tables(&results_dir().join("dfz"), &cfg)
+        .expect("write results/dfz");
+    for p in paths {
+        println!("wrote {}", p.display());
+    }
+    check(
+        "settled accuracy reasonable under churn",
+        r.settled_accuracy() > 0.5,
+        f(r.settled_accuracy(), 3),
+    );
+    check(
+        "Zipf AS concentration (paper §5.1: TOP5 ≈ 52 %)",
+        r.top5_share > 0.4 && r.top5_share < 0.95,
+        f(r.top5_share, 3),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -969,8 +1018,9 @@ fn main() {
         "tab3" => tab3(ctx),
         "tab-prefixcorr" => tab_prefixcorr(ctx),
         "corr" => flow_byte_correlation(ctx),
+        "dfz" => dfz_scale(ctx),
         other => {
-            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, all");
+            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, dfz, all");
             std::process::exit(2);
         }
     };

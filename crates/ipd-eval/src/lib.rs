@@ -27,6 +27,7 @@
 pub mod accuracy;
 pub mod case_study;
 pub mod daytime;
+pub mod dfz;
 pub mod harness;
 pub mod ingress_count;
 pub mod longitudinal;

@@ -178,6 +178,40 @@ fn sharded_engines_every_epoch_is_bit_identical() {
     }
 }
 
+/// The DFZ satellite: the same every-epoch bit-identity must hold while the
+/// substrate is actively churning routes — prefixes withdrawing, reappearing,
+/// and flapping between ingress links mid-run (ISSUE: differential scale
+/// test, serving side).
+#[test]
+fn dfz_churned_stream_every_epoch_is_bit_identical() {
+    use ipd_traffic::{DfzConfig, DfzWorld};
+
+    let cfg = DfzConfig::smoke_10k(13);
+    let world = DfzWorld::new(cfg);
+    let minutes = 8;
+    assert!(
+        world
+            .churn_events(cfg.epoch, cfg.epoch + minutes * 60)
+            .next()
+            .is_some(),
+        "churn must be active during the serving window"
+    );
+    let flows: Vec<FlowRecord> = world.flows(minutes).map(|lf| lf.flow).collect();
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    let classified = run_and_check(IpdEngine::new(params.clone()).unwrap(), flows.clone());
+    assert!(classified > 0, "the churned stream must classify something");
+    let sharded = run_and_check(ShardedEngine::new(params, 8).unwrap(), flows);
+    assert_eq!(
+        sharded, classified,
+        "plain and K=8 classified counts differ"
+    );
+}
+
 #[test]
 fn unclassifiable_trace_serves_unmapped_everywhere() {
     // Default thresholds are far beyond this volume: nothing classifies,

@@ -345,6 +345,89 @@ fn threaded_pipelines_crash_and_restore_exactly() {
     );
 }
 
+/// The DFZ satellite: crash in the middle of a route-churn *burst* — flap
+/// and withdraw/re-announce rates cranked far above the defaults — and the
+/// restore must be clock-exact: the recovered [`BucketClock`] equals the one
+/// the crashed run died with, and finishing the stream lands bit-for-bit on
+/// the uninterrupted run's digest.
+#[test]
+fn dfz_churn_burst_crash_restores_clock_exact() {
+    use ipd_traffic::{DfzConfig, DfzWorld};
+
+    let mut cfg = DfzConfig::smoke_10k(17);
+    cfg.flows_per_minute = 9_000;
+    // A burst, not background churn: most prefixes flap every few minutes
+    // and a quarter of the table cycles through withdraw/re-announce.
+    cfg.churn.flap_fraction = 0.5;
+    cfg.churn.flap_mean_secs = 240;
+    cfg.churn.updown_fraction = 0.25;
+    cfg.churn.up_mean_secs = 300;
+    cfg.churn.down_mean_secs = 120;
+    let world = DfzWorld::new(cfg);
+    let minutes = 12;
+    let churned = world
+        .churn_events(cfg.epoch, cfg.epoch + minutes * 60)
+        .count();
+    assert!(churned > 1_000, "only {churned} events — not a burst");
+    let flows: Vec<FlowRecord> = world.flows(minutes).map(|lf| lf.flow).collect();
+
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+
+    // Uninterrupted reference.
+    let reference = {
+        let mut engine = IpdEngine::new(params.clone()).unwrap();
+        run_offline(&mut engine, flows.iter().cloned(), SNAPSHOT_EVERY, |_| {});
+        final_state(&engine)
+    };
+    assert!(!reference.classified.is_empty());
+
+    // Crash mid-burst, remembering the clock the run died with.
+    let cut = flows.len() / 2;
+    let dir = tmp_dir("dfz-churn-burst");
+    let crashed_clock = {
+        let mut engine = IpdEngine::new(params.clone()).unwrap();
+        let mut durable =
+            Durable::start(&dir, &engine, BucketClock::default(), durable_config()).unwrap();
+        let mut driver = BucketDriver::new(engine.params().t_secs, SNAPSHOT_EVERY);
+        let mut sink = |_out| {};
+        for flow in &flows[..cut] {
+            driver.observe_with(&mut engine, flow.ts, &mut sink, &mut durable);
+            durable.flows(std::slice::from_ref(flow));
+            engine.ingest(flow);
+        }
+        PipelineHook::finished(&mut durable, &engine, driver.clock());
+        assert_eq!(durable.handle().stats().io_errors, 0);
+        driver.clock()
+        // Engine dropped here: the crash.
+    };
+
+    // Clock-exact: the restored clock is the crashed run's clock, to the
+    // bucket — resuming must not re-tick or skip a bucket across the burst.
+    let restored = restore(&dir, SNAPSHOT_EVERY).unwrap();
+    assert_eq!(restored.clock, crashed_clock, "restored clock drifted");
+    assert_eq!(restored.engine.stats().flows_ingested as usize, cut);
+
+    let mut engine = restored.engine;
+    run_offline_with(
+        &mut engine,
+        flows[cut..].iter().cloned(),
+        SNAPSHOT_EVERY,
+        Some(restored.clock),
+        &mut NoopHook,
+        |_| {},
+    );
+    assert_eq!(
+        final_state(&engine),
+        reference,
+        "churn-burst restore diverged"
+    );
+}
+
 #[test]
 fn corrupt_latest_checkpoint_falls_back_a_generation() {
     let flows = seeded_flows();

@@ -18,10 +18,14 @@
 //!   logical ingress (the paper's *bundles*, §3.2).
 //! * [`TopologyBuilder`] — validated construction.
 //! * [`generate`] — a parameterized generator for ISP-scale topologies.
+//! * [`ScaleTopology`] — the DFZ-scale variant: ~3,000 routers derived
+//!   arithmetically from [`ScaleParams`], `O(links)` resident memory, with
+//!   streaming router/link iterators (see `scale`).
 
 mod builder;
 mod generate;
 mod model;
+pub mod scale;
 
 pub use builder::{BuildError, TopologyBuilder};
 pub use generate::{generate, TopologyParams};
@@ -29,3 +33,4 @@ pub use model::{
     Bundle, Country, CountryId, IngressPoint, Interface, Link, LinkClass, LinkId, Pop, PopId,
     Router, RouterId, Topology,
 };
+pub use scale::{ScaleParams, ScaleRouter, ScaleTopology};

@@ -1,0 +1,93 @@
+//! Property tests for the DFZ-scale streaming topology (DESIGN.md §12).
+//!
+//! The substrate's contract: everything is a pure function of the seed, so a
+//! rebuilt world is bit-identical; the router→PoP→country hierarchy is
+//! total and in-range; link placement is near-uniform across routers.
+
+use ipd_topology::{ScaleParams, ScaleTopology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Same seed ⇒ bit-identical router and link streams, rebuilt from
+    /// scratch.
+    #[test]
+    fn dfz_topology_rebuild_is_bit_identical(seed in any::<u64>(), frac in 0.01f64..1.0) {
+        let params = ScaleParams::scaled(seed, frac);
+        let a = ScaleTopology::new(params);
+        let b = ScaleTopology::new(params);
+        prop_assert!(a.routers().eq(b.routers()));
+        prop_assert!(a.links().eq(b.links()));
+    }
+
+    /// Hierarchy invariants hold for every router: ids 1-based, PoP within
+    /// range, country within range, and the PoP assignment non-decreasing in
+    /// router id (the arithmetic layout).
+    #[test]
+    fn dfz_topology_hierarchy_total_and_monotone(seed in any::<u64>(), frac in 0.01f64..1.0) {
+        let topo = ScaleTopology::new(ScaleParams::scaled(seed, frac));
+        let p = *topo.params();
+        let mut last_pop = 0;
+        for r in topo.routers() {
+            prop_assert!(r.id >= 1 && r.id <= p.routers);
+            prop_assert!(r.pop >= 1 && r.pop <= p.pops);
+            prop_assert!(r.country >= 1 && r.country <= p.countries);
+            prop_assert!(r.pop >= last_pop, "PoP ids non-decreasing in router id");
+            prop_assert_eq!(r.country, topo.country_of_router(r.id));
+            last_pop = r.pop;
+        }
+        prop_assert_eq!(last_pop, p.pops, "every PoP populated");
+    }
+
+    /// (router, ifindex) pairs are unique and ifindexes are dense (1..=k per
+    /// router) — the stage-1 engine keys ingress points by this pair.
+    #[test]
+    fn dfz_topology_ingress_points_unique_and_dense(seed in any::<u64>()) {
+        let topo = ScaleTopology::new(ScaleParams::scaled(seed, 0.05));
+        let p = *topo.params();
+        let mut per_router_max = vec![0u16; p.routers as usize + 1];
+        let mut seen = std::collections::HashSet::new();
+        for (id, point) in topo.links() {
+            prop_assert_eq!(point, topo.ingress_of_link(id));
+            prop_assert!(point.router >= 1 && point.router <= p.routers);
+            prop_assert!(seen.insert((point.router, point.ifindex)), "duplicate ingress point");
+            let m = &mut per_router_max[point.router as usize];
+            prop_assert_eq!(point.ifindex, *m + 1, "ifindexes dense per router");
+            *m = point.ifindex;
+        }
+        prop_assert_eq!(seen.len(), p.links as usize);
+    }
+}
+
+/// Link placement is near-uniform: at the DFZ shape no router hoards links.
+#[test]
+fn dfz_topology_link_spread_calibrated() {
+    let topo = ScaleTopology::new(ScaleParams::dfz(42));
+    let p = *topo.params();
+    let mut counts = vec![0u32; p.routers as usize + 1];
+    for (_, point) in topo.links() {
+        counts[point.router as usize] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    // 8192 links over 3000 routers ≈ 2.7 each; a uniform hash stays in
+    // single digits with overwhelming probability.
+    assert!(max <= 12, "hot router holds {max} links");
+    let empty = counts[1..].iter().filter(|&&c| c == 0).count();
+    // ~6% of routers get no link at this load factor; 15% means skew.
+    assert!(
+        empty < p.routers as usize * 15 / 100,
+        "{empty} routers without links"
+    );
+}
+
+/// The full-size topology stays O(links) in memory.
+#[test]
+fn dfz_topology_memory_is_links_bounded() {
+    let topo = ScaleTopology::new(ScaleParams::dfz(7));
+    // 8192 links × 8-byte ingress points plus slack — far below any
+    // materialized-world footprint.
+    assert!(
+        topo.memory_bytes() < 256 * 1024,
+        "{} bytes",
+        topo.memory_bytes()
+    );
+}

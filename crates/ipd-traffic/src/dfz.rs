@@ -1,0 +1,379 @@
+//! DFZ-scale streaming flow generation.
+//!
+//! [`World`](crate::World) materializes its whole universe — topology, RIB,
+//! region maps, exception tables — which is the right trade at tens of
+//! thousands of prefixes and hopeless at the paper's deployment scale (~1M
+//! IPv4 + ~200k IPv6 prefixes, ~3,000 routers, §5.7). [`DfzWorld`] is the
+//! scale counterpart: it composes the functional substrate pieces
+//! ([`ScaleTopology`], [`PrefixPlan`], [`ChurnModel`], [`AsLinks`]) and
+//! derives every flow from a seed and a draw counter. Resident memory is a
+//! few hundred kilobytes no matter how many prefixes or flows are in play;
+//! the flow stream is an ordinary `Iterator` that yields millions of
+//! ground-truth-labeled records without ever buffering more than one.
+//!
+//! Calibration (verified by the property tests in `tests/dfz_prop.rs`):
+//!
+//! * popularity is rank-skewed with `rank = n · u^γ` (γ = 2), which combined
+//!   with Zipf(1.1) AS table shares puts TOP5 ≈ 60 % and TOP20 ≈ 75 % of
+//!   traffic on the biggest ASes (paper §5.1 reports 52 %/80 %);
+//! * source addresses spread over hash-chosen /28 user groups inside the
+//!   originating prefix, so a DFZ run exercises millions of distinct /28s
+//!   (the paper's CDN server-granularity, §5.3);
+//! * a withdrawn prefix (churn down-phase) emits no traffic — the nominal
+//!   `flows_per_minute` is an upper bound, reduced by the withdrawn share;
+//! * the ground-truth link honors next-hop flaps at flow time, so labels stay
+//!   exact *through* churn, not just between events.
+
+use ipd_bgp::dfz::{
+    current_link, AsLinks, ChurnConfig, ChurnModel, ChurnStream, DfzPlanParams, DfzRoute,
+    PrefixPlan,
+};
+use ipd_lpm::{Addr, Af};
+use ipd_netflow::FlowRecord;
+use ipd_topology::scale::{mix, mix3, unit_f64};
+use ipd_topology::{IngressPoint, LinkId, ScaleParams, ScaleTopology};
+
+const S_FLOW: u64 = 0x0044_465A_464C_4F57; // "DFZFLOW"
+
+/// Popularity exponent: a uniform draw `u` maps to rank `n · u^γ`.
+const POPULARITY_GAMMA: f64 = 2.0;
+
+/// Full configuration of a DFZ-scale world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfzConfig {
+    /// Router/PoP/link layout.
+    pub topology: ScaleParams,
+    /// Prefix table shape.
+    pub plan: DfzPlanParams,
+    /// Route churn processes.
+    pub churn: ChurnConfig,
+    /// Nominal sampled flows per minute (reduced by withdrawn prefixes).
+    pub flows_per_minute: u64,
+    /// Fraction of flows sourced from IPv6 prefixes.
+    pub v6_share: f64,
+    /// Stream start time (unix seconds); also the churn epoch.
+    pub epoch: u64,
+    /// Master seed; all component seeds derive from it.
+    pub seed: u64,
+}
+
+/// Default epoch for presets (2023-11-14, arbitrary but fixed).
+pub const DFZ_EPOCH: u64 = 1_700_000_000;
+
+impl DfzConfig {
+    fn preset(seed: u64, frac: f64, v4: u64, flows_per_minute: u64) -> Self {
+        DfzConfig {
+            topology: ScaleParams::scaled(mix(seed, 1), frac),
+            plan: if frac >= 1.0 {
+                DfzPlanParams::dfz(mix(seed, 2))
+            } else {
+                DfzPlanParams::tier(mix(seed, 2), v4)
+            },
+            churn: ChurnConfig::default_rates(DFZ_EPOCH, mix(seed, 3)),
+            flows_per_minute,
+            v6_share: 0.15,
+            epoch: DFZ_EPOCH,
+            seed,
+        }
+    }
+
+    /// The acceptance-scale preset: ~1M IPv4 + ~200k IPv6 prefixes over the
+    /// full 3,000-router topology.
+    pub fn dfz(seed: u64) -> Self {
+        DfzConfig::preset(seed, 1.0, 1_048_576, 2_000_000)
+    }
+
+    /// The CI scale-smoke tier: 100k IPv4 + 20k IPv6 prefixes.
+    pub fn tier_100k(seed: u64) -> Self {
+        DfzConfig::preset(seed, 0.25, 100_000, 200_000)
+    }
+
+    /// The small tier used by golden/property tests: 10k + 2k prefixes.
+    pub fn smoke_10k(seed: u64) -> Self {
+        DfzConfig::preset(seed, 0.05, 10_000, 60_000)
+    }
+}
+
+/// The composed DFZ world. Construction is `O(links + ases + churners)`;
+/// everything else is derived on demand.
+#[derive(Debug, Clone)]
+pub struct DfzWorld {
+    cfg: DfzConfig,
+    /// Router/PoP/link layout.
+    pub topology: ScaleTopology,
+    /// The prefix table.
+    pub plan: PrefixPlan,
+    /// Churn state oracle.
+    pub churn: ChurnModel,
+    /// Per-AS candidate ingress links.
+    pub as_links: AsLinks,
+}
+
+impl DfzWorld {
+    /// Build the world from a config.
+    pub fn new(cfg: DfzConfig) -> Self {
+        let topology = ScaleTopology::new(cfg.topology);
+        let plan = PrefixPlan::new(cfg.plan);
+        let churn = ChurnModel::new(cfg.churn);
+        let as_links = AsLinks::new(&topology, cfg.plan.ases, mix(cfg.seed, 4));
+        DfzWorld {
+            cfg,
+            topology,
+            plan,
+            churn,
+            as_links,
+        }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &DfzConfig {
+        &self.cfg
+    }
+
+    /// Ground-truth best link of a prefix at time `t`.
+    pub fn current_link(&self, af: Af, rank: u64, t: u64) -> LinkId {
+        current_link(&self.plan, &self.churn, &self.as_links, af, rank, t)
+    }
+
+    /// Ground-truth ingress point of a prefix at time `t`.
+    pub fn current_ingress(&self, af: Af, rank: u64, t: u64) -> IngressPoint {
+        self.topology
+            .ingress_of_link(self.current_link(af, rank, t))
+    }
+
+    /// Churn events over `[t0, t1)` (60 s sorting windows).
+    pub fn churn_events(&self, t0: u64, t1: u64) -> ChurnStream<'_> {
+        ChurnStream::new(&self.plan, &self.churn, t0, t1, 60)
+    }
+
+    /// The routing-table view at time `t`, both families, streaming.
+    pub fn routes_at(&self, t: u64) -> impl Iterator<Item = DfzRoute> + '_ {
+        ipd_bgp::dfz::routes_at(&self.plan, &self.churn, &self.as_links, t)
+    }
+
+    /// The labeled flow stream for `minutes` starting at the epoch.
+    pub fn flows(&self, minutes: u64) -> DfzFlowStream<'_> {
+        DfzFlowStream::new(self, self.cfg.epoch, minutes)
+    }
+
+    /// Approximate resident size of the materialized tables, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.topology.memory_bytes()
+            + self.plan.params().ases as usize * 16
+            + self.as_links.ases() as usize * 8
+    }
+}
+
+/// A flow record with its ground truth attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfzLabeledFlow {
+    /// The record as the engine sees it.
+    pub flow: FlowRecord,
+    /// Family of the source prefix.
+    pub af: Af,
+    /// Popularity rank of the source prefix.
+    pub rank: u64,
+    /// Ground-truth ingress link at the flow's timestamp.
+    pub link: LinkId,
+}
+
+/// Streaming, seeded flow generator: `Iterator<Item = DfzLabeledFlow>`.
+///
+/// Flows are emitted in non-decreasing timestamp order (second granularity),
+/// exactly `flows_per_minute` draws per minute; draws whose prefix is
+/// currently withdrawn are skipped. State is four counters — same seed,
+/// bit-identical stream.
+pub struct DfzFlowStream<'a> {
+    world: &'a DfzWorld,
+    /// Current absolute second.
+    sec: u64,
+    /// End of the stream (exclusive).
+    end: u64,
+    /// Draws already made this second.
+    done: u64,
+    /// Draws budgeted for this second.
+    quota: u64,
+    /// Global draw counter (hash input).
+    counter: u64,
+}
+
+impl<'a> DfzFlowStream<'a> {
+    /// Stream `minutes` minutes of flows starting at `t0`.
+    pub fn new(world: &'a DfzWorld, t0: u64, minutes: u64) -> Self {
+        let mut s = DfzFlowStream {
+            world,
+            sec: t0,
+            end: t0.saturating_add(minutes.saturating_mul(60)),
+            done: 0,
+            quota: 0,
+            counter: 0,
+        };
+        s.quota = s.quota_for(t0);
+        s
+    }
+
+    /// Per-second draw budget: `fpm/60`, with the remainder spread over the
+    /// first `fpm % 60` seconds of each minute so every minute draws exactly
+    /// `flows_per_minute`.
+    fn quota_for(&self, sec: u64) -> u64 {
+        let fpm = self.world.cfg.flows_per_minute;
+        fpm / 60 + u64::from(sec % 60 < fpm % 60)
+    }
+
+    /// Total draws made so far (emitted + suppressed-by-withdrawal).
+    pub fn draws(&self) -> u64 {
+        self.counter
+    }
+}
+
+impl Iterator for DfzFlowStream<'_> {
+    type Item = DfzLabeledFlow;
+
+    fn next(&mut self) -> Option<DfzLabeledFlow> {
+        let w = self.world;
+        loop {
+            if self.done == self.quota {
+                self.sec += 1;
+                if self.sec >= self.end {
+                    return None;
+                }
+                self.done = 0;
+                self.quota = self.quota_for(self.sec);
+                continue;
+            }
+            self.done += 1;
+            let h = mix3(w.cfg.seed, S_FLOW, self.counter);
+            self.counter += 1;
+
+            let af = if w.plan.len(Af::V6) > 0 && unit_f64(h) < w.cfg.v6_share {
+                Af::V6
+            } else {
+                Af::V4
+            };
+            let n = w.plan.len(af);
+            let u = unit_f64(mix(h, 1));
+            let rank = ((n as f64 * u.powf(POPULARITY_GAMMA)) as u64).min(n - 1);
+            let ts = self.sec;
+            if !w.churn.visible(af, rank, ts) {
+                continue; // withdrawn: no traffic from this prefix right now
+            }
+            let link = w.current_link(af, rank, ts);
+            let ingress = w.topology.ingress_of_link(link);
+
+            let prefix = w.plan.prefix(af, rank);
+            // Source: a hash-chosen /28 user group inside the prefix, then a
+            // host inside the group.
+            let host_bits = (af.width() - prefix.len()) as u32;
+            let groups: u128 = 1 << host_bits.saturating_sub(4);
+            let g = mix(h, 2) as u128 % groups;
+            let host = (mix(h, 3) & 0xF) as u128 % (1 << host_bits.min(4));
+            let src = Addr::new(af, prefix.addr().bits() | (g << host_bits.min(4)) | host);
+
+            let hv = mix(h, 4);
+            let dst = match af {
+                // CGNAT 100.64.0.0/10 — mirrors the materialized simulator.
+                Af::V4 => Addr::v4(0x6440_0000 | (hv as u32 & 0x003F_FFFF)),
+                Af::V6 => Addr::new(Af::V6, (0xfd00u128 << 112) | (hv as u128)),
+            };
+            let packets = 1 + (hv >> 32 & 0x7) as u32;
+            return Some(DfzLabeledFlow {
+                flow: FlowRecord {
+                    ts,
+                    src,
+                    dst,
+                    router: ingress.router,
+                    input_if: ingress.ifindex,
+                    output_if: 0,
+                    proto: if hv & 0xF < 13 { 6 } else { 17 },
+                    src_port: 443,
+                    dst_port: (49152 + (hv >> 16 & 0x3FFF)) as u16,
+                    packets,
+                    bytes: packets * (200 + (hv >> 40 & 0x3FF) as u32),
+                },
+                af,
+                rank,
+                link,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DfzConfig {
+        DfzConfig {
+            flows_per_minute: 6_000,
+            ..DfzConfig::smoke_10k(11)
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let w = DfzWorld::new(tiny());
+        let a: Vec<DfzLabeledFlow> = w.flows(2).collect();
+        let b: Vec<DfzLabeledFlow> = w.flows(2).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for p in a.windows(2) {
+            assert!(p[0].flow.ts <= p[1].flow.ts, "timestamps non-decreasing");
+        }
+        assert!(a[0].flow.ts >= DFZ_EPOCH && a.last().unwrap().flow.ts < DFZ_EPOCH + 120);
+    }
+
+    #[test]
+    fn draws_exact_emits_no_more() {
+        let w = DfzWorld::new(tiny());
+        let mut s = w.flows(3);
+        let emitted = s.by_ref().count() as u64;
+        assert_eq!(s.draws(), 3 * 6_000);
+        assert!(emitted <= s.draws());
+        // Churn suppresses only a small share (≈ updown_fraction scaled by
+        // popularity and duty cycle).
+        assert!(emitted as f64 > 0.85 * s.draws() as f64);
+    }
+
+    #[test]
+    fn labels_match_world_ground_truth() {
+        let w = DfzWorld::new(tiny());
+        for f in w.flows(1).take(2_000) {
+            assert_eq!(f.link, w.current_link(f.af, f.rank, f.flow.ts));
+            let ing = w.topology.ingress_of_link(f.link);
+            assert_eq!((f.flow.router, f.flow.input_if), (ing.router, ing.ifindex));
+            let p = w.plan.prefix(f.af, f.rank);
+            assert!(p.contains(f.flow.src), "src inside originating prefix");
+            assert!(w.churn.visible(f.af, f.rank, f.flow.ts));
+        }
+    }
+
+    #[test]
+    fn v6_share_roughly_honored() {
+        let w = DfzWorld::new(tiny());
+        let flows: Vec<_> = w.flows(2).collect();
+        let v6 = flows.iter().filter(|f| f.af == Af::V6).count() as f64;
+        let share = v6 / flows.len() as f64;
+        assert!((0.10..0.20).contains(&share), "v6 share {share}");
+    }
+
+    #[test]
+    fn many_distinct_user_slash28s() {
+        let w = DfzWorld::new(tiny());
+        let mut groups = std::collections::HashSet::new();
+        for f in w.flows(2) {
+            groups.insert(f.flow.src.masked(f.flow.src.af().width() - 4));
+        }
+        // 12k draws must spread over thousands of distinct /28-equivalents.
+        assert!(
+            groups.len() > 5_000,
+            "only {} distinct groups",
+            groups.len()
+        );
+    }
+
+    #[test]
+    fn world_memory_is_bounded() {
+        let w = DfzWorld::new(tiny());
+        assert!(w.memory_bytes() < 256 * 1024, "{} bytes", w.memory_bytes());
+    }
+}

@@ -27,6 +27,7 @@
 //! same world, events, and flow stream bit for bit.
 
 mod asmodel;
+pub mod dfz;
 mod diurnal;
 mod events;
 mod mapping;
@@ -34,6 +35,7 @@ mod sim;
 mod world;
 
 pub use asmodel::{allocate_ases, AsBehavior, AsKind, AsProfile};
+pub use dfz::{DfzConfig, DfzFlowStream, DfzLabeledFlow, DfzWorld, DFZ_EPOCH};
 pub use diurnal::diurnal_factor;
 pub use events::{Event, EventKind, EventRates, EventSchedule};
 pub use mapping::{IngressChoice, MappingState};

@@ -1,0 +1,111 @@
+//! Property tests for the DFZ flow stream (DESIGN.md §12): bit-identical
+//! replay from the same seed, ordered timestamps, exact per-minute volume,
+//! and traffic concentration tracking the Zipf/popularity calibration.
+//! The 1M tier runs under `--ignored` (see the CI matrix).
+
+use std::collections::{HashMap, HashSet};
+
+use ipd_lpm::Af;
+use ipd_traffic::{DfzConfig, DfzWorld};
+use proptest::prelude::*;
+
+proptest! {
+    /// Same seed ⇒ bit-identical labeled flow stream, rebuilt from scratch.
+    #[test]
+    fn dfz_flow_stream_bit_identical(seed in any::<u64>()) {
+        let a = DfzWorld::new(DfzConfig::smoke_10k(seed));
+        let b = DfzWorld::new(DfzConfig::smoke_10k(seed));
+        let fa: Vec<_> = a.flows(3).collect();
+        let fb: Vec<_> = b.flows(3).collect();
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// Timestamps are non-decreasing at second granularity, stay inside the
+    /// requested window, and every minute draws exactly `flows_per_minute`
+    /// nominal draws minus the withdrawn ones.
+    #[test]
+    fn dfz_flow_stream_ordered_and_bounded(seed in any::<u64>(), minutes in 1u64..6) {
+        let world = DfzWorld::new(DfzConfig::smoke_10k(seed));
+        let cfg = *world.config();
+        let mut last = cfg.epoch;
+        let mut per_minute: HashMap<u64, u64> = HashMap::new();
+        for lf in world.flows(minutes) {
+            prop_assert!(lf.flow.ts >= last, "timestamps must not go backwards");
+            prop_assert!(lf.flow.ts >= cfg.epoch && lf.flow.ts < cfg.epoch + minutes * 60);
+            last = lf.flow.ts;
+            *per_minute.entry((lf.flow.ts - cfg.epoch) / 60).or_insert(0) += 1;
+            prop_assert!(lf.rank < world.plan.len(lf.af));
+        }
+        prop_assert_eq!(per_minute.len() as u64, minutes);
+        for &n in per_minute.values() {
+            // Withdrawn prefixes are skipped, so a minute may fall short of
+            // the nominal rate — but never exceed it, and never collapse.
+            prop_assert!(n <= cfg.flows_per_minute);
+            prop_assert!(n > cfg.flows_per_minute * 9 / 10, "minute drew only {} flows", n);
+        }
+    }
+
+    /// Every flow's (router, ifindex) agrees with the ground-truth oracle at
+    /// the flow's own timestamp — labels stay consistent under churn.
+    #[test]
+    fn dfz_flow_labels_match_ground_truth(seed in any::<u64>()) {
+        let world = DfzWorld::new(DfzConfig::smoke_10k(seed));
+        for lf in world.flows(2) {
+            let expect = world.current_ingress(lf.af, lf.rank, lf.flow.ts);
+            prop_assert_eq!(lf.flow.router, expect.router);
+            prop_assert_eq!(lf.flow.input_if, expect.ifindex);
+            let prefix = world.plan.prefix(lf.af, lf.rank);
+            prop_assert!(prefix.contains(lf.flow.src), "src outside its prefix");
+        }
+    }
+}
+
+/// Traffic concentration at the 10k tier: the γ=2.0 popularity curve over
+/// Zipf-sized ASes keeps most traffic in the head without collapsing onto a
+/// single prefix.
+#[test]
+fn dfz_flow_concentration_calibrated() {
+    let world = DfzWorld::new(DfzConfig::smoke_10k(42));
+    let ases = world.plan.params().ases as usize;
+    let mut per_as = vec![0u64; ases];
+    let mut v6 = 0u64;
+    let mut total = 0u64;
+    let mut user28: HashSet<u128> = HashSet::new();
+    for lf in world.flows(5) {
+        per_as[world.plan.as_rank_of(lf.af, lf.rank) as usize] += 1;
+        v6 += u64::from(lf.af == Af::V6);
+        total += 1;
+        user28.insert(lf.flow.src.masked(lf.flow.src.af().width() - 4).bits());
+    }
+    let share = |k: usize| per_as.iter().take(k).sum::<u64>() as f64 / total as f64;
+    assert!(share(5) > 0.4 && share(5) < 0.95, "top5 {}", share(5));
+    assert!(share(20) >= share(5));
+    let v6_share = v6 as f64 / total as f64;
+    assert!((0.10..=0.20).contains(&v6_share), "v6 share {v6_share}");
+    // Millions of distinct users at full scale; tens of thousands here.
+    assert!(user28.len() > 20_000, "{} distinct /28s", user28.len());
+}
+
+/// The full-scale stream: 1M + 200k prefixes at 2M flows/min. Run with
+/// `cargo test -p ipd-traffic --test dfz_prop -- --ignored`.
+#[test]
+#[ignore = "1M tier: run explicitly via --ignored (see CI matrix)"]
+fn dfz_flow_stream_1m_tier() {
+    let world = DfzWorld::new(DfzConfig::dfz(42));
+    let mut user28: HashSet<u128> = HashSet::new();
+    let mut last = 0u64;
+    let mut n = 0u64;
+    for lf in world.flows(2) {
+        assert!(lf.flow.ts >= last);
+        last = lf.flow.ts;
+        user28.insert(lf.flow.src.masked(lf.flow.src.af().width() - 4).bits());
+        n += 1;
+    }
+    assert!(n > 3_900_000, "{n} flows in two minutes");
+    // Distinct /28-equivalents must reach into the millions across the run;
+    // two minutes of draws already clear one million.
+    assert!(user28.len() > 1_000_000, "{} distinct /28s", user28.len());
+    // Determinism spot check at scale.
+    let world2 = DfzWorld::new(DfzConfig::dfz(42));
+    assert!(world2.flows(2).take(10_000).eq(world.flows(2).take(10_000)));
+}

@@ -1,0 +1,96 @@
+//! Pin the paper-scale `results/` TSVs byte-for-byte.
+//!
+//! The DFZ-scale evaluation (`experiments -- dfz`) writes into the parallel
+//! `results/dfz/` directory; it must never disturb the committed paper-scale
+//! tables. This test hashes every pinned file so any accidental regeneration
+//! at different parameters — or an experiments-binary change that silently
+//! alters an existing artifact — fails loudly. When a change to a paper-scale
+//! table is *intentional*, regenerate it with
+//! `cargo run --release -p ipd-eval --bin experiments -- all` and update the
+//! (length, hash) pair here in the same commit.
+
+use std::path::Path;
+
+/// FNV-1a 64. Dependency-free and stable; collisions are irrelevant here
+/// because the byte length is pinned alongside.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every paper-scale artifact: (file, byte length, FNV-1a of contents).
+const PINNED: &[(&str, usize, u64)] = &[
+    ("fig10.tsv", 12872, 0x503a7e37682632cd),
+    ("fig11.tsv", 2606, 0x55803fe9965e4187),
+    ("fig12.tsv", 2606, 0xf02f742b59c3d682),
+    ("fig13.tsv", 1972, 0xf77fe41b78c52a06),
+    ("fig14.tsv", 776, 0xccec36d6edda512d),
+    ("fig16.tsv", 1603, 0x76474a36a1193fbf),
+    ("fig17.tsv", 2039, 0x2317c63e7a04f476),
+    ("fig18_20_configs.tsv", 1431, 0x704a318bea538cd9),
+    ("fig18_20_effects.tsv", 882, 0xa0e6514d4224f569),
+    ("fig3.tsv", 599, 0x31b997ee8e1fb638),
+    ("fig4.tsv", 1380, 0x13117d995565fa86),
+    ("fig5.tsv", 94, 0x8b32a74b36a2cdda),
+    ("fig6.tsv", 11785, 0xd649bcff20b499a9),
+    ("fig7.tsv", 501, 0xf2968f070401bf90),
+    ("fig8.tsv", 9800, 0x8aeda255a815b26a),
+    ("fig9.tsv", 611, 0x577b43f17f8bee84),
+    ("tab1.txt", 507, 0x5cfd0b8e2274ad4f),
+    ("tab2.tsv", 167, 0x1ff42973fe27a400),
+    ("tab3.txt", 577718, 0x6f6b7b5c1563c15c),
+    ("tab_prefixcorr.tsv", 110, 0xdfe1fc8d50e8b276),
+];
+
+fn results_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+#[test]
+fn paper_scale_tables_are_byte_identical_to_seed() {
+    let dir = results_dir();
+    let mut bad = Vec::new();
+    for &(name, len, hash) in PINNED {
+        let path = dir.join(name);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                if bytes.len() != len || fnv1a(&bytes) != hash {
+                    bad.push(format!(
+                        "{name}: got {} bytes / {:#018x}, pinned {len} bytes / {hash:#018x}",
+                        bytes.len(),
+                        fnv1a(&bytes)
+                    ));
+                }
+            }
+            Err(e) => bad.push(format!("{name}: unreadable ({e})")),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "paper-scale results drifted — regenerate deliberately or fix the \
+         code path that touched them:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn dfz_tables_live_in_a_parallel_dir() {
+    // The DFZ run must not add unpinned files next to the paper tables; its
+    // outputs belong under results/dfz/.
+    let pinned: std::collections::HashSet<&str> = PINNED.iter().map(|p| p.0).collect();
+    for entry in std::fs::read_dir(results_dir()).expect("results dir") {
+        let entry = entry.expect("dir entry");
+        if entry.path().is_file() {
+            let name = entry.file_name().into_string().expect("utf-8 name");
+            assert!(
+                pinned.contains(name.as_str()),
+                "unexpected unpinned file results/{name} — DFZ-scale output \
+                 belongs in results/dfz/"
+            );
+        }
+    }
+}
