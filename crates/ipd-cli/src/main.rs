@@ -30,17 +30,19 @@ use args::{ArgError, Args};
 use ipd::output::default_ingress_format;
 use ipd::pipeline::{
     run_offline_instrumented, run_offline_with, BucketClock, IpdPipeline, NoopHook, PipelineConfig,
-    PipelineHook, PipelineOutput, ShardedPipeline,
+    PipelineHook, PipelineOutput, ShardedPipeline, TickEngine,
 };
 use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
 use ipd_bgp::write_dump;
+use ipd_hist::{HistConfig, HistPublisher, HistStore, HistTelemetry};
 use ipd_lpm::Addr;
 use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
 use ipd_serve::proto::AnswerKind;
-use ipd_serve::{ServeClient, ServePublisher, ServeServer, ServeTelemetry};
+use ipd_serve::{HistoryProvider, ServeClient, ServePublisher, ServeServer, ServeTelemetry};
 use ipd_state::{read_journal, CheckpointStore, Durable, DurableConfig};
 use ipd_telemetry::{MetricsServer, Telemetry};
 use ipd_traffic::{DfzConfig, DfzWorld, FlowSim, SimConfig, World, WorldConfig};
+use std::sync::Arc;
 
 const USAGE: &str =
     "usage: ipd-tool <simulate|run|lookup|info|checkpoint|restore|serve|query> [--options]
@@ -58,7 +60,15 @@ const USAGE: &str =
   restore    --dir DIR [--trace FILE] [--shards K] [--table3 FILE]
   serve      --trace FILE | --from-checkpoint DIR   [--addr HOST:PORT] [--shards K]
              [--linger-secs S] [--port-file FILE] [--metrics-addr HOST:PORT]
-  query      --server HOST:PORT [--addr A,B,...] [--info]";
+             [--hist-dir DIR]       (record every epoch; answer QueryAt/DiffRange)
+  query      --server HOST:PORT [--addr A,B,...] [--info]
+             [--at-epoch N] [--diff FROM,TO] [--wait-epoch N]
+  hist record   --dir DIR (--trace FILE | --scale dfz|100k|10k [scale knobs])
+                [--shards K] [--keyframe-every K]
+  hist info     --dir DIR
+  hist query-at --dir DIR (--epoch N | --at-ts T) [--addr A,B,...]
+  hist diff     --dir DIR --from N --to N [--limit N]
+  hist compact  --dir DIR";
 
 /// Snapshot cadence (in ticks) used by `run` and `restore`; the two must
 /// agree for a restored run to resume the exact snapshot rhythm.
@@ -76,6 +86,22 @@ fn main() -> ExitCode {
 }
 
 fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    // `hist` takes an action word before the options (`hist record --dir …`);
+    // fold it into the command so the flat parser stays positional-free.
+    let mut raw = raw;
+    if raw.first().map(String::as_str) == Some("hist") {
+        match raw.get(1) {
+            Some(action) if !action.starts_with('-') => {
+                let action = raw.remove(1);
+                raw[0] = format!("hist-{action}");
+            }
+            _ => {
+                return Err(Box::new(ArgError(
+                    "hist needs an action: record, info, query-at, diff, or compact".into(),
+                )))
+            }
+        }
+    }
     let args = Args::parse(raw)?;
     match args.command.as_str() {
         "simulate" => simulate(&args),
@@ -86,6 +112,11 @@ fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "restore" => restore(&args),
         "serve" => serve(&args),
         "query" => query(&args),
+        "hist-record" => hist_record(&args),
+        "hist-info" => hist_info(&args),
+        "hist-query-at" => hist_query_at(&args),
+        "hist-diff" => hist_diff(&args),
+        "hist-compact" => hist_compact(&args),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
 }
@@ -573,10 +604,32 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let serve_metrics = ServeTelemetry::register(&telemetry);
     let mut publisher = ServePublisher::with_metrics(serve_metrics.clone());
     let swap = publisher.swap();
-    let server = ServeServer::serve(
+    // --hist-dir: every published epoch is also appended to a longitudinal
+    // store, and the server answers QueryAt/DiffRange out of it.
+    let mut hist_pub = match args.get("hist-dir") {
+        Some(dir) => {
+            let store = HistStore::open_with(
+                dir,
+                HistConfig::default(),
+                HistTelemetry::register(&telemetry),
+            )?;
+            eprintln!(
+                "serve: recording history to {dir} (next epoch {})",
+                store.last_epoch() + 1
+            );
+            Some(HistPublisher::new(store))
+        }
+        None => None,
+    };
+    let hist_store = hist_pub.as_ref().map(|p| p.store());
+    let history: Option<Arc<dyn HistoryProvider>> = hist_store
+        .as_ref()
+        .map(|s| Arc::new(s.reader()) as Arc<dyn HistoryProvider>);
+    let server = ServeServer::serve_with_history(
         args.get("addr").unwrap_or("127.0.0.1:0"),
         swap.clone(),
         serve_metrics,
+        history,
     )?;
     eprintln!("serve: answering queries on {}", server.local_addr());
     if let Some(path) = args.get("port-file") {
@@ -599,6 +652,9 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .current_bucket
             .map_or(0, |b| b * engine.params().t_secs);
         let epoch = publisher.publish_now(&engine, ts);
+        if let Some(store) = &hist_store {
+            store.append_store(&ipd_serve::IngressStore::from_engine(&engine, ts))?;
+        }
         eprintln!(
             "serve: published generation {seq} ({} classified ranges, data ts {ts}) as epoch {epoch}",
             engine.classified_count()
@@ -618,10 +674,21 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             telemetry: telemetry.clone(),
             ..PipelineConfig::default()
         };
+        // With a history directory the pipeline hook publishes on both
+        // planes; append errors latch inside the wrapped HistPublisher (the
+        // boxed hook is not recoverable after finish), so the end-of-run
+        // compaction below is what surfaces persistent I/O trouble.
+        let hook: Box<dyn PipelineHook> = match hist_pub.take() {
+            Some(hist) => Box::new(RecordingPublisher {
+                serve: publisher,
+                hist,
+            }),
+            None => Box::new(publisher),
+        };
         // The bounded output channel must be drained or the engine stalls
         // mid-stream; serve has no other use for the tick reports.
         let classified = if shards != 1 {
-            let pipeline = ShardedPipeline::spawn_hooked(config, Box::new(publisher))?;
+            let pipeline = ShardedPipeline::spawn_hooked(config, hook)?;
             let rx = pipeline.output().clone();
             let drainer = std::thread::spawn(move || rx.iter().count());
             let tx = pipeline.input();
@@ -634,7 +701,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             drainer.join().expect("drainer");
             engine.into_engine().classified_count()
         } else {
-            let pipeline = IpdPipeline::spawn_hooked(config, Box::new(publisher))?;
+            let pipeline = IpdPipeline::spawn_hooked(config, hook)?;
             let rx = pipeline.output().clone();
             let drainer = std::thread::spawn(move || rx.iter().count());
             let tx = pipeline.input();
@@ -658,15 +725,143 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("serve: answering for another {linger}s");
         std::thread::sleep(std::time::Duration::from_secs(linger));
     }
+    if let Some(store) = &hist_store {
+        store.compact_now()?;
+        store.flush()?;
+        eprintln!(
+            "serve: history holds epochs {:?} ({} segments, {} KiB on disk)",
+            store.reader().epochs(),
+            store.segment_count(),
+            store.bytes_on_disk() / 1024
+        );
+    }
     server.shutdown();
     drop(metrics_server);
     Ok(())
 }
 
+/// `serve --hist-dir`: one pipeline hook feeding both publication planes —
+/// the live epoch swap and the longitudinal store — so the wire epoch and
+/// the recorded epoch advance in lockstep.
+struct RecordingPublisher {
+    serve: ServePublisher,
+    hist: HistPublisher,
+}
+
+impl PipelineHook for RecordingPublisher {
+    fn flows(&mut self, flows: &[FlowRecord]) {
+        self.serve.flows(flows);
+        self.hist.flows(flows);
+    }
+
+    fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.serve.bucket_crossed(engine, clock);
+        self.hist.bucket_crossed(engine, clock);
+    }
+
+    fn finished(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.serve.finished(engine, clock);
+        self.hist.finished(engine, clock);
+    }
+
+    fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.serve.closed(engine, clock);
+        self.hist.closed(engine, clock);
+    }
+}
+
+fn parse_addrs(spec: &str) -> Result<Vec<Addr>, std::net::AddrParseError> {
+    spec.split(',')
+        .map(|s| s.trim().parse::<std::net::IpAddr>().map(Addr::from))
+        .collect()
+}
+
+fn print_wire_answer(addr: Addr, a: &ipd_serve::proto::WireAnswer) {
+    match a.kind {
+        AnswerKind::Unmapped => println!("  {addr:<18} (not classified)"),
+        AnswerKind::Link => println!(
+            "  {addr:<18} /{:<3} router {} if {}   link    confidence {:.3}",
+            a.prefix_len, a.router, a.ifindex, a.confidence
+        ),
+        AnswerKind::Bundle => println!(
+            "  {addr:<18} /{:<3} router {} if {}+  bundle  confidence {:.3}",
+            a.prefix_len, a.router, a.ifindex, a.confidence
+        ),
+    }
+}
+
+fn wire_ingress_label(i: &Option<ipd_serve::proto::WireIngress>) -> String {
+    match i {
+        Some(w) if w.bundle => format!("router {} if {}+ (bundle)", w.router, w.ifindex),
+        Some(w) => format!("router {} if {}", w.router, w.ifindex),
+        None => "(unmapped)".to_string(),
+    }
+}
+
 /// One-shot client against a running `serve`: batched lookups and/or the
-/// store metadata line.
+/// store metadata line, plus the time-travel operations when the server
+/// carries a history (`--at-epoch`, `--diff`) and epoch synchronization
+/// (`--wait-epoch`).
 fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut client = ServeClient::connect(args.require("server")?)?;
+    if let Some(min) = args.get("wait-epoch") {
+        let min: u64 = min.parse()?;
+        let i = client.wait_epoch(min)?;
+        println!(
+            "epoch {} reached (data ts {}, {} entries)",
+            i.epoch, i.ts, i.entries
+        );
+        if args.get("addr").is_none() && args.get("diff").is_none() {
+            return Ok(());
+        }
+    }
+    if let Some(spec) = args.get("diff") {
+        let (from, to) = spec
+            .split_once(',')
+            .ok_or_else(|| ArgError("--diff wants FROM,TO (two epochs)".into()))?;
+        let (from, to) = (from.trim().parse::<u64>()?, to.trim().parse::<u64>()?);
+        let changes = client.diff_range(from, to)?;
+        // Routinely piped into `head`; stop quietly when the reader hangs
+        // up instead of panicking on the broken pipe.
+        use std::io::Write as _;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        if writeln!(
+            out,
+            "{} change(s) between epoch {from} and epoch {to}:",
+            changes.len()
+        )
+        .is_err()
+        {
+            return Ok(());
+        }
+        for c in &changes {
+            if writeln!(
+                out,
+                "  {:<20} {} -> {}",
+                c.prefix,
+                wire_ingress_label(&c.before),
+                wire_ingress_label(&c.after)
+            )
+            .is_err()
+            {
+                return Ok(());
+            }
+        }
+        return Ok(());
+    }
+    if let Some(epoch) = args.get("at-epoch") {
+        let epoch: u64 = epoch.parse()?;
+        let addrs = parse_addrs(args.require("addr")?)?;
+        println!("epoch {epoch} (historical):");
+        for addr in addrs {
+            match client.query_at(epoch, addr)? {
+                Some(a) => print_wire_answer(addr, &a),
+                None => return Err(format!("server does not hold epoch {epoch}").into()),
+            }
+        }
+        return Ok(());
+    }
     if args.flag("info") || args.get("addr").is_none() {
         let i = client.info()?;
         println!("epoch:    {}", i.epoch);
@@ -677,26 +872,218 @@ fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             return Ok(());
         }
     }
-    let addrs: Vec<Addr> = args
-        .require("addr")?
-        .split(',')
-        .map(|s| s.trim().parse::<std::net::IpAddr>().map(Addr::from))
-        .collect::<Result<_, _>>()?;
+    let addrs = parse_addrs(args.require("addr")?)?;
     let (epoch, answers) = client.batch(&addrs)?;
     println!("epoch {epoch}:");
     for (addr, a) in addrs.iter().zip(&answers) {
-        match a.kind {
-            AnswerKind::Unmapped => println!("  {addr:<18} (not classified)"),
-            AnswerKind::Link => println!(
-                "  {addr:<18} /{:<3} router {} if {}   link    confidence {:.3}",
-                a.prefix_len, a.router, a.ifindex, a.confidence
-            ),
-            AnswerKind::Bundle => println!(
-                "  {addr:<18} /{:<3} router {} if {}+  bundle  confidence {:.3}",
-                a.prefix_len, a.router, a.ifindex, a.confidence
-            ),
+        print_wire_answer(*addr, a);
+    }
+    Ok(())
+}
+
+/// `hist record`: run a trace or the DFZ-scale substrate through the
+/// engine, appending every published epoch to a longitudinal store, then
+/// compact so the directory is immediately cheap to query.
+fn hist_record(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.require("dir")?;
+    let cfg = HistConfig {
+        keyframe_every: args.get_or("keyframe-every", HistConfig::default().keyframe_every)?,
+        ..HistConfig::default()
+    };
+    let store = HistStore::open_with(dir, cfg, HistTelemetry::default())?;
+    let first = store.last_epoch() + 1;
+    let mut hook = HistPublisher::new(store);
+    let shards: usize = args.get_or("shards", 1)?;
+
+    fn drive<E: TickEngine>(
+        mut engine: E,
+        flows: impl IntoIterator<Item = FlowRecord>,
+        hook: &mut HistPublisher,
+    ) {
+        run_offline_with(&mut engine, flows, SNAPSHOT_EVERY_TICKS, None, hook, |_| {});
+    }
+
+    if args.get("scale").is_some() {
+        let (cfg, minutes) = dfz_config(args)?;
+        let world = DfzWorld::new(cfg);
+        let rate = cfg.flows_per_minute as f64;
+        let params = IpdParams {
+            q: args.get_or("q", 0.95)?,
+            cidr_max_v4: args.get_or("cidr-max", 28)?,
+            ncidr_factor_v4: args.get_or("factor", (64.0 / 32.0e6 * rate).max(1e-4))?,
+            ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+            ..IpdParams::default()
+        };
+        eprintln!(
+            "hist record: streaming {minutes} minutes of the {}-prefix substrate into {dir}",
+            cfg.plan.v4_prefixes
+        );
+        let flows = world.flows(minutes).map(|f| f.flow);
+        if shards != 1 {
+            drive(ShardedEngine::new(params, shards)?, flows, &mut hook);
+        } else {
+            drive(IpdEngine::new(params)?, flows, &mut hook);
+        }
+    } else {
+        let flows = load_trace(args.require("trace")?)?;
+        let (params, rate) = trace_params(args, &flows)?;
+        eprintln!(
+            "hist record: replaying {} flows (~{rate:.0} flows/min) into {dir}",
+            flows.len()
+        );
+        if shards != 1 {
+            drive(ShardedEngine::new(params, shards)?, flows, &mut hook);
+        } else {
+            drive(IpdEngine::new(params)?, flows, &mut hook);
         }
     }
+    if let Some(e) = hook.error() {
+        return Err(format!("recording failed: {e}").into());
+    }
+    let store = hook.store();
+    store.compact_now()?;
+    store.flush()?;
+    println!("recorded epochs {first}..={}", store.last_epoch());
+    println!(
+        "segments:  {} ({} keyframes)",
+        store.segment_count(),
+        store.reader().keyframe_count()
+    );
+    println!("on disk:   {} KiB", store.bytes_on_disk() / 1024);
+    Ok(())
+}
+
+/// Open a history directory for the read-side subcommands: no background
+/// compaction thread, nothing on disk is modified by reads.
+fn open_hist_readonly(dir: &str) -> Result<HistStore, Box<dyn std::error::Error>> {
+    let cfg = HistConfig {
+        background_compaction: false,
+        ..HistConfig::default()
+    };
+    Ok(HistStore::open_with(dir, cfg, HistTelemetry::default())?)
+}
+
+fn hist_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let store = open_hist_readonly(args.require("dir")?)?;
+    let reader = store.reader();
+    let range = reader.epochs();
+    if range.is_empty() {
+        println!("empty history");
+        return Ok(());
+    }
+    let (first, last) = (*range.start(), *range.end());
+    let first_img = reader.image_at(first)?.expect("first epoch held");
+    let last_img = reader.image_at(last)?.expect("last epoch held");
+    println!("epochs:    {first}..={last}");
+    println!("time span: {} .. {}", first_img.ts, last_img.ts);
+    println!("entries:   {} (at epoch {last})", last_img.rows().len());
+    println!(
+        "segments:  {} ({} keyframes)",
+        store.segment_count(),
+        reader.keyframe_count()
+    );
+    println!("on disk:   {} KiB", store.bytes_on_disk() / 1024);
+    Ok(())
+}
+
+/// `hist query-at`: reconstruct one epoch (by number or by simulation
+/// time) and resolve addresses against it.
+fn hist_query_at(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let store = open_hist_readonly(args.require("dir")?)?;
+    let reader = store.reader();
+    let epoch = if let Some(e) = args.get("epoch") {
+        e.parse::<u64>()?
+    } else if let Some(t) = args.get("at-ts") {
+        let ts: u64 = t.parse()?;
+        reader
+            .epoch_at_time(ts)
+            .ok_or_else(|| format!("no epoch at or before ts {ts}"))?
+    } else {
+        return Err(Box::new(ArgError(
+            "hist query-at needs --epoch N or --at-ts T".into(),
+        )));
+    };
+    let rebuilt = reader
+        .store_at(epoch)?
+        .ok_or_else(|| format!("epoch {epoch} not held (history: {:?})", reader.epochs()))?;
+    println!(
+        "epoch {epoch}: data ts {}, {} entries",
+        rebuilt.ts(),
+        rebuilt.len()
+    );
+    if let Some(spec) = args.get("addr") {
+        for addr in parse_addrs(spec)? {
+            match rebuilt.lookup(addr) {
+                Some(a) => println!(
+                    "  {addr:<18} {:<20} {}   confidence {:.3}",
+                    a.prefix, a.ingress, a.confidence
+                ),
+                None => println!("  {addr:<18} (not classified)"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `hist diff`: what changed between two recorded epochs — appeared (`+`),
+/// disappeared (`-`), or moved ingress (`~`).
+fn hist_diff(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let store = open_hist_readonly(args.require("dir")?)?;
+    let reader = store.reader();
+    let from: u64 = args.require("from")?.parse()?;
+    let to: u64 = args.require("to")?.parse()?;
+    let limit: usize = args.get_or("limit", 50)?;
+    let changes = reader
+        .diff(from, to)?
+        .ok_or_else(|| format!("epoch range not held (history: {:?})", reader.epochs()))?;
+    // Bulk output is routinely piped into `head`; stop quietly when the
+    // reader hangs up instead of panicking on the broken pipe.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |line: String| writeln!(out, "{line}").is_ok();
+    if !emit(format!(
+        "{} change(s) between epoch {from} and epoch {to}:",
+        changes.len()
+    )) {
+        return Ok(());
+    }
+    for c in changes.iter().take(limit) {
+        let line = match (&c.before, &c.after) {
+            (None, Some(a)) => format!("  + {:<20} -> {a}", c.prefix),
+            (Some(b), None) => format!("  - {:<20} was {b}", c.prefix),
+            (Some(b), Some(a)) => format!("  ~ {:<20} {b} -> {a}", c.prefix),
+            (None, None) => unreachable!("the diff seam never emits a no-op change"),
+        };
+        if !emit(line) {
+            return Ok(());
+        }
+    }
+    if changes.len() > limit {
+        emit(format!(
+            "  … {} more (raise --limit)",
+            changes.len() - limit
+        ));
+    }
+    Ok(())
+}
+
+fn hist_compact(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.require("dir")?;
+    let cfg = HistConfig {
+        background_compaction: false,
+        ..HistConfig::default()
+    };
+    let store = HistStore::open_with(dir, cfg, HistTelemetry::default())?;
+    let folded = store.compact_now()?;
+    store.flush()?;
+    println!("folded {folded} delta segment(s) into keyframes");
+    println!(
+        "segments:  {} ({} keyframes), {} KiB on disk",
+        store.segment_count(),
+        store.reader().keyframe_count(),
+        store.bytes_on_disk() / 1024
+    );
     Ok(())
 }
 
@@ -1183,6 +1570,162 @@ mod tests {
         let empty = tmp("serve-ckpt-empty");
         std::fs::create_dir_all(&empty).unwrap();
         assert!(run_cli(argv(&["serve", "--from-checkpoint", &empty])).is_err());
+    }
+
+    #[test]
+    fn hist_record_then_time_travel_queries() {
+        let trace = tmp("hist.ipdt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "29",
+            "--out",
+            &trace,
+        ]))
+        .expect("simulate");
+
+        let dir = tmp("hist-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_cli(argv(&[
+            "hist",
+            "record",
+            "--dir",
+            &dir,
+            "--trace",
+            &trace,
+            "--keyframe-every",
+            "4",
+        ]))
+        .expect("hist record");
+
+        // The 6-minute stream publishes 6 epochs; every read-side
+        // subcommand works against the recorded directory.
+        let store = ipd_hist::HistStore::open(&dir).expect("reopen");
+        assert!(store.last_epoch() >= 6, "6 minutes -> at least 6 epochs");
+        assert!(store.reader().keyframe_count() >= 1);
+        // A simulation timestamp mid-history, for the --at-ts form (trace
+        // stamps are absolute epoch seconds).
+        let mid_ts = store
+            .reader()
+            .image_at(3)
+            .unwrap()
+            .expect("epoch 3 held")
+            .ts
+            .to_string();
+        drop(store);
+        run_cli(argv(&["hist", "info", "--dir", &dir])).expect("hist info");
+        run_cli(argv(&[
+            "hist",
+            "query-at",
+            "--dir",
+            &dir,
+            "--epoch",
+            "3",
+            "--addr",
+            "22.0.0.1,23.0.0.1",
+        ]))
+        .expect("hist query-at --epoch");
+        run_cli(argv(&[
+            "hist", "query-at", "--dir", &dir, "--at-ts", &mid_ts, "--addr", "22.0.0.1",
+        ]))
+        .expect("hist query-at --at-ts");
+        run_cli(argv(&[
+            "hist", "diff", "--dir", &dir, "--from", "1", "--to", "6",
+        ]))
+        .expect("hist diff");
+        run_cli(argv(&["hist", "compact", "--dir", &dir])).expect("hist compact");
+        run_cli(argv(&["hist", "query-at", "--dir", &dir, "--epoch", "6"]))
+            .expect("query-at after compact");
+
+        // Usage errors stay errors.
+        assert!(run_cli(argv(&["hist"])).is_err(), "missing action");
+        assert!(run_cli(argv(&["hist", "frobnicate", "--dir", &dir])).is_err());
+        assert!(
+            run_cli(argv(&["hist", "query-at", "--dir", &dir])).is_err(),
+            "needs --epoch or --at-ts"
+        );
+        assert!(
+            run_cli(argv(&["hist", "query-at", "--dir", &dir, "--epoch", "99"])).is_err(),
+            "epoch outside the held range"
+        );
+    }
+
+    #[test]
+    fn serve_with_hist_dir_answers_time_travel_over_the_wire() {
+        let trace = tmp("serve-hist.ipdt");
+        run_cli(argv(&[
+            "simulate",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "31",
+            "--out",
+            &trace,
+        ]))
+        .expect("simulate");
+
+        let dir = tmp("serve-hist-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let port_file = tmp("serve-hist-ports");
+        let (handle, addr, _metrics) = spawn_serve(
+            &port_file,
+            &[
+                "serve",
+                "--trace",
+                &trace,
+                "--hist-dir",
+                &dir,
+                "--port-file",
+                &port_file,
+                "--linger-secs",
+                "5",
+            ],
+        );
+
+        // --wait-epoch parks on the wire until publication catches up — no
+        // polling loop needed before the historical queries.
+        run_cli(argv(&["query", "--server", &addr, "--wait-epoch", "6"]))
+            .expect("query --wait-epoch");
+        run_cli(argv(&[
+            "query",
+            "--server",
+            &addr,
+            "--at-epoch",
+            "2",
+            "--addr",
+            "22.0.0.1,23.0.0.1",
+        ]))
+        .expect("query --at-epoch");
+        run_cli(argv(&["query", "--server", &addr, "--diff", "1,6"])).expect("query --diff");
+        assert!(
+            run_cli(argv(&[
+                "query",
+                "--server",
+                &addr,
+                "--at-epoch",
+                "99",
+                "--addr",
+                "22.0.0.1"
+            ]))
+            .is_err(),
+            "unheld epoch is an error"
+        );
+        handle.join().unwrap().expect("serve exits cleanly");
+
+        // The recorded directory outlives the server: the live run's epochs
+        // are all reconstructable offline.
+        let store = ipd_hist::HistStore::open(&dir).expect("reopen");
+        assert!(store.last_epoch() >= 6);
+        let reader = store.reader();
+        for e in 1..=store.last_epoch() {
+            assert!(reader.image_at(e).unwrap().is_some(), "epoch {e} lost");
+        }
     }
 
     #[test]

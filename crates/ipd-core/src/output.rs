@@ -279,6 +279,42 @@ impl SnapshotDiff {
     pub fn is_empty(&self) -> bool {
         self.change_count() == 0
     }
+
+    /// Flatten into one per-prefix change list, sorted by prefix — the row
+    /// shape the longitudinal store and the `DiffRange` wire op speak.
+    pub fn changes(&self) -> Vec<PrefixChange> {
+        let mut out: Vec<PrefixChange> = Vec::with_capacity(self.change_count());
+        out.extend(self.appeared.iter().map(|(p, i)| PrefixChange {
+            prefix: *p,
+            before: None,
+            after: Some(i.clone()),
+        }));
+        out.extend(self.disappeared.iter().map(|(p, i)| PrefixChange {
+            prefix: *p,
+            before: Some(i.clone()),
+            after: None,
+        }));
+        out.extend(self.moved.iter().map(|(p, b, a)| PrefixChange {
+            prefix: *p,
+            before: Some(b.clone()),
+            after: Some(a.clone()),
+        }));
+        out.sort_by_key(|c| c.prefix);
+        out
+    }
+}
+
+/// One range's classification change between two points in time: appeared
+/// (`before` is `None`), disappeared (`after` is `None`), or moved to a
+/// different ingress (both present). Both `None` never occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixChange {
+    /// The range that changed.
+    pub prefix: Prefix,
+    /// Its ingress before the change (`None` = not classified).
+    pub before: Option<LogicalIngress>,
+    /// Its ingress after the change (`None` = no longer classified).
+    pub after: Option<LogicalIngress>,
 }
 
 #[cfg(test)]

@@ -962,6 +962,114 @@ fn dfz_scale(ctx: &mut Ctx) {
     );
 }
 
+/// Longitudinal stability from a **recorded history**: stream a churned
+/// DFZ-tier substrate through the engine with an `ipd-hist` publisher,
+/// then compute the §5 stability table and the Fig-10-shaped epoch series
+/// from the reconstructed epochs. Writes into `results/hist/` (the pinned
+/// paper-scale TSVs in `results/` are never touched).
+fn hist_scale(ctx: &mut Ctx) {
+    use ipd::pipeline::run_offline_with;
+    use ipd_eval::hist_stability::{epoch_series, per_prefix, stability_buckets};
+    use ipd_hist::{HistConfig, HistPublisher, HistStore, HistTelemetry};
+    use ipd_traffic::{DfzConfig, DfzWorld};
+
+    let (cfg, minutes) = if ctx.quick {
+        (DfzConfig::smoke_10k(42), 20)
+    } else {
+        (DfzConfig::tier_100k(42), 60)
+    };
+    let world = DfzWorld::new(cfg);
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    println!(
+        "[hist] recording {minutes} min of the {}-prefix substrate, then time-travelling ...",
+        cfg.plan.v4_prefixes
+    );
+    let dir = std::env::temp_dir().join(format!("ipd-eval-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = HistStore::open_with(&dir, HistConfig::default(), HistTelemetry::default())
+        .expect("open history store");
+    let mut hook = HistPublisher::new(store);
+    let mut engine = IpdEngine::new(params).expect("engine");
+    run_offline_with(
+        &mut engine,
+        world.flows(minutes).map(|lf| lf.flow),
+        5,
+        None,
+        &mut hook,
+        |_| {},
+    );
+    assert!(hook.error().is_none(), "append failed: {:?}", hook.error());
+    let store = hook.store();
+    store.compact_now().expect("compaction");
+    let reader = store.reader();
+    let (from, to) = (1, store.last_epoch());
+    println!(
+        "[hist] {} epochs recorded, {} segments ({} keyframes)",
+        to,
+        store.segment_count(),
+        reader.keyframe_count()
+    );
+
+    let per = per_prefix(&reader, from, to)
+        .expect("reconstruct")
+        .expect("range held");
+    let buckets = stability_buckets(&per);
+    let mut t = Table::new(&[
+        "changes",
+        "prefixes",
+        "prefix_share",
+        "addr_share",
+        "mean_present",
+    ]);
+    for b in &buckets {
+        t.row(vec![
+            b.label.to_string(),
+            b.prefixes.to_string(),
+            f(b.prefix_share, 4),
+            f(b.addr_share, 4),
+            f(b.mean_present, 4),
+        ]);
+    }
+    print!("{}", t.render(10));
+    t.write(&results_dir().join("hist"), "stability_table")
+        .expect("write results/hist");
+
+    let series = epoch_series(&reader, from, to)
+        .expect("reconstruct")
+        .expect("range held");
+    let mut t = Table::new(&["epoch", "matching", "stable"]);
+    for p in &series {
+        t.row(vec![p.epoch.to_string(), f(p.matching, 4), f(p.stable, 4)]);
+    }
+    t.write(&results_dir().join("hist"), "epoch_series")
+        .expect("write results/hist");
+    println!(
+        "[hist] stable share: {}",
+        sparkline(&series.iter().map(|p| p.stable).collect::<Vec<_>>())
+    );
+
+    check(
+        "every prefix ever held is examined",
+        !per.is_empty(),
+        per.len().to_string(),
+    );
+    check(
+        "churn leaves an unstable bucket",
+        buckets.iter().skip(1).any(|b| b.prefixes > 0),
+        buckets
+            .iter()
+            .map(|b| b.prefixes.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1019,8 +1127,9 @@ fn main() {
         "tab-prefixcorr" => tab_prefixcorr(ctx),
         "corr" => flow_byte_correlation(ctx),
         "dfz" => dfz_scale(ctx),
+        "hist" => hist_scale(ctx),
         other => {
-            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, dfz, all");
+            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, dfz, hist, all");
             std::process::exit(2);
         }
     };

@@ -1,0 +1,317 @@
+//! Longitudinal ingress-point stability computed from a **recorded
+//! history** (`ipd-hist`) instead of the world's ground-truth mapping.
+//!
+//! [`longitudinal`](crate::longitudinal) answers the Fig 10 question from
+//! the simulator's own mapping evolution; this module answers it the way an
+//! operator with a deployed IPD would — from the detector's published
+//! epochs, reconstructed out of the segment store. Two artifacts:
+//!
+//! * [`epoch_series`] — the Fig 10 shape over epochs: share of the
+//!   reference epoch's address space still mapped (*matching*) and still
+//!   entering at the same ingress (*stable*) at every later epoch.
+//! * [`per_prefix`] + [`stability_buckets`] — the §5 stability-table
+//!   shape: every prefix the history ever held, bucketed by how often its
+//!   ingress assignment changed across the range.
+
+use std::collections::BTreeMap;
+
+use ipd::LogicalIngress;
+use ipd_hist::{HistError, HistReader, StabilityReport};
+use ipd_lpm::{Af, Prefix};
+
+/// One epoch's comparison against the reference epoch (Fig 10 shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// The later epoch compared against the reference.
+    pub epoch: u64,
+    /// Share of the reference's IPv4 address space still classified.
+    pub matching: f64,
+    /// Share of the reference's IPv4 address space on the same ingress.
+    pub stable: f64,
+}
+
+/// Matching/stable shares for every epoch in `reference+1..=to`, weighted
+/// by address count like the paper's Fig 10 (IPv4 only — address weighting
+/// across families is meaningless). `None` when the range is not held.
+pub fn epoch_series(
+    reader: &HistReader,
+    reference: u64,
+    to: u64,
+) -> Result<Option<Vec<EpochPoint>>, HistError> {
+    let Some(reference_img) = reader.image_at(reference)? else {
+        return Ok(None);
+    };
+    let mut out = Vec::new();
+    for epoch in reference + 1..=to {
+        let Some(img) = reader.image_at(epoch)? else {
+            return Ok(None);
+        };
+        let (mut total, mut matching, mut stable) = (0.0, 0.0, 0.0);
+        for (prefix, ingress, _) in reference_img.rows() {
+            if prefix.af() != Af::V4 {
+                continue;
+            }
+            let w = prefix.num_addrs();
+            total += w;
+            if let Some((_, later, _)) = img.get(*prefix) {
+                matching += w;
+                if later == ingress {
+                    stable += w;
+                }
+            }
+        }
+        let (matching, stable) = if total == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (matching / total, stable / total)
+        };
+        out.push(EpochPoint {
+            epoch,
+            matching,
+            stable,
+        });
+    }
+    Ok(Some(out))
+}
+
+/// One prefix's longitudinal summary over the examined range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixStability {
+    /// The classified range.
+    pub prefix: Prefix,
+    /// Presence and change counts, same semantics as
+    /// [`HistReader::stability`].
+    pub report: StabilityReport,
+}
+
+/// Per-prefix stability for **every** prefix held at any epoch of
+/// `from..=to`, in one sequential pass over the reconstructed epochs
+/// (`O(E)` reconstructions rather than `O(P · E)` segment walks). Agrees
+/// with [`HistReader::stability`] prefix for prefix — the module tests
+/// hold the two to each other. `None` when the range is not held.
+pub fn per_prefix(
+    reader: &HistReader,
+    from: u64,
+    to: u64,
+) -> Result<Option<Vec<PrefixStability>>, HistError> {
+    if from > to {
+        return Ok(Some(Vec::new()));
+    }
+    let mut reports: BTreeMap<Prefix, StabilityReport> = BTreeMap::new();
+    let mut prev: BTreeMap<Prefix, LogicalIngress> = BTreeMap::new();
+    for (i, epoch) in (from..=to).enumerate() {
+        let Some(img) = reader.image_at(epoch)? else {
+            return Ok(None);
+        };
+        let mut current: BTreeMap<Prefix, LogicalIngress> = BTreeMap::new();
+        for (prefix, ingress, _) in img.rows() {
+            current.insert(*prefix, ingress.clone());
+        }
+        for (prefix, ingress) in &current {
+            let r = reports.entry(*prefix).or_default();
+            r.present += 1;
+            // A prefix absent from `prev` was unclassified last epoch (or
+            // this is its first appearance mid-range): both are an ingress
+            // change in the §5 sense, except at the very first epoch.
+            if i > 0 && prev.get(prefix) != Some(ingress) {
+                r.changes += 1;
+            }
+        }
+        for prefix in prev.keys() {
+            if !current.contains_key(prefix) {
+                // Disappearance: the entry exists from the epoch that
+                // inserted it.
+                reports.get_mut(prefix).expect("seen before").changes += 1;
+            }
+        }
+        prev = current;
+    }
+    let epochs = to - from + 1;
+    Ok(Some(
+        reports
+            .into_iter()
+            .map(|(prefix, mut report)| {
+                report.epochs = epochs;
+                PrefixStability { prefix, report }
+            })
+            .collect(),
+    ))
+}
+
+/// One row of the §5 stability table: prefixes bucketed by change count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityBucket {
+    /// Human-readable change-count bucket (`"0"`, `"1"`, `"2-5"`, `">5"`).
+    pub label: &'static str,
+    /// Prefixes in the bucket.
+    pub prefixes: usize,
+    /// Share of all examined prefixes.
+    pub prefix_share: f64,
+    /// Share of the examined IPv4 address space.
+    pub addr_share: f64,
+    /// Mean share of epochs the bucket's prefixes were classified.
+    pub mean_present: f64,
+}
+
+/// Aggregate [`per_prefix`] output into the paper's stability-table shape.
+/// Buckets always appear in order, empty ones included, so the TSV shape
+/// is fixed across runs.
+pub fn stability_buckets(per: &[PrefixStability]) -> Vec<StabilityBucket> {
+    const LABELS: [&str; 4] = ["0", "1", "2-5", ">5"];
+    let bucket_of = |changes: u64| -> usize {
+        match changes {
+            0 => 0,
+            1 => 1,
+            2..=5 => 2,
+            _ => 3,
+        }
+    };
+    let mut counts = [0usize; 4];
+    let mut addrs = [0.0f64; 4];
+    let mut present = [0.0f64; 4];
+    let mut total_addrs = 0.0;
+    for p in per {
+        let b = bucket_of(p.report.changes);
+        counts[b] += 1;
+        if p.prefix.af() == Af::V4 {
+            addrs[b] += p.prefix.num_addrs();
+            total_addrs += p.prefix.num_addrs();
+        }
+        if p.report.epochs > 0 {
+            present[b] += p.report.present as f64 / p.report.epochs as f64;
+        }
+    }
+    LABELS
+        .iter()
+        .enumerate()
+        .map(|(b, label)| StabilityBucket {
+            label,
+            prefixes: counts[b],
+            prefix_share: if per.is_empty() {
+                0.0
+            } else {
+                counts[b] as f64 / per.len() as f64
+            },
+            addr_share: if total_addrs == 0.0 {
+                0.0
+            } else {
+                addrs[b] / total_addrs
+            },
+            mean_present: if counts[b] == 0 {
+                0.0
+            } else {
+                present[b] / counts[b] as f64
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hist::{EpochImage, HistConfig, HistStore, HistTelemetry, Row};
+    use ipd_lpm::Addr;
+    use ipd_topology::IngressPoint;
+
+    /// Synthetic churned epochs: prefix 0 never moves, prefix 1 moves once
+    /// at epoch 4, prefix 2 flaps every epoch, prefix 3 exists only in
+    /// epochs 3..=5.
+    fn image(epoch: u64) -> EpochImage {
+        let p = |i: u32, len| Prefix::new(Addr::v4(i << 24), len).unwrap();
+        let link = |r, i| LogicalIngress::Link(IngressPoint::new(r, i));
+        let mut rows: Vec<Row> = vec![
+            (p(10, 8), link(1, 1), 0.9),
+            (
+                p(20, 9),
+                if epoch < 4 { link(2, 1) } else { link(2, 2) },
+                0.8,
+            ),
+            (p(30, 10), link(3, 1 + (epoch % 2) as u16), 0.7),
+        ];
+        if (3..=5).contains(&epoch) {
+            rows.push((p(40, 8), link(4, 1), 0.6));
+        }
+        EpochImage::new(epoch, epoch * 60, rows)
+    }
+
+    fn recorded(tag: &str, epochs: u64) -> HistStore {
+        let dir =
+            std::env::temp_dir().join(format!("ipd-eval-hist-stab-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HistConfig {
+            keyframe_every: 4,
+            background_compaction: false,
+            ..HistConfig::default()
+        };
+        let store = HistStore::open_with(&dir, cfg, HistTelemetry::default()).unwrap();
+        for e in 1..=epochs {
+            store.append(image(e)).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn per_prefix_agrees_with_the_reader_api() {
+        let store = recorded("agree", 8);
+        let reader = store.reader();
+        let per = per_prefix(&reader, 1, 8).unwrap().expect("range held");
+        assert_eq!(per.len(), 4, "every prefix ever held is examined");
+        for p in &per {
+            let api = reader
+                .stability(p.prefix, 1, 8)
+                .unwrap()
+                .expect("range held");
+            assert_eq!(p.report, api, "one-pass result diverges for {}", p.prefix);
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn buckets_partition_the_prefix_set() {
+        let store = recorded("buckets", 8);
+        let per = per_prefix(&store.reader(), 1, 8).unwrap().unwrap();
+        let buckets = stability_buckets(&per);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.iter().map(|b| b.prefixes).sum::<usize>(), per.len());
+        let share: f64 = buckets.iter().map(|b| b.prefix_share).sum();
+        assert!((share - 1.0).abs() < 1e-9);
+        let addr: f64 = buckets.iter().map(|b| b.addr_share).sum();
+        assert!((addr - 1.0).abs() < 1e-9);
+        // Prefix 10/8 never moves -> bucket "0"; the flapper has 7
+        // transitions -> bucket ">5"; 40/8 appears and disappears (2
+        // changes) and the mover has exactly 1.
+        assert_eq!(buckets[0].prefixes, 1);
+        assert_eq!(buckets[1].prefixes, 1);
+        assert_eq!(buckets[2].prefixes, 1);
+        assert_eq!(buckets[3].prefixes, 1);
+        assert!(buckets[0].mean_present > 0.99);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn epoch_series_tracks_matching_and_stable() {
+        let store = recorded("series", 8);
+        let series = epoch_series(&store.reader(), 1, 8).unwrap().unwrap();
+        assert_eq!(series.len(), 7);
+        for pt in &series {
+            assert!(pt.stable <= pt.matching + 1e-9);
+            assert!((0.0..=1.0).contains(&pt.matching));
+        }
+        // Epoch 2 only differs by the flapper: matching stays 1.0, stable
+        // drops by the flapper's address share.
+        assert!((series[0].matching - 1.0).abs() < 1e-9);
+        assert!(series[0].stable < 1.0);
+        // From epoch 4 on the mover is also off its reference ingress.
+        assert!(series[3].stable < series[0].stable);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unheld_range_is_none() {
+        let store = recorded("unheld", 4);
+        let reader = store.reader();
+        assert!(per_prefix(&reader, 1, 99).unwrap().is_none());
+        assert!(epoch_series(&reader, 99, 100).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

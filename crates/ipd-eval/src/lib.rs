@@ -17,6 +17,7 @@
 //! | [`range_dist`] | Fig 9 (IPD range sizes vs BGP) |
 //! | [`stability`] | Fig 2 (stability CDF), Fig 15 (elephant ranges) |
 //! | [`longitudinal`] | Fig 10 (matching/stable over years) |
+//! | [`hist_stability`] | §5 stability table + Fig 10 shape from a recorded history |
 //! | [`daytime`] | Fig 11/12 (network size by hour of day) |
 //! | [`case_study`] | Fig 13/14 (reaction to changes) |
 //! | [`symmetry`] | Fig 16 + §5.5 prefix correlation |
@@ -29,6 +30,7 @@ pub mod case_study;
 pub mod daytime;
 pub mod dfz;
 pub mod harness;
+pub mod hist_stability;
 pub mod ingress_count;
 pub mod longitudinal;
 pub mod param_study;

@@ -1,7 +1,8 @@
 //! Fuzz targets for every parser in the workspace that eats raw bytes off
 //! the wire or off disk: NetFlow v5 datagrams, IPFIX messages (stateful —
-//! template caches carry across messages), the write-ahead journal, and
-//! the serving layer's binary query protocol.
+//! template caches carry across messages), the write-ahead journal, the
+//! serving layer's binary query protocol, and the longitudinal store's
+//! segment/manifest files (`IPDSEG1`/`IPDMAN1`).
 //!
 //! The target functions are plain `fn(&[u8])` so they can be driven two
 //! ways:
@@ -20,6 +21,12 @@
 
 use std::time::Instant;
 
+use ipd::LogicalIngress;
+use ipd_hist::codec::{
+    decode_manifest, decode_segment, encode_manifest, encode_segment, Manifest, ManifestEntry,
+    Segment, SegmentKind,
+};
+use ipd_hist::EpochImage;
 use ipd_netflow::ipfix::{IpfixDecoder, IpfixExporter};
 use ipd_netflow::v5::{decode as v5_decode, V5Exporter};
 use ipd_netflow::FlowRecord;
@@ -28,6 +35,7 @@ use ipd_serve::proto::{
     Response, WireAnswer, MAX_BATCH,
 };
 use ipd_state::{parse_journal, JournalWriter};
+use ipd_topology::{Bundle, IngressPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +118,39 @@ pub fn fuzz_proto(data: &[u8]) {
     }
 }
 
+/// Longitudinal-store codec target: the same bytes through the segment
+/// (`IPDSEG1`) and manifest (`IPDMAN1`) decoders. Both are total and
+/// canonical (DESIGN.md §13) — anything that decodes must re-encode to
+/// exactly the input bytes, with every structural invariant (row order,
+/// bundle-member order, host-bit-clean prefixes, delta base = epoch − 1,
+/// manifest contiguity and leading keyframe) enforced on the way in. As
+/// with `fuzz_proto`, the roundtrip makes this an oracle, not just a
+/// crash detector.
+pub fn fuzz_seg(data: &[u8]) {
+    if let Ok(seg) = decode_segment(data) {
+        assert!(seg.epoch >= 1, "segment with epoch zero decoded");
+        assert_eq!(
+            encode_segment(&seg),
+            data,
+            "segment decode is not canonical"
+        );
+    }
+    if let Ok(man) = decode_manifest(data) {
+        if let Some(first) = man.entries.first() {
+            assert_eq!(
+                first.kind,
+                SegmentKind::Full,
+                "manifest without a leading keyframe decoded"
+            );
+        }
+        assert_eq!(
+            encode_manifest(&man),
+            data,
+            "manifest decode is not canonical"
+        );
+    }
+}
+
 /// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
 pub type FuzzTarget = fn(&[u8]);
 
@@ -119,6 +160,7 @@ pub const TARGETS: &[(&str, FuzzTarget)] = &[
     ("ipfix", fuzz_ipfix),
     ("journal", fuzz_journal),
     ("proto", fuzz_proto),
+    ("seg", fuzz_seg),
 ];
 
 /// Well-formed seed inputs for `target`, produced by the matching encoders
@@ -234,7 +276,70 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 ),
             ]
         }
-        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto)"),
+        "seg" => {
+            // The longitudinal store's two file kinds, straight from the
+            // encoders: a keyframe with both ingress kinds and both address
+            // families, a delta with removals and upserts, an empty
+            // keyframe, manifests, and torn variants of each.
+            let link = |r: u32, i: u16| LogicalIngress::Link(IngressPoint::new(r, i));
+            let rows = vec![
+                (
+                    ipd_lpm::Prefix::of(ipd_lpm::Addr::v4(0x0A00_0000), 8),
+                    link(1, 1),
+                    0.97,
+                ),
+                (
+                    ipd_lpm::Prefix::of(ipd_lpm::Addr::v4(0x0B40_0000), 12),
+                    LogicalIngress::Bundle(Bundle::new(2, vec![3, 1, 9])),
+                    0.76,
+                ),
+                (
+                    ipd_lpm::Prefix::of(ipd_lpm::Addr::v6(0x2001_0db8u128 << 96), 32),
+                    link(4, 7),
+                    0.5,
+                ),
+            ];
+            let prev = EpochImage::new(9, 540, rows.clone());
+            let mut next_rows = rows;
+            next_rows.remove(1);
+            next_rows[0].2 = 0.5;
+            next_rows.push((
+                ipd_lpm::Prefix::of(ipd_lpm::Addr::v4(0xC000_0200), 24),
+                link(8, 2),
+                f64::from_bits(0x3FEF_FFFF_FFFF_FFFF),
+            ));
+            let next = EpochImage::new(10, 600, next_rows);
+            let full = encode_segment(&Segment::full(&prev));
+            let delta = encode_segment(&Segment::delta(&prev, &next));
+            let man = encode_manifest(&Manifest {
+                entries: vec![
+                    ManifestEntry {
+                        epoch: 9,
+                        kind: SegmentKind::Full,
+                        ts: 540,
+                        bytes: full.len() as u64,
+                    },
+                    ManifestEntry {
+                        epoch: 10,
+                        kind: SegmentKind::Delta,
+                        ts: 600,
+                        bytes: delta.len() as u64,
+                    },
+                ],
+            });
+            vec![
+                full.clone(),
+                delta.clone(),
+                encode_segment(&Segment::full(&EpochImage::new(1, 60, vec![]))),
+                man.clone(),
+                encode_manifest(&Manifest::default()),
+                // Torn tails and a bare envelope — the recovery-path shapes.
+                full[..full.len() * 2 / 3].to_vec(),
+                delta[..19].to_vec(),
+                man[..10].to_vec(),
+            ]
+        }
+        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg)"),
     }
 }
 
@@ -377,6 +482,20 @@ mod tests {
             let packet = v5_decode(&seed, 1).expect("seed must be well-formed");
             assert!(!packet.records.is_empty());
         }
+    }
+
+    #[test]
+    fn seg_seeds_cover_both_file_kinds() {
+        let seeds = seed_corpus("seg");
+        let segments = seeds.iter().filter(|s| decode_segment(s).is_ok()).count();
+        let manifests = seeds.iter().filter(|s| decode_manifest(s).is_ok()).count();
+        assert!(segments >= 3, "want full + delta + empty segment seeds");
+        assert!(manifests >= 2, "want populated + empty manifest seeds");
+        // The torn variants must be rejected, not decoded.
+        assert!(
+            segments + manifests < seeds.len(),
+            "every seed decoded — torn seeds missing"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Metric handles for the longitudinal store, mirroring the
+//! `ServeTelemetry` idiom: `Default` is all-disabled no-ops, `register`
+//! binds to a live [`Telemetry`] registry. Observational only — nothing
+//! here feeds back into appends, compaction, or reconstruction.
+
+use ipd_telemetry::{Class, Counter, Gauge, Histogram, Telemetry, SIZE_BUCKETS};
+
+/// All longitudinal-store metric handles.
+#[derive(Debug, Clone, Default)]
+pub struct HistTelemetry {
+    /// `ipd_hist_epochs` — last epoch held (0 until the first append).
+    pub epochs: Gauge,
+    /// `ipd_hist_segments` — on-disk segment files the manifest tracks
+    /// (one per epoch; compaction replaces, never adds).
+    pub segments: Gauge,
+    /// `ipd_hist_keyframes` — full-image segments among them; the sparse
+    /// skeleton reconstruction starts from.
+    pub keyframes: Gauge,
+    /// `ipd_hist_bytes_on_disk` — total segment bytes the manifest tracks.
+    pub bytes_on_disk: Gauge,
+    /// `ipd_hist_appends_total` — epochs appended.
+    pub appends: Counter,
+    /// `ipd_hist_bytes_written_total` — segment bytes written, appends and
+    /// compaction rewrites both (on-disk bytes can shrink while this grows).
+    pub bytes_written: Counter,
+    /// `ipd_hist_compactions_total` — delta runs folded into keyframes.
+    pub compactions: Counter,
+    /// `ipd_hist_compaction_nanoseconds` — reconstruct + rewrite + manifest
+    /// swap wall time per compaction.
+    pub compaction_duration: Histogram,
+    /// `ipd_hist_reconstruct_reads` — segment files read per reconstruction
+    /// (0 for a memtable hit; bounded by the keyframe interval after
+    /// compaction catches up).
+    pub reconstruct_reads: Histogram,
+}
+
+impl HistTelemetry {
+    /// Register every longitudinal metric in `telemetry`. Idempotent — two
+    /// registrations share the same cells.
+    pub fn register(telemetry: &Telemetry) -> Self {
+        HistTelemetry {
+            epochs: telemetry.gauge("ipd_hist_epochs", "Last epoch held", Class::Timing),
+            segments: telemetry.gauge(
+                "ipd_hist_segments",
+                "On-disk segment files tracked by the manifest",
+                Class::Timing,
+            ),
+            keyframes: telemetry.gauge(
+                "ipd_hist_keyframes",
+                "Full-image segments among the tracked files",
+                Class::Timing,
+            ),
+            bytes_on_disk: telemetry.gauge(
+                "ipd_hist_bytes_on_disk",
+                "Total segment bytes tracked by the manifest",
+                Class::Timing,
+            ),
+            appends: telemetry.counter("ipd_hist_appends_total", "Epochs appended"),
+            bytes_written: telemetry.counter(
+                "ipd_hist_bytes_written_total",
+                "Segment bytes written (appends + compaction rewrites)",
+            ),
+            compactions: telemetry.counter(
+                "ipd_hist_compactions_total",
+                "Delta runs folded into keyframes",
+            ),
+            compaction_duration: telemetry.timing(
+                "ipd_hist_compaction_nanoseconds",
+                "Reconstruct + rewrite + manifest swap wall time per compaction",
+            ),
+            reconstruct_reads: telemetry.histogram(
+                "ipd_hist_reconstruct_reads",
+                "Segment files read per reconstruction",
+                SIZE_BUCKETS,
+                Class::Timing,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let m = HistTelemetry::default();
+        m.appends.inc();
+        m.epochs.set(9);
+        assert_eq!(m.appends.get(), 0);
+    }
+
+    #[test]
+    fn registers_under_hist_namespace() {
+        let t = Telemetry::new();
+        let m = HistTelemetry::register(&t);
+        m.appends.add(3);
+        m.segments.set(2);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("ipd_hist_appends_total"), Some(3));
+        assert!(snap.samples.iter().all(|s| s.name.starts_with("ipd_hist_")));
+    }
+}

@@ -1,0 +1,303 @@
+//! Differential correctness of the longitudinal store: for a churned
+//! 100k-tier run, the store reconstructed by [`HistReader`] at **every**
+//! epoch is bit-identical to the engine's own snapshot trie captured live
+//! at that epoch — same ranges, same ingresses, confidence bit patterns
+//! included — for the plain engine and the sharded engine at K ∈ {1, 8}.
+//! A serve-integration variant drives the same comparison through the wire
+//! protocol, synchronizing on `WaitEpoch` instead of sleeping.
+
+use std::sync::Arc;
+
+use ipd::pipeline::{run_offline_with, BucketClock, PipelineHook, TickEngine};
+use ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
+use ipd_hist::{HistConfig, HistPublisher, HistStore, HistTelemetry};
+use ipd_lpm::Addr;
+use ipd_netflow::FlowRecord;
+use ipd_serve::proto::WireAnswer;
+use ipd_serve::{
+    HistoryProvider, IngressStore, ServeClient, ServePublisher, ServeServer, ServeTelemetry,
+};
+use ipd_traffic::{DfzConfig, DfzWorld};
+
+fn churned_world() -> (DfzWorld, Vec<FlowRecord>, IpdParams) {
+    // The 100k-tier prefix plan and topology, at a flow rate sized for the
+    // tier-1 suite; thresholds follow the established rate formula.
+    let mut cfg = DfzConfig::tier_100k(23);
+    cfg.flows_per_minute = 20_000;
+    let world = DfzWorld::new(cfg);
+    let minutes = 10;
+    assert!(
+        world
+            .churn_events(cfg.epoch, cfg.epoch + minutes * 60)
+            .next()
+            .is_some(),
+        "churn must be active during the recorded window"
+    );
+    let flows: Vec<FlowRecord> = world.flows(minutes).map(|lf| lf.flow).collect();
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    (world, flows, params)
+}
+
+/// Records every publication twice: the live snapshot (the reference) and
+/// an append into the history store (the system under test).
+struct RecordingHook {
+    hist: HistPublisher,
+    snapshots: Vec<Snapshot>,
+}
+
+impl RecordingHook {
+    fn new(store: HistStore) -> Self {
+        RecordingHook {
+            hist: HistPublisher::new(store),
+            snapshots: Vec::new(),
+        }
+    }
+}
+
+impl PipelineHook for RecordingHook {
+    fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.hist.bucket_crossed(engine, clock);
+        let ts = clock
+            .current_bucket
+            .map_or(0, |b| b * engine.params().t_secs);
+        self.snapshots.push(engine.classified_snapshot(ts));
+    }
+
+    fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+        self.hist.closed(engine, clock);
+        let ts = clock
+            .current_bucket
+            .map_or(0, |b| (b + 1) * engine.params().t_secs);
+        self.snapshots.push(engine.classified_snapshot(ts));
+    }
+}
+
+/// Probe set: every range boundary plus a deterministic spray of both
+/// families.
+fn probes(snapshot: &Snapshot) -> Vec<Addr> {
+    let mut addrs = Vec::new();
+    for r in &snapshot.records {
+        addrs.push(r.range.first_addr());
+        addrs.push(r.range.last_addr());
+    }
+    let mut x = 0x2545_F491u32;
+    for _ in 0..2_000 {
+        x = x.wrapping_mul(0x6C07_8965).wrapping_add(1);
+        addrs.push(Addr::v4(x));
+    }
+    for i in 0..300u128 {
+        addrs.push(Addr::v6((0x2001u128 << 112) | (i * 0x0001_0001_0001)));
+    }
+    addrs
+}
+
+fn assert_store_matches_snapshot(store: &IngressStore, snapshot: &Snapshot, epoch: u64) {
+    assert_eq!(store.ts(), snapshot.ts, "epoch {epoch}: boundary stamp");
+    let table = snapshot.lpm_table();
+    assert_eq!(store.len(), table.len(), "epoch {epoch}: row count");
+    for addr in probes(snapshot) {
+        let want = table.lookup(addr);
+        let got = store.lookup(addr);
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some((p, ing))) => {
+                assert_eq!(g.prefix, p, "epoch {epoch}: range mismatch at {addr}");
+                assert_eq!(g.ingress, ing, "epoch {epoch}: ingress mismatch at {addr}");
+            }
+            (g, w) => {
+                panic!("epoch {epoch}: mapped-ness mismatch at {addr}: hist={g:?} trie={w:?}")
+            }
+        }
+    }
+    for r in snapshot.classified() {
+        let ans = store
+            .lookup(r.range.first_addr())
+            .expect("classified range must answer");
+        if ans.prefix == r.range {
+            assert_eq!(
+                ans.confidence.to_bits(),
+                r.confidence.to_bits(),
+                "epoch {epoch}: confidence bits for {}",
+                r.range
+            );
+        }
+    }
+}
+
+fn run_and_check<E: TickEngine>(
+    mut engine: E,
+    flows: Vec<FlowRecord>,
+    dir: &std::path::Path,
+) -> usize {
+    let cfg = HistConfig {
+        keyframe_every: 4,
+        ..HistConfig::default()
+    };
+    let store = HistStore::open_with(dir, cfg, HistTelemetry::default()).unwrap();
+    let mut hook = RecordingHook::new(store);
+    run_offline_with(&mut engine, flows, 1, None, &mut hook, |_| {});
+    assert!(
+        hook.hist.error().is_none(),
+        "append failed: {:?}",
+        hook.hist.error()
+    );
+    let store = hook.hist.store();
+    store.compact_now().unwrap();
+    let reader = store.reader();
+    assert_eq!(store.last_epoch(), hook.snapshots.len() as u64);
+    for (i, snapshot) in hook.snapshots.iter().enumerate() {
+        let epoch = i as u64 + 1;
+        let rebuilt = reader
+            .store_at(epoch)
+            .unwrap()
+            .unwrap_or_else(|| panic!("epoch {epoch} not held"));
+        assert_store_matches_snapshot(&rebuilt, snapshot, epoch);
+    }
+    hook.snapshots
+        .last()
+        .map(|s| s.classified().count())
+        .unwrap_or(0)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipd-hist-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dfz_plain_engine_every_epoch_reconstructs_bit_identically() {
+    let (_, flows, params) = churned_world();
+    let dir = temp_dir("plain");
+    let classified = run_and_check(IpdEngine::new(params).unwrap(), flows, &dir);
+    assert!(classified > 0, "the churned stream must classify something");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dfz_sharded_engines_every_epoch_reconstructs_bit_identically() {
+    let (_, flows, params) = churned_world();
+    let mut counts = Vec::new();
+    for k in [1usize, 8] {
+        let dir = temp_dir(&format!("sharded-{k}"));
+        let classified = run_and_check(
+            ShardedEngine::new(params.clone(), k).unwrap(),
+            flows.clone(),
+            &dir,
+        );
+        assert!(classified > 0, "K={k}: the stream must classify something");
+        counts.push(classified);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(counts[0], counts[1], "K=1 and K=8 classified counts differ");
+}
+
+/// The wire-protocol variant: a server with the history attached answers
+/// `QueryAt` for a past epoch identically to the store reconstructed
+/// locally, and the client synchronizes on `WaitEpoch` (the satellite op)
+/// instead of polling `Info` in a sleep loop.
+#[test]
+fn serve_integration_answers_history_over_the_wire() {
+    let (_, flows, params) = churned_world();
+    let dir = temp_dir("serve");
+
+    let publisher = ServePublisher::new();
+    let swap = publisher.swap();
+    let hist = HistPublisher::new(HistStore::open(&dir).unwrap());
+    let store = hist.store();
+    let reader = store.reader();
+    let server = ServeServer::serve_with_history(
+        "127.0.0.1:0",
+        swap,
+        ServeTelemetry::default(),
+        Some(Arc::new(reader.clone()) as Arc<dyn HistoryProvider>),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    struct BothHooks {
+        serve: ServePublisher,
+        hist: HistPublisher,
+    }
+    impl PipelineHook for BothHooks {
+        fn bucket_crossed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+            self.serve.bucket_crossed(engine, clock);
+            self.hist.bucket_crossed(engine, clock);
+        }
+        fn closed(&mut self, engine: &IpdEngine, clock: BucketClock) {
+            self.serve.closed(engine, clock);
+            self.hist.closed(engine, clock);
+        }
+    }
+
+    let pipeline = std::thread::spawn(move || {
+        let mut hook = BothHooks {
+            serve: publisher,
+            hist,
+        };
+        let mut engine = IpdEngine::new(params).unwrap();
+        run_offline_with(&mut engine, flows, 1, None, &mut hook, |_| {});
+        assert!(hook.hist.error().is_none());
+    });
+
+    // Park on the wire until publication reaches epoch 3, then time-travel.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let info = client.wait_epoch(3).expect("wait");
+    assert!(
+        info.epoch >= 3,
+        "WaitEpoch returned at epoch {}",
+        info.epoch
+    );
+    pipeline.join().unwrap();
+
+    let target = 3u64;
+    let local = reader.store_at(target).unwrap().expect("epoch 3 held");
+    // Every wire query reconstructs the epoch server-side (the provider is
+    // deliberately cache-free), so keep the round-trip count modest.
+    let mut x = 0x9E37_79B9u32;
+    for _ in 0..200 {
+        x = x.wrapping_mul(0x6C07_8965).wrapping_add(1);
+        let probe = Addr::v4(x);
+        let wire = client
+            .query_at(target, probe)
+            .expect("query-at")
+            .unwrap_or_else(|| panic!("server does not hold epoch {target}"));
+        let want = WireAnswer::from_lookup(local.lookup(probe));
+        assert_eq!(wire.kind, want.kind, "mapped-ness mismatch at {probe}");
+        assert_eq!(wire.prefix_len, want.prefix_len, "range length at {probe}");
+        assert_eq!(
+            (wire.router, wire.ifindex),
+            (want.router, want.ifindex),
+            "ingress mismatch at {probe}"
+        );
+        assert_eq!(
+            wire.confidence.to_bits(),
+            want.confidence.to_bits(),
+            "confidence bits at {probe}"
+        );
+    }
+
+    // DiffRange over the wire agrees with the local diff on count and
+    // prefix identity.
+    let last = store.last_epoch();
+    let local_diff = reader.diff(1, last).unwrap().expect("range held");
+    let wire_diff = client.diff_range(1, last).expect("diff");
+    assert_eq!(
+        wire_diff.len(),
+        local_diff.len().min(ipd_serve::proto::MAX_DIFF)
+    );
+    for (w, l) in wire_diff.iter().zip(local_diff.iter()) {
+        assert_eq!(w.prefix, l.prefix);
+        assert_eq!(w.before.is_some(), l.before.is_some());
+        assert_eq!(w.after.is_some(), l.after.is_some());
+    }
+
+    server.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

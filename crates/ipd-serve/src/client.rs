@@ -1,14 +1,17 @@
 //! A minimal blocking query client over one TCP connection — the reference
 //! consumer of the wire protocol, used by `ipd-tool query`, the tests, and
-//! the benchmark load generator.
+//! the benchmark load generator. [`RetryClient`] wraps it with bounded,
+//! jittered reconnect-and-retry on connect/IO failures.
 
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use ipd_lpm::Addr;
 
 use crate::proto::{
-    decode_response, encode_request, frame, ProtoError, Request, Response, WireAnswer, MAX_FRAME,
+    decode_response, encode_request, frame, ProtoError, Request, Response, WireAnswer, WireChange,
+    MAX_FRAME,
 };
 
 /// Everything a query call can fail with.
@@ -93,7 +96,7 @@ impl ServeClient {
         match self.call(&Request::Lookup(addr))? {
             Response::Answers { epoch, answers } if answers.len() == 1 => Ok((epoch, answers[0])),
             Response::Answers { .. } => Err(ClientError::Unexpected("answer count != 1")),
-            Response::Info { .. } => Err(ClientError::Unexpected("info reply to lookup")),
+            _ => Err(ClientError::Unexpected("wrong reply shape to lookup")),
         }
     }
 
@@ -105,13 +108,46 @@ impl ServeClient {
                 Ok((epoch, answers))
             }
             Response::Answers { .. } => Err(ClientError::Unexpected("answer count mismatch")),
-            Response::Info { .. } => Err(ClientError::Unexpected("info reply to batch")),
+            _ => Err(ClientError::Unexpected("wrong reply shape to batch")),
         }
     }
 
     /// Fetch store metadata.
     pub fn info(&mut self) -> Result<ServeInfo, ClientError> {
-        match self.call(&Request::Info)? {
+        Self::expect_info(self.call(&Request::Info)?)
+    }
+
+    /// Time-travel lookup against the server's longitudinal store:
+    /// `Ok(None)` when the store does not hold `epoch` (or the server has
+    /// no history attached).
+    pub fn query_at(&mut self, epoch: u64, addr: Addr) -> Result<Option<WireAnswer>, ClientError> {
+        match self.call(&Request::QueryAt { epoch, addr })? {
+            Response::Answers { answers, .. } if answers.is_empty() => Ok(None),
+            Response::Answers { answers, .. } if answers.len() == 1 => Ok(Some(answers[0])),
+            Response::Answers { .. } => Err(ClientError::Unexpected("answer count > 1")),
+            _ => Err(ClientError::Unexpected("wrong reply shape to query-at")),
+        }
+    }
+
+    /// Per-prefix changes between two held epochs, sorted by prefix (empty
+    /// when either epoch is unknown, the range is clean, or the server has
+    /// no history attached; capped at [`crate::proto::MAX_DIFF`]).
+    pub fn diff_range(&mut self, from: u64, to: u64) -> Result<Vec<WireChange>, ClientError> {
+        match self.call(&Request::DiffRange { from, to })? {
+            Response::Diff { changes, .. } => Ok(changes),
+            _ => Err(ClientError::Unexpected("wrong reply shape to diff-range")),
+        }
+    }
+
+    /// Park until the server's published epoch reaches `min_epoch` (or its
+    /// wait cap expires), returning the then-current metadata. Success is
+    /// `info.epoch >= min_epoch`; re-issue to keep waiting.
+    pub fn wait_epoch(&mut self, min_epoch: u64) -> Result<ServeInfo, ClientError> {
+        Self::expect_info(self.call(&Request::WaitEpoch { min_epoch })?)
+    }
+
+    fn expect_info(resp: Response) -> Result<ServeInfo, ClientError> {
+        match resp {
             Response::Info {
                 epoch,
                 ts,
@@ -123,7 +159,165 @@ impl ServeClient {
                 entries,
                 memory_bytes,
             }),
-            Response::Answers { .. } => Err(ClientError::Unexpected("answers reply to info")),
+            _ => Err(ClientError::Unexpected("non-info reply to info-shaped op")),
         }
+    }
+}
+
+/// Bounded, jittered exponential backoff for [`RetryClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included). At least 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per subsequent attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 ms base, capped at 1 s — under 200 ms of worst-case
+    /// sleep for a transient hiccup, fail-fast when the server is gone.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt` (1-based; attempt 1 never
+    /// sleeps): `base * 2^(attempt-2)`, capped, then jittered into the
+    /// upper half of the interval so simultaneous retriers spread out.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        let full = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        // xorshift64*: cheap decorrelation, no dependency on a rand crate.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let unit = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        full.mul_f64(0.5 + unit * 0.5)
+    }
+}
+
+/// A [`ServeClient`] that survives transient failures: every operation is
+/// retried up to [`RetryPolicy::attempts`] times with jittered exponential
+/// backoff, reconnecting after any connect or IO error. Protocol errors
+/// and unexpected response shapes are **not** retried — they mean the peer
+/// is broken, not busy. Safe because every op in the protocol is an
+/// idempotent read.
+pub struct RetryClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<ServeClient>,
+    rng: u64,
+    reconnects: u64,
+}
+
+impl RetryClient {
+    /// Address + policy; connects lazily on the first operation (so a
+    /// server that is still binding costs one retried op, not a failed
+    /// construction).
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<RetryClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64);
+        Ok(RetryClient {
+            addr,
+            policy,
+            conn: None,
+            rng: seed | 1,
+            reconnects: 0,
+        })
+    }
+
+    /// Times a dropped connection was re-established (diagnostics/tests).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Run one operation with reconnect-and-retry. IO errors drop the
+    /// cached connection and back off; anything else surfaces immediately.
+    fn with_retry<T>(
+        &mut self,
+        op: impl Fn(&mut ServeClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            let sleep = self.policy.backoff(attempt, &mut self.rng);
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+            if self.conn.is_none() {
+                match ServeClient::connect(self.addr) {
+                    Ok(c) => {
+                        if attempt > 1 || self.reconnects > 0 || last_err.is_some() {
+                            self.reconnects += 1;
+                        }
+                        self.conn = Some(c);
+                    }
+                    Err(e) => {
+                        last_err = Some(ClientError::Io(e));
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just ensured");
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Io(e)) => {
+                    self.conn = None;
+                    last_err = Some(ClientError::Io(e));
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Unexpected("no attempts made")))
+    }
+
+    /// [`ServeClient::lookup`] with retry.
+    pub fn lookup(&mut self, addr: Addr) -> Result<(u64, WireAnswer), ClientError> {
+        self.with_retry(|c| c.lookup(addr))
+    }
+
+    /// [`ServeClient::batch`] with retry.
+    pub fn batch(&mut self, addrs: &[Addr]) -> Result<(u64, Vec<WireAnswer>), ClientError> {
+        self.with_retry(|c| c.batch(addrs))
+    }
+
+    /// [`ServeClient::info`] with retry.
+    pub fn info(&mut self) -> Result<ServeInfo, ClientError> {
+        self.with_retry(|c| c.info())
+    }
+
+    /// [`ServeClient::query_at`] with retry.
+    pub fn query_at(&mut self, epoch: u64, addr: Addr) -> Result<Option<WireAnswer>, ClientError> {
+        self.with_retry(|c| c.query_at(epoch, addr))
+    }
+
+    /// [`ServeClient::diff_range`] with retry.
+    pub fn diff_range(&mut self, from: u64, to: u64) -> Result<Vec<WireChange>, ClientError> {
+        self.with_retry(|c| c.diff_range(from, to))
+    }
+
+    /// [`ServeClient::wait_epoch`] with retry.
+    pub fn wait_epoch(&mut self, min_epoch: u64) -> Result<ServeInfo, ClientError> {
+        self.with_retry(|c| c.wait_epoch(min_epoch))
     }
 }

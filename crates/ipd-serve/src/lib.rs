@@ -20,6 +20,12 @@
 //! * [`ServeTelemetry`] — `ipd_serve_*` metrics: lookup counters, per-
 //!   lookup latency on sub-microsecond buckets, and the epoch gauge a
 //!   scrape watches to see publication advance.
+//! * [`HistoryProvider`] — the seam to a longitudinal store (`ipd-hist`):
+//!   a server given a provider answers the time-travel ops `QueryAt`,
+//!   `DiffRange`, and clients can park on `WaitEpoch` until publication
+//!   reaches a target epoch (DESIGN.md §13).
+//! * [`RetryClient`] — [`ServeClient`] with bounded, jittered
+//!   reconnect-and-retry on connect/IO failures.
 //!
 //! ## The serving contract (DESIGN.md §11)
 //!
@@ -34,6 +40,7 @@
 //! the differential suite pins this for the plain and sharded engines.
 
 mod client;
+mod history;
 mod hook;
 pub mod proto;
 mod server;
@@ -41,7 +48,8 @@ mod store;
 mod swap;
 mod telemetry;
 
-pub use client::{ClientError, ServeClient, ServeInfo};
+pub use client::{ClientError, RetryClient, RetryPolicy, ServeClient, ServeInfo};
+pub use history::HistoryProvider;
 pub use hook::ServePublisher;
 pub use server::ServeServer;
 pub use store::{IngressAnswer, IngressStore};

@@ -7,13 +7,20 @@
 //! same op space so a response always echoes its request's op.
 //!
 //! ```text
-//! request  op 1 (Lookup):  [ver][1][addr]
-//! request  op 2 (Batch):   [ver][2][count:u32][addr]*count        count ≤ MAX_BATCH
-//! request  op 3 (Info):    [ver][3]
-//! response op 1/2:         [ver][op][epoch:u64][count:u32][answer]*count
-//! response op 3:           [ver][3][epoch:u64][ts:u64][entries:u64][bytes:u64]
-//! addr:                    [af:u8=4|6][4 or 16 address bytes, network order]
-//! answer:                  [kind:u8][prefix_len:u8][router:u32][ifindex:u16][confidence:f64 bits]
+//! request  op 1 (Lookup):   [ver][1][addr]
+//! request  op 2 (Batch):    [ver][2][count:u32][addr]*count        count ≤ MAX_BATCH
+//! request  op 3 (Info):     [ver][3]
+//! request  op 4 (QueryAt):  [ver][4][epoch:u64][addr]
+//! request  op 5 (DiffRange):[ver][5][from:u64][to:u64]
+//! request  op 6 (WaitEpoch):[ver][6][min_epoch:u64]
+//! response op 1/2/4:        [ver][op][epoch:u64][count:u32][answer]*count
+//! response op 3/6:          [ver][op][epoch:u64][ts:u64][entries:u64][bytes:u64]
+//! response op 5:            [ver][5][from:u64][to:u64][count:u32][change]*count
+//! addr:                     [af:u8=4|6][4 or 16 address bytes, network order]
+//! answer:                   [kind:u8][prefix_len:u8][router:u32][ifindex:u16][confidence:f64 bits]
+//! change:                   [tag:u8=1|2|3][prefix][ingress before?][ingress after?]
+//! prefix:                   [af:u8=4|6][4 or 16 network bytes][len:u8]
+//! ingress:                  [kind:u8=1|2][router:u32][ifindex:u16]
 //! ```
 //!
 //! Answer `kind` is 0 = unmapped (all other fields zero), 1 = link,
@@ -22,14 +29,25 @@
 //! see DESIGN.md §11). `confidence` travels as raw IEEE-754 bits so the
 //! answer is bit-identical to the store's value.
 //!
+//! The longitudinal ops (4/5, DESIGN.md §13) are answered from an attached
+//! history provider. A `QueryAt` for an epoch the store does not hold
+//! answers with **zero** answers (count 0); `DiffRange` change tags are
+//! 1 = appeared (`after` only), 2 = disappeared (`before` only), 3 = moved
+//! (`before` then `after`), with changes sorted by prefix and capped at
+//! [`MAX_DIFF`]. Prefixes travel in canonical form — a set host bit is a
+//! protocol error, which keeps decoding bijective. `WaitEpoch` (op 6)
+//! blocks server-side until the published epoch reaches `min_epoch` (or the
+//! server's wait cap expires) and answers with the same shape as `Info` —
+//! pollers sync on publication without hammering `Info`.
+//!
 //! Encoding and decoding are pure byte-slice functions — no sockets, no
 //! allocation beyond the output — which is what makes the decoder directly
 //! fuzzable (`ipd-fuzz` target `proto`).
 
-use ipd_lpm::{Addr, Af};
+use ipd_lpm::{Addr, Af, Prefix};
 
 use crate::store::IngressAnswer;
-use ipd::LogicalIngress;
+use ipd::{LogicalIngress, PrefixChange};
 
 /// Protocol version byte every payload opens with.
 pub const PROTO_VERSION: u8 = 1;
@@ -41,13 +59,25 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Maximum addresses in one batch request.
 pub const MAX_BATCH: usize = 4_096;
 
+/// Maximum prefix changes in one `DiffRange` response; a larger diff is
+/// truncated by the server (changes are prefix-sorted, so a client can page
+/// by narrowing the range).
+pub const MAX_DIFF: usize = 8_192;
+
 const OP_LOOKUP: u8 = 1;
 const OP_BATCH: u8 = 2;
 const OP_INFO: u8 = 3;
+const OP_QUERY_AT: u8 = 4;
+const OP_DIFF: u8 = 5;
+const OP_WAIT: u8 = 6;
 
 const KIND_UNMAPPED: u8 = 0;
 const KIND_LINK: u8 = 1;
 const KIND_BUNDLE: u8 = 2;
+
+const CHANGE_APPEARED: u8 = 1;
+const CHANGE_DISAPPEARED: u8 = 2;
+const CHANGE_MOVED: u8 = 3;
 
 /// A decoded request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +88,27 @@ pub enum Request {
     Batch(Vec<Addr>),
     /// Store metadata (epoch, stamp, entry count, footprint).
     Info,
+    /// Time-travel lookup against the longitudinal store: the answer the
+    /// server would have given at `epoch`.
+    QueryAt {
+        /// The historical epoch to answer from.
+        epoch: u64,
+        /// The address to look up.
+        addr: Addr,
+    },
+    /// All per-prefix classification changes between two epochs.
+    DiffRange {
+        /// The earlier epoch.
+        from: u64,
+        /// The later epoch.
+        to: u64,
+    },
+    /// Block until the published epoch reaches `min_epoch`, then answer
+    /// like `Info`.
+    WaitEpoch {
+        /// The epoch to wait for.
+        min_epoch: u64,
+    },
 }
 
 /// What kind of ingress an answer names.
@@ -130,6 +181,66 @@ impl WireAnswer {
     }
 }
 
+/// A logical ingress as it travels inside a [`WireChange`]: flattened the
+/// same way [`WireAnswer`] flattens (bundles carry their lowest member
+/// interface; the consumer keys on router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireIngress {
+    /// True for a bundle, false for a single link.
+    pub bundle: bool,
+    /// Ingress router id.
+    pub router: u32,
+    /// Ingress interface; for a bundle, its lowest member.
+    pub ifindex: u16,
+}
+
+impl WireIngress {
+    /// Flatten a logical ingress into wire form.
+    pub fn from_logical(ing: &LogicalIngress) -> WireIngress {
+        match ing {
+            LogicalIngress::Link(p) => WireIngress {
+                bundle: false,
+                router: p.router,
+                ifindex: p.ifindex,
+            },
+            LogicalIngress::Bundle(b) => WireIngress {
+                bundle: true,
+                router: b.router,
+                ifindex: b.ifindexes.first().copied().unwrap_or(0),
+            },
+        }
+    }
+}
+
+/// One prefix's classification change as it travels on the wire: appeared
+/// (`before` absent), disappeared (`after` absent), or moved (both
+/// present). Both absent never decodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireChange {
+    /// The range that changed.
+    pub prefix: Prefix,
+    /// Ingress before the change (`None` = newly classified).
+    pub before: Option<WireIngress>,
+    /// Ingress after the change (`None` = no longer classified).
+    pub after: Option<WireIngress>,
+}
+
+impl WireChange {
+    /// Flatten a [`PrefixChange`] into wire form. Returns `None` for the
+    /// degenerate no-op change (neither side present), which the diff seam
+    /// never produces.
+    pub fn from_change(c: &PrefixChange) -> Option<WireChange> {
+        if c.before.is_none() && c.after.is_none() {
+            return None;
+        }
+        Some(WireChange {
+            prefix: c.prefix,
+            before: c.before.as_ref().map(WireIngress::from_logical),
+            after: c.after.as_ref().map(WireIngress::from_logical),
+        })
+    }
+}
+
 /// A decoded response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -152,6 +263,16 @@ pub enum Response {
         /// Approximate heap footprint in bytes.
         memory_bytes: u64,
     },
+    /// Per-prefix changes between two epochs, sorted by prefix, capped at
+    /// [`MAX_DIFF`].
+    Diff {
+        /// The earlier epoch queried.
+        from: u64,
+        /// The later epoch queried.
+        to: u64,
+        /// What changed between them.
+        changes: Vec<WireChange>,
+    },
 }
 
 /// Decode failures. Every variant is a protocol violation by the peer;
@@ -170,6 +291,11 @@ pub enum ProtoError {
     BadKind(u8),
     /// Batch count exceeds [`MAX_BATCH`].
     BatchTooLarge(u32),
+    /// Diff change count exceeds [`MAX_DIFF`].
+    DiffTooLarge(u32),
+    /// A prefix with a length beyond its family width, or with host bits
+    /// set (prefixes travel canonically).
+    BadPrefix,
     /// Bytes left over after the declared structure.
     TrailingBytes(usize),
 }
@@ -183,6 +309,8 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadAf(a) => write!(f, "unknown address family {a}"),
             ProtoError::BadKind(k) => write!(f, "unknown answer kind {k}"),
             ProtoError::BatchTooLarge(n) => write!(f, "batch of {n} exceeds {MAX_BATCH}"),
+            ProtoError::DiffTooLarge(n) => write!(f, "diff of {n} changes exceeds {MAX_DIFF}"),
+            ProtoError::BadPrefix => write!(f, "non-canonical or out-of-range prefix"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
     }
@@ -239,6 +367,48 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// A canonical prefix: family byte, full-width network bytes, length.
+    /// Host bits set beyond the length are a protocol error — decoding
+    /// stays bijective (decode → encode reproduces the input bytes).
+    fn prefix(&mut self) -> Result<Prefix, ProtoError> {
+        let addr = self.addr()?;
+        let len = self.u8()?;
+        let p = Prefix::new(addr, len).map_err(|_| ProtoError::BadPrefix)?;
+        if p.addr() != addr {
+            return Err(ProtoError::BadPrefix);
+        }
+        Ok(p)
+    }
+
+    fn ingress(&mut self) -> Result<WireIngress, ProtoError> {
+        let bundle = match self.u8()? {
+            KIND_LINK => false,
+            KIND_BUNDLE => true,
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        Ok(WireIngress {
+            bundle,
+            router: self.u32()?,
+            ifindex: self.u16()?,
+        })
+    }
+
+    fn change(&mut self) -> Result<WireChange, ProtoError> {
+        let tag = self.u8()?;
+        let prefix = self.prefix()?;
+        let (before, after) = match tag {
+            CHANGE_APPEARED => (None, Some(self.ingress()?)),
+            CHANGE_DISAPPEARED => (Some(self.ingress()?), None),
+            CHANGE_MOVED => (Some(self.ingress()?), Some(self.ingress()?)),
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        Ok(WireChange {
+            prefix,
+            before,
+            after,
+        })
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         let left = self.buf.len() - self.pos;
         if left == 0 {
@@ -262,6 +432,39 @@ fn put_addr(out: &mut Vec<u8>, addr: Addr) {
     }
 }
 
+fn put_prefix(out: &mut Vec<u8>, p: Prefix) {
+    put_addr(out, p.addr());
+    out.push(p.len());
+}
+
+fn put_ingress(out: &mut Vec<u8>, i: &WireIngress) {
+    out.push(if i.bundle { KIND_BUNDLE } else { KIND_LINK });
+    out.extend_from_slice(&i.router.to_be_bytes());
+    out.extend_from_slice(&i.ifindex.to_be_bytes());
+}
+
+fn put_change(out: &mut Vec<u8>, c: &WireChange) {
+    match (&c.before, &c.after) {
+        (None, Some(after)) => {
+            out.push(CHANGE_APPEARED);
+            put_prefix(out, c.prefix);
+            put_ingress(out, after);
+        }
+        (Some(before), None) => {
+            out.push(CHANGE_DISAPPEARED);
+            put_prefix(out, c.prefix);
+            put_ingress(out, before);
+        }
+        (Some(before), Some(after)) => {
+            out.push(CHANGE_MOVED);
+            put_prefix(out, c.prefix);
+            put_ingress(out, before);
+            put_ingress(out, after);
+        }
+        (None, None) => unreachable!("WireChange with neither side never constructs"),
+    }
+}
+
 /// Encode a request payload (no length prefix — see [`frame`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = vec![PROTO_VERSION];
@@ -278,6 +481,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Info => out.push(OP_INFO),
+        Request::QueryAt { epoch, addr } => {
+            out.push(OP_QUERY_AT);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            put_addr(&mut out, *addr);
+        }
+        Request::DiffRange { from, to } => {
+            out.push(OP_DIFF);
+            out.extend_from_slice(&from.to_be_bytes());
+            out.extend_from_slice(&to.to_be_bytes());
+        }
+        Request::WaitEpoch { min_epoch } => {
+            out.push(OP_WAIT);
+            out.extend_from_slice(&min_epoch.to_be_bytes());
+        }
     }
     out
 }
@@ -306,6 +523,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             Request::Batch(addrs)
         }
         OP_INFO => Request::Info,
+        OP_QUERY_AT => Request::QueryAt {
+            epoch: c.u64()?,
+            addr: c.addr()?,
+        },
+        OP_DIFF => Request::DiffRange {
+            from: c.u64()?,
+            to: c.u64()?,
+        },
+        OP_WAIT => Request::WaitEpoch {
+            min_epoch: c.u64()?,
+        },
         other => return Err(ProtoError::BadOp(other)),
     };
     c.finish()?;
@@ -324,8 +552,9 @@ fn put_answer(out: &mut Vec<u8>, a: &WireAnswer) {
     out.extend_from_slice(&a.confidence.to_bits().to_be_bytes());
 }
 
-/// Encode a response payload. `op` must be the request op being answered
-/// (`1` for Lookup, `2` for Batch; Info picks its own).
+/// Encode a response payload. `op` must be the request op being answered:
+/// an answer list travels under `1`, `2`, or `4`; the info shape under `3`
+/// (Info) or `6` (WaitEpoch); a diff always under `5`.
 pub fn encode_response(resp: &Response, op: u8) -> Vec<u8> {
     let mut out = vec![PROTO_VERSION];
     match resp {
@@ -343,11 +572,20 @@ pub fn encode_response(resp: &Response, op: u8) -> Vec<u8> {
             entries,
             memory_bytes,
         } => {
-            out.push(OP_INFO);
+            out.push(op);
             out.extend_from_slice(&epoch.to_be_bytes());
             out.extend_from_slice(&ts.to_be_bytes());
             out.extend_from_slice(&entries.to_be_bytes());
             out.extend_from_slice(&memory_bytes.to_be_bytes());
+        }
+        Response::Diff { from, to, changes } => {
+            out.push(OP_DIFF);
+            out.extend_from_slice(&from.to_be_bytes());
+            out.extend_from_slice(&to.to_be_bytes());
+            out.extend_from_slice(&(changes.len() as u32).to_be_bytes());
+            for ch in changes {
+                put_change(&mut out, ch);
+            }
         }
     }
     out
@@ -361,7 +599,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         return Err(ProtoError::BadVersion(version));
     }
     let resp = match c.u8()? {
-        OP_LOOKUP | OP_BATCH => {
+        OP_LOOKUP | OP_BATCH | OP_QUERY_AT => {
             let epoch = c.u64()?;
             let count = c.u32()?;
             if count as usize > MAX_BATCH {
@@ -385,12 +623,25 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Answers { epoch, answers }
         }
-        OP_INFO => Response::Info {
+        OP_INFO | OP_WAIT => Response::Info {
             epoch: c.u64()?,
             ts: c.u64()?,
             entries: c.u64()?,
             memory_bytes: c.u64()?,
         },
+        OP_DIFF => {
+            let from = c.u64()?;
+            let to = c.u64()?;
+            let count = c.u32()?;
+            if count as usize > MAX_DIFF {
+                return Err(ProtoError::DiffTooLarge(count));
+            }
+            let mut changes = Vec::with_capacity((count as usize).min(payload.len() / 14 + 1));
+            for _ in 0..count {
+                changes.push(c.change()?);
+            }
+            Response::Diff { from, to, changes }
+        }
         other => return Err(ProtoError::BadOp(other)),
     };
     c.finish()?;
@@ -403,6 +654,9 @@ pub fn request_op(req: &Request) -> u8 {
         Request::Lookup(_) => OP_LOOKUP,
         Request::Batch(_) => OP_BATCH,
         Request::Info => OP_INFO,
+        Request::QueryAt { .. } => OP_QUERY_AT,
+        Request::DiffRange { .. } => OP_DIFF,
+        Request::WaitEpoch { .. } => OP_WAIT,
     }
 }
 
@@ -434,6 +688,16 @@ mod tests {
             Addr::v6(2),
             Addr::v4(u32::MAX),
         ]));
+        roundtrip_request(Request::QueryAt {
+            epoch: 512,
+            addr: Addr::v4(0x0A00_0001),
+        });
+        roundtrip_request(Request::QueryAt {
+            epoch: u64::MAX,
+            addr: Addr::v6(77),
+        });
+        roundtrip_request(Request::DiffRange { from: 3, to: 907 });
+        roundtrip_request(Request::WaitEpoch { min_epoch: 42 });
     }
 
     #[test]
@@ -468,7 +732,135 @@ mod tests {
             memory_bytes: 9_999_999,
         };
         let bytes = encode_response(&info, 3);
+        assert_eq!(decode_response(&bytes), Ok(info.clone()));
+
+        // The same info shape answers WaitEpoch, under op 6.
+        let bytes = encode_response(&info, 6);
+        assert_eq!(bytes[1], 6);
         assert_eq!(decode_response(&bytes), Ok(info));
+
+        // QueryAt answers travel like lookups, under op 4 — including the
+        // zero-answer "epoch unknown" form.
+        let missing = Response::Answers {
+            epoch: 99,
+            answers: vec![],
+        };
+        let bytes = encode_response(&missing, 4);
+        assert_eq!(bytes[1], 4);
+        assert_eq!(decode_response(&bytes), Ok(missing));
+    }
+
+    #[test]
+    fn diff_response_roundtrips() {
+        let link = |r, i| {
+            Some(WireIngress {
+                bundle: false,
+                router: r,
+                ifindex: i,
+            })
+        };
+        let bundle = |r, i| {
+            Some(WireIngress {
+                bundle: true,
+                router: r,
+                ifindex: i,
+            })
+        };
+        let diff = Response::Diff {
+            from: 10,
+            to: 20,
+            changes: vec![
+                WireChange {
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                    before: None,
+                    after: link(30, 2),
+                },
+                WireChange {
+                    prefix: "10.64.0.0/12".parse().unwrap(),
+                    before: bundle(7, 1),
+                    after: None,
+                },
+                WireChange {
+                    prefix: "2001:db8::/32".parse().unwrap(),
+                    before: link(1, 9),
+                    after: bundle(2, 3),
+                },
+            ],
+        };
+        let bytes = encode_response(&diff, 5);
+        assert_eq!(decode_response(&bytes), Ok(diff));
+
+        let empty = Response::Diff {
+            from: 5,
+            to: 5,
+            changes: vec![],
+        };
+        let bytes = encode_response(&empty, 5);
+        assert_eq!(decode_response(&bytes), Ok(empty));
+    }
+
+    #[test]
+    fn non_canonical_prefixes_are_rejected() {
+        // Hand-build a diff response whose prefix has host bits set.
+        let mut bytes = vec![PROTO_VERSION, OP_DIFF];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(CHANGE_APPEARED);
+        bytes.push(4);
+        bytes.extend_from_slice(&0x0A00_00FFu32.to_be_bytes()); // 10.0.0.255
+        bytes.push(8); // /8 — host bits set
+        bytes.push(KIND_LINK);
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(ProtoError::BadPrefix));
+
+        // Length beyond the family width is equally rejected.
+        let mut bytes = vec![PROTO_VERSION, OP_DIFF];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(CHANGE_APPEARED);
+        bytes.push(4);
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.push(33);
+        bytes.push(KIND_LINK);
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(ProtoError::BadPrefix));
+    }
+
+    #[test]
+    fn from_change_flattens_the_diff_seam() {
+        use ipd_topology::{Bundle, IngressPoint};
+        let c = PrefixChange {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            before: Some(LogicalIngress::Link(IngressPoint::new(3, 1))),
+            after: Some(LogicalIngress::Bundle(Bundle::new(4, vec![8, 2]))),
+        };
+        let w = WireChange::from_change(&c).unwrap();
+        assert_eq!(
+            w.before,
+            Some(WireIngress {
+                bundle: false,
+                router: 3,
+                ifindex: 1
+            })
+        );
+        assert_eq!(
+            w.after,
+            Some(WireIngress {
+                bundle: true,
+                router: 4,
+                ifindex: 2
+            })
+        );
+        let degenerate = PrefixChange {
+            prefix: c.prefix,
+            before: None,
+            after: None,
+        };
+        assert!(WireChange::from_change(&degenerate).is_none());
     }
 
     #[test]

@@ -10,17 +10,24 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::history::HistoryProvider;
 use crate::proto::{
-    decode_request, encode_response, frame, request_op, Request, Response, WireAnswer, MAX_FRAME,
+    decode_request, encode_response, frame, request_op, Request, Response, WireAnswer, WireChange,
+    MAX_DIFF, MAX_FRAME,
 };
 use crate::store::IngressStore;
 use crate::swap::{EpochSwap, Reader};
 use crate::telemetry::ServeTelemetry;
 
-/// How often a blocked connection read wakes to check the stop flag.
+/// How often a blocked connection read wakes to check the stop flag; also
+/// the epoch poll cadence of a parked `WaitEpoch`.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Longest a `WaitEpoch` request parks before answering with whatever is
+/// current — a slow publisher must not pin connection threads forever.
+const WAIT_EPOCH_MAX: Duration = Duration::from_secs(30);
 
 /// A running query server. Dropping it shuts it down; call
 /// [`ServeServer::shutdown`] to do so explicitly.
@@ -33,11 +40,24 @@ pub struct ServeServer {
 
 impl ServeServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and answer
-    /// queries against whatever `swap` currently publishes.
+    /// queries against whatever `swap` currently publishes. The longitudinal
+    /// ops answer "unknown" — use [`ServeServer::serve_with_history`] to
+    /// attach a store.
     pub fn serve(
         addr: &str,
         swap: EpochSwap<IngressStore>,
         metrics: ServeTelemetry,
+    ) -> std::io::Result<ServeServer> {
+        Self::serve_with_history(addr, swap, metrics, None)
+    }
+
+    /// [`ServeServer::serve`] with a longitudinal store attached: `QueryAt`
+    /// and `DiffRange` are answered from `history`.
+    pub fn serve_with_history(
+        addr: &str,
+        swap: EpochSwap<IngressStore>,
+        metrics: ServeTelemetry,
+        history: Option<Arc<dyn HistoryProvider>>,
     ) -> std::io::Result<ServeServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -58,10 +78,11 @@ impl ServeServer {
                         let reader = swap.reader();
                         let stop = Arc::clone(&stop);
                         let metrics = metrics.clone();
+                        let history = history.clone();
                         let handle = std::thread::Builder::new()
                             .name("ipd-serve-conn".into())
                             .spawn(move || {
-                                let _ = handle_conn(stream, reader, &metrics, &stop);
+                                let _ = handle_conn(stream, reader, history, &metrics, &stop);
                             });
                         if let Ok(handle) = handle {
                             conns.lock().expect("conns poisoned").push(handle);
@@ -173,6 +194,7 @@ fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> std::io::Result<Read
 fn handle_conn(
     mut stream: TcpStream,
     mut reader: Reader<IngressStore>,
+    history: Option<Arc<dyn HistoryProvider>>,
     metrics: &ServeTelemetry,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
@@ -195,8 +217,9 @@ fn handle_conn(
         metrics.requests.inc();
         let op = request_op(&req);
         // One consistent epoch per response: every answer in it comes from
-        // the same published store.
-        let current = reader.current();
+        // the same published store. The Arc form keeps the reader free for
+        // the WaitEpoch arm to re-poll.
+        let current = reader.current_arc();
         let resp = match &req {
             Request::Lookup(addr) => {
                 let timer = metrics.lookup_duration.start_timer();
@@ -234,6 +257,64 @@ fn handle_conn(
                 entries: current.value.len() as u64,
                 memory_bytes: current.value.memory_bytes() as u64,
             },
+            Request::QueryAt { epoch, addr } => {
+                let store = history.as_ref().and_then(|h| h.at_epoch(*epoch));
+                let answers = match &store {
+                    // Zero answers = the store does not hold that epoch
+                    // (or no history is attached at all).
+                    None => vec![],
+                    Some(s) => {
+                        let timer = metrics.lookup_duration.start_timer();
+                        let answer = WireAnswer::from_lookup(s.lookup(*addr));
+                        drop(timer);
+                        metrics.lookups.inc();
+                        if !answer.is_mapped() {
+                            metrics.unmapped.inc();
+                        }
+                        vec![answer]
+                    }
+                };
+                Response::Answers {
+                    epoch: *epoch,
+                    answers,
+                }
+            }
+            Request::DiffRange { from, to } => {
+                let changes = history
+                    .as_ref()
+                    .and_then(|h| h.diff(*from, *to))
+                    .unwrap_or_default();
+                Response::Diff {
+                    from: *from,
+                    to: *to,
+                    changes: changes
+                        .iter()
+                        .take(MAX_DIFF)
+                        .filter_map(WireChange::from_change)
+                        .collect(),
+                }
+            }
+            Request::WaitEpoch { min_epoch } => {
+                // Park until the published epoch reaches the target, the
+                // server stops, or the wait cap expires — then answer with
+                // whatever is current, in the Info shape. The caller
+                // distinguishes success by `epoch >= min_epoch`.
+                let deadline = Instant::now() + WAIT_EPOCH_MAX;
+                let mut current = current;
+                while current.epoch < *min_epoch
+                    && !stop.load(Ordering::SeqCst)
+                    && Instant::now() < deadline
+                {
+                    std::thread::sleep(POLL_INTERVAL);
+                    current = reader.current_arc();
+                }
+                Response::Info {
+                    epoch: current.epoch,
+                    ts: current.value.ts(),
+                    entries: current.value.len() as u64,
+                    memory_bytes: current.value.memory_bytes() as u64,
+                }
+            }
         };
         stream.write_all(&frame(&encode_response(&resp, op)))?;
     }
@@ -310,6 +391,116 @@ mod tests {
         assert_eq!(snap.counter("ipd_serve_requests_total"), Some(4));
         assert_eq!(snap.counter("ipd_serve_lookups_total"), Some(5));
         assert_eq!(snap.counter("ipd_serve_unmapped_total"), Some(2));
+        server.shutdown();
+    }
+
+    /// A fixed two-epoch history: epoch 7 = the classified store, epoch 8 =
+    /// empty; diff(7, 8) reports every range as disappeared.
+    struct FixedHistory {
+        store: IngressStore,
+    }
+
+    impl HistoryProvider for FixedHistory {
+        fn at_epoch(&self, epoch: u64) -> Option<IngressStore> {
+            match epoch {
+                7 => Some(self.store.clone()),
+                8 => Some(IngressStore::empty()),
+                _ => None,
+            }
+        }
+
+        fn diff(&self, from: u64, to: u64) -> Option<Vec<ipd::PrefixChange>> {
+            if from != 7 || to != 8 {
+                return None;
+            }
+            Some(
+                self.store
+                    .iter()
+                    .map(|(p, ing, _)| ipd::PrefixChange {
+                        prefix: p,
+                        before: Some(ing.clone()),
+                        after: None,
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn serves_time_travel_ops_from_a_history_provider() {
+        let store = classified_store();
+        let held = store.len();
+        let swap = EpochSwap::new(IngressStore::empty());
+        let history: Arc<dyn HistoryProvider> = Arc::new(FixedHistory { store });
+        let server = ServeServer::serve_with_history(
+            "127.0.0.1:0",
+            swap,
+            ServeTelemetry::default(),
+            Some(history),
+        )
+        .expect("bind");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+        // Live store is empty, but epoch 7 answers from history.
+        let (_, live) = client.lookup(Addr::v4(0x0100_0000)).unwrap();
+        assert_eq!(live.kind, AnswerKind::Unmapped);
+        let past = client.query_at(7, Addr::v4(0x0100_0000)).unwrap().unwrap();
+        assert_eq!(
+            (past.kind, past.router, past.ifindex),
+            (AnswerKind::Link, 1, 1)
+        );
+        // Held-but-empty epoch answers unmapped; unknown epoch answers None.
+        let gone = client.query_at(8, Addr::v4(0x0100_0000)).unwrap().unwrap();
+        assert_eq!(gone.kind, AnswerKind::Unmapped);
+        assert!(client
+            .query_at(99, Addr::v4(0x0100_0000))
+            .unwrap()
+            .is_none());
+
+        let changes = client.diff_range(7, 8).unwrap();
+        assert_eq!(changes.len(), held.min(MAX_DIFF));
+        assert!(changes
+            .iter()
+            .all(|c| c.before.is_some() && c.after.is_none()));
+        assert!(client.diff_range(1, 2).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn without_history_time_travel_ops_answer_unknown() {
+        let swap = EpochSwap::new(classified_store());
+        let server =
+            ServeServer::serve("127.0.0.1:0", swap, ServeTelemetry::default()).expect("bind");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+        assert!(client.query_at(0, Addr::v4(0x0100_0000)).unwrap().is_none());
+        assert!(client.diff_range(0, 1).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_epoch_parks_until_publication() {
+        let swap = EpochSwap::new(IngressStore::empty());
+        let server = ServeServer::serve("127.0.0.1:0", swap.clone(), ServeTelemetry::default())
+            .expect("bind");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+        // Already satisfied: answers immediately.
+        let info = client.wait_epoch(0).unwrap();
+        assert_eq!(info.epoch, 0);
+
+        // Publish from another thread after a delay; the wait must observe it.
+        let publisher = {
+            let swap = swap.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                swap.publish(classified_store());
+                std::thread::sleep(Duration::from_millis(300));
+                swap.publish(IngressStore::empty());
+            })
+        };
+        let info = client.wait_epoch(2).unwrap();
+        assert!(info.epoch >= 2, "woke at epoch {}", info.epoch);
+        publisher.join().unwrap();
         server.shutdown();
     }
 

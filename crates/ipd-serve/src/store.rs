@@ -63,6 +63,20 @@ impl IngressStore {
         Ok(Self::from_engine(&engine, ts))
     }
 
+    /// Build from raw `(range, ingress, confidence)` rows, stamped `ts` —
+    /// the reconstruction path of the longitudinal store (`ipd-hist`), which
+    /// persists exactly the rows [`IngressStore::iter`] yields. Row order
+    /// does not matter; the LPM table is canonical either way.
+    pub fn from_rows<I>(ts: u64, rows: I) -> Self
+    where
+        I: IntoIterator<Item = (Prefix, LogicalIngress, f64)>,
+    {
+        IngressStore {
+            ts,
+            lpm: rows.into_iter().map(|(p, ing, c)| (p, (ing, c))).collect(),
+        }
+    }
+
     /// Build from a decoded checkpoint — the serve-from-disk path: no
     /// journal replay, no tick. The checkpoint state is "all flows of the
     /// closed buckets applied", exactly what the hook would have published
@@ -171,6 +185,28 @@ mod tests {
             let probe = r.range.first_addr();
             let ans = store.lookup(probe).expect("classified range answers");
             assert_eq!(ans.confidence.to_bits(), r.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_rows_rebuilds_bit_identically() {
+        let engine = classified_engine();
+        let direct = IngressStore::from_engine(&engine, 61);
+        let rebuilt = IngressStore::from_rows(
+            direct.ts(),
+            direct.iter().map(|(p, ing, c)| (p, ing.clone(), c)),
+        );
+        assert_eq!(rebuilt.len(), direct.len());
+        assert_eq!(rebuilt.ts(), 61);
+        for i in 0..5_000u32 {
+            let addr = Addr::v4(i.wrapping_mul(0x9E37_79B9));
+            let want = direct
+                .lookup(addr)
+                .map(|a| (a.prefix, a.ingress.clone(), a.confidence.to_bits()));
+            let got = rebuilt
+                .lookup(addr)
+                .map(|a| (a.prefix, a.ingress.clone(), a.confidence.to_bits()));
+            assert_eq!(got, want, "divergence at {addr}");
         }
     }
 

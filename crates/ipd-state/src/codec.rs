@@ -40,7 +40,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// FNV-1a 64 — same function [`ipd::Snapshot::digest`] uses. Used for the
 /// short per-frame journal checksums, where the serial dependency chain is
 /// irrelevant.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= b as u64;
@@ -54,7 +54,9 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 /// lane values. Same primitive and detection strength as plain FNV-1a, but
 /// the eight independent multiply chains pipeline, so checkpoint-sized
 /// images hash at memory speed instead of one multiply-latency per byte.
-pub(crate) fn image_checksum(bytes: &[u8]) -> u64 {
+/// Exported for the other on-disk formats that share the `IPDSTAT1`
+/// conventions (the `IPDSEG1` segments of `ipd-hist`).
+pub fn image_checksum(bytes: &[u8]) -> u64 {
     let mut lanes = [0u64; 8];
     for (i, lane) in lanes.iter_mut().enumerate() {
         *lane = FNV_OFFSET ^ (i as u64);

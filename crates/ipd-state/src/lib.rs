@@ -37,7 +37,7 @@ pub mod journal;
 pub mod store;
 pub mod telemetry;
 
-pub use codec::{decode, encode, CheckpointState, CodecError};
+pub use codec::{decode, encode, fnv1a, image_checksum, CheckpointState, CodecError};
 pub use durable::{
     restore, restore_instrumented, Durable, DurableConfig, DurableHandle, DurableStats,
     RestoreError, Restored,
