@@ -10,6 +10,11 @@
 //!   * peak RSS            — `VmHWM` from `/proc/self/status`
 //!   * serve lookups/s     — read-path rate against the final snapshot
 //!
+//! Since schema v2 it also measures the publication path both ways at
+//! every tick: applying the inter-snapshot [`StoreDelta`] to a live
+//! concurrent store in place versus rebuilding a fresh store from the full
+//! snapshot — the numbers behind `ServePublisher`'s incremental default.
+//!
 //! Usage (normally via `scripts/record_bench`):
 //!
 //! ```text
@@ -20,14 +25,56 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use ipd::{IpdEngine, IpdParams};
+use ipd::{IpdEngine, IpdParams, Snapshot, StoreDelta};
 use ipd_bench::scaled_factor;
 use ipd_lpm::Addr;
-use ipd_serve::IngressStore;
+use ipd_serve::{IngressStore, LiveStore};
 use ipd_traffic::{DfzConfig, DfzWorld};
 
 const SERVE_KEYS: usize = 65_536;
 const CHUNK: usize = 131_072;
+
+/// Publication-path measurement: at every tick, apply the inter-snapshot
+/// delta to a long-lived concurrent store (what `ServePublisher` does) and
+/// separately rebuild a fresh store from the whole snapshot (what rotation
+/// costs), timing both.
+struct PublishBench {
+    live: LiveStore,
+    prev: Snapshot,
+    incremental: Duration,
+    full: Duration,
+    changed: u64,
+    publications: u64,
+}
+
+impl PublishBench {
+    fn new() -> Self {
+        Self {
+            live: LiveStore::new(1),
+            prev: Snapshot::default(),
+            incremental: Duration::ZERO,
+            full: Duration::ZERO,
+            changed: 0,
+            publications: 0,
+        }
+    }
+
+    fn publish(&mut self, engine: &IpdEngine, ts: u64) {
+        let snap = engine.classified_snapshot(ts);
+        let delta = StoreDelta::between(&self.prev, &snap);
+        let t = Instant::now();
+        self.live.apply(&delta, ts);
+        self.incremental += t.elapsed();
+        let t = Instant::now();
+        let fresh = LiveStore::new(1);
+        fresh.publish_full(&snap);
+        self.full += t.elapsed();
+        assert_eq!(self.live.len(), fresh.len(), "incremental apply diverged");
+        self.changed += delta.change_count() as u64;
+        self.prev = snap;
+        self.publications += 1;
+    }
+}
 
 fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -91,6 +138,7 @@ fn main() {
     let mut flows = 0u64;
     let mut serve_keys: Vec<Addr> = Vec::with_capacity(SERVE_KEYS);
     let mut batch = Vec::with_capacity(CHUNK);
+    let mut publish = PublishBench::new();
     let mut next_tick = world.config().epoch + t_secs;
     let mut stream = world.flows(minutes);
     let mut last_ts = world.config().epoch;
@@ -109,6 +157,7 @@ fn main() {
                 let t = Instant::now();
                 engine.tick(next_tick);
                 tick_times.push(t.elapsed());
+                publish.publish(&engine, next_tick);
                 next_tick += t_secs;
             }
             let t = Instant::now();
@@ -129,6 +178,7 @@ fn main() {
     let t = Instant::now();
     engine.tick(last_ts + t_secs);
     tick_times.push(t.elapsed());
+    publish.publish(&engine, last_ts + t_secs);
     eprintln!();
 
     // Read path: the final table served the way ipd-serve holds it.
@@ -155,7 +205,7 @@ fn main() {
 
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"ipd-bench-dfz-v1\",");
+    let _ = writeln!(j, "  \"schema\": \"ipd-bench-dfz-v2\",");
     let _ = writeln!(j, "  \"recorded_unix\": {recorded},");
     let _ = writeln!(j, "  \"tier\": \"{tier}\",");
     let _ = writeln!(j, "  \"seed\": {seed},");
@@ -196,6 +246,27 @@ fn main() {
         hits as f64 / lookups.max(1) as f64
     );
     let _ = writeln!(j, "  \"classified_ranges\": {},", engine.classified_count());
+    let _ = writeln!(j, "  \"publish_ticks\": {},", publish.publications);
+    let _ = writeln!(
+        j,
+        "  \"publish_changed_prefixes_total\": {},",
+        publish.changed
+    );
+    let _ = writeln!(
+        j,
+        "  \"publish_incremental_ms_total\": {:.3},",
+        publish.incremental.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        j,
+        "  \"publish_full_rebuild_ms_total\": {:.3},",
+        publish.full.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        j,
+        "  \"publish_incremental_speedup\": {:.2},",
+        publish.full.as_secs_f64() / publish.incremental.as_secs_f64().max(1e-9)
+    );
     let _ = writeln!(
         j,
         "  \"wall_clock_secs_total\": {:.1}",

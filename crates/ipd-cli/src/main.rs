@@ -602,7 +602,10 @@ fn restore(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (telemetry, metrics_server) = metrics_setup(args)?;
     let serve_metrics = ServeTelemetry::register(&telemetry);
-    let mut publisher = ServePublisher::with_metrics(serve_metrics.clone());
+    // One live-store region per engine shard: incremental publication then
+    // parallelises along the same axis as ingest.
+    let shards: usize = args.get_or("shards", 1)?;
+    let mut publisher = ServePublisher::with_config(shards, serve_metrics.clone());
     let swap = publisher.swap();
     // --hist-dir: every published epoch is also appended to a longitudinal
     // store, and the server answers QueryAt/DiffRange out of it.
@@ -662,7 +665,6 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         let flows = load_trace(args.require("trace")?)?;
         let (params, rate) = trace_params(args, &flows)?;
-        let shards: usize = args.get_or("shards", 1)?;
         eprintln!(
             "serve: streaming {} flows (~{rate:.0} flows/min) through the pipeline, shards={shards}",
             flows.len()
@@ -716,7 +718,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         };
         eprintln!(
             "serve: stream complete at epoch {}, {classified} classified ranges",
-            swap.epoch()
+            swap.load().value.epoch()
         );
     }
 

@@ -304,6 +304,67 @@ impl SnapshotDiff {
     }
 }
 
+/// The store-level difference between two published snapshots: exactly the
+/// rows the serving layer must upsert or remove to turn `before`'s lookup
+/// table into `after`'s.
+///
+/// This is deliberately *not* [`SnapshotDiff`]: that is an operator-facing
+/// view keyed on ingress moves only. The serving contract pins every
+/// published answer bit-identical to `snapshot.lpm_table()` *including the
+/// confidence each answer carries*, so a row whose confidence changed while
+/// its ingress stayed put must still be republished — the comparison here is
+/// on the ingress and the confidence's bit pattern.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreDelta {
+    /// Rows to insert or overwrite, sorted by prefix.
+    pub upserts: Vec<(Prefix, LogicalIngress, f64)>,
+    /// Prefixes to delete, sorted.
+    pub removes: Vec<Prefix>,
+}
+
+impl StoreDelta {
+    /// Rows to apply so a store serving `before`'s table serves `after`'s.
+    pub fn between(before: &Snapshot, after: &Snapshot) -> StoreDelta {
+        let mut old: std::collections::HashMap<Prefix, (&LogicalIngress, u64)> = before
+            .classified()
+            .filter_map(|r| {
+                r.ingress
+                    .as_ref()
+                    .map(|i| (r.range, (i, r.confidence.to_bits())))
+            })
+            .collect();
+        let mut delta = StoreDelta::default();
+        for r in after.classified() {
+            let Some(ing) = r.ingress.as_ref() else {
+                continue;
+            };
+            match old.remove(&r.range) {
+                Some((oi, oc)) if oi == ing && oc == r.confidence.to_bits() => {}
+                _ => delta.upserts.push((r.range, ing.clone(), r.confidence)),
+            }
+        }
+        delta.removes = old.into_keys().collect();
+        delta.upserts.sort_by_key(|(p, _, _)| *p);
+        delta.removes.sort();
+        delta
+    }
+
+    /// The delta from an empty table — a full (re)publication of `after`.
+    pub fn full(after: &Snapshot) -> StoreDelta {
+        Self::between(&Snapshot::default(), after)
+    }
+
+    /// Number of rows touched.
+    pub fn change_count(&self) -> usize {
+        self.upserts.len() + self.removes.len()
+    }
+
+    /// True when the served tables are already identical.
+    pub fn is_empty(&self) -> bool {
+        self.change_count() == 0
+    }
+}
+
 /// One range's classification change between two points in time: appeared
 /// (`before` is `None`), disappeared (`after` is `None`), or moved to a
 /// different ingress (both present). Both `None` never occurs.

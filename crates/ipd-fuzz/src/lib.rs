@@ -151,6 +151,126 @@ pub fn fuzz_seg(data: &[u8]) {
     }
 }
 
+/// One decoded concurrent-store operation (see [`fuzz_lpm_ops`]). Public so
+/// the seed encoder and the unit tests can speak the same 6-byte format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpmOp {
+    Insert(ipd_lpm::Prefix, u32),
+    Remove(ipd_lpm::Prefix),
+    Lookup(ipd_lpm::Addr),
+    Exact(ipd_lpm::Prefix),
+}
+
+/// Ops per trace cap: keeps worst-case fuzz iterations O(1) while still
+/// letting traces grow the tree across strides and both families.
+const MAX_LPM_OPS: usize = 512;
+
+/// Decode one 6-byte frame `[op, len, a0, a1, a2, a3]` into an [`LpmOp`]:
+/// bits 0–1 of `op` pick the verb, bit 2 the address family; `len` is
+/// reduced mod (width + 1); the four address bytes are used verbatim for
+/// IPv4 and tiled across the high bits for IPv6 so mutations reach deep
+/// strides in both families.
+pub fn decode_lpm_op(frame: &[u8; 6]) -> LpmOp {
+    let [op, len, a0, a1, a2, a3] = *frame;
+    let word = u32::from_be_bytes([a0, a1, a2, a3]);
+    let addr = if op & 4 == 0 {
+        ipd_lpm::Addr::v4(word)
+    } else {
+        let w = u128::from(word);
+        ipd_lpm::Addr::v6((w << 96) | (w << 64) | (w << 32) | w)
+    };
+    let plen = len % (addr.af().width() + 1);
+    let value = word ^ u32::from(len).rotate_left(16);
+    match op & 3 {
+        0 => LpmOp::Insert(ipd_lpm::Prefix::of(addr, plen), value),
+        1 => LpmOp::Remove(ipd_lpm::Prefix::of(addr, plen)),
+        2 => LpmOp::Lookup(addr),
+        _ => LpmOp::Exact(ipd_lpm::Prefix::of(addr, plen)),
+    }
+}
+
+/// Encode an op trace in the [`decode_lpm_op`] frame format — the seed-side
+/// inverse, so the corpus starts from traces that decode into real work.
+pub fn encode_lpm_ops(ops: &[(u8, u8, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ops.len() * 6);
+    for &(op, len, word) in ops {
+        out.push(op);
+        out.push(len);
+        out.extend_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Concurrent-store op-trace target: the input is a stream of 6-byte frames
+/// (trailing partial frame ignored) decoded into insert/remove/lookup/exact
+/// ops and replayed against a [`ConcurrentLpm`](ipd_lpm::ConcurrentLpm) and
+/// an [`LpmTrie`](ipd_lpm::LpmTrie) oracle in lockstep. Every op's result
+/// must agree — insert's was-new bit, remove's was-present bit, lookup's
+/// (prefix, value), exact's value — plus `len()` after each op. At the end
+/// the store's sorted rows must equal the trie's, and a [`FlatLpm`]
+/// (ipd_lpm::FlatLpm) built from the oracle must answer every trace address
+/// identically to the concurrent store. This is the single-threaded
+/// differential leg of the concurrent store's proof; the interleaved leg
+/// lives in `ipd-lpm/tests/interleave.rs`.
+pub fn fuzz_lpm_ops(data: &[u8]) {
+    let store: ipd_lpm::ConcurrentLpm<u32> = ipd_lpm::ConcurrentLpm::new();
+    let mut oracle: ipd_lpm::LpmTrie<u32> = ipd_lpm::LpmTrie::new();
+    let mut upd = store.update();
+    let mut probes = Vec::new();
+    for frame in data.chunks_exact(6).take(MAX_LPM_OPS) {
+        let op = decode_lpm_op(frame.try_into().expect("chunks_exact(6)"));
+        match op {
+            LpmOp::Insert(p, v) => {
+                let was_new = upd.insert(p, v);
+                assert_eq!(
+                    was_new,
+                    oracle.insert(p, v).is_none(),
+                    "insert {p}: was-new bit diverged"
+                );
+                probes.push(p.addr());
+            }
+            LpmOp::Remove(p) => {
+                assert_eq!(
+                    upd.remove(p),
+                    oracle.remove(p).is_some(),
+                    "remove {p}: was-present bit diverged"
+                );
+                probes.push(p.addr());
+            }
+            LpmOp::Lookup(addr) => {
+                assert_eq!(
+                    store.lookup(addr).map(|(p, &v)| (p, v)),
+                    oracle.lookup(addr).map(|(p, &v)| (p, v)),
+                    "lookup {addr}: answers diverged"
+                );
+            }
+            LpmOp::Exact(p) => {
+                assert_eq!(
+                    store.exact(p).copied(),
+                    oracle.exact(p).copied(),
+                    "exact {p}: answers diverged"
+                );
+            }
+        }
+        assert_eq!(store.len(), oracle.len(), "len diverged after {op:?}");
+    }
+    // Terminal state: rows bit-identical to the oracle, and the flat build
+    // of the oracle answers every touched address like the live store.
+    let mut rows = store.rows();
+    rows.sort_by_key(|&(p, _)| p);
+    let mut want: Vec<(ipd_lpm::Prefix, u32)> = oracle.iter().map(|(p, &v)| (p, v)).collect();
+    want.sort_by_key(|&(p, _)| p);
+    assert_eq!(rows, want, "terminal rows diverged from the oracle");
+    let flat = ipd_lpm::FlatLpm::from_trie(&oracle);
+    for addr in probes {
+        assert_eq!(
+            store.lookup(addr).map(|(p, &v)| (p, v)),
+            flat.lookup(addr).map(|(p, &v)| (p, v)),
+            "flat vs concurrent diverged at {addr}"
+        );
+    }
+}
+
 /// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
 pub type FuzzTarget = fn(&[u8]);
 
@@ -161,6 +281,7 @@ pub const TARGETS: &[(&str, FuzzTarget)] = &[
     ("journal", fuzz_journal),
     ("proto", fuzz_proto),
     ("seg", fuzz_seg),
+    ("lpm_ops", fuzz_lpm_ops),
 ];
 
 /// Well-formed seed inputs for `target`, produced by the matching encoders
@@ -339,7 +460,66 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 man[..10].to_vec(),
             ]
         }
-        other => panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg)"),
+        "lpm_ops" => {
+            // Op traces straight from the encoder: overlapping nested
+            // prefixes in both families, insert/overwrite/remove cycles,
+            // lookups between mutations, and a dense same-node cluster so
+            // mutants immediately exercise bitmap transitions rather than
+            // bouncing off empty trees. Frame: (op, len, addr-word).
+            let ins4 = |len: u8, w: u32| (0u8, len, w);
+            let rm4 = |len: u8, w: u32| (1u8, len, w);
+            let get4 = |w: u32| (2u8, 0, w);
+            let ins6 = |len: u8, w: u32| (4u8, len, w);
+            vec![
+                // Nested v4 chain root→/28 with lookups at every depth.
+                encode_lpm_ops(&[
+                    ins4(0, 0),
+                    ins4(8, 0x0A00_0000),
+                    ins4(12, 0x0A10_0000),
+                    ins4(16, 0x0A10_8000),
+                    ins4(24, 0x0A10_8200),
+                    ins4(28, 0x0A10_8210),
+                    get4(0x0A10_8213),
+                    get4(0x0A10_8300),
+                    get4(0x0B00_0000),
+                    (3, 24, 0x0A10_8200), // exact hit
+                    (3, 20, 0x0A10_8000), // exact miss
+                ]),
+                // Insert → overwrite → remove → reinsert on one prefix,
+                // plus sibling fill inside a single stride-4 node.
+                encode_lpm_ops(&[
+                    ins4(24, 0xC0A8_0100),
+                    ins4(24, 0xC0A8_0100),
+                    get4(0xC0A8_01FF),
+                    rm4(24, 0xC0A8_0100),
+                    get4(0xC0A8_01FF),
+                    ins4(26, 0xC0A8_0100),
+                    ins4(26, 0xC0A8_0140),
+                    ins4(26, 0xC0A8_0180),
+                    ins4(26, 0xC0A8_01C0),
+                    get4(0xC0A8_0155),
+                    rm4(26, 0xC0A8_0140),
+                    get4(0xC0A8_0155),
+                    rm4(26, 0xC0A8_0140), // absent: no-op leg
+                ]),
+                // v6 tiling: words replicate across the address, so these
+                // land in deep strides; mixed with v4 to hit both roots.
+                encode_lpm_ops(&[
+                    ins6(32, 0x2001_0db8),
+                    ins6(48, 0x2001_0db8),
+                    ins6(64, 0x2001_0db8),
+                    (6, 0, 0x2001_0db8), // v6 lookup
+                    ins4(8, 0x7F00_0000),
+                    (6, 0, 0xdead_beef),
+                    (5, 48, 0x2001_0db8), // v6 remove
+                    (6, 0, 0x2001_0db8),
+                    (7, 64, 0x2001_0db8), // v6 exact
+                ]),
+            ]
+        }
+        other => {
+            panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg|lpm_ops)")
+        }
     }
 }
 
@@ -496,6 +676,41 @@ mod tests {
             segments + manifests < seeds.len(),
             "every seed decoded — torn seeds missing"
         );
+    }
+
+    #[test]
+    fn lpm_op_decoder_covers_every_verb_and_family() {
+        let seeds = seed_corpus("lpm_ops");
+        let mut verbs = [false; 4];
+        let mut v6 = false;
+        for seed in &seeds {
+            for frame in seed.chunks_exact(6) {
+                let op = decode_lpm_op(frame.try_into().unwrap());
+                match op {
+                    LpmOp::Insert(p, _) | LpmOp::Remove(p) | LpmOp::Exact(p) => {
+                        verbs[match op {
+                            LpmOp::Insert(..) => 0,
+                            LpmOp::Remove(..) => 1,
+                            _ => 3,
+                        }] = true;
+                        v6 |= p.af() == ipd_lpm::Af::V6;
+                    }
+                    LpmOp::Lookup(a) => {
+                        verbs[2] = true;
+                        v6 |= a.af() == ipd_lpm::Af::V6;
+                    }
+                }
+            }
+        }
+        assert_eq!(verbs, [true; 4], "seed corpus misses a verb");
+        assert!(v6, "seed corpus never reaches IPv6");
+    }
+
+    #[test]
+    fn lpm_ops_mutants_run_clean() {
+        // A short in-test mutation burst so the differential harness itself
+        // is exercised on garbage frames, not just on well-formed seeds.
+        run_target("lpm_ops", 7, 400, None);
     }
 
     #[test]

@@ -14,10 +14,19 @@
 //! * [`FlatLpm`] — the immutable, flattened read-side twin of [`LpmTrie`]:
 //!   contiguous nodes plus a 16-bit stride table, built once and shared
 //!   across reader threads by the serving layer (`ipd-serve`).
+//! * [`ConcurrentLpm`] — the mutable concurrent sibling: a stride-4
+//!   tree-bitmap store updated in place by one writer while readers perform
+//!   seqlock-validated lock-free lookups. This is the live serving table;
+//!   its consistency contract is proven by the deterministic interleaving
+//!   harness in `tests/interleave.rs`.
 //!
-//! The types are deliberately simple (no bit-twiddling cleverness, no unsafe):
-//! per the project's networking guide, robustness and obviousness beat
-//! micro-optimisation, and the trie is already far from the bottleneck.
+//! The sequential types are deliberately simple (no unsafe anywhere in the
+//! crate): per the project's networking guide, robustness and obviousness
+//! beat micro-optimisation. The concurrent store keeps that promise — it is
+//! built entirely from `std` atomics, `OnceLock` arenas, and a sequence lock,
+//! with the module doc spelling out the memory-ordering argument.
+
+pub mod concurrent;
 
 mod addr;
 mod flat;
@@ -25,6 +34,7 @@ mod prefix;
 mod trie;
 
 pub use addr::{Addr, Af};
+pub use concurrent::{ConcurrentLpm, Updater};
 pub use flat::FlatLpm;
 pub use prefix::{ParsePrefixError, Prefix};
 pub use trie::LpmTrie;

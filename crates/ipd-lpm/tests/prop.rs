@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use ipd_lpm::{Addr, Af, LpmTrie, Prefix};
+use ipd_lpm::{Addr, Af, ConcurrentLpm, LpmTrie, Prefix};
 use proptest::prelude::*;
 
 /// A naive model of an LPM table: a flat map, with lookup by linear scan.
@@ -140,6 +140,96 @@ proptest! {
             let want = trie.lookup(addr).map(|(p, v)| (p, *v));
             let got = flat.lookup(addr).map(|(p, v)| (p, *v));
             prop_assert_eq!(got, want, "divergence at {}", addr);
+        }
+    }
+
+    /// The concurrent tree-bitmap store agrees with [`LpmTrie`] under any
+    /// interleaved sequence of inserts, removals, and lookups — op by op,
+    /// and as a whole via the materialised row set.
+    #[test]
+    fn concurrent_matches_trie(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let store = ConcurrentLpm::new();
+        let mut trie = LpmTrie::new();
+        for op in ops {
+            match op {
+                Op::Insert(p, v) => {
+                    let mut u = store.update();
+                    prop_assert_eq!(u.insert(p, v), trie.insert(p, v).is_none());
+                }
+                Op::Remove(p) => {
+                    let mut u = store.update();
+                    prop_assert_eq!(u.remove(p), trie.remove(p).is_some());
+                }
+                Op::Lookup(a) => {
+                    let got = store.lookup(a).map(|(p, v)| (p, *v));
+                    prop_assert_eq!(got, trie.lookup(a).map(|(p, v)| (p, *v)));
+                }
+            }
+            prop_assert_eq!(store.len(), trie.len());
+        }
+        let mut rows = store.rows();
+        rows.sort();
+        let mut expect: Vec<(Prefix, u32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        expect.sort();
+        prop_assert_eq!(rows, expect);
+    }
+
+    /// K regioned concurrent stores routed on the top `log2(K)` address bits
+    /// (prefixes shorter than the routing depth replicated into every region
+    /// they cover — the serving layer's sharding rule) answer exactly like
+    /// one [`LpmTrie`] over the whole table, for K ∈ {1, 8}.
+    #[test]
+    fn sharded_concurrent_matches_trie(
+        ops in proptest::collection::vec(arb_op(), 1..150),
+    ) {
+        for k in [1usize, 8] {
+            let depth = k.trailing_zeros() as u8;
+            let regions: Vec<ConcurrentLpm<u32>> =
+                (0..k).map(|_| ConcurrentLpm::new()).collect();
+            let covered = |p: Prefix| -> std::ops::Range<usize> {
+                if depth == 0 {
+                    return 0..1;
+                }
+                let w = p.af().width();
+                let start = (p.addr().bits() >> (w - depth)) as usize;
+                if p.len() >= depth {
+                    start..start + 1
+                } else {
+                    start..start + (1usize << (depth - p.len()))
+                }
+            };
+            let region_of = |a: Addr| -> usize {
+                if depth == 0 { 0 } else { (a.bits() >> (a.af().width() - depth)) as usize }
+            };
+            let mut trie = LpmTrie::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert(p, v) => {
+                        trie.insert(p, v);
+                        for r in covered(p) {
+                            regions[r].update().insert(p, v);
+                        }
+                    }
+                    Op::Remove(p) => {
+                        trie.remove(p);
+                        for r in covered(p) {
+                            regions[r].update().remove(p);
+                        }
+                    }
+                    Op::Lookup(a) => {
+                        let got = regions[region_of(a)].lookup(a).map(|(p, v)| (p, *v));
+                        prop_assert_eq!(got, trie.lookup(a).map(|(p, v)| (p, *v)));
+                    }
+                }
+            }
+            // Region lens partition the table: a prefix shorter than the
+            // routing depth counts once per covered region.
+            let expect_total: usize = trie
+                .iter()
+                .map(|(p, _)| covered(p).len())
+                .sum();
+            let got_total: usize = regions.iter().map(|s| s.len()).sum();
+            prop_assert_eq!(got_total, expect_total, "K = {}", k);
         }
     }
 

@@ -1,42 +1,70 @@
-//! The publication seam: a [`PipelineHook`] that rebuilds the read-side
-//! [`IngressStore`] at every bucket close (and once more at end of stream,
-//! after the final tick) and swaps it in for readers.
+//! The publication seam: a [`PipelineHook`] that applies each closed
+//! bucket's *changes* to the in-place [`LiveStore`] — instead of rebuilding
+//! the whole table per epoch — and rotates in a compacted store when the
+//! concurrent arenas accumulate too much garbage.
 
 use ipd::pipeline::{BucketClock, PipelineHook};
-use ipd::IpdEngine;
+use ipd::{IpdEngine, Snapshot, StoreDelta};
 
-use crate::store::IngressStore;
+use crate::live::LiveStore;
 use crate::swap::EpochSwap;
 use crate::telemetry::ServeTelemetry;
 
-/// Publishes a fresh [`IngressStore`] into an [`EpochSwap`] on every bucket
-/// crossing and at stream close. Riding on the engine thread means each
-/// publication sees exactly the post-tick state of the closed bucket — the
-/// same well-defined point checkpoints capture — so an epoch is a bucket
-/// boundary, nothing in between.
+/// Garbage cells below this never trigger a rotation (rebuilds are pointless
+/// for small tables — the arenas are lazily chunked anyway).
+const REBUILD_MIN_GARBAGE: usize = 65_536;
+
+/// Publishes into a [`LiveStore`] on every bucket crossing and at stream
+/// close. Riding on the engine thread means each publication sees exactly
+/// the post-tick state of the closed bucket — the same well-defined point
+/// checkpoints capture — so an epoch is a bucket boundary, nothing in
+/// between.
+///
+/// Publication is incremental: the hook keeps the previously published
+/// [`Snapshot`], computes the [`StoreDelta`] against the new one, and
+/// applies only the changed rows. Route churn is localised and bursty
+/// (ROADMAP item 1), so per-bucket publish cost scales with the churn, not
+/// the 131k–1.2M-prefix table. The outer [`EpochSwap`] now rotates only on
+/// compaction rebuilds — when dead arena cells outgrow the live rows — with
+/// the store's own epoch numbering continuing across the rotation.
 pub struct ServePublisher {
-    swap: EpochSwap<IngressStore>,
+    swap: EpochSwap<LiveStore>,
+    regions: usize,
+    prev: Snapshot,
     metrics: ServeTelemetry,
 }
 
 impl ServePublisher {
-    /// A publisher starting from the empty store at epoch 0. Clone the
-    /// returned [`EpochSwap`] before boxing the publisher into
+    /// A single-region publisher starting from the empty store at epoch 0.
+    /// Clone the returned [`EpochSwap`] before boxing the publisher into
     /// `spawn_hooked` — it is the readers' handle.
     pub fn new() -> Self {
-        Self::with_metrics(ServeTelemetry::default())
+        Self::with_config(1, ServeTelemetry::default())
     }
 
     /// [`ServePublisher::new`] reporting into metric handles.
     pub fn with_metrics(metrics: ServeTelemetry) -> Self {
+        Self::with_config(1, metrics)
+    }
+
+    /// A publisher over `regions` store regions (power of two ≤ 256; pass
+    /// the engine's shard count so publication parallelises along the same
+    /// axis as ingest), reporting into `metrics`.
+    pub fn with_config(regions: usize, metrics: ServeTelemetry) -> Self {
         ServePublisher {
-            swap: EpochSwap::new(IngressStore::empty()),
+            swap: EpochSwap::new(LiveStore::new(regions)),
+            regions,
+            prev: Snapshot::default(),
             metrics,
         }
     }
 
-    /// The swap readers subscribe to.
-    pub fn swap(&self) -> EpochSwap<IngressStore> {
+    /// The swap readers subscribe to. Its [`Versioned::epoch`] counts store
+    /// *rotations*; the publication epoch lives on the store itself
+    /// ([`LiveStore::epoch`]).
+    ///
+    /// [`Versioned::epoch`]: crate::Versioned
+    pub fn swap(&self) -> EpochSwap<LiveStore> {
         self.swap.clone()
     }
 
@@ -44,20 +72,37 @@ impl ServePublisher {
     /// path, where there is no stream and the hook never fires. Same metric
     /// accounting as a hook-driven publication. Returns the new epoch.
     pub fn publish_now(&mut self, engine: &IpdEngine, ts: u64) -> u64 {
-        self.publish(engine, ts);
-        self.swap.epoch()
+        self.publish(engine, ts)
     }
 
-    fn publish(&mut self, engine: &IpdEngine, ts: u64) {
+    fn publish(&mut self, engine: &IpdEngine, ts: u64) -> u64 {
         let _timer = self.metrics.publish_duration.start_timer();
-        let store = IngressStore::from_engine(engine, ts);
-        self.metrics.store_entries.set(store.len() as i64);
+        let snapshot = engine.classified_snapshot(ts);
+        let delta = StoreDelta::between(&self.prev, &snapshot);
+        let current = self.swap.load();
+        let store = &current.value;
+        let garbage = store.garbage();
+        let epoch = if garbage >= REBUILD_MIN_GARBAGE && garbage > store.len() {
+            // Compaction rebuild: rotate in a fresh store built from the full
+            // snapshot; epoch numbering continues so readers stay monotonic.
+            let fresh = LiveStore::with_base_epoch(self.regions, store.epoch());
+            let epoch = fresh.publish_full(&snapshot);
+            self.metrics.rebuilds.inc();
+            self.swap.publish(fresh);
+            epoch
+        } else {
+            store.apply(&delta, ts)
+        };
+        self.metrics.changed.add(delta.change_count() as u64);
+        let current = self.swap.load();
+        self.metrics.store_entries.set(current.value.len() as i64);
         self.metrics
             .store_bytes
-            .set(store.memory_bytes().min(i64::MAX as usize) as i64);
-        let epoch = self.swap.publish(store);
+            .set(current.value.memory_bytes().min(i64::MAX as usize) as i64);
         self.metrics.epoch.set(epoch.min(i64::MAX as u64) as i64);
         self.metrics.published.inc();
+        self.prev = snapshot;
+        epoch
     }
 }
 
@@ -133,15 +178,29 @@ mod tests {
             }
         });
         // 6 minutes of data: 5 in-stream crossings + 1 close publication.
-        assert_eq!(swap.epoch(), 6);
+        // The publication epoch lives on the store; the swap only counts
+        // rotations (none here — no compaction at this size).
+        assert_eq!(swap.load().value.epoch(), 6);
+        assert_eq!(swap.epoch(), 0);
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("ipd_serve_published_total"), Some(6));
         assert_eq!(snap.gauge("ipd_serve_epoch"), Some(6));
+        assert_eq!(snap.counter("ipd_serve_store_rebuilds_total"), Some(0));
+        // Incremental cost: a stable stream republishes far fewer rows than
+        // 6 full tables' worth.
+        let changed = snap
+            .counter("ipd_serve_changed_prefixes_total")
+            .expect("changed counter");
+        let entries = snap.gauge("ipd_serve_store_entries").unwrap() as u64;
+        assert!(entries > 0);
+        assert!(
+            changed < 6 * entries,
+            "changed {changed} should undercut republishing {entries} rows 6 times"
+        );
 
         // The final published store answers like the final snapshot table.
         let mut reader = swap.reader();
         let current = reader.current();
-        assert_eq!(current.epoch, 6);
         let last = snapshots.last().expect("final snapshot");
         let table = last.lpm_table();
         assert!(!current.value.is_empty());
@@ -159,6 +218,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_publisher_matches_single_region() {
+        let mut plain = ServePublisher::new();
+        let mut sharded = ServePublisher::with_config(8, ServeTelemetry::default());
+        for hook in [&mut plain, &mut sharded] {
+            let mut engine = ipd::IpdEngine::new(test_params()).unwrap();
+            run_offline_with(&mut engine, two_half_flows(4), 1, None, hook, |_| {});
+        }
+        let a = plain.swap.load();
+        let b = sharded.swap.load();
+        assert_eq!(a.value.epoch(), b.value.epoch());
+        assert_eq!(a.value.len(), b.value.len());
+        let (ra, rb) = (a.value.rows(), b.value.rows());
+        assert_eq!(ra.len(), rb.len());
+        for ((pa, ia, ca), (pb, ib, cb)) in ra.iter().zip(rb.iter()) {
+            assert_eq!((pa, ia), (pb, ib));
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+    }
+
+    #[test]
     fn empty_stream_publishes_nothing() {
         let mut hook = ServePublisher::new();
         let swap = hook.swap();
@@ -172,7 +251,7 @@ mod tests {
             |_| {},
         );
         // closed() fires even with no flows, from the empty clock.
-        assert_eq!(swap.epoch(), 1);
+        assert_eq!(swap.load().value.epoch(), 1);
         assert!(swap.load().value.is_empty());
     }
 }

@@ -4,16 +4,23 @@
 //! traffic for IP x enter the ISP?"* — this crate answers that question
 //! **while the pipeline runs**, against the freshest closed bucket:
 //!
+//! * [`LiveStore`] — the served ingress map: regioned concurrent
+//!   tree-bitmap tries ([`ipd_lpm::ConcurrentLpm`]) updated **in place**
+//!   per publication; lookups are wait-free on the steady state and
+//!   seqlock-validated against in-flight updates.
 //! * [`IngressStore`] — an immutable, cache-friendly ingress map: a
 //!   flattened LPM table ([`ipd_lpm::FlatLpm`]) over one snapshot's
 //!   classified ranges, built from a live snapshot, an engine, or a
-//!   checkpoint on disk (no journal replay needed).
-//! * [`EpochSwap`] / [`Reader`] — atomic epoch-swapped publication:
-//!   the writer replaces whole stores; readers pay one atomic load per
-//!   lookup on the steady state and never take a lock on the lookup path.
+//!   checkpoint on disk (no journal replay needed). Still the shape used
+//!   for historical reconstruction and benches.
+//! * [`EpochSwap`] / [`Reader`] — atomic epoch-swapped publication, now
+//!   used only for compaction *rotations* of the [`LiveStore`]; readers
+//!   pay one atomic load per lookup on the steady state and never take a
+//!   lock on the lookup path.
 //! * [`ServePublisher`] — the [`ipd::pipeline::PipelineHook`] that rides
-//!   the engine thread and publishes a fresh store at every bucket close
-//!   (and once more after the final tick).
+//!   the engine thread and applies each bucket's [`ipd::StoreDelta`] to
+//!   the live store at every bucket close (and once more after the final
+//!   tick), so publish cost scales with route churn, not table size.
 //! * [`ServeServer`] / [`ServeClient`] — a threaded TCP front-end speaking
 //!   a length-prefixed binary protocol ([`proto`]) with single, batched,
 //!   and metadata queries; wired into `ipd-tool serve` / `ipd-tool query`.
@@ -31,17 +38,22 @@
 //!
 //! An **epoch** is a closed bucket: epoch N serves exactly the engine state
 //! after the ticks of the N-th published boundary, never anything mid-
-//! bucket. Readers are **at most one access stale**: the epoch a lookup is
-//! answered from is never older than the global epoch at the moment the
-//! reader checked. A store, once published, is immutable; it stays alive
-//! until the last reader drops it, so an in-flight batch is answered by
-//! one store even if ten epochs advance meanwhile. Lookups are
-//! bit-identical to querying `snapshot.lpm_table()` on the same boundary —
-//! the differential suite pins this for the plain and sharded engines.
+//! bucket. The store is updated **in place**, so the epoch a reader
+//! observes is a *floor*: any individual answer is at least as fresh as
+//! that epoch (it may already reflect rows of the publication in flight),
+//! and every answer equals some prefix of the applied update sequence —
+//! never a torn mix within one row. Readers are **at most one access
+//! stale**: the epoch a lookup is answered from is never older than the
+//! global epoch at the moment the reader checked. At a quiescent boundary,
+//! lookups are bit-identical to querying `snapshot.lpm_table()` — the
+//! differential suite pins this for the plain and sharded engines, and the
+//! `ipd-lpm` interleaving harness proves the no-torn-reads claim over
+//! thousands of distinct schedules (DESIGN.md §14).
 
 mod client;
 mod history;
 mod hook;
+mod live;
 pub mod proto;
 mod server;
 mod store;
@@ -51,6 +63,7 @@ mod telemetry;
 pub use client::{ClientError, RetryClient, RetryPolicy, ServeClient, ServeInfo};
 pub use history::HistoryProvider;
 pub use hook::ServePublisher;
+pub use live::LiveStore;
 pub use server::ServeServer;
 pub use store::{IngressAnswer, IngressStore};
 pub use swap::{EpochSwap, Reader, Versioned};

@@ -13,11 +13,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::history::HistoryProvider;
+use crate::live::LiveStore;
 use crate::proto::{
     decode_request, encode_response, frame, request_op, Request, Response, WireAnswer, WireChange,
     MAX_DIFF, MAX_FRAME,
 };
-use crate::store::IngressStore;
 use crate::swap::{EpochSwap, Reader};
 use crate::telemetry::ServeTelemetry;
 
@@ -45,7 +45,7 @@ impl ServeServer {
     /// attach a store.
     pub fn serve(
         addr: &str,
-        swap: EpochSwap<IngressStore>,
+        swap: EpochSwap<LiveStore>,
         metrics: ServeTelemetry,
     ) -> std::io::Result<ServeServer> {
         Self::serve_with_history(addr, swap, metrics, None)
@@ -55,7 +55,7 @@ impl ServeServer {
     /// and `DiffRange` are answered from `history`.
     pub fn serve_with_history(
         addr: &str,
-        swap: EpochSwap<IngressStore>,
+        swap: EpochSwap<LiveStore>,
         metrics: ServeTelemetry,
         history: Option<Arc<dyn HistoryProvider>>,
     ) -> std::io::Result<ServeServer> {
@@ -193,7 +193,7 @@ fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> std::io::Result<Read
 
 fn handle_conn(
     mut stream: TcpStream,
-    mut reader: Reader<IngressStore>,
+    mut reader: Reader<LiveStore>,
     history: Option<Arc<dyn HistoryProvider>>,
     metrics: &ServeTelemetry,
     stop: &AtomicBool,
@@ -216,10 +216,13 @@ fn handle_conn(
         };
         metrics.requests.inc();
         let op = request_op(&req);
-        // One consistent epoch per response: every answer in it comes from
-        // the same published store. The Arc form keeps the reader free for
-        // the WaitEpoch arm to re-poll.
+        // The store updates in place, so the epoch stamped on a response is
+        // a *floor*: it is read before the lookups, and any answer is at
+        // least that fresh (per-row seqlock validation rules out torn
+        // mixes). The Arc form keeps the reader free for the WaitEpoch arm
+        // to re-poll, and pins the store across a compaction rotation.
         let current = reader.current_arc();
+        let epoch = current.value.epoch();
         let resp = match &req {
             Request::Lookup(addr) => {
                 let timer = metrics.lookup_duration.start_timer();
@@ -230,7 +233,7 @@ fn handle_conn(
                     metrics.unmapped.inc();
                 }
                 Response::Answers {
-                    epoch: current.epoch,
+                    epoch,
                     answers: vec![answer],
                 }
             }
@@ -246,13 +249,10 @@ fn handle_conn(
                 metrics
                     .unmapped
                     .add(answers.iter().filter(|a| !a.is_mapped()).count() as u64);
-                Response::Answers {
-                    epoch: current.epoch,
-                    answers,
-                }
+                Response::Answers { epoch, answers }
             }
             Request::Info => Response::Info {
-                epoch: current.epoch,
+                epoch,
                 ts: current.value.ts(),
                 entries: current.value.len() as u64,
                 memory_bytes: current.value.memory_bytes() as u64,
@@ -298,10 +298,12 @@ fn handle_conn(
                 // Park until the published epoch reaches the target, the
                 // server stops, or the wait cap expires — then answer with
                 // whatever is current, in the Info shape. The caller
-                // distinguishes success by `epoch >= min_epoch`.
+                // distinguishes success by `epoch >= min_epoch`. The store
+                // epoch advances in place, so the poll re-reads it each
+                // round and also refreshes the reader to catch a rotation.
                 let deadline = Instant::now() + WAIT_EPOCH_MAX;
                 let mut current = current;
-                while current.epoch < *min_epoch
+                while current.value.epoch() < *min_epoch
                     && !stop.load(Ordering::SeqCst)
                     && Instant::now() < deadline
                 {
@@ -309,7 +311,7 @@ fn handle_conn(
                     current = reader.current_arc();
                 }
                 Response::Info {
-                    epoch: current.epoch,
+                    epoch: current.value.epoch(),
                     ts: current.value.ts(),
                     entries: current.value.len() as u64,
                     memory_bytes: current.value.memory_bytes() as u64,
@@ -325,12 +327,13 @@ mod tests {
     use super::*;
     use crate::client::ServeClient;
     use crate::proto::AnswerKind;
-    use ipd::{IpdEngine, IpdParams};
+    use crate::store::IngressStore;
+    use ipd::{IpdEngine, IpdParams, Snapshot, StoreDelta};
     use ipd_lpm::Addr;
     use ipd_telemetry::Telemetry;
     use ipd_topology::IngressPoint;
 
-    fn classified_store() -> IngressStore {
+    fn classified_snapshot() -> Snapshot {
         let params = IpdParams {
             ncidr_factor_v4: 0.01,
             ..IpdParams::default()
@@ -347,19 +350,26 @@ mod tests {
         }
         e.tick(60);
         e.tick(61);
-        IngressStore::from_engine(&e, 61)
+        e.classified_snapshot(61)
+    }
+
+    /// A live store holding `classified_snapshot` at epoch 1.
+    fn classified_live() -> LiveStore {
+        let store = LiveStore::new(1);
+        store.publish_full(&classified_snapshot());
+        store
     }
 
     #[test]
     fn serves_lookups_batches_and_info() {
         let telemetry = Telemetry::new();
         let metrics = ServeTelemetry::register(&telemetry);
-        let swap = EpochSwap::new(classified_store());
+        let swap = EpochSwap::new(classified_live());
         let server = ServeServer::serve("127.0.0.1:0", swap.clone(), metrics).expect("bind");
         let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
         let (epoch, answer) = client.lookup(Addr::v4(0x0100_0000)).unwrap();
-        assert_eq!(epoch, 0);
+        assert_eq!(epoch, 1);
         assert_eq!(
             (answer.kind, answer.router, answer.ifindex),
             (AnswerKind::Link, 1, 1)
@@ -375,15 +385,17 @@ mod tests {
         assert_eq!(answers[2].kind, AnswerKind::Unmapped);
 
         let info = client.info().unwrap();
-        assert_eq!(info.epoch, 0);
+        assert_eq!(info.epoch, 1);
         assert_eq!(info.ts, 61);
         assert!(info.entries >= 2);
         assert!(info.memory_bytes > 0);
 
-        // A publish is visible to the same (persistent) connection.
-        swap.publish(IngressStore::empty());
+        // An in-place publication (here: retract everything) is visible to
+        // the same persistent connection without any store rotation.
+        let retract = StoreDelta::between(&classified_snapshot(), &Snapshot::default());
+        swap.load().value.apply(&retract, 62);
         let (epoch, answer) = client.lookup(Addr::v4(0x0100_0000)).unwrap();
-        assert_eq!(epoch, 1);
+        assert_eq!(epoch, 2);
         assert_eq!(answer.kind, AnswerKind::Unmapped);
 
         let snap = telemetry.snapshot();
@@ -428,9 +440,9 @@ mod tests {
 
     #[test]
     fn serves_time_travel_ops_from_a_history_provider() {
-        let store = classified_store();
+        let store = IngressStore::from_snapshot(&classified_snapshot());
         let held = store.len();
-        let swap = EpochSwap::new(IngressStore::empty());
+        let swap = EpochSwap::new(LiveStore::new(1));
         let history: Arc<dyn HistoryProvider> = Arc::new(FixedHistory { store });
         let server = ServeServer::serve_with_history(
             "127.0.0.1:0",
@@ -468,7 +480,7 @@ mod tests {
 
     #[test]
     fn without_history_time_travel_ops_answer_unknown() {
-        let swap = EpochSwap::new(classified_store());
+        let swap = EpochSwap::new(classified_live());
         let server =
             ServeServer::serve("127.0.0.1:0", swap, ServeTelemetry::default()).expect("bind");
         let mut client = ServeClient::connect(server.local_addr()).expect("connect");
@@ -479,7 +491,7 @@ mod tests {
 
     #[test]
     fn wait_epoch_parks_until_publication() {
-        let swap = EpochSwap::new(IngressStore::empty());
+        let swap = EpochSwap::new(LiveStore::new(1));
         let server = ServeServer::serve("127.0.0.1:0", swap.clone(), ServeTelemetry::default())
             .expect("bind");
         let mut client = ServeClient::connect(server.local_addr()).expect("connect");
@@ -488,14 +500,19 @@ mod tests {
         let info = client.wait_epoch(0).unwrap();
         assert_eq!(info.epoch, 0);
 
-        // Publish from another thread after a delay; the wait must observe it.
+        // Advance the epoch from another thread after a delay — once in
+        // place, once via a compaction-style rotation. The parked wait must
+        // observe both kinds.
         let publisher = {
             let swap = swap.clone();
             std::thread::spawn(move || {
+                let snap = classified_snapshot();
                 std::thread::sleep(Duration::from_millis(300));
-                swap.publish(classified_store());
+                swap.load().value.publish_full(&snap); // in-place: epoch 1
                 std::thread::sleep(Duration::from_millis(300));
-                swap.publish(IngressStore::empty());
+                let fresh = LiveStore::with_base_epoch(1, swap.load().value.epoch());
+                fresh.publish_full(&snap); // rotation: epoch 2
+                swap.publish(fresh);
             })
         };
         let info = client.wait_epoch(2).unwrap();
@@ -508,7 +525,7 @@ mod tests {
     fn malformed_frame_closes_connection_and_counts() {
         let telemetry = Telemetry::new();
         let metrics = ServeTelemetry::register(&telemetry);
-        let swap = EpochSwap::new(IngressStore::empty());
+        let swap = EpochSwap::new(LiveStore::new(1));
         let server = ServeServer::serve("127.0.0.1:0", swap, metrics).expect("bind");
 
         let mut s = TcpStream::connect(server.local_addr()).unwrap();
@@ -527,7 +544,7 @@ mod tests {
 
     #[test]
     fn shutdown_joins_with_idle_connection_open() {
-        let swap = EpochSwap::new(IngressStore::empty());
+        let swap = EpochSwap::new(LiveStore::new(1));
         let server =
             ServeServer::serve("127.0.0.1:0", swap, ServeTelemetry::default()).expect("bind");
         // An idle client holding its connection open must not wedge shutdown.

@@ -21,6 +21,13 @@ pub struct ServeTelemetry {
     /// `ipd_serve_publish_nanoseconds` — snapshot + store build + swap wall
     /// time per publication.
     pub publish_duration: Histogram,
+    /// `ipd_serve_changed_prefixes_total` — rows upserted or removed by
+    /// incremental publications; per-bucket publish cost tracks this, not
+    /// the table size.
+    pub changed: Counter,
+    /// `ipd_serve_store_rebuilds_total` — compaction rebuilds (full store
+    /// rotations triggered by arena garbage crossing the threshold).
+    pub rebuilds: Counter,
     /// `ipd_serve_connections_total` — query connections accepted.
     pub connections: Counter,
     /// `ipd_serve_requests_total` — request frames decoded.
@@ -68,6 +75,14 @@ impl ServeTelemetry {
             publish_duration: telemetry.timing(
                 "ipd_serve_publish_nanoseconds",
                 "Snapshot + store build + swap wall time per publication",
+            ),
+            changed: telemetry.counter(
+                "ipd_serve_changed_prefixes_total",
+                "Rows upserted or removed by incremental publications",
+            ),
+            rebuilds: telemetry.counter(
+                "ipd_serve_store_rebuilds_total",
+                "Compaction rebuilds of the live store",
             ),
             connections: telemetry
                 .counter("ipd_serve_connections_total", "Query connections accepted"),

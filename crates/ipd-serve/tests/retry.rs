@@ -16,11 +16,11 @@ use std::time::Duration;
 use ipd::{IpdEngine, IpdParams};
 use ipd_lpm::Addr;
 use ipd_serve::{
-    ClientError, EpochSwap, IngressStore, RetryClient, RetryPolicy, ServeServer, ServeTelemetry,
+    ClientError, EpochSwap, LiveStore, RetryClient, RetryPolicy, ServeServer, ServeTelemetry,
 };
 use ipd_topology::IngressPoint;
 
-fn classified_store() -> IngressStore {
+fn classified_store() -> LiveStore {
     let params = IpdParams {
         ncidr_factor_v4: 0.01,
         ..IpdParams::default()
@@ -37,7 +37,9 @@ fn classified_store() -> IngressStore {
     }
     e.tick(60);
     e.tick(61);
-    IngressStore::from_engine(&e, 61)
+    let store = LiveStore::new(1);
+    store.publish_full(&e.classified_snapshot(61));
+    store
 }
 
 fn fast_policy(attempts: u32) -> RetryPolicy {

@@ -1,11 +1,16 @@
 //! Concurrency soak: reader threads (in-process and over TCP) hammer
-//! lookups while the pipeline publishes epochs underneath them. Asserts the
-//! serving contract — no torn store, no answer stale beyond the epoch
-//! observed at entry, per-reader epoch monotonicity — and that `finish()`
-//! still terminates with a hook attached and the output receiver taken
-//! (regression guard on the bounded-channel wind-down deadlock fix).
+//! lookups while the pipeline applies churned publications to the live
+//! store underneath them. Asserts the serving contract — per-reader epoch
+//! monotonicity, ≤1-access staleness (the epoch answered from is never
+//! older than the store epoch observed at entry), internally consistent
+//! answers mid-apply — and that `finish()` still terminates with a hook
+//! attached and the output receiver taken (regression guard on the
+//! bounded-channel wind-down deadlock fix).
+//!
+//! The stream is the 100k-tier DFZ world with active route churn, so the
+//! in-place deltas exercise upserts, removes, and flapping reassignments —
+//! not just monotone growth.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,36 +20,38 @@ use ipd::IpdParams;
 use ipd_lpm::Addr;
 use ipd_netflow::FlowRecord;
 use ipd_serve::{ServeClient, ServePublisher, ServeServer, ServeTelemetry};
-use ipd_traffic::{FlowSim, SimConfig, World, WorldConfig};
+use ipd_traffic::{DfzConfig, DfzWorld};
 
-fn trace(minutes: u64) -> Vec<FlowRecord> {
-    let world = World::generate(WorldConfig::default(), 42);
-    let mut sim = FlowSim::new(
-        world,
-        SimConfig {
-            flows_per_minute: 2_000,
-            seed: 11,
-            ..SimConfig::default()
-        },
+/// The churned 100k-tier stream at a rate the tier-1 suite can afford.
+fn churned_trace(minutes: u64) -> (Vec<FlowRecord>, IpdParams) {
+    let mut cfg = DfzConfig::tier_100k(31);
+    cfg.flows_per_minute = 20_000;
+    let world = DfzWorld::new(cfg);
+    assert!(
+        world
+            .churn_events(cfg.epoch, cfg.epoch + minutes * 60)
+            .next()
+            .is_some(),
+        "churn must be active during the soak window"
     );
-    let mut out = Vec::new();
-    for _ in 0..minutes {
-        out.extend(sim.next_minute().flows.into_iter().map(|lf| lf.flow));
-    }
-    out
+    let flows: Vec<FlowRecord> = world.flows(minutes).map(|lf| lf.flow).collect();
+    let rate = cfg.flows_per_minute as f64;
+    let params = IpdParams {
+        ncidr_factor_v4: 64.0 / 32.0e6 * rate,
+        ncidr_factor_v6: (rate * 1.5e-11).max(1e-9),
+        ..IpdParams::default()
+    };
+    (flows, params)
 }
 
 #[test]
 fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
+    let (flows, params) = churned_trace(8);
     let publisher = ServePublisher::with_metrics(ServeTelemetry::default());
     let swap = publisher.swap();
     let pipeline = IpdPipeline::spawn_hooked(
         PipelineConfig {
-            params: IpdParams {
-                ncidr_factor_v4: 64.0 / 32.0e6 * 2_000.0,
-                ncidr_factor_v6: 1e-12,
-                ..IpdParams::default()
-            },
+            params,
             channel_capacity: 4,
             snapshot_every_ticks: 1,
             ..Default::default()
@@ -66,8 +73,8 @@ fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
     let done = Arc::new(AtomicBool::new(false));
     let max_seen = Arc::new(AtomicU64::new(0));
 
-    // In-process readers: the sharpest view of the swap's guarantees.
-    let in_process: Vec<_> = (0..4)
+    // In-process readers: the sharpest view of the live store's guarantees.
+    let in_process: Vec<_> = (0..8)
         .map(|r| {
             let swap = swap.clone();
             let done = Arc::clone(&done);
@@ -75,29 +82,41 @@ fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
             std::thread::spawn(move || {
                 let mut reader = swap.reader();
                 let mut last_epoch = 0u64;
-                // First `ts` observed per epoch: published stores are
-                // immutable, so any second observation must be identical —
-                // a torn or recycled store would trip this.
-                let mut ts_by_epoch: HashMap<u64, u64> = HashMap::new();
+                let mut last_ts = 0u64;
                 let mut checks = 0u64;
                 while !done.load(Ordering::Relaxed) {
-                    let floor = swap.epoch();
+                    // ≤1-access staleness: the epoch answered from is never
+                    // older than the global store epoch at entry.
+                    let floor = swap.load().value.epoch();
                     let v = reader.current();
+                    let epoch = v.value.epoch();
                     assert!(
-                        v.epoch >= floor,
+                        epoch >= floor,
                         "reader {r}: answer stale beyond the entry epoch"
                     );
-                    assert!(v.epoch >= last_epoch, "reader {r}: epoch went backwards");
-                    last_epoch = v.epoch;
+                    assert!(epoch >= last_epoch, "reader {r}: epoch went backwards");
+                    last_epoch = epoch;
+                    // The publication stamp moves with data time, forward
+                    // only — an in-place apply must never rewind it.
                     let ts = v.value.ts();
-                    let first = *ts_by_epoch.entry(v.epoch).or_insert(ts);
-                    assert_eq!(first, ts, "reader {r}: epoch {} mutated", v.epoch);
-                    // Exercise the lookup path; the result only has to be
-                    // internally consistent with this immutable store.
+                    assert!(ts >= last_ts, "reader {r}: publication ts went backwards");
+                    last_ts = ts;
+                    // Exercise the lookup path mid-churn. The store mutates
+                    // in place, so two reads may legally differ — but each
+                    // answer must be internally consistent: a covering
+                    // range with a sane confidence, never a torn mix.
                     let probe = Addr::v4((checks as u32).wrapping_mul(0x9E37_79B9));
-                    let a = v.value.lookup(probe).map(|a| (a.prefix, a.ingress.clone()));
-                    let b = v.value.lookup(probe).map(|a| (a.prefix, a.ingress.clone()));
-                    assert_eq!(a, b, "reader {r}: same store answered differently");
+                    if let Some(a) = v.value.lookup(probe) {
+                        assert!(
+                            a.prefix.contains(probe),
+                            "reader {r}: answered range does not cover the probe"
+                        );
+                        assert!(
+                            a.confidence.is_finite() && a.confidence > 0.0,
+                            "reader {r}: torn confidence {}",
+                            a.confidence
+                        );
+                    }
                     checks += 1;
                 }
                 max_seen.fetch_max(last_epoch, Ordering::Relaxed);
@@ -132,7 +151,7 @@ fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
     // Feed the trace in small batches so publications interleave with the
     // readers above.
     let tx = pipeline.input();
-    for chunk in trace(8).chunks(500) {
+    for chunk in flows.chunks(500) {
         tx.send(chunk.to_vec()).unwrap();
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -160,7 +179,7 @@ fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
     assert!(outputs_seen > 0, "ticks and snapshots flowed");
 
     // Let readers observe the final epoch before stopping them.
-    let final_epoch = swap.epoch();
+    let final_epoch = swap.load().value.epoch();
     assert!(final_epoch >= 8, "8 minutes publish at least 8 epochs");
     std::thread::sleep(Duration::from_millis(50));
     done.store(true, Ordering::Relaxed);
@@ -176,9 +195,23 @@ fn readers_never_see_torn_or_regressing_state_and_finish_terminates() {
         "readers converged on the terminal epoch"
     );
 
-    // The terminal published store answers like the terminal engine state.
+    // The terminal published store answers like the terminal engine state,
+    // rows bit-identical to the engine's own classified snapshot.
     let terminal = swap.load();
-    let table = engine.snapshot(terminal.value.ts()).lpm_table();
+    let snapshot = engine.classified_snapshot(terminal.value.ts());
+    let table = snapshot.lpm_table();
+    assert!(
+        !terminal.value.is_empty(),
+        "the churned tier classified rows"
+    );
     assert_eq!(terminal.value.len(), table.len());
+    for (p, ing, conf) in terminal.value.rows() {
+        let rec = snapshot
+            .classified()
+            .find(|r| r.range == p)
+            .unwrap_or_else(|| panic!("store row {p} not in the engine snapshot"));
+        assert_eq!(Some(&ing), rec.ingress.as_ref());
+        assert_eq!(conf.to_bits(), rec.confidence.to_bits());
+    }
     server.shutdown();
 }

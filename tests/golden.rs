@@ -10,9 +10,10 @@
 //! or not — this test is the tripwire. Update the constants only for an
 //! *intentional* behavior change, and say so in the commit.
 
-use ipd_suite::ipd::pipeline::{run_offline, PipelineOutput};
-use ipd_suite::ipd::{IpdEngine, IpdParams, ShardedEngine, Snapshot};
+use ipd_suite::ipd::pipeline::{run_offline, run_offline_with, PipelineOutput};
+use ipd_suite::ipd::{IpdEngine, IpdParams, LogicalIngress, ShardedEngine, Snapshot};
 use ipd_suite::netflow::FlowRecord;
+use ipd_suite::serve::{ServePublisher, ServeTelemetry};
 use ipd_suite::traffic::{FlowSim, SimConfig, World, WorldConfig};
 
 const SEED: u64 = 1337;
@@ -24,6 +25,12 @@ const GOLDEN_DIGEST: u64 = 0x05f1_51da_17d1_52db;
 const GOLDEN_FLOWS: u64 = 47_706;
 const GOLDEN_TICKS: u64 = 13;
 const GOLDEN_CLASSIFICATIONS: u64 = 3_980;
+
+/// FNV-1a over the concurrent live store's terminal rows after the same
+/// run is published incrementally (delta per bucket) through
+/// `ServePublisher` — the concurrent-store counterpart of
+/// [`GOLDEN_DIGEST`], pinned for both 1 and 8 store regions.
+const GOLDEN_STORE_DIGEST: u64 = 0x8fbf_9ec1_038c_7eba;
 
 fn golden_params() -> IpdParams {
     IpdParams {
@@ -96,4 +103,87 @@ fn golden_digest_is_shard_count_invariant() {
     let mut outputs = Vec::new();
     run_offline(&mut engine, flows.iter().cloned(), 5, |o| outputs.push(o));
     assert_eq!(last_snapshot(outputs).digest(), GOLDEN_DIGEST);
+}
+
+/// Canonical FNV-1a encoding of the live store's materialised rows: address
+/// family, prefix bits, length, ingress shape, and the exact confidence bit
+/// pattern. Any behavior drift in the concurrent store's insert/remove/rows
+/// path — or in the delta publication feeding it — moves this digest.
+fn store_rows_digest(rows: &[(ipd_suite::lpm::Prefix, LogicalIngress, f64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (p, ing, conf) in rows {
+        eat(&[p.af().width(), p.len()]);
+        eat(&p.addr().bits().to_be_bytes());
+        let members = ing.members();
+        eat(&[
+            matches!(ing, LogicalIngress::Bundle(_)) as u8,
+            members.len() as u8,
+        ]);
+        eat(&ing.router().to_be_bytes());
+        for m in members {
+            eat(&m.ifindex.to_be_bytes());
+        }
+        eat(&conf.to_bits().to_be_bytes());
+    }
+    h
+}
+
+/// The golden run published *incrementally* through the concurrent store:
+/// one delta per bucket close, terminal rows bit-identical to the terminal
+/// snapshot's classified set, digest pinned and region-count invariant.
+#[test]
+fn golden_live_store_digest_is_stable_and_region_invariant() {
+    let flows = golden_flows();
+    for regions in [1usize, 8] {
+        let mut hook = ServePublisher::with_config(regions, ServeTelemetry::default());
+        let swap = hook.swap();
+        let mut engine = IpdEngine::new(golden_params()).unwrap();
+        let mut outputs = Vec::new();
+        run_offline_with(
+            &mut engine,
+            flows.iter().cloned(),
+            5,
+            None,
+            &mut hook,
+            |o| outputs.push(o),
+        );
+        let store = swap.load();
+        assert_eq!(
+            store.value.epoch(),
+            GOLDEN_TICKS,
+            "one epoch per closed bucket, including the final flush"
+        );
+        let rows = store.value.rows();
+
+        // Terminal rows == the terminal snapshot's classified set, bit for
+        // bit — the incremental path converged exactly.
+        let snap = last_snapshot(outputs);
+        let mut want: Vec<_> = snap
+            .classified()
+            .filter_map(|r| {
+                r.ingress
+                    .as_ref()
+                    .map(|ing| (r.range, ing.clone(), r.confidence))
+            })
+            .collect();
+        want.sort_by_key(|&(p, _, _)| p);
+        assert_eq!(rows.len(), want.len(), "regions {regions}: row count");
+        for ((gp, gi, gc), (wp, wi, wc)) in rows.iter().zip(&want) {
+            assert_eq!((gp, gi), (wp, wi), "regions {regions}: row mismatch");
+            assert_eq!(gc.to_bits(), wc.to_bits(), "regions {regions}: confidence");
+        }
+
+        assert_eq!(
+            store_rows_digest(&rows),
+            GOLDEN_STORE_DIGEST,
+            "regions {regions}: live-store digest drifted ({} rows)",
+            rows.len()
+        );
+    }
 }
