@@ -37,15 +37,23 @@ use ipd_bgp::write_dump;
 use ipd_hist::{HistConfig, HistPublisher, HistStore, HistTelemetry};
 use ipd_lpm::Addr;
 use ipd_netflow::{FlowRecord, TraceReader, TraceWriter};
-use ipd_serve::proto::AnswerKind;
-use ipd_serve::{HistoryProvider, ServeClient, ServePublisher, ServeServer, ServeTelemetry};
+use ipd_serve::proto::{AnswerKind, WireAnswer};
+use ipd_serve::{
+    ClientPool, HistoryProvider, RetryPolicy, ServeClient, ServePublisher, ServeServer,
+    ServeTelemetry,
+};
+use ipd_spoof::{
+    run_offline, MapView, RouteExpect, SpoofDetector, SpoofReport, SpoofRunConfig, SpoofTelemetry,
+    VerdictDigest, VerdictRecord,
+};
 use ipd_state::{read_journal, CheckpointStore, Durable, DurableConfig};
 use ipd_telemetry::{MetricsServer, Telemetry};
-use ipd_traffic::{DfzConfig, DfzWorld, FlowSim, SimConfig, World, WorldConfig};
+use ipd_topology::IngressPoint;
+use ipd_traffic::{DfzConfig, DfzWorld, FlowSim, SimConfig, SpoofScenario, World, WorldConfig};
 use std::sync::Arc;
 
 const USAGE: &str =
-    "usage: ipd-tool <simulate|run|lookup|info|checkpoint|restore|serve|query> [--options]
+    "usage: ipd-tool <simulate|run|lookup|info|checkpoint|restore|serve|query|spoof|hist> [--options]
   simulate   --out FILE [--minutes N] [--flows-per-minute N] [--seed N] [--bgp-dump FILE]
   run        --trace FILE [--q Q] [--cidr-max N] [--factor F] [--shards K] [--table3 FILE]
              [--checkpoint-dir DIR] [--checkpoint-every BUCKETS] [--retain N] [--limit N]
@@ -63,6 +71,11 @@ const USAGE: &str =
              [--hist-dir DIR]       (record every epoch; answer QueryAt/DiffRange)
   query      --server HOST:PORT [--addr A,B,...] [--info]
              [--at-epoch N] [--diff FROM,TO] [--wait-epoch N]
+  spoof      --scale dfz|100k|10k [scale knobs] [--shards K] [--window-secs S]
+             [--spoof-share F] [--shift-share F] [--shift-lag-secs S]
+             [--server HOST:PORT [--pool N] | --from-checkpoint DIR]
+             (judge a labeled scenario stream: offline deployment loop by
+              default, or against a live server / a frozen checkpointed map)
   hist record   --dir DIR (--trace FILE | --scale dfz|100k|10k [scale knobs])
                 [--shards K] [--keyframe-every K]
   hist info     --dir DIR
@@ -112,6 +125,7 @@ fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "restore" => restore(&args),
         "serve" => serve(&args),
         "query" => query(&args),
+        "spoof" => spoof(&args),
         "hist-record" => hist_record(&args),
         "hist-info" => hist_info(&args),
         "hist-query-at" => hist_query_at(&args),
@@ -881,6 +895,217 @@ fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         print_wire_answer(*addr, a);
     }
     Ok(())
+}
+
+/// Resolve the scenario + detector knobs shared by every `spoof` mode.
+fn spoof_scenario(args: &Args) -> Result<(SpoofScenario, u64, u64), Box<dyn std::error::Error>> {
+    let (dfz, minutes) = dfz_config(args)?;
+    let mut scenario = SpoofScenario::mixed(dfz);
+    scenario.spoof_share = args.get_or("spoof-share", scenario.spoof_share)?;
+    scenario.shift_share = args.get_or("shift-share", scenario.shift_share)?;
+    scenario.shift_lag_secs = args.get_or("shift-lag-secs", scenario.shift_lag_secs)?;
+    let window_secs: u64 = args.get_or("window-secs", 300)?;
+    Ok((scenario, minutes, window_secs))
+}
+
+/// The machine-readable summary every `spoof` mode ends with; the CI
+/// smoke job greps these lines, so keys and formats are load-bearing.
+fn print_spoof_report(r: &SpoofReport) {
+    println!("flows: {}", r.flows);
+    println!(
+        "verdicts: consistent {} spoofed {} catchment-shift {}",
+        r.verdicts[0], r.verdicts[1], r.verdicts[2]
+    );
+    println!("precision: {:.4}", r.precision());
+    println!("recall: {:.4}", r.recall());
+    println!("f1: {:.4}", r.f1());
+    println!("shift_non_spoofed: {:.4}", r.shift_non_spoofed());
+    println!("digest: {:#018x}", r.digest);
+}
+
+/// How a [`WireAnswer`] relates to the ingress a flow arrived at. A bundle
+/// answer carries only its lowest member interface over the wire, so bundle
+/// matching degrades to router equality — the same router is by definition
+/// where every member interface terminates.
+fn wire_view(a: &WireAnswer, observed: IngressPoint) -> MapView {
+    match a.kind {
+        AnswerKind::Unmapped => MapView::Unmapped,
+        AnswerKind::Link if a.router == observed.router && a.ifindex == observed.ifindex => {
+            MapView::Match
+        }
+        AnswerKind::Bundle if a.router == observed.router => MapView::Match,
+        _ => MapView::Mismatch,
+    }
+}
+
+/// `spoof`: judge a labeled scenario stream. Three map sources share one
+/// detector: the offline deployment loop (engine + live publication, the
+/// exact shape `ipd-spoof` pins golden), a running `serve` instance
+/// (batched lookups through a bounded connection pool), or the newest
+/// durable checkpoint (one frozen epoch, no replay).
+fn spoof(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (scenario, minutes, window_secs) = spoof_scenario(args)?;
+    eprintln!(
+        "spoof: {} v4 + {} v6 prefixes, {} flows/min x {minutes} min, shares spoof {:.3} shift {:.3} (lag {}s), window {window_secs}s",
+        scenario.dfz.plan.v4_prefixes,
+        scenario.dfz.plan.v6_prefixes,
+        scenario.dfz.flows_per_minute,
+        scenario.spoof_share,
+        scenario.shift_share,
+        scenario.shift_lag_secs,
+    );
+
+    let report = if let Some(server) = args.get("server") {
+        spoof_against_server(args, server, &scenario, minutes, window_secs)?
+    } else if let Some(dir) = args.get("from-checkpoint") {
+        spoof_against_checkpoint(dir, &scenario, minutes, window_secs)?
+    } else {
+        let cfg = SpoofRunConfig {
+            scenario,
+            minutes,
+            shards: args.get_or("shards", 1)?,
+            window_secs,
+            snapshot_every_ticks: SNAPSHOT_EVERY_TICKS,
+        };
+        eprintln!(
+            "spoof: offline deployment loop, shards={}, publishing every bucket close",
+            cfg.shards
+        );
+        run_offline(&cfg, &SpoofTelemetry::default())
+    };
+    print_spoof_report(&report);
+    Ok(())
+}
+
+/// Judge the scenario against whatever map a running `serve` holds. Lookups
+/// go out in batches through a [`ClientPool`], so a slow or restarting
+/// server costs reconnects, not verdicts.
+fn spoof_against_server(
+    args: &Args,
+    server: &str,
+    scenario: &SpoofScenario,
+    minutes: u64,
+    window_secs: u64,
+) -> Result<SpoofReport, Box<dyn std::error::Error>> {
+    const BATCH: usize = 256;
+    let pool = ClientPool::new(server, args.get_or("pool", 2)?, RetryPolicy::default())?;
+    let world = DfzWorld::new(scenario.dfz);
+    let detector = SpoofDetector::new(
+        RouteExpect::new(&world, window_secs),
+        SpoofTelemetry::default(),
+    );
+    eprintln!(
+        "spoof: judging against live map at {server} (pool of {}, batches of {BATCH})",
+        pool.capacity()
+    );
+
+    let mut scorer = SpoofScorer::default();
+    let mut pending = Vec::with_capacity(BATCH);
+    let mut stream = scenario.stream(&world, minutes);
+    loop {
+        pending.clear();
+        pending.extend(stream.by_ref().take(BATCH));
+        if pending.is_empty() {
+            break;
+        }
+        let addrs: Vec<Addr> = pending.iter().map(|sf| sf.flow.src).collect();
+        let (epoch, answers) = pool.checkout().batch(&addrs)?;
+        for (sf, a) in pending.iter().zip(&answers) {
+            let observed = IngressPoint::new(sf.flow.router, sf.flow.input_if);
+            let map = wire_view(a, observed);
+            scorer.judge(&detector, sf, observed, map, epoch);
+        }
+    }
+    Ok(scorer.finish(pool.checkout().info()?.epoch))
+}
+
+/// Judge the scenario against the newest durable checkpoint: one frozen
+/// epoch published into a local [`LiveStore`](ipd_serve::LiveStore), no
+/// replay, no network.
+fn spoof_against_checkpoint(
+    dir: &str,
+    scenario: &SpoofScenario,
+    minutes: u64,
+    window_secs: u64,
+) -> Result<SpoofReport, Box<dyn std::error::Error>> {
+    let store = CheckpointStore::open(dir)?;
+    let (seq, engine, clock) = store
+        .latest_engine()?
+        .ok_or("no restorable checkpoint in the state directory")?;
+    let ts = clock
+        .current_bucket
+        .map_or(0, |b| b * engine.params().t_secs);
+    let mut publisher = ServePublisher::new();
+    let epoch = publisher.publish_now(&engine, ts);
+    eprintln!(
+        "spoof: judging against checkpoint generation {seq} ({} classified ranges, data ts {ts}) as epoch {epoch}",
+        engine.classified_count()
+    );
+
+    let world = DfzWorld::new(scenario.dfz);
+    let detector = SpoofDetector::new(
+        RouteExpect::new(&world, window_secs),
+        SpoofTelemetry::default(),
+    );
+    let swap = publisher.swap();
+    let live = swap.load();
+    let mut scorer = SpoofScorer::default();
+    for sf in scenario.stream(&world, minutes) {
+        let observed = IngressPoint::new(sf.flow.router, sf.flow.input_if);
+        let map = match live.value.lookup(sf.flow.src) {
+            None => MapView::Unmapped,
+            Some(a) if a.ingress.matches(observed) => MapView::Match,
+            Some(_) => MapView::Mismatch,
+        };
+        scorer.judge(&detector, &sf, observed, map, epoch);
+    }
+    Ok(scorer.finish(epoch))
+}
+
+/// Confusion accounting shared by the server and checkpoint modes (the
+/// offline mode keeps its own inside `ipd-spoof`, where the publication
+/// loop lives).
+#[derive(Default)]
+struct SpoofScorer {
+    flows: u64,
+    verdicts: [u64; 3],
+    matrix: [[u64; 3]; 3],
+    digest: VerdictDigest,
+}
+
+impl SpoofScorer {
+    fn judge(
+        &mut self,
+        detector: &SpoofDetector,
+        sf: &ipd_traffic::ScenarioFlow,
+        observed: IngressPoint,
+        map: MapView,
+        epoch: u64,
+    ) {
+        let verdict = detector.decide(sf.flow.src, observed, sf.flow.ts, map);
+        self.digest.observe(&VerdictRecord {
+            ts: sf.flow.ts,
+            src: sf.flow.src,
+            observed,
+            verdict,
+            label: Some(sf.label),
+            epoch,
+        });
+        self.flows += 1;
+        self.verdicts[verdict.index()] += 1;
+        self.matrix[sf.label.code() as usize][verdict.index()] += 1;
+    }
+
+    fn finish(self, epochs: u64) -> SpoofReport {
+        SpoofReport {
+            flows: self.flows,
+            ticks: 0,
+            epochs,
+            verdicts: self.verdicts,
+            matrix: self.matrix,
+            digest: self.digest.finish(),
+        }
+    }
 }
 
 /// `hist record`: run a trace or the DFZ-scale substrate through the
@@ -1799,5 +2024,91 @@ mod tests {
             "60",
         ]))
         .expect("run --scale with knobs");
+    }
+
+    #[test]
+    fn spoof_judges_offline_checkpoint_and_live_maps() {
+        let dir = tmp("spoof-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_cli(argv(&[
+            "run",
+            "--scale",
+            "10k",
+            "--minutes",
+            "6",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "11",
+            "--checkpoint-dir",
+            &dir,
+        ]))
+        .expect("run --scale builds the checkpointed map");
+
+        // Offline deployment loop, sharded, exits cleanly.
+        run_cli(argv(&[
+            "spoof",
+            "--scale",
+            "10k",
+            "--minutes",
+            "3",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "11",
+            "--shards",
+            "2",
+        ]))
+        .expect("spoof offline");
+
+        // Checkpoint mode: the frozen map still meets the detection floors
+        // (legit traffic matches it; forged sources fail the route oracle).
+        let scenario = SpoofScenario::mixed(DfzConfig {
+            flows_per_minute: 3000,
+            ..DfzConfig::smoke_10k(11)
+        });
+        let r = spoof_against_checkpoint(&dir, &scenario, 4, 300).expect("checkpoint judge");
+        assert!(r.flows > 10_000, "{} flows", r.flows);
+        assert!(r.epochs > 0);
+        assert!(r.precision() >= 0.95, "precision {}", r.precision());
+        assert!(r.recall() >= 0.90, "recall {}", r.recall());
+        assert!(
+            r.shift_non_spoofed() >= 0.90,
+            "shift leakage {}",
+            r.shift_non_spoofed()
+        );
+
+        // Live mode: the same checkpoint served over the wire, judged
+        // through the client pool.
+        let port_file = tmp("spoof-serve-ports");
+        let (handle, addr, _metrics) = spawn_serve(
+            &port_file,
+            &[
+                "serve",
+                "--from-checkpoint",
+                &dir,
+                "--port-file",
+                &port_file,
+                "--linger-secs",
+                "20",
+            ],
+        );
+        run_cli(argv(&[
+            "spoof",
+            "--scale",
+            "10k",
+            "--minutes",
+            "2",
+            "--flows-per-minute",
+            "3000",
+            "--seed",
+            "11",
+            "--server",
+            &addr,
+            "--pool",
+            "3",
+        ]))
+        .expect("spoof live");
+        handle.join().unwrap().expect("serve exits cleanly");
     }
 }

@@ -962,6 +962,67 @@ fn dfz_scale(ctx: &mut Ctx) {
     );
 }
 
+/// Spoofing & catchment-shift detection on top of the served map
+/// (`ipd-spoof`): run the mixed adversarial scenario, score the verdict
+/// stream against ground truth, and write `results/spoof/`. The full tier
+/// is the acceptance gate for the detector's precision/recall floors.
+fn spoof_scale(ctx: &mut Ctx) {
+    use ipd_eval::spoof::{run_spoof, SpoofEvalConfig};
+    let cfg = if ctx.quick {
+        SpoofEvalConfig::smoke(42)
+    } else {
+        SpoofEvalConfig::tier_100k(42)
+    };
+    println!(
+        "[spoof] {} IPv4 + {} IPv6 prefixes, {} min at {} flows/min, spoof share {}, shift share {} (lag {} s) ...",
+        cfg.run.scenario.dfz.plan.v4_prefixes,
+        cfg.run.scenario.dfz.plan.v6_prefixes,
+        cfg.run.minutes,
+        cfg.run.scenario.dfz.flows_per_minute,
+        cfg.run.scenario.spoof_share,
+        cfg.run.scenario.shift_share,
+        cfg.run.scenario.shift_lag_secs,
+    );
+    let r = run_spoof(&cfg);
+    println!(
+        "[spoof] {} flows ({} spoofed, {} shift), {} ticks, {} epochs, digest {:#018x}",
+        r.report.flows,
+        r.report.labeled(ipd_traffic::FlowLabel::Spoofed),
+        r.report.labeled(ipd_traffic::FlowLabel::Shift),
+        r.report.ticks,
+        r.report.epochs,
+        r.report.digest,
+    );
+    println!(
+        "[spoof] precision {}, recall {}, F1 {}, shift non-spoofed {}",
+        f(r.report.precision(), 4),
+        f(r.report.recall(), 4),
+        f(r.report.f1(), 4),
+        f(r.report.shift_non_spoofed(), 4),
+    );
+    let paths = r
+        .write_tables(&results_dir().join("spoof"))
+        .expect("write results/spoof");
+    for p in paths {
+        println!("wrote {}", p.display());
+    }
+    check(
+        "spoofed-flow precision >= 0.95",
+        r.report.precision() >= 0.95,
+        f(r.report.precision(), 4),
+    );
+    check(
+        "spoofed-flow recall >= 0.90",
+        r.report.recall() >= 0.90,
+        f(r.report.recall(), 4),
+    );
+    check(
+        "catchment-shift flows classified non-spoofed >= 0.90",
+        r.report.shift_non_spoofed() >= 0.90,
+        f(r.report.shift_non_spoofed(), 4),
+    );
+}
+
 /// Longitudinal stability from a **recorded history**: stream a churned
 /// DFZ-tier substrate through the engine with an `ipd-hist` publisher,
 /// then compute the §5 stability table and the Fig-10-shaped epoch series
@@ -1128,8 +1189,9 @@ fn main() {
         "corr" => flow_byte_correlation(ctx),
         "dfz" => dfz_scale(ctx),
         "hist" => hist_scale(ctx),
+        "spoof" => spoof_scale(ctx),
         other => {
-            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, dfz, hist, all");
+            eprintln!("unknown experiment id {other:?}; known: fig2..fig20, tab1..tab3, tab-prefixcorr, dfz, hist, spoof, all");
             std::process::exit(2);
         }
     };

@@ -20,6 +20,7 @@
 //! | [`hist_stability`] | §5 stability table + Fig 10 shape from a recorded history |
 //! | [`daytime`] | Fig 11/12 (network size by hour of day) |
 //! | [`case_study`] | Fig 13/14 (reaction to changes) |
+//! | [`spoof`] | §6 application: spoofing / catchment-shift detection scoring |
 //! | [`symmetry`] | Fig 16 + §5.5 prefix correlation |
 //! | [`violations`] | Fig 17 (§5.6 peering violations) |
 //! | [`param_study`] | Appendix A: Table 2, Figs 18–20 |
@@ -36,6 +37,7 @@ pub mod longitudinal;
 pub mod param_study;
 pub mod range_dist;
 pub mod report;
+pub mod spoof;
 pub mod stability;
 pub mod stats;
 pub mod symmetry;

@@ -1,8 +1,9 @@
 //! Fuzz targets for every parser in the workspace that eats raw bytes off
 //! the wire or off disk: NetFlow v5 datagrams, IPFIX messages (stateful —
 //! template caches carry across messages), the write-ahead journal, the
-//! serving layer's binary query protocol, and the longitudinal store's
-//! segment/manifest files (`IPDSEG1`/`IPDMAN1`).
+//! serving layer's binary query protocol, the longitudinal store's
+//! segment/manifest files (`IPDSEG1`/`IPDMAN1`), and the spoof detector's
+//! verdict/label records.
 //!
 //! The target functions are plain `fn(&[u8])` so they can be driven two
 //! ways:
@@ -34,8 +35,10 @@ use ipd_serve::proto::{
     decode_request, decode_response, encode_request, encode_response, request_op, Request,
     Response, WireAnswer, MAX_BATCH,
 };
+use ipd_spoof::{decode_verdict, encode_verdict, Verdict, VerdictRecord};
 use ipd_state::{parse_journal, JournalWriter};
 use ipd_topology::{Bundle, IngressPoint};
+use ipd_traffic::FlowLabel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -271,6 +274,34 @@ pub fn fuzz_lpm_ops(data: &[u8]) {
     }
 }
 
+/// Verdict-record codec target: one buffer through the spoof detector's
+/// verdict/label decoder. The codec is total and canonical (DESIGN.md §15)
+/// — whatever decodes must re-encode to exactly the input bytes, with the
+/// verdict and label codes surviving the trip through their public enums —
+/// so, as with `fuzz_proto` and `fuzz_seg`, the roundtrip makes this an
+/// oracle rather than just a crash detector.
+pub fn fuzz_verdict(data: &[u8]) {
+    if let Ok(rec) = decode_verdict(data) {
+        assert_eq!(
+            encode_verdict(&rec),
+            data,
+            "verdict decode is not canonical"
+        );
+        assert_eq!(
+            Verdict::from_code(rec.verdict.code()),
+            Some(rec.verdict),
+            "verdict code does not roundtrip"
+        );
+        if let Some(label) = rec.label {
+            assert_eq!(
+                FlowLabel::from_code(label.code()),
+                Some(label),
+                "label code does not roundtrip"
+            );
+        }
+    }
+}
+
 /// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
 pub type FuzzTarget = fn(&[u8]);
 
@@ -282,6 +313,7 @@ pub const TARGETS: &[(&str, FuzzTarget)] = &[
     ("proto", fuzz_proto),
     ("seg", fuzz_seg),
     ("lpm_ops", fuzz_lpm_ops),
+    ("verdict", fuzz_verdict),
 ];
 
 /// Well-formed seed inputs for `target`, produced by the matching encoders
@@ -517,8 +549,48 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 ]),
             ]
         }
+        "verdict" => {
+            // Straight from the encoder: both families, every verdict, every
+            // label plus unlabeled, boundary timestamps/epochs — and torn
+            // tails so mutants hit the truncation paths immediately.
+            let rec = |ts, src, verdict, label, epoch| {
+                encode_verdict(&VerdictRecord {
+                    ts,
+                    src,
+                    observed: IngressPoint::new(30, 2),
+                    verdict,
+                    label,
+                    epoch,
+                })
+            };
+            let v4 = ipd_lpm::Addr::v4(0x1600_0001);
+            let v6 = ipd_lpm::Addr::v6(0x2001_0db8u128 << 96);
+            let full = rec(
+                u64::MAX,
+                v6,
+                Verdict::CatchmentShift,
+                Some(FlowLabel::Shift),
+                u64::MAX,
+            );
+            vec![
+                rec(1_700_000_000, v4, Verdict::Consistent, None, 1),
+                rec(
+                    1_700_000_060,
+                    v4,
+                    Verdict::Spoofed,
+                    Some(FlowLabel::Spoofed),
+                    7,
+                ),
+                rec(0, v6, Verdict::Consistent, Some(FlowLabel::Legit), 0),
+                full.clone(),
+                full[..full.len() - 7].to_vec(),
+                full[..3].to_vec(),
+            ]
+        }
         other => {
-            panic!("unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg|lpm_ops)")
+            panic!(
+                "unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg|lpm_ops|verdict)"
+            )
         }
     }
 }
@@ -674,6 +746,30 @@ mod tests {
         // The torn variants must be rejected, not decoded.
         assert!(
             segments + manifests < seeds.len(),
+            "every seed decoded — torn seeds missing"
+        );
+    }
+
+    #[test]
+    fn verdict_seeds_cover_the_record_space() {
+        let seeds = seed_corpus("verdict");
+        let decoded: Vec<VerdictRecord> = seeds
+            .iter()
+            .filter_map(|s| decode_verdict(s).ok())
+            .collect();
+        assert!(decoded.len() >= 4, "want one seed per verdict and family");
+        assert!(
+            decoded.iter().any(|r| r.src.af() == ipd_lpm::Af::V6)
+                && decoded.iter().any(|r| r.src.af() == ipd_lpm::Af::V4),
+            "seed corpus misses an address family"
+        );
+        assert!(
+            decoded.iter().any(|r| r.label.is_none()) && decoded.iter().any(|r| r.label.is_some()),
+            "seed corpus misses the labeled or unlabeled shape"
+        );
+        // The torn variants must be rejected, not decoded.
+        assert!(
+            decoded.len() < seeds.len(),
             "every seed decoded — torn seeds missing"
         );
     }

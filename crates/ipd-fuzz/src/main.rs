@@ -5,7 +5,7 @@
 //! PRNG is seeded so every failure reproduces with the printed command.
 //!
 //! Usage:
-//!   ipd-fuzz [--target v5|ipfix|journal|proto|seg|all] [--iters N] [--seconds S] [--seed N]
+//!   ipd-fuzz [--target v5|ipfix|journal|proto|seg|lpm_ops|verdict|all] [--iters N] [--seconds S] [--seed N]
 //!   ipd-fuzz --write-corpus DIR [--target ...]
 //!
 //! With `--seconds S` the wall-clock budget is split evenly over the
@@ -41,7 +41,7 @@ fn main() {
             "--write-corpus" => write_corpus = Some(want(i)),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ipd-fuzz [--target v5|ipfix|journal|proto|seg|all] [--iters N] [--seconds S] [--seed N]\n       ipd-fuzz --write-corpus DIR [--target ...]"
+                    "usage: ipd-fuzz [--target v5|ipfix|journal|proto|seg|lpm_ops|verdict|all] [--iters N] [--seconds S] [--seed N]\n       ipd-fuzz --write-corpus DIR [--target ...]"
                 );
                 return;
             }
@@ -57,7 +57,7 @@ fn main() {
         .collect();
     assert!(
         !selected.is_empty(),
-        "unknown target {target:?} (want v5|ipfix|journal|proto|seg|all)"
+        "unknown target {target:?} (want v5|ipfix|journal|proto|seg|lpm_ops|verdict|all)"
     );
 
     if let Some(dir) = write_corpus {

@@ -5,6 +5,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use ipd_lpm::Addr;
@@ -319,5 +320,146 @@ impl RetryClient {
     /// [`ServeClient::wait_epoch`] with retry.
     pub fn wait_epoch(&mut self, min_epoch: u64) -> Result<ServeInfo, ClientError> {
         self.with_retry(|c| c.wait_epoch(min_epoch))
+    }
+}
+
+/// Shared state of a [`ClientPool`].
+struct PoolState {
+    /// Clients ready for checkout. A returned client keeps its live TCP
+    /// connection, so a busy caller usually skips the reconnect entirely.
+    idle: Vec<RetryClient>,
+    /// Clients currently checked out.
+    outstanding: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    returned: Condvar,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    capacity: usize,
+}
+
+/// A bounded pool of [`RetryClient`]s over one server address.
+///
+/// Construction performs no IO — clients connect lazily on their first
+/// operation, and every checked-out client carries the pool's
+/// [`RetryPolicy`], so reconnect-after-server-restart comes for free from
+/// the retry path. [`checkout`](ClientPool::checkout) blocks when all
+/// `capacity` clients are out; [`try_checkout`](ClientPool::try_checkout)
+/// reports exhaustion instead. Dropping the [`PooledClient`] guard checks
+/// the client (and its warm connection) back in.
+#[derive(Clone)]
+pub struct ClientPool {
+    shared: Arc<PoolShared>,
+}
+
+impl ClientPool {
+    /// A pool of at most `capacity` clients for `addr` (resolved once, like
+    /// [`RetryClient::new`]).
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        capacity: usize,
+        policy: RetryPolicy,
+    ) -> std::io::Result<ClientPool> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        Ok(ClientPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    idle: Vec::new(),
+                    outstanding: 0,
+                }),
+                returned: Condvar::new(),
+                addr,
+                policy,
+                capacity: capacity.max(1),
+            }),
+        })
+    }
+
+    /// The pool's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Clients currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.shared.state.lock().expect("pool poisoned").outstanding
+    }
+
+    /// Idle clients holding a previously used connection.
+    pub fn idle(&self) -> usize {
+        self.shared.state.lock().expect("pool poisoned").idle.len()
+    }
+
+    /// Check a client out, blocking while the pool is exhausted.
+    pub fn checkout(&self) -> PooledClient {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        loop {
+            match Self::take(&self.shared, &mut state) {
+                Some(client) => return client,
+                None => state = self.shared.returned.wait(state).expect("pool poisoned"),
+            }
+        }
+    }
+
+    /// Check a client out, or `None` when all `capacity` are already out.
+    pub fn try_checkout(&self) -> Option<PooledClient> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        Self::take(&self.shared, &mut state)
+    }
+
+    fn take(shared: &Arc<PoolShared>, state: &mut PoolState) -> Option<PooledClient> {
+        let client = match state.idle.pop() {
+            Some(c) => c,
+            None if state.outstanding < shared.capacity => {
+                // Lazy construction cannot fail past address resolution,
+                // which the pool already performed.
+                RetryClient::new(shared.addr, shared.policy).expect("resolved address")
+            }
+            None => return None,
+        };
+        state.outstanding += 1;
+        Some(PooledClient {
+            pool: Arc::clone(shared),
+            client: Some(client),
+        })
+    }
+}
+
+/// Checkout guard from [`ClientPool`]: derefs to the [`RetryClient`],
+/// returns it (connection and all) on drop.
+pub struct PooledClient {
+    pool: Arc<PoolShared>,
+    client: Option<RetryClient>,
+}
+
+impl std::ops::Deref for PooledClient {
+    type Target = RetryClient;
+
+    fn deref(&self) -> &RetryClient {
+        self.client.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient {
+    fn deref_mut(&mut self) -> &mut RetryClient {
+        self.client.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledClient {
+    fn drop(&mut self) {
+        let client = self.client.take().expect("dropped once");
+        let mut state = self.pool.state.lock().expect("pool poisoned");
+        state.idle.push(client);
+        state.outstanding -= 1;
+        drop(state);
+        self.pool.returned.notify_one();
     }
 }

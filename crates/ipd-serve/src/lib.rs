@@ -60,7 +60,9 @@ mod store;
 mod swap;
 mod telemetry;
 
-pub use client::{ClientError, RetryClient, RetryPolicy, ServeClient, ServeInfo};
+pub use client::{
+    ClientError, ClientPool, PooledClient, RetryClient, RetryPolicy, ServeClient, ServeInfo,
+};
 pub use history::HistoryProvider;
 pub use hook::ServePublisher;
 pub use live::LiveStore;

@@ -1,0 +1,88 @@
+//! Metric handles for the detector, mirroring the `ServeTelemetry` idiom:
+//! `Default` is all-disabled no-ops, `register` binds to a live
+//! [`Telemetry`] registry. Observational only — verdicts never depend on
+//! whether metrics are enabled (the golden digest test pins this).
+
+use ipd_telemetry::{Counter, Histogram, Telemetry};
+
+/// All detector metric handles (`ipd_spoof_*`).
+#[derive(Debug, Clone, Default)]
+pub struct SpoofTelemetry {
+    /// `ipd_spoof_flows_total` — flows the detector examined.
+    pub flows: Counter,
+    /// `ipd_spoof_consistent_total` — flows whose observed ingress agrees
+    /// with the served map (or with the current BGP expectation while the
+    /// map has no covering range yet).
+    pub consistent: Counter,
+    /// `ipd_spoof_spoofed_total` — flows flagged as spoofed: the claimed
+    /// source prefix never ingresses at the arrival link.
+    pub spoofed: Counter,
+    /// `ipd_spoof_shift_total` — flows classified as a plausible catchment
+    /// shift (wrong-but-candidate ingress during a churn window).
+    pub shift: Counter,
+    /// `ipd_spoof_unmapped_total` — flows whose source had no covering
+    /// classified range in the served map.
+    pub unmapped: Counter,
+    /// `ipd_spoof_decision_nanoseconds` — per-flow verdict wall time
+    /// (map answer already in hand), on sub-microsecond buckets.
+    pub decision_duration: Histogram,
+}
+
+impl SpoofTelemetry {
+    /// Register every detector metric in `telemetry`. Idempotent — two
+    /// registrations share the same cells.
+    pub fn register(telemetry: &Telemetry) -> Self {
+        SpoofTelemetry {
+            flows: telemetry.counter("ipd_spoof_flows_total", "Flows the detector examined"),
+            consistent: telemetry.counter(
+                "ipd_spoof_consistent_total",
+                "Flows consistent with the served map or current expectation",
+            ),
+            spoofed: telemetry.counter(
+                "ipd_spoof_spoofed_total",
+                "Flows flagged as spoofed (no route at the arrival link)",
+            ),
+            shift: telemetry.counter(
+                "ipd_spoof_shift_total",
+                "Flows classified as a plausible catchment shift",
+            ),
+            unmapped: telemetry.counter(
+                "ipd_spoof_unmapped_total",
+                "Flows whose source had no covering classified range",
+            ),
+            decision_duration: telemetry.timing_fine(
+                "ipd_spoof_decision_nanoseconds",
+                "Per-flow verdict wall time (map answer already in hand)",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let m = SpoofTelemetry::default();
+        m.flows.inc();
+        m.spoofed.add(3);
+        assert_eq!(m.flows.get(), 0);
+        assert_eq!(m.spoofed.get(), 0);
+    }
+
+    #[test]
+    fn registers_under_spoof_namespace() {
+        let t = Telemetry::new();
+        let m = SpoofTelemetry::register(&t);
+        m.flows.add(7);
+        m.shift.inc();
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("ipd_spoof_flows_total"), Some(7));
+        assert_eq!(snap.counter("ipd_spoof_shift_total"), Some(1));
+        assert!(snap
+            .samples
+            .iter()
+            .all(|s| s.name.starts_with("ipd_spoof_")));
+    }
+}

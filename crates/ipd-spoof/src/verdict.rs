@@ -1,0 +1,327 @@
+//! The verdict taxonomy, the canonical verdict/label record codec, and the
+//! running stream digest.
+//!
+//! The codec is **total and canonical** in the repo's usual sense: every
+//! byte string either decodes to exactly one record or is rejected, and
+//! re-encoding a decoded record reproduces the input byte for byte. The
+//! `fuzz_verdict` target in `ipd-fuzz` hammers exactly this oracle.
+
+use ipd_lpm::{Addr, Af};
+use ipd_topology::IngressPoint;
+use ipd_traffic::FlowLabel;
+
+/// What the detector concluded about one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The observed ingress agrees with the served map (or with the
+    /// current BGP expectation while the map has no covering range).
+    Consistent,
+    /// The claimed source prefix never ingresses at the arrival link —
+    /// the RIB offers no route that could put this source there.
+    Spoofed,
+    /// A plausible re-route: the arrival link is a legitimate candidate of
+    /// the origin AS, and the prefix moved (or the map is stale) within
+    /// the evidence window.
+    CatchmentShift,
+}
+
+impl Verdict {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Verdict::Consistent => 0,
+            Verdict::Spoofed => 1,
+            Verdict::CatchmentShift => 2,
+        }
+    }
+
+    /// Inverse of [`Verdict::code`].
+    pub fn from_code(code: u8) -> Option<Verdict> {
+        match code {
+            0 => Some(Verdict::Consistent),
+            1 => Some(Verdict::Spoofed),
+            2 => Some(Verdict::CatchmentShift),
+            _ => None,
+        }
+    }
+
+    /// Dense index for confusion-matrix style accounting.
+    pub fn index(self) -> usize {
+        self.code() as usize
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Consistent => "consistent",
+            Verdict::Spoofed => "spoofed",
+            Verdict::CatchmentShift => "catchment-shift",
+        })
+    }
+}
+
+/// One verdict as it travels in a verdict stream: the flow's identity, the
+/// arrival point, the detector's conclusion, the ground-truth label when
+/// the stream carries one, and the served epoch the map answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// Flow timestamp (unix seconds).
+    pub ts: u64,
+    /// Claimed source address.
+    pub src: Addr,
+    /// The ingress point the flow actually arrived on.
+    pub observed: IngressPoint,
+    /// The detector's conclusion.
+    pub verdict: Verdict,
+    /// Ground truth, when known (scenario streams carry it; live traffic
+    /// does not).
+    pub label: Option<FlowLabel>,
+    /// Publication epoch of the served map the answer was taken from.
+    pub epoch: u64,
+}
+
+/// Codec version byte.
+const VERSION: u8 = 1;
+/// Encoded length for an IPv4 record.
+const LEN_V4: usize = 4 + 8 + 4 + 4 + 2 + 8;
+/// Encoded length for an IPv6 record.
+const LEN_V6: usize = 4 + 8 + 16 + 4 + 2 + 8;
+
+/// Encode one record into its canonical byte form.
+pub fn encode_verdict(r: &VerdictRecord) -> Vec<u8> {
+    let af = r.src.af();
+    let mut out = Vec::with_capacity(match af {
+        Af::V4 => LEN_V4,
+        Af::V6 => LEN_V6,
+    });
+    out.push(VERSION);
+    out.push(r.verdict.code());
+    out.push(r.label.map_or(0, |l| l.code() + 1));
+    out.push(match af {
+        Af::V4 => 4,
+        Af::V6 => 6,
+    });
+    out.extend_from_slice(&r.ts.to_be_bytes());
+    match af {
+        Af::V4 => out.extend_from_slice(&(r.src.bits() as u32).to_be_bytes()),
+        Af::V6 => out.extend_from_slice(&r.src.bits().to_be_bytes()),
+    }
+    out.extend_from_slice(&r.observed.router.to_be_bytes());
+    out.extend_from_slice(&r.observed.ifindex.to_be_bytes());
+    out.extend_from_slice(&r.epoch.to_be_bytes());
+    out
+}
+
+/// Why a byte string is not a canonical verdict record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictCodecError {
+    /// Too short to hold the fixed header.
+    Truncated,
+    /// Unknown codec version byte.
+    BadVersion(u8),
+    /// Verdict code outside the taxonomy.
+    BadVerdict(u8),
+    /// Label code outside the taxonomy.
+    BadLabel(u8),
+    /// Address family byte is neither 4 nor 6.
+    BadFamily(u8),
+    /// Total length disagrees with the family's fixed frame size.
+    BadLength {
+        /// Bytes received.
+        got: usize,
+        /// Bytes the family requires.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for VerdictCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerdictCodecError::Truncated => write!(f, "truncated record"),
+            VerdictCodecError::BadVersion(v) => write!(f, "unknown version {v}"),
+            VerdictCodecError::BadVerdict(v) => write!(f, "unknown verdict code {v}"),
+            VerdictCodecError::BadLabel(v) => write!(f, "unknown label code {v}"),
+            VerdictCodecError::BadFamily(v) => write!(f, "unknown address family {v}"),
+            VerdictCodecError::BadLength { got, want } => {
+                write!(f, "length {got}, family requires {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerdictCodecError {}
+
+/// Decode one canonical record. Rejects anything [`encode_verdict`] cannot
+/// have produced.
+pub fn decode_verdict(data: &[u8]) -> Result<VerdictRecord, VerdictCodecError> {
+    if data.len() < 4 {
+        return Err(VerdictCodecError::Truncated);
+    }
+    if data[0] != VERSION {
+        return Err(VerdictCodecError::BadVersion(data[0]));
+    }
+    let verdict = Verdict::from_code(data[1]).ok_or(VerdictCodecError::BadVerdict(data[1]))?;
+    let label = match data[2] {
+        0 => None,
+        c => Some(FlowLabel::from_code(c - 1).ok_or(VerdictCodecError::BadLabel(c))?),
+    };
+    let (af, want, addr_bytes) = match data[3] {
+        4 => (Af::V4, LEN_V4, 4usize),
+        6 => (Af::V6, LEN_V6, 16usize),
+        b => return Err(VerdictCodecError::BadFamily(b)),
+    };
+    if data.len() != want {
+        return Err(VerdictCodecError::BadLength {
+            got: data.len(),
+            want,
+        });
+    }
+    let ts = u64::from_be_bytes(data[4..12].try_into().expect("fixed slice"));
+    let bits = match af {
+        Af::V4 => u32::from_be_bytes(data[12..16].try_into().expect("fixed slice")) as u128,
+        Af::V6 => u128::from_be_bytes(data[12..28].try_into().expect("fixed slice")),
+    };
+    let rest = &data[12 + addr_bytes..];
+    let router = u32::from_be_bytes(rest[0..4].try_into().expect("fixed slice"));
+    let ifindex = u16::from_be_bytes(rest[4..6].try_into().expect("fixed slice"));
+    let epoch = u64::from_be_bytes(rest[6..14].try_into().expect("fixed slice"));
+    Ok(VerdictRecord {
+        ts,
+        src: Addr::new(af, bits),
+        observed: IngressPoint::new(router, ifindex),
+        verdict,
+        label,
+        epoch,
+    })
+}
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A running digest over a verdict stream: FNV-1a 64 over the canonical
+/// encoding of every record, in stream order. Two runs producing the same
+/// digest produced bit-identical verdict streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictDigest {
+    hash: u64,
+    records: u64,
+}
+
+impl VerdictDigest {
+    /// The empty-stream digest.
+    pub fn new() -> Self {
+        VerdictDigest {
+            hash: FNV_OFFSET,
+            records: 0,
+        }
+    }
+
+    /// Fold one record into the digest.
+    pub fn observe(&mut self, r: &VerdictRecord) {
+        for b in encode_verdict(r) {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.records += 1;
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    /// Records folded in so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl Default for VerdictDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(af: Af) -> VerdictRecord {
+        VerdictRecord {
+            ts: 1_700_000_123,
+            src: match af {
+                Af::V4 => Addr::v4(0x0102_0304),
+                Af::V6 => Addr::new(Af::V6, 0x2001_0db8 << 96 | 0x42),
+            },
+            observed: IngressPoint::new(17, 3),
+            verdict: Verdict::CatchmentShift,
+            label: Some(FlowLabel::Shift),
+            epoch: 9,
+        }
+    }
+
+    #[test]
+    fn roundtrip_both_families_all_codes() {
+        for af in [Af::V4, Af::V6] {
+            for verdict in [
+                Verdict::Consistent,
+                Verdict::Spoofed,
+                Verdict::CatchmentShift,
+            ] {
+                for label in [
+                    None,
+                    Some(FlowLabel::Legit),
+                    Some(FlowLabel::Spoofed),
+                    Some(FlowLabel::Shift),
+                ] {
+                    let r = VerdictRecord {
+                        verdict,
+                        label,
+                        ..sample(af)
+                    };
+                    let bytes = encode_verdict(&r);
+                    let back = decode_verdict(&bytes).expect("canonical bytes decode");
+                    assert_eq!(back, r);
+                    assert_eq!(encode_verdict(&back), bytes, "canonical re-encode");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_canonical_inputs() {
+        let good = encode_verdict(&sample(Af::V4));
+        assert!(decode_verdict(&[]).is_err());
+        assert!(decode_verdict(&good[..good.len() - 1]).is_err());
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_verdict(&long).is_err());
+        for (i, bad) in [(0usize, 9u8), (1, 3), (2, 4), (3, 5)] {
+            let mut m = good.clone();
+            m[i] = bad;
+            assert!(decode_verdict(&m).is_err(), "byte {i} = {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_deterministic() {
+        let a = sample(Af::V4);
+        let b = sample(Af::V6);
+        let mut d1 = VerdictDigest::new();
+        d1.observe(&a);
+        d1.observe(&b);
+        let mut d2 = VerdictDigest::new();
+        d2.observe(&b);
+        d2.observe(&a);
+        assert_ne!(d1.finish(), d2.finish());
+        assert_eq!(d1.records(), 2);
+        let mut d3 = VerdictDigest::new();
+        d3.observe(&a);
+        d3.observe(&b);
+        assert_eq!(d1.finish(), d3.finish());
+        assert_ne!(VerdictDigest::new().finish(), d1.finish());
+    }
+}

@@ -31,6 +31,7 @@ pub mod dfz;
 mod diurnal;
 mod events;
 mod mapping;
+pub mod scenario;
 mod sim;
 mod world;
 
@@ -39,5 +40,6 @@ pub use dfz::{DfzConfig, DfzFlowStream, DfzLabeledFlow, DfzWorld, DFZ_EPOCH};
 pub use diurnal::diurnal_factor;
 pub use events::{Event, EventKind, EventRates, EventSchedule};
 pub use mapping::{IngressChoice, MappingState};
+pub use scenario::{FlowLabel, ScenarioFlow, ScenarioStream, SpoofScenario};
 pub use sim::{FlowSim, LabeledFlow, MinuteBatch, SimConfig};
 pub use world::{World, WorldConfig};

@@ -1,0 +1,96 @@
+//! Property tests for the labeled spoof/catchment scenarios (DESIGN.md §15):
+//! every `Spoofed` label provably violates the generated RIB, every `Shift`
+//! label rides a real churn-model flap window, and the stream keeps the
+//! determinism and non-decreasing-timestamp invariants the bucket driver
+//! requires. Named `dfz_…` so the CI scale-smoke filter runs them.
+
+use ipd_traffic::{DfzConfig, DfzWorld, FlowLabel, ScenarioFlow, SpoofScenario};
+use proptest::prelude::*;
+
+fn small(seed: u64) -> DfzConfig {
+    DfzConfig {
+        flows_per_minute: 3_000,
+        ..DfzConfig::smoke_10k(seed)
+    }
+}
+
+proptest! {
+    /// A labeled-spoofed flow is a RIB violation by construction: the
+    /// claimed origin AS announces no route at the arrival link, yet the
+    /// forged source really lies inside the claimed prefix and the flow's
+    /// (router, ifindex) really is the arrival link's ingress point.
+    #[test]
+    fn dfz_scenario_spoofed_labels_violate_the_rib(seed in any::<u64>(), share in 0.02f64..0.3) {
+        let cfg = SpoofScenario::spoofed(small(seed), share);
+        let w = DfzWorld::new(cfg.dfz);
+        let mut seen = 0u64;
+        for f in cfg.stream(&w, 2) {
+            if f.label != FlowLabel::Spoofed {
+                continue;
+            }
+            seen += 1;
+            let origin = w.plan.as_rank_of(f.af, f.rank);
+            prop_assert!(
+                !w.as_links.links_of(origin).contains(&f.link),
+                "spoofed flow arrived at a legitimate candidate of its origin AS"
+            );
+            prop_assert!(w.plan.prefix(f.af, f.rank).contains(f.flow.src));
+            let ingress = w.topology.ingress_of_link(f.link);
+            prop_assert_eq!(f.flow.router, ingress.router);
+            prop_assert_eq!(f.flow.input_if, ingress.ifindex);
+        }
+        prop_assert!(seen > 0, "share {} never injected", share);
+    }
+
+    /// A shift flow exists only inside `[flap, flap + lag)` of a real
+    /// churn-model event: it arrives at the pre-flap best link, which
+    /// differs from the current one; everything else in the stream sits at
+    /// the ground-truth current ingress.
+    #[test]
+    fn dfz_scenario_shift_windows_match_churn_events(seed in any::<u64>(), lag in 30u64..300) {
+        let cfg = SpoofScenario::catchment_shift(small(seed), 0.8, lag);
+        let w = DfzWorld::new(cfg.dfz);
+        for f in cfg.stream(&w, 3) {
+            let ts = f.flow.ts;
+            match f.label {
+                FlowLabel::Shift => {
+                    let t0 = (ts + 1).saturating_sub(lag);
+                    let flap = w
+                        .churn
+                        .flap_times_in(f.af, f.rank, t0, ts + 1)
+                        .last()
+                        .expect("shift flow without a flap in its lag window");
+                    prop_assert!(flap <= ts && ts < flap + lag);
+                    prop_assert_eq!(f.link, w.current_link(f.af, f.rank, flap - 1));
+                    prop_assert_ne!(f.link, w.current_link(f.af, f.rank, ts));
+                }
+                FlowLabel::Legit => {
+                    prop_assert_eq!(f.link, w.current_link(f.af, f.rank, ts));
+                }
+                FlowLabel::Spoofed => {
+                    prop_assert!(false, "pure-shift scenario injected a forged flow");
+                }
+            }
+        }
+    }
+
+    /// The labeled stream replays bit-identically from the same seed, never
+    /// steps backwards in time, and stays inside the requested window —
+    /// injected forged flows included (they ride the second of the base
+    /// draw that triggered them).
+    #[test]
+    fn dfz_scenario_stream_is_deterministic_and_ordered(seed in any::<u64>(), minutes in 1u64..4) {
+        let cfg = SpoofScenario::mixed(small(seed));
+        let w = DfzWorld::new(cfg.dfz);
+        let a: Vec<ScenarioFlow> = cfg.stream(&w, minutes).collect();
+        let b: Vec<ScenarioFlow> = cfg.stream(&w, minutes).collect();
+        prop_assert_eq!(&a, &b, "scenario stream is not deterministic");
+        let epoch = cfg.dfz.epoch;
+        let mut last = epoch;
+        for f in &a {
+            prop_assert!(f.flow.ts >= last, "timestamps must not go backwards");
+            prop_assert!(f.flow.ts < epoch + minutes * 60);
+            last = f.flow.ts;
+        }
+    }
+}

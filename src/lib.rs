@@ -10,6 +10,7 @@ pub use ipd_eval as eval;
 pub use ipd_lpm as lpm;
 pub use ipd_netflow as netflow;
 pub use ipd_serve as serve;
+pub use ipd_spoof as spoof;
 pub use ipd_stattime as stattime;
 pub use ipd_telemetry as telemetry;
 pub use ipd_topology as topology;

@@ -46,6 +46,15 @@ const PINNED: &[(&str, usize, u64)] = &[
     ("tab_prefixcorr.tsv", 110, 0xdfe1fc8d50e8b276),
 ];
 
+/// The committed tier-100k detection tables (`results/spoof/`, written by
+/// `experiments -- spoof`): pinned like the paper-scale set. Regenerate
+/// deliberately with `cargo run --release -p ipd-eval --bin experiments --
+/// spoof` and update the pins in the same commit.
+const SPOOF_PINNED: &[(&str, usize, u64)] = &[
+    ("spoof_confusion.tsv", 100, 0xd4c0914595b942ea),
+    ("spoof_summary.tsv", 196, 0x64eee4f81ad9551c),
+];
+
 fn results_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
 }
@@ -73,6 +82,32 @@ fn paper_scale_tables_are_byte_identical_to_seed() {
         bad.is_empty(),
         "paper-scale results drifted — regenerate deliberately or fix the \
          code path that touched them:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn spoof_tables_are_byte_identical_to_seed() {
+    let dir = results_dir().join("spoof");
+    let mut bad = Vec::new();
+    for &(name, len, hash) in SPOOF_PINNED {
+        match std::fs::read(dir.join(name)) {
+            Ok(bytes) => {
+                if bytes.len() != len || fnv1a(&bytes) != hash {
+                    bad.push(format!(
+                        "{name}: got {} bytes / {:#018x}, pinned {len} bytes / {hash:#018x}",
+                        bytes.len(),
+                        fnv1a(&bytes)
+                    ));
+                }
+            }
+            Err(e) => bad.push(format!("{name}: unreadable ({e})")),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "tier-100k detection tables drifted — regenerate deliberately or fix \
+         the code path that touched them:\n{}",
         bad.join("\n")
     );
 }
