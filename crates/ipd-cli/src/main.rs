@@ -47,7 +47,7 @@ use ipd_spoof::{
     VerdictDigest, VerdictRecord,
 };
 use ipd_state::{read_journal, CheckpointStore, Durable, DurableConfig};
-use ipd_telemetry::{MetricsServer, Telemetry};
+use ipd_telemetry::{install_panic_dump, Json, MetricsServer, StallDetector, StatusHub, Telemetry};
 use ipd_topology::IngressPoint;
 use ipd_traffic::{DfzConfig, DfzWorld, FlowSim, SimConfig, SpoofScenario, World, WorldConfig};
 use std::sync::Arc;
@@ -69,8 +69,10 @@ const USAGE: &str =
   serve      --trace FILE | --from-checkpoint DIR   [--addr HOST:PORT] [--shards K]
              [--linger-secs S] [--port-file FILE] [--metrics-addr HOST:PORT]
              [--hist-dir DIR]       (record every epoch; answer QueryAt/DiffRange)
-  query      --server HOST:PORT [--addr A,B,...] [--info]
+  query      --server HOST:PORT [--addr A,B,...] [--info] [--dump]
              [--at-epoch N] [--diff FROM,TO] [--wait-epoch N]
+  top        --metrics-addr HOST:PORT [--interval-secs S] [--once]
+             (live terminal view over a process's /statusz endpoint)
   spoof      --scale dfz|100k|10k [scale knobs] [--shards K] [--window-secs S]
              [--spoof-share F] [--shift-share F] [--shift-lag-secs S]
              [--server HOST:PORT [--pool N] | --from-checkpoint DIR]
@@ -125,6 +127,7 @@ fn run_cli(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "restore" => restore(&args),
         "serve" => serve(&args),
         "query" => query(&args),
+        "top" => top(&args),
         "spoof" => spoof(&args),
         "hist-record" => hist_record(&args),
         "hist-info" => hist_info(&args),
@@ -331,29 +334,36 @@ fn report(
     Ok(())
 }
 
-/// Telemetry setup for `run`: a live registry when either metrics option is
-/// present (`--metrics-addr` additionally serves it over HTTP), a disabled
-/// one otherwise — so runs without the flags pay nothing.
+/// Telemetry setup for `run` and `serve`: a live registry when either
+/// metrics option is present (`--metrics-addr` additionally serves it over
+/// HTTP, with `/statusz` beside `/metrics`), a disabled one otherwise — so
+/// runs without the flags pay nothing. The returned [`StatusHub`] accepts
+/// extra sections after the server is already bound (`serve` registers its
+/// store and history state there). A live registry also installs the
+/// panic-hook flight dump, so a crash prints the last recorded events.
 fn metrics_setup(
     args: &Args,
-) -> Result<(Telemetry, Option<MetricsServer>), Box<dyn std::error::Error>> {
+) -> Result<(Telemetry, Option<MetricsServer>, StatusHub), Box<dyn std::error::Error>> {
     let telemetry = if args.get("metrics-addr").is_some() || args.flag("metrics-dump") {
         Telemetry::new()
     } else {
         Telemetry::disabled()
     };
+    install_panic_dump(&telemetry.flight());
+    let hub = StatusHub::with_telemetry(&telemetry);
     let server = match args.get("metrics-addr") {
         Some(addr) => {
-            let server = MetricsServer::serve(addr, telemetry.clone())?;
+            let server = MetricsServer::serve_with_status(addr, telemetry.clone(), hub.clone())?;
             eprintln!(
-                "metrics: serving Prometheus text on http://{}/metrics",
+                "metrics: serving Prometheus text on http://{}/metrics \
+                 (introspection on /statusz)",
                 server.local_addr()
             );
             Some(server)
         }
         None => None,
     };
-    Ok((telemetry, server))
+    Ok((telemetry, server, hub))
 }
 
 /// Resolve `--scale` plus its override knobs into a [`DfzConfig`]. The
@@ -405,7 +415,7 @@ fn dfz_config(args: &Args) -> Result<(DfzConfig, u64), Box<dyn std::error::Error
 /// state plus a few hundred KiB of generator tables.
 fn run_scale(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (cfg, minutes) = dfz_config(args)?;
-    let (telemetry, _server) = metrics_setup(args)?;
+    let (telemetry, _server, _hub) = metrics_setup(args)?;
     let world = DfzWorld::new(cfg);
     let rate = cfg.flows_per_minute as f64;
     let params = IpdParams {
@@ -487,7 +497,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         return run_scale(args);
     }
     let flows = load_trace(args.require("trace")?)?;
-    let (telemetry, _server) = metrics_setup(args)?;
+    let (telemetry, _server, _hub) = metrics_setup(args)?;
     let (engine, snapshot) = engine_over(args, &flows, &telemetry)?;
     let snapshot = snapshot.ok_or("trace produced no snapshots (empty?)")?;
     report(args, &engine, snapshot)?;
@@ -614,7 +624,7 @@ fn restore(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// source is exhausted; `--port-file` records the bound addresses for
 /// scripts (line 1 query, line 2 metrics or `-`).
 fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (telemetry, metrics_server) = metrics_setup(args)?;
+    let (telemetry, metrics_server, hub) = metrics_setup(args)?;
     let serve_metrics = ServeTelemetry::register(&telemetry);
     // One live-store region per engine shard: incremental publication then
     // parallelises along the same axis as ingest.
@@ -642,6 +652,66 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let history: Option<Arc<dyn HistoryProvider>> = hist_store
         .as_ref()
         .map(|s| Arc::new(s.reader()) as Arc<dyn HistoryProvider>);
+    // /statusz sections beyond the built-ins: the live store's publication
+    // state (including garbage and rotation accounting) and, when recording,
+    // the history manifest. Field names are part of the DESIGN.md §16
+    // append-only contract.
+    {
+        let status_swap = swap.clone();
+        hub.register("serve", move || {
+            let current = status_swap.load();
+            format!(
+                "{{\"epoch\":{},\"ts\":{},\"entries\":{},\"memory_bytes\":{},\
+                 \"garbage\":{},\"rotations\":{}}}",
+                current.value.epoch(),
+                current.value.ts(),
+                current.value.len(),
+                current.value.memory_bytes(),
+                current.value.garbage(),
+                current.epoch,
+            )
+        });
+    }
+    if let Some(store) = &hist_store {
+        let store = Arc::clone(store);
+        hub.register("hist", move || {
+            format!(
+                "{{\"last_epoch\":{},\"segments\":{},\"keyframes\":{},\"bytes_on_disk\":{}}}",
+                store.last_epoch(),
+                store.segment_count(),
+                store.reader().keyframe_count(),
+                store.bytes_on_disk(),
+            )
+        });
+    }
+    // Stall detection over the freshness watermarks: a wedged publication
+    // (or persistence) stage surfaces within one poll interval, recording a
+    // stall flight event and dumping the recorder tail to stderr. Watermark
+    // registration is idempotent, so looking the stages up by name here
+    // shares the cells the pipeline and hist layers record into.
+    let _stall = if telemetry.is_enabled() {
+        let mut detector = StallDetector::new(
+            telemetry.watermark(
+                "ipd_pipeline_ingest_watermark",
+                "Flow time of the latest flow batch handed to the engine",
+            ),
+            telemetry.flight(),
+            telemetry.counter("ipd_serve_stalls_total", "Stages detected wedged"),
+        );
+        detector.watch("publish", serve_metrics.publish_watermark.clone());
+        if hist_store.is_some() {
+            detector.watch(
+                "hist",
+                telemetry.watermark(
+                    "ipd_hist_persist_watermark",
+                    "Flow time of the latest durably appended epoch",
+                ),
+            );
+        }
+        Some(detector.spawn(std::time::Duration::from_secs(2)))
+    } else {
+        None
+    };
     let server = ServeServer::serve_with_history(
         args.get("addr").unwrap_or("127.0.0.1:0"),
         swap.clone(),
@@ -820,6 +890,12 @@ fn wire_ingress_label(i: &Option<ipd_serve::proto::WireIngress>) -> String {
 /// (`--wait-epoch`).
 fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut client = ServeClient::connect(args.require("server")?)?;
+    if args.flag("dump") {
+        let events = client.dump()?;
+        println!("{} flight event(s):", events.len());
+        print!("{}", ipd_telemetry::render_events(&events));
+        return Ok(());
+    }
     if let Some(min) = args.get("wait-epoch") {
         let min: u64 = min.parse()?;
         let i = client.wait_epoch(min)?;
@@ -880,10 +956,13 @@ fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.flag("info") || args.get("addr").is_none() {
         let i = client.info()?;
-        println!("epoch:    {}", i.epoch);
-        println!("data ts:  {}", i.ts);
-        println!("entries:  {}", i.entries);
-        println!("memory:   {} KiB", i.memory_bytes / 1024);
+        println!("epoch:     {}", i.epoch);
+        println!("data ts:   {}", i.ts);
+        println!("entries:   {}", i.entries);
+        println!("memory:    {} KiB", i.memory_bytes / 1024);
+        println!("garbage:   {}", i.garbage);
+        println!("rotations: {}", i.rotations);
+        println!("epoch age: {:.3} s", i.age_nanos as f64 / 1e9);
         if args.get("addr").is_none() {
             return Ok(());
         }
@@ -895,6 +974,129 @@ fn query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         print_wire_answer(*addr, a);
     }
     Ok(())
+}
+
+/// One raw `GET /statusz` against a metrics endpoint, parsed into [`Json`].
+/// Plain `std::net`, mirroring the serving side's zero-dependency HTTP.
+fn fetch_statusz(addr: &str) -> Result<Json, Box<dyn std::error::Error>> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
+    // One write syscall: the server reads once and then responds.
+    let request = format!("GET /statusz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or("malformed HTTP response (no header/body separator)")?;
+    Ok(Json::parse(body).map_err(|e| format!("/statusz is not valid JSON: {e}"))?)
+}
+
+/// Render one scalar JSON value for the `top` view.
+fn json_scalar(v: &Json) -> String {
+    match v {
+        Json::Num(n) => format!("{n}"),
+        Json::Str(s) => s.clone(),
+        Json::Bool(b) => format!("{b}"),
+        Json::Null => "null".to_string(),
+        Json::Arr(items) => format!("[{} items]", items.len()),
+        Json::Obj(fields) => format!("{{{} fields}}", fields.len()),
+    }
+}
+
+/// Format a `/statusz` document as the `top` terminal view: watermarks and
+/// the flight tail get dedicated layouts, every other section prints its
+/// fields generically — so sections added by future processes show up
+/// without a tool upgrade (the unknown-fields-are-ignored contract, read
+/// side).
+fn render_statusz(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(wm) = doc.get("watermarks").and_then(Json::as_obj) {
+        let _ = writeln!(out, "watermarks:");
+        if wm.is_empty() {
+            let _ = writeln!(out, "  (none recorded)");
+        }
+        for (name, w) in wm {
+            let num = |k: &str| w.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {name:<36} flow_ts {:>12}  age {:>9.3}s  updates {}",
+                num("flow_ts"),
+                num("age_seconds"),
+                num("updates"),
+            );
+        }
+    }
+    for (name, section) in doc.as_obj().unwrap_or(&[]) {
+        if name == "watermarks" || name == "flight" {
+            continue;
+        }
+        let _ = writeln!(out, "{name}:");
+        match section.as_obj() {
+            Some([]) => {
+                let _ = writeln!(out, "  (empty)");
+            }
+            Some(fields) => {
+                for (k, v) in fields {
+                    let _ = writeln!(out, "  {k:<36} {}", json_scalar(v));
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  {}", json_scalar(section));
+            }
+        }
+    }
+    if let Some(flight) = doc.get("flight") {
+        let recorded = flight.get("recorded").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(out, "flight ({recorded} recorded):");
+        let tail = flight.get("tail").and_then(Json::as_arr).unwrap_or(&[]);
+        if tail.is_empty() {
+            let _ = writeln!(out, "  (no events)");
+        }
+        for e in tail {
+            let num = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  #{:<8} {:<16} ts={} a={} b={} c={}",
+                num("seq"),
+                e.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                num("ts"),
+                num("a"),
+                num("b"),
+                num("c"),
+            );
+        }
+    }
+    out
+}
+
+/// `top`: a live terminal view over a process's `/statusz` endpoint —
+/// freshness watermarks, lag gauges, store/history state, and the flight
+/// recorder tail, refreshed in place until interrupted (`--once` renders a
+/// single frame, for scripts and tests).
+fn top(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.require("metrics-addr")?;
+    let interval: u64 = args.get_or("interval-secs", 2)?;
+    let once = args.flag("once");
+    loop {
+        let doc = fetch_statusz(addr)?;
+        let frame = render_statusz(&doc);
+        if !once {
+            // ANSI clear + home: repaint in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("ipd-tool top — {addr}");
+        print!("{frame}");
+        if once {
+            return Ok(());
+        }
+        std::io::Write::flush(&mut std::io::stdout())?;
+        std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
+    }
 }
 
 /// Resolve the scenario + detector knobs shared by every `spoof` mode.
@@ -1737,6 +1939,32 @@ mod tests {
             .expect("numeric gauge");
         assert!(gauge >= 6.0, "epoch gauge must advance, got {gauge}");
         assert!(body.contains("ipd_serve_lookups_total"));
+        assert!(
+            body.contains("ipd_serve_epoch_age_seconds"),
+            "freshness gauge missing from:\n{body}"
+        );
+
+        // The flight recorder is dumpable over the wire, both through the
+        // client API and the query subcommand.
+        let events = client.dump().expect("dump");
+        assert!(!events.is_empty(), "publication must leave flight events");
+        assert!(events
+            .iter()
+            .any(|e| e.kind == ipd_telemetry::EventKind::EpochPublished as u8));
+        run_cli(argv(&["query", "--server", &addr, "--dump"])).expect("query --dump");
+
+        // /statusz carries the serve section plus watermarks and the
+        // flight tail; `top --once` renders one frame of it.
+        let doc = fetch_statusz(&metrics_addr).expect("statusz");
+        let serve = doc.get("serve").expect("serve section");
+        assert!(serve.get("epoch").unwrap().as_f64().unwrap() >= 6.0);
+        assert!(doc
+            .get("watermarks")
+            .unwrap()
+            .get("ipd_serve_publish_watermark")
+            .is_some());
+        assert!(doc.get("flight").unwrap().get("recorded").unwrap().as_f64() > Some(0.0));
+        run_cli(argv(&["top", "--metrics-addr", &metrics_addr, "--once"])).expect("top --once");
 
         handle.join().unwrap().expect("serve exits cleanly");
     }

@@ -310,7 +310,7 @@ impl BucketDriver {
         if let Some(current) = self.current_bucket {
             let now = (current + 1) * self.t;
             let report = self.timed_tick(engine, now);
-            self.metrics.record_tick(&report, engine.engine());
+            self.metrics.record_tick(&report, engine.engine(), now);
             out(PipelineOutput::Tick(report));
             out(PipelineOutput::Snapshot(engine.snapshot(now)));
         }
@@ -323,7 +323,7 @@ impl BucketDriver {
         out: &mut F,
     ) {
         let report = self.timed_tick(engine, now);
-        self.metrics.record_tick(&report, engine.engine());
+        self.metrics.record_tick(&report, engine.engine(), now);
         out(PipelineOutput::Tick(report));
         self.ticks_since_snapshot += 1;
         if self.ticks_since_snapshot >= self.snapshot_every {
@@ -421,6 +421,7 @@ pub fn run_offline_instrumented<E, I, F>(
         hook.flows(std::slice::from_ref(&flow));
         engine.ingest(&flow);
         metrics.flows.inc();
+        metrics.ingest_watermark.record(flow.ts);
     }
     hook.finished(engine.engine(), driver.clock());
     driver.finish(engine, &mut on_output);
@@ -534,11 +535,15 @@ impl IpdPipeline {
                     metrics.batches.inc();
                     metrics.batch_size.observe(batch.len() as u64);
                     metrics.channel_depth.set(in_rx.len() as i64);
+                    let last_ts = batch.last().map(|f| f.ts);
                     for flow in batch {
                         driver.observe_with(&mut engine, flow.ts, &mut emit, hook.as_mut());
                         hook.flows(std::slice::from_ref(&flow));
                         engine.ingest(&flow);
                         metrics.flows.inc();
+                    }
+                    if let Some(ts) = last_ts {
+                        metrics.ingest_watermark.record(ts);
                     }
                 }
                 hook.finished(&engine, driver.clock());
@@ -644,6 +649,9 @@ impl ShardedPipeline {
                     metrics.batch_size.observe(batch.len() as u64);
                     metrics.channel_depth.set(in_rx.len() as i64);
                     driver.ingest_batch_with(&mut engine, &batch, &mut emit, hook.as_mut());
+                    if let Some(last) = batch.last() {
+                        metrics.ingest_watermark.record(last.ts);
+                    }
                 }
                 hook.finished(ShardedEngine::engine(&engine), driver.clock());
                 driver.finish(&mut engine, &mut emit);

@@ -9,7 +9,9 @@
 //! metrics (wall-clock durations, channel depth) vary run to run and are
 //! excluded from `MetricsSnapshot::deterministic()`.
 
-use ipd_telemetry::{Class, Counter, Gauge, Histogram, Telemetry, SIZE_BUCKETS};
+use ipd_telemetry::{
+    Class, Counter, EventKind, FlightRecorder, Gauge, Histogram, Telemetry, Watermark, SIZE_BUCKETS,
+};
 
 use crate::engine::TickReport;
 
@@ -55,6 +57,14 @@ pub struct CoreTelemetry {
     /// `ipd_engine_state_bytes` — estimated engine heap footprint, set
     /// after each tick.
     pub state_bytes: Gauge,
+    /// `ipd_pipeline_ingest_watermark` — stage-1 high-water mark of the
+    /// flow clock (the freshest flow timestamp ingested so far).
+    pub ingest_watermark: Watermark,
+    /// `ipd_engine_tick_watermark` — flow time of the latest completed
+    /// stage-2 cycle; the gap to the ingest watermark is the stage-2 lag.
+    pub tick_watermark: Watermark,
+    /// The registry's flight recorder; tick boundaries land here.
+    pub flight: FlightRecorder,
 }
 
 impl CoreTelemetry {
@@ -126,12 +136,27 @@ impl CoreTelemetry {
                 "Estimated engine heap footprint in bytes, set after each tick",
                 Class::Deterministic,
             ),
+            ingest_watermark: telemetry.watermark(
+                "ipd_pipeline_ingest_watermark",
+                "Stage-1 high-water mark of the flow clock",
+            ),
+            tick_watermark: telemetry.watermark(
+                "ipd_engine_tick_watermark",
+                "Flow time of the latest completed stage-2 cycle",
+            ),
+            flight: telemetry.flight(),
         }
     }
 
-    /// Record one completed stage-2 cycle: counters from the report, then
-    /// the post-tick state gauges.
-    pub(crate) fn record_tick(&self, report: &TickReport, engine: &crate::engine::IpdEngine) {
+    /// Record one completed stage-2 cycle ending at flow time `now`:
+    /// counters from the report, the post-tick state gauges, the tick
+    /// watermark, and a tick-boundary flight event.
+    pub(crate) fn record_tick(
+        &self,
+        report: &TickReport,
+        engine: &crate::engine::IpdEngine,
+        now: u64,
+    ) {
         self.ticks.inc();
         self.splits.add(report.splits as u64);
         self.joins.add(report.joins as u64);
@@ -145,6 +170,14 @@ impl CoreTelemetry {
         self.classified_ranges.set(engine.classified_count() as i64);
         self.monitored_ips.set(engine.monitored_ip_count() as i64);
         self.state_bytes.set(engine.state_bytes_estimate() as i64);
+        self.tick_watermark.record(now);
+        self.flight.record(
+            EventKind::ShardTick,
+            now,
+            report.newly_classified.len() as u64,
+            engine.range_count() as u64,
+            engine.classified_count() as u64,
+        );
     }
 }
 
@@ -212,7 +245,7 @@ mod tests {
             engine.ingest_parts(30, Addr::v4(i * 4096), IngressPoint::new(1, 1), 1.0);
         }
         let report = engine.tick(60);
-        m.record_tick(&report, &engine);
+        m.record_tick(&report, &engine, 60);
 
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("ipd_engine_ticks_total"), Some(1));
@@ -225,6 +258,14 @@ mod tests {
             Some(engine.range_count() as i64)
         );
         assert!(snap.gauge("ipd_engine_state_bytes").unwrap() > 0);
+        // The tick watermark carries the bucket-close flow time and the
+        // tick boundary lands in the flight recorder.
+        assert_eq!(snap.gauge("ipd_engine_tick_watermark_flow_ts"), Some(60));
+        let events = telemetry.flight().dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::ShardTick as u8);
+        assert_eq!(events[0].ts, 60);
+        assert_eq!(events[0].b, engine.range_count() as u64);
     }
 
     #[test]

@@ -395,6 +395,36 @@ fn telemetry_is_inert() {
         Some(reference.stats.flows_ingested),
         "flow counter must equal the engine's own count"
     );
+
+    // The observability surfaces were live during those bit-identical runs:
+    // watermarks advanced and the flight recorder captured events. Their
+    // inertness is exactly what the output equality above proved.
+    let marks = plain_telemetry.watermarks();
+    for name in ["ipd_pipeline_ingest_watermark", "ipd_engine_tick_watermark"] {
+        let (_, w) = marks
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
+        assert!(w.updates > 0, "{name} never recorded");
+        assert!(w.flow_ts > 0, "{name} never advanced");
+    }
+    assert!(
+        plain_telemetry.flight().recorded() > 0,
+        "instrumented run recorded no flight events"
+    );
+    // None of them may enter the deterministic subset (watermark-derived
+    // samples and lag gauges are all timing-class): the golden pins must
+    // stay insensitive to wall-clock freshness.
+    assert!(
+        offline_snap
+            .deterministic()
+            .samples
+            .iter()
+            .all(|s| !s.name.contains("watermark")
+                && !s.name.contains("_age_seconds")
+                && !s.name.contains("_lag_seconds")),
+        "watermark-derived samples leaked into the deterministic subset"
+    );
 }
 
 /// The DFZ-scale equivalence proof (ISSUE: differential scale test): a

@@ -2,8 +2,9 @@
 //! the wire or off disk: NetFlow v5 datagrams, IPFIX messages (stateful —
 //! template caches carry across messages), the write-ahead journal, the
 //! serving layer's binary query protocol, the longitudinal store's
-//! segment/manifest files (`IPDSEG1`/`IPDMAN1`), and the spoof detector's
-//! verdict/label records.
+//! segment/manifest files (`IPDSEG1`/`IPDMAN1`), the spoof detector's
+//! verdict/label records, and the flight recorder's dump codec (also
+//! embedded in the serve protocol's `Dump` response).
 //!
 //! The target functions are plain `fn(&[u8])` so they can be driven two
 //! ways:
@@ -37,6 +38,9 @@ use ipd_serve::proto::{
 };
 use ipd_spoof::{decode_verdict, encode_verdict, Verdict, VerdictRecord};
 use ipd_state::{parse_journal, JournalWriter};
+use ipd_telemetry::{
+    decode_events, encode_events, EventKind, FlightEvent, EVENT_WIRE_BYTES, MAX_DUMP_EVENTS,
+};
 use ipd_topology::{Bundle, IngressPoint};
 use ipd_traffic::FlowLabel;
 use rand::rngs::StdRng;
@@ -302,6 +306,27 @@ pub fn fuzz_verdict(data: &[u8]) {
     }
 }
 
+/// Flight-recorder dump codec target: one buffer through the telemetry
+/// layer's event decoder. The codec is total and canonical — anything that
+/// decodes must re-encode to exactly the input bytes, the declared count
+/// must match the decoded length, and the event cap must hold — so, as
+/// with the other codec targets, the roundtrip makes this an oracle.
+pub fn fuzz_flight(data: &[u8]) {
+    if let Ok(events) = decode_events(data) {
+        assert!(events.len() <= MAX_DUMP_EVENTS, "oversized dump decoded");
+        assert_eq!(
+            data.len(),
+            4 + events.len() * EVENT_WIRE_BYTES,
+            "decoded length disagrees with the input size"
+        );
+        assert_eq!(
+            encode_events(&events),
+            data,
+            "flight decode is not canonical"
+        );
+    }
+}
+
 /// A fuzz entry point: consumes arbitrary bytes, panics only on a bug.
 pub type FuzzTarget = fn(&[u8]);
 
@@ -314,6 +339,7 @@ pub const TARGETS: &[(&str, FuzzTarget)] = &[
     ("seg", fuzz_seg),
     ("lpm_ops", fuzz_lpm_ops),
     ("verdict", fuzz_verdict),
+    ("flight", fuzz_flight),
 ];
 
 /// Well-formed seed inputs for `target`, produced by the matching encoders
@@ -404,6 +430,7 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 encode_request(&Request::Batch(addrs)),
                 encode_request(&Request::Batch(Vec::new())),
                 encode_request(&Request::Info),
+                encode_request(&Request::Dump),
                 encode_response(
                     &Response::Answers {
                         epoch: 12,
@@ -424,9 +451,19 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                         ts: 540,
                         entries: 131_072,
                         memory_bytes: 4_200_000,
+                        garbage: 4_096,
+                        rotations: 2,
+                        age_nanos: 1_500_000_000,
                     },
                     3,
                 ),
+                encode_response(
+                    &Response::Dump {
+                        events: flight_events(),
+                    },
+                    7,
+                ),
+                encode_response(&Response::Dump { events: Vec::new() }, 7),
             ]
         }
         "seg" => {
@@ -587,12 +624,66 @@ pub fn seed_corpus(target: &str) -> Vec<Vec<u8>> {
                 full[..3].to_vec(),
             ]
         }
+        "flight" => {
+            // Straight from the encoder: a populated dump (every defined
+            // kind plus an unknown one, boundary field values), an empty
+            // dump, and torn/lying-count variants so mutants hit the exact
+            // length accounting immediately.
+            let full = encode_events(&flight_events());
+            let empty = encode_events(&[]);
+            let mut lying = 5u32.to_le_bytes().to_vec();
+            lying.extend_from_slice(&full[4..4 + EVENT_WIRE_BYTES]);
+            vec![
+                full.clone(),
+                empty,
+                full[..full.len() - 11].to_vec(),
+                full[..3].to_vec(),
+                lying,
+            ]
+        }
         other => {
             panic!(
-                "unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg|lpm_ops|verdict)"
+                "unknown fuzz target {other:?} (want v5|ipfix|journal|proto|seg|lpm_ops|verdict|flight)"
             )
         }
     }
+}
+
+/// Seed flight events shared by the `flight` and `proto` corpora: every
+/// defined kind, one unknown kind (decoding is total over `u8`), and
+/// boundary field values.
+fn flight_events() -> Vec<FlightEvent> {
+    let mut events: Vec<FlightEvent> = [
+        EventKind::EpochPublished,
+        EventKind::DeltaApplied,
+        EventKind::Rotation,
+        EventKind::HistAppend,
+        EventKind::Compaction,
+        EventKind::ShardTick,
+        EventKind::ChurnBurst,
+        EventKind::SpoofSummary,
+        EventKind::Stall,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &kind)| FlightEvent {
+        kind: kind as u8,
+        seq: i as u64,
+        ts: 60 * (i as u64 + 1),
+        a: i as u64,
+        b: u64::from(u32::MAX) + i as u64,
+        c: i as u64 * 7,
+    })
+    .collect();
+    events.push(FlightEvent {
+        kind: 0xEE,
+        seq: u64::MAX,
+        ts: u64::MAX,
+        a: 0,
+        b: u64::MAX,
+        c: 1,
+    });
+    events
 }
 
 /// Corpus size cap for the deterministic driver: interesting mutants are
@@ -807,6 +898,27 @@ mod tests {
         // A short in-test mutation burst so the differential harness itself
         // is exercised on garbage frames, not just on well-formed seeds.
         run_target("lpm_ops", 7, 400, None);
+    }
+
+    #[test]
+    fn flight_seeds_cover_codec_edges() {
+        let seeds = seed_corpus("flight");
+        let decoded: Vec<Vec<FlightEvent>> =
+            seeds.iter().filter_map(|s| decode_events(s).ok()).collect();
+        assert!(
+            decoded.iter().any(|d| d.len() >= 9),
+            "want a full-dump seed"
+        );
+        assert!(decoded.iter().any(|d| d.is_empty()), "want an empty seed");
+        assert!(
+            decoded.iter().flatten().any(|e| e.kind == 0xEE),
+            "want an unknown-kind event (decoding is total over u8)"
+        );
+        // The torn and lying-count variants must be rejected, not decoded.
+        assert!(
+            decoded.len() < seeds.len(),
+            "every seed decoded — torn seeds missing"
+        );
     }
 
     #[test]

@@ -305,16 +305,24 @@ impl Inner {
                 &bytes,
             )?;
             self.metrics.bytes_written.add(bytes.len() as u64);
-            {
+            let entry_ts = {
                 let entry = st.manifest.get_mut(epoch).expect("pending is held");
                 entry.kind = SegmentKind::Full;
                 entry.bytes = bytes.len() as u64;
-            }
+                entry.ts
+            };
             st.dirty = true;
             // Manifest swap is the commit point; only then drop the delta.
             self.write_manifest(st)?;
             let _ = std::fs::remove_file(self.dir.join(seg_file_name(epoch, SegmentKind::Delta)));
             self.metrics.compactions.inc();
+            self.metrics.flight.record(
+                ipd_telemetry::EventKind::Compaction,
+                entry_ts,
+                epoch,
+                bytes.len() as u64,
+                folded + 1,
+            );
             folded += 1;
         }
         if folded > 0 {
@@ -442,6 +450,7 @@ impl HistStore {
         });
         st.dirty = true;
         st.appends_since_manifest += 1;
+        let (epoch, ts, full) = (image.epoch, image.ts, seg.kind() == SegmentKind::Full);
         let image = Arc::new(image);
         st.memtable.push_back(Arc::clone(&image));
         while st.memtable.len() > inner.cfg.memtable_epochs.max(1) {
@@ -450,6 +459,15 @@ impl HistStore {
         st.last_image = Some(image);
         inner.metrics.appends.inc();
         inner.metrics.bytes_written.add(bytes.len() as u64);
+        // The segment file is synced at this point: the epoch is durable.
+        inner.metrics.persist_watermark.record(ts);
+        inner.metrics.flight.record(
+            ipd_telemetry::EventKind::HistAppend,
+            ts,
+            epoch,
+            bytes.len() as u64,
+            full as u64,
+        );
         if st.appends_since_manifest >= inner.cfg.manifest_every.max(1) {
             inner.write_manifest(&mut st)?;
         }

@@ -3,7 +3,9 @@
 //! binds to a live [`Telemetry`] registry. Observational only — nothing
 //! here feeds back into appends, compaction, or reconstruction.
 
-use ipd_telemetry::{Class, Counter, Gauge, Histogram, Telemetry, SIZE_BUCKETS};
+use ipd_telemetry::{
+    Class, Counter, FlightRecorder, Gauge, Histogram, Telemetry, Watermark, SIZE_BUCKETS,
+};
 
 /// All longitudinal-store metric handles.
 #[derive(Debug, Clone, Default)]
@@ -32,6 +34,12 @@ pub struct HistTelemetry {
     /// (0 for a memtable hit; bounded by the keyframe interval after
     /// compaction catches up).
     pub reconstruct_reads: Histogram,
+    /// `ipd_hist_persist_watermark` — flow time of the latest durably
+    /// appended epoch; the gap to the ingest watermark is the persistence
+    /// lag, exported as the derived `ipd_hist_persist_lag_seconds`.
+    pub persist_watermark: Watermark,
+    /// The registry's flight recorder; appends and compactions land here.
+    pub flight: FlightRecorder,
 }
 
 impl HistTelemetry {
@@ -74,6 +82,36 @@ impl HistTelemetry {
                 SIZE_BUCKETS,
                 Class::Timing,
             ),
+            persist_watermark: {
+                let w = telemetry.watermark(
+                    "ipd_hist_persist_watermark",
+                    "Flow time of the latest durably appended epoch",
+                );
+                let lag = telemetry.clone();
+                telemetry.derived_gauge(
+                    "ipd_hist_persist_lag_seconds",
+                    "Flow-time gap between stage-1 ingest and the latest \
+                     durably appended epoch",
+                    move || {
+                        let marks = lag.watermarks();
+                        let find = |name: &str| {
+                            marks
+                                .iter()
+                                .find(|(n, _)| n == name)
+                                .map(|(_, s)| s.flow_ts)
+                        };
+                        match (
+                            find("ipd_pipeline_ingest_watermark"),
+                            find("ipd_hist_persist_watermark"),
+                        ) {
+                            (Some(ingest), Some(persist)) => ingest.saturating_sub(persist) as f64,
+                            _ => 0.0,
+                        }
+                    },
+                );
+                w
+            },
+            flight: telemetry.flight(),
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ipd_telemetry::{Counter, Telemetry};
+use ipd_telemetry::{Counter, Telemetry, Watermark};
 
 use crate::ipfix::IpfixDecoder;
 use crate::record::{DecodeError, FlowRecord, RouterId};
@@ -65,6 +65,10 @@ struct CollectorMetrics {
     unknown_template_sets: Counter,
     templates_registered: Counter,
     template_redefinitions: Counter,
+    /// `ipd_collector_watermark` — high-water mark of decoded flow
+    /// timestamps; the head of the end-to-end freshness chain (timing
+    /// class, like all watermarks).
+    watermark: Watermark,
 }
 
 impl CollectorMetrics {
@@ -101,6 +105,10 @@ impl CollectorMetrics {
             template_redefinitions: telemetry.counter(
                 "ipd_collector_template_redefinitions_total",
                 "IPFIX templates that replaced an existing definition",
+            ),
+            watermark: telemetry.watermark(
+                "ipd_collector_watermark",
+                "High-water mark of decoded flow timestamps",
             ),
         }
     }
@@ -170,6 +178,14 @@ impl Collector {
                 self.stats.records += n as u64;
                 self.metrics.datagrams.inc();
                 self.metrics.records.add(n as u64);
+                if n > 0 {
+                    // Decoders append in arrival order; the freshest flow
+                    // of this datagram is the last appended (the watermark
+                    // is monotone-max, so mild reordering is harmless).
+                    if let Some(last) = out.last() {
+                        self.metrics.watermark.record(last.ts);
+                    }
+                }
                 Ok(n)
             }
             Err(e) => {

@@ -62,6 +62,13 @@ pub struct ServeInfo {
     pub entries: u64,
     /// Approximate heap footprint in bytes.
     pub memory_bytes: u64,
+    /// Dead arena cells awaiting the next compaction rotation.
+    pub garbage: u64,
+    /// Compaction rebuilds (store rotations) since server start.
+    pub rotations: u64,
+    /// Wall nanoseconds since the served epoch was published (0 when the
+    /// server runs without telemetry).
+    pub age_nanos: u64,
 }
 
 /// A blocking client holding one connection. Requests are strictly
@@ -147,6 +154,16 @@ impl ServeClient {
         Self::expect_info(self.call(&Request::WaitEpoch { min_epoch })?)
     }
 
+    /// Fetch the server's flight-recorder tail — the same structured events
+    /// a crash dump prints, oldest first (empty when the server runs
+    /// without telemetry).
+    pub fn dump(&mut self) -> Result<Vec<ipd_telemetry::FlightEvent>, ClientError> {
+        match self.call(&Request::Dump)? {
+            Response::Dump { events } => Ok(events),
+            _ => Err(ClientError::Unexpected("wrong reply shape to dump")),
+        }
+    }
+
     fn expect_info(resp: Response) -> Result<ServeInfo, ClientError> {
         match resp {
             Response::Info {
@@ -154,11 +171,17 @@ impl ServeClient {
                 ts,
                 entries,
                 memory_bytes,
+                garbage,
+                rotations,
+                age_nanos,
             } => Ok(ServeInfo {
                 epoch,
                 ts,
                 entries,
                 memory_bytes,
+                garbage,
+                rotations,
+                age_nanos,
             }),
             _ => Err(ClientError::Unexpected("non-info reply to info-shaped op")),
         }
@@ -320,6 +343,11 @@ impl RetryClient {
     /// [`ServeClient::wait_epoch`] with retry.
     pub fn wait_epoch(&mut self, min_epoch: u64) -> Result<ServeInfo, ClientError> {
         self.with_retry(|c| c.wait_epoch(min_epoch))
+    }
+
+    /// [`ServeClient::dump`] with retry.
+    pub fn dump(&mut self) -> Result<Vec<ipd_telemetry::FlightEvent>, ClientError> {
+        self.with_retry(|c| c.dump())
     }
 }
 

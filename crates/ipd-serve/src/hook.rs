@@ -5,6 +5,7 @@
 
 use ipd::pipeline::{BucketClock, PipelineHook};
 use ipd::{IpdEngine, Snapshot, StoreDelta};
+use ipd_telemetry::EventKind;
 
 use crate::live::LiveStore;
 use crate::swap::EpochSwap;
@@ -13,6 +14,11 @@ use crate::telemetry::ServeTelemetry;
 /// Garbage cells below this never trigger a rotation (rebuilds are pointless
 /// for small tables — the arenas are lazily chunked anyway).
 const REBUILD_MIN_GARBAGE: usize = 65_536;
+
+/// Publications changing at least this many rows record a
+/// [`EventKind::ChurnBurst`] flight event — the same order as the
+/// parallel-apply threshold, i.e. churn big enough to dominate publish cost.
+const CHURN_BURST_CHANGES: usize = 4_096;
 
 /// Publishes into a [`LiveStore`] on every bucket crossing and at stream
 /// close. Riding on the engine thread means each publication sees exactly
@@ -88,19 +94,54 @@ impl ServePublisher {
             let fresh = LiveStore::with_base_epoch(self.regions, store.epoch());
             let epoch = fresh.publish_full(&snapshot);
             self.metrics.rebuilds.inc();
+            self.metrics.flight.record(
+                EventKind::Rotation,
+                ts,
+                epoch,
+                garbage as u64,
+                fresh.len() as u64,
+            );
             self.swap.publish(fresh);
             epoch
         } else {
-            store.apply(&delta, ts)
+            let epoch = store.apply(&delta, ts);
+            self.metrics.flight.record(
+                EventKind::DeltaApplied,
+                ts,
+                epoch,
+                delta.change_count() as u64,
+                store.garbage() as u64,
+            );
+            epoch
         };
+        if delta.change_count() >= CHURN_BURST_CHANGES {
+            self.metrics.flight.record(
+                EventKind::ChurnBurst,
+                ts,
+                epoch,
+                delta.change_count() as u64,
+                snapshot.records.len() as u64,
+            );
+        }
         self.metrics.changed.add(delta.change_count() as u64);
         let current = self.swap.load();
         self.metrics.store_entries.set(current.value.len() as i64);
         self.metrics
             .store_bytes
             .set(current.value.memory_bytes().min(i64::MAX as usize) as i64);
+        self.metrics
+            .garbage
+            .set(current.value.garbage().min(i64::MAX as usize) as i64);
         self.metrics.epoch.set(epoch.min(i64::MAX as u64) as i64);
         self.metrics.published.inc();
+        self.metrics.publish_watermark.record(ts);
+        self.metrics.flight.record(
+            EventKind::EpochPublished,
+            ts,
+            epoch,
+            delta.change_count() as u64,
+            current.value.len() as u64,
+        );
         self.prev = snapshot;
         epoch
     }

@@ -13,15 +13,28 @@
 //! request  op 4 (QueryAt):  [ver][4][epoch:u64][addr]
 //! request  op 5 (DiffRange):[ver][5][from:u64][to:u64]
 //! request  op 6 (WaitEpoch):[ver][6][min_epoch:u64]
+//! request  op 7 (Dump):     [ver][7]
 //! response op 1/2/4:        [ver][op][epoch:u64][count:u32][answer]*count
 //! response op 3/6:          [ver][op][epoch:u64][ts:u64][entries:u64][bytes:u64]
+//!                                [garbage:u64][rotations:u64][age_nanos:u64]
 //! response op 5:            [ver][5][from:u64][to:u64][count:u32][change]*count
+//! response op 7:            [ver][7][flight blob]
 //! addr:                     [af:u8=4|6][4 or 16 address bytes, network order]
 //! answer:                   [kind:u8][prefix_len:u8][router:u32][ifindex:u16][confidence:f64 bits]
 //! change:                   [tag:u8=1|2|3][prefix][ingress before?][ingress after?]
 //! prefix:                   [af:u8=4|6][4 or 16 network bytes][len:u8]
 //! ingress:                  [kind:u8=1|2][router:u32][ifindex:u16]
 //! ```
+//!
+//! Version 2 (this version) extended the `Info` shape with the store's
+//! freshness accounting — `garbage` (dead arena cells), `rotations`
+//! (compaction rebuilds since start), `age_nanos` (wall nanoseconds since
+//! the served epoch was published; 0 when the server has no telemetry) —
+//! and added the `Dump` op, which returns the server's flight-recorder
+//! tail. The *flight blob* is the canonical little-endian event codec from
+//! `ipd-telemetry` ([`ipd_telemetry::encode_events`]) embedded verbatim:
+//! an opaque sub-message with its own count header, so the same bytes a
+//! crash dump prints travel on the wire.
 //!
 //! Answer `kind` is 0 = unmapped (all other fields zero), 1 = link,
 //! 2 = bundle (`ifindex` is the bundle's lowest member interface; the full
@@ -45,12 +58,14 @@
 //! fuzzable (`ipd-fuzz` target `proto`).
 
 use ipd_lpm::{Addr, Af, Prefix};
+use ipd_telemetry::{decode_events, encode_events, FlightCodecError, FlightEvent};
 
 use crate::store::IngressAnswer;
 use ipd::{LogicalIngress, PrefixChange};
 
-/// Protocol version byte every payload opens with.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version byte every payload opens with. Version 2 extended the
+/// `Info` response and added the `Dump` op (see the module docs).
+pub const PROTO_VERSION: u8 = 2;
 
 /// Maximum payload length a frame may declare (1 MiB) — caps what a server
 /// buffers per connection before decoding.
@@ -70,6 +85,7 @@ const OP_INFO: u8 = 3;
 const OP_QUERY_AT: u8 = 4;
 const OP_DIFF: u8 = 5;
 const OP_WAIT: u8 = 6;
+const OP_DUMP: u8 = 7;
 
 const KIND_UNMAPPED: u8 = 0;
 const KIND_LINK: u8 = 1;
@@ -109,6 +125,9 @@ pub enum Request {
         /// The epoch to wait for.
         min_epoch: u64,
     },
+    /// The server's flight-recorder tail — the same structured events a
+    /// crash dump prints, for remote post-mortems.
+    Dump,
 }
 
 /// What kind of ingress an answer names.
@@ -262,6 +281,13 @@ pub enum Response {
         entries: u64,
         /// Approximate heap footprint in bytes.
         memory_bytes: u64,
+        /// Dead arena cells awaiting the next compaction rotation.
+        garbage: u64,
+        /// Compaction rebuilds (store rotations) since server start.
+        rotations: u64,
+        /// Wall nanoseconds since the served epoch was published (0 when
+        /// the server runs without telemetry).
+        age_nanos: u64,
     },
     /// Per-prefix changes between two epochs, sorted by prefix, capped at
     /// [`MAX_DIFF`].
@@ -272,6 +298,11 @@ pub enum Response {
         to: u64,
         /// What changed between them.
         changes: Vec<WireChange>,
+    },
+    /// The flight-recorder tail, oldest first.
+    Dump {
+        /// Recorded events, in sequence order.
+        events: Vec<FlightEvent>,
     },
 }
 
@@ -298,6 +329,9 @@ pub enum ProtoError {
     BadPrefix,
     /// Bytes left over after the declared structure.
     TrailingBytes(usize),
+    /// A flight blob the event codec rejects (truncated, oversized, or
+    /// non-canonical).
+    BadFlightBlob,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -312,6 +346,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::DiffTooLarge(n) => write!(f, "diff of {n} changes exceeds {MAX_DIFF}"),
             ProtoError::BadPrefix => write!(f, "non-canonical or out-of-range prefix"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtoError::BadFlightBlob => write!(f, "malformed flight-recorder blob"),
         }
     }
 }
@@ -409,6 +444,14 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    /// Everything not yet consumed (used for embedded sub-messages with
+    /// their own codec, like the flight blob).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         let left = self.buf.len() - self.pos;
         if left == 0 {
@@ -495,6 +538,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_WAIT);
             out.extend_from_slice(&min_epoch.to_be_bytes());
         }
+        Request::Dump => out.push(OP_DUMP),
     }
     out
 }
@@ -534,6 +578,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         OP_WAIT => Request::WaitEpoch {
             min_epoch: c.u64()?,
         },
+        OP_DUMP => Request::Dump,
         other => return Err(ProtoError::BadOp(other)),
     };
     c.finish()?;
@@ -571,12 +616,18 @@ pub fn encode_response(resp: &Response, op: u8) -> Vec<u8> {
             ts,
             entries,
             memory_bytes,
+            garbage,
+            rotations,
+            age_nanos,
         } => {
             out.push(op);
             out.extend_from_slice(&epoch.to_be_bytes());
             out.extend_from_slice(&ts.to_be_bytes());
             out.extend_from_slice(&entries.to_be_bytes());
             out.extend_from_slice(&memory_bytes.to_be_bytes());
+            out.extend_from_slice(&garbage.to_be_bytes());
+            out.extend_from_slice(&rotations.to_be_bytes());
+            out.extend_from_slice(&age_nanos.to_be_bytes());
         }
         Response::Diff { from, to, changes } => {
             out.push(OP_DIFF);
@@ -586,6 +637,10 @@ pub fn encode_response(resp: &Response, op: u8) -> Vec<u8> {
             for ch in changes {
                 put_change(&mut out, ch);
             }
+        }
+        Response::Dump { events } => {
+            out.push(OP_DUMP);
+            out.extend_from_slice(&encode_events(events));
         }
     }
     out
@@ -628,6 +683,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             ts: c.u64()?,
             entries: c.u64()?,
             memory_bytes: c.u64()?,
+            garbage: c.u64()?,
+            rotations: c.u64()?,
+            age_nanos: c.u64()?,
         },
         OP_DIFF => {
             let from = c.u64()?;
@@ -641,6 +699,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 changes.push(c.change()?);
             }
             Response::Diff { from, to, changes }
+        }
+        OP_DUMP => {
+            // The remainder is the little-endian flight codec, which does
+            // its own exact-length accounting — so `finish` below is
+            // trivially satisfied and canonicality comes from the codec.
+            let events = decode_events(c.rest()).map_err(|e| match e {
+                FlightCodecError::Truncated | FlightCodecError::LengthMismatch { .. } => {
+                    ProtoError::BadFlightBlob
+                }
+                FlightCodecError::TooManyEvents(_) => ProtoError::BadFlightBlob,
+            })?;
+            Response::Dump { events }
         }
         other => return Err(ProtoError::BadOp(other)),
     };
@@ -657,6 +727,7 @@ pub fn request_op(req: &Request) -> u8 {
         Request::QueryAt { .. } => OP_QUERY_AT,
         Request::DiffRange { .. } => OP_DIFF,
         Request::WaitEpoch { .. } => OP_WAIT,
+        Request::Dump => OP_DUMP,
     }
 }
 
@@ -698,6 +769,7 @@ mod tests {
         });
         roundtrip_request(Request::DiffRange { from: 3, to: 907 });
         roundtrip_request(Request::WaitEpoch { min_epoch: 42 });
+        roundtrip_request(Request::Dump);
     }
 
     #[test]
@@ -730,6 +802,9 @@ mod tests {
             ts: 600,
             entries: 131_072,
             memory_bytes: 9_999_999,
+            garbage: 4_096,
+            rotations: 2,
+            age_nanos: 1_500_000_000,
         };
         let bytes = encode_response(&info, 3);
         assert_eq!(decode_response(&bytes), Ok(info.clone()));
@@ -888,23 +963,58 @@ mod tests {
     fn malformed_inputs_error_cleanly() {
         assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
         assert_eq!(decode_request(&[9, 1]), Err(ProtoError::BadVersion(9)));
-        assert_eq!(decode_request(&[1, 99]), Err(ProtoError::BadOp(99)));
-        assert_eq!(decode_request(&[1, 1, 5]), Err(ProtoError::BadAf(5)));
-        assert_eq!(decode_request(&[1, 1, 4, 0]), Err(ProtoError::Truncated));
+        // Version 1 no longer decodes: the Info shape changed with v2.
+        assert_eq!(decode_request(&[1, 3]), Err(ProtoError::BadVersion(1)));
+        assert_eq!(decode_request(&[2, 99]), Err(ProtoError::BadOp(99)));
+        assert_eq!(decode_request(&[2, 1, 5]), Err(ProtoError::BadAf(5)));
+        assert_eq!(decode_request(&[2, 1, 4, 0]), Err(ProtoError::Truncated));
         assert_eq!(
-            decode_request(&[1, 3, 0]),
+            decode_request(&[2, 3, 0]),
             Err(ProtoError::TrailingBytes(1))
         );
         // A batch declaring more than MAX_BATCH addresses is rejected before
         // any allocation proportional to the claim.
-        let mut huge = vec![1, 2];
+        let mut huge = vec![2, 2];
         huge.extend_from_slice(&(u32::MAX).to_be_bytes());
         assert_eq!(
             decode_request(&huge),
             Err(ProtoError::BatchTooLarge(u32::MAX))
         );
-        assert_eq!(decode_response(&[1, 1, 0]), Err(ProtoError::Truncated));
-        assert!(decode_response(&[1, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 7]).is_err());
+        assert_eq!(decode_response(&[2, 1, 0]), Err(ProtoError::Truncated));
+        assert!(decode_response(&[2, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn dump_roundtrips_and_rejects_malformed_blobs() {
+        let events: Vec<FlightEvent> = (0..3)
+            .map(|i| FlightEvent {
+                kind: i as u8 + 1,
+                seq: i + 1,
+                ts: 60 * (i + 1),
+                a: i,
+                b: i * 2,
+                c: i * 3,
+            })
+            .collect();
+        let dump = Response::Dump { events };
+        let bytes = encode_response(&dump, 7);
+        assert_eq!(bytes[1], 7);
+        assert_eq!(decode_response(&bytes), Ok(dump));
+
+        let empty = Response::Dump { events: vec![] };
+        let bytes = encode_response(&empty, 7);
+        assert_eq!(decode_response(&bytes), Ok(empty));
+
+        // A blob whose count disagrees with its length is rejected, as is
+        // a truncated one — the embedded codec does its own accounting.
+        let mut lying = vec![PROTO_VERSION, 7];
+        lying.extend_from_slice(&5u32.to_le_bytes());
+        lying.extend_from_slice(&[0u8; 41]); // one frame, five declared
+        assert_eq!(decode_response(&lying), Err(ProtoError::BadFlightBlob));
+        assert_eq!(
+            decode_response(&[PROTO_VERSION, 7, 1]),
+            Err(ProtoError::BadFlightBlob)
+        );
     }
 
     #[test]

@@ -191,6 +191,25 @@ fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> std::io::Result<Read
     Ok(ReadOutcome::Frame(payload))
 }
 
+/// The extended (v2) Info shape: store metadata plus freshness accounting.
+/// The swap's own epoch counts *rotations* (it only advances on compaction
+/// rebuilds); epoch age comes from the publish watermark's wall stamp and
+/// is 0 when the server runs without telemetry.
+fn info_response(
+    current: &crate::swap::Versioned<LiveStore>,
+    metrics: &ServeTelemetry,
+) -> Response {
+    Response::Info {
+        epoch: current.value.epoch(),
+        ts: current.value.ts(),
+        entries: current.value.len() as u64,
+        memory_bytes: current.value.memory_bytes() as u64,
+        garbage: current.value.garbage() as u64,
+        rotations: current.epoch,
+        age_nanos: metrics.publish_watermark.age_nanos(),
+    }
+}
+
 fn handle_conn(
     mut stream: TcpStream,
     mut reader: Reader<LiveStore>,
@@ -251,12 +270,7 @@ fn handle_conn(
                     .add(answers.iter().filter(|a| !a.is_mapped()).count() as u64);
                 Response::Answers { epoch, answers }
             }
-            Request::Info => Response::Info {
-                epoch,
-                ts: current.value.ts(),
-                entries: current.value.len() as u64,
-                memory_bytes: current.value.memory_bytes() as u64,
-            },
+            Request::Info => info_response(&current, metrics),
             Request::QueryAt { epoch, addr } => {
                 let store = history.as_ref().and_then(|h| h.at_epoch(*epoch));
                 let answers = match &store {
@@ -310,13 +324,11 @@ fn handle_conn(
                     std::thread::sleep(POLL_INTERVAL);
                     current = reader.current_arc();
                 }
-                Response::Info {
-                    epoch: current.value.epoch(),
-                    ts: current.value.ts(),
-                    entries: current.value.len() as u64,
-                    memory_bytes: current.value.memory_bytes() as u64,
-                }
+                info_response(&current, metrics)
             }
+            Request::Dump => Response::Dump {
+                events: metrics.flight.dump(),
+            },
         };
         stream.write_all(&frame(&encode_response(&resp, op)))?;
     }
@@ -518,6 +530,47 @@ mod tests {
         let info = client.wait_epoch(2).unwrap();
         assert!(info.epoch >= 2, "woke at epoch {}", info.epoch);
         publisher.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn info_carries_freshness_and_dump_returns_flight_events() {
+        use crate::hook::ServePublisher;
+        use ipd_telemetry::EventKind;
+
+        let telemetry = Telemetry::new();
+        let metrics = ServeTelemetry::register(&telemetry);
+        let mut publisher = ServePublisher::with_metrics(metrics.clone());
+        let swap = publisher.swap();
+        let engine = {
+            let params = IpdParams {
+                ncidr_factor_v4: 0.01,
+                ..IpdParams::default()
+            };
+            let mut e = IpdEngine::new(params).unwrap();
+            for i in 0..600u32 {
+                e.ingest_parts(30, Addr::v4(i * 1024), IngressPoint::new(1, 1), 1.0);
+            }
+            e.tick(60);
+            e
+        };
+        publisher.publish_now(&engine, 60);
+
+        let server = ServeServer::serve("127.0.0.1:0", swap, metrics).expect("bind");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+        let info = client.info().unwrap();
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.rotations, 0, "no compaction at this size");
+        assert!(info.age_nanos > 0, "published via telemetry → stamped");
+
+        // The publication left structured events behind, retrievable over
+        // the same connection.
+        let events = client.dump().unwrap();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::EpochPublished as u8 && e.ts == 60));
         server.shutdown();
     }
 

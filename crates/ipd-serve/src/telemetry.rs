@@ -3,7 +3,9 @@
 //! [`Telemetry`] registry. Observational only — nothing here feeds back
 //! into publication or lookups.
 
-use ipd_telemetry::{Class, Counter, Gauge, Histogram, Telemetry, SIZE_BUCKETS};
+use ipd_telemetry::{
+    Class, Counter, FlightRecorder, Gauge, Histogram, Telemetry, Watermark, SIZE_BUCKETS,
+};
 
 /// All serving metric handles.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +48,16 @@ pub struct ServeTelemetry {
     pub lookup_duration: Histogram,
     /// `ipd_serve_batch_size` — addresses per batch request.
     pub batch_size: Histogram,
+    /// `ipd_serve_store_garbage` — dead arena cells in the current store
+    /// (the rotation trigger's input), set per publication.
+    pub garbage: Gauge,
+    /// `ipd_serve_publish_watermark` — flow time of the latest published
+    /// epoch; its wall age is the served map's freshness and feeds the
+    /// derived `ipd_serve_epoch_age_seconds` gauge.
+    pub publish_watermark: Watermark,
+    /// The registry's flight recorder; publications, rotations and churn
+    /// bursts land here.
+    pub flight: FlightRecorder,
 }
 
 impl ServeTelemetry {
@@ -109,6 +121,47 @@ impl ServeTelemetry {
                 SIZE_BUCKETS,
                 Class::Timing,
             ),
+            garbage: telemetry.gauge(
+                "ipd_serve_store_garbage",
+                "Dead arena cells in the current store",
+                Class::Timing,
+            ),
+            publish_watermark: {
+                let w = telemetry.watermark(
+                    "ipd_serve_publish_watermark",
+                    "Flow time of the latest published epoch",
+                );
+                let age = w.clone();
+                telemetry.derived_gauge(
+                    "ipd_serve_epoch_age_seconds",
+                    "Wall seconds since the served epoch was published",
+                    move || age.age_nanos() as f64 / 1e9,
+                );
+                let lag = telemetry.clone();
+                telemetry.derived_gauge(
+                    "ipd_serve_flow_lag_seconds",
+                    "Flow-time gap between stage-1 ingest and the served epoch \
+                     (end-to-end freshness of the served map)",
+                    move || {
+                        let marks = lag.watermarks();
+                        let find = |name: &str| {
+                            marks
+                                .iter()
+                                .find(|(n, _)| n == name)
+                                .map(|(_, s)| s.flow_ts)
+                        };
+                        match (
+                            find("ipd_pipeline_ingest_watermark"),
+                            find("ipd_serve_publish_watermark"),
+                        ) {
+                            (Some(ingest), Some(publish)) => ingest.saturating_sub(publish) as f64,
+                            _ => 0.0,
+                        }
+                    },
+                );
+                w
+            },
+            flight: telemetry.flight(),
         }
     }
 }

@@ -184,6 +184,7 @@ fn drive<E: TickEngine>(
     let mut verdicts = [0u64; 3];
     let mut matrix = [[0u64; 3]; 3];
     let mut digest = VerdictDigest::new();
+    let mut summary_epoch = 0u64;
 
     let mut out = |o: PipelineOutput| {
         if matches!(o, PipelineOutput::Tick(_)) {
@@ -201,6 +202,24 @@ fn drive<E: TickEngine>(
             Some(a) if a.ingress.matches(observed) => MapView::Match,
             Some(_) => MapView::Mismatch,
         };
+        // How stale the served map was for this very decision, in flow
+        // time — the end-to-end freshness the detector actually saw.
+        metrics
+            .decision_epoch_lag
+            .observe(sf.flow.ts.saturating_sub(store.value.ts()));
+        let epoch = store.value.epoch();
+        if epoch != summary_epoch {
+            // A fresh epoch took over: leave a cumulative verdict summary
+            // in the flight ring (spoofed and shift counts so far).
+            metrics.flight.record(
+                ipd_telemetry::EventKind::SpoofSummary,
+                sf.flow.ts,
+                epoch,
+                verdicts[Verdict::Spoofed.index()],
+                verdicts[Verdict::CatchmentShift.index()],
+            );
+            summary_epoch = epoch;
+        }
         let verdict = detector.decide(sf.flow.src, observed, sf.flow.ts, map);
         digest.observe(&VerdictRecord {
             ts: sf.flow.ts,
@@ -219,6 +238,15 @@ fn drive<E: TickEngine>(
     publisher.finished(engine.engine(), driver.clock());
     driver.finish(&mut engine, &mut out);
     publisher.closed(engine.engine(), driver.clock());
+    // The terminal summary: final epoch, total spoofed/shift verdicts.
+    let last = swap.load();
+    metrics.flight.record(
+        ipd_telemetry::EventKind::SpoofSummary,
+        last.value.ts(),
+        last.value.epoch(),
+        verdicts[Verdict::Spoofed.index()],
+        verdicts[Verdict::CatchmentShift.index()],
+    );
 
     SpoofReport {
         flows,

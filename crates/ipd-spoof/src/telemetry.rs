@@ -3,7 +3,7 @@
 //! [`Telemetry`] registry. Observational only — verdicts never depend on
 //! whether metrics are enabled (the golden digest test pins this).
 
-use ipd_telemetry::{Counter, Histogram, Telemetry};
+use ipd_telemetry::{Class, Counter, FlightRecorder, Histogram, Telemetry, SIZE_BUCKETS};
 
 /// All detector metric handles (`ipd_spoof_*`).
 #[derive(Debug, Clone, Default)]
@@ -26,6 +26,13 @@ pub struct SpoofTelemetry {
     /// `ipd_spoof_decision_nanoseconds` — per-flow verdict wall time
     /// (map answer already in hand), on sub-microsecond buckets.
     pub decision_duration: Histogram,
+    /// `ipd_spoof_decision_epoch_lag` — flow-time seconds between the flow
+    /// being judged and the stamp of the served epoch judging it: how stale
+    /// the map was at decision time, end to end.
+    pub decision_epoch_lag: Histogram,
+    /// The registry's flight recorder; per-epoch verdict summaries land
+    /// here.
+    pub flight: FlightRecorder,
 }
 
 impl SpoofTelemetry {
@@ -54,6 +61,13 @@ impl SpoofTelemetry {
                 "ipd_spoof_decision_nanoseconds",
                 "Per-flow verdict wall time (map answer already in hand)",
             ),
+            decision_epoch_lag: telemetry.histogram(
+                "ipd_spoof_decision_epoch_lag",
+                "Flow-time seconds between a judged flow and the served epoch's stamp",
+                SIZE_BUCKETS,
+                Class::Timing,
+            ),
+            flight: telemetry.flight(),
         }
     }
 }

@@ -1,7 +1,8 @@
-//! Dependency-free Prometheus scrape endpoint: a blocking accept loop on a
-//! background thread serving `GET /metrics` from a [`Telemetry`] registry.
-//! Plain `std::net` — no HTTP stack, because the exposition format needs
-//! none.
+//! Dependency-free introspection endpoint: a blocking accept loop on a
+//! background thread serving `GET /metrics` (Prometheus text exposition)
+//! and `GET /statusz` (JSON, see [`StatusHub`]) from a [`Telemetry`]
+//! registry. Plain `std::net` — no HTTP stack, because neither format
+//! needs one.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -11,6 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::registry::Telemetry;
+use crate::status::StatusHub;
 
 /// A running metrics endpoint. Dropping the server shuts it down; call
 /// [`MetricsServer::shutdown`] to do so explicitly and observe join errors.
@@ -22,8 +24,21 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
-    /// `GET /metrics` snapshots of `telemetry` until shutdown.
+    /// `GET /metrics` snapshots of `telemetry` until shutdown, with the
+    /// default `/statusz` sections ([`StatusHub::with_telemetry`]).
     pub fn serve(addr: &str, telemetry: Telemetry) -> std::io::Result<MetricsServer> {
+        let hub = StatusHub::with_telemetry(&telemetry);
+        Self::serve_with_status(addr, telemetry, hub)
+    }
+
+    /// [`MetricsServer::serve`] with an explicit [`StatusHub`] — processes
+    /// that own richer state (the serve store, the hist manifest) register
+    /// extra sections on the hub before or after binding.
+    pub fn serve_with_status(
+        addr: &str,
+        telemetry: Telemetry,
+        hub: StatusHub,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -38,7 +53,7 @@ impl MetricsServer {
                     if let Ok(stream) = stream {
                         // One request per connection, handled inline: a
                         // scrape every few seconds doesn't need more.
-                        let _ = handle_conn(stream, &telemetry);
+                        let _ = handle_conn(stream, &telemetry, &hub);
                     }
                 }
             })?;
@@ -77,7 +92,11 @@ impl Drop for MetricsServer {
     }
 }
 
-fn handle_conn(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+fn handle_conn(
+    mut stream: TcpStream,
+    telemetry: &Telemetry,
+    hub: &StatusHub,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 1024];
@@ -88,7 +107,8 @@ fn handle_conn(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<
         .next()
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("");
-    if request.starts_with("GET ") && (path == "/metrics" || path == "/") {
+    let is_get = request.starts_with("GET ");
+    if is_get && (path == "/metrics" || path == "/") {
         let body = telemetry.snapshot().to_prometheus_text();
         let header = format!(
             "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -96,8 +116,16 @@ fn handle_conn(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<
         );
         stream.write_all(header.as_bytes())?;
         stream.write_all(body.as_bytes())?;
+    } else if is_get && path == "/statusz" {
+        let body = hub.render();
+        let header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
     } else {
-        let body = "not found; try /metrics\n";
+        let body = "not found; try /metrics or /statusz\n";
         let header = format!(
             "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             body.len()
@@ -143,6 +171,47 @@ mod tests {
         assert!(get(addr, "/metrics").contains("ipd_http_test_total 10"));
 
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_statusz_json() {
+        let t = Telemetry::new();
+        t.watermark("ipd_statusz_test_watermark", "stage")
+            .record(60);
+        t.derived_gauge("ipd_statusz_age_seconds", "age", || 2.5);
+        t.flight()
+            .record(crate::EventKind::EpochPublished, 60, 1, 2, 3);
+        let hub = crate::StatusHub::with_telemetry(&t);
+        hub.register("custom", || "{\"entries\":42}".to_string());
+        let server = MetricsServer::serve_with_status("127.0.0.1:0", t, hub).expect("bind");
+
+        let response = get(server.local_addr(), "/statusz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("application/json"));
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let doc = crate::Json::parse(body).expect("statusz is valid JSON");
+        assert_eq!(
+            doc.get("custom").unwrap().get("entries").unwrap().as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("ipd_statusz_age_seconds")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
+        );
+        assert!(doc
+            .get("watermarks")
+            .unwrap()
+            .get("ipd_statusz_test_watermark")
+            .is_some());
+        assert_eq!(
+            doc.get("flight").unwrap().get("recorded").unwrap().as_f64(),
+            Some(1.0)
+        );
         server.shutdown();
     }
 

@@ -37,21 +37,52 @@
 //! the same [`ipd::Snapshot`] digest as a run without — a property the
 //! differential harness in `ipd-core` proves end to end.
 //!
+//! ## Observability v2 (freshness + postmortem + introspection)
+//!
+//! * [`Watermark`] — per-stage flow-time high-water marks; the difference
+//!   between two stages' marks is the pipeline's per-stage lag, the wall
+//!   age of a mark is its freshness. Exported as `Timing`-class samples.
+//! * [`FlightRecorder`] — an always-on, fixed-size, lock-free ring of
+//!   structured events ([`Telemetry::flight`]), dumpable on demand, over
+//!   the serve protocol, and on panic ([`install_panic_dump`]) or stall.
+//! * [`Telemetry::derived_gauge`] — snapshot-time computed gauges such as
+//!   `ipd_serve_epoch_age_seconds`.
+//! * [`StallDetector`] — flags stages whose upstream advances while their
+//!   own watermark update counter stands still.
+//! * [`StatusHub`] — named JSON sections served at `GET /statusz` beside
+//!   `/metrics`, with a minimal in-tree JSON reader ([`Json`]) for
+//!   `ipd-tool top`.
+//!
+//! All of it obeys the same inertness contract: disabled handles are
+//! one-branch no-ops, and enabled handles only observe.
+//!
 //! With the `trace` cargo feature, the [`trace`] module adds lightweight
-//! span/event tracing with `target=level` filtering.
+//! span/event tracing with `target=level` filtering (`off` silences a
+//! target).
 
+mod flight;
 mod http;
 mod metrics;
 mod registry;
 mod snapshot;
+mod stall;
+mod status;
+mod watermark;
 
 #[cfg(feature = "trace")]
 pub mod trace;
 
+pub use flight::{
+    decode_events, encode_events, install_panic_dump, render_events, EventKind, FlightCodecError,
+    FlightEvent, FlightRecorder, EVENT_WIRE_BYTES, FLIGHT_CAPACITY, MAX_DUMP_EVENTS,
+};
 pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram, Timer};
 pub use registry::{Class, Kind, Telemetry};
 pub use snapshot::{validate_prometheus_text, MetricSample, MetricValue, MetricsSnapshot};
+pub use stall::{StallDetector, StallHandle};
+pub use status::{json_f64, json_string, Json, StatusHub};
+pub use watermark::{monotonic_nanos, Watermark, WatermarkSnapshot};
 
 /// Default bucket bounds (in nanoseconds) for timing histograms: 1 µs to
 /// ~16 s in powers of four — wide enough for a per-datagram decode and a

@@ -6,8 +6,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::flight::{FlightRecorder, FlightRing};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, PaddedU64};
 use crate::snapshot::{MetricSample, MetricValue, MetricsSnapshot};
+use crate::watermark::{Watermark, WatermarkCell, WatermarkSnapshot};
 
 /// What a metric is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,10 @@ pub(crate) enum Cell {
     Counter(Arc<PaddedU64>),
     Gauge(Arc<AtomicI64>),
     Histogram(Arc<HistogramCells>),
+    /// Evaluated at snapshot time (e.g. epoch age = now − publish stamp);
+    /// always [`Class::Timing`] — a clock-derived value can never be
+    /// deterministic.
+    Derived(Arc<dyn Fn() -> f64 + Send + Sync>),
 }
 
 pub(crate) struct Entry {
@@ -53,9 +59,20 @@ pub(crate) struct Entry {
     pub(crate) cell: Cell,
 }
 
-#[derive(Default)]
 struct Inner {
     metrics: Mutex<BTreeMap<MetricKey, Entry>>,
+    watermarks: Mutex<BTreeMap<String, (String, Arc<WatermarkCell>)>>,
+    flight: Arc<FlightRing>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            metrics: Mutex::new(BTreeMap::new()),
+            watermarks: Mutex::new(BTreeMap::new()),
+            flight: Arc::new(FlightRing::new()),
+        }
+    }
 }
 
 /// Handle to a metric registry. Cloning is cheap (an `Arc`); all clones
@@ -196,7 +213,68 @@ impl Telemetry {
         self.histogram(name, help, crate::TIMING_BUCKETS_FINE_NANOS, Class::Timing)
     }
 
-    /// A point-in-time, name-sorted view of every registered metric.
+    /// Register (or look up) a flow-time watermark. Watermarks export as
+    /// three [`Class::Timing`] samples per stage — `{name}_flow_ts`
+    /// (gauge), `{name}_age_seconds` (gauge, wall time since last advance)
+    /// and `{name}_updates_total` (counter) — so they are never pinned by
+    /// golden tests and never enter the deterministic subset.
+    pub fn watermark(&self, name: &str, help: &str) -> Watermark {
+        let Some(inner) = &self.inner else {
+            return Watermark::disabled();
+        };
+        let mut watermarks = inner.watermarks.lock().expect("registry poisoned");
+        let (_, cell) = watermarks
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Arc::new(WatermarkCell::default())));
+        Watermark(Some(Arc::clone(cell)))
+    }
+
+    /// All registered watermarks, name-sorted, with point-in-time values.
+    pub fn watermarks(&self) -> Vec<(String, WatermarkSnapshot)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let watermarks = inner.watermarks.lock().expect("registry poisoned");
+        watermarks
+            .iter()
+            .map(|(name, (_, cell))| (name.clone(), Watermark(Some(Arc::clone(cell))).snapshot()))
+            .collect()
+    }
+
+    /// Register a gauge whose value is computed at snapshot time by `f`
+    /// (e.g. `ipd_serve_epoch_age_seconds` = now − last publish stamp).
+    /// Always [`Class::Timing`]; re-registering a name replaces the
+    /// closure. On a disabled registry the closure is dropped unused.
+    pub fn derived_gauge<F>(&self, name: &str, help: &str, f: F)
+    where
+        F: Fn() -> f64 + Send + Sync + 'static,
+    {
+        let Some(inner) = &self.inner else { return };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics
+            .entry(Self::key(name, &[]))
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                class: Class::Timing,
+                cell: Cell::Derived(Arc::new(f)),
+            });
+        match &entry.cell {
+            Cell::Derived(_) => {}
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The registry's flight recorder (one fixed-size ring per live
+    /// registry; a no-op handle from a disabled registry).
+    pub fn flight(&self) -> FlightRecorder {
+        match &self.inner {
+            Some(inner) => FlightRecorder(Some(Arc::clone(&inner.flight))),
+            None => FlightRecorder::disabled(),
+        }
+    }
+
+    /// A point-in-time, name-sorted view of every registered metric,
+    /// including watermark-derived samples and derived gauges.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut samples = Vec::new();
         if let Some(inner) = &self.inner {
@@ -219,6 +297,7 @@ impl Telemetry {
                             count: c.count.load(Ordering::Relaxed),
                         }
                     }
+                    Cell::Derived(f) => MetricValue::Float(f().to_bits()),
                 };
                 samples.push(MetricSample {
                     name: name.clone(),
@@ -226,13 +305,42 @@ impl Telemetry {
                     help: entry.help.clone(),
                     kind: match entry.cell {
                         Cell::Counter(_) => Kind::Counter,
-                        Cell::Gauge(_) => Kind::Gauge,
+                        Cell::Gauge(_) | Cell::Derived(_) => Kind::Gauge,
                         Cell::Histogram(_) => Kind::Histogram,
                     },
                     class: entry.class,
                     value,
                 });
             }
+            drop(metrics);
+            let watermarks = inner.watermarks.lock().expect("registry poisoned");
+            for (name, (help, cell)) in watermarks.iter() {
+                let snap = Watermark(Some(Arc::clone(cell))).snapshot();
+                let sample = |suffix: &str, kind: Kind, value: MetricValue| MetricSample {
+                    name: format!("{name}{suffix}"),
+                    labels: Vec::new(),
+                    help: help.clone(),
+                    kind,
+                    class: Class::Timing,
+                    value,
+                };
+                samples.push(sample(
+                    "_flow_ts",
+                    Kind::Gauge,
+                    MetricValue::Gauge(snap.flow_ts.min(i64::MAX as u64) as i64),
+                ));
+                samples.push(sample(
+                    "_age_seconds",
+                    Kind::Gauge,
+                    MetricValue::Float((snap.age_nanos as f64 / 1e9).to_bits()),
+                ));
+                samples.push(sample(
+                    "_updates_total",
+                    Kind::Counter,
+                    MetricValue::Counter(snap.updates),
+                ));
+            }
+            samples.sort_by(|x, y| (&x.name, &x.labels).cmp(&(&y.name, &y.labels)));
         }
         MetricsSnapshot { samples }
     }
@@ -289,6 +397,69 @@ mod tests {
         assert_eq!(c.get(), 0);
         assert!(t.snapshot().samples.is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn watermark_exports_three_timing_samples() {
+        let t = Telemetry::new();
+        let w = t.watermark("ipd_stage_watermark", "stage high-water mark");
+        w.record(600);
+        w.record(540); // monotone max
+        let snap = t.snapshot();
+        assert_eq!(snap.gauge("ipd_stage_watermark_flow_ts"), Some(600));
+        assert_eq!(snap.counter("ipd_stage_watermark_updates_total"), Some(2));
+        assert!(snap.float("ipd_stage_watermark_age_seconds").is_some());
+        assert!(
+            snap.samples
+                .iter()
+                .filter(|s| s.name.starts_with("ipd_stage_watermark"))
+                .all(|s| s.class == Class::Timing),
+            "watermark samples must never enter the deterministic subset"
+        );
+        // Same name → same cell.
+        t.watermark("ipd_stage_watermark", "stage high-water mark")
+            .record(900);
+        assert_eq!(w.flow_ts(), 900);
+        assert_eq!(t.watermarks().len(), 1);
+    }
+
+    #[test]
+    fn derived_gauge_evaluates_at_snapshot_time() {
+        let t = Telemetry::new();
+        let source = Arc::new(PaddedU64::default());
+        let src = Arc::clone(&source);
+        t.derived_gauge("ipd_age_seconds", "derived", move || {
+            src.0.load(Ordering::Relaxed) as f64 / 2.0
+        });
+        assert_eq!(t.snapshot().float("ipd_age_seconds"), Some(0.0));
+        source.0.store(7, Ordering::Relaxed);
+        assert_eq!(t.snapshot().float("ipd_age_seconds"), Some(3.5));
+        let s = t.snapshot();
+        let sample = s.samples.iter().find(|s| s.name == "ipd_age_seconds");
+        assert_eq!(sample.unwrap().class, Class::Timing);
+    }
+
+    #[test]
+    fn snapshot_stays_sorted_with_watermarks_and_derived() {
+        let t = Telemetry::new();
+        t.counter("ipd_z_total", "z").inc();
+        t.watermark("ipd_m_watermark", "m").record(1);
+        t.derived_gauge("ipd_a_age", "a", || 0.0);
+        let snap = t.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn flight_recorder_is_per_registry() {
+        let t = Telemetry::new();
+        t.flight()
+            .record(crate::EventKind::EpochPublished, 60, 1, 0, 0);
+        assert_eq!(t.flight().recorded(), 1, "clones share the ring");
+        assert!(!Telemetry::disabled().flight().is_enabled());
+        assert_eq!(Telemetry::new().flight().recorded(), 0);
     }
 
     #[test]

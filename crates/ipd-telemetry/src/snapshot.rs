@@ -11,6 +11,10 @@ use crate::registry::{Class, Kind};
 pub enum MetricValue {
     Counter(u64),
     Gauge(i64),
+    /// A fractional gauge (derived gauges, watermark ages), stored as the
+    /// `f64` bit pattern so the enum keeps `Eq` (snapshots are compared
+    /// bit-for-bit in the inertness tests).
+    Float(u64),
     Histogram {
         /// `(upper_bound, observations_in_bucket)` per finite bucket.
         buckets: Vec<(u64, u64)>,
@@ -21,6 +25,21 @@ pub enum MetricValue {
         /// Total observations.
         count: u64,
     },
+}
+
+/// Render an `f64` for exposition: plain decimal via `Display`, which both
+/// Prometheus and the in-tree validator parse back exactly.
+fn fmt_f64(bits: u64) -> String {
+    let v = f64::from_bits(bits);
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
 }
 
 /// One named metric with labels, help, kind, and determinism class.
@@ -103,6 +122,17 @@ impl MetricsSnapshot {
             })
     }
 
+    /// Convenience lookup for tests: float-gauge value by name (unlabeled).
+    pub fn float(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .and_then(|s| match s.value {
+                MetricValue::Float(bits) => Some(f64::from_bits(bits)),
+                _ => None,
+            })
+    }
+
     /// Render as Prometheus text exposition format (version 0.0.4): one
     /// `# HELP`/`# TYPE` block per metric family, histogram buckets as
     /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
@@ -121,6 +151,9 @@ impl MetricsSnapshot {
                 }
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(out, "{}{} {}", s.name, s.label_str(), v);
+                }
+                MetricValue::Float(bits) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, s.label_str(), fmt_f64(*bits));
                 }
                 MetricValue::Histogram {
                     buckets,
@@ -173,6 +206,9 @@ impl MetricsSnapshot {
                 }
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(out, "{id:<width$}  {v}");
+                }
+                MetricValue::Float(bits) => {
+                    let _ = writeln!(out, "{id:<width$}  {}", fmt_f64(*bits));
                 }
                 MetricValue::Histogram { sum, count, .. } => {
                     let mean = sum.checked_div(*count).unwrap_or(0);
@@ -329,6 +365,22 @@ mod tests {
         ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn float_gauges_render_and_validate() {
+        let t = Telemetry::new();
+        t.derived_gauge("ipd_epoch_age_seconds", "age of the served epoch", || 1.25);
+        t.watermark("ipd_ingest_watermark", "ingest high-water mark")
+            .record(3600);
+        let snap = t.snapshot();
+        assert_eq!(snap.float("ipd_epoch_age_seconds"), Some(1.25));
+        let text = snap.to_prometheus_text();
+        validate_prometheus_text(&text).expect("float samples are valid exposition");
+        assert!(text.contains("ipd_epoch_age_seconds 1.25"));
+        assert!(text.contains("# TYPE ipd_epoch_age_seconds gauge"));
+        assert!(text.contains("ipd_ingest_watermark_flow_ts 3600"));
+        assert!(snap.render_table().contains("ipd_epoch_age_seconds"));
     }
 
     #[test]

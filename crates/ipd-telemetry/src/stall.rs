@@ -1,0 +1,238 @@
+//! Stall detection over watermarks: a stage whose upstream keeps advancing
+//! while its own update counter stands still is wedged — a hung shard, a
+//! blocked channel, a deadlocked publisher. The detector polls watermark
+//! update counters (pure reads, no feedback into the pipeline), records a
+//! [`EventKind::Stall`] flight event plus a counter increment for each
+//! newly wedged stage, and dumps the recorder tail to stderr so the
+//! evidence survives even if the process is then killed.
+//!
+//! The decision procedure lives in [`StallDetector::poll_once`], a pure
+//! seam the unit tests drive directly; [`StallDetector::spawn`] wraps it in
+//! a background poll thread for production use.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::flight::{render_events, EventKind, FlightRecorder};
+use crate::metrics::Counter;
+use crate::watermark::Watermark;
+
+struct Stage {
+    name: String,
+    watermark: Watermark,
+    last_updates: u64,
+    /// Latched while wedged so one stall produces one event, not one per
+    /// poll; clears when the stage makes progress again.
+    stalled: bool,
+}
+
+/// Watches downstream stages against one upstream reference watermark.
+pub struct StallDetector {
+    source: Watermark,
+    source_last_updates: u64,
+    stages: Vec<Stage>,
+    recorder: FlightRecorder,
+    stalls: Counter,
+    dump_on_stall: bool,
+}
+
+impl StallDetector {
+    /// A detector with `source` as the upstream progress reference.
+    /// `stalls` is bumped once per newly detected stall (register it as
+    /// e.g. `ipd_stalls_total`).
+    pub fn new(source: Watermark, recorder: FlightRecorder, stalls: Counter) -> Self {
+        StallDetector {
+            source_last_updates: source.updates(),
+            source,
+            stages: Vec::new(),
+            recorder,
+            stalls,
+            dump_on_stall: true,
+        }
+    }
+
+    /// Disable the stderr flight dump on stall (tests).
+    pub fn without_dump(mut self) -> Self {
+        self.dump_on_stall = false;
+        self
+    }
+
+    /// Watch a downstream stage. Order of registration is the stage index
+    /// reported in the stall flight event's `a` field.
+    pub fn watch(&mut self, name: &str, watermark: Watermark) {
+        self.stages.push(Stage {
+            name: name.to_string(),
+            last_updates: watermark.updates(),
+            watermark,
+            stalled: false,
+        });
+    }
+
+    /// One poll: returns the names of stages that *newly* stalled since the
+    /// previous poll. A stage stalls when the source advanced over the poll
+    /// interval but the stage's update counter did not move and its flow
+    /// time trails the source's. Recovery (the counter moving again)
+    /// re-arms the stage for future detection.
+    pub fn poll_once(&mut self) -> Vec<String> {
+        let source_updates = self.source.updates();
+        let source_advanced = source_updates > self.source_last_updates;
+        self.source_last_updates = source_updates;
+        let source_flow_ts = self.source.flow_ts();
+
+        let mut newly_stalled = Vec::new();
+        for (idx, stage) in self.stages.iter_mut().enumerate() {
+            let updates = stage.watermark.updates();
+            let advanced = updates > stage.last_updates;
+            stage.last_updates = updates;
+            if advanced {
+                stage.stalled = false;
+                continue;
+            }
+            let behind = stage.watermark.flow_ts() < source_flow_ts;
+            if source_advanced && behind && !stage.stalled {
+                stage.stalled = true;
+                self.stalls.inc();
+                self.recorder.record(
+                    EventKind::Stall,
+                    source_flow_ts,
+                    idx as u64,
+                    stage.watermark.flow_ts(),
+                    updates,
+                );
+                newly_stalled.push(stage.name.clone());
+            }
+        }
+        if !newly_stalled.is_empty() && self.dump_on_stall {
+            eprintln!(
+                "ipd: stall detected in stage(s) {:?}; flight recorder tail:",
+                newly_stalled
+            );
+            eprint!("{}", render_events(&self.recorder.tail(32)));
+        }
+        newly_stalled
+    }
+
+    /// Run `poll_once` every `interval` on a background thread until the
+    /// returned handle is stopped or dropped.
+    pub fn spawn(mut self, interval: Duration) -> StallHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("ipd-stall-detector".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    self.poll_once();
+                }
+            })
+            .expect("spawn stall detector");
+        StallHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a running detector thread; stops and joins on drop.
+pub struct StallHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl StallHandle {
+    /// Stop the poll loop and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for StallHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+
+    fn setup() -> (Telemetry, Watermark, Watermark, StallDetector) {
+        let t = Telemetry::new();
+        let source = t.watermark("ipd_test_source", "upstream");
+        let stage = t.watermark("ipd_test_stage", "downstream");
+        let stalls = t.counter("ipd_test_stalls_total", "stalls");
+        let mut det = StallDetector::new(source.clone(), t.flight(), stalls).without_dump();
+        det.watch("stage", stage.clone());
+        (t, source, stage, det)
+    }
+
+    #[test]
+    fn wedged_stage_surfaces_within_one_poll_interval() {
+        let (t, source, _stage, mut det) = setup();
+        // Interval 1: upstream advances, the stage never moves.
+        source.record(100);
+        assert_eq!(det.poll_once(), vec!["stage".to_string()]);
+        assert_eq!(
+            t.snapshot().counter("ipd_test_stalls_total"),
+            Some(1),
+            "stall counter bumped"
+        );
+        let events = t.flight().dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Stall as u8);
+        assert_eq!(events[0].ts, 100, "stall event carries the source flow ts");
+        assert_eq!(events[0].a, 0, "stage index");
+    }
+
+    #[test]
+    fn stall_reports_once_until_recovery() {
+        let (t, source, stage, mut det) = setup();
+        source.record(100);
+        assert_eq!(det.poll_once().len(), 1);
+        // Still wedged: no duplicate report while latched.
+        source.record(200);
+        assert!(det.poll_once().is_empty());
+        // Recovery re-arms…
+        stage.record(200);
+        assert!(det.poll_once().is_empty());
+        // …so a second wedge is reported again.
+        source.record(300);
+        assert_eq!(det.poll_once(), vec!["stage".to_string()]);
+        assert_eq!(t.snapshot().counter("ipd_test_stalls_total"), Some(2));
+    }
+
+    #[test]
+    fn keeping_pace_never_stalls() {
+        let (t, source, stage, mut det) = setup();
+        for ts in [60u64, 120, 180] {
+            source.record(ts);
+            stage.record(ts);
+            assert!(det.poll_once().is_empty());
+        }
+        // Idle pipeline (nothing advances) is not a stall either.
+        assert!(det.poll_once().is_empty());
+        assert_eq!(t.snapshot().counter("ipd_test_stalls_total"), Some(0));
+    }
+
+    #[test]
+    fn spawned_detector_stops_cleanly() {
+        let (_t, source, _stage, det) = setup();
+        source.record(60);
+        let handle = det.spawn(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        handle.stop();
+    }
+}

@@ -1,0 +1,471 @@
+//! The introspection plane: a [`StatusHub`] of named JSON sections served
+//! at `/statusz` beside the Prometheus exposition, plus the minimal JSON
+//! reader `ipd-tool top` uses to consume it (no external dependencies —
+//! the same zero-dep discipline as the rest of the workspace).
+//!
+//! Sections are closures returning a raw JSON *value* (object, array,
+//! number, …); the hub renders them into one object keyed by section name,
+//! sorted. Stability contract: section names and the field names documented
+//! in DESIGN.md §16 are append-only — tools may rely on them existing, new
+//! fields may appear at any time, and unknown fields must be ignored.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::registry::Telemetry;
+use crate::snapshot::MetricValue;
+
+type Section = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A registry of named JSON sections, rendered on demand for `/statusz`.
+/// Cloning shares the sections.
+#[derive(Clone, Default)]
+pub struct StatusHub {
+    sections: Arc<Mutex<BTreeMap<String, Section>>>,
+}
+
+impl std::fmt::Debug for StatusHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.sections.lock().map(|s| s.len()).unwrap_or(0);
+        write!(f, "StatusHub({n} sections)")
+    }
+}
+
+impl StatusHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        StatusHub::default()
+    }
+
+    /// A hub pre-populated with the sections every process can serve:
+    /// `watermarks` (per-stage freshness), `gauges` (every unlabeled gauge,
+    /// including derived float gauges — this is where `*_age_seconds` and
+    /// `*_lag_seconds` surface), and `flight` (recorder total + tail).
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        let hub = StatusHub::new();
+        let t = telemetry.clone();
+        hub.register("watermarks", move || {
+            let mut out = String::from("{");
+            for (i, (name, w)) in t.watermarks().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}:{{\"flow_ts\":{},\"age_seconds\":{},\"updates\":{}}}",
+                    json_string(name),
+                    w.flow_ts,
+                    json_f64(w.age_nanos as f64 / 1e9),
+                    w.updates
+                );
+            }
+            out.push('}');
+            out
+        });
+        let t = telemetry.clone();
+        hub.register("gauges", move || {
+            let mut out = String::from("{");
+            let mut first = true;
+            for s in &t.snapshot().samples {
+                if !s.labels.is_empty() {
+                    continue;
+                }
+                let value = match &s.value {
+                    MetricValue::Gauge(v) => format!("{v}"),
+                    MetricValue::Float(bits) => json_f64(f64::from_bits(*bits)),
+                    _ => continue,
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{}:{}", json_string(&s.name), value);
+            }
+            out.push('}');
+            out
+        });
+        let flight = telemetry.flight();
+        hub.register("flight", move || {
+            let mut out = format!("{{\"recorded\":{},\"tail\":[", flight.recorded());
+            for (i, e) in flight.tail(16).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"kind\":{},\"ts\":{},\"a\":{},\"b\":{},\"c\":{}}}",
+                    e.seq,
+                    json_string(crate::flight::EventKind::name(e.kind)),
+                    e.ts,
+                    e.a,
+                    e.b,
+                    e.c
+                );
+            }
+            out.push_str("]}");
+            out
+        });
+        hub
+    }
+
+    /// Register (or replace) a section. The closure must return a valid
+    /// JSON value; it runs on the HTTP serving thread at render time.
+    pub fn register<F>(&self, name: &str, section: F)
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        self.sections
+            .lock()
+            .expect("status hub poisoned")
+            .insert(name.to_string(), Arc::new(section));
+    }
+
+    /// Render the whole hub as one JSON object, sections sorted by name.
+    pub fn render(&self) -> String {
+        let sections = self.sections.lock().expect("status hub poisoned");
+        let mut out = String::from("{");
+        for (i, (name, f)) in sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), f());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape and quote a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (JSON has no NaN/Infinity — those render
+/// as 0, which a diagnostic surface prefers over an invalid document).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A parsed JSON value — the consuming half of the introspection plane
+/// (`ipd-tool top`, tests). Numbers are f64; object key order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields in document order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input came from &str, so this
+                // char boundary arithmetic is safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::EventKind;
+
+    #[test]
+    fn hub_renders_registered_sections_sorted() {
+        let hub = StatusHub::new();
+        hub.register("zeta", || "{\"x\":1}".to_string());
+        hub.register("alpha", || "[1,2,3]".to_string());
+        let doc = Json::parse(&hub.render()).expect("hub renders valid JSON");
+        let fields = doc.as_obj().unwrap();
+        assert_eq!(fields[0].0, "alpha");
+        assert_eq!(fields[1].0, "zeta");
+        assert_eq!(doc.get("alpha").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("zeta").unwrap().get("x").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn with_telemetry_exposes_watermarks_gauges_and_flight() {
+        let t = Telemetry::new();
+        t.watermark("ipd_test_watermark", "test stage").record(1234);
+        t.gauge("ipd_test_epoch", "epoch", crate::Class::Timing)
+            .set(7);
+        t.flight().record(EventKind::EpochPublished, 60, 1, 2, 3);
+        let doc = Json::parse(&StatusHub::with_telemetry(&t).render()).expect("valid JSON");
+        let wm = doc.get("watermarks").unwrap().get("ipd_test_watermark");
+        assert_eq!(wm.unwrap().get("flow_ts").unwrap().as_f64(), Some(1234.0));
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("ipd_test_epoch")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        let flight = doc.get("flight").unwrap();
+        assert_eq!(flight.get("recorded").unwrap().as_f64(), Some(1.0));
+        let tail = flight.get("tail").unwrap().as_arr().unwrap();
+        assert_eq!(
+            tail[0].get("kind").unwrap().as_str(),
+            Some("epoch_published")
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_renders_empty_sections() {
+        let doc = Json::parse(&StatusHub::with_telemetry(&Telemetry::disabled()).render()).unwrap();
+        assert_eq!(doc.get("watermarks").unwrap().as_obj().unwrap().len(), 0);
+        assert_eq!(
+            doc.get("flight").unwrap().get("recorded").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let parsed = Json::parse(&json_string("a\"b\\c\nd\t\u{1}π")).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\t\u{1}π"));
+    }
+
+    #[test]
+    fn parser_handles_the_grammar() {
+        let doc =
+            Json::parse(r#"{"a": [1, -2.5, 1e3], "b": {"nested": true}, "c": null, "d": "s"}"#)
+                .unwrap();
+        let a = doc.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+        assert_eq!(doc.get("b").unwrap().get("nested"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("d").unwrap().as_str(), Some("s"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

@@ -1,7 +1,8 @@
 //! Minimal span/event tracing, compiled only with the `trace` cargo
 //! feature. Modeled on the `tracing` + `EnvFilter` idiom but dependency
 //! free: a [`TraceFilter`] parses `target=level` directives
-//! (`"ipd_core=debug,warn"`), a [`Tracer`] emits filtered events to a sink,
+//! (`"ipd_core=debug,warn"`; `off` silences a target, as in
+//! `"ipd_core=off,info"`), a [`Tracer`] emits filtered events to a sink,
 //! and [`Tracer::span`] returns a guard that logs enter/exit with elapsed
 //! time.
 //!
@@ -47,21 +48,36 @@ impl FromStr for Level {
             "info" => Ok(Level::Info),
             "debug" => Ok(Level::Debug),
             "trace" => Ok(Level::Trace),
-            "off" => Err("off is not a level; omit the directive".into()),
+            "off" => Err("off is not a level; use it as a directive value".into()),
             other => Err(format!("unknown trace level {other:?}")),
         }
     }
 }
 
+/// A directive's effect: admit up to a level, or silence the target
+/// entirely (`off`).
+fn parse_directive_level(s: &str) -> Result<Option<Level>, String> {
+    if s.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    s.parse().map(Some)
+}
+
 /// A set of `target=level` directives plus a default level, as in
 /// `"ipd_core=debug,ipd_netflow::ipfix=trace,warn"`. The most specific
 /// (longest) matching target prefix wins, falling back to the bare default
-/// directive if none matches.
+/// directive if none matches. `off` is accepted wherever a level is
+/// (`"ipd_core=off,info"` silences `ipd_core` while defaulting to info) —
+/// an `off` directive beats the default, so one noisy target can be muted
+/// without muting everything.
 #[derive(Debug, Clone)]
 pub struct TraceFilter {
-    /// Sorted by target so longest-prefix search can scan once.
-    directives: Vec<(String, Level)>,
-    default: Option<Level>,
+    /// Sorted by target so longest-prefix search can scan once. `None`
+    /// means the target is silenced.
+    directives: Vec<(String, Option<Level>)>,
+    /// `Some(None)` is an explicit bare `off` default; plain `None` means
+    /// no default directive was given (also silent).
+    default: Option<Option<Level>>,
 }
 
 impl TraceFilter {
@@ -74,8 +90,8 @@ impl TraceFilter {
     }
 
     /// Parse a comma-separated directive list. A directive is either
-    /// `target=level` or a bare `level` (the default for unmatched
-    /// targets). Empty input yields [`TraceFilter::off`].
+    /// `target=level`, `target=off`, or a bare `level`/`off` (the default
+    /// for unmatched targets). Empty input yields [`TraceFilter::off`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut directives = Vec::new();
         let mut default = None;
@@ -90,10 +106,10 @@ impl TraceFilter {
                     if target.is_empty() {
                         return Err(format!("directive {raw:?} has an empty target"));
                     }
-                    directives.push((target.to_string(), level.trim().parse()?));
+                    directives.push((target.to_string(), parse_directive_level(level.trim())?));
                 }
                 None => {
-                    if default.replace(raw.parse()?).is_some() {
+                    if default.replace(parse_directive_level(raw)?).is_some() {
                         return Err(format!("duplicate default level in {spec:?}"));
                     }
                 }
@@ -108,7 +124,7 @@ impl TraceFilter {
 
     /// Whether an event with this `target` and `level` passes the filter.
     pub fn enabled(&self, target: &str, level: Level) -> bool {
-        let mut best: Option<(usize, Level)> = None;
+        let mut best: Option<(usize, Option<Level>)> = None;
         for (prefix, max) in &self.directives {
             // A directive matches its exact target or any `::`-nested child.
             let matches = target == prefix
@@ -119,8 +135,9 @@ impl TraceFilter {
             }
         }
         match best.map(|(_, max)| max).or(self.default) {
-            Some(max) => level <= max,
-            None => false,
+            Some(Some(max)) => level <= max,
+            // An explicit `off` directive, or no directive at all.
+            Some(None) | None => false,
         }
     }
 }
@@ -288,8 +305,30 @@ mod tests {
         assert!(TraceFilter::parse("ipd_core=banana").is_err());
         assert!(TraceFilter::parse("=debug").is_err());
         assert!(TraceFilter::parse("info,debug").is_err());
+        assert!(TraceFilter::parse("info,off").is_err(), "two defaults");
         assert!(TraceFilter::parse("").unwrap().directives.is_empty());
         assert!(!TraceFilter::parse("").unwrap().enabled("x", Level::Error));
+    }
+
+    #[test]
+    fn off_directive_silences_one_target() {
+        let f = TraceFilter::parse("ipd_core=off,info").unwrap();
+        // The muted target emits nothing, even errors…
+        assert!(!f.enabled("ipd_core", Level::Error));
+        assert!(!f.enabled("ipd_core::pipeline", Level::Error));
+        // …while everything else keeps the default.
+        assert!(f.enabled("ipd_netflow", Level::Info));
+        assert!(!f.enabled("ipd_netflow", Level::Debug));
+        // `off` nests like any directive: a more specific level re-enables.
+        let g = TraceFilter::parse("ipd_core=off,ipd_core::engine=debug,warn").unwrap();
+        assert!(!g.enabled("ipd_core::pipeline", Level::Error));
+        assert!(g.enabled("ipd_core::engine", Level::Debug));
+        // A bare `off` default is accepted and silences unmatched targets.
+        let h = TraceFilter::parse("off,ipd_serve=info").unwrap();
+        assert!(!h.enabled("ipd_core", Level::Error));
+        assert!(h.enabled("ipd_serve", Level::Info));
+        // `off` is still not a Level (the enabled() API needs a real one).
+        assert!("off".parse::<Level>().is_err());
     }
 
     #[test]
